@@ -1,0 +1,404 @@
+package tsexplain_test
+
+// Benchmark harness: one benchmark per paper table and figure (see
+// DESIGN.md's per-experiment index), plus the ablation benches DESIGN.md
+// calls out and micro-benchmarks for the engine's hot paths. The full
+// paper-scale runs live in cmd/experiments; these benchmarks use reduced
+// workloads so `go test -bench=.` finishes in minutes while still
+// exercising every experiment code path.
+
+import (
+	"io"
+	"testing"
+
+	tsexplain "repro"
+	"repro/internal/baseline"
+	"repro/internal/cascading"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/evalmetrics"
+	"repro/internal/experiments"
+	"repro/internal/explain"
+	"repro/internal/relation"
+	"repro/internal/segment"
+	"repro/internal/synth"
+)
+
+// benchCfg trims the sweeps so one benchmark iteration stays in seconds.
+var benchCfg = experiments.Config{Samples: 300, Datasets: 3, Quick: true}
+
+func runDatasetBench(b *testing.B, d *datasets.Dataset, optimized bool) {
+	b.Helper()
+	var opts core.Options
+	if optimized {
+		opts = core.DefaultOptions()
+	}
+	opts.MaxOrder = d.MaxOrder
+	opts.SmoothWindow = d.SmoothWindow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := core.NewEngine(d.Rel, core.Query{
+			Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy,
+		}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Explain(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per table/figure ---
+
+func BenchmarkFig4SynthCorpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig4(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6MetricRanking(b *testing.B) {
+	cfg := experiments.Config{Samples: 100, Datasets: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10SyntheticAccuracy(b *testing.B) {
+	cfg := experiments.Config{Datasets: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11CovidTotal(b *testing.B)  { runDatasetBench(b, datasets.CovidTotal(), true) }
+func BenchmarkFig12CovidDaily(b *testing.B)  { runDatasetBench(b, datasets.CovidDaily(), true) }
+func BenchmarkFig13SP500(b *testing.B)       { runDatasetBench(b, datasets.SP500(), true) }
+func BenchmarkFig14Liquor(b *testing.B)      { runDatasetBench(b, datasets.Liquor(), true) }
+func BenchmarkFig18TimeVarying(b *testing.B) { runDatasetBench(b, datasets.VaxDeaths(), true) }
+
+func BenchmarkTable6DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table6(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig15Optimizations runs the five optimization variants on the
+// covid total series (the full four-dataset breakdown is
+// `cmd/experiments -run fig15`).
+func BenchmarkFig15Optimizations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig15(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7Quality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table7(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig16(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig17Scalability measures one mid-size point of the sweep for
+// both engines (the full sweep is `cmd/experiments -run fig17`).
+func BenchmarkFig17Scalability(b *testing.B) {
+	d, err := synth.Generate(synth.Params{Seed: 3, SNRdB: 35, N: 800, MinSegLen: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := core.Query{Measure: "sales", Agg: relation.Sum}
+	b.Run("vanilla-n800", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng, _ := core.NewEngine(d.Rel, q, core.Options{})
+			if _, err := eng.Explain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("optimized-n800", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng, _ := core.NewEngine(d.Rel, q, core.DefaultOptions())
+			if _, err := eng.Explain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablation benches (DESIGN.md's design-choice list) ---
+
+func BenchmarkAblationRectification(b *testing.B) {
+	cfg := experiments.Config{Samples: 300, Datasets: 2}
+	for i := 0; i < b.N; i++ {
+		if err := experiments.AblationRectification(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGuessInit(b *testing.B) {
+	d := datasets.Liquor()
+	q := core.Query{Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy}
+	for _, init := range []int{8, 30, 120} {
+		b.Run(benchName("init", init), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultOptions()
+				opts.MaxOrder = d.MaxOrder
+				opts.SmoothWindow = d.SmoothWindow
+				opts.GuessInit = init
+				eng, err := core.NewEngine(d.Rel, q, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Explain(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationSketchSize(b *testing.B) {
+	d := datasets.CovidTotal()
+	q := core.Query{Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy}
+	n := d.Rel.NumTimestamps()
+	for _, size := range []int{n / 10, 3 * n / 17, 6 * n / 17} {
+		b.Run(benchName("S", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultOptions()
+				opts.MaxOrder = d.MaxOrder
+				opts.Sketch = segment.SketchConfig{Size: size}
+				eng, err := core.NewEngine(d.Rel, q, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Explain(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationFilterRatio(b *testing.B) {
+	d := datasets.Liquor()
+	q := core.Query{Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy}
+	for _, ratio := range []float64{0.0001, 0.001, 0.01} {
+		b.Run(benchName("ratio1e7x", int(ratio*1e7)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultOptions()
+				opts.MaxOrder = d.MaxOrder
+				opts.SmoothWindow = d.SmoothWindow
+				opts.FilterRatio = ratio
+				eng, err := core.NewEngine(d.Rel, q, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Explain(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks for the hot paths ---
+
+func liquorUniverse(b *testing.B) *explain.Universe {
+	b.Helper()
+	d := datasets.Liquor()
+	u, err := explain.NewUniverse(d.Rel, explain.Config{
+		Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy, MaxOrder: d.MaxOrder,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u
+}
+
+func BenchmarkUniverseBuildLiquor(b *testing.B) {
+	d := datasets.Liquor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := explain.NewUniverse(d.Rel, explain.Config{
+			Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy, MaxOrder: d.MaxOrder,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCascadingSolveExact(b *testing.B) {
+	u := liquorUniverse(b)
+	s := cascading.NewSolver(u, explain.AbsoluteChange, 3)
+	n := u.NumTimestamps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Solve(i%(n/2), n/2+i%(n/2), nil)
+	}
+}
+
+func BenchmarkCascadingGuessVerify(b *testing.B) {
+	u := liquorUniverse(b)
+	s := cascading.NewSolver(u, explain.AbsoluteChange, 3)
+	allowed := make([]bool, u.NumCandidates())
+	for _, id := range u.FilterLowSupport(0.001) {
+		allowed[id] = true
+	}
+	n := u.NumTimestamps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.GuessVerify(i%(n/2), n/2+i%(n/2), 30, allowed)
+	}
+}
+
+func BenchmarkGammaLookup(b *testing.B) {
+	u := liquorUniverse(b)
+	n := u.NumTimestamps()
+	eps := u.NumCandidates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Gamma(i%eps, 0, n-1, explain.AbsoluteChange)
+	}
+}
+
+func BenchmarkVarianceWeighted(b *testing.B) {
+	d := datasets.CovidTotal()
+	u, err := explain.NewUniverse(d.Rel, explain.Config{
+		Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy, MaxOrder: d.MaxOrder,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp := segment.NewExplainer(u, segment.ExplainerConfig{M: 3})
+	n := u.NumTimestamps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh calculator each iteration so the cache does not absorb
+		// the work being measured.
+		vc := segment.NewVarCalc(exp, segment.Tse)
+		vc.Weighted(0, n-1)
+	}
+}
+
+func BenchmarkSegmentationDP(b *testing.B) {
+	d := datasets.CovidTotal()
+	u, err := explain.NewUniverse(d.Rel, explain.Config{
+		Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy, MaxOrder: d.MaxOrder,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp := segment.NewExplainer(u, segment.ExplainerConfig{M: 3})
+	vc := segment.NewVarCalc(exp, segment.Tse)
+	// Warm the caches so the bench isolates the DP itself.
+	if _, err := segment.Optimize(vc, segment.Options{KMax: 20}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := segment.Optimize(vc, segment.Options{KMax: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineBottomUp(b *testing.B) {
+	vals := synthSeries(b, 1600)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.BottomUp(vals, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineFLUSS(b *testing.B) {
+	vals := synthSeries(b, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.FLUSS(vals, 6, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineNNSegment(b *testing.B) {
+	vals := synthSeries(b, 1600)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.NNSegment(vals, 6, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistancePercent(b *testing.B) {
+	got := []int{0, 25, 52, 77, 99}
+	truth := []int{0, 24, 50, 80, 99}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evalmetrics.DistancePercent(got, truth, 100)
+	}
+}
+
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	d, err := synth.Generate(synth.Params{Seed: 9, SNRdB: 40, N: 400, MinSegLen: 25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := tsexplain.Query{Measure: "sales", Agg: tsexplain.Sum}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc, _, err := tsexplain.NewIncremental(d.Rel, q, tsexplain.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := inc.Update(d.Rel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func synthSeries(b *testing.B, n int) []float64 {
+	b.Helper()
+	d, err := synth.Generate(synth.Params{Seed: 4, SNRdB: 35, N: n, MinSegLen: n / 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d.AggregateValues()
+}
+
+func benchName(prefix string, v int) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return prefix + "-0"
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v%10]
+		v /= 10
+	}
+	return prefix + "-" + string(buf[i:])
+}

@@ -1,0 +1,46 @@
+// Command datagen exports one of the built-in simulated datasets as CSV
+// on stdout, so the CSV path of cmd/tsexplain (and external tools) can be
+// exercised against the same data the experiments use.
+//
+//	go run ./cmd/datagen -dataset liquor > liquor.csv
+//	go run ./cmd/tsexplain -csv liquor.csv -time date \
+//	    -dims "Bottle Volume (ml),Pack,Category Name,Vendor Name" \
+//	    -measure "Bottles Sold"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datasets"
+	"repro/internal/relation"
+)
+
+func main() {
+	name := flag.String("dataset", "covid", "covid, covid-daily, sp500, liquor, vax-deaths")
+	flag.Parse()
+
+	var d *datasets.Dataset
+	switch *name {
+	case "covid", "covid-total":
+		d = datasets.CovidTotal()
+	case "covid-daily":
+		d = datasets.CovidDaily()
+	case "sp500":
+		d = datasets.SP500()
+	case "liquor":
+		d = datasets.Liquor()
+	case "vax-deaths":
+		d = datasets.VaxDeaths()
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q\n", *name)
+		os.Exit(2)
+	}
+	if err := relation.WriteCSV(os.Stdout, d.Rel); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dataset=%s rows=%d n=%d measure=%q explain-by=%v\n",
+		d.Name, d.Rel.NumRows(), d.Rel.NumTimestamps(), d.Measure, d.ExplainBy)
+}

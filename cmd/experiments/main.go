@@ -1,0 +1,105 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. Run a single experiment with -run (fig4, fig5, fig6, fig10,
+// fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, table6, table7,
+// ablations) or everything with -run all (the default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (fig4..fig18, table6, table7, ablations, all)")
+	samples := flag.Int("samples", 10000, "random segmentation samples for fig6 (paper: 10000)")
+	datasets := flag.Int("datasets", 20, "synthetic corpus size (paper: 20)")
+	quick := flag.Bool("quick", false, "trim the heavy sweeps for a smoke run")
+	svgDir := flag.String("svgdir", "", "also write the case-study SVG plots to this directory")
+	flag.Parse()
+
+	cfg := experiments.Config{Samples: *samples, Datasets: *datasets, Quick: *quick}
+	if *quick {
+		if *samples == 10000 {
+			cfg.Samples = 500
+		}
+		if *datasets == 20 {
+			cfg.Datasets = 5
+		}
+	}
+
+	type exp struct {
+		id  string
+		run func(io.Writer, experiments.Config) error
+	}
+	all := []exp{
+		{"fig4", experiments.Fig4},
+		{"fig5", experiments.Fig5},
+		{"fig6", discard2(experiments.Fig6)},
+		{"fig10", discard2(experiments.Fig10)},
+		{"fig11", discard2(experiments.Fig11)},
+		{"fig12", discard2(experiments.Fig12)},
+		{"fig13", discard2(experiments.Fig13)},
+		{"fig14", discard2(experiments.Fig14)},
+		{"table6", experiments.Table6},
+		{"fig15", discard2(experiments.Fig15)},
+		{"table7", experiments.Table7},
+		{"fig16", discard2(experiments.Fig16)},
+		{"fig17", discard2(experiments.Fig17)},
+		{"fig18", discard2(experiments.Fig18)},
+		{"ablations", runAblations},
+	}
+
+	ran := 0
+	for _, e := range all {
+		if *run != "all" && !strings.EqualFold(*run, e.id) {
+			continue
+		}
+		start := time.Now()
+		if err := e.run(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+	if *svgDir != "" {
+		if _, err := experiments.WriteCaseStudySVGs(os.Stdout, *svgDir); err != nil {
+			fmt.Fprintf(os.Stderr, "svg output: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runAblations(w io.Writer, cfg experiments.Config) error {
+	for _, f := range []func(io.Writer, experiments.Config) error{
+		experiments.AblationRectification,
+		experiments.AblationGuessInit,
+		experiments.AblationSketchSize,
+		experiments.AblationFilterRatio,
+	} {
+		if err := f(w, cfg); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// discard2 adapts an experiment returning (data, error) to the common
+// signature.
+func discard2[T any](f func(io.Writer, experiments.Config) (T, error)) func(io.Writer, experiments.Config) error {
+	return func(w io.Writer, cfg experiments.Config) error {
+		_, err := f(w, cfg)
+		return err
+	}
+}

@@ -1,0 +1,29 @@
+// Command tsexplain-server runs the interactive TSExplain demo: a web
+// page where you pick a dataset, adjust K and smoothing, and see the
+// evolving-explanation trendlines, the K-Variance curve, the per-segment
+// explanation table, and the latency breakdown.
+//
+//	go run ./cmd/tsexplain-server -addr :8080
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("TSExplain demo listening on http://%s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,73 @@
+// Covid: the paper's headline case study (Figures 1, 2, 11). Explains the
+// simulated US total-confirmed-cases series of 2020 by state, printing
+// each period's top-3 contributing states with their per-segment
+// trendlines, the Figure 2 visualization in text form.
+//
+// Run with: go run ./examples/covid
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	tsexplain "repro"
+	"repro/internal/datasets"
+)
+
+func main() {
+	d := datasets.CovidTotal()
+
+	opts := tsexplain.DefaultOptions()
+	opts.MaxOrder = d.MaxOrder
+	res, err := tsexplain.Explain(d.Rel, tsexplain.Query{
+		Measure:   d.Measure,
+		Agg:       d.Agg,
+		ExplainBy: d.ExplainBy,
+	}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("US total confirmed cases 2020, explained by state (K=%d, %v end to end)\n",
+		res.K, res.Timings.Total().Round(1e6))
+	for _, seg := range res.Segments {
+		total := res.Series[seg.End] - res.Series[seg.Start]
+		fmt.Printf("\n%s ~ %s   national increase %+.3g\n", seg.StartLabel, seg.EndLabel, total)
+		for i, e := range seg.Top {
+			fmt.Printf("  top-%d %-22s %s γ=%.3g  %s\n",
+				i+1, e.Predicates, e.Effect, e.Gamma, spark(e.Values))
+		}
+	}
+}
+
+// spark renders a small trendline for one explanation's sub-series.
+func spark(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	width := 24
+	if width > len(vals) {
+		width = len(vals)
+	}
+	var sb strings.Builder
+	for i := 0; i < width; i++ {
+		v := vals[i*len(vals)/width]
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		sb.WriteRune(levels[idx])
+	}
+	return sb.String()
+}

@@ -1,0 +1,58 @@
+// Quickstart: explain a small CSV with the public API.
+//
+// The data is a toy two-state epidemic: NY drives the first half of the
+// rise, CA the second half. TSExplain segments the series and reports the
+// evolving top contributors.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	tsexplain "repro"
+)
+
+func main() {
+	var csv strings.Builder
+	csv.WriteString("date,state,cases\n")
+	for d := 0; d < 30; d++ {
+		ny, ca := 1500, 10
+		if d <= 15 {
+			ny = 100 * d
+			ca = 10
+		} else {
+			ca = 10 + 120*(d-15)
+		}
+		fmt.Fprintf(&csv, "2020-03-%02d,NY,%d\n", d+1, ny)
+		fmt.Fprintf(&csv, "2020-03-%02d,CA,%d\n", d+1, ca)
+	}
+
+	rel, err := tsexplain.ReadCSV(strings.NewReader(csv.String()), tsexplain.CSVSpec{
+		Name:     "quickstart",
+		TimeCol:  "date",
+		DimCols:  []string{"state"},
+		MeasCols: []string{"cases"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := tsexplain.Explain(rel, tsexplain.Query{
+		Measure: "cases",
+		Agg:     tsexplain.Sum,
+	}, tsexplain.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("TSExplain found %d periods:\n", res.K)
+	for _, seg := range res.Segments {
+		fmt.Printf("\n%s ~ %s\n", seg.StartLabel, seg.EndLabel)
+		for i, e := range seg.Top {
+			fmt.Printf("  top-%d: %s (%s, γ=%.0f)\n", i+1, e.Predicates, e.Effect, e.Gamma)
+		}
+	}
+}

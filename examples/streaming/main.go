@@ -1,0 +1,84 @@
+// Streaming: the real-time extension (Section 8). A covid-style series
+// arrives day by day; the incremental explainer reuses cached per-segment
+// explanations and only re-segments around the new points, so each update
+// is much cheaper than re-explaining from scratch.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	tsexplain "repro"
+)
+
+// buildDays materializes the first `days` days of a three-wave epidemic:
+// NY dominates days 0-39, TX days 40-79, CA afterwards.
+func buildDays(days int) *tsexplain.Relation {
+	b := tsexplain.NewBuilder("stream", "day", []string{"state"}, []string{"cases"})
+	labels := make([]string, 120)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("day%03d", i)
+	}
+	b.SetTimeOrder(labels[:days])
+	for i := 0; i < days; i++ {
+		ny, tx, ca := 50.0, 50.0, 50.0
+		switch {
+		case i < 40:
+			ny += 30 * float64(i)
+		case i < 80:
+			ny += 30 * 39
+			tx += 40 * float64(i-39)
+		default:
+			ny += 30 * 39
+			tx += 40 * 40
+			ca += 55 * float64(i-79)
+		}
+		for _, row := range []struct {
+			state string
+			v     float64
+		}{{"NY", ny}, {"TX", tx}, {"CA", ca}} {
+			if err := b.Append(labels[i], []string{row.state}, []float64{row.v}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	rel, err := b.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rel
+}
+
+func main() {
+	query := tsexplain.Query{Measure: "cases", Agg: tsexplain.Sum}
+
+	start := time.Now()
+	inc, res, err := tsexplain.NewIncremental(buildDays(60), query, tsexplain.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 60: K=%d, cuts %v (initial explain %v)\n",
+		res.K, res.Cuts(), time.Since(start).Round(time.Microsecond))
+
+	for _, day := range []int{70, 85, 100, 120} {
+		start = time.Now()
+		res, err = inc.Update(buildDays(day))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("day %3d: K=%d, cuts %v (update %v)\n",
+			day, res.K, res.Cuts(), time.Since(start).Round(time.Microsecond))
+	}
+
+	fmt.Println("\nfinal explanation:")
+	for _, seg := range res.Segments {
+		fmt.Printf("  %s ~ %s", seg.StartLabel, seg.EndLabel)
+		if len(seg.Top) > 0 {
+			fmt.Printf("  driven by %s (%s)", seg.Top[0].Predicates, seg.Top[0].Effect)
+		}
+		fmt.Println()
+	}
+}

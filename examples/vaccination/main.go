@@ -1,0 +1,45 @@
+// Vaccination: time-varying attributes (Section 8, Figure 18). Weekly
+// covid deaths are explained by age-group (static) and vaccination status
+// (time-varying: the unvaccinated population shrinks as uptake grows).
+// TSExplain surfaces the shift from "the unvaccinated drive deaths" to
+// "people 50+ drive deaths, vaccinated or not".
+//
+// Run with: go run ./examples/vaccination
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tsexplain "repro"
+	"repro/internal/datasets"
+)
+
+func main() {
+	d := datasets.VaxDeaths()
+	opts := tsexplain.DefaultOptions()
+	opts.MaxOrder = d.MaxOrder
+
+	res, err := tsexplain.Explain(d.Rel, tsexplain.Query{
+		Measure:   d.Measure,
+		Agg:       d.Agg,
+		ExplainBy: d.ExplainBy,
+	}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Weekly covid deaths 2021 (weeks 14-52), explained by age-group and vaccination\n")
+	fmt.Printf("K = %d periods\n", res.K)
+	for _, seg := range res.Segments {
+		move := res.Series[seg.End] - res.Series[seg.Start]
+		fmt.Printf("\n%s ~ %s  (weekly deaths %+.0f)\n", seg.StartLabel, seg.EndLabel, move)
+		for i, e := range seg.Top {
+			fmt.Printf("  top-%d %-28s %s γ=%.0f\n", i+1, e.Predicates, e.Effect, e.Gamma)
+		}
+	}
+
+	fmt.Println("\nReading: early segments are dominated by vaccinated=NO across all ages;")
+	fmt.Println("later segments by age-group=50+, because younger people are broadly")
+	fmt.Println("protected by then while protection wanes with age (Section 8).")
+}

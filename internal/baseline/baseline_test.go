@@ -1,0 +1,278 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// piecewise builds a series from (length, slope) legs starting at start.
+func piecewise(start float64, legs ...[2]float64) []float64 {
+	out := []float64{start}
+	v := start
+	for _, leg := range legs {
+		n := int(leg[0])
+		slope := leg[1]
+		for i := 0; i < n; i++ {
+			v += slope
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func checkCutShape(t *testing.T, cuts []int, n int) {
+	t.Helper()
+	if len(cuts) < 2 {
+		t.Fatalf("cuts = %v, want at least endpoints", cuts)
+	}
+	if cuts[0] != 0 || cuts[len(cuts)-1] != n-1 {
+		t.Fatalf("cuts %v must span [0,%d]", cuts, n-1)
+	}
+	if !sort.IntsAreSorted(cuts) {
+		t.Fatalf("cuts %v not sorted", cuts)
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] == cuts[i-1] {
+			t.Fatalf("duplicate cut in %v", cuts)
+		}
+	}
+}
+
+func hasCutNear(cuts []int, pos, tol int) bool {
+	for _, c := range cuts {
+		if abs(c-pos) <= tol {
+			return true
+		}
+	}
+	return false
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestBottomUpExactBreakpoint(t *testing.T) {
+	// Slope changes at position 50: /\ shape.
+	v := piecewise(0, [2]float64{50, 2}, [2]float64{50, -3})
+	cuts, err := BottomUp(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCutShape(t, cuts, len(v))
+	if len(cuts) != 3 {
+		t.Fatalf("cuts = %v, want 3 entries", cuts)
+	}
+	if !hasCutNear(cuts, 50, 1) {
+		t.Errorf("cuts = %v, want a cut near 50", cuts)
+	}
+}
+
+func TestBottomUpThreeSegments(t *testing.T) {
+	v := piecewise(100, [2]float64{40, 1}, [2]float64{40, -2}, [2]float64{40, 3})
+	cuts, err := BottomUp(v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCutShape(t, cuts, len(v))
+	if len(cuts) != 4 {
+		t.Fatalf("cuts = %v, want 4 entries", cuts)
+	}
+	if !hasCutNear(cuts, 40, 2) || !hasCutNear(cuts, 80, 2) {
+		t.Errorf("cuts = %v, want cuts near 40 and 80", cuts)
+	}
+}
+
+func TestBottomUpK1(t *testing.T) {
+	v := piecewise(0, [2]float64{20, 1})
+	cuts, err := BottomUp(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 2 {
+		t.Errorf("K=1 cuts = %v, want just endpoints", cuts)
+	}
+}
+
+func TestBottomUpNoisyRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := piecewise(500, [2]float64{60, 2}, [2]float64{60, -2})
+	for i := range v {
+		v[i] += rng.NormFloat64() * 2
+	}
+	cuts, err := BottomUp(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCutNear(cuts, 60, 5) {
+		t.Errorf("noisy cuts = %v, want a cut near 60", cuts)
+	}
+}
+
+func TestBaselineArgErrors(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	if _, err := BottomUp(v, 0); err == nil {
+		t.Error("K=0: want error")
+	}
+	if _, err := BottomUp(v, 10); err == nil {
+		t.Error("K>n-1: want error")
+	}
+	if _, err := BottomUp([]float64{1}, 1); err == nil {
+		t.Error("n=1: want error")
+	}
+	if _, err := FLUSS([]float64{1, 2, 3, 4}, 2, 3); err == nil {
+		t.Error("FLUSS too short: want error")
+	}
+	if _, err := NNSegment(v, 2, 10); err == nil {
+		t.Error("NNSegment window too large: want error")
+	}
+}
+
+// flussRegimes builds a series with two very different regimes: a fast
+// sine followed by a slow triangle wave, the kind of semantic change
+// FLUSS is designed for.
+func flussRegimes(n1, n2 int) []float64 {
+	var v []float64
+	for i := 0; i < n1; i++ {
+		v = append(v, math.Sin(float64(i)*0.9)*10)
+	}
+	for i := 0; i < n2; i++ {
+		phase := i % 40
+		tri := float64(phase)
+		if phase >= 20 {
+			tri = float64(40 - phase)
+		}
+		v = append(v, tri)
+	}
+	return v
+}
+
+func TestFLUSSFindsRegimeChange(t *testing.T) {
+	v := flussRegimes(200, 200)
+	cuts, err := FLUSS(v, 2, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCutShape(t, cuts, len(v))
+	if !hasCutNear(cuts, 200, 40) {
+		t.Errorf("FLUSS cuts = %v, want a cut near 200", cuts)
+	}
+}
+
+func TestFLUSSCutCountBounded(t *testing.T) {
+	v := flussRegimes(150, 150)
+	cuts, err := FLUSS(v, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCutShape(t, cuts, len(v))
+	if len(cuts) > 5 {
+		t.Errorf("FLUSS returned %d cuts for K=4: %v", len(cuts), cuts)
+	}
+}
+
+func TestFLUSSTinyWindowClamped(t *testing.T) {
+	v := flussRegimes(100, 100)
+	if _, err := FLUSS(v, 2, 1); err != nil {
+		t.Errorf("window clamp failed: %v", err)
+	}
+}
+
+func TestMatrixProfileIndexSelfConsistent(t *testing.T) {
+	v := flussRegimes(80, 80)
+	w := 16
+	idx := matrixProfileIndex(v, w)
+	m := len(v) - w + 1
+	if len(idx) != m {
+		t.Fatalf("index length = %d, want %d", len(idx), m)
+	}
+	excl := w / 2
+	for i, j := range idx {
+		if j < 0 || j >= m {
+			t.Fatalf("index[%d] = %d out of range", i, j)
+		}
+		if i != j && abs(i-j) < excl {
+			t.Errorf("index[%d] = %d violates exclusion zone %d", i, j, excl)
+		}
+	}
+}
+
+func TestRollingStats(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5, 6}
+	mu, sigma := rollingStats(v, 3)
+	wantMu := []float64{2, 3, 4, 5}
+	for i := range wantMu {
+		if math.Abs(mu[i]-wantMu[i]) > 1e-12 {
+			t.Errorf("mu[%d] = %g, want %g", i, mu[i], wantMu[i])
+		}
+		want := math.Sqrt(2.0 / 3.0)
+		if math.Abs(sigma[i]-want) > 1e-12 {
+			t.Errorf("sigma[%d] = %g, want %g", i, sigma[i], want)
+		}
+	}
+}
+
+func TestNNSegmentFindsLevelShift(t *testing.T) {
+	// Strong change in local shape at 100: rising then falling slopes.
+	v := piecewise(0, [2]float64{100, 1.5}, [2]float64{100, -1.5})
+	cuts, err := NNSegment(v, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCutShape(t, cuts, len(v))
+	if !hasCutNear(cuts, 100, 20) {
+		t.Errorf("NNSegment cuts = %v, want a cut near 100", cuts)
+	}
+}
+
+func TestNNSegmentExclusionZone(t *testing.T) {
+	v := piecewise(0, [2]float64{60, 1}, [2]float64{60, -1}, [2]float64{60, 1})
+	cuts, err := NNSegment(v, 3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interior := cuts[1 : len(cuts)-1]
+	for i := 1; i < len(interior); i++ {
+		if interior[i]-interior[i-1] <= 15 {
+			t.Errorf("cuts %v violate the exclusion zone", cuts)
+		}
+	}
+}
+
+func TestLinearSSE(t *testing.T) {
+	// A perfect line has zero SSE.
+	v := []float64{1, 3, 5, 7, 9}
+	if got := linearSSE(v, 0, 4); math.Abs(got) > 1e-9 {
+		t.Errorf("perfect line SSE = %g, want 0", got)
+	}
+	// A V shape fits poorly.
+	vv := []float64{4, 2, 0, 2, 4}
+	if got := linearSSE(vv, 0, 4); got < 1 {
+		t.Errorf("V-shape SSE = %g, want large", got)
+	}
+	// Two points always fit exactly.
+	if got := linearSSE(vv, 1, 2); got != 0 {
+		t.Errorf("two-point SSE = %g, want 0", got)
+	}
+	// Constant series.
+	if got := linearSSE([]float64{5, 5, 5, 5}, 0, 3); math.Abs(got) > 1e-9 {
+		t.Errorf("constant SSE = %g, want 0", got)
+	}
+}
+
+func TestFullCutsDedup(t *testing.T) {
+	got := fullCuts([]int{5, 5, 0, 9, 3}, 10)
+	want := []int{0, 3, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("fullCuts = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fullCuts = %v, want %v", got, want)
+		}
+	}
+}

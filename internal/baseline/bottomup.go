@@ -1,0 +1,165 @@
+// Package baseline implements the explanation-agnostic segmentation
+// baselines of Section 7.2, all from scratch:
+//
+//   - Bottom-Up piecewise-linear segmentation (Keogh et al., "Segmenting
+//     time series: a survey and novel approach", 2004), the strongest
+//     baseline in the paper's comparison;
+//   - FLUSS (Gharghabi et al., ICDM 2017), the matrix-profile semantic
+//     segmentation with the corrected arc curve;
+//   - NNSegment (Sivill & Flach, LIMESegment, AISTATS 2022), a
+//     nearest-neighbour window dissimilarity segmenter.
+//
+// Each returns a full cut list (including both endpoints) like
+// segment.Scheme.Cuts, so outputs are directly comparable with TSExplain.
+package baseline
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// buSeg is one live segment in the Bottom-Up merge list.
+type buSeg struct {
+	start, end int
+	prev, next int // indexes into the segment arena, -1 at the ends
+	alive      bool
+}
+
+// version summarizes the segment's extent so stale heap entries can be
+// detected after merges.
+func (s buSeg) version() int { return s.start<<20 | s.end }
+
+// BottomUp segments v into k pieces by piecewise-linear approximation:
+// it starts from the finest two-point segments and greedily merges the
+// adjacent pair whose merged linear fit increases the total squared error
+// the least, until k segments remain.
+func BottomUp(v []float64, k int) ([]int, error) {
+	n := len(v)
+	if err := checkArgs(n, k); err != nil {
+		return nil, err
+	}
+
+	// Doubly linked list of segments, initially [i, i+1].
+	segs := make([]buSeg, n-1)
+	for i := range segs {
+		segs[i] = buSeg{start: i, end: i + 1, prev: i - 1, next: i + 1, alive: true}
+	}
+	segs[len(segs)-1].next = -1
+	alive := len(segs)
+
+	// Priority queue of candidate merges keyed by cost; stale entries are
+	// skipped on pop (lazy deletion).
+	pq := &mergeHeap{}
+	push := func(left int) {
+		right := segs[left].next
+		if right < 0 {
+			return
+		}
+		cost := linearSSE(v, segs[left].start, segs[right].end)
+		heap.Push(pq, merge{cost: cost, left: left, right: right,
+			lv: segs[left].version(), rv: segs[right].version()})
+	}
+	for i := range segs {
+		push(i)
+	}
+
+	for alive > k {
+		if pq.Len() == 0 {
+			break
+		}
+		m := heap.Pop(pq).(merge)
+		l, r := m.left, m.right
+		if !segs[l].alive || !segs[r].alive ||
+			segs[l].version() != m.lv || segs[r].version() != m.rv ||
+			segs[l].next != r {
+			continue // stale
+		}
+		// Merge r into l.
+		segs[l].end = segs[r].end
+		segs[l].next = segs[r].next
+		if segs[r].next >= 0 {
+			segs[segs[r].next].prev = l
+		}
+		segs[r].alive = false
+		alive--
+		// Refresh the merge candidates that involve l.
+		push(l)
+		if segs[l].prev >= 0 {
+			push(segs[l].prev)
+		}
+	}
+
+	// Walk the list and emit boundaries. Segment 0 always survives as the
+	// leftmost list head because merges fold right neighbours into left.
+	cuts := []int{0}
+	for i := 0; i >= 0; i = segs[i].next {
+		cuts = append(cuts, segs[i].end)
+	}
+	return cuts, nil
+}
+
+type merge struct {
+	cost   float64
+	left   int
+	right  int
+	lv, rv int
+}
+
+type mergeHeap []merge
+
+func (h mergeHeap) Len() int           { return len(h) }
+func (h mergeHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(merge)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// linearSSE returns the squared error of the best least-squares line over
+// v[start..end] (inclusive).
+func linearSSE(v []float64, start, end int) float64 {
+	n := float64(end - start + 1)
+	if n < 3 {
+		return 0 // two points fit exactly
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := start; i <= end; i++ {
+		x := float64(i - start)
+		y := v[i]
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		syy += y * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	// SSE = Σ(y − a − bx)² expanded to avoid a second pass.
+	sse := syy - 2*a*sy - 2*b*sxy + n*a*a + 2*a*b*sx + b*b*sxx
+	if sse < 0 {
+		sse = 0 // numerical noise
+	}
+	return sse
+}
+
+// checkArgs validates the shared (series, K) contract of all baselines.
+func checkArgs(n, k int) error {
+	if n < 2 {
+		return fmt.Errorf("baseline: series has %d points, need at least 2", n)
+	}
+	if k < 1 {
+		return fmt.Errorf("baseline: K = %d, need at least 1", k)
+	}
+	if k > n-1 {
+		return fmt.Errorf("baseline: K = %d exceeds the %d available segments", k, n-1)
+	}
+	return nil
+}

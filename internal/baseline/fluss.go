@@ -1,0 +1,225 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+)
+
+// FLUSS segments v into k pieces with the Fast Low-cost Unipotent
+// Semantic Segmentation algorithm: compute the matrix profile index for
+// subsequence length w, count nearest-neighbour arcs crossing each
+// position (the arc curve), normalize by the idealized arc curve of a
+// structureless series (the corrected arc curve, CAC), and report the
+// k−1 deepest CAC valleys as regime boundaries, suppressing neighbours
+// within an exclusion zone of 5·w as the original paper does.
+func FLUSS(v []float64, k, w int) ([]int, error) {
+	n := len(v)
+	if err := checkArgs(n, k); err != nil {
+		return nil, err
+	}
+	if w < 3 {
+		w = 3
+	}
+	if n-w+1 < 4 {
+		return nil, fmt.Errorf("baseline: series length %d too short for subsequence length %d", n, w)
+	}
+
+	mpIndex := matrixProfileIndex(v, w)
+	cac := correctedArcCurve(mpIndex, w)
+
+	cuts := pickValleys(cac, k-1, 5*w)
+	return fullCuts(cuts, n), nil
+}
+
+// matrixProfileIndex returns, for each subsequence start i, the start of
+// its z-normalized nearest neighbour, with a trivial-match exclusion zone
+// of w/2 around i. It walks diagonals so each dot product updates in
+// O(1), giving O(n²) total.
+func matrixProfileIndex(v []float64, w int) []int {
+	m := len(v) - w + 1
+	mu, sigma := rollingStats(v, w)
+
+	best := make([]float64, m)
+	idx := make([]int, m)
+	for i := range best {
+		best[i] = math.Inf(1)
+		idx[i] = i
+	}
+	excl := w / 2
+	if excl < 1 {
+		excl = 1
+	}
+	for lag := excl; lag < m; lag++ {
+		// dot = Σ v[i+t]·v[i+lag+t] along the diagonal.
+		var dot float64
+		for t := 0; t < w; t++ {
+			dot += v[t] * v[lag+t]
+		}
+		for i := 0; ; i++ {
+			j := i + lag
+			d := znDist(dot, mu[i], mu[j], sigma[i], sigma[j], w)
+			if d < best[i] {
+				best[i] = d
+				idx[i] = j
+			}
+			if d < best[j] {
+				best[j] = d
+				idx[j] = i
+			}
+			if j+1 >= m {
+				break
+			}
+			dot += v[i+w] * v[j+w]
+			dot -= v[i] * v[j]
+		}
+	}
+	return idx
+}
+
+// znDist converts a raw dot product into the z-normalized Euclidean
+// distance between two subsequences. Flat subsequences (σ = 0) are
+// treated as maximally distant from non-flat ones and identical to other
+// flat ones, matching common matrix-profile implementations.
+func znDist(dot, muI, muJ, sigI, sigJ float64, w int) float64 {
+	fw := float64(w)
+	if sigI == 0 || sigJ == 0 {
+		if sigI == 0 && sigJ == 0 {
+			return 0
+		}
+		return math.Sqrt(2 * fw)
+	}
+	corr := (dot - fw*muI*muJ) / (fw * sigI * sigJ)
+	if corr > 1 {
+		corr = 1
+	}
+	if corr < -1 {
+		corr = -1
+	}
+	return math.Sqrt(2 * fw * (1 - corr))
+}
+
+// rollingStats returns the mean and standard deviation of every length-w
+// window of v.
+func rollingStats(v []float64, w int) (mu, sigma []float64) {
+	m := len(v) - w + 1
+	mu = make([]float64, m)
+	sigma = make([]float64, m)
+	var sum, sumsq float64
+	for i := 0; i < w; i++ {
+		sum += v[i]
+		sumsq += v[i] * v[i]
+	}
+	for i := 0; i < m; i++ {
+		fw := float64(w)
+		mu[i] = sum / fw
+		varc := sumsq/fw - mu[i]*mu[i]
+		if varc < 0 {
+			varc = 0
+		}
+		sigma[i] = math.Sqrt(varc)
+		if i+w < len(v) {
+			sum += v[i+w] - v[i]
+			sumsq += v[i+w]*v[i+w] - v[i]*v[i]
+		}
+	}
+	return mu, sigma
+}
+
+// correctedArcCurve computes CAC[i] = min(1, AC[i]/IAC[i]), where AC
+// counts nearest-neighbour arcs crossing position i and IAC is the
+// expected count 2·i·(m−i)/m for a structureless series. The first and
+// last w positions are pinned to 1 so boundary artifacts never win.
+func correctedArcCurve(mpIndex []int, w int) []float64 {
+	m := len(mpIndex)
+	// Arc counting by difference array: an arc (i, j) covers crossings in
+	// (min, max).
+	diff := make([]float64, m+1)
+	for i, j := range mpIndex {
+		lo, hi := i, j
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		diff[lo]++
+		diff[hi]--
+	}
+	cac := make([]float64, m)
+	var run float64
+	for i := 0; i < m; i++ {
+		run += diff[i]
+		ideal := 2 * float64(i) * float64(m-i) / float64(m)
+		if ideal < 1e-9 {
+			cac[i] = 1
+			continue
+		}
+		c := run / ideal
+		if c > 1 {
+			c = 1
+		}
+		cac[i] = c
+	}
+	for i := 0; i < m && i < w; i++ {
+		cac[i] = 1
+		cac[m-1-i] = 1
+	}
+	return cac
+}
+
+// pickValleys selects up to count positions with the lowest curve values,
+// suppressing any position within excl of an already-selected one.
+func pickValleys(curve []float64, count, excl int) []int {
+	type cand struct {
+		pos int
+		val float64
+	}
+	cands := make([]cand, len(curve))
+	for i, v := range curve {
+		cands[i] = cand{i, v}
+	}
+	// Selection sort over a copy is O(count·n), plenty for n here; a full
+	// sort would also be fine but this keeps ties resolved left-to-right.
+	var picked []int
+	taken := make([]bool, len(curve))
+	for len(picked) < count {
+		bestPos, bestVal := -1, math.Inf(1)
+		for _, c := range cands {
+			if !taken[c.pos] && c.val < bestVal {
+				bestVal = c.val
+				bestPos = c.pos
+			}
+		}
+		if bestPos < 0 || bestVal >= 1 {
+			break // only flat regions remain
+		}
+		picked = append(picked, bestPos)
+		for i := bestPos - excl; i <= bestPos+excl; i++ {
+			if i >= 0 && i < len(taken) {
+				taken[i] = true
+			}
+		}
+	}
+	return picked
+}
+
+// fullCuts converts interior cut positions into a full cut list with
+// endpoints, sorted and deduplicated.
+func fullCuts(interior []int, n int) []int {
+	seen := map[int]bool{0: true, n - 1: true}
+	out := []int{0, n - 1}
+	for _, c := range interior {
+		if c <= 0 || c >= n-1 || seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

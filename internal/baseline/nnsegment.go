@@ -1,0 +1,63 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/timeseries"
+)
+
+// NNSegment segments v into k pieces following the NNSegment procedure of
+// the LIMESegment paper: slide a window of length w across the series,
+// score each interior position by the z-normalized Euclidean
+// dissimilarity between the window ending there and the window starting
+// there, and report the k−1 highest-scoring positions as change points,
+// suppressing neighbours within w of a chosen point.
+func NNSegment(v []float64, k, w int) ([]int, error) {
+	n := len(v)
+	if err := checkArgs(n, k); err != nil {
+		return nil, err
+	}
+	if w < 2 {
+		w = 2
+	}
+	if 2*w >= n {
+		return nil, fmt.Errorf("baseline: window %d too large for series length %d", w, n)
+	}
+
+	// score[i]: dissimilarity of the windows [i−w, i) and [i, i+w).
+	score := make([]float64, n)
+	for i := w; i+w <= n; i++ {
+		left := timeseries.ZNormalize(v[i-w : i])
+		right := timeseries.ZNormalize(v[i : i+w])
+		var ss float64
+		for t := 0; t < w; t++ {
+			d := left[t] - right[t]
+			ss += d * d
+		}
+		score[i] = math.Sqrt(ss)
+	}
+
+	// Pick the k−1 highest peaks with an exclusion zone of w.
+	var picked []int
+	taken := make([]bool, n)
+	for len(picked) < k-1 {
+		bestPos, bestVal := -1, 0.0
+		for i := w; i+w <= n; i++ {
+			if !taken[i] && score[i] > bestVal {
+				bestVal = score[i]
+				bestPos = i
+			}
+		}
+		if bestPos < 0 || bestVal == 0 {
+			break
+		}
+		picked = append(picked, bestPos)
+		for i := bestPos - w; i <= bestPos+w; i++ {
+			if i >= 0 && i < n {
+				taken[i] = true
+			}
+		}
+	}
+	return fullCuts(picked, n), nil
+}

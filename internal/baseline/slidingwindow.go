@@ -1,0 +1,112 @@
+package baseline
+
+// SlidingWindow segments v by the classic sliding-window algorithm
+// (Koski et al. 1995; surveyed in Keogh et al. 2004): anchor the left
+// end of a segment and grow it rightward until the linear-fit error of
+// the candidate segment exceeds maxError, then cut and re-anchor.
+//
+// Unlike BottomUp it cannot target an exact K, so callers either pass a
+// tolerance directly or use SlidingWindowK, which binary-searches the
+// tolerance to land on K segments. The paper's survey reference finds
+// Bottom-Up superior; this implementation exists to make that comparison
+// reproducible.
+func SlidingWindow(v []float64, maxError float64) ([]int, error) {
+	n := len(v)
+	if err := checkArgs(n, 1); err != nil {
+		return nil, err
+	}
+	cuts := []int{0}
+	anchor := 0
+	for anchor < n-1 {
+		end := anchor + 1
+		for end+1 < n && linearSSE(v, anchor, end+1) <= maxError {
+			end++
+		}
+		cuts = append(cuts, end)
+		anchor = end
+	}
+	return cuts, nil
+}
+
+// SlidingWindowK runs SlidingWindow with a tolerance binary-searched so
+// the result has exactly k segments where possible; if no tolerance hits
+// k exactly (the segment count is not monotone in rare tie cases), the
+// closest achievable cut list is returned.
+func SlidingWindowK(v []float64, k int) ([]int, error) {
+	n := len(v)
+	if err := checkArgs(n, k); err != nil {
+		return nil, err
+	}
+	// The total SSE of one segment spanning everything bounds the search.
+	hi := linearSSE(v, 0, n-1) + 1
+	lo := 0.0
+	best, _ := SlidingWindow(v, hi)
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		cuts, err := SlidingWindow(v, mid)
+		if err != nil {
+			return nil, err
+		}
+		got := len(cuts) - 1
+		if absInt(got-k) <= absInt(len(best)-1-k) {
+			best = cuts
+		}
+		switch {
+		case got == k:
+			return cuts, nil
+		case got > k:
+			lo = mid // too many segments: loosen
+		default:
+			hi = mid // too few: tighten
+		}
+	}
+	return best, nil
+}
+
+// TopDown segments v by recursive binary splitting (Douglas & Peucker
+// 1973; Ramer 1972): repeatedly split the segment whose best single split
+// reduces the total linear-fit error the most, until k segments exist.
+func TopDown(v []float64, k int) ([]int, error) {
+	n := len(v)
+	if err := checkArgs(n, k); err != nil {
+		return nil, err
+	}
+	type span struct{ start, end int }
+	segs := []span{{0, n - 1}}
+	for len(segs) < k {
+		// Find the globally best split.
+		bestGain := -1.0
+		bestSeg, bestAt := -1, -1
+		for si, s := range segs {
+			if s.end-s.start < 2 {
+				continue
+			}
+			whole := linearSSE(v, s.start, s.end)
+			for at := s.start + 1; at < s.end; at++ {
+				gain := whole - linearSSE(v, s.start, at) - linearSSE(v, at, s.end)
+				if gain > bestGain {
+					bestGain = gain
+					bestSeg, bestAt = si, at
+				}
+			}
+		}
+		if bestSeg < 0 {
+			break // nothing splittable
+		}
+		s := segs[bestSeg]
+		segs = append(segs[:bestSeg], append([]span{{s.start, bestAt}, {bestAt, s.end}}, segs[bestSeg+1:]...)...)
+	}
+	cuts := []int{0}
+	for _, s := range segs {
+		cuts = append(cuts, s.end)
+	}
+	sortInts(cuts)
+	return cuts, nil
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSlidingWindowTolerance(t *testing.T) {
+	v := piecewise(0, [2]float64{40, 2}, [2]float64{40, -1})
+	// Tiny tolerance: many segments; huge tolerance: one segment.
+	tight, err := SlidingWindow(v, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := SlidingWindow(v, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight) <= len(loose) {
+		t.Errorf("tight tolerance gave %d cuts, loose %d", len(tight), len(loose))
+	}
+	if len(loose) != 2 {
+		t.Errorf("loose cuts = %v, want endpoints only", loose)
+	}
+	checkCutShape(t, tight, len(v))
+}
+
+func TestSlidingWindowKFindsBreak(t *testing.T) {
+	// A sharp kink: the anchored window's fit degrades quickly past 50.
+	// (Sliding window famously lags behind breakpoints — Keogh et al.
+	// rank it below Bottom-Up — so the tolerance here is generous.)
+	v := piecewise(0, [2]float64{50, 1}, [2]float64{50, -8})
+	cuts, err := SlidingWindowK(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCutShape(t, cuts, len(v))
+	if len(cuts) != 3 {
+		t.Fatalf("cuts = %v, want 3 entries", cuts)
+	}
+	// Sliding window anchors left and extends while the fit holds, so the
+	// perfect line over [0, 50] guarantees the cut lands at or after the
+	// kink — the characteristic overshoot that makes Bottom-Up the better
+	// baseline. Assert that behaviour rather than exact recovery.
+	if cut := cuts[1]; cut < 50 {
+		t.Errorf("cuts = %v, sliding window cannot cut before the kink", cuts)
+	}
+}
+
+func TestTopDownExactBreakpoints(t *testing.T) {
+	v := piecewise(100, [2]float64{40, 1}, [2]float64{40, -2}, [2]float64{40, 3})
+	cuts, err := TopDown(v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCutShape(t, cuts, len(v))
+	if len(cuts) != 4 {
+		t.Fatalf("cuts = %v, want 4 entries", cuts)
+	}
+	// Greedy binary splitting does not guarantee exact kink recovery
+	// (the survey's reason for preferring Bottom-Up), so allow slack.
+	if !hasCutNear(cuts, 40, 10) || !hasCutNear(cuts, 80, 10) {
+		t.Errorf("cuts = %v, want cuts near 40 and 80", cuts)
+	}
+}
+
+func TestTopDownK1(t *testing.T) {
+	v := piecewise(0, [2]float64{30, 1})
+	cuts, err := TopDown(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 2 {
+		t.Errorf("K=1 cuts = %v", cuts)
+	}
+}
+
+func TestTopDownNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v := piecewise(300, [2]float64{60, 2}, [2]float64{60, -2})
+	for i := range v {
+		v[i] += rng.NormFloat64() * 2
+	}
+	cuts, err := TopDown(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCutNear(cuts, 60, 5) {
+		t.Errorf("cuts = %v, want a cut near 60", cuts)
+	}
+}
+
+func TestSlidingWindowArgErrors(t *testing.T) {
+	if _, err := SlidingWindow([]float64{1}, 5); err == nil {
+		t.Error("n=1: want error")
+	}
+	if _, err := SlidingWindowK([]float64{1, 2, 3}, 9); err == nil {
+		t.Error("K too large: want error")
+	}
+	if _, err := TopDown([]float64{1, 2, 3}, 9); err == nil {
+		t.Error("K too large: want error")
+	}
+}

@@ -1,0 +1,344 @@
+// Package cascading implements the Cascading Analysts algorithm (Ruhl,
+// Sundararajan, Yan; SIGMOD 2018) that TSExplain uses to derive the top-m
+// non-overlapping explanations E*_m for a segment (Definition 3.5 and
+// Section 5.2 module b).
+//
+// The algorithm mirrors how an analyst drills down: starting from the
+// whole relation, pick a dimension, split into that dimension's values,
+// and within each value either report the slice as an explanation or
+// drill further. A dynamic program over (node, quota) chooses the
+// drill-down dimensions and distributes the m quota so the total
+// difference score Σ γ(E) is maximized; non-overlap is guaranteed because
+// sibling slices are disjoint and a reported slice is never refined
+// further.
+package cascading
+
+import (
+	"sort"
+
+	"repro/internal/explain"
+)
+
+// Picked is one explanation in a result, with its difference score and
+// change effect over the scored segment.
+type Picked struct {
+	// ID is the candidate ID within the Universe.
+	ID int
+	// Gamma is the difference score γ(E) over the segment.
+	Gamma float64
+	// Effect is the change effect τ(E) over the segment.
+	Effect explain.Effect
+}
+
+// Result is the output of the algorithm for one segment.
+type Result struct {
+	// Explanations holds the selected non-overlapping explanations,
+	// ranked by descending γ (the ranked list E*_m used by NDCG).
+	Explanations []Picked
+	// Best[q] is the maximal total difference score achievable with at
+	// most q non-overlapping explanations, for q = 0..m. Best[m] is the
+	// score of Explanations; the smaller entries are the DP side products
+	// the guess-and-verify condition (Eq. 12) needs.
+	Best []float64
+}
+
+// TotalGamma returns Σ γ(E) over the selected explanations.
+func (r Result) TotalGamma() float64 {
+	var s float64
+	for _, p := range r.Explanations {
+		s += p.Gamma
+	}
+	return s
+}
+
+// Solver runs the Cascading Analysts DP against one Universe and metric.
+// A Solver reuses internal scratch buffers across Solve calls, so it is
+// cheap per call but not safe for concurrent use.
+type Solver struct {
+	u      *explain.Universe
+	metric explain.Metric
+	m      int
+
+	// Reusable per-solve scratch: score buffers and a generation-tagged
+	// memo that avoids reallocating or clearing ε-sized arrays on every
+	// segment.
+	gammaBuf  []float64
+	effectBuf []explain.Effect
+	memoBuf   [][]float64
+	memoGen   []uint32
+	curGen    uint32
+	reachBuf  []bool
+	marked    []int
+	zeroVec   []float64
+}
+
+// NewSolver returns a Solver that selects up to m non-overlapping
+// explanations under the given metric.
+func NewSolver(u *explain.Universe, metric explain.Metric, m int) *Solver {
+	if m < 1 {
+		m = 1
+	}
+	return &Solver{u: u, metric: metric, m: m}
+}
+
+// Metric returns the difference metric the solver scores with.
+func (s *Solver) Metric() explain.Metric { return s.metric }
+
+// M returns the explanation quota m.
+func (s *Solver) M() int { return s.m }
+
+// segmentScores holds per-candidate γ and τ for one segment, computed once
+// per Solve (O(ε) thanks to the precompute module). The slices alias the
+// Solver's scratch buffers and are only valid until the next Solve.
+type segmentScores struct {
+	gamma  []float64
+	effect []explain.Effect
+}
+
+// scoreSegment fills the score buffers for segment [c, t]. When base is
+// non-nil only the selectable candidates are scored — the DP never reads
+// γ of a candidate it cannot select, so skipping the rest keeps the
+// per-segment cost at O(filtered ε).
+func (s *Solver) scoreSegment(c, t int, base []bool) segmentScores {
+	n := s.u.NumCandidates()
+	if cap(s.gammaBuf) < n {
+		s.gammaBuf = make([]float64, n)
+		s.effectBuf = make([]explain.Effect, n)
+	}
+	sc := segmentScores{gamma: s.gammaBuf[:n], effect: s.effectBuf[:n]}
+	for id := 0; id < n; id++ {
+		if base != nil && !base[id] {
+			sc.gamma[id], sc.effect[id] = 0, 0
+			continue
+		}
+		sc.gamma[id], sc.effect[id] = s.u.Gamma(id, c, t, s.metric)
+	}
+	return sc
+}
+
+// solveState carries the memoized DP for one segment solve. The memo is
+// indexed by node ID + 1 (0 is the root) so the hot path never builds
+// string keys.
+type solveState struct {
+	s       *Solver
+	scores  segmentScores
+	allowed []bool // nil means every candidate is selectable
+	// reach marks nodes (index id+1) whose subtree contains a selectable
+	// candidate; nil disables pruning.
+	reach []bool
+}
+
+// memoGet returns the cached DP vector for nodeID, or nil.
+func (st *solveState) memoGet(nodeID int) []float64 {
+	s := st.s
+	if s.memoGen[nodeID+1] == s.curGen {
+		return s.memoBuf[nodeID+1]
+	}
+	return nil
+}
+
+// memoPut stores the DP vector for nodeID under the current generation.
+func (st *solveState) memoPut(nodeID int, v []float64) {
+	s := st.s
+	s.memoBuf[nodeID+1] = v
+	s.memoGen[nodeID+1] = s.curGen
+}
+
+// Solve returns the top-m non-overlapping explanations for the segment
+// with control endpoint c and test endpoint t (positions into the
+// aggregated series). allowed optionally restricts which candidates may be
+// *selected* (drill-down may still pass through disallowed nodes); nil
+// allows every candidate.
+func (s *Solver) Solve(c, t int, allowed []bool) Result {
+	return s.solveScored(s.scoreSegment(c, t, allowed), allowed)
+}
+
+func (s *Solver) solveScored(scores segmentScores, allowed []bool) Result {
+	n := s.u.NumCandidates() + 1
+	if cap(s.memoBuf) < n {
+		s.memoBuf = make([][]float64, n)
+		s.memoGen = make([]uint32, n)
+	}
+	s.curGen++
+	st := &solveState{
+		s:       s,
+		scores:  scores,
+		allowed: allowed,
+	}
+	// Reachability pruning: when selection is restricted, only subtrees
+	// containing a selectable candidate can contribute, so mark every
+	// allowed candidate and its ancestors and let best() return zero for
+	// everything else without descending.
+	if allowed != nil {
+		if cap(s.reachBuf) < n {
+			s.reachBuf = make([]bool, n)
+		}
+		reach := s.reachBuf[:n]
+		for _, id := range s.marked {
+			reach[id+1] = false
+		}
+		s.marked = s.marked[:0]
+		for id := 0; id < n-1; id++ {
+			if !allowed[id] {
+				continue
+			}
+			for _, anc := range s.u.AncestorsOf(id) {
+				if !reach[anc+1] {
+					reach[anc+1] = true
+					s.marked = append(s.marked, anc)
+				}
+			}
+		}
+		st.reach = reach
+	}
+	if s.zeroVec == nil || len(s.zeroVec) != s.m+1 {
+		s.zeroVec = make([]float64, s.m+1)
+	}
+	best := st.best(-1)
+	picked := make([]int, 0, s.m)
+	st.extract(-1, s.m, &picked)
+	res := Result{Best: best}
+	for _, id := range picked {
+		res.Explanations = append(res.Explanations, Picked{
+			ID:     id,
+			Gamma:  scores.gamma[id],
+			Effect: scores.effect[id],
+		})
+	}
+	sort.SliceStable(res.Explanations, func(i, j int) bool {
+		return res.Explanations[i].Gamma > res.Explanations[j].Gamma
+	})
+	return res
+}
+
+// selectable reports whether candidate id may be reported as an
+// explanation.
+func (st *solveState) selectable(id int) bool {
+	return st.allowed == nil || st.allowed[id]
+}
+
+// best computes the DP vector for the subtree rooted at the given node:
+// best[q] = max total γ selecting at most q non-overlapping explanations
+// within the node's slice. nodeID is the candidate ID, or -1 for the root.
+func (st *solveState) best(nodeID int) []float64 {
+	if st.reach != nil && nodeID >= 0 && !st.reach[nodeID+1] {
+		return st.s.zeroVec
+	}
+	if v := st.memoGet(nodeID); v != nil {
+		return v
+	}
+	m := st.s.m
+	out := make([]float64, m+1)
+
+	// Option 1: drill down on any dimension the node leaves free and
+	// distribute quota among that dimension's children by a small
+	// knapsack. Child lists are pre-sorted by the universe, keeping
+	// extraction deterministic.
+	for _, dim := range st.s.u.ExplainBy() {
+		if nodeID >= 0 && st.s.u.Candidate(nodeID).Conj.HasDim(dim) {
+			continue
+		}
+		kids := st.s.u.ChildrenOf(nodeID, dim)
+		if len(kids) == 0 {
+			continue
+		}
+		dp := make([]float64, m+1)
+		for _, kid := range kids {
+			kb := st.best(kid)
+			for q := m; q >= 1; q-- {
+				for take := 1; take <= q; take++ {
+					if v := dp[q-take] + kb[take]; v > dp[q] {
+						dp[q] = v
+					}
+				}
+			}
+		}
+		for q := 1; q <= m; q++ {
+			if dp[q] > out[q] {
+				out[q] = dp[q]
+			}
+		}
+	}
+
+	// Option 2: report this node itself (uses one quota, forecloses the
+	// whole subtree since every descendant overlaps the node).
+	if nodeID >= 0 && st.selectable(nodeID) {
+		g := st.scores.gamma[nodeID]
+		for q := 1; q <= m; q++ {
+			if g > out[q] {
+				out[q] = g
+			}
+		}
+	}
+
+	// Enforce monotonicity in q (at-most semantics).
+	for q := 1; q <= m; q++ {
+		if out[q] < out[q-1] {
+			out[q] = out[q-1]
+		}
+	}
+	st.memoPut(nodeID, out)
+	return out
+}
+
+// extract re-walks the DP decisions to recover which explanations achieve
+// best[q] at the given node, appending candidate IDs to picked.
+func (st *solveState) extract(nodeID, q int, picked *[]int) {
+	if q <= 0 {
+		return
+	}
+	target := st.memoGet(nodeID)[q]
+	if target == 0 {
+		return
+	}
+
+	// Does reporting the node itself achieve the target?
+	if nodeID >= 0 && st.selectable(nodeID) && st.scores.gamma[nodeID] >= target {
+		*picked = append(*picked, nodeID)
+		return
+	}
+
+	// Otherwise some drill-down does. Find the dimension and re-run its
+	// knapsack with parent pointers to recover the quota split.
+	for _, dim := range st.s.u.ExplainBy() {
+		if nodeID >= 0 && st.s.u.Candidate(nodeID).Conj.HasDim(dim) {
+			continue
+		}
+		kids := st.s.u.ChildrenOf(nodeID, dim)
+		if len(kids) == 0 {
+			continue
+		}
+		m := st.s.m
+		// dp[k][j]: best total over the first k children using quota j.
+		dp := make([][]float64, len(kids)+1)
+		take := make([][]int, len(kids)+1)
+		dp[0] = make([]float64, m+1)
+		for k, kid := range kids {
+			kb := st.best(kid)
+			dp[k+1] = make([]float64, m+1)
+			take[k+1] = make([]int, m+1)
+			for j := 0; j <= m; j++ {
+				dp[k+1][j] = dp[k][j]
+				for x := 1; x <= j; x++ {
+					if v := dp[k][j-x] + kb[x]; v > dp[k+1][j] {
+						dp[k+1][j] = v
+						take[k+1][j] = x
+					}
+				}
+			}
+		}
+		if dp[len(kids)][q] >= target {
+			j := q
+			for k := len(kids); k >= 1; k-- {
+				x := take[k][j]
+				if x > 0 {
+					st.extract(kids[k-1], x, picked)
+					j -= x
+				}
+			}
+			return
+		}
+	}
+	// target > 0 but no branch reproduces it: impossible by construction.
+	panic("cascading: extraction failed to reproduce DP value")
+}

@@ -1,0 +1,131 @@
+package cascading
+
+import "sort"
+
+// GuessVerify runs the guess-and-verify optimization of Section 5.3.1:
+// instead of letting the DP consider all ε candidates, it restricts the
+// selectable set to the m̄ candidates with the highest γ over the segment,
+// doubles m̄ until the sufficient optimality condition of Eq. 12 holds,
+// and returns a result guaranteed equal to the unrestricted Solve.
+//
+// initGuess is the initial m̄ (the paper initializes m̄ = 30 for m = 3);
+// values < m are raised to m. base optionally restricts the selectable
+// candidates before guessing (the filter optimization's survivor set); nil
+// means all. The second return value reports how many guess rounds ran
+// (1 means the first guess verified), which the experiments use to
+// characterize the optimization.
+func (s *Solver) GuessVerify(c, t int, initGuess int, base []bool) (Result, int) {
+	scores := s.scoreSegment(c, t, base)
+	n := len(scores.gamma)
+
+	// χ: selectable candidate IDs. Rather than fully sorting all ε of
+	// them per segment, each round partially selects just the prefix it
+	// needs (the guess plus the verification lookahead).
+	chi := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if base == nil || base[i] {
+			chi = append(chi, i)
+		}
+	}
+
+	mbar := initGuess
+	if mbar < s.m {
+		mbar = s.m
+	}
+	rounds := 0
+	sorted := 0 // prefix of chi already in descending-γ order
+	for {
+		rounds++
+		if mbar >= len(chi) {
+			// Every selectable candidate is in the guess; the result is
+			// trivially optimal.
+			return s.solveScored(scores, base), rounds
+		}
+		if need := mbar + s.m; need > sorted {
+			if need > len(chi) {
+				need = len(chi)
+			}
+			selectTop(chi, scores.gamma, need)
+			sort.SliceStable(chi[:need], func(i, j int) bool {
+				return scores.gamma[chi[i]] > scores.gamma[chi[j]]
+			})
+			sorted = need
+		}
+		allowed := make([]bool, n)
+		for _, id := range chi[:mbar] {
+			allowed[id] = true
+		}
+		res := s.solveScored(scores, allowed)
+		if s.verified(res, scores, chi, mbar) {
+			return res, rounds
+		}
+		mbar *= 2
+	}
+}
+
+// selectTop partially partitions ids so the k entries with the highest
+// gamma occupy ids[:k] (in arbitrary order), via iterative quickselect
+// with median-of-three pivoting. O(len(ids)) expected.
+func selectTop(ids []int, gamma []float64, k int) {
+	lo, hi := 0, len(ids)
+	for hi-lo > 1 && k > lo && k < hi {
+		// Median-of-three pivot on gamma values.
+		mid := lo + (hi-lo)/2
+		a, b, c := gamma[ids[lo]], gamma[ids[mid]], gamma[ids[hi-1]]
+		pv := b
+		switch {
+		case (a >= b) == (a <= c):
+			pv = a
+		case (c >= a) == (c <= b):
+			pv = c
+		}
+		// Partition: entries with gamma > pv first, == pv middle, < pv last.
+		i, j, eq := lo, hi-1, lo
+		for i <= j {
+			g := gamma[ids[i]]
+			switch {
+			case g > pv:
+				ids[i], ids[eq] = ids[eq], ids[i]
+				i++
+				eq++
+			case g < pv:
+				ids[i], ids[j] = ids[j], ids[i]
+				j--
+			default:
+				i++
+			}
+		}
+		// [lo, eq) greater, [eq, i) equal, [i, hi) less.
+		switch {
+		case k <= eq:
+			hi = eq
+		case k < i:
+			return // boundary falls inside the equal block
+		default:
+			lo = i
+		}
+	}
+}
+
+// verified checks the sufficient condition of Eq. 12: for every
+// 0 ≤ m' < m,
+//
+//	Best[m] ≥ Best[m'] + Σ_{1 ≤ j ≤ m−m'} γ(E_{r_{m̄+j}}),
+//
+// i.e. even if the remaining m−m' picks all came from beyond the guessed
+// prefix at the highest conceivable scores, they could not beat the
+// current solution.
+func (s *Solver) verified(res Result, scores segmentScores, chi []int, mbar int) bool {
+	for mp := 0; mp < s.m; mp++ {
+		bound := res.Best[mp]
+		for j := 1; j <= s.m-mp; j++ {
+			if idx := mbar + j - 1; idx < len(chi) {
+				bound += scores.gamma[chi[idx]]
+			}
+		}
+		if res.Best[s.m] < bound-1e-12 {
+			return false
+		}
+	}
+	return true
+}

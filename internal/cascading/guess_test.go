@@ -1,0 +1,56 @@
+package cascading
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSelectTop(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		gamma := make([]float64, n)
+		for i := range gamma {
+			gamma[i] = float64(rng.Intn(20)) // ties on purpose
+		}
+		ids := rng.Perm(n)
+		k := 1 + rng.Intn(n)
+		selectTop(ids, gamma, k)
+
+		// The k-th largest value overall.
+		sorted := append([]float64(nil), gamma...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		kth := sorted[k-1]
+
+		// Every entry in the prefix must be ≥ kth, every entry after ≤ kth.
+		for i := 0; i < k; i++ {
+			if gamma[ids[i]] < kth {
+				t.Fatalf("trial %d: prefix[%d] = %g below k-th value %g", trial, i, gamma[ids[i]], kth)
+			}
+		}
+		for i := k; i < n; i++ {
+			if gamma[ids[i]] > kth {
+				t.Fatalf("trial %d: suffix[%d] = %g above k-th value %g", trial, i, gamma[ids[i]], kth)
+			}
+		}
+		// Still a permutation.
+		seen := make([]bool, n)
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("trial %d: duplicate id %d", trial, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestSelectTopEdgeCases(t *testing.T) {
+	// k = len and k = 0 must not panic or reorder invalidly.
+	gamma := []float64{3, 1, 2}
+	ids := []int{0, 1, 2}
+	selectTop(ids, gamma, 3)
+	selectTop(ids, gamma, 0)
+	selectTop([]int{}, nil, 0)
+	selectTop([]int{0}, []float64{5}, 1)
+}

@@ -1,0 +1,410 @@
+// Package core implements the TSExplain engine: the three-module pipeline
+// of Figure 7 (precompute difference scores → Cascading Analysts →
+// K-Segmentation), the optimization toggles of Section 5.3 and 7.5.1
+// (support filter, guess-and-verify, sketching), the optimal selection of
+// K via the elbow method (Section 6), and the real-time incremental
+// extension sketched in Section 8.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/explain"
+	"repro/internal/relation"
+	"repro/internal/segment"
+)
+
+// Query identifies the aggregated time series to explain: the group-by
+// query SELECT T, f(M) FROM R GROUP BY T plus the explain-by attributes.
+type Query struct {
+	// Measure is the measure attribute M.
+	Measure string
+	// Agg is the aggregate function f.
+	Agg relation.AggFunc
+	// ExplainBy lists the explain-by attributes A; empty means every
+	// dimension attribute.
+	ExplainBy []string
+}
+
+// Options bundles every tunable of the engine. The zero value gives the
+// paper's defaults with all optimizations disabled (VanillaTSExplain);
+// DefaultOptions returns the fully optimized configuration.
+type Options struct {
+	// M is the number of explanations per segment (default 3).
+	M int
+	// MaxOrder is the explanation order threshold β̄ (default 3).
+	MaxOrder int
+	// Metric is the difference metric γ (default absolute-change).
+	Metric explain.Metric
+	// K fixes the segment count; 0 selects K automatically with the
+	// elbow method.
+	K int
+	// KMax caps the K considered by the elbow method (default 20, the
+	// paper's user-perception limit).
+	KMax int
+	// VarianceKind selects the within-segment variance design (default
+	// tse, the paper's proposal).
+	VarianceKind segment.VarianceKind
+	// FilterRatio enables the support filter when positive: candidates
+	// whose series never reaches FilterRatio of the overall series are
+	// dropped (the paper's default optimization uses 0.001).
+	FilterRatio float64
+	// UseGuessVerify enables optimization O1 (Section 5.3.1).
+	UseGuessVerify bool
+	// GuessInit is the initial guess size m̄ (default 30).
+	GuessInit int
+	// UseSketch enables optimization O2 (Section 5.3.2).
+	UseSketch bool
+	// Sketch tunes the sketching parameters; zero values use the paper's
+	// defaults (L = min(0.05n, 20), |S| = 3n/L).
+	Sketch segment.SketchConfig
+	// SmoothWindow applies a moving average before explaining (Section
+	// 7.4); 0 disables.
+	SmoothWindow int
+	// Parallelism pre-computes per-segment explanations with this many
+	// goroutines before segmentation. 0 or 1 keeps the paper's
+	// single-threaded execution; results are identical either way, and
+	// with parallelism on, the Cascading timing reports summed CPU time.
+	Parallelism int
+}
+
+// DefaultOptions returns the paper's fully optimized configuration:
+// support filter at 0.001, guess-and-verify, and sketching all enabled.
+func DefaultOptions() Options {
+	return Options{
+		FilterRatio:    0.001,
+		UseGuessVerify: true,
+		UseSketch:      true,
+	}
+}
+
+func (o *Options) setDefaults() {
+	if o.M <= 0 {
+		o.M = 3
+	}
+	if o.MaxOrder <= 0 {
+		o.MaxOrder = 3
+	}
+	if o.KMax <= 0 {
+		o.KMax = 20
+	}
+	if o.GuessInit <= 0 {
+		o.GuessInit = 30
+	}
+}
+
+// Timings is the latency breakdown of Figure 15.
+type Timings struct {
+	// Precompute covers candidate enumeration, series construction,
+	// smoothing, and the support filter (module a).
+	Precompute time.Duration
+	// Cascading covers every Cascading Analysts solve (module b).
+	Cascading time.Duration
+	// Segmentation covers distances, variances, the segmentation DP, and
+	// K selection (module c).
+	Segmentation time.Duration
+}
+
+// Total returns the end-to-end latency.
+func (t Timings) Total() time.Duration {
+	return t.Precompute + t.Cascading + t.Segmentation
+}
+
+// Stats reports the workload statistics of Table 6 plus solver counters.
+type Stats struct {
+	// Epsilon is the total candidate count ε.
+	Epsilon int
+	// FilteredEpsilon is the candidate count after the support filter
+	// (equal to Epsilon when the filter is off).
+	FilteredEpsilon int
+	// N is the series length.
+	N int
+	// CASolves counts distinct segments whose top-explanations were
+	// derived.
+	CASolves int
+	// GuessRounds totals guess-and-verify rounds (0 without O1).
+	GuessRounds int
+	// SketchSize is the number of candidate cut positions after
+	// sketching (N without O2).
+	SketchSize int
+}
+
+// Explanation is one reported contributor for a segment.
+type Explanation struct {
+	// Predicates renders the conjunction, e.g. "state=NY" or
+	// "Bottle Volume (ml)=1750 & Pack=6".
+	Predicates string
+	// Attrs holds the attribute=value pairs of the conjunction.
+	Attrs map[string]string
+	// Gamma is the difference score γ(E) over the segment.
+	Gamma float64
+	// Effect is the change effect τ(E): + or -.
+	Effect explain.Effect
+	// Values is the explanation's aggregated sub-series over the segment
+	// (inclusive endpoints), the trendline of Figure 2.
+	Values []float64
+}
+
+// Segment is one reported period with consistent top explanations.
+type Segment struct {
+	// Start and End are point positions into the aggregated series
+	// (inclusive).
+	Start, End int
+	// StartLabel and EndLabel are the corresponding time labels.
+	StartLabel, EndLabel string
+	// Top holds the top-m non-overlapping explanations, ranked by γ.
+	Top []Explanation
+}
+
+// Result is the output of one Explain call.
+type Result struct {
+	// K is the chosen segment count.
+	K int
+	// AutoK reports whether K was selected by the elbow method.
+	AutoK bool
+	// Segments holds the K segments in time order.
+	Segments []Segment
+	// TotalVariance is the objective value of the chosen scheme.
+	TotalVariance float64
+	// KVariance[k] is the optimal total variance at k segments (the
+	// K-Variance curve; index 0 unused, +Inf where infeasible).
+	KVariance []float64
+	// Series is the aggregated time series that was explained (after
+	// smoothing, if any).
+	Series []float64
+	// Labels are the series' time labels.
+	Labels []string
+	// Timings is the latency breakdown.
+	Timings Timings
+	// Stats reports workload statistics.
+	Stats Stats
+}
+
+// Cuts returns the result's cut positions including endpoints.
+func (r *Result) Cuts() []int {
+	if len(r.Segments) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(r.Segments)+1)
+	out = append(out, r.Segments[0].Start)
+	for _, s := range r.Segments {
+		out = append(out, s.End)
+	}
+	return out
+}
+
+// Engine explains one aggregated time series. Construction runs the
+// precompute module; Explain runs Cascading Analysts and K-Segmentation.
+// An Engine is not safe for concurrent use.
+type Engine struct {
+	rel     *relation.Relation
+	query   Query
+	opts    Options
+	u       *explain.Universe
+	allowed []bool
+	exp     *segment.Explainer
+
+	precompute time.Duration
+}
+
+// NewEngine builds the engine: it enumerates candidate explanations,
+// precomputes their series, applies smoothing and the support filter.
+func NewEngine(rel *relation.Relation, q Query, opts Options) (*Engine, error) {
+	opts.setDefaults()
+	start := time.Now()
+	u, err := explain.NewUniverse(rel, explain.Config{
+		Measure:   q.Measure,
+		Agg:       q.Agg,
+		ExplainBy: q.ExplainBy,
+		MaxOrder:  opts.MaxOrder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.SmoothWindow > 1 {
+		u.Smooth(opts.SmoothWindow)
+	}
+	e := &Engine{rel: rel, query: q, opts: opts, u: u}
+	if opts.FilterRatio > 0 {
+		kept := u.FilterLowSupport(opts.FilterRatio)
+		e.allowed = make([]bool, u.NumCandidates())
+		for _, id := range kept {
+			e.allowed[id] = true
+		}
+	}
+	e.exp = segment.NewExplainer(u, segment.ExplainerConfig{
+		M:              opts.M,
+		Metric:         opts.Metric,
+		Allowed:        e.allowed,
+		UseGuessVerify: opts.UseGuessVerify,
+		GuessInit:      opts.GuessInit,
+	})
+	e.precompute = time.Since(start)
+	return e, nil
+}
+
+// Universe exposes the candidate universe (for experiments and examples
+// that plot per-slice series).
+func (e *Engine) Universe() *explain.Universe { return e.u }
+
+// Explainer exposes the per-segment explanation cache.
+func (e *Engine) Explainer() *segment.Explainer { return e.exp }
+
+// FilteredCount returns the number of candidates surviving the filter.
+func (e *Engine) FilteredCount() int {
+	if e.allowed == nil {
+		return e.u.NumCandidates()
+	}
+	n := 0
+	for _, ok := range e.allowed {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Explain runs the full pipeline and reports the evolving explanations.
+func (e *Engine) Explain() (*Result, error) {
+	return e.explainWithPositions(nil)
+}
+
+// explainWithPositions runs segmentation restricted to the given cut
+// positions (nil means engine-managed: all positions, or the sketch when
+// O2 is on).
+func (e *Engine) explainWithPositions(positions []int) (*Result, error) {
+	n := e.u.NumTimestamps()
+	if n < 2 {
+		return nil, fmt.Errorf("core: series has %d points, nothing to explain", n)
+	}
+	vc := segment.NewVarCalc(e.exp, e.opts.VarianceKind)
+
+	wallStart := time.Now()
+	_, caBefore, _ := e.exp.Stats()
+
+	if positions == nil && e.opts.UseSketch {
+		sketch, err := segment.SelectSketch(vc, e.opts.Sketch)
+		if err != nil {
+			return nil, err
+		}
+		positions = sketch
+		if at := e.opts.Sketch.CoarsenAt(); at > 0 && n > at && len(sketch) < n {
+			// Long series: phase 2 treats sketch intervals as objects.
+			vc.SetObjectPositions(sketch)
+		}
+	}
+	if e.opts.Parallelism > 1 {
+		// Pre-solve every segment the DP will touch across cores. With a
+		// position restriction the work list is the position pairs plus
+		// unit objects; without one it is all O(n²) pairs.
+		pos := positions
+		if pos == nil {
+			pos = make([]int, n)
+			for i := range pos {
+				pos[i] = i
+			}
+		}
+		e.exp.PrewarmParallel(segment.SegmentPairs(pos, n, true), e.opts.Parallelism)
+	}
+	dpRes, err := segment.Optimize(vc, segment.Options{
+		KMax:      e.opts.KMax,
+		Positions: positions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	curve := segment.KVarianceCurve(dpRes)
+
+	k := e.opts.K
+	autoK := false
+	if k <= 0 {
+		k = segment.ElbowK(curve)
+		autoK = true
+	}
+	scheme, ok := dpRes.Scheme(k)
+	if !ok {
+		// Requested K infeasible under the position restriction: fall
+		// back to the largest feasible K.
+		for kk := len(dpRes.ByK) - 1; kk >= 1; kk-- {
+			if s, feasible := dpRes.Scheme(kk); feasible {
+				scheme, k, ok = s, kk, true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: no feasible segmentation")
+		}
+	}
+
+	res := &Result{
+		K:             k,
+		AutoK:         autoK,
+		TotalVariance: scheme.TotalVariance,
+		KVariance:     curve,
+		Series:        e.u.TotalValues(),
+		Labels:        e.rel.TimeLabels(),
+	}
+	for i := 1; i < len(scheme.Cuts); i++ {
+		res.Segments = append(res.Segments, e.buildSegment(scheme.Cuts[i-1], scheme.Cuts[i]))
+	}
+
+	wall := time.Since(wallStart)
+	solves, caTotal, rounds := e.exp.Stats()
+	caDelta := caTotal - caBefore
+	res.Timings = Timings{
+		Precompute:   e.precompute,
+		Cascading:    caDelta,
+		Segmentation: wall - caDelta,
+	}
+	res.Stats = Stats{
+		Epsilon:         e.u.NumCandidates(),
+		FilteredEpsilon: e.FilteredCount(),
+		N:               n,
+		CASolves:        solves,
+		GuessRounds:     rounds,
+		SketchSize:      n,
+	}
+	if positions != nil {
+		res.Stats.SketchSize = len(positions)
+	}
+	return res, nil
+}
+
+// buildSegment assembles the reported segment [a, b].
+func (e *Engine) buildSegment(a, b int) Segment {
+	seg := Segment{
+		Start:      a,
+		End:        b,
+		StartLabel: e.rel.TimeLabel(a),
+		EndLabel:   e.rel.TimeLabel(b),
+	}
+	top := e.exp.TopM(a, b)
+	for _, p := range top.Explanations {
+		cand := e.u.Candidate(p.ID)
+		attrs := make(map[string]string, cand.Conj.Order())
+		for _, pr := range cand.Conj {
+			attrs[e.rel.Dim(pr.Dim).Name()] = e.rel.Dim(pr.Dim).Value(pr.Value)
+		}
+		vals := e.u.CandidateValues(p.ID)[a : b+1]
+		seg.Top = append(seg.Top, Explanation{
+			Predicates: cand.Conj.String(e.rel),
+			Attrs:      attrs,
+			Gamma:      p.Gamma,
+			Effect:     p.Effect,
+			Values:     append([]float64(nil), vals...),
+		})
+	}
+	return seg
+}
+
+// TopExplanations exposes the two-relations-diff building block
+// (Section 3.1): the top-m non-overlapping explanations for the single
+// segment [from, to].
+func (e *Engine) TopExplanations(from, to int) ([]Explanation, error) {
+	n := e.u.NumTimestamps()
+	if from < 0 || to >= n || from >= to {
+		return nil, fmt.Errorf("core: invalid segment [%d, %d] of %d points", from, to, n)
+	}
+	return e.buildSegment(from, to).Top, nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// resultJSON is the stable serialized shape of a Result. Durations are
+// exported in milliseconds; the full per-explanation sub-series are
+// included so a saved result can be re-plotted without the relation.
+type resultJSON struct {
+	K             int                `json:"k"`
+	AutoK         bool               `json:"autoK"`
+	TotalVariance float64            `json:"totalVariance"`
+	KVariance     []float64          `json:"kVariance,omitempty"`
+	Labels        []string           `json:"labels"`
+	Series        []float64          `json:"series"`
+	Segments      []segmentJSONFull  `json:"segments"`
+	LatencyMs     map[string]float64 `json:"latencyMs"`
+	Stats         Stats              `json:"stats"`
+}
+
+type segmentJSONFull struct {
+	Start      int        `json:"start"`
+	End        int        `json:"end"`
+	StartLabel string     `json:"startLabel"`
+	EndLabel   string     `json:"endLabel"`
+	Top        []explFull `json:"top"`
+}
+
+type explFull struct {
+	Predicates string            `json:"predicates"`
+	Attrs      map[string]string `json:"attrs"`
+	Gamma      float64           `json:"gamma"`
+	Effect     string            `json:"effect"`
+	Values     []float64         `json:"values,omitempty"`
+}
+
+// WriteJSON serializes the result, a stable format for saving an
+// explanation or feeding an external UI.
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := resultJSON{
+		K:             r.K,
+		AutoK:         r.AutoK,
+		TotalVariance: r.TotalVariance,
+		Labels:        r.Labels,
+		Series:        r.Series,
+		Stats:         r.Stats,
+		LatencyMs: map[string]float64{
+			"precompute":   float64(r.Timings.Precompute.Microseconds()) / 1000,
+			"cascading":    float64(r.Timings.Cascading.Microseconds()) / 1000,
+			"segmentation": float64(r.Timings.Segmentation.Microseconds()) / 1000,
+		},
+	}
+	for k, v := range r.KVariance {
+		if k == 0 {
+			continue
+		}
+		// +Inf is not valid JSON; truncate the curve at the first
+		// infeasible K.
+		if v != v || v > 1e300 {
+			break
+		}
+		out.KVariance = append(out.KVariance, v)
+	}
+	for _, seg := range r.Segments {
+		sj := segmentJSONFull{
+			Start: seg.Start, End: seg.End,
+			StartLabel: seg.StartLabel, EndLabel: seg.EndLabel,
+		}
+		for _, e := range seg.Top {
+			sj.Top = append(sj.Top, explFull{
+				Predicates: e.Predicates,
+				Attrs:      e.Attrs,
+				Gamma:      e.Gamma,
+				Effect:     e.Effect.String(),
+				Values:     e.Values,
+			})
+		}
+		out.Segments = append(out.Segments, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteSegmentsCSV emits one CSV row per (segment, explanation):
+// start,end,rank,predicates,effect,gamma — the flat form spreadsheet
+// users consume.
+func (r *Result) WriteSegmentsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"start", "end", "rank", "predicates", "effect", "gamma"}); err != nil {
+		return err
+	}
+	for _, seg := range r.Segments {
+		if len(seg.Top) == 0 {
+			if err := cw.Write([]string{seg.StartLabel, seg.EndLabel, "", "", "", ""}); err != nil {
+				return err
+			}
+			continue
+		}
+		for i, e := range seg.Top {
+			rec := []string{
+				seg.StartLabel,
+				seg.EndLabel,
+				strconv.Itoa(i + 1),
+				e.Predicates,
+				e.Effect.String(),
+				strconv.FormatFloat(e.Gamma, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("core: writing segments CSV: %w", err)
+	}
+	return nil
+}

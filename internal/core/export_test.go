@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func exportResult(t *testing.T) *Result {
+	t.Helper()
+	rel := threePhase(t, 40, []int{20})
+	eng, err := NewEngine(rel, Query{Measure: "v", Agg: relation.Sum}, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteJSON(t *testing.T) {
+	res := exportResult(t)
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back resultJSON
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if back.K != res.K || len(back.Segments) != len(res.Segments) {
+		t.Errorf("round trip lost structure: %+v", back)
+	}
+	if len(back.Series) != 40 || len(back.Labels) != 40 {
+		t.Errorf("series/labels lengths: %d/%d", len(back.Series), len(back.Labels))
+	}
+	if back.Segments[0].Top[0].Predicates != "category=a" {
+		t.Errorf("first explanation = %q", back.Segments[0].Top[0].Predicates)
+	}
+	if back.Segments[0].Top[0].Effect != "+" {
+		t.Errorf("effect = %q", back.Segments[0].Top[0].Effect)
+	}
+	// The K-variance curve is exported without infinities.
+	for _, v := range back.KVariance {
+		if v != v || v > 1e300 {
+			t.Error("non-finite value leaked into JSON curve")
+		}
+	}
+	if back.LatencyMs["cascading"] <= 0 {
+		t.Error("latency breakdown missing")
+	}
+}
+
+func TestWriteSegmentsCSV(t *testing.T) {
+	res := exportResult(t)
+	var buf bytes.Buffer
+	if err := res.WriteSegmentsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	wantRows := 1 // header
+	for _, seg := range res.Segments {
+		if len(seg.Top) == 0 {
+			wantRows++
+		} else {
+			wantRows += len(seg.Top)
+		}
+	}
+	if len(rows) != wantRows {
+		t.Errorf("rows = %d, want %d", len(rows), wantRows)
+	}
+	if rows[0][3] != "predicates" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][3] != "category=a" || rows[1][4] != "+" {
+		t.Errorf("first data row = %v", rows[1])
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Incremental supports the real-time extension of Section 8: the engine
+// explains the series once, caches every scored segment's
+// top-explanations, and when new points arrive it recomputes only what
+// the new data touches — top explanations involving new points, and a
+// segmentation restricted to the previous cutting points plus the newly
+// arrived positions.
+type Incremental struct {
+	query Query
+	opts  Options
+
+	eng      *Engine
+	lastCuts []int
+	lastN    int
+}
+
+// NewIncremental builds the incremental explainer over the initial
+// relation snapshot and produces the first result.
+func NewIncremental(rel *relation.Relation, q Query, opts Options) (*Incremental, *Result, error) {
+	eng, err := NewEngine(rel, q, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := eng.Explain()
+	if err != nil {
+		return nil, nil, err
+	}
+	inc := &Incremental{
+		query:    q,
+		opts:     opts,
+		eng:      eng,
+		lastCuts: res.Cuts(),
+		lastN:    eng.u.NumTimestamps(),
+	}
+	return inc, res, nil
+}
+
+// Update consumes a new relation snapshot that extends the previous one
+// with later timestamps and returns the refreshed result. The previous
+// snapshot's time labels must be an exact prefix of the new snapshot's.
+func (inc *Incremental) Update(newRel *relation.Relation) (*Result, error) {
+	oldRel := inc.eng.rel
+	oldN := inc.lastN
+	newN := newRel.NumTimestamps()
+	if newN < oldN {
+		return nil, fmt.Errorf("core: new snapshot has %d timestamps, fewer than the previous %d", newN, oldN)
+	}
+	for i := 0; i < oldN; i++ {
+		if newRel.TimeLabel(i) != oldRel.TimeLabel(i) {
+			return nil, fmt.Errorf("core: time label %d changed from %q to %q; snapshots must append",
+				i, oldRel.TimeLabel(i), newRel.TimeLabel(i))
+		}
+	}
+
+	// Rebuild the universe over the extended relation (linear in the new
+	// data) while keeping the expensive per-segment explanation cache.
+	fresh, err := NewEngine(newRel, inc.query, inc.opts)
+	if err != nil {
+		return nil, err
+	}
+	exp := inc.eng.exp
+	exp.Rebind(fresh.u)
+	exp.SetAllowed(fresh.allowed)
+	// Smoothing looks half a window ahead, so cached segments near the
+	// old tail are stale; revised last points likewise invalidate the
+	// very end. Drop them and keep the rest.
+	invalidFrom := oldN - 1
+	if w := inc.opts.SmoothWindow; w > 1 {
+		invalidFrom = oldN - 1 - w/2
+		if invalidFrom < 0 {
+			invalidFrom = 0
+		}
+	}
+	exp.InvalidateFrom(invalidFrom)
+	fresh.exp = exp
+	inc.eng = fresh
+
+	// Candidate cut positions: previous cuts plus every new point
+	// (Section 8: "runs the segmentation algorithm based on the existing
+	// time series' cutting points and newly arrived data points").
+	posSet := map[int]bool{0: true, newN - 1: true}
+	for _, c := range inc.lastCuts {
+		if c < newN-1 {
+			posSet[c] = true
+		}
+	}
+	for p := oldN - 1; p < newN; p++ {
+		if p > 0 {
+			posSet[p] = true
+		}
+	}
+	positions := make([]int, 0, len(posSet))
+	for p := range posSet {
+		positions = append(positions, p)
+	}
+	sort.Ints(positions)
+
+	res, err := inc.eng.explainWithPositions(positions)
+	if err != nil {
+		return nil, err
+	}
+	inc.lastCuts = res.Cuts()
+	inc.lastN = newN
+	return res, nil
+}
+
+// Engine returns the current underlying engine.
+func (inc *Incremental) Engine() *Engine { return inc.eng }

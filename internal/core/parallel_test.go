@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestParallelismMatchesSequential verifies the multi-core prewarm path
+// produces the identical segmentation and explanations.
+func TestParallelismMatchesSequential(t *testing.T) {
+	rel := threePhase(t, 50, []int{18, 34})
+	q := Query{Measure: "v", Agg: relation.Sum}
+	seq, err := NewEngine(rel, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := seq.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewEngine(rel, q, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := par.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(rs.Cuts()) != fmt.Sprint(rp.Cuts()) {
+		t.Errorf("parallel cuts %v != sequential %v", rp.Cuts(), rs.Cuts())
+	}
+	if rs.TotalVariance != rp.TotalVariance {
+		t.Errorf("parallel variance %g != sequential %g", rp.TotalVariance, rs.TotalVariance)
+	}
+	for i := range rs.Segments {
+		a, b := rs.Segments[i], rp.Segments[i]
+		if len(a.Top) != len(b.Top) {
+			t.Fatalf("segment %d: %d vs %d explanations", i, len(a.Top), len(b.Top))
+		}
+		for j := range a.Top {
+			if a.Top[j].Predicates != b.Top[j].Predicates || a.Top[j].Gamma != b.Top[j].Gamma {
+				t.Errorf("segment %d top %d differs: %+v vs %+v", i, j, a.Top[j], b.Top[j])
+			}
+		}
+	}
+}
+
+// TestParallelismWithOptimizations exercises the parallel path together
+// with filter + guess-and-verify + sketching.
+func TestParallelismWithOptimizations(t *testing.T) {
+	rel := threePhase(t, 80, []int{25, 55})
+	q := Query{Measure: "v", Agg: relation.Sum}
+	opts := DefaultOptions()
+	opts.Parallelism = 4
+	eng, err := NewEngine(rel, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := res.Cuts()
+	found25, found55 := false, false
+	for _, c := range cuts {
+		if c >= 23 && c <= 27 {
+			found25 = true
+		}
+		if c >= 53 && c <= 57 {
+			found55 = true
+		}
+	}
+	if !found25 || !found55 {
+		t.Errorf("parallel optimized cuts %v miss ground truth {25, 55}", cuts)
+	}
+}

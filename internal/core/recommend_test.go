@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestRecommendExplainBy builds a relation with two dimensions: "driver",
+// where one value explains each step's change almost entirely, and
+// "noise", where the change is spread evenly over many values. The
+// recommender must rank driver first.
+func TestRecommendExplainBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	b := relation.NewBuilder("x", "t", []string{"noise", "driver"}, []string{"v"})
+	labels := make([]string, 30)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%02d", i)
+	}
+	b.SetTimeOrder(labels)
+	noiseVals := []string{"n0", "n1", "n2", "n3", "n4", "n5", "n6", "n7"}
+	for i := 0; i < 30; i++ {
+		// driver=up carries the trend; driver=flat stays constant.
+		// Rows are assigned a random noise value, so slicing by "noise"
+		// spreads the movement across its values.
+		for r := 0; r < 8; r++ {
+			driver := "flat"
+			v := 10.0
+			if r == 0 {
+				driver = "up"
+				v = 50 * float64(i)
+			}
+			if err := b.Append(labels[i],
+				[]string{noiseVals[rng.Intn(len(noiseVals))], driver},
+				[]float64{v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rel, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := RecommendExplainBy(rel, Query{Measure: "v", Agg: relation.Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 {
+		t.Fatalf("scores = %d, want 2", len(scores))
+	}
+	if scores[0].Attribute != "driver" {
+		t.Errorf("top recommendation = %+v, want driver", scores[0])
+	}
+	if scores[0].Coverage <= scores[1].Coverage {
+		t.Errorf("driver coverage %.3f should exceed noise coverage %.3f",
+			scores[0].Coverage, scores[1].Coverage)
+	}
+	if scores[0].Coverage < 0.8 {
+		t.Errorf("driver coverage = %.3f, want near 1", scores[0].Coverage)
+	}
+}
+
+func TestRecommendExplainByErrors(t *testing.T) {
+	b := relation.NewBuilder("x", "t", []string{"d"}, []string{"v"})
+	_ = b.Append("1", []string{"a"}, []float64{1})
+	rel, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecommendExplainBy(rel, Query{Measure: "nope", Agg: relation.Sum}); err == nil {
+		t.Error("unknown measure: want error")
+	}
+	// A 1-point series has no steps; coverage is zero but no error.
+	scores, err := RecommendExplainBy(rel, Query{Measure: "v", Agg: relation.Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0].Coverage != 0 {
+		t.Errorf("coverage = %g, want 0 for a single point", scores[0].Coverage)
+	}
+}

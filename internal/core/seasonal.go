@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/timeseries"
+)
+
+// SeasonalResult is the output of ExplainSeasonal: the trend component's
+// evolving explanations plus the decomposition itself, following the
+// Section 8 guidance that seasonal series can be decomposed first and the
+// trend and seasonality explained separately.
+type SeasonalResult struct {
+	// Trend is the explanation of the trend component.
+	Trend *Result
+	// Decomposition holds trend/seasonal/residual of the aggregated
+	// series.
+	Decomposition timeseries.Decomposition
+	// Period is the seasonal period used.
+	Period int
+	// SeasonalShare is the fraction of the series' variance the seasonal
+	// component carries; near-zero means the series was not seasonal and
+	// plain Explain would do.
+	SeasonalShare float64
+}
+
+// ExplainSeasonal decomposes the aggregated series with the given
+// seasonal period (e.g. 7 for daily data with weekly texture) and
+// explains the deseasonalized series. De-seasonalization is implemented
+// by smoothing every slice with a period-length moving average — exactly
+// the trend extraction of classical decomposition — so slice-level γ
+// scores stay consistent with the displayed trend.
+func (e *Engine) ExplainSeasonal(period int) (*SeasonalResult, error) {
+	if period < 2 {
+		return nil, fmt.Errorf("core: seasonal period %d, need at least 2", period)
+	}
+	n := e.u.NumTimestamps()
+	if period > n/2 {
+		return nil, fmt.Errorf("core: seasonal period %d too long for %d points", period, n)
+	}
+
+	raw := relation.Values(e.query.aggOf(), e.rel.AggregateSeries(e.rel.MeasureIndex(e.query.Measure)))
+	dec := timeseries.DecomposeAdditive(raw, period)
+
+	// Explain the trend: a fresh engine over the same relation with the
+	// period as the smoothing window (the moving average of the classical
+	// decomposition's trend step).
+	opts := e.opts
+	opts.SmoothWindow = period
+	trendEng, err := NewEngine(e.rel, e.query, opts)
+	if err != nil {
+		return nil, err
+	}
+	trendRes, err := trendEng.Explain()
+	if err != nil {
+		return nil, err
+	}
+
+	totalVar := timeseries.Variance(raw)
+	share := 0.0
+	if totalVar > 0 {
+		share = timeseries.Variance(dec.Seasonal) / totalVar
+	}
+	return &SeasonalResult{
+		Trend:         trendRes,
+		Decomposition: dec,
+		Period:        period,
+		SeasonalShare: share,
+	}, nil
+}
+
+// aggOf returns the aggregate function of the query (helper so seasonal
+// code reads naturally).
+func (q Query) aggOf() relation.AggFunc { return q.Agg }

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// buildSeasonal creates a two-category relation with strong weekly
+// seasonality on top of the same two-phase trend as threePhase.
+func buildSeasonal(t *testing.T, n int) *relation.Relation {
+	t.Helper()
+	b := relation.NewBuilder("x", "t", []string{"category"}, []string{"v"})
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%03d", i)
+	}
+	b.SetTimeOrder(labels)
+	for i := 0; i < n; i++ {
+		season := 40 * math.Sin(2*math.Pi*float64(i%7)/7)
+		a, c := 100.0, 100.0
+		if i <= n/2 {
+			a += 12 * float64(i)
+		} else {
+			a += 12 * float64(n/2)
+			c += 15 * float64(i-n/2)
+		}
+		_ = b.Append(labels[i], []string{"a"}, []float64{a + season})
+		_ = b.Append(labels[i], []string{"b"}, []float64{c + season})
+	}
+	r, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestExplainSeasonal(t *testing.T) {
+	rel := buildSeasonal(t, 70)
+	eng, err := NewEngine(rel, Query{Measure: "v", Agg: relation.Sum}, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.ExplainSeasonal(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SeasonalShare <= 0.02 {
+		t.Errorf("seasonal share = %g, want clearly seasonal", res.SeasonalShare)
+	}
+	if res.Period != 7 {
+		t.Errorf("period = %d", res.Period)
+	}
+	// The trend explanation should find the phase change near n/2 and
+	// attribute the phases to a then b.
+	cuts := res.Trend.Cuts()
+	if len(cuts) != 3 || cuts[1] < 30 || cuts[1] > 40 {
+		t.Errorf("trend cuts = %v, want a cut near 35", cuts)
+	}
+	if res.Trend.Segments[0].Top[0].Predicates != "category=a" {
+		t.Errorf("first trend segment top = %q", res.Trend.Segments[0].Top[0].Predicates)
+	}
+	if res.Trend.Segments[1].Top[0].Predicates != "category=b" {
+		t.Errorf("second trend segment top = %q", res.Trend.Segments[1].Top[0].Predicates)
+	}
+	// Decomposition reconstructs the series.
+	raw := relation.Values(relation.Sum, rel.AggregateSeries(0))
+	d := res.Decomposition
+	for i := range raw {
+		rec := d.Trend[i] + d.Seasonal[i] + d.Residual[i]
+		if math.Abs(rec-raw[i]) > 1e-9 {
+			t.Fatalf("decomposition does not reconstruct at %d", i)
+		}
+	}
+}
+
+func TestExplainSeasonalErrors(t *testing.T) {
+	rel := buildSeasonal(t, 30)
+	eng, err := NewEngine(rel, Query{Measure: "v", Agg: relation.Sum}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ExplainSeasonal(1); err == nil {
+		t.Error("period 1: want error")
+	}
+	if _, err := eng.ExplainSeasonal(25); err == nil {
+		t.Error("period > n/2: want error")
+	}
+}

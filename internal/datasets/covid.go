@@ -1,0 +1,186 @@
+package datasets
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// covidStates lists the 58 reporting jurisdictions of the JHU dashboard:
+// 50 states, DC, 5 territories, and the two cruise ships.
+var covidStates = []string{
+	"Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+	"Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+	"Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+	"Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+	"Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+	"New Hampshire", "New Jersey", "New Mexico", "New York",
+	"North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+	"Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+	"Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+	"West Virginia", "Wisconsin", "Wyoming", "District of Columbia",
+	"Puerto Rico", "Guam", "Virgin Islands", "American Samoa",
+	"Northern Mariana Islands", "Diamond Princess", "Grand Princess",
+}
+
+// covidWave describes one epidemic wave for a state: a Gaussian bump of
+// daily cases centered at a day offset from 2020-01-22.
+type covidWave struct {
+	center float64 // day offset of the peak
+	width  float64 // bump width in days
+	peak   float64 // daily cases at the peak
+}
+
+// covidProfile gives each state a population-scaled baseline and its wave
+// structure. States not listed get a generic small-state profile derived
+// from their index.
+var covidProfile = map[string][]covidWave{
+	// The early outbreak: WA first, then the NY/NJ/MA/CT spring wave.
+	"Washington":    {{55, 12, 400}, {200, 40, 600}, {320, 25, 2200}},
+	"New York":      {{78, 14, 10500}, {210, 45, 700}, {330, 30, 9000}},
+	"New Jersey":    {{82, 13, 3900}, {215, 45, 400}, {330, 30, 4500}},
+	"Massachusetts": {{85, 14, 2600}, {220, 45, 350}, {330, 28, 4200}},
+	"Connecticut":   {{86, 13, 1200}, {225, 45, 150}, {330, 28, 1900}},
+	"Pennsylvania":  {{88, 16, 1700}, {230, 45, 400}, {330, 26, 7200}},
+	// The summer sunbelt wave: FL/TX/AZ/GA/CA.
+	"Florida":    {{100, 20, 900}, {175, 18, 10500}, {340, 35, 9500}},
+	"Texas":      {{105, 20, 1100}, {178, 19, 9800}, {335, 35, 11500}},
+	"Arizona":    {{108, 18, 350}, {172, 15, 3600}, {335, 28, 5800}},
+	"Georgia":    {{104, 20, 700}, {180, 20, 3500}, {338, 30, 5500}},
+	"California": {{110, 25, 1800}, {185, 25, 8800}, {337, 26, 36000}},
+	// The midwest fall wave: IL/WI/MI/MN and the Dakotas.
+	"Illinois":     {{95, 18, 2200}, {130, 25, 1800}, {295, 22, 11500}},
+	"Wisconsin":    {{115, 20, 350}, {290, 22, 5700}, {340, 25, 2800}},
+	"Michigan":     {{90, 14, 1500}, {295, 22, 6500}, {340, 22, 3500}},
+	"Minnesota":    {{120, 20, 400}, {300, 20, 5800}, {345, 20, 2500}},
+	"North Dakota": {{130, 25, 80}, {295, 20, 1300}},
+	"South Dakota": {{130, 25, 90}, {298, 20, 1250}},
+	// Other populous states with blended waves.
+	"Ohio":                 {{100, 20, 900}, {200, 30, 1100}, {330, 25, 9500}},
+	"North Carolina":       {{110, 22, 600}, {185, 25, 2000}, {335, 28, 6000}},
+	"Tennessee":            {{110, 22, 500}, {190, 25, 2000}, {330, 25, 7800}},
+	"Indiana":              {{95, 18, 700}, {200, 30, 800}, {320, 25, 6300}},
+	"Louisiana":            {{85, 12, 1300}, {175, 18, 2400}, {335, 28, 2700}},
+	"Maryland":             {{95, 18, 1000}, {210, 35, 700}, {335, 28, 2500}},
+	"Virginia":             {{100, 20, 800}, {205, 32, 900}, {340, 30, 3700}},
+	"Missouri":             {{100, 20, 400}, {210, 30, 1300}, {310, 25, 4200}},
+	"Alabama":              {{105, 20, 400}, {185, 22, 1700}, {335, 28, 3800}},
+	"South Carolina":       {{108, 20, 350}, {180, 20, 1800}, {340, 28, 3300}},
+	"Mississippi":          {{105, 20, 350}, {182, 22, 1300}, {335, 28, 2300}},
+	"Oklahoma":             {{110, 22, 250}, {200, 28, 1000}, {320, 25, 3400}},
+	"Colorado":             {{92, 16, 500}, {205, 35, 500}, {305, 22, 5200}},
+	"Nevada":               {{100, 18, 300}, {182, 20, 1100}, {330, 26, 2600}},
+	"Utah":                 {{115, 22, 300}, {195, 25, 700}, {315, 25, 3500}},
+	"Iowa":                 {{115, 20, 350}, {290, 20, 3900}, {340, 22, 1700}},
+	"Kansas":               {{115, 20, 250}, {295, 22, 2400}, {340, 22, 1500}},
+	"Kentucky":             {{105, 20, 300}, {215, 35, 600}, {330, 26, 3400}},
+	"Oregon":               {{95, 18, 200}, {195, 28, 350}, {335, 28, 1500}},
+	"New Mexico":           {{105, 20, 200}, {210, 30, 350}, {315, 22, 2700}},
+	"Arkansas":             {{110, 22, 250}, {195, 25, 800}, {330, 26, 2900}},
+	"Nebraska":             {{118, 22, 300}, {292, 22, 2300}, {340, 22, 1100}},
+	"West Virginia":        {{115, 22, 100}, {225, 35, 200}, {338, 28, 1400}},
+	"Idaho":                {{112, 20, 150}, {200, 28, 500}, {320, 26, 1600}},
+	"Montana":              {{115, 22, 60}, {290, 22, 900}, {340, 22, 500}},
+	"Wyoming":              {{118, 22, 40}, {295, 22, 600}, {340, 22, 300}},
+	"Maine":                {{100, 20, 60}, {230, 40, 60}, {340, 28, 500}},
+	"New Hampshire":        {{98, 18, 90}, {228, 40, 80}, {340, 28, 800}},
+	"Vermont":              {{98, 18, 60}, {235, 40, 30}, {342, 28, 180}},
+	"Rhode Island":         {{90, 15, 350}, {225, 40, 120}, {332, 26, 1300}},
+	"Delaware":             {{95, 18, 180}, {215, 35, 120}, {335, 28, 800}},
+	"Hawaii":               {{105, 20, 40}, {205, 22, 250}, {340, 30, 120}},
+	"Alaska":               {{110, 22, 30}, {230, 35, 120}, {320, 25, 750}},
+	"District of Columbia": {{92, 16, 200}, {215, 35, 90}, {335, 28, 300}},
+	"Puerto Rico":          {{110, 25, 150}, {215, 30, 500}, {335, 28, 1000}},
+	"Guam":                 {{120, 25, 15}, {250, 30, 80}, {330, 25, 60}},
+	"Virgin Islands":       {{125, 25, 8}, {225, 30, 25}, {335, 25, 25}},
+	// Tiny jurisdictions that fall under the support filter, matching the
+	// paper's filtered ε = 54/55 of 58.
+	"American Samoa":           {},
+	"Northern Mariana Islands": {{150, 40, 1.5}},
+	"Diamond Princess":         {{35, 6, 8}},
+	"Grand Princess":           {{48, 5, 6}},
+}
+
+// Covid generates the simulated JHU dataset: one row per (date, state)
+// from 2020-01-22 to 2020-12-31 (345 days) with measures
+// daily-confirmed-cases and total-confirmed-cases. The wave structure
+// reproduces the case-study narrative: WA/NY/CA start the outbreak,
+// NY/NJ/MA drive the spring wave, FL/TX/CA the summer wave, IL and the
+// midwest the fall wave, and CA/TX/NY the winter surge.
+func Covid() *Dataset {
+	covidOnce.Do(buildCovid)
+	return &Dataset{
+		Name:      "covid",
+		Rel:       covidRel,
+		Measure:   "total-confirmed-cases",
+		Agg:       relation.Sum,
+		ExplainBy: []string{"state"},
+		MaxOrder:  1,
+	}
+}
+
+var (
+	covidOnce sync.Once
+	covidRel  *relation.Relation
+)
+
+// buildCovid materializes the covid relation once; generators are
+// deterministic, so caching is safe and keeps tests and benchmarks fast.
+func buildCovid() {
+	rng := rand.New(rand.NewSource(20200122))
+	start := time.Date(2020, 1, 22, 0, 0, 0, 0, time.UTC)
+	const days = 345
+	labels := dateLabels(start, days)
+
+	b := relation.NewBuilder("covid", "date", []string{"state"}, []string{"daily-confirmed-cases", "total-confirmed-cases"})
+	b.SetTimeOrder(labels)
+	for _, state := range covidStates {
+		waves := covidProfile[state]
+		var total float64
+		for d := 0; d < days; d++ {
+			var daily float64
+			for _, w := range waves {
+				daily += bump(float64(d), w.center, w.width, w.peak)
+			}
+			// Reporting noise, including the weekend dip real data shows.
+			daily *= jitter(rng, 0.08)
+			if wd := (d + 3) % 7; wd == 0 || wd == 6 {
+				daily *= 0.82
+			}
+			if daily < 0 {
+				daily = 0
+			}
+			daily = float64(int(daily))
+			total += daily
+			if err := b.Append(labels[d], []string{state}, []float64{daily, total}); err != nil {
+				panic("datasets: covid append: " + err.Error())
+			}
+		}
+	}
+	rel, err := b.Finish()
+	if err != nil {
+		panic("datasets: covid finish: " + err.Error())
+	}
+	covidRel = rel
+}
+
+// CovidTotal returns the total-confirmed-cases query of Figure 11.
+func CovidTotal() *Dataset {
+	d := Covid()
+	d.Name = "total-confirmed-cases"
+	d.Measure = "total-confirmed-cases"
+	return d
+}
+
+// CovidDaily returns the daily-confirmed-cases query of Figure 12. The
+// daily series is fuzzy, so the paper smooths it with a moving average
+// before explaining.
+func CovidDaily() *Dataset {
+	d := Covid()
+	d.Name = "daily-confirmed-cases"
+	d.Measure = "daily-confirmed-cases"
+	d.SmoothWindow = 7
+	return d
+}

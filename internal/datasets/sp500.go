@@ -1,0 +1,259 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// spSector describes one GICS-style sector: its subcategories and how
+// many of the 503 index members it holds.
+type spSector struct {
+	name    string
+	subcats []string
+	stocks  int
+}
+
+// spSectors reproduces the hierarchy cardinalities of the paper's S&P 500
+// dataset: 11 categories, 96 subcategories, 503 stocks, so the candidate
+// count ε = 503 + 96 + 11 = 610 matches Table 6.
+var spSectors = []spSector{
+	{"technology", []string{"software", "semiconductors", "hardware",
+		"it-services", "cloud", "networking", "payments-tech",
+		"electronics", "storage", "cybersecurity"}, 75},
+	{"healthcare", []string{"pharma", "biotech", "medical-devices",
+		"health-insurance", "life-sciences", "hospitals", "diagnostics",
+		"healthcare-it", "distribution"}, 62},
+	{"financial", []string{"banks", "insurance", "asset-management",
+		"consumer-finance", "exchanges", "regional-banks", "reinsurance",
+		"brokerage", "trust-banks"}, 66},
+	{"consumer cyclical", []string{"internet retail", "restaurants",
+		"apparel", "autos", "home-improvement", "hotels", "cruise-lines",
+		"specialty-retail", "leisure", "homebuilders"}, 60},
+	{"industrials", []string{"aerospace", "airlines", "railroads",
+		"machinery", "defense", "logistics", "construction",
+		"electrical-equipment", "conglomerates", "waste",
+		"building-products", "staffing"}, 70},
+	{"consumer defensive", []string{"beverages", "household-products",
+		"packaged-foods", "discount-stores", "tobacco", "grocers",
+		"personal-products", "food-distribution"}, 35},
+	{"energy", []string{"oil-majors", "exploration", "pipelines",
+		"refining", "oil-services"}, 23},
+	{"utilities", []string{"electric", "gas", "water", "renewables",
+		"multi-utilities"}, 28},
+	{"real estate", []string{"data-center-reits", "residential-reits",
+		"retail-reits", "office-reits", "industrial-reits", "tower-reits",
+		"healthcare-reits", "storage-reits"}, 29},
+	{"materials", []string{"chemicals", "industrial-gases", "miners",
+		"gold", "packaging", "construction-materials", "steel", "paints",
+		"agriculture", "specialty-chemicals"}, 28},
+	{"communication", []string{"internet-media", "telecom", "cable",
+		"entertainment", "gaming", "advertising", "streaming",
+		"social-media", "publishing", "wireless"}, 27},
+}
+
+// spKeyDates maps the narrative dates of Figure 13 onto the 151-point
+// series (evenly spaced trading days between 2020-01-02 and 2020-10-01).
+func spIndexOf(month, day int) int {
+	start := time.Date(2020, 1, 2, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2020, 10, 1, 0, 0, 0, 0, time.UTC)
+	d := time.Date(2020, time.Month(month), day, 0, 0, 0, 0, time.UTC)
+	frac := d.Sub(start).Hours() / end.Sub(start).Hours()
+	return int(math.Round(frac * 150))
+}
+
+// spMarket returns the common market factor at point t of 151: rise into
+// 2/19, crash −32% into 3/23, rebound past the old high by 8/25, then the
+// September dip.
+func spMarket(t int) float64 {
+	peak1 := float64(spIndexOf(2, 19))
+	trough := float64(spIndexOf(3, 23))
+	peak2 := float64(spIndexOf(8, 25))
+	dip := float64(spIndexOf(9, 23))
+	ft := float64(t)
+	switch {
+	case ft <= peak1:
+		return 1.00 + 0.05*ft/peak1
+	case ft <= trough:
+		return 1.05 - 0.37*(ft-peak1)/(trough-peak1)
+	case ft <= peak2:
+		return 0.68 + 0.42*(ft-trough)/(peak2-trough)
+	case ft <= dip:
+		return 1.10 - 0.08*(ft-peak2)/(dip-peak2)
+	default:
+		return 1.02 + 0.02*(ft-dip)/(150-dip)
+	}
+}
+
+// spSectorAdj returns the sector- and subcategory-specific multiplicative
+// adjustment at point t, encoding the Figure 13 narrative: tech leads the
+// pre-crash rise, the crash (by sheer weight), the rebound, and the
+// September drop; financial crashes harder and never rebounds; energy
+// declines throughout; internet retail rises before the crash and
+// strongly afterwards.
+func spSectorAdj(sector, subcat string, t int) float64 {
+	ft := float64(t)
+	crashStart := float64(spIndexOf(2, 6))
+	trough := float64(spIndexOf(3, 23))
+	peak2 := float64(spIndexOf(8, 25))
+	adj := 1.0
+	switch sector {
+	case "technology":
+		adj += 0.06 * ramp(ft, 0, crashStart, 1) // pre-crash leadership
+		adj += 0.30 * ramp(ft, trough, peak2, 1) // rebound leadership
+		adj -= 0.10 * ramp(ft, peak2, 150, 1)    // September drop
+	case "communication":
+		adj += 0.12 * ramp(ft, trough, peak2, 1)
+		adj -= 0.05 * ramp(ft, peak2, 150, 1)
+	case "financial":
+		adj -= 0.15 * ramp(ft, crashStart, trough, 1) // crashes harder
+		// No rebound: the drag persists to the end of the series.
+	case "energy":
+		adj -= 0.10 * ramp(ft, 0, crashStart, 1) // slides before the crash
+		adj -= 0.30 * ramp(ft, crashStart, 150, 1)
+	case "consumer cyclical":
+		adj += 0.10 * ramp(ft, trough, peak2, 1)
+	}
+	if subcat == "internet retail" {
+		adj += 0.08 * ramp(ft, 0, crashStart, 1)
+		adj += 0.25 * ramp(ft, trough, peak2, 1)
+	}
+	if adj < 0.05 {
+		adj = 0.05
+	}
+	return adj
+}
+
+// SP500 generates the simulated index dataset: one row per (date, stock)
+// with the stock's weighted contribution price·share/divisor, under the
+// three-level hierarchy category → subcategory → stock. Aggregating
+// weighted-price with SUM yields the index series of Figure 13.
+//
+// Because the attributes form a strict hierarchy (every stock belongs to
+// exactly one subcategory and category), conjunctions across levels are
+// redundant with their finest predicate, so the dataset's MaxOrder is 1
+// and ε = 503 + 96 + 11 = 610 as in Table 6.
+func SP500() *Dataset {
+	spOnce.Do(buildSP500)
+	return &Dataset{
+		Name:      "sp500",
+		Rel:       spRel,
+		Measure:   "weighted-price",
+		Agg:       relation.Sum,
+		ExplainBy: []string{"category", "subcategory", "stock"},
+		MaxOrder:  1,
+	}
+}
+
+var (
+	spOnce sync.Once
+	spRel  *relation.Relation
+)
+
+// buildSP500 materializes the relation once (the generator is
+// deterministic).
+func buildSP500() {
+	rng := rand.New(rand.NewSource(20200102))
+	const points = 151
+	labels := spacedDateLabels(
+		time.Date(2020, 1, 2, 0, 0, 0, 0, time.UTC),
+		time.Date(2020, 10, 1, 0, 0, 0, 0, time.UTC),
+		points)
+
+	// Build the stock universe with Zipf-skewed index weights so large
+	// caps dominate, as in the real index.
+	type stock struct {
+		ticker, sector, subcat string
+		weight                 float64 // share count × base price scale
+		beta                   float64 // sensitivity to the market factor
+	}
+	var stocks []stock
+	rank := 1
+	for _, sec := range spSectors {
+		for i := 0; i < sec.stocks; i++ {
+			sub := sec.subcats[i%len(sec.subcats)]
+			stocks = append(stocks, stock{
+				ticker: fmt.Sprintf("%s%03d", strings3(sec.name), rank),
+				sector: sec.name,
+				subcat: sub,
+				weight: math.Pow(float64(rank), -0.75),
+				beta:   0.85 + rng.Float64()*0.5,
+			})
+			rank++
+		}
+	}
+	// One internet-retail stock carries AMZN-like weight, so the
+	// subcategory can surface in the pre-crash segment as in Table 4.
+	for i := range stocks {
+		if stocks[i].subcat == "internet retail" {
+			stocks[i].weight *= 25
+			break
+		}
+	}
+	// Normalize weights so the starting index level is about 3230 (the
+	// real 2020-01-02 close).
+	var wsum float64
+	for _, s := range stocks {
+		wsum += s.weight
+	}
+	scale := 3230.0 / wsum
+
+	// Per-stock idiosyncratic random walks, fixed up front so the series
+	// is deterministic and smooth.
+	idio := make([][]float64, len(stocks))
+	for i := range stocks {
+		walk := make([]float64, points)
+		v := 1.0
+		for t := 0; t < points; t++ {
+			v *= 1 + rng.NormFloat64()*0.004
+			if v < 0.5 {
+				v = 0.5
+			}
+			walk[t] = v
+		}
+		idio[i] = walk
+	}
+
+	b := relation.NewBuilder("sp500", "date",
+		[]string{"category", "subcategory", "stock"},
+		[]string{"weighted-price"})
+	b.SetTimeOrder(labels)
+	for t := 0; t < points; t++ {
+		market := spMarket(t)
+		for i, s := range stocks {
+			adj := spSectorAdj(s.sector, s.subcat, t)
+			// Blend the market move through the stock's beta.
+			factor := (1 + (market-1)*s.beta) * adj * idio[i][t]
+			contrib := s.weight * scale * factor
+			if err := b.Append(labels[t],
+				[]string{s.sector, s.subcat, s.ticker},
+				[]float64{contrib}); err != nil {
+				panic("datasets: sp500 append: " + err.Error())
+			}
+		}
+	}
+	rel, err := b.Finish()
+	if err != nil {
+		panic("datasets: sp500 finish: " + err.Error())
+	}
+	spRel = rel
+}
+
+// strings3 returns an uppercase three-letter prefix for ticker synthesis.
+func strings3(s string) string {
+	out := make([]byte, 0, 3)
+	for i := 0; i < len(s) && len(out) < 3; i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			out = append(out, c-'a'+'A')
+		}
+	}
+	for len(out) < 3 {
+		out = append(out, 'X')
+	}
+	return string(out)
+}

@@ -1,0 +1,110 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// VaxDeaths generates the simulated CDC weekly-deaths dataset of the
+// time-varying-attribute discussion (Section 8, Figure 18): weekly Covid
+// deaths from week 14 to week 52 of 2021, broken down by age-group
+// (<30, 30-49, 50+) and vaccination status (NO/YES). vaccinated is a
+// time-varying attribute: the unvaccinated population shrinks over the
+// year as uptake grows.
+//
+// The generated dynamics reproduce the figure's narrative: through week
+// ~31 the declining spring-wave deaths are dominated by the unvaccinated
+// of every age; from late summer the delta/winter rise is dominated by
+// people aged 50+, vaccinated or not, because younger people are by then
+// broadly protected.
+func VaxDeaths() *Dataset {
+	vaxOnce.Do(buildVaxDeaths)
+	return &Dataset{
+		Name:      "vax-deaths",
+		Rel:       vaxRel,
+		Measure:   "deaths",
+		Agg:       relation.Sum,
+		ExplainBy: []string{"age-group", "vaccinated"},
+		MaxOrder:  2,
+	}
+}
+
+var (
+	vaxOnce sync.Once
+	vaxRel  *relation.Relation
+)
+
+// buildVaxDeaths materializes the relation once (the generator is
+// deterministic).
+func buildVaxDeaths() {
+	rng := rand.New(rand.NewSource(2021))
+	const first, last = 14, 52
+	var labels []string
+	for w := first; w <= last; w++ {
+		labels = append(labels, fmt.Sprintf("w%02d", w))
+	}
+
+	ages := []string{"<30", "30-49", "50+"}
+	// Baseline share of deaths by age (deaths skew heavily old).
+	ageShare := map[string]float64{"<30": 0.03, "30-49": 0.14, "50+": 0.83}
+
+	b := relation.NewBuilder("vax-deaths", "week",
+		[]string{"age-group", "vaccinated"}, []string{"deaths"})
+	b.SetTimeOrder(labels)
+	for i, label := range labels {
+		w := float64(first + i)
+		// Total weekly deaths: spring wave declining into July (week ~27),
+		// delta wave rising to a peak near week 38, easing, then winter
+		// rise at the end of the year.
+		total := 5200*decay(w, 14, 10) + bump(w, 38, 5.5, 11000) + ramp(w, 46, 52, 6000) + 700
+		// Unvaccinated share of deaths declines as vaccination expands;
+		// it declines fastest for the young.
+		unvaxBase := 0.96 - ramp(w, 16, 52, 0.45)
+		for _, age := range ages {
+			share := ageShare[age]
+			unvax := unvaxBase
+			switch age {
+			case "<30":
+				unvax -= ramp(w, 20, 40, 0.10)
+			case "30-49":
+				unvax -= ramp(w, 20, 44, 0.05)
+			case "50+":
+				// Elders: vaccinated deaths grow in the delta wave because
+				// protection wanes with age.
+				unvax -= ramp(w, 24, 52, 0.18)
+			}
+			if unvax < 0.05 {
+				unvax = 0.05
+			}
+			for _, vax := range []string{"NO", "YES"} {
+				frac := unvax
+				if vax == "YES" {
+					frac = 1 - unvax
+				}
+				deaths := total * share * frac * jitter(rng, 0.04)
+				deaths = float64(int(deaths))
+				if err := b.Append(label, []string{age, vax}, []float64{deaths}); err != nil {
+					panic("datasets: vax-deaths append: " + err.Error())
+				}
+			}
+		}
+	}
+	rel, err := b.Finish()
+	if err != nil {
+		panic("datasets: vax-deaths finish: " + err.Error())
+	}
+	vaxRel = rel
+}
+
+// decay is an exponential decay starting at 1 when t = start, with the
+// given time constant.
+func decay(t, start, width float64) float64 {
+	if t < start {
+		return 1
+	}
+	return math.Exp(-(t - start) / width)
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/datasets"
+	"repro/internal/evalmetrics"
+	"repro/internal/explain"
+	"repro/internal/relation"
+	"repro/internal/segment"
+	"repro/internal/synth"
+)
+
+// AblationRectification quantifies the rectified-relevance design of
+// Table 2: on the synthetic corpus at SNR=35, the ground-truth rank of
+// the tse objective with and without zeroing opposite-effect relevance.
+// Rectification matters because a slice that pushes the KPI up in one
+// object but down in another must not count as a consistent explanation.
+func AblationRectification(w io.Writer, cfg Config) error {
+	corpus, err := synth.Corpus(cfg.datasets(), corpusSeed, 35)
+	if err != nil {
+		return err
+	}
+	samples := cfg.samples() / 10
+	if samples < 100 {
+		samples = 100
+	}
+	var withSum, withoutSum float64
+	for di, d := range corpus {
+		u, err := explain.NewUniverse(d.Rel, explain.Config{Measure: "sales", Agg: relation.Sum})
+		if err != nil {
+			return err
+		}
+		exp := segment.NewExplainer(u, segment.ExplainerConfig{M: 3})
+		truth := d.GroundTruthScheme()
+		n := d.Rel.NumTimestamps()
+		rng := rand.New(rand.NewSource(int64(di)))
+		schemes := make([][]int, samples)
+		for i := range schemes {
+			schemes[i] = evalmetrics.RandomScheme(rng, n, d.K)
+		}
+		rank := func(rectify bool) float64 {
+			vc := segment.NewVarCalc(exp, segment.Tse)
+			vc.SetRectify(rectify)
+			truthVar := vc.TotalVariance(truth)
+			r := 1
+			for _, s := range schemes {
+				if vc.TotalVariance(s) < truthVar-1e-12 {
+					r++
+				}
+			}
+			return float64(r)
+		}
+		withSum += rank(true)
+		withoutSum += rank(false)
+	}
+	nd := float64(len(corpus))
+	fmt.Fprintln(w, "Ablation — rectified relevance (ground-truth rank, lower is better)")
+	fmt.Fprintf(w, "  with rectification:    %.2f\n", withSum/nd)
+	fmt.Fprintf(w, "  without rectification: %.2f\n", withoutSum/nd)
+	return nil
+}
+
+// AblationGuessInit sweeps the guess-and-verify initial m̄ on the Liquor
+// dataset: too small wastes rounds on re-guessing, too large wastes DP
+// work per segment.
+func AblationGuessInit(w io.Writer, cfg Config) error {
+	d := datasets.Liquor()
+	fmt.Fprintln(w, "Ablation — guess-and-verify initial m̄ (Liquor)")
+	fmt.Fprintf(w, "  %-6s %12s %12s %10s\n", "m̄", "cascading(s)", "rounds/seg", "variance")
+	for _, init := range []int{8, 30, 120} {
+		opts := engineOptions(d, true)
+		opts.GuessInit = init
+		res, err := runDataset(d, opts)
+		if err != nil {
+			return err
+		}
+		perSeg := float64(res.Stats.GuessRounds) / float64(res.Stats.CASolves)
+		fmt.Fprintf(w, "  %-6d %12.3f %12.2f %10.3f\n",
+			init, res.Timings.Cascading.Seconds(), perSeg, res.TotalVariance)
+	}
+	return nil
+}
+
+// AblationSketchSize sweeps the sketch budget |S| on the covid
+// total-confirmed-cases dataset: smaller sketches are faster but risk
+// missing good cut positions.
+func AblationSketchSize(w io.Writer, cfg Config) error {
+	d := datasets.CovidTotal()
+	n := d.Rel.NumTimestamps()
+	L := n / 20
+	if L > 20 {
+		L = 20
+	}
+	fmt.Fprintln(w, "Ablation — sketch budget |S| (covid total-confirmed-cases)")
+	fmt.Fprintf(w, "  %-10s %10s %12s %10s\n", "|S|", "total(s)", "segment(s)", "variance")
+	for _, mult := range []int{1, 3, 6} {
+		opts := engineOptions(d, true)
+		opts.Sketch = segment.SketchConfig{Size: mult * n / (2 * L) * 2} // ≈ mult·n/L
+		res, err := runDataset(d, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-10d %10.3f %12.3f %10.3f\n",
+			res.Stats.SketchSize,
+			res.Timings.Total().Seconds(),
+			res.Timings.Segmentation.Seconds(),
+			res.TotalVariance)
+	}
+	return nil
+}
+
+// AblationFilterRatio sweeps the support-filter ratio on Liquor: higher
+// ratios prune more candidates (faster Cascading Analysts) but may drop
+// legitimate explanations.
+func AblationFilterRatio(w io.Writer, cfg Config) error {
+	d := datasets.Liquor()
+	fmt.Fprintln(w, "Ablation — support filter ratio (Liquor)")
+	fmt.Fprintf(w, "  %-10s %12s %12s %10s\n", "ratio", "filtered ε", "cascading(s)", "variance")
+	for _, ratio := range []float64{0.0001, 0.001, 0.01} {
+		opts := engineOptions(d, true)
+		opts.FilterRatio = ratio
+		res, err := runDataset(d, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-10g %12d %12.3f %10.3f\n",
+			ratio, res.Stats.FilteredEpsilon,
+			res.Timings.Cascading.Seconds(), res.TotalVariance)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+)
+
+// caseStudy runs one real-world dataset with the optimized engine and the
+// three baselines, printing the Figure 11-14 style comparison: the
+// aggregated trend, TSExplain's segmentation with top-3 explanations per
+// segment (the Table 3-5 content), and each baseline's cut dates.
+func caseStudy(w io.Writer, d *datasets.Dataset, figure string) (*core.Result, error) {
+	fmt.Fprintf(w, "%s — %s\n", figure, d.Name)
+	vals := aggregatedSeries(d)
+	fmt.Fprintf(w, "  trend  %s\n", sparkline(vals, 80))
+
+	res, err := runDataset(d, engineOptions(d, true))
+	if err != nil {
+		return nil, err
+	}
+	renderResult(w, res)
+
+	cuts, err := baselineCuts(vals, res.K)
+	if err != nil {
+		return nil, err
+	}
+	labels := d.Rel.TimeLabels()
+	for _, name := range []string{"Bottom-Up", "FLUSS", "NNSegment"} {
+		renderBaselineCuts(w, name, cuts[name], labels)
+	}
+	return res, nil
+}
+
+// Fig11 reproduces the covid total-confirmed-cases case study (Figure 11
+// and the Figure 2 legend).
+func Fig11(w io.Writer, cfg Config) (*core.Result, error) {
+	return caseStudy(w, datasets.CovidTotal(), "Figure 11")
+}
+
+// Fig12 reproduces the covid daily-confirmed-cases case study (Figure 12
+// and Table 3).
+func Fig12(w io.Writer, cfg Config) (*core.Result, error) {
+	return caseStudy(w, datasets.CovidDaily(), "Figure 12 / Table 3")
+}
+
+// Fig13 reproduces the S&P 500 case study (Figure 13 and Table 4).
+func Fig13(w io.Writer, cfg Config) (*core.Result, error) {
+	return caseStudy(w, datasets.SP500(), "Figure 13 / Table 4")
+}
+
+// Fig14 reproduces the Liquor case study (Figure 14 and Table 5).
+func Fig14(w io.Writer, cfg Config) (*core.Result, error) {
+	return caseStudy(w, datasets.Liquor(), "Figure 14 / Table 5")
+}
+
+// Fig18 reproduces the time-varying-attribute discussion (Section 8,
+// Figure 18): weekly covid deaths explained by age-group and vaccination
+// status.
+func Fig18(w io.Writer, cfg Config) (*core.Result, error) {
+	d := datasets.VaxDeaths()
+	fmt.Fprintf(w, "Figure 18 — %s (time-varying attribute)\n", d.Name)
+	vals := aggregatedSeries(d)
+	fmt.Fprintf(w, "  trend  %s\n", sparkline(vals, 78))
+	res, err := runDataset(d, engineOptions(d, true))
+	if err != nil {
+		return nil, err
+	}
+	renderResult(w, res)
+	return res, nil
+}

@@ -1,0 +1,183 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections 4.2, 7, and 8). Each experiment prints the same
+// rows/series the paper reports, so EXPERIMENTS.md can record
+// paper-vs-measured side by side. cmd/experiments dispatches to these
+// functions; the root bench_test.go benchmarks them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/relation"
+	"repro/internal/timeseries"
+)
+
+// Config tunes how heavy the experiment runs are. The zero value uses the
+// paper's full settings.
+type Config struct {
+	// Samples is the random-scheme sample count of Figure 6 (default
+	// 10000, the paper's setting).
+	Samples int
+	// Datasets is the synthetic corpus size (default 20).
+	Datasets int
+	// Quick trims the scalability sweep for smoke runs.
+	Quick bool
+}
+
+func (c Config) samples() int {
+	if c.Samples <= 0 {
+		return 10000
+	}
+	return c.Samples
+}
+
+func (c Config) datasets() int {
+	if c.Datasets <= 0 {
+		return 20
+	}
+	return c.Datasets
+}
+
+// engineOptions builds the engine options for a real-world dataset, with
+// the dataset's β̄ and smoothing window applied.
+func engineOptions(d *datasets.Dataset, optimized bool) core.Options {
+	var o core.Options
+	if optimized {
+		o = core.DefaultOptions()
+	}
+	o.MaxOrder = d.MaxOrder
+	o.SmoothWindow = d.SmoothWindow
+	return o
+}
+
+// runDataset explains one real-world dataset.
+func runDataset(d *datasets.Dataset, opts core.Options) (*core.Result, error) {
+	eng, err := core.NewEngine(d.Rel, core.Query{
+		Measure:   d.Measure,
+		Agg:       d.Agg,
+		ExplainBy: d.ExplainBy,
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Explain()
+}
+
+// aggregatedSeries returns the (optionally smoothed) aggregated series a
+// dataset's baselines segment, matching what the engine explains.
+func aggregatedSeries(d *datasets.Dataset) []float64 {
+	m := d.Rel.MeasureIndex(d.Measure)
+	vals := relation.Values(d.Agg, d.Rel.AggregateSeries(m))
+	if d.SmoothWindow > 1 {
+		vals = timeseries.MovingAverage(vals, d.SmoothWindow)
+	}
+	return vals
+}
+
+// renderResult prints one engine result as the trendline tables of
+// Figures 11-14: one row per segment with the top-m explanations and
+// their effects.
+func renderResult(w io.Writer, res *core.Result) {
+	fmt.Fprintf(w, "  K = %d (auto=%v), total variance = %.3f\n", res.K, res.AutoK, res.TotalVariance)
+	fmt.Fprintf(w, "  cut positions: %v\n", cutsWithLabels(res))
+	for _, seg := range res.Segments {
+		fmt.Fprintf(w, "  %s ~ %s\n", seg.StartLabel, seg.EndLabel)
+		if len(seg.Top) == 0 {
+			fmt.Fprintln(w, "    (no slice moved in this period)")
+		}
+		for i, e := range seg.Top {
+			fmt.Fprintf(w, "    top-%d  %-48s %s  γ=%.4g\n", i+1, e.Predicates, e.Effect, e.Gamma)
+		}
+	}
+}
+
+// cutsWithLabels renders cut positions with their time labels.
+func cutsWithLabels(res *core.Result) string {
+	var sb strings.Builder
+	for i, c := range res.Cuts() {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		fmt.Fprintf(&sb, "%s", res.Labels[c])
+	}
+	return sb.String()
+}
+
+// renderBaselineCuts prints the cut dates a baseline chooses.
+func renderBaselineCuts(w io.Writer, name string, cuts []int, labels []string) {
+	var sb strings.Builder
+	for i, c := range cuts {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		sb.WriteString(labels[c])
+	}
+	fmt.Fprintf(w, "  %-10s %s\n", name+":", sb.String())
+}
+
+// baselineCuts runs all three baselines with the given K on a series.
+// Window parameters follow Section 7.2's tuning (roughly 8% of the series,
+// clamped to a sensible range).
+func baselineCuts(vals []float64, k int) (map[string][]int, error) {
+	n := len(vals)
+	w := n / 12
+	if w < 5 {
+		w = 5
+	}
+	if w > 25 {
+		w = 25
+	}
+	out := make(map[string][]int, 3)
+	bu, err := baseline.BottomUp(vals, k)
+	if err != nil {
+		return nil, fmt.Errorf("bottom-up: %w", err)
+	}
+	out["Bottom-Up"] = bu
+	fl, err := baseline.FLUSS(vals, k, w)
+	if err != nil {
+		return nil, fmt.Errorf("fluss: %w", err)
+	}
+	out["FLUSS"] = fl
+	nn, err := baseline.NNSegment(vals, k, w)
+	if err != nil {
+		return nil, fmt.Errorf("nnsegment: %w", err)
+	}
+	out["NNSegment"] = nn
+	return out, nil
+}
+
+// sparkline renders a coarse text plot of a series, for the "figure"
+// halves of the case studies.
+func sparkline(vals []float64, width int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if width > len(vals) {
+		width = len(vals)
+	}
+	var sb strings.Builder
+	for i := 0; i < width; i++ {
+		v := vals[i*len(vals)/width]
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		sb.WriteRune(levels[idx])
+	}
+	return sb.String()
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/explain"
+	"repro/internal/segment"
+)
+
+// perfDatasets returns the four real-world series of the efficiency
+// experiments, in the paper's order. Quick mode keeps the two fastest so
+// smoke runs stay short.
+func perfDatasets(cfg Config) []*datasets.Dataset {
+	if cfg.Quick {
+		return []*datasets.Dataset{
+			datasets.CovidTotal(),
+			datasets.SP500(),
+		}
+	}
+	return []*datasets.Dataset{
+		datasets.CovidTotal(),
+		datasets.CovidDaily(),
+		datasets.SP500(),
+		datasets.Liquor(),
+	}
+}
+
+// Table6 prints the dataset statistics of Table 6: candidate count ε,
+// filtered ε (support ratio 0.001), and series length n.
+func Table6(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "Table 6 — dataset statistics")
+	fmt.Fprintf(w, "  %-24s %8s %12s %6s\n", "dataset", "ε", "filtered ε", "n")
+	for _, d := range perfDatasets(cfg) {
+		u, err := explain.NewUniverse(d.Rel, explain.Config{
+			Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy, MaxOrder: d.MaxOrder,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-24s %8d %12d %6d\n",
+			d.Name, u.NumCandidates(), len(u.FilterLowSupport(0.001)), u.NumTimestamps())
+	}
+	return nil
+}
+
+// optimizationVariants lists the five engine configurations of Figure 15.
+func optimizationVariants(d *datasets.Dataset) []struct {
+	Name string
+	Opts core.Options
+} {
+	base := engineOptions(d, false)
+	withFilter := base
+	withFilter.FilterRatio = 0.001
+	o1 := withFilter
+	o1.UseGuessVerify = true
+	o2 := withFilter
+	o2.UseSketch = true
+	o12 := withFilter
+	o12.UseGuessVerify = true
+	o12.UseSketch = true
+	return []struct {
+		Name string
+		Opts core.Options
+	}{
+		{"Vanilla", base},
+		{"w filter", withFilter},
+		{"O1", o1},
+		{"O2", o2},
+		{"O1+O2", o12},
+	}
+}
+
+// Fig15 runs the latency-breakdown experiment: each dataset under the
+// five optimization variants, reporting precompute / cascading analysts /
+// segmentation time. Returns timings[dataset][variant].
+func Fig15(w io.Writer, cfg Config) (map[string]map[string]core.Timings, error) {
+	out := make(map[string]map[string]core.Timings)
+	fmt.Fprintln(w, "Figure 15 — latency breakdown (seconds)")
+	fmt.Fprintf(w, "  %-24s %-9s %10s %10s %10s %10s\n",
+		"dataset", "variant", "precomp", "cascading", "segment", "total")
+	for _, d := range perfDatasets(cfg) {
+		out[d.Name] = make(map[string]core.Timings)
+		for _, v := range optimizationVariants(d) {
+			res, err := runDataset(d, v.Opts)
+			if err != nil {
+				return nil, err
+			}
+			out[d.Name][v.Name] = res.Timings
+			fmt.Fprintf(w, "  %-24s %-9s %10.3f %10.3f %10.3f %10.3f\n",
+				d.Name, v.Name,
+				res.Timings.Precompute.Seconds(),
+				res.Timings.Cascading.Seconds(),
+				res.Timings.Segmentation.Seconds(),
+				res.Timings.Total().Seconds())
+		}
+	}
+	return out, nil
+}
+
+// Table7 compares the segmentation quality (total variance and cut
+// positions) of Vanilla against O1+O2, the Table 7 experiment. The K used
+// is the one Vanilla's elbow picks, so the objectives are comparable.
+func Table7(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "Table 7 — quality of optimization strategies")
+	fmt.Fprintf(w, "  %-24s %16s %16s\n", "dataset", "Var(Vanilla)", "Var(O1+O2)")
+	for _, d := range perfDatasets(cfg) {
+		vOpts := engineOptions(d, false)
+		rv, err := runDataset(d, vOpts)
+		if err != nil {
+			return err
+		}
+		oOpts := engineOptions(d, true)
+		oOpts.K = rv.K
+		ro, err := runDataset(d, oOpts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-24s %16.4f %16.4f\n", d.Name, rv.TotalVariance, ro.TotalVariance)
+	}
+	return nil
+}
+
+// Fig16 runs the end-to-end comparison with the baselines: each baseline
+// segments the series and is then given the explanation module (top-m per
+// segment via Cascading Analysts), while TSExplain interleaves both.
+// Returns seconds[dataset][method].
+func Fig16(w io.Writer, cfg Config) (map[string]map[string]float64, error) {
+	// The paper's Figure 16 uses the covid pair and Liquor.
+	sets := []*datasets.Dataset{
+		datasets.CovidTotal(),
+		datasets.CovidDaily(),
+		datasets.Liquor(),
+	}
+	if cfg.Quick {
+		sets = sets[:1]
+	}
+	out := make(map[string]map[string]float64)
+	fmt.Fprintln(w, "Figure 16 — end-to-end latency vs baselines (seconds)")
+	fmt.Fprintf(w, "  %-24s %-18s %10s %12s %10s\n",
+		"dataset", "method", "segment", "explanation", "overall")
+	for _, d := range sets {
+		out[d.Name] = make(map[string]float64)
+
+		// TSExplain finds its K; baselines reuse it (Section 7.5.2).
+		optRes, err := runDataset(d, engineOptions(d, true))
+		if err != nil {
+			return nil, err
+		}
+		k := optRes.K
+		vals := aggregatedSeries(d)
+
+		for _, method := range []string{"Bottom-Up", "FLUSS", "NNSegment"} {
+			segStart := time.Now()
+			cuts, err := baselineCuts(vals, k) // segmentation only
+			if err != nil {
+				return nil, err
+			}
+			_ = cuts[method]
+			segDur := time.Since(segStart) / 3 // one method's share of the shared helper
+
+			explStart := time.Now()
+			if err := explainCuts(d, cuts[method]); err != nil {
+				return nil, err
+			}
+			explDur := time.Since(explStart)
+			total := segDur + explDur
+			out[d.Name][method] = total.Seconds()
+			fmt.Fprintf(w, "  %-24s %-18s %10.3f %12.3f %10.3f\n",
+				d.Name, method, segDur.Seconds(), explDur.Seconds(), total.Seconds())
+		}
+
+		// VanillaTSExplain and optimized TSExplain, overall time.
+		for _, variant := range []struct {
+			name      string
+			optimized bool
+		}{{"VanillaTSExplain", false}, {"TSExplain", true}} {
+			opts := engineOptions(d, variant.optimized)
+			opts.K = k
+			start := time.Now()
+			if _, err := runDataset(d, opts); err != nil {
+				return nil, err
+			}
+			total := time.Since(start)
+			out[d.Name][variant.name] = total.Seconds()
+			fmt.Fprintf(w, "  %-24s %-18s %10s %12s %10.3f\n",
+				d.Name, variant.name, "-", "-", total.Seconds())
+		}
+	}
+	return out, nil
+}
+
+// explainCuts runs the explanation module over a fixed segmentation, the
+// add-on that makes baselines comparable in Figure 16 (including the
+// precompute they need).
+func explainCuts(d *datasets.Dataset, cuts []int) error {
+	u, err := explain.NewUniverse(d.Rel, explain.Config{
+		Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy, MaxOrder: d.MaxOrder,
+	})
+	if err != nil {
+		return err
+	}
+	if d.SmoothWindow > 1 {
+		u.Smooth(d.SmoothWindow)
+	}
+	exp := segment.NewExplainer(u, segment.ExplainerConfig{M: 3})
+	for i := 1; i < len(cuts); i++ {
+		exp.TopM(cuts[i-1], cuts[i])
+	}
+	return nil
+}

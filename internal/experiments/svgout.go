@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/render"
+)
+
+// WriteCaseStudySVGs renders the Figure 2/11-14/18 visualizations as SVG
+// files in dir: for each real-world dataset, the evolving-explanation
+// trendlines and the K-Variance curve. It returns the files written.
+func WriteCaseStudySVGs(w io.Writer, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	sets := []*datasets.Dataset{
+		datasets.CovidTotal(),
+		datasets.CovidDaily(),
+		datasets.SP500(),
+		datasets.Liquor(),
+		datasets.VaxDeaths(),
+	}
+	var written []string
+	for _, d := range sets {
+		res, err := runDataset(d, engineOptions(d, true))
+		if err != nil {
+			return nil, err
+		}
+		for _, out := range []struct {
+			suffix string
+			draw   func(io.Writer, *core.Result, string) error
+		}{
+			{"trendlines", render.Trendlines},
+			{"kvariance", render.KVarianceCurve},
+		} {
+			path := filepath.Join(dir, fmt.Sprintf("%s-%s.svg", d.Name, out.suffix))
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, err
+			}
+			err = out.draw(f, res, fmt.Sprintf("%s (%s)", d.Name, out.suffix))
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return nil, err
+			}
+			written = append(written, path)
+			fmt.Fprintf(w, "wrote %s\n", path)
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/evalmetrics"
+	"repro/internal/explain"
+	"repro/internal/relation"
+	"repro/internal/segment"
+	"repro/internal/synth"
+	"repro/internal/timeseries"
+)
+
+// corpusSeed fixes the synthetic corpus across experiments so Figures 4,
+// 6, and 10 all describe the same 20 datasets, as in the paper.
+const corpusSeed = 1
+
+// Fig4 prints the distribution of the ground-truth segment count K and
+// of segment lengths across the synthetic corpus (paper Figure 4:
+// K ∈ 2..10, lengths 6..84).
+func Fig4(w io.Writer, cfg Config) error {
+	corpus, err := synth.Corpus(cfg.datasets(), corpusSeed, 0)
+	if err != nil {
+		return err
+	}
+	kHist := map[int]int{}
+	lenHist := map[int]int{} // bucketed by 10
+	minLen, maxLen := 1<<30, 0
+	for _, d := range corpus {
+		kHist[d.K]++
+		full := d.GroundTruthScheme()
+		for i := 1; i < len(full); i++ {
+			l := full[i] - full[i-1]
+			lenHist[l/10*10]++
+			if l < minLen {
+				minLen = l
+			}
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+	}
+	fmt.Fprintf(w, "Figure 4 — synthetic corpus (%d datasets, n=100)\n", len(corpus))
+	fmt.Fprintln(w, "segment number K     frequency")
+	for k := 2; k <= 10; k++ {
+		if kHist[k] > 0 {
+			fmt.Fprintf(w, "  K=%-2d               %d\n", k, kHist[k])
+		}
+	}
+	fmt.Fprintln(w, "segment length       frequency")
+	var buckets []int
+	for b := range lenHist {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	for _, b := range buckets {
+		fmt.Fprintf(w, "  [%2d,%2d)            %d\n", b, b+10, lenHist[b])
+	}
+	fmt.Fprintf(w, "length range: [%d, %d] (paper: [6, 84])\n", minLen, maxLen)
+	return nil
+}
+
+// Fig5 prints one synthetic dataset at SNR=35: the three per-category
+// series, the aggregate, and the ground-truth cutting points (paper
+// Figure 5).
+func Fig5(w io.Writer, cfg Config) error {
+	d, err := synth.Generate(synth.Params{Seed: corpusSeed + 2*7919, SNRdB: 35})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 5 — one synthetic dataset at SNR=35")
+	for _, cat := range d.Categories {
+		fmt.Fprintf(w, "  %-4s %s\n", cat, sparkline(d.Noisy[cat], 80))
+	}
+	fmt.Fprintf(w, "  %-4s %s\n", "agg", sparkline(d.AggregateValues(), 80))
+	fmt.Fprintf(w, "  ground-truth cuts: %v (K=%d)\n", d.Cuts, d.K)
+	return nil
+}
+
+// Fig6 runs the variance-design comparison of Section 4.2.2: for every
+// SNR level and dataset, the rank of the ground-truth segmentation among
+// randomly sampled schemes is computed under all eight variance designs;
+// designs are then ranked 1 (best) to 8 per dataset and averaged. It
+// returns avgRank[kind.String()][snrIdx].
+func Fig6(w io.Writer, cfg Config) (map[string][]float64, error) {
+	kinds := segment.AllVarianceKinds()
+	levels := synth.SNRLevels()
+	avg := make(map[string][]float64, len(kinds))
+	for _, k := range kinds {
+		avg[k.String()] = make([]float64, len(levels))
+	}
+
+	for si, snr := range levels {
+		corpus, err := synth.Corpus(cfg.datasets(), corpusSeed, snr)
+		if err != nil {
+			return nil, err
+		}
+		sums := make([]float64, len(kinds))
+		for di, d := range corpus {
+			u, err := explain.NewUniverse(d.Rel, explain.Config{
+				Measure: "sales", Agg: relation.Sum,
+			})
+			if err != nil {
+				return nil, err
+			}
+			exp := segment.NewExplainer(u, segment.ExplainerConfig{M: 3})
+			n := d.Rel.NumTimestamps()
+			truth := d.GroundTruthScheme()
+
+			// One scheme sample set shared by all designs keeps the
+			// comparison paired.
+			rng := rand.New(rand.NewSource(int64(1000*si + di)))
+			schemes := make([][]int, cfg.samples())
+			for i := range schemes {
+				schemes[i] = evalmetrics.RandomScheme(rng, n, d.K)
+			}
+
+			gtRanks := make([]float64, len(kinds))
+			for ki, kind := range kinds {
+				vc := segment.NewVarCalc(exp, kind)
+				truthVar := vc.TotalVariance(truth)
+				rank := 1
+				for _, s := range schemes {
+					if vc.TotalVariance(s) < truthVar-1e-12 {
+						rank++
+					}
+				}
+				gtRanks[ki] = float64(rank)
+			}
+			for ki, r := range evalmetrics.CompetitionRanks(gtRanks) {
+				sums[ki] += r
+			}
+		}
+		for ki, k := range kinds {
+			avg[k.String()][si] = sums[ki] / float64(len(corpus))
+		}
+	}
+
+	fmt.Fprintln(w, "Figure 6 — average rank of variance designs by SNR (1 = best of 8)")
+	fmt.Fprintf(w, "  %-9s", "metric")
+	for _, snr := range levels {
+		fmt.Fprintf(w, "  SNR=%2.0f", snr)
+	}
+	fmt.Fprintln(w)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-9s", k.String())
+		for si := range levels {
+			fmt.Fprintf(w, "  %6.2f", avg[k.String()][si])
+		}
+		fmt.Fprintln(w)
+	}
+	return avg, nil
+}
+
+// Fig10 compares TSExplain against the three explanation-agnostic
+// baselines on the synthetic corpus using the distance-percent metric of
+// Section 7.3, with the oracle K. It returns avgDist[method][snrIdx].
+func Fig10(w io.Writer, cfg Config) (map[string][]float64, error) {
+	methods := []string{"TSExplain", "Bottom-Up", "FLUSS", "NNSegment"}
+	levels := synth.SNRLevels()
+	avg := make(map[string][]float64, len(methods))
+	for _, m := range methods {
+		avg[m] = make([]float64, len(levels))
+	}
+
+	for si, snr := range levels {
+		corpus, err := synth.Corpus(cfg.datasets(), corpusSeed, snr)
+		if err != nil {
+			return nil, err
+		}
+		sums := map[string]float64{}
+		for _, d := range corpus {
+			n := d.Rel.NumTimestamps()
+			truth := d.GroundTruthScheme()
+
+			vals := d.AggregateValues()
+			eng, err := core.NewEngine(d.Rel, core.Query{Measure: "sales", Agg: relation.Sum},
+				core.Options{K: d.K, SmoothWindow: timeseries.AutoSmoothWindow(vals)})
+			if err != nil {
+				return nil, err
+			}
+			res, err := eng.Explain()
+			if err != nil {
+				return nil, err
+			}
+			sums["TSExplain"] += evalmetrics.DistancePercent(res.Cuts(), truth, n)
+
+			const window = 10 // best of the sweep {5, 8, 10, 12}, as in §7.3
+			if cuts, err := baseline.BottomUp(vals, d.K); err == nil {
+				sums["Bottom-Up"] += evalmetrics.DistancePercent(cuts, truth, n)
+			}
+			if cuts, err := baseline.FLUSS(vals, d.K, window); err == nil {
+				sums["FLUSS"] += evalmetrics.DistancePercent(cuts, truth, n)
+			}
+			if cuts, err := baseline.NNSegment(vals, d.K, window); err == nil {
+				sums["NNSegment"] += evalmetrics.DistancePercent(cuts, truth, n)
+			}
+		}
+		for _, m := range methods {
+			avg[m][si] = sums[m] / float64(len(corpus))
+		}
+	}
+
+	fmt.Fprintln(w, "Figure 10 — distance percent (%) vs SNR (lower is better)")
+	fmt.Fprintf(w, "  %-10s", "method")
+	for _, snr := range levels {
+		fmt.Fprintf(w, "  SNR=%2.0f", snr)
+	}
+	fmt.Fprintln(w)
+	for _, m := range methods {
+		fmt.Fprintf(w, "  %-10s", m)
+		for si := range levels {
+			fmt.Fprintf(w, "  %6.2f", avg[m][si])
+		}
+		fmt.Fprintln(w)
+	}
+	return avg, nil
+}
+
+// Fig17 runs the scalability sweep of Section 7.5.3: synthetic series of
+// increasing length, VanillaTSExplain vs fully optimized TSExplain,
+// terminating a configuration once it exceeds the latency budget (the
+// paper terminates at 100 s). Returns latencies[method][lengthIdx] in
+// seconds (-1 where skipped).
+func Fig17(w io.Writer, cfg Config) (map[string][]float64, error) {
+	lengths := []int{100, 200, 400, 800, 1600, 3200, 6400}
+	seeds := 5
+	budget := 100 * time.Second
+	if cfg.Quick {
+		lengths = []int{100, 200, 400, 800}
+		seeds = 1
+		budget = 20 * time.Second
+	}
+	out := map[string][]float64{
+		"VanillaTSExplain": make([]float64, len(lengths)),
+		"TSExplain":        make([]float64, len(lengths)),
+	}
+	dead := map[string]bool{}
+	for li, n := range lengths {
+		for _, method := range []string{"VanillaTSExplain", "TSExplain"} {
+			if dead[method] {
+				out[method][li] = -1
+				continue
+			}
+			var total time.Duration
+			ran := 0
+			for s := 0; s < seeds; s++ {
+				d, err := synth.Generate(synth.Params{
+					Seed:      int64(100*s + li),
+					SNRdB:     35,
+					N:         n,
+					MinSegLen: max(6, n/16),
+				})
+				if err != nil {
+					return nil, err
+				}
+				var opts core.Options
+				if method == "TSExplain" {
+					opts = core.DefaultOptions()
+				}
+				start := time.Now()
+				eng, err := core.NewEngine(d.Rel, core.Query{Measure: "sales", Agg: relation.Sum}, opts)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := eng.Explain(); err != nil {
+					return nil, err
+				}
+				el := time.Since(start)
+				total += el
+				ran++
+				if el > budget {
+					dead[method] = true
+					break
+				}
+			}
+			out[method][li] = (total / time.Duration(ran)).Seconds()
+		}
+	}
+
+	fmt.Fprintf(w, "Figure 17 — scalability (avg seconds; %d seed(s), budget %v; -1 = terminated)\n", seeds, budget)
+	fmt.Fprintf(w, "  %-18s", "length")
+	for _, n := range lengths {
+		fmt.Fprintf(w, "  %8d", n)
+	}
+	fmt.Fprintln(w)
+	for _, m := range []string{"VanillaTSExplain", "TSExplain"} {
+		fmt.Fprintf(w, "  %-18s", m)
+		for li := range lengths {
+			fmt.Fprintf(w, "  %8.3f", out[m][li])
+		}
+		fmt.Fprintln(w)
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

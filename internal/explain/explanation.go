@@ -1,0 +1,308 @@
+// Package explain implements candidate explanations and difference
+// metrics for TSExplain.
+//
+// An explanation E (Definition 3.1) is a conjunction of equality
+// predicates over the user-selected explain-by attributes. This package
+// enumerates every candidate explanation that occurs in the relation up to
+// an order threshold β̄, precomputes each candidate's decomposed aggregate
+// time series (the "data cube" access of Section 5.2 module a), and scores
+// candidates over arbitrary segments with the difference-metric library:
+// absolute-change (Definition 3.2, the paper's default), relative-change,
+// and risk-ratio.
+package explain
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Candidate is one enumerated explanation together with its precomputed
+// per-timestamp aggregate state.
+type Candidate struct {
+	// ID is the candidate's dense index within its Universe.
+	ID int
+	// Conj is the predicate conjunction selecting the candidate's data
+	// slice.
+	Conj relation.Conjunction
+	// Series is the decomposed aggregate of σ_E R per timestamp.
+	Series []relation.SumCount
+}
+
+// Universe holds every candidate explanation for one (relation, measure,
+// aggregate, explain-by attributes) quadruple, plus the overall aggregated
+// series. It is the output of the Preprocessing module and the input to
+// the Cascading Analysts and K-Segmentation modules.
+type Universe struct {
+	rel       *relation.Relation
+	agg       relation.AggFunc
+	measure   int
+	explainBy []int // dimension indexes, sorted
+	maxOrder  int
+
+	total []relation.SumCount
+	cands []*Candidate
+	byKey map[string]int
+
+	// children indexes candidate extensions for the drill-down tree:
+	// children[parentKey][dim] lists candidate IDs whose conjunction is the
+	// parent conjunction extended by one predicate over dim.
+	children map[string]map[int][]int
+	// childrenByID is the same adjacency keyed by parent candidate ID
+	// (index 0 is the root, index id+1 is candidate id), the form the
+	// Cascading Analysts hot path uses to avoid string keys.
+	childrenByID []map[int][]int
+	// ancestors[id] lists the candidate IDs of every non-empty
+	// sub-conjunction of candidate id (itself included).
+	ancestors [][]int
+}
+
+// Config controls candidate enumeration.
+type Config struct {
+	// Measure is the name of the measure attribute M.
+	Measure string
+	// Agg is the aggregate function f.
+	Agg relation.AggFunc
+	// ExplainBy lists the explain-by attribute names A. Empty means all
+	// dimension attributes, following the paper's default.
+	ExplainBy []string
+	// MaxOrder is the order threshold β̄ (default 3).
+	MaxOrder int
+}
+
+// NewUniverse enumerates all candidate explanations of order ≤ β̄ that
+// occur in r and precomputes their aggregate series.
+func NewUniverse(r *relation.Relation, cfg Config) (*Universe, error) {
+	m := r.MeasureIndex(cfg.Measure)
+	if m < 0 {
+		return nil, fmt.Errorf("explain: unknown measure %q", cfg.Measure)
+	}
+	maxOrder := cfg.MaxOrder
+	if maxOrder <= 0 {
+		maxOrder = 3
+	}
+	var dims []int
+	if len(cfg.ExplainBy) == 0 {
+		for i := 0; i < r.NumDims(); i++ {
+			dims = append(dims, i)
+		}
+	} else {
+		for _, name := range cfg.ExplainBy {
+			d := r.DimIndex(name)
+			if d < 0 {
+				return nil, fmt.Errorf("explain: unknown explain-by attribute %q", name)
+			}
+			dims = append(dims, d)
+		}
+		sort.Ints(dims)
+		for i := 1; i < len(dims); i++ {
+			if dims[i] == dims[i-1] {
+				return nil, fmt.Errorf("explain: duplicate explain-by attribute %q", r.Dim(dims[i]).Name())
+			}
+		}
+	}
+	if maxOrder > len(dims) {
+		maxOrder = len(dims)
+	}
+
+	u := &Universe{
+		rel:       r,
+		agg:       cfg.Agg,
+		measure:   m,
+		explainBy: dims,
+		maxOrder:  maxOrder,
+		total:     r.AggregateSeries(m),
+		byKey:     make(map[string]int),
+		children:  make(map[string]map[int][]int),
+	}
+
+	// Enumerate every attribute subset of size 1..β̄ and group-by each.
+	// Group keys are sorted before IDs are assigned so enumeration is
+	// deterministic (map iteration order is not).
+	for _, subset := range subsets(dims, maxOrder) {
+		groups := r.GroupBySeries(subset, m)
+		keys := make([]string, 0, len(groups))
+		for key := range groups {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			gd, ids := relation.DecodeGroupKey(key)
+			conj := make(relation.Conjunction, len(gd))
+			for i := range gd {
+				conj[i] = relation.Pred{Dim: gd[i], Value: ids[i]}
+			}
+			c := &Candidate{ID: len(u.cands), Conj: conj, Series: groups[key]}
+			u.cands = append(u.cands, c)
+			u.byKey[conj.Key()] = c.ID
+		}
+	}
+
+	// Build the drill-down adjacency: each candidate of order β is a child
+	// of each of its β order-(β−1) prefixes, under the removed dimension.
+	u.childrenByID = make([]map[int][]int, len(u.cands)+1)
+	for _, c := range u.cands {
+		for _, p := range c.Conj {
+			parent := c.Conj.Without(p.Dim)
+			parentKey := parent.Key()
+			byDim, ok := u.children[parentKey]
+			if !ok {
+				byDim = make(map[int][]int)
+				u.children[parentKey] = byDim
+			}
+			byDim[p.Dim] = append(byDim[p.Dim], c.ID)
+
+			parentID := 0 // root
+			if len(parent) > 0 {
+				id, ok := u.byKey[parentKey]
+				if !ok {
+					// Every prefix of an occurring conjunction occurs, so
+					// this is unreachable; guard anyway.
+					continue
+				}
+				parentID = id + 1
+			}
+			if u.childrenByID[parentID] == nil {
+				u.childrenByID[parentID] = make(map[int][]int)
+			}
+			u.childrenByID[parentID][p.Dim] = append(u.childrenByID[parentID][p.Dim], c.ID)
+		}
+	}
+	// Sort child lists once so the DP and its extraction never re-sort.
+	for _, byDim := range u.childrenByID {
+		for _, kids := range byDim {
+			sort.Ints(kids)
+		}
+	}
+
+	// Precompute each candidate's ancestor closure (every non-empty
+	// sub-conjunction, itself included). The Cascading Analysts DP uses
+	// it to prune drill-down to subtrees that can still reach a
+	// selectable candidate.
+	u.ancestors = make([][]int, len(u.cands))
+	for id, c := range u.cands {
+		subs := conjSubsets(c.Conj)
+		anc := make([]int, 0, len(subs))
+		for _, sub := range subs {
+			if aid, ok := u.byKey[sub.Key()]; ok {
+				anc = append(anc, aid)
+			}
+		}
+		u.ancestors[id] = anc
+	}
+	return u, nil
+}
+
+// conjSubsets enumerates every non-empty sub-conjunction of c (c itself
+// included). A conjunction of order β has 2^β − 1 of them.
+func conjSubsets(c relation.Conjunction) []relation.Conjunction {
+	var out []relation.Conjunction
+	n := len(c)
+	for mask := 1; mask < 1<<n; mask++ {
+		sub := make(relation.Conjunction, 0, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, c[i])
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
+// AncestorsOf returns the candidate IDs of every non-empty
+// sub-conjunction of candidate id, id itself included.
+func (u *Universe) AncestorsOf(id int) []int { return u.ancestors[id] }
+
+// ChildrenOf returns the candidate IDs extending node nodeID (-1 for the
+// root) by one predicate over dimension dim, sorted ascending.
+func (u *Universe) ChildrenOf(nodeID, dim int) []int {
+	byDim := u.childrenByID[nodeID+1]
+	if byDim == nil {
+		return nil
+	}
+	return byDim[dim]
+}
+
+// subsets returns all non-empty subsets of dims with size ≤ maxSize, each
+// sorted ascending.
+func subsets(dims []int, maxSize int) [][]int {
+	var out [][]int
+	n := len(dims)
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) > 0 {
+			out = append(out, append([]int(nil), cur...))
+		}
+		if len(cur) == maxSize {
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(cur, dims[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// Relation returns the underlying relation.
+func (u *Universe) Relation() *relation.Relation { return u.rel }
+
+// Agg returns the aggregate function being explained.
+func (u *Universe) Agg() relation.AggFunc { return u.agg }
+
+// MeasureIndex returns the measure attribute index being aggregated.
+func (u *Universe) MeasureIndex() int { return u.measure }
+
+// ExplainBy returns the explain-by dimension indexes (sorted).
+func (u *Universe) ExplainBy() []int {
+	return append([]int(nil), u.explainBy...)
+}
+
+// MaxOrder returns the enumeration order threshold β̄.
+func (u *Universe) MaxOrder() int { return u.maxOrder }
+
+// NumCandidates returns ε, the number of candidate explanations.
+func (u *Universe) NumCandidates() int { return len(u.cands) }
+
+// Candidate returns the candidate with the given dense ID.
+func (u *Universe) Candidate(id int) *Candidate { return u.cands[id] }
+
+// Lookup resolves a conjunction to its candidate ID; ok is false when the
+// conjunction never occurs in the data.
+func (u *Universe) Lookup(c relation.Conjunction) (id int, ok bool) {
+	id, ok = u.byKey[c.Key()]
+	return id, ok
+}
+
+// Children returns the candidate IDs that extend the conjunction with
+// parent key parentKey by one predicate over dimension dim. The root's
+// key is "".
+func (u *Universe) Children(parentKey string, dim int) []int {
+	if byDim, ok := u.children[parentKey]; ok {
+		return byDim[dim]
+	}
+	return nil
+}
+
+// NumTimestamps returns n, the length of the aggregated series.
+func (u *Universe) NumTimestamps() int { return len(u.total) }
+
+// TotalSeries returns the decomposed overall aggregate per timestamp.
+func (u *Universe) TotalSeries() []relation.SumCount { return u.total }
+
+// TotalValues evaluates the overall aggregated time series ts(R).
+func (u *Universe) TotalValues() []float64 {
+	return relation.Values(u.agg, u.total)
+}
+
+// CandidateValues evaluates candidate id's aggregated series ts(σ_E R).
+func (u *Universe) CandidateValues(id int) []float64 {
+	return relation.Values(u.agg, u.cands[id].Series)
+}
+
+// Describe renders candidate id's conjunction with names resolved.
+func (u *Universe) Describe(id int) string {
+	return u.cands[id].Conj.String(u.rel)
+}

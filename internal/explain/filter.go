@@ -1,0 +1,44 @@
+package explain
+
+import "math"
+
+// FilterLowSupport implements the "filter" optimization of Section 7.5.1:
+// a candidate explanation is dropped when, at every timestamp, the
+// absolute value of its aggregated series is below ratio times the
+// absolute value of the overall aggregated series. Such slices are too
+// small to ever matter and only slow the Cascading Analysts module down.
+//
+// It returns the IDs of the surviving candidates (in ascending order). The
+// Universe itself is not modified, so callers can compare filtered and
+// unfiltered runs. ratio ≤ 0 keeps everything. The paper's default ratio
+// is 0.001.
+func (u *Universe) FilterLowSupport(ratio float64) []int {
+	ids := make([]int, 0, len(u.cands))
+	if ratio <= 0 {
+		for id := range u.cands {
+			ids = append(ids, id)
+		}
+		return ids
+	}
+	totalVals := u.TotalValues()
+	for id, cand := range u.cands {
+		keep := false
+		for t, sc := range cand.Series {
+			v := math.Abs(u.agg.Eval(sc.Sum, sc.Count))
+			if v >= ratio*math.Abs(totalVals[t]) && v > 0 {
+				keep = true
+				break
+			}
+		}
+		if keep {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// AllCandidateIDs returns every candidate ID in ascending order,
+// equivalent to FilterLowSupport with a non-positive ratio.
+func (u *Universe) AllCandidateIDs() []int {
+	return u.FilterLowSupport(0)
+}

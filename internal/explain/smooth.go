@@ -1,0 +1,66 @@
+package explain
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/timeseries"
+)
+
+// Smooth applies a centered moving average of the given window to the
+// overall series and to every candidate's series (both the sum and count
+// components, so every aggregate stays decomposable). The paper applies
+// this to very fuzzy datasets before explaining them (Section 7.4).
+// window <= 1 is a no-op. Smoothing is applied to the Universe rather
+// than the raw relation so the relation stays exact for other queries.
+func (u *Universe) Smooth(window int) {
+	if window <= 1 {
+		return
+	}
+	u.total = smoothSeries(u.total, window)
+	for _, c := range u.cands {
+		c.Series = smoothSeries(c.Series, window)
+	}
+}
+
+func smoothSeries(sc []relation.SumCount, window int) []relation.SumCount {
+	sums := make([]float64, len(sc))
+	counts := make([]float64, len(sc))
+	for i, s := range sc {
+		sums[i] = s.Sum
+		counts[i] = s.Count
+	}
+	sums = timeseries.MovingAverage(sums, window)
+	counts = timeseries.MovingAverage(counts, window)
+	out := make([]relation.SumCount, len(sc))
+	for i := range out {
+		out[i] = relation.SumCount{Sum: sums[i], Count: counts[i]}
+	}
+	return out
+}
+
+// SliceTime returns a view of the universe restricted to point positions
+// [from, to] inclusive: the overall and per-candidate series are
+// re-sliced, while the candidate set and drill-down adjacency are shared
+// with the receiver. It supports explaining a user-selected sub-period
+// without re-running enumeration.
+func (u *Universe) SliceTime(from, to int) (*Universe, error) {
+	if from < 0 || to >= len(u.total) || from >= to {
+		return nil, fmt.Errorf("explain: invalid time slice [%d, %d] of %d points", from, to, len(u.total))
+	}
+	out := &Universe{
+		rel:       u.rel,
+		agg:       u.agg,
+		measure:   u.measure,
+		explainBy: u.explainBy,
+		maxOrder:  u.maxOrder,
+		total:     u.total[from : to+1],
+		byKey:     u.byKey,
+		children:  u.children,
+	}
+	out.cands = make([]*Candidate, len(u.cands))
+	for i, c := range u.cands {
+		out.cands[i] = &Candidate{ID: c.ID, Conj: c.Conj, Series: c.Series[from : to+1]}
+	}
+	return out, nil
+}

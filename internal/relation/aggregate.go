@@ -1,0 +1,167 @@
+package relation
+
+import "fmt"
+
+// AggFunc identifies a decomposable aggregate function f(M) applied to a
+// measure attribute. All three supported aggregates decompose into
+// (sum, count) pairs, which is what lets the engine derive
+// f(R − σ_E R) from f(R) and f(σ_E R) in O(1) (Section 5.2).
+type AggFunc int
+
+const (
+	// Sum aggregates with SUM(M).
+	Sum AggFunc = iota
+	// Count aggregates with COUNT(M) (row count; the measure is ignored).
+	Count
+	// Avg aggregates with AVG(M).
+	Avg
+)
+
+// String returns the SQL spelling of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case Sum:
+		return "SUM"
+	case Count:
+		return "COUNT"
+	case Avg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// ParseAggFunc parses "SUM", "COUNT", or "AVG" (case-sensitive SQL
+// spelling).
+func ParseAggFunc(s string) (AggFunc, error) {
+	switch s {
+	case "SUM":
+		return Sum, nil
+	case "COUNT":
+		return Count, nil
+	case "AVG":
+		return Avg, nil
+	default:
+		return 0, fmt.Errorf("relation: unknown aggregate function %q", s)
+	}
+}
+
+// Eval computes the aggregate value from a (sum, count) pair. For Avg of
+// an empty slice the result is 0 rather than NaN so that series over
+// sparse slices stay finite.
+func (f AggFunc) Eval(sum float64, count float64) float64 {
+	switch f {
+	case Sum:
+		return sum
+	case Count:
+		return count
+	case Avg:
+		if count == 0 {
+			return 0
+		}
+		return sum / count
+	default:
+		panic("relation: invalid AggFunc")
+	}
+}
+
+// SumCount holds the decomposed state of an aggregate at one timestamp.
+type SumCount struct {
+	Sum   float64
+	Count float64
+}
+
+// Sub returns the element-wise difference s − o, i.e. the state of the
+// aggregate after removing the records o accounts for.
+func (s SumCount) Sub(o SumCount) SumCount {
+	return SumCount{Sum: s.Sum - o.Sum, Count: s.Count - o.Count}
+}
+
+// AggregateSeries computes the decomposed per-timestamp aggregate state of
+// measure m over all rows: the result has NumTimestamps entries.
+func (r *Relation) AggregateSeries(m int) []SumCount {
+	out := make([]SumCount, r.NumTimestamps())
+	vals := r.measures[m].vals
+	for row := 0; row < r.numRows; row++ {
+		t := r.timeIdx[row]
+		out[t].Sum += vals[row]
+		out[t].Count++
+	}
+	return out
+}
+
+// AggregateSeriesWhere computes the decomposed per-timestamp aggregate
+// state of measure m over rows matching the conjunction (the slice
+// σ_E R aggregated by time).
+func (r *Relation) AggregateSeriesWhere(m int, c Conjunction) []SumCount {
+	out := make([]SumCount, r.NumTimestamps())
+	vals := r.measures[m].vals
+	for row := 0; row < r.numRows; row++ {
+		if !c.Matches(r, row) {
+			continue
+		}
+		t := r.timeIdx[row]
+		out[t].Sum += vals[row]
+		out[t].Count++
+	}
+	return out
+}
+
+// Values evaluates the aggregate function over a decomposed series,
+// producing the aggregated time series values p_i.v of Definition 3.6.
+func Values(f AggFunc, sc []SumCount) []float64 {
+	out := make([]float64, len(sc))
+	for i, s := range sc {
+		out[i] = f.Eval(s.Sum, s.Count)
+	}
+	return out
+}
+
+// GroupBySeries computes, for every distinct combination of the given
+// dimensions that occurs in r, the decomposed per-timestamp aggregate of
+// measure m. Keys are dictionary-id tuples encoded with groupKey. It is
+// the core group-by kernel used by candidate enumeration.
+func (r *Relation) GroupBySeries(dims []int, m int) map[string][]SumCount {
+	out := make(map[string][]SumCount)
+	vals := r.measures[m].vals
+	T := r.NumTimestamps()
+	ids := make([]uint32, len(dims))
+	for row := 0; row < r.numRows; row++ {
+		for i, d := range dims {
+			ids[i] = r.DimID(d, row)
+		}
+		k := groupKey(dims, ids)
+		sc, ok := out[k]
+		if !ok {
+			sc = make([]SumCount, T)
+			out[k] = sc
+		}
+		t := r.timeIdx[row]
+		sc[t].Sum += vals[row]
+		sc[t].Count++
+	}
+	return out
+}
+
+// groupKey encodes a (dims, ids) tuple as a compact byte-string key.
+func groupKey(dims []int, ids []uint32) string {
+	buf := make([]byte, 0, len(dims)*8)
+	for i := range dims {
+		d, v := dims[i], ids[i]
+		buf = append(buf,
+			byte(d), byte(d>>8),
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}
+
+// DecodeGroupKey decodes a key produced by groupKey back into parallel
+// dimension-index and dictionary-id slices.
+func DecodeGroupKey(key string) (dims []int, ids []uint32) {
+	b := []byte(key)
+	for i := 0; i+6 <= len(b); i += 6 {
+		dims = append(dims, int(b[i])|int(b[i+1])<<8)
+		ids = append(ids, uint32(b[i+2])|uint32(b[i+3])<<8|uint32(b[i+4])<<16|uint32(b[i+5])<<24)
+	}
+	return dims, ids
+}

@@ -1,0 +1,108 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVSpec describes how to map a CSV file with a header row onto a
+// Relation: which column is the time dimension, which columns are
+// categorical dimensions, and which are numeric measures. Columns not
+// listed are ignored.
+type CSVSpec struct {
+	Name     string   // relation name (informational)
+	TimeCol  string   // header of the time column
+	DimCols  []string // headers of dimension columns
+	MeasCols []string // headers of measure columns
+}
+
+// ReadCSV loads a relation from CSV data with a header row.
+func ReadCSV(src io.Reader, spec CSVSpec) (*Relation, error) {
+	cr := csv.NewReader(src)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	colAt := make(map[string]int, len(header))
+	for i, h := range header {
+		colAt[h] = i
+	}
+	timeAt, ok := colAt[spec.TimeCol]
+	if !ok {
+		return nil, fmt.Errorf("relation: CSV has no time column %q", spec.TimeCol)
+	}
+	dimAt := make([]int, len(spec.DimCols))
+	for i, name := range spec.DimCols {
+		at, ok := colAt[name]
+		if !ok {
+			return nil, fmt.Errorf("relation: CSV has no dimension column %q", name)
+		}
+		dimAt[i] = at
+	}
+	measAt := make([]int, len(spec.MeasCols))
+	for i, name := range spec.MeasCols {
+		at, ok := colAt[name]
+		if !ok {
+			return nil, fmt.Errorf("relation: CSV has no measure column %q", name)
+		}
+		measAt[i] = at
+	}
+
+	b := NewBuilder(spec.Name, spec.TimeCol, spec.DimCols, spec.MeasCols)
+	dims := make([]string, len(dimAt))
+	meas := make([]float64, len(measAt))
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV: %w", err)
+		}
+		line++
+		for i, at := range dimAt {
+			dims[i] = rec[at]
+		}
+		for i, at := range measAt {
+			v, err := strconv.ParseFloat(rec[at], 64)
+			if err != nil {
+				return nil, fmt.Errorf("relation: CSV line %d, column %q: %w", line, spec.MeasCols[i], err)
+			}
+			meas[i] = v
+		}
+		if err := b.Append(rec[timeAt], dims, meas); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish()
+}
+
+// WriteCSV writes the relation as CSV with a header row: time column
+// first, then dimensions, then measures.
+func WriteCSV(dst io.Writer, r *Relation) error {
+	cw := csv.NewWriter(dst)
+	header := append([]string{r.TimeName()}, r.DimNames()...)
+	header = append(header, r.MeasureNames()...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("relation: writing CSV header: %w", err)
+	}
+	rec := make([]string, len(header))
+	for row := 0; row < r.NumRows(); row++ {
+		rec[0] = r.TimeLabel(r.TimeIndex(row))
+		for d := 0; d < r.NumDims(); d++ {
+			rec[1+d] = r.DimValue(d, row)
+		}
+		for m := 0; m < r.NumMeasures(); m++ {
+			rec[1+r.NumDims()+m] = strconv.FormatFloat(r.MeasureValue(m, row), 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("relation: writing CSV row %d: %w", row, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,157 @@
+package relation
+
+import "fmt"
+
+// This file implements the OLAP operations Section 1 promises around the
+// engine ("users can freely perform OLAP operations, including
+// drill-down, roll-up, slicing, and dicing"). Slicing is Filter in
+// predicate.go; drill-down is implicit in the explain-by hierarchy.
+
+// RollUp aggregates away every dimension not listed in keepDims: rows
+// that agree on the kept dimensions and the timestamp are merged, with
+// every measure summed. (SUM is the only sound merge for additive
+// measures; AVG/COUNT queries still work afterwards because the engine
+// recomputes counts from rows — callers who need exact AVG semantics
+// should keep the relation unrolled.)
+func RollUp(r *Relation, keepDims []string) (*Relation, error) {
+	keep := make([]int, 0, len(keepDims))
+	for _, name := range keepDims {
+		d := r.DimIndex(name)
+		if d < 0 {
+			return nil, fmt.Errorf("relation: unknown dimension %q", name)
+		}
+		keep = append(keep, d)
+	}
+
+	type key struct {
+		t    int
+		dims string
+	}
+	sums := make(map[key][]float64)
+	order := make([]key, 0)
+	dimVals := make(map[key][]string)
+	for row := 0; row < r.NumRows(); row++ {
+		vals := make([]string, len(keep))
+		var enc string
+		for i, d := range keep {
+			vals[i] = r.DimValue(d, row)
+			enc += vals[i] + "\x00"
+		}
+		k := key{t: r.TimeIndex(row), dims: enc}
+		acc, ok := sums[k]
+		if !ok {
+			acc = make([]float64, r.NumMeasures())
+			sums[k] = acc
+			order = append(order, k)
+			dimVals[k] = vals
+		}
+		for m := 0; m < r.NumMeasures(); m++ {
+			acc[m] += r.MeasureValue(m, row)
+		}
+	}
+
+	b := NewBuilder(r.Name()+"-rollup", r.TimeName(), keepDims, r.MeasureNames())
+	b.SetTimeOrder(r.TimeLabels())
+	for _, k := range order {
+		if err := b.Append(r.TimeLabel(k.t), dimVals[k], sums[k]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish()
+}
+
+// Dice keeps only rows whose dimension values fall inside the given value
+// sets (a multi-value generalization of slicing). Dimensions not listed
+// are unconstrained.
+func Dice(r *Relation, constraints map[string][]string) (*Relation, error) {
+	type dimSet struct {
+		dim int
+		ids map[uint32]bool
+	}
+	var sets []dimSet
+	for attr, vals := range constraints {
+		d := r.DimIndex(attr)
+		if d < 0 {
+			return nil, fmt.Errorf("relation: unknown dimension %q", attr)
+		}
+		ids := make(map[uint32]bool, len(vals))
+		for _, v := range vals {
+			id, ok := r.Dim(d).ID(v)
+			if !ok {
+				continue // absent values simply match nothing
+			}
+			ids[id] = true
+		}
+		sets = append(sets, dimSet{dim: d, ids: ids})
+	}
+
+	b := NewBuilder(r.Name()+"-dice", r.TimeName(), r.DimNames(), r.MeasureNames())
+	b.SetTimeOrder(r.TimeLabels())
+	dims := make([]string, r.NumDims())
+	meas := make([]float64, r.NumMeasures())
+rows:
+	for row := 0; row < r.NumRows(); row++ {
+		for _, s := range sets {
+			if !s.ids[r.DimID(s.dim, row)] {
+				continue rows
+			}
+		}
+		for d := range dims {
+			dims[d] = r.DimValue(d, row)
+		}
+		for m := range meas {
+			meas[m] = r.MeasureValue(m, row)
+		}
+		if err := b.Append(r.TimeLabel(r.TimeIndex(row)), dims, meas); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish()
+}
+
+// TimeRange restricts the relation to timestamps in [fromLabel, toLabel]
+// inclusive (by series position, resolved from the labels), which is how
+// a user scopes the "time period they are interested in" before
+// explaining.
+func TimeRange(r *Relation, fromLabel, toLabel string) (*Relation, error) {
+	from, to := -1, -1
+	for i := 0; i < r.NumTimestamps(); i++ {
+		switch r.TimeLabel(i) {
+		case fromLabel:
+			from = i
+		case toLabel:
+			to = i
+		}
+	}
+	if from < 0 {
+		return nil, fmt.Errorf("relation: unknown time label %q", fromLabel)
+	}
+	if to < 0 {
+		return nil, fmt.Errorf("relation: unknown time label %q", toLabel)
+	}
+	if from > to {
+		return nil, fmt.Errorf("relation: time range [%s, %s] is inverted", fromLabel, toLabel)
+	}
+
+	labels := r.TimeLabels()[from : to+1]
+	b := NewBuilder(r.Name()+"-range", r.TimeName(), r.DimNames(), r.MeasureNames())
+	b.SetTimeOrder(labels)
+	dims := make([]string, r.NumDims())
+	meas := make([]float64, r.NumMeasures())
+	for row := 0; row < r.NumRows(); row++ {
+		t := r.TimeIndex(row)
+		if t < from || t > to {
+			continue
+		}
+		for d := range dims {
+			dims[d] = r.DimValue(d, row)
+		}
+		for m := range meas {
+			meas[m] = r.MeasureValue(m, row)
+		}
+		if err := b.Append(r.TimeLabel(t), dims, meas); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish()
+}

@@ -1,0 +1,117 @@
+package relation
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRollUp(t *testing.T) {
+	r := buildSales(t)
+	rolled, err := RollUp(r, []string{"state"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rolled.NumDims() != 1 || rolled.DimIndex("state") != 0 {
+		t.Fatalf("rolled dims = %v", rolled.DimNames())
+	}
+	// One row per (date, state) present in the original.
+	if got, want := rolled.NumRows(), 6; got != want {
+		t.Errorf("rolled rows = %d, want %d", got, want)
+	}
+	// Measures summed: NY on day 1 = 10 + 5 = 15.
+	c, err := NewConjunction(rolled, map[string]string{"state": "NY"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := rolled.AggregateSeriesWhere(0, c)
+	if sc[0].Sum != 15 || sc[0].Count != 1 {
+		t.Errorf("NY day1 after rollup = %+v, want sum 15 in one row", sc[0])
+	}
+	// The overall aggregated series is unchanged by the rollup.
+	a := Values(Sum, r.AggregateSeries(0))
+	b := Values(Sum, rolled.AggregateSeries(0))
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("rollup changed the aggregate: %v vs %v", b, a)
+	}
+	if _, err := RollUp(r, []string{"nope"}); err == nil {
+		t.Error("unknown dim: want error")
+	}
+}
+
+func TestRollUpToNothing(t *testing.T) {
+	r := buildSales(t)
+	rolled, err := RollUp(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rolled.NumDims() != 0 {
+		t.Fatalf("dims = %d, want 0", rolled.NumDims())
+	}
+	// One row per timestamp carrying the daily total.
+	if got, want := rolled.NumRows(), 3; got != want {
+		t.Errorf("rows = %d, want %d", got, want)
+	}
+	a := Values(Sum, r.AggregateSeries(0))
+	b := Values(Sum, rolled.AggregateSeries(0))
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("aggregate changed: %v vs %v", b, a)
+	}
+}
+
+func TestDice(t *testing.T) {
+	r := buildSales(t)
+	diced, err := Dice(r, map[string][]string{
+		"state":    {"NY", "CA"},
+		"category": {"beer"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// beer rows only: 4 of them.
+	if got, want := diced.NumRows(), 4; got != want {
+		t.Errorf("diced rows = %d, want %d", got, want)
+	}
+	for row := 0; row < diced.NumRows(); row++ {
+		if diced.DimValue(diced.DimIndex("category"), row) != "beer" {
+			t.Fatal("dice leaked a non-beer row")
+		}
+	}
+	// Absent values match nothing.
+	empty, err := Dice(r, map[string][]string{"state": {"TX"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumRows() != 0 {
+		t.Errorf("TX dice rows = %d, want 0", empty.NumRows())
+	}
+	if _, err := Dice(r, map[string][]string{"nope": {"x"}}); err == nil {
+		t.Error("unknown dim: want error")
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	r := buildSales(t)
+	sub, err := TimeRange(r, "2020-01-02", "2020-01-03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sub.NumTimestamps(), 2; got != want {
+		t.Fatalf("range n = %d, want %d", got, want)
+	}
+	if sub.TimeLabel(0) != "2020-01-02" {
+		t.Errorf("first label = %q", sub.TimeLabel(0))
+	}
+	vals := Values(Sum, sub.AggregateSeries(0))
+	if !reflect.DeepEqual(vals, []float64{15, 19}) {
+		t.Errorf("range series = %v, want [15 19]", vals)
+	}
+	for _, bad := range [][2]string{
+		{"nope", "2020-01-03"},
+		{"2020-01-02", "nope"},
+		{"2020-01-03", "2020-01-01"},
+	} {
+		if _, err := TimeRange(r, bad[0], bad[1]); err == nil {
+			t.Errorf("TimeRange(%q,%q): want error", bad[0], bad[1])
+		}
+	}
+}

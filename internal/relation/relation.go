@@ -1,0 +1,303 @@
+// Package relation implements the in-memory columnar relation that
+// TSExplain aggregates and explains.
+//
+// A Relation models the result of loading one table: a designated time
+// dimension (an ordinal attribute such as a date), any number of
+// categorical dimension attributes (dictionary-encoded), and any number of
+// numeric measure attributes. The paper's engine assumes such a relation
+// (or the equivalent data cube) is maintained in memory by the host
+// analytics tool; this package is that substrate.
+//
+// The zero value of Relation is not useful; construct one with a Builder
+// or by reading a CSV file with ReadCSV.
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DimColumn is a dictionary-encoded categorical column. Row values are
+// stored as indexes into the column's dictionary so predicates compare
+// integers rather than strings.
+type DimColumn struct {
+	name  string
+	ids   []uint32          // per-row dictionary index
+	dict  []string          // dictionary: id -> value
+	index map[string]uint32 // reverse dictionary: value -> id
+}
+
+// Name returns the attribute name of the column.
+func (c *DimColumn) Name() string { return c.name }
+
+// Cardinality returns the number of distinct values in the column.
+func (c *DimColumn) Cardinality() int { return len(c.dict) }
+
+// Value returns the string value of the given dictionary id.
+func (c *DimColumn) Value(id uint32) string { return c.dict[id] }
+
+// ID returns the dictionary id for the given value. ok is false when the
+// value never occurs in the column.
+func (c *DimColumn) ID(value string) (id uint32, ok bool) {
+	id, ok = c.index[value]
+	return id, ok
+}
+
+// Values returns a copy of the dictionary (all distinct values, in first-
+// appearance order).
+func (c *DimColumn) Values() []string {
+	out := make([]string, len(c.dict))
+	copy(out, c.dict)
+	return out
+}
+
+// MeasureColumn is a numeric column.
+type MeasureColumn struct {
+	name string
+	vals []float64
+}
+
+// Name returns the attribute name of the column.
+func (c *MeasureColumn) Name() string { return c.name }
+
+// Relation is an immutable in-memory table with one time dimension,
+// zero or more categorical dimensions, and zero or more measures.
+type Relation struct {
+	name string
+
+	numRows int
+
+	timeName   string
+	timeIdx    []int32  // per-row index into timeLabels
+	timeLabels []string // distinct time values, in series order
+
+	dims      []*DimColumn
+	dimByName map[string]int
+
+	measures      []*MeasureColumn
+	measureByName map[string]int
+}
+
+// Name returns the relation's name (informational only).
+func (r *Relation) Name() string { return r.name }
+
+// NumRows returns the number of rows in the relation.
+func (r *Relation) NumRows() int { return r.numRows }
+
+// TimeName returns the name of the time dimension.
+func (r *Relation) TimeName() string { return r.timeName }
+
+// NumTimestamps returns the number of distinct time values, i.e. the length
+// of any aggregated time series derived from this relation.
+func (r *Relation) NumTimestamps() int { return len(r.timeLabels) }
+
+// TimeLabel returns the i-th time value in series order.
+func (r *Relation) TimeLabel(i int) string { return r.timeLabels[i] }
+
+// TimeLabels returns all distinct time values in series order.
+func (r *Relation) TimeLabels() []string {
+	out := make([]string, len(r.timeLabels))
+	copy(out, r.timeLabels)
+	return out
+}
+
+// TimeIndex returns the time position (0-based) of the given row.
+func (r *Relation) TimeIndex(row int) int { return int(r.timeIdx[row]) }
+
+// NumDims returns the number of categorical dimension attributes.
+func (r *Relation) NumDims() int { return len(r.dims) }
+
+// Dim returns the i-th dimension column.
+func (r *Relation) Dim(i int) *DimColumn { return r.dims[i] }
+
+// DimIndex returns the position of the named dimension attribute, or -1.
+func (r *Relation) DimIndex(name string) int {
+	if i, ok := r.dimByName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// DimNames returns the names of all dimension attributes.
+func (r *Relation) DimNames() []string {
+	out := make([]string, len(r.dims))
+	for i, d := range r.dims {
+		out[i] = d.name
+	}
+	return out
+}
+
+// DimID returns the dictionary id of dimension dim at the given row.
+func (r *Relation) DimID(dim, row int) uint32 { return r.dims[dim].ids[row] }
+
+// DimValue returns the string value of dimension dim at the given row.
+func (r *Relation) DimValue(dim, row int) string {
+	d := r.dims[dim]
+	return d.dict[d.ids[row]]
+}
+
+// NumMeasures returns the number of measure attributes.
+func (r *Relation) NumMeasures() int { return len(r.measures) }
+
+// Measure returns the i-th measure column.
+func (r *Relation) Measure(i int) *MeasureColumn { return r.measures[i] }
+
+// MeasureIndex returns the position of the named measure attribute, or -1.
+func (r *Relation) MeasureIndex(name string) int {
+	if i, ok := r.measureByName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// MeasureNames returns the names of all measure attributes.
+func (r *Relation) MeasureNames() []string {
+	out := make([]string, len(r.measures))
+	for i, m := range r.measures {
+		out[i] = m.name
+	}
+	return out
+}
+
+// MeasureValue returns the value of measure m at the given row.
+func (r *Relation) MeasureValue(m, row int) float64 { return r.measures[m].vals[row] }
+
+// Builder incrementally assembles a Relation. Append rows with Append and
+// call Finish once; the Builder must not be reused afterwards.
+type Builder struct {
+	name         string
+	timeName     string
+	dimNames     []string
+	measureNames []string
+
+	timeVals []string
+	dims     [][]string
+	measures [][]float64
+
+	timeOrder []string // optional explicit ordering of time labels
+	finished  bool
+}
+
+// NewBuilder returns a Builder for a relation with the given time
+// dimension, categorical dimensions, and measures.
+func NewBuilder(name, timeName string, dimNames, measureNames []string) *Builder {
+	b := &Builder{
+		name:         name,
+		timeName:     timeName,
+		dimNames:     append([]string(nil), dimNames...),
+		measureNames: append([]string(nil), measureNames...),
+	}
+	b.dims = make([][]string, len(dimNames))
+	b.measures = make([][]float64, len(measureNames))
+	return b
+}
+
+// SetTimeOrder fixes the series order of time labels explicitly. Labels
+// appended later that are missing from the ordering cause Finish to fail.
+// Without an explicit order, labels are sorted lexicographically, which is
+// correct for ISO dates and zero-padded numerals.
+func (b *Builder) SetTimeOrder(labels []string) {
+	b.timeOrder = append([]string(nil), labels...)
+}
+
+// Append adds one row. dims and measures must match the lengths declared
+// in NewBuilder.
+func (b *Builder) Append(timeVal string, dims []string, measures []float64) error {
+	if len(dims) != len(b.dims) {
+		return fmt.Errorf("relation: row has %d dimension values, want %d", len(dims), len(b.dims))
+	}
+	if len(measures) != len(b.measures) {
+		return fmt.Errorf("relation: row has %d measure values, want %d", len(measures), len(b.measures))
+	}
+	b.timeVals = append(b.timeVals, timeVal)
+	for i, v := range dims {
+		b.dims[i] = append(b.dims[i], v)
+	}
+	for i, v := range measures {
+		b.measures[i] = append(b.measures[i], v)
+	}
+	return nil
+}
+
+// Finish builds the Relation. It dictionary-encodes dimensions and
+// resolves the time ordering.
+func (b *Builder) Finish() (*Relation, error) {
+	if b.finished {
+		return nil, fmt.Errorf("relation: Builder.Finish called twice")
+	}
+	b.finished = true
+	n := len(b.timeVals)
+
+	r := &Relation{
+		name:          b.name,
+		numRows:       n,
+		timeName:      b.timeName,
+		dimByName:     make(map[string]int, len(b.dimNames)),
+		measureByName: make(map[string]int, len(b.measureNames)),
+	}
+
+	// Resolve time labels and per-row time indexes.
+	labelPos := make(map[string]int32)
+	if b.timeOrder != nil {
+		r.timeLabels = b.timeOrder
+		for i, l := range b.timeOrder {
+			if _, dup := labelPos[l]; dup {
+				return nil, fmt.Errorf("relation: duplicate time label %q in explicit order", l)
+			}
+			labelPos[l] = int32(i)
+		}
+	} else {
+		seen := make(map[string]bool)
+		for _, v := range b.timeVals {
+			if !seen[v] {
+				seen[v] = true
+				r.timeLabels = append(r.timeLabels, v)
+			}
+		}
+		sort.Strings(r.timeLabels)
+		for i, l := range r.timeLabels {
+			labelPos[l] = int32(i)
+		}
+	}
+	r.timeIdx = make([]int32, n)
+	for i, v := range b.timeVals {
+		pos, ok := labelPos[v]
+		if !ok {
+			return nil, fmt.Errorf("relation: time value %q not in explicit time order", v)
+		}
+		r.timeIdx[i] = pos
+	}
+
+	// Dictionary-encode dimensions.
+	for di, name := range b.dimNames {
+		if _, dup := r.dimByName[name]; dup {
+			return nil, fmt.Errorf("relation: duplicate dimension name %q", name)
+		}
+		col := &DimColumn{
+			name:  name,
+			ids:   make([]uint32, n),
+			index: make(map[string]uint32),
+		}
+		for ri, v := range b.dims[di] {
+			id, ok := col.index[v]
+			if !ok {
+				id = uint32(len(col.dict))
+				col.dict = append(col.dict, v)
+				col.index[v] = id
+			}
+			col.ids[ri] = id
+		}
+		r.dimByName[name] = di
+		r.dims = append(r.dims, col)
+	}
+
+	// Measures are stored as-is.
+	for mi, name := range b.measureNames {
+		if _, dup := r.measureByName[name]; dup {
+			return nil, fmt.Errorf("relation: duplicate measure name %q", name)
+		}
+		r.measureByName[name] = mi
+		r.measures = append(r.measures, &MeasureColumn{name: name, vals: b.measures[mi]})
+	}
+	return r, nil
+}

@@ -1,0 +1,230 @@
+// Package render draws TSExplain results as standalone SVG documents:
+// the Figure 2-style evolving-explanations trendline (the aggregated
+// series with segment boundaries and each segment's top-explanation
+// sub-series) and the K-Variance curve with its elbow. Only the standard
+// library is used; the output opens in any browser.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// palette cycles through distinguishable explanation colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#17becf",
+}
+
+// svgPlot accumulates SVG elements with a data-space to screen-space
+// transform.
+type svgPlot struct {
+	sb            strings.Builder
+	width, height float64
+	left, right   float64
+	top, bottom   float64
+	xMin, xMax    float64
+	yMin, yMax    float64
+}
+
+func newPlot(width, height float64) *svgPlot {
+	return &svgPlot{
+		width: width, height: height,
+		left: 60, right: 20, top: 30, bottom: 40,
+	}
+}
+
+func (p *svgPlot) setRange(xMin, xMax, yMin, yMax float64) {
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	p.xMin, p.xMax, p.yMin, p.yMax = xMin, xMax, yMin, yMax
+}
+
+func (p *svgPlot) x(v float64) float64 {
+	return p.left + (v-p.xMin)/(p.xMax-p.xMin)*(p.width-p.left-p.right)
+}
+
+func (p *svgPlot) y(v float64) float64 {
+	return p.height - p.bottom - (v-p.yMin)/(p.yMax-p.yMin)*(p.height-p.top-p.bottom)
+}
+
+// polyline draws a series of (x, y) data-space points.
+func (p *svgPlot) polyline(xs, ys []float64, color string, width float64, dashed bool) {
+	if len(xs) == 0 {
+		return
+	}
+	var pts strings.Builder
+	for i := range xs {
+		if i > 0 {
+			pts.WriteByte(' ')
+		}
+		fmt.Fprintf(&pts, "%.1f,%.1f", p.x(xs[i]), p.y(ys[i]))
+	}
+	dash := ""
+	if dashed {
+		dash = ` stroke-dasharray="4 3"`
+	}
+	fmt.Fprintf(&p.sb,
+		`<polyline fill="none" stroke="%s" stroke-width="%.1f"%s points="%s"/>`+"\n",
+		color, width, dash, pts.String())
+}
+
+// vline draws a vertical marker at data-space x.
+func (p *svgPlot) vline(xv float64, color string) {
+	fmt.Fprintf(&p.sb,
+		`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1" stroke-dasharray="2 3"/>`+"\n",
+		p.x(xv), p.y(p.yMin), p.x(xv), p.y(p.yMax), color)
+}
+
+// text places a label at screen coordinates.
+func (p *svgPlot) text(x, y float64, size int, anchor, color, s string) {
+	fmt.Fprintf(&p.sb,
+		`<text x="%.1f" y="%.1f" font-size="%d" text-anchor="%s" fill="%s" font-family="sans-serif">%s</text>`+"\n",
+		x, y, size, anchor, color, escape(s))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// axes draws the frame and min/max tick labels.
+func (p *svgPlot) axes(xLabels []string) {
+	fmt.Fprintf(&p.sb,
+		`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#999"/>`+"\n",
+		p.left, p.top, p.width-p.left-p.right, p.height-p.top-p.bottom)
+	p.text(p.left-6, p.y(p.yMin)+4, 11, "end", "#333", fmtNum(p.yMin))
+	p.text(p.left-6, p.y(p.yMax)+4, 11, "end", "#333", fmtNum(p.yMax))
+	if len(xLabels) > 0 {
+		p.text(p.left, p.height-p.bottom+16, 11, "start", "#333", xLabels[0])
+		p.text(p.width-p.right, p.height-p.bottom+16, 11, "end", "#333", xLabels[len(xLabels)-1])
+	}
+}
+
+func fmtNum(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func (p *svgPlot) finish(w io.Writer, title string) error {
+	head := fmt.Sprintf(
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		p.width, p.height, p.width, p.height)
+	if _, err := io.WriteString(w, head); err != nil {
+		return err
+	}
+	titleEl := fmt.Sprintf(
+		`<text x="%.1f" y="18" font-size="14" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n",
+		p.width/2, escape(title))
+	if _, err := io.WriteString(w, titleEl); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, p.sb.String()); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "</svg>\n")
+	return err
+}
+
+// Trendlines writes the Figure 2 visualization: the aggregated series in
+// grey, a dashed boundary at every cut, and within each segment the top
+// explanations' sub-series in color, labelled with predicate and effect.
+func Trendlines(w io.Writer, res *core.Result, title string) error {
+	n := len(res.Series)
+	if n == 0 {
+		return fmt.Errorf("render: empty result")
+	}
+	p := newPlot(980, 360)
+	yMin, yMax := res.Series[0], res.Series[0]
+	for _, v := range res.Series {
+		yMin = math.Min(yMin, v)
+		yMax = math.Max(yMax, v)
+	}
+	for _, seg := range res.Segments {
+		for _, e := range seg.Top {
+			for _, v := range e.Values {
+				yMin = math.Min(yMin, v)
+				yMax = math.Max(yMax, v)
+			}
+		}
+	}
+	p.setRange(0, float64(n-1), yMin, yMax)
+	p.axes(res.Labels)
+
+	// Aggregated series.
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	p.polyline(xs, res.Series, "#888", 2.5, false)
+
+	// Segment boundaries with date labels.
+	for _, seg := range res.Segments {
+		p.vline(float64(seg.Start), "#555")
+		p.text(p.x(float64(seg.Start))+2, p.top+12, 10, "start", "#555", seg.StartLabel)
+	}
+	p.vline(float64(n-1), "#555")
+
+	// Per-segment explanation trendlines.
+	color := 0
+	for _, seg := range res.Segments {
+		for _, e := range seg.Top {
+			sub := make([]float64, len(e.Values))
+			subX := make([]float64, len(e.Values))
+			for i := range e.Values {
+				sub[i] = e.Values[i]
+				subX[i] = float64(seg.Start + i)
+			}
+			c := palette[color%len(palette)]
+			color++
+			p.polyline(subX, sub, c, 1.6, false)
+			mid := (seg.Start + seg.End) / 2
+			p.text(p.x(float64(mid)), p.y(sub[len(sub)/2])-4, 10, "middle", c,
+				e.Predicates+" "+e.Effect.String())
+		}
+	}
+	return p.finish(w, title)
+}
+
+// KVarianceCurve writes the K-Variance curve of Figures 11-14's left
+// panels, marking the chosen elbow K.
+func KVarianceCurve(w io.Writer, res *core.Result, title string) error {
+	var ks, vars []float64
+	for k := 1; k < len(res.KVariance); k++ {
+		v := res.KVariance[k]
+		if math.IsInf(v, 1) || math.IsNaN(v) {
+			continue
+		}
+		ks = append(ks, float64(k))
+		vars = append(vars, v)
+	}
+	if len(ks) == 0 {
+		return fmt.Errorf("render: no feasible K in curve")
+	}
+	p := newPlot(420, 300)
+	maxV := vars[0]
+	minV := vars[len(vars)-1]
+	p.setRange(ks[0], ks[len(ks)-1], minV, maxV)
+	p.axes(nil)
+	p.polyline(ks, vars, palette[0], 2, false)
+	p.vline(float64(res.K), "#d62728")
+	p.text(p.x(float64(res.K))+4, p.top+14, 11, "start", "#d62728",
+		fmt.Sprintf("K*=%d", res.K))
+	p.text(p.width/2, p.height-8, 11, "middle", "#333", "segment number K")
+	return p.finish(w, title)
+}

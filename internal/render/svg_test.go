@@ -1,0 +1,102 @@
+package render
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+func explained(t *testing.T) *core.Result {
+	t.Helper()
+	b := relation.NewBuilder("x", "t", []string{"c"}, []string{"v"})
+	labels := make([]string, 30)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%02d", i)
+	}
+	b.SetTimeOrder(labels)
+	for i := 0; i < 30; i++ {
+		a, c := 10.0, 10.0
+		if i <= 15 {
+			a += 5 * float64(i)
+		} else {
+			a += 75
+			c += 8 * float64(i-15)
+		}
+		_ = b.Append(labels[i], []string{"a"}, []float64{a})
+		_ = b.Append(labels[i], []string{"b"}, []float64{c})
+	}
+	rel, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(rel, core.Query{Measure: "v", Agg: relation.Sum}, core.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTrendlinesSVG(t *testing.T) {
+	res := explained(t)
+	var buf bytes.Buffer
+	if err := Trendlines(&buf, res, "test & <plot>"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	// The title must be escaped.
+	if !strings.Contains(out, "test &amp; &lt;plot&gt;") {
+		t.Error("title not escaped")
+	}
+	// One polyline for the aggregate plus one per explanation.
+	want := 1
+	for _, seg := range res.Segments {
+		want += len(seg.Top)
+	}
+	if got := strings.Count(out, "<polyline"); got != want {
+		t.Errorf("polylines = %d, want %d", got, want)
+	}
+	// Explanation labels appear.
+	if !strings.Contains(out, "c=a +") {
+		t.Errorf("missing explanation label in SVG")
+	}
+	// No NaN coordinates.
+	if strings.Contains(out, "NaN") {
+		t.Error("NaN coordinates in SVG")
+	}
+}
+
+func TestKVarianceCurveSVG(t *testing.T) {
+	res := explained(t)
+	var buf bytes.Buffer
+	if err := KVarianceCurve(&buf, res, "K-Variance"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "K*=2") {
+		t.Errorf("elbow marker missing:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Error("non-finite coordinates in SVG")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Trendlines(&buf, &core.Result{}, "x"); err == nil {
+		t.Error("empty result: want error")
+	}
+	if err := KVarianceCurve(&buf, &core.Result{}, "x"); err == nil {
+		t.Error("empty curve: want error")
+	}
+}

@@ -1,0 +1,201 @@
+package segment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cascading"
+)
+
+// VarianceKind selects one of the eight within-segment variance designs
+// compared in Section 4.2.2. Tse is the paper's proposal; the others are
+// the alternatives it is evaluated against.
+type VarianceKind int
+
+const (
+	// Tse averages both NDCG directions between object and centroid
+	// (Eq. 6 inside Eq. 7). This is TSExplain's metric.
+	Tse VarianceKind = iota
+	// Dist1 only asks how well each object's explanations explain the
+	// centroid (Eq. 8).
+	Dist1
+	// Dist2 only asks how well the centroid's explanations explain each
+	// object (Eq. 9).
+	Dist2
+	// AllPair averages the Tse distance over every object pair in the
+	// segment instead of object-vs-centroid (Eq. 10).
+	AllPair
+	// STse is Tse with squared NDCG terms (l2 instead of l1 averaging).
+	STse
+	// SDist1 is Dist1 with a squared NDCG term.
+	SDist1
+	// SDist2 is Dist2 with a squared NDCG term.
+	SDist2
+	// SAllPair is AllPair built from the squared-term distance.
+	SAllPair
+
+	numVarianceKinds
+)
+
+// AllVarianceKinds lists every variance design, in the order used by the
+// Figure 6 experiment.
+func AllVarianceKinds() []VarianceKind {
+	out := make([]VarianceKind, numVarianceKinds)
+	for i := range out {
+		out[i] = VarianceKind(i)
+	}
+	return out
+}
+
+// String returns the metric name used in the paper's plots.
+func (k VarianceKind) String() string {
+	switch k {
+	case Tse:
+		return "tse"
+	case Dist1:
+		return "dist1"
+	case Dist2:
+		return "dist2"
+	case AllPair:
+		return "allpair"
+	case STse:
+		return "Stse"
+	case SDist1:
+		return "Sdist1"
+	case SDist2:
+		return "Sdist2"
+	case SAllPair:
+		return "Sallpair"
+	default:
+		return fmt.Sprintf("VarianceKind(%d)", int(k))
+	}
+}
+
+// discounts[r] is 1/log2(r+2), the DCG discount of rank r (0-based),
+// precomputed for the ranks any reasonable m uses.
+var discounts = func() [64]float64 {
+	var d [64]float64
+	for r := range d {
+		d[r] = 1 / math.Log2(float64(r)+2)
+	}
+	return d
+}()
+
+func discount(r int) float64 {
+	if r < len(discounts) {
+		return discounts[r]
+	}
+	return 1 / math.Log2(float64(r)+2)
+}
+
+// dcg computes the discounted cumulative gain of the ranked explanation
+// list expl (derived on its home segment) against the target segment
+// [c, t] (Eq. 3): relevance is γ(E, target), rectified to zero when E's
+// change effect differs between its home segment and the target
+// (Table 2). rectify=false disables rectification, which the ablation
+// bench uses to show the rectification matters.
+func (e *Explainer) dcg(expl []cascading.Picked, c, t int, rectify bool) float64 {
+	var sum float64
+	metric := e.solver.Metric()
+	for r, p := range expl {
+		gamma, effect := e.u.Gamma(p.ID, c, t, metric)
+		if rectify && effect != p.Effect {
+			gamma = 0
+		}
+		sum += gamma * discount(r)
+	}
+	return sum
+}
+
+// idealDCG returns DCG(target, E*_m(target)) (Eq. 4), cached per segment:
+// a segment's own explanations need no rectification and their γ over the
+// segment is already in the ranked list.
+func (e *Explainer) idealDCG(c, t int) float64 {
+	key := segKey(c, t)
+	if v, ok := e.idealCache[key]; ok {
+		return v
+	}
+	target := e.TopM(c, t)
+	var sum float64
+	for r, p := range target.Explanations {
+		sum += p.Gamma * discount(r)
+	}
+	e.idealCache[key] = sum
+	return sum
+}
+
+// ndcg computes NDCG(target, E*_m(source)) (Eq. 5): how well the source
+// segment's explanations explain the target segment. The result is
+// clamped to [0, 1]; a target whose own ideal DCG is zero (no slice moves
+// at all) is defined to be perfectly explained by anything.
+func (e *Explainer) ndcg(targetC, targetT int, source *cascading.Result, rectify bool) float64 {
+	ideal := e.idealDCG(targetC, targetT)
+	if ideal == 0 {
+		return 1
+	}
+	got := e.dcg(source.Explanations, targetC, targetT, rectify)
+	if got >= ideal {
+		return 1
+	}
+	return got / ideal
+}
+
+// Dist computes the explanation distance between segments [ac, at] and
+// [bc, bt] under the given kind's directionality (Eqs. 6, 8, 9 and their
+// squared variants). For Dist1/Dist2 the first segment plays the centroid
+// role, matching Eq. 8/9. The result lies in [0, 1].
+func (e *Explainer) Dist(kind VarianceKind, ac, at, bc, bt int) float64 {
+	return e.dist(kind, ac, at, bc, bt, true)
+}
+
+func (e *Explainer) dist(kind VarianceKind, ac, at, bc, bt int, rectify bool) float64 {
+	return e.distPrepared(kind,
+		ac, at, e.TopM(ac, at), e.idealDCG(ac, at),
+		bc, bt, e.TopM(bc, bt), e.idealDCG(bc, bt),
+		rectify)
+}
+
+// ndcgPrepared is ndcg with the target's ideal DCG already in hand, so
+// the hot loops of the variance calculator avoid every map lookup.
+func (e *Explainer) ndcgPrepared(targetC, targetT int, targetIdeal float64, source *cascading.Result, rectify bool) float64 {
+	if targetIdeal == 0 {
+		return 1
+	}
+	got := e.dcg(source.Explanations, targetC, targetT, rectify)
+	if got >= targetIdeal {
+		return 1
+	}
+	return got / targetIdeal
+}
+
+// distPrepared is dist with both segments' top explanations and ideal
+// DCGs pre-fetched.
+func (e *Explainer) distPrepared(kind VarianceKind,
+	ac, at int, a *cascading.Result, aIdeal float64,
+	bc, bt int, b *cascading.Result, bIdeal float64,
+	rectify bool) float64 {
+	switch kind {
+	case Tse, AllPair:
+		nab := e.ndcgPrepared(ac, at, aIdeal, b, rectify) // b's expl explain a
+		nba := e.ndcgPrepared(bc, bt, bIdeal, a, rectify) // a's expl explain b
+		return 1 - (nab+nba)/2
+	case STse, SAllPair:
+		nab := e.ndcgPrepared(ac, at, aIdeal, b, rectify)
+		nba := e.ndcgPrepared(bc, bt, bIdeal, a, rectify)
+		return 1 - (nab*nab+nba*nba)/2
+	case Dist1:
+		// How well the object's explanations explain the centroid (a).
+		return 1 - e.ndcgPrepared(ac, at, aIdeal, b, rectify)
+	case SDist1:
+		n := e.ndcgPrepared(ac, at, aIdeal, b, rectify)
+		return 1 - n*n
+	case Dist2:
+		// How well the centroid's explanations explain the object (b).
+		return 1 - e.ndcgPrepared(bc, bt, bIdeal, a, rectify)
+	case SDist2:
+		n := e.ndcgPrepared(bc, bt, bIdeal, a, rectify)
+		return 1 - n*n
+	default:
+		panic("segment: invalid VarianceKind")
+	}
+}

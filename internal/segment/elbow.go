@@ -1,0 +1,64 @@
+package segment
+
+import "math"
+
+// ElbowK picks the optimal segment count from a K-Variance curve using
+// the normalized "kneedle" rule (Section 6, Satopää et al. 2011): the
+// curve is normalized into the unit square and the chosen K is the point
+// furthest below the descending diagonal — the knee of the decreasing
+// convex curve. byK[k] is the total variance at k segments (index 0
+// unused); infeasible entries (+Inf) are skipped.
+//
+// Degenerate curves (fewer than three feasible K, or a flat curve) fall
+// back to the smallest feasible K, since adding segments buys nothing.
+func ElbowK(byK []float64) int {
+	type pt struct {
+		k int
+		v float64
+	}
+	var pts []pt
+	for k := 1; k < len(byK); k++ {
+		if !math.IsInf(byK[k], 1) && !math.IsNaN(byK[k]) {
+			pts = append(pts, pt{k, byK[k]})
+		}
+	}
+	if len(pts) == 0 {
+		return 1
+	}
+	if len(pts) < 3 {
+		return pts[0].k
+	}
+	minV, maxV := pts[0].v, pts[0].v
+	for _, p := range pts {
+		minV = math.Min(minV, p.v)
+		maxV = math.Max(maxV, p.v)
+	}
+	if maxV == minV {
+		return pts[0].k
+	}
+	loK, hiK := float64(pts[0].k), float64(pts[len(pts)-1].k)
+	bestK := pts[0].k
+	bestGap := math.Inf(-1)
+	for _, p := range pts {
+		x := (float64(p.k) - loK) / (hiK - loK)
+		y := (p.v - minV) / (maxV - minV)
+		// Distance below the diagonal y = 1 − x.
+		gap := (1 - x) - y
+		if gap > bestGap {
+			bestGap = gap
+			bestK = p.k
+		}
+	}
+	return bestK
+}
+
+// KVarianceCurve extracts the total-variance-by-K curve from a DP result,
+// ready for ElbowK and for the K-Variance plots of Figures 11–14.
+func KVarianceCurve(res DPResult) []float64 {
+	out := make([]float64, len(res.ByK))
+	out[0] = math.Inf(1)
+	for k := 1; k < len(res.ByK); k++ {
+		out[k] = res.ByK[k].TotalVariance
+	}
+	return out
+}

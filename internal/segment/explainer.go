@@ -1,0 +1,192 @@
+// Package segment implements TSExplain's K-Segmentation: the NDCG-based
+// explanation distance (Section 4.1), the within-segment variance and its
+// seven alternative designs (Section 4.2.2), the segmentation dynamic
+// program (Section 5.1), the elbow-method selection of K (Section 6), and
+// the sketching optimization (Section 5.3.2).
+package segment
+
+import (
+	"time"
+
+	"repro/internal/cascading"
+	"repro/internal/explain"
+)
+
+// Explainer derives and caches top-m non-overlapping explanations per
+// segment. Every module that needs E*_m for a segment — distance,
+// variance, and the DP — goes through one Explainer so each segment's
+// Cascading Analysts run happens at most once per query.
+type Explainer struct {
+	u      *explain.Universe
+	solver *cascading.Solver
+	m      int
+
+	// allowed restricts selectable candidates (the filter optimization's
+	// survivor set); nil allows everything.
+	allowed []bool
+	// useGuess enables the guess-and-verify optimization.
+	useGuess  bool
+	guessInit int
+
+	cache      map[int64]*cascading.Result
+	idealCache map[int64]float64
+
+	// stats accumulate across calls for the latency-breakdown experiment.
+	caSolves int
+	caTime   time.Duration
+	caRounds int
+}
+
+// ExplainerConfig configures an Explainer.
+type ExplainerConfig struct {
+	// M is the number of explanations per segment (default 3).
+	M int
+	// Metric is the difference metric γ (default absolute-change).
+	Metric explain.Metric
+	// Allowed restricts selectable candidates; nil allows all.
+	Allowed []bool
+	// UseGuessVerify enables the guess-and-verify optimization.
+	UseGuessVerify bool
+	// GuessInit is the initial guess size m̄ (default 30, the paper's
+	// choice for m = 3).
+	GuessInit int
+}
+
+// NewExplainer returns an Explainer over the given universe.
+func NewExplainer(u *explain.Universe, cfg ExplainerConfig) *Explainer {
+	m := cfg.M
+	if m <= 0 {
+		m = 3
+	}
+	gi := cfg.GuessInit
+	if gi <= 0 {
+		gi = 30
+	}
+	return &Explainer{
+		u:          u,
+		solver:     cascading.NewSolver(u, cfg.Metric, m),
+		m:          m,
+		allowed:    cfg.Allowed,
+		useGuess:   cfg.UseGuessVerify,
+		guessInit:  gi,
+		cache:      make(map[int64]*cascading.Result),
+		idealCache: make(map[int64]float64),
+	}
+}
+
+// Universe returns the underlying candidate universe.
+func (e *Explainer) Universe() *explain.Universe { return e.u }
+
+// M returns the per-segment explanation count m.
+func (e *Explainer) M() int { return e.m }
+
+// TopM returns the top-m non-overlapping explanations for segment [c, t],
+// computing them on first use and serving the cache afterwards.
+func (e *Explainer) TopM(c, t int) *cascading.Result {
+	key := segKey(c, t)
+	if r, ok := e.cache[key]; ok {
+		return r
+	}
+	start := time.Now()
+	var res cascading.Result
+	if e.useGuess {
+		var rounds int
+		res, rounds = e.solver.GuessVerify(c, t, e.guessInit, e.allowed)
+		e.caRounds += rounds
+	} else {
+		res = e.solver.Solve(c, t, e.allowed)
+	}
+	e.caTime += time.Since(start)
+	e.caSolves++
+	e.cache[key] = &res
+	return &res
+}
+
+// Stats reports how many Cascading Analysts solves ran, the total time
+// they took, and (under guess-and-verify) the total guess rounds.
+func (e *Explainer) Stats() (solves int, caTime time.Duration, rounds int) {
+	return e.caSolves, e.caTime, e.caRounds
+}
+
+// ResetCache clears the per-segment cache and statistics. The incremental
+// (real-time) extension keeps the cache instead and only recomputes
+// segments that touch newly arrived points.
+func (e *Explainer) ResetCache() {
+	e.cache = make(map[int64]*cascading.Result)
+	e.idealCache = make(map[int64]float64)
+	e.caSolves, e.caTime, e.caRounds = 0, 0, 0
+}
+
+// InvalidateFrom drops every cached segment that touches a point at or
+// after position p. The real-time extension (Section 8) calls this when
+// points after p changed (e.g. a revised last day) so stale explanations
+// are recomputed while the unchanged prefix stays cached.
+func (e *Explainer) InvalidateFrom(p int) {
+	for key := range e.cache {
+		c, t := key>>segKeyShift, key&(1<<segKeyShift-1)
+		if t >= int64(p) || c >= int64(p) {
+			delete(e.cache, key)
+		}
+	}
+	for key := range e.idealCache {
+		c, t := key>>segKeyShift, key&(1<<segKeyShift-1)
+		if t >= int64(p) || c >= int64(p) {
+			delete(e.idealCache, key)
+		}
+	}
+}
+
+// segKeyShift sizes the packed (c, t) cache key; series up to 2^21 points
+// are supported, far beyond anything the engine handles.
+const segKeyShift = 21
+
+// segKey packs segment endpoints into a cache key that stays valid when
+// the series grows, which the real-time extension relies on.
+func segKey(c, t int) int64 { return int64(c)<<segKeyShift | int64(t) }
+
+// Rebind points the explainer at a new universe while keeping the cached
+// per-segment results. It is only safe when the new universe extends the
+// old one with later timestamps (the shared prefix must be unchanged),
+// which is exactly the real-time append scenario of Section 8.
+//
+// Candidate IDs are universe-specific (new values appearing in the new
+// data shift the enumeration), so every cached result's IDs are remapped
+// through the conjunctions; entries that cannot be remapped are dropped
+// and will simply be recomputed.
+func (e *Explainer) Rebind(u *explain.Universe) {
+	old := e.u
+	if old != u {
+		for key, res := range e.cache {
+			remapped, ok := remapResult(res, old, u)
+			if !ok {
+				delete(e.cache, key)
+				delete(e.idealCache, key)
+				continue
+			}
+			e.cache[key] = remapped
+		}
+	}
+	e.u = u
+	e.solver = cascading.NewSolver(u, e.solver.Metric(), e.m)
+}
+
+// remapResult translates a cached result's candidate IDs from one
+// universe to another via their conjunctions.
+func remapResult(res *cascading.Result, old, next *explain.Universe) (*cascading.Result, bool) {
+	out := cascading.Result{
+		Best:         append([]float64(nil), res.Best...),
+		Explanations: make([]cascading.Picked, len(res.Explanations)),
+	}
+	for i, p := range res.Explanations {
+		id, ok := next.Lookup(old.Candidate(p.ID).Conj)
+		if !ok {
+			return nil, false
+		}
+		out.Explanations[i] = cascading.Picked{ID: id, Gamma: p.Gamma, Effect: p.Effect}
+	}
+	return &out, true
+}
+
+// SetAllowed replaces the selectable-candidate restriction for future
+// solves. Cached segments keep the results they were computed with.
+func (e *Explainer) SetAllowed(allowed []bool) { e.allowed = allowed }

@@ -1,0 +1,99 @@
+package segment
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cascading"
+)
+
+// PrewarmParallel computes and caches the top-m explanations for every
+// given segment using worker goroutines, each with its own Cascading
+// Analysts solver (solvers reuse scratch buffers and are not safe to
+// share). The paper's engine is single-threaded; this is the natural Go
+// extension for multi-core machines — results are identical, only the
+// wall-clock time changes.
+//
+// workers ≤ 0 uses GOMAXPROCS. Already-cached segments are skipped. The
+// summed per-worker solve time is added to the explainer's cascading
+// counter, so the Figure 15 breakdown reports CPU time when parallelism
+// is on.
+func (e *Explainer) PrewarmParallel(segs [][2]int, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var todo [][2]int
+	for _, s := range segs {
+		if _, ok := e.cache[segKey(s[0], s[1])]; !ok {
+			todo = append(todo, s)
+		}
+	}
+	if len(todo) == 0 {
+		return 0
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+
+	type done struct {
+		seg [2]int
+		res cascading.Result
+	}
+	results := make([]done, len(todo))
+	var caTimes = make([]time.Duration, workers)
+	var rounds = make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			solver := cascading.NewSolver(e.u, e.solver.Metric(), e.m)
+			start := time.Now()
+			for i := w; i < len(todo); i += workers {
+				seg := todo[i]
+				var res cascading.Result
+				if e.useGuess {
+					var r int
+					res, r = solver.GuessVerify(seg[0], seg[1], e.guessInit, e.allowed)
+					rounds[w] += r
+				} else {
+					res = solver.Solve(seg[0], seg[1], e.allowed)
+				}
+				results[i] = done{seg: seg, res: res}
+			}
+			caTimes[w] = time.Since(start)
+		}(w)
+	}
+	wg.Wait()
+
+	for i := range results {
+		r := results[i].res
+		e.cache[segKey(results[i].seg[0], results[i].seg[1])] = &r
+	}
+	for w := 0; w < workers; w++ {
+		e.caTime += caTimes[w]
+		e.caRounds += rounds[w]
+	}
+	e.caSolves += len(todo)
+	return len(todo)
+}
+
+// SegmentPairs enumerates every segment the segmentation DP will need
+// over the given candidate cut positions: all position pairs plus the
+// unit objects in between (the objects of Eq. 7). It is the work list
+// PrewarmParallel consumes.
+func SegmentPairs(positions []int, n int, unitObjects bool) [][2]int {
+	var out [][2]int
+	for i := 0; i < len(positions); i++ {
+		for j := i + 1; j < len(positions); j++ {
+			out = append(out, [2]int{positions[i], positions[j]})
+		}
+	}
+	if unitObjects {
+		for x := 0; x+1 < n; x++ {
+			out = append(out, [2]int{x, x + 1})
+		}
+	}
+	return out
+}

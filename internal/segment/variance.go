@@ -1,0 +1,282 @@
+package segment
+
+import (
+	"sort"
+
+	"repro/internal/cascading"
+)
+
+// VarCalc computes (and caches) within-segment variances var(P_i) under
+// one VarianceKind, following Eq. 7: a segment [a, b] contains the unit
+// objects [x, x+1] for a ≤ x < b, its centroid is the segment itself, and
+// the variance averages the explanation distance between each object and
+// the centroid (or between all object pairs for the AllPair designs).
+//
+// Two performance structures keep the quantity cheap at scale:
+//
+//   - the AllPair designs build a 2-D prefix-sum table over the unit-pair
+//     distance matrix once, making any segment's pair sum O(1);
+//   - SetObjectPositions coarsens objects to sketch intervals, the phase-2
+//     granularity the sketching optimization uses on long series.
+type VarCalc struct {
+	e    *Explainer
+	kind VarianceKind
+	// rectify toggles the opposite-effect rectification inside DCG; the
+	// ablation study disables it.
+	rectify bool
+
+	cache map[int64]float64
+
+	// objPos, when non-nil, replaces unit objects with the intervals
+	// between consecutive positions (sketch intervals).
+	objPos []int
+
+	// pairPrefix[i][j] = Σ_{x ≤ i, y ≤ j} D[x][y] with D the strict
+	// upper-triangle pair-distance matrix over unit objects; built on
+	// first AllPair use.
+	pairPrefix [][]float64
+
+	// Dense per-object caches of top explanations and ideal DCGs, built
+	// lazily; objRes[i] covers the i-th object.
+	objRes   []*cascading.Result
+	objIdeal []float64
+}
+
+// NewVarCalc returns a variance calculator over the explainer.
+func NewVarCalc(e *Explainer, kind VarianceKind) *VarCalc {
+	return &VarCalc{e: e, kind: kind, rectify: true, cache: make(map[int64]float64)}
+}
+
+// SetRectify toggles the rectified-relevance rule (Table 2). It is on by
+// default; only the ablation experiment turns it off.
+func (vc *VarCalc) SetRectify(on bool) {
+	vc.rectify = on
+	vc.cache = make(map[int64]float64)
+	vc.pairPrefix = nil
+	vc.objRes, vc.objIdeal = nil, nil
+}
+
+// objPrepared returns the cached top explanations and ideal DCG of the
+// object starting at bound index oi of the global object list.
+func (vc *VarCalc) objPrepared(oi, oc, ot int) (*cascading.Result, float64) {
+	if vc.objRes == nil {
+		count := vc.e.u.NumTimestamps() - 1
+		if vc.objPos != nil {
+			count = len(vc.objPos) - 1
+		}
+		vc.objRes = make([]*cascading.Result, count)
+		vc.objIdeal = make([]float64, count)
+	}
+	if r := vc.objRes[oi]; r != nil {
+		return r, vc.objIdeal[oi]
+	}
+	r := vc.e.TopM(oc, ot)
+	ideal := vc.e.idealDCG(oc, ot)
+	vc.objRes[oi] = r
+	vc.objIdeal[oi] = ideal
+	return r, ideal
+}
+
+// objIndexOf maps an object's start bound to its index in the global
+// object list.
+func (vc *VarCalc) objIndexOf(start int) int {
+	if vc.objPos == nil {
+		return start
+	}
+	return sort.SearchInts(vc.objPos, start)
+}
+
+// SetObjectPositions coarsens the objects of Eq. 7 from unit segments to
+// the intervals between consecutive positions (which must be sorted and
+// include both endpoints of the series). The sketching optimization uses
+// this in phase 2 on long series: each sketch interval was already deemed
+// internally consistent by the constrained phase-1 pass. Passing nil
+// restores unit objects.
+func (vc *VarCalc) SetObjectPositions(pos []int) {
+	if pos == nil {
+		vc.objPos = nil
+	} else {
+		vc.objPos = append([]int(nil), pos...)
+		sort.Ints(vc.objPos)
+	}
+	vc.cache = make(map[int64]float64)
+	vc.pairPrefix = nil
+	vc.objRes, vc.objIdeal = nil, nil
+}
+
+// Explainer returns the underlying explainer.
+func (vc *VarCalc) Explainer() *Explainer { return vc.e }
+
+// Kind returns the variance design in use.
+func (vc *VarCalc) Kind() VarianceKind { return vc.kind }
+
+// Var returns var(P) for the segment [a, b] (Eq. 7), in [0, 1].
+func (vc *VarCalc) Var(a, b int) float64 {
+	if b-a <= 0 {
+		return 0
+	}
+	return vc.Weighted(a, b) / float64(b-a)
+}
+
+// objects returns the object boundaries covering [a, b]: consecutive
+// entries delimit one object. With unit objects that is a..b; with
+// coarsened objects it is the positions between a and b inclusive.
+func (vc *VarCalc) objects(a, b int) []int {
+	if vc.objPos == nil {
+		out := make([]int, b-a+1)
+		for i := range out {
+			out[i] = a + i
+		}
+		return out
+	}
+	lo := sort.SearchInts(vc.objPos, a)
+	hi := sort.SearchInts(vc.objPos, b)
+	if hi < len(vc.objPos) && vc.objPos[hi] == b {
+		hi++
+	}
+	return vc.objPos[lo:hi]
+}
+
+// Weighted returns |P|·var(P), the quantity the segmentation objective
+// (Problem 1) sums, where |P| = b − a counts unit objects (so objectives
+// stay comparable across object granularities).
+func (vc *VarCalc) Weighted(a, b int) float64 {
+	if b-a <= 1 {
+		return 0 // a single object is its own centroid
+	}
+	key := segKey(a, b)
+	if v, ok := vc.cache[key]; ok {
+		return v
+	}
+	var total float64
+	switch vc.kind {
+	case AllPair, SAllPair:
+		total = vc.weightedAllPair(a, b)
+	default:
+		// Centroid designs: average dist(centroid, object) over objects,
+		// weighted by |P|. The centroid plays the first-argument role
+		// (Eq. 8/9 direction). The centroid's explanations and every
+		// object's are fetched once, so the loop is map-free.
+		bounds := vc.objects(a, b)
+		cRes := vc.e.TopM(a, b)
+		cIdeal := vc.e.idealDCG(a, b)
+		base := vc.objIndexOf(bounds[0])
+		var sum float64
+		for i := 0; i+1 < len(bounds); i++ {
+			oRes, oIdeal := vc.objPrepared(base+i, bounds[i], bounds[i+1])
+			sum += vc.e.distPrepared(vc.kind,
+				a, b, cRes, cIdeal,
+				bounds[i], bounds[i+1], oRes, oIdeal,
+				vc.rectify)
+		}
+		if len(bounds) > 1 {
+			total = float64(b-a) * sum / float64(len(bounds)-1)
+		}
+	}
+	vc.cache[key] = total
+	return total
+}
+
+// weightedAllPair computes the AllPair designs. With unit objects it
+// answers from the prefix-sum table in O(1); with coarsened objects the
+// pair count is small enough to iterate directly.
+func (vc *VarCalc) weightedAllPair(a, b int) float64 {
+	if vc.objPos != nil {
+		bounds := vc.objects(a, b)
+		base := vc.objIndexOf(bounds[0])
+		var sum float64
+		var pairs int
+		for i := 0; i+1 < len(bounds); i++ {
+			iRes, iIdeal := vc.objPrepared(base+i, bounds[i], bounds[i+1])
+			for j := i + 1; j+1 < len(bounds); j++ {
+				jRes, jIdeal := vc.objPrepared(base+j, bounds[j], bounds[j+1])
+				sum += vc.e.distPrepared(vc.kind,
+					bounds[i], bounds[i+1], iRes, iIdeal,
+					bounds[j], bounds[j+1], jRes, jIdeal,
+					vc.rectify)
+				pairs++
+			}
+		}
+		if pairs == 0 {
+			return 0
+		}
+		return float64(b-a) * sum / float64(pairs)
+	}
+	vc.buildPairPrefix()
+	// Pair sum over a ≤ x < y < b via the 2-D prefix rectangle
+	// [a..b-2] × [a..b-1]; entries on/below the diagonal are zero.
+	sum := vc.rectSum(a, b-2, a, b-1)
+	objs := b - a
+	pairs := objs * (objs - 1) / 2
+	if pairs == 0 {
+		return 0
+	}
+	return float64(objs) * sum / float64(pairs)
+}
+
+// buildPairPrefix materializes the unit-pair distance matrix and its 2-D
+// prefix sums, O(n²) once.
+func (vc *VarCalc) buildPairPrefix() {
+	if vc.pairPrefix != nil {
+		return
+	}
+	n := vc.e.u.NumTimestamps()
+	objs := n - 1
+	pp := make([][]float64, objs)
+	for x := 0; x < objs; x++ {
+		row := make([]float64, objs)
+		xRes, xIdeal := vc.objPrepared(x, x, x+1)
+		for y := x + 1; y < objs; y++ {
+			yRes, yIdeal := vc.objPrepared(y, y, y+1)
+			row[y] = vc.e.distPrepared(vc.kind, x, x+1, xRes, xIdeal, y, y+1, yRes, yIdeal, vc.rectify)
+		}
+		pp[x] = row
+	}
+	// In-place 2-D prefix sums.
+	for x := 0; x < objs; x++ {
+		for y := 0; y < objs; y++ {
+			v := pp[x][y]
+			if x > 0 {
+				v += pp[x-1][y]
+			}
+			if y > 0 {
+				v += pp[x][y-1]
+			}
+			if x > 0 && y > 0 {
+				v -= pp[x-1][y-1]
+			}
+			pp[x][y] = v
+		}
+	}
+	vc.pairPrefix = pp
+}
+
+// rectSum returns Σ D[x][y] over x in [x0, x1], y in [y0, y1].
+func (vc *VarCalc) rectSum(x0, x1, y0, y1 int) float64 {
+	if x1 < x0 || y1 < y0 {
+		return 0
+	}
+	pp := vc.pairPrefix
+	v := pp[x1][y1]
+	if x0 > 0 {
+		v -= pp[x0-1][y1]
+	}
+	if y0 > 0 {
+		v -= pp[x1][y0-1]
+	}
+	if x0 > 0 && y0 > 0 {
+		v += pp[x0-1][y0-1]
+	}
+	return v
+}
+
+// TotalVariance evaluates the segmentation objective Σ |P_i|·var(P_i)
+// (Problem 1) for the cut positions cuts, which must start at 0 and end
+// at n−1.
+func (vc *VarCalc) TotalVariance(cuts []int) float64 {
+	var total float64
+	for i := 1; i < len(cuts); i++ {
+		total += vc.Weighted(cuts[i-1], cuts[i])
+	}
+	return total
+}

@@ -1,0 +1,95 @@
+package server
+
+// indexHTML is the self-contained demo page: pick a dataset, optionally
+// fix K or the smoothing window, and see the Figure 2 trendline, the
+// K-Variance curve, the per-segment explanation table, and the latency
+// breakdown.
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>TSExplain demo</title>
+<style>
+  body { font-family: sans-serif; margin: 24px; color: #222; }
+  h1 { font-size: 20px; }
+  .controls { margin-bottom: 14px; }
+  .controls label { margin-right: 14px; }
+  .plots { display: flex; gap: 18px; flex-wrap: wrap; align-items: flex-start; }
+  table { border-collapse: collapse; margin-top: 14px; }
+  td, th { border: 1px solid #ccc; padding: 4px 10px; font-size: 13px; }
+  th { background: #f3f3f3; }
+  .lat { color: #666; font-size: 13px; margin-top: 8px; }
+  .err { color: #b00; }
+</style>
+</head>
+<body>
+<h1>TSExplain — explaining aggregated time series by surfacing evolving contributors</h1>
+<div class="controls">
+  <label>dataset
+    <select id="dataset"></select>
+  </label>
+  <label>K (0 = auto)
+    <input id="k" type="number" min="0" max="20" value="0" style="width:4em">
+  </label>
+  <label>smoothing window (0 = dataset default)
+    <input id="smooth" type="number" min="0" max="60" value="0" style="width:4em">
+  </label>
+  <label><input id="vanilla" type="checkbox"> vanilla (no optimizations)</label>
+  <button id="go">Explain</button>
+</div>
+<div class="plots">
+  <img id="trend" alt="trendlines">
+  <img id="kvar" alt="k-variance curve">
+</div>
+<div class="lat" id="lat"></div>
+<div id="out"></div>
+<script>
+async function loadDatasets() {
+  const r = await fetch('/api/datasets');
+  const j = await r.json();
+  const sel = document.getElementById('dataset');
+  for (const d of j.datasets) {
+    const o = document.createElement('option');
+    o.value = d; o.textContent = d;
+    sel.appendChild(o);
+  }
+}
+function qs() {
+  const d = document.getElementById('dataset').value;
+  const k = document.getElementById('k').value;
+  const s = document.getElementById('smooth').value;
+  const v = document.getElementById('vanilla').checked ? 1 : 0;
+  return 'dataset=' + encodeURIComponent(d) + '&k=' + k + '&smooth=' + s + '&vanilla=' + v;
+}
+async function explain() {
+  const out = document.getElementById('out');
+  out.innerHTML = 'running…';
+  const r = await fetch('/api/explain?' + qs());
+  const j = await r.json();
+  if (j.error) { out.innerHTML = '<span class="err">' + j.error + '</span>'; return; }
+  document.getElementById('trend').src = '/svg/trendlines?' + qs();
+  document.getElementById('kvar').src = '/svg/kvariance?' + qs();
+  document.getElementById('lat').textContent =
+    'K=' + j.k + (j.autoK ? ' (elbow)' : '') +
+    ' · variance ' + j.totalVariance.toFixed(3) +
+    ' · latency: precompute ' + j.latencyMs.precompute.toFixed(1) + 'ms, ' +
+    'cascading ' + j.latencyMs.cascading.toFixed(1) + 'ms, ' +
+    'segmentation ' + j.latencyMs.segmentation.toFixed(1) + 'ms';
+  let html = '<table><tr><th>period</th><th>top-1</th><th>top-2</th><th>top-3</th></tr>';
+  for (const s of j.segments) {
+    html += '<tr><td>' + s.start + ' ~ ' + s.end + '</td>';
+    for (let i = 0; i < 3; i++) {
+      const e = (s.top || [])[i];
+      html += '<td>' + (e ? (e.predicates + ' ' + e.effect) : '') + '</td>';
+    }
+    html += '</tr>';
+  }
+  html += '</table>';
+  out.innerHTML = html;
+}
+document.getElementById('go').addEventListener('click', explain);
+loadDatasets().then(explain);
+</script>
+</body>
+</html>
+`

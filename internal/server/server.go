@@ -1,0 +1,284 @@
+// Package server exposes TSExplain over HTTP, the shape of the paper's
+// interactive demo (SIGMOD 2021 companion): a JSON API for explaining the
+// built-in datasets with adjustable K / smoothing / optimization toggles,
+// SVG endpoints for the Figure 2 trendline and the K-Variance curve, and
+// a self-contained HTML page that drives them.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/render"
+)
+
+// Server handles the demo endpoints. Results are cached per parameter
+// combination so repeated requests are instant, mirroring the
+// interactivity requirement of Section 1 (challenge b).
+type Server struct {
+	mux *http.ServeMux
+
+	mu     sync.Mutex
+	cache  map[string]*core.Result
+	slices *sliceAPI
+}
+
+// New returns a ready-to-serve handler.
+func New() *Server {
+	s := &Server{
+		mux:    http.NewServeMux(),
+		cache:  make(map[string]*core.Result),
+		slices: newSliceAPI(),
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/api/datasets", s.handleDatasets)
+	s.mux.HandleFunc("/api/explain", s.handleExplain)
+	s.mux.HandleFunc("/api/recommend", s.handleRecommend)
+	s.mux.HandleFunc("/api/slice", s.handleSlice)
+	s.mux.HandleFunc("/api/diff", s.handleDiff)
+	s.mux.HandleFunc("/svg/trendlines", s.handleTrendlines)
+	s.mux.HandleFunc("/svg/kvariance", s.handleKVariance)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// demoNames lists the selectable datasets.
+var demoNames = []string{"covid", "covid-daily", "sp500", "liquor", "vax-deaths"}
+
+func demoDataset(name string) (*datasets.Dataset, error) {
+	switch name {
+	case "covid", "covid-total":
+		return datasets.CovidTotal(), nil
+	case "covid-daily":
+		return datasets.CovidDaily(), nil
+	case "sp500":
+		return datasets.SP500(), nil
+	case "liquor":
+		return datasets.Liquor(), nil
+	case "vax-deaths":
+		return datasets.VaxDeaths(), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+// params decodes the shared query parameters.
+type params struct {
+	dataset string
+	k       int
+	smooth  int
+	vanilla bool
+}
+
+func parseParams(r *http.Request) (params, error) {
+	q := r.URL.Query()
+	p := params{dataset: q.Get("dataset")}
+	if p.dataset == "" {
+		p.dataset = "covid"
+	}
+	var err error
+	if v := q.Get("k"); v != "" {
+		if p.k, err = strconv.Atoi(v); err != nil || p.k < 0 || p.k > 20 {
+			return p, fmt.Errorf("bad k %q", v)
+		}
+	}
+	if v := q.Get("smooth"); v != "" {
+		if p.smooth, err = strconv.Atoi(v); err != nil || p.smooth < 0 || p.smooth > 60 {
+			return p, fmt.Errorf("bad smooth %q", v)
+		}
+	}
+	p.vanilla = q.Get("vanilla") == "1"
+	return p, nil
+}
+
+func (p params) key() string {
+	return fmt.Sprintf("%s|%d|%d|%v", p.dataset, p.k, p.smooth, p.vanilla)
+}
+
+// explainFor runs (or serves from cache) one explanation.
+func (s *Server) explainFor(p params) (*core.Result, error) {
+	s.mu.Lock()
+	if res, ok := s.cache[p.key()]; ok {
+		s.mu.Unlock()
+		return res, nil
+	}
+	s.mu.Unlock()
+
+	d, err := demoDataset(p.dataset)
+	if err != nil {
+		return nil, err
+	}
+	var opts core.Options
+	if !p.vanilla {
+		opts = core.DefaultOptions()
+	}
+	opts.MaxOrder = d.MaxOrder
+	opts.K = p.k
+	opts.SmoothWindow = d.SmoothWindow
+	if p.smooth > 0 {
+		opts.SmoothWindow = p.smooth
+	}
+	eng, err := core.NewEngine(d.Rel, core.Query{
+		Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy,
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Explain()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache[p.key()] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"datasets": demoNames})
+}
+
+// explainResponse is the JSON shape of /api/explain.
+type explainResponse struct {
+	Dataset  string           `json:"dataset"`
+	K        int              `json:"k"`
+	AutoK    bool             `json:"autoK"`
+	Variance float64          `json:"totalVariance"`
+	Latency  latencyBreakdown `json:"latencyMs"`
+	Segments []segmentJSON    `json:"segments"`
+}
+
+type latencyBreakdown struct {
+	Precompute   float64 `json:"precompute"`
+	Cascading    float64 `json:"cascading"`
+	Segmentation float64 `json:"segmentation"`
+}
+
+type segmentJSON struct {
+	Start string     `json:"start"`
+	End   string     `json:"end"`
+	Top   []explJSON `json:"top"`
+}
+
+type explJSON struct {
+	Predicates string  `json:"predicates"`
+	Effect     string  `json:"effect"`
+	Gamma      float64 `json:"gamma"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	p, err := parseParams(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.explainFor(p)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := explainResponse{
+		Dataset:  p.dataset,
+		K:        res.K,
+		AutoK:    res.AutoK,
+		Variance: res.TotalVariance,
+		Latency: latencyBreakdown{
+			Precompute:   ms(res.Timings.Precompute),
+			Cascading:    ms(res.Timings.Cascading),
+			Segmentation: ms(res.Timings.Segmentation),
+		},
+	}
+	for _, seg := range res.Segments {
+		sj := segmentJSON{Start: seg.StartLabel, End: seg.EndLabel}
+		for _, e := range seg.Top {
+			sj.Top = append(sj.Top, explJSON{
+				Predicates: e.Predicates,
+				Effect:     e.Effect.String(),
+				Gamma:      e.Gamma,
+			})
+		}
+		resp.Segments = append(resp.Segments, sj)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	p, err := parseParams(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	d, err := demoDataset(p.dataset)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	scores, err := core.RecommendExplainBy(d.Rel, core.Query{Measure: d.Measure, Agg: d.Agg})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"dataset": p.dataset, "attributes": scores})
+}
+
+func (s *Server) handleTrendlines(w http.ResponseWriter, r *http.Request) {
+	s.serveSVG(w, r, func(buf *bytes.Buffer, res *core.Result, title string) error {
+		return render.Trendlines(buf, res, title)
+	})
+}
+
+func (s *Server) handleKVariance(w http.ResponseWriter, r *http.Request) {
+	s.serveSVG(w, r, func(buf *bytes.Buffer, res *core.Result, title string) error {
+		return render.KVarianceCurve(buf, res, title)
+	})
+}
+
+func (s *Server) serveSVG(w http.ResponseWriter, r *http.Request,
+	draw func(*bytes.Buffer, *core.Result, string) error) {
+	p, err := parseParams(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.explainFor(p)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := draw(&buf, res, p.dataset); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}

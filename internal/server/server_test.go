@@ -1,0 +1,232 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestIndexPage(t *testing.T) {
+	s := New()
+	rec := get(t, s, "/")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "TSExplain") {
+		t.Error("index page missing title")
+	}
+	if rec := get(t, s, "/nope"); rec.Code != 404 {
+		t.Errorf("unknown path status = %d, want 404", rec.Code)
+	}
+}
+
+func TestDatasetsEndpoint(t *testing.T) {
+	s := New()
+	rec := get(t, s, "/api/datasets")
+	var out struct {
+		Datasets []string `json:"datasets"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Datasets) != 5 {
+		t.Errorf("datasets = %v", out.Datasets)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	s := New()
+	rec := get(t, s, "/api/explain?dataset=vax-deaths")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out explainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.K < 2 || len(out.Segments) != out.K {
+		t.Errorf("K = %d with %d segments", out.K, len(out.Segments))
+	}
+	if out.Segments[0].Top[0].Predicates == "" {
+		t.Error("empty explanation predicates")
+	}
+	// Fixed K round-trips.
+	rec = get(t, s, "/api/explain?dataset=vax-deaths&k=3")
+	_ = json.Unmarshal(rec.Body.Bytes(), &out)
+	if out.K != 3 || out.AutoK {
+		t.Errorf("fixed K: got K=%d autoK=%v", out.K, out.AutoK)
+	}
+}
+
+func TestExplainCaching(t *testing.T) {
+	s := New()
+	get(t, s, "/api/explain?dataset=vax-deaths")
+	if len(s.cache) != 1 {
+		t.Fatalf("cache size = %d, want 1", len(s.cache))
+	}
+	get(t, s, "/api/explain?dataset=vax-deaths")
+	if len(s.cache) != 1 {
+		t.Errorf("repeated request grew the cache")
+	}
+	get(t, s, "/api/explain?dataset=vax-deaths&k=2")
+	if len(s.cache) != 2 {
+		t.Errorf("distinct params should add a cache entry")
+	}
+}
+
+func TestExplainBadParams(t *testing.T) {
+	s := New()
+	for _, path := range []string{
+		"/api/explain?dataset=bogus",
+		"/api/explain?k=99",
+		"/api/explain?k=abc",
+		"/api/explain?smooth=-2",
+	} {
+		if rec := get(t, s, path); rec.Code != 400 {
+			t.Errorf("%s: status = %d, want 400", path, rec.Code)
+		}
+	}
+}
+
+func TestSVGEndpoints(t *testing.T) {
+	s := New()
+	for _, path := range []string{
+		"/svg/trendlines?dataset=vax-deaths",
+		"/svg/kvariance?dataset=vax-deaths",
+	} {
+		rec := get(t, s, path)
+		if rec.Code != 200 {
+			t.Fatalf("%s: status = %d", path, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "image/svg+xml" {
+			t.Errorf("%s: content type = %q", path, ct)
+		}
+		if !strings.HasPrefix(rec.Body.String(), "<svg") {
+			t.Errorf("%s: not SVG", path)
+		}
+	}
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	s := New()
+	rec := get(t, s, "/api/recommend?dataset=vax-deaths")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out struct {
+		Attributes []struct {
+			Attribute string  `json:"Attribute"`
+			Coverage  float64 `json:"Coverage"`
+		} `json:"attributes"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Attributes) != 2 {
+		t.Errorf("attributes = %+v", out.Attributes)
+	}
+}
+
+func TestSliceEndpoint(t *testing.T) {
+	s := New()
+	rec := get(t, s, "/api/slice?dataset=vax-deaths&expr=vaccinated%3DNO")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Series    []float64 `json:"series"`
+		Share     float64   `json:"shareOfTotal"`
+		DrillDown []struct {
+			Attribute string   `json:"attribute"`
+			Children  []string `json:"children"`
+		} `json:"drillDown"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Series) != 39 {
+		t.Errorf("series length = %d, want 39", len(out.Series))
+	}
+	if out.Share <= 0.4 || out.Share >= 1 {
+		t.Errorf("unvaccinated share = %g, want a majority share below 1", out.Share)
+	}
+	// Drill-down offered on the remaining attribute only.
+	if len(out.DrillDown) != 1 || out.DrillDown[0].Attribute != "age-group" {
+		t.Errorf("drill-down = %+v, want age-group", out.DrillDown)
+	}
+	if len(out.DrillDown[0].Children) != 3 {
+		t.Errorf("age-group children = %v", out.DrillDown[0].Children)
+	}
+
+	// Root slice returns the total and both drill-down attributes.
+	rec = get(t, s, "/api/slice?dataset=vax-deaths")
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Share != 1 {
+		t.Errorf("root share = %g, want 1", out.Share)
+	}
+	if len(out.DrillDown) != 2 {
+		t.Errorf("root drill-down attrs = %d, want 2", len(out.DrillDown))
+	}
+}
+
+func TestSliceEndpointErrors(t *testing.T) {
+	s := New()
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/api/slice?dataset=bogus", 400},
+		{"/api/slice?dataset=vax-deaths&expr=oops", 400},
+		{"/api/slice?dataset=vax-deaths&expr=age-group%3Dnope", 400},
+		{"/api/slice?dataset=vax-deaths&expr=age-group%3D50%2B%26age-group%3D%3C30", 400},
+	}
+	for _, tc := range cases {
+		if rec := get(t, s, tc.path); rec.Code != tc.code {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.path, rec.Code, tc.code, rec.Body.String())
+		}
+	}
+}
+
+func TestDiffEndpoint(t *testing.T) {
+	s := New()
+	rec := get(t, s, "/api/diff?dataset=vax-deaths&from=w25&to=w38")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Top []struct {
+			Predicates string `json:"predicates"`
+			Effect     string `json:"effect"`
+		} `json:"top"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Top) == 0 {
+		t.Fatal("no explanations returned")
+	}
+	// The delta-wave rise is driven by age-group=50+.
+	if !strings.Contains(out.Top[0].Predicates, "50+") || out.Top[0].Effect != "+" {
+		t.Errorf("top diff explanation = %+v", out.Top[0])
+	}
+	// Bad ranges.
+	for _, path := range []string{
+		"/api/diff?dataset=vax-deaths&from=w38&to=w25",
+		"/api/diff?dataset=vax-deaths&from=nope&to=w38",
+	} {
+		if rec := get(t, s, path); rec.Code != 400 {
+			t.Errorf("%s: status = %d, want 400", path, rec.Code)
+		}
+	}
+}

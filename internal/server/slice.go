@@ -1,0 +1,233 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/explain"
+	"repro/internal/relation"
+)
+
+// sliceAPI serves the OLAP navigation of Section 1 ("users can freely
+// perform drill-down, roll-up, slicing and dicing, and visualize what
+// has happened"): given a dataset and a conjunction like
+// "state=New York" or "Pack=12&Bottle Volume (ml)=750", it returns that
+// slice's aggregated series plus the drill-down children available under
+// each remaining explain-by attribute. The per-dataset candidate
+// universe (the in-memory data cube of Section 5.2) is built once and
+// shared across requests.
+type sliceAPI struct {
+	mu        sync.Mutex
+	universes map[string]*explain.Universe
+	relations map[string]*datasets.Dataset
+	engines   map[string]*core.Engine
+}
+
+func newSliceAPI() *sliceAPI {
+	return &sliceAPI{
+		universes: make(map[string]*explain.Universe),
+		relations: make(map[string]*datasets.Dataset),
+		engines:   make(map[string]*core.Engine),
+	}
+}
+
+// engineFor builds (once) a default-options engine for ad-hoc diffs.
+func (a *sliceAPI) engineFor(name string) (*core.Engine, *datasets.Dataset, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if e, ok := a.engines[name]; ok {
+		return e, a.relations[name], nil
+	}
+	d, err := demoDataset(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := core.DefaultOptions()
+	opts.MaxOrder = d.MaxOrder
+	eng, err := core.NewEngine(d.Rel, core.Query{
+		Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy,
+	}, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	a.engines[name] = eng
+	a.relations[name] = d
+	return eng, d, nil
+}
+
+// universeFor builds (once) the universe for a dataset.
+func (a *sliceAPI) universeFor(name string) (*explain.Universe, *datasets.Dataset, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if u, ok := a.universes[name]; ok {
+		return u, a.relations[name], nil
+	}
+	d, err := demoDataset(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	u, err := explain.NewUniverse(d.Rel, explain.Config{
+		Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy, MaxOrder: d.MaxOrder,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	a.universes[name] = u
+	a.relations[name] = d
+	return u, d, nil
+}
+
+// parseConjunction decodes "attr=value&attr2=value2" against a relation.
+// An empty expression denotes the root (whole relation).
+func parseConjunction(r *relation.Relation, expr string) (relation.Conjunction, error) {
+	if expr == "" {
+		return nil, nil
+	}
+	pairs := make(map[string]string)
+	for _, part := range strings.Split(expr, "&") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 || kv[0] == "" {
+			return nil, fmt.Errorf("bad predicate %q (want attr=value)", part)
+		}
+		if _, dup := pairs[kv[0]]; dup {
+			return nil, fmt.Errorf("attribute %q repeated", kv[0])
+		}
+		pairs[kv[0]] = kv[1]
+	}
+	return relation.NewConjunction(r, pairs)
+}
+
+// sliceResponse is the JSON shape of /api/slice.
+type sliceResponse struct {
+	Dataset   string          `json:"dataset"`
+	Expr      string          `json:"expr"`
+	Labels    []string        `json:"labels"`
+	Series    []float64       `json:"series"`
+	Share     float64         `json:"shareOfTotal"`
+	DrillDown []drillDownJSON `json:"drillDown"`
+}
+
+type drillDownJSON struct {
+	Attribute string   `json:"attribute"`
+	Children  []string `json:"children"`
+}
+
+func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("dataset")
+	if name == "" {
+		name = "covid"
+	}
+	u, d, err := s.slices.universeFor(name)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	conj, err := parseConjunction(d.Rel, q.Get("expr"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	resp := sliceResponse{
+		Dataset: name,
+		Expr:    q.Get("expr"),
+		Labels:  d.Rel.TimeLabels(),
+	}
+	nodeID := -1
+	if len(conj) > 0 {
+		id, ok := u.Lookup(conj)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("slice %q has no data", q.Get("expr")))
+			return
+		}
+		nodeID = id
+		resp.Series = u.CandidateValues(id)
+	} else {
+		resp.Series = u.TotalValues()
+	}
+
+	// Share of the overall aggregate (summed over time, SUM semantics).
+	var sliceSum, totalSum float64
+	total := u.TotalValues()
+	for i := range resp.Series {
+		sliceSum += resp.Series[i]
+		totalSum += total[i]
+	}
+	if totalSum != 0 {
+		resp.Share = sliceSum / totalSum
+	}
+
+	// Drill-down children grouped by the free explain-by attributes.
+	for _, dim := range u.ExplainBy() {
+		if conj.HasDim(dim) {
+			continue
+		}
+		kids := u.ChildrenOf(nodeID, dim)
+		if len(kids) == 0 {
+			continue
+		}
+		dd := drillDownJSON{Attribute: d.Rel.Dim(dim).Name()}
+		for _, kid := range kids {
+			v, _ := u.Candidate(kid).Conj.ValueFor(dim)
+			dd.Children = append(dd.Children, d.Rel.Dim(dim).Value(v))
+		}
+		resp.DrillDown = append(resp.DrillDown, dd)
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// Slice series support also powers the engine-free comparison endpoint:
+// /api/diff?dataset=...&from=<label>&to=<label> runs the two-relations
+// diff building block between two timestamps.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	p, err := parseParams(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	eng, d, err := s.slices.engineFor(p.dataset)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	from, to := -1, -1
+	for i := 0; i < d.Rel.NumTimestamps(); i++ {
+		switch d.Rel.TimeLabel(i) {
+		case q.Get("from"):
+			from = i
+		case q.Get("to"):
+			to = i
+		}
+	}
+	if from < 0 || to < 0 || from >= to {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("need from/to labels with from before to"))
+		return
+	}
+	top, err := eng.TopExplanations(from, to)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := map[string]any{
+		"dataset": p.dataset,
+		"from":    q.Get("from"),
+		"to":      q.Get("to"),
+	}
+	var tops []explJSON
+	for _, e := range top {
+		tops = append(tops, explJSON{Predicates: e.Predicates, Effect: e.Effect.String(), Gamma: e.Gamma})
+	}
+	out["top"] = tops
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,289 @@
+// Package synth generates the synthetic datasets of Section 4.2.1: one
+// relation R(T, sales, category) whose aggregated series is the sum of
+// three categories' piecewise-linear time series. Each category has its
+// own random cutting points; within each category, adjacent segments
+// alternate between upward and downward linear trends, so every cut is
+// necessary; the ground-truth segmentation of the aggregate is the union
+// of the categories' cutting points. Gaussian noise at a target SNR(dB)
+// simulates real-world fuzziness.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/timeseries"
+)
+
+// Params controls dataset generation.
+type Params struct {
+	// N is the series length (default 100, the paper's choice).
+	N int
+	// Categories is the number of explanation categories (default 3).
+	Categories int
+	// MaxCutsPerCategory bounds each category's own cutting points
+	// (default 3, which keeps the union K within the paper's 2–10 range).
+	MaxCutsPerCategory int
+	// MinSegLen is the minimum distance between any two ground-truth cuts
+	// and between a cut and an endpoint (default 6, matching the paper's
+	// shortest segment).
+	MinSegLen int
+	// SNRdB adds Gaussian noise at this signal-to-noise ratio; 0 keeps
+	// the clean signal.
+	SNRdB float64
+	// Seed drives all randomness; equal seeds give identical datasets.
+	Seed int64
+}
+
+func (p *Params) setDefaults() {
+	if p.N <= 0 {
+		p.N = 100
+	}
+	if p.Categories <= 0 {
+		p.Categories = 3
+	}
+	if p.MaxCutsPerCategory <= 0 {
+		p.MaxCutsPerCategory = 3
+	}
+	if p.MinSegLen <= 0 {
+		p.MinSegLen = 6
+	}
+}
+
+// Dataset is one generated dataset with its ground truth.
+type Dataset struct {
+	// Rel is the relation R(T, category, sales); the aggregated series is
+	// SELECT T, SUM(sales) GROUP BY T.
+	Rel *relation.Relation
+	// Categories lists the category names (a1, a2, ...).
+	Categories []string
+	// Clean[cat] is the noise-free per-category series.
+	Clean map[string][]float64
+	// Noisy[cat] is the per-category series after noise (equal to Clean
+	// when SNRdB is 0); these are the values stored in Rel.
+	Noisy map[string][]float64
+	// Cuts is the ground-truth segmentation: interior cutting points of
+	// the aggregate (the union of the categories' cuts), sorted.
+	Cuts []int
+	// K is the ground-truth segment count, len(Cuts)+1.
+	K int
+}
+
+// GroundTruthScheme returns the full ground-truth cut list including both
+// endpoints, the shape segment.Scheme.Cuts uses.
+func (d *Dataset) GroundTruthScheme() []int {
+	out := make([]int, 0, len(d.Cuts)+2)
+	out = append(out, 0)
+	out = append(out, d.Cuts...)
+	out = append(out, d.Rel.NumTimestamps()-1)
+	return out
+}
+
+// AggregateValues returns the aggregated (noisy) series Σ_cat series.
+func (d *Dataset) AggregateValues() []float64 {
+	n := d.Rel.NumTimestamps()
+	out := make([]float64, n)
+	for _, s := range d.Noisy {
+		for i, v := range s {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// Generate builds one synthetic dataset.
+func Generate(p Params) (*Dataset, error) {
+	p.setDefaults()
+	if p.N < 4*p.MinSegLen {
+		return nil, fmt.Errorf("synth: series length %d too short for MinSegLen %d", p.N, p.MinSegLen)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	d := &Dataset{
+		Clean: make(map[string][]float64),
+		Noisy: make(map[string][]float64),
+	}
+	for i := 0; i < p.Categories; i++ {
+		d.Categories = append(d.Categories, fmt.Sprintf("a%d", i+1))
+	}
+
+	// Sample per-category cut sets until the union respects the minimum
+	// segment length (so every ground-truth cut is well separated).
+	var perCat [][]int
+	for attempt := 0; ; attempt++ {
+		if attempt > 1000 {
+			return nil, fmt.Errorf("synth: could not place cuts for N=%d MinSegLen=%d", p.N, p.MinSegLen)
+		}
+		perCat = perCat[:0]
+		for range d.Categories {
+			perCat = append(perCat, sampleCuts(rng, p))
+		}
+		union := unionCuts(perCat)
+		if separated(union, p.N, p.MinSegLen) && len(union) >= 1 {
+			d.Cuts = union
+			break
+		}
+	}
+	d.K = len(d.Cuts) + 1
+
+	// Build each category's piecewise-linear series with alternating
+	// up/down trends. Starting values and magnitudes keep every series
+	// positive: with at most MaxCutsPerCategory+1 alternating segments and
+	// drop magnitude ≤ 150, a start ≥ 320 can never go below 20.
+	for ci, cat := range d.Categories {
+		d.Clean[cat] = pwLinear(rng, p.N, perCat[ci])
+	}
+
+	// Corrupt with Gaussian noise at the requested SNR.
+	for _, cat := range d.Categories {
+		if p.SNRdB > 0 {
+			d.Noisy[cat] = timeseries.AddGaussianNoise(d.Clean[cat], p.SNRdB, rng)
+		} else {
+			d.Noisy[cat] = append([]float64(nil), d.Clean[cat]...)
+		}
+	}
+
+	// Materialize the relation: one row per (timestamp, category).
+	labels := make([]string, p.N)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%04d", i)
+	}
+	b := relation.NewBuilder("synthetic", "T", []string{"category"}, []string{"sales"})
+	b.SetTimeOrder(labels)
+	for _, cat := range d.Categories {
+		for i, v := range d.Noisy[cat] {
+			if err := b.Append(labels[i], []string{cat}, []float64{v}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rel, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	d.Rel = rel
+	return d, nil
+}
+
+// sampleCuts picks 1..MaxCutsPerCategory interior cut positions for one
+// category, each at least MinSegLen away from the endpoints and from each
+// other.
+func sampleCuts(rng *rand.Rand, p Params) []int {
+	want := 1 + rng.Intn(p.MaxCutsPerCategory)
+	var cuts []int
+	for attempt := 0; len(cuts) < want && attempt < 200; attempt++ {
+		c := p.MinSegLen + rng.Intn(p.N-2*p.MinSegLen)
+		ok := true
+		for _, e := range cuts {
+			if abs(c-e) < p.MinSegLen {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cuts = append(cuts, c)
+		}
+	}
+	sort.Ints(cuts)
+	return cuts
+}
+
+// unionCuts merges the categories' cut sets, dropping duplicates.
+func unionCuts(perCat [][]int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, cuts := range perCat {
+		for _, c := range cuts {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// separated reports whether all cuts keep MinSegLen distance from each
+// other and the endpoints.
+func separated(cuts []int, n, minLen int) bool {
+	prev := 0
+	for _, c := range cuts {
+		if c-prev < minLen {
+			return false
+		}
+		prev = c
+	}
+	return n-1-prev >= minLen
+}
+
+// pwLinear builds one piecewise-linear series over segments delimited by
+// cuts, with alternating up/down directions and per-segment magnitudes in
+// [100, 350], like the large swings of the paper's Figure 5 example. The
+// starting level is derived from the sampled deltas so the series never
+// drops below 30 while keeping the DC offset (and therefore the noise
+// power at a given SNR) small.
+func pwLinear(rng *rand.Rand, n int, cuts []int) []float64 {
+	bounds := append(append([]int{0}, cuts...), n-1)
+	segs := len(bounds) - 1
+
+	dir := 1.0
+	if rng.Intn(2) == 0 {
+		dir = -1
+	}
+	deltas := make([]float64, segs)
+	for s := range deltas {
+		deltas[s] = dir * (100 + rng.Float64()*250)
+		dir = -dir
+	}
+	// Start just high enough that the lowest cumulative point sits at 30.
+	minCum, cum := 0.0, 0.0
+	for _, d := range deltas {
+		cum += d
+		if cum < minCum {
+			minCum = cum
+		}
+	}
+	v := 30 - minCum + rng.Float64()*60
+
+	out := make([]float64, n)
+	out[0] = v
+	for s := 0; s+1 < len(bounds); s++ {
+		from, to := bounds[s], bounds[s+1]
+		for i := from + 1; i <= to; i++ {
+			out[i] = v + deltas[s]*float64(i-from)/float64(to-from)
+		}
+		v += deltas[s]
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Corpus generates the experiment corpus: count datasets with seeds
+// derived from baseSeed. The paper uses 20 base datasets, each corrupted
+// at 7 SNR levels; callers regenerate the same base dataset at different
+// SNRs by varying only SNRdB.
+func Corpus(count int, baseSeed int64, snrDB float64) ([]*Dataset, error) {
+	out := make([]*Dataset, 0, count)
+	for i := 0; i < count; i++ {
+		d, err := Generate(Params{Seed: baseSeed + int64(i)*7919, SNRdB: snrDB})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// SNRLevels returns the paper's seven noise levels: 20, 25, ..., 50 dB.
+func SNRLevels() []float64 {
+	return []float64{20, 25, 30, 35, 40, 45, 50}
+}

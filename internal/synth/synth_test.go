@@ -1,0 +1,200 @@
+package synth
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/timeseries"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Params{Seed: 42, SNRdB: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Params{Seed: 42, SNRdB: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Cuts, b.Cuts) {
+		t.Errorf("cuts differ across identical seeds: %v vs %v", a.Cuts, b.Cuts)
+	}
+	for _, cat := range a.Categories {
+		if !reflect.DeepEqual(a.Noisy[cat], b.Noisy[cat]) {
+			t.Errorf("category %s series differ across identical seeds", cat)
+		}
+	}
+	c, err := Generate(Params{Seed: 43, SNRdB: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := reflect.DeepEqual(a.Cuts, c.Cuts)
+	for _, cat := range a.Categories {
+		same = same && reflect.DeepEqual(a.Noisy[cat], c.Noisy[cat])
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	d, err := Generate(Params{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Rel.NumTimestamps(); got != 100 {
+		t.Errorf("N = %d, want 100", got)
+	}
+	if len(d.Categories) != 3 {
+		t.Errorf("categories = %d, want 3", len(d.Categories))
+	}
+	if d.K != len(d.Cuts)+1 {
+		t.Errorf("K = %d, cuts = %d", d.K, len(d.Cuts))
+	}
+	if d.K < 2 || d.K > 10 {
+		t.Errorf("K = %d outside the paper's 2..10 range", d.K)
+	}
+	// All cuts separated by ≥ MinSegLen (6) including endpoints.
+	full := d.GroundTruthScheme()
+	for i := 1; i < len(full); i++ {
+		if full[i]-full[i-1] < 6 {
+			t.Errorf("segment [%d,%d] shorter than 6", full[i-1], full[i])
+		}
+	}
+	// Clean series stay positive.
+	for cat, s := range d.Clean {
+		for i, v := range s {
+			if v <= 0 {
+				t.Errorf("category %s clean[%d] = %g, want > 0", cat, i, v)
+			}
+		}
+	}
+}
+
+func TestCleanSeriesPiecewiseLinearWithAlternation(t *testing.T) {
+	d, err := Generate(Params{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregated series from the relation equals the sum of categories.
+	agg := relation.Values(relation.Sum, d.Rel.AggregateSeries(0))
+	want := d.AggregateValues()
+	for i := range agg {
+		if math.Abs(agg[i]-want[i]) > 1e-6 {
+			t.Fatalf("aggregate mismatch at %d: %g vs %g", i, agg[i], want[i])
+		}
+	}
+	// Within each clean category the slope sign is constant between that
+	// category's own cut structure; verify piecewise linearity by second
+	// differences being ~0 away from cuts.
+	for cat, s := range d.Clean {
+		cutSet := map[int]bool{}
+		for _, c := range d.Cuts {
+			cutSet[c] = true
+		}
+		for i := 2; i < len(s); i++ {
+			if cutSet[i-1] || cutSet[i] || cutSet[i-2] {
+				continue
+			}
+			dd := s[i] - 2*s[i-1] + s[i-2]
+			if math.Abs(dd) > 1e-6 {
+				t.Errorf("category %s: nonlinear second difference %g at %d", cat, dd, i)
+				break
+			}
+		}
+	}
+}
+
+func TestNoiseMatchesSNR(t *testing.T) {
+	d, err := Generate(Params{Seed: 5, SNRdB: 30, N: 2000, MinSegLen: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cat := range d.Categories {
+		got := timeseries.SNRdB(d.Clean[cat], d.Noisy[cat])
+		if math.Abs(got-30) > 2 {
+			t.Errorf("category %s: SNR = %g dB, want ≈30", cat, got)
+		}
+	}
+}
+
+func TestZeroSNRKeepsClean(t *testing.T) {
+	d, err := Generate(Params{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cat := range d.Categories {
+		if !reflect.DeepEqual(d.Clean[cat], d.Noisy[cat]) {
+			t.Errorf("category %s: noiseless dataset has noise", cat)
+		}
+	}
+}
+
+func TestGenerateTooShort(t *testing.T) {
+	if _, err := Generate(Params{N: 10, MinSegLen: 6}); err == nil {
+		t.Error("want error for series too short")
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	corpus, err := Corpus(5, 1, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 5 {
+		t.Fatalf("corpus size = %d, want 5", len(corpus))
+	}
+	// Same base seed and SNR reproduce the same cut structures.
+	again, err := Corpus(5, 1, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range corpus {
+		if !reflect.DeepEqual(corpus[i].Cuts, again[i].Cuts) {
+			t.Errorf("dataset %d cuts not reproducible", i)
+		}
+	}
+	// Different SNR keeps the same ground truth (cut placement is sampled
+	// before noise).
+	clean, err := Corpus(5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range corpus {
+		if !reflect.DeepEqual(corpus[i].Cuts, clean[i].Cuts) {
+			t.Errorf("dataset %d: cuts change with SNR", i)
+		}
+	}
+}
+
+func TestSNRLevels(t *testing.T) {
+	levels := SNRLevels()
+	if len(levels) != 7 || levels[0] != 20 || levels[6] != 50 {
+		t.Errorf("SNRLevels = %v", levels)
+	}
+}
+
+func TestKDistributionAcrossCorpus(t *testing.T) {
+	corpus, err := Corpus(20, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minK, maxK := 100, 0
+	for _, d := range corpus {
+		if d.K < minK {
+			minK = d.K
+		}
+		if d.K > maxK {
+			maxK = d.K
+		}
+	}
+	// The corpus should exhibit diverse K, per Figure 4.
+	if maxK-minK < 3 {
+		t.Errorf("K range [%d,%d] too narrow for a diverse corpus", minK, maxK)
+	}
+	if minK < 2 || maxK > 10 {
+		t.Errorf("K range [%d,%d] outside 2..10", minK, maxK)
+	}
+}

@@ -1,0 +1,62 @@
+package timeseries
+
+// Decomposition holds the classical additive decomposition of a series
+// into trend + seasonal + residual components (Section 8, "Seasonal
+// Datasets": users can decompose a seasonal series and explain trend and
+// seasonality separately).
+type Decomposition struct {
+	Trend    []float64
+	Seasonal []float64
+	Residual []float64
+}
+
+// DecomposeAdditive performs classical additive decomposition with the
+// given seasonal period:
+//
+//  1. trend = centered moving average with window = period,
+//  2. seasonal[i] = mean of (v − trend) over all points with the same
+//     phase i mod period, centered to sum to zero over one period,
+//  3. residual = v − trend − seasonal.
+//
+// period must be ≥ 2 and ≤ len(v); otherwise the whole signal is treated
+// as trend.
+func DecomposeAdditive(v []float64, period int) Decomposition {
+	n := len(v)
+	d := Decomposition{
+		Trend:    make([]float64, n),
+		Seasonal: make([]float64, n),
+		Residual: make([]float64, n),
+	}
+	if period < 2 || period > n {
+		copy(d.Trend, v)
+		return d
+	}
+	d.Trend = MovingAverage(v, period)
+
+	// Average detrended values by phase.
+	phaseSum := make([]float64, period)
+	phaseCnt := make([]int, period)
+	for i := 0; i < n; i++ {
+		p := i % period
+		phaseSum[p] += v[i] - d.Trend[i]
+		phaseCnt[p]++
+	}
+	phaseAvg := make([]float64, period)
+	var total float64
+	for p := 0; p < period; p++ {
+		if phaseCnt[p] > 0 {
+			phaseAvg[p] = phaseSum[p] / float64(phaseCnt[p])
+		}
+		total += phaseAvg[p]
+	}
+	// Center the seasonal component so it sums to zero over one period.
+	center := total / float64(period)
+	for p := range phaseAvg {
+		phaseAvg[p] -= center
+	}
+	for i := 0; i < n; i++ {
+		d.Seasonal[i] = phaseAvg[i%period]
+		d.Residual[i] = v[i] - d.Trend[i] - d.Seasonal[i]
+	}
+	return d
+}

@@ -1,0 +1,91 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SNRdB computes the signal-to-noise ratio in decibels between a clean
+// signal and its noisy version: 10·log10(P_signal / P_noise), where the
+// noise is the element-wise difference. It returns +Inf when the two are
+// identical.
+func SNRdB(clean, noisy []float64) float64 {
+	n := len(clean)
+	if len(noisy) < n {
+		n = len(noisy)
+	}
+	var noisePower float64
+	for i := 0; i < n; i++ {
+		d := noisy[i] - clean[i]
+		noisePower += d * d
+	}
+	if n > 0 {
+		noisePower /= float64(n)
+	}
+	sigPower := Power(clean[:n])
+	if noisePower == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(sigPower/noisePower)
+}
+
+// NoiseSigmaFor returns the standard deviation of zero-mean Gaussian noise
+// that yields the target SNR (in dB) against a signal with the given
+// power: σ² = P_signal / 10^(SNR/10).
+func NoiseSigmaFor(signalPower, snrDB float64) float64 {
+	if signalPower <= 0 {
+		return 0
+	}
+	return math.Sqrt(signalPower / math.Pow(10, snrDB/10))
+}
+
+// AddGaussianNoise returns a copy of v with N(0, σ²) noise added, where σ
+// is chosen so the expected SNR equals snrDB (Section 4.2.1). The rng
+// makes the corruption deterministic for a fixed seed.
+func AddGaussianNoise(v []float64, snrDB float64, rng *rand.Rand) []float64 {
+	sigma := NoiseSigmaFor(Power(v), snrDB)
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x + rng.NormFloat64()*sigma
+	}
+	return out
+}
+
+// EstimateSNRdB estimates a series' signal-to-noise ratio by treating a
+// centered moving average as the signal and the residual as noise. It is
+// the heuristic behind automatic smoothing-window selection: fuzzy series
+// (low estimated SNR) get smoothed before explaining (Section 7.4).
+func EstimateSNRdB(v []float64) float64 {
+	if len(v) < 8 {
+		return math.Inf(1)
+	}
+	smooth := MovingAverage(v, 5)
+	var noisePower float64
+	for i := range v {
+		d := v[i] - smooth[i]
+		noisePower += d * d
+	}
+	noisePower /= float64(len(v))
+	// The residual of a width-w centered average underestimates the noise
+	// by the factor (1 − 1/w); correct for it.
+	noisePower /= 1 - 1.0/5
+	if noisePower == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(Power(smooth)/noisePower)
+}
+
+// AutoSmoothWindow picks a moving-average window from the estimated SNR:
+// clean series are left alone, fuzzy ones get progressively stronger
+// smoothing.
+func AutoSmoothWindow(v []float64) int {
+	snr := EstimateSNRdB(v)
+	switch {
+	case snr >= 38:
+		return 0
+	case snr >= 30:
+		return 3
+	default:
+		return 5
+	}
+}

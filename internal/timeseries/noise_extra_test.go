@@ -1,0 +1,47 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEstimateSNRdB(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	signal := make([]float64, 4000)
+	for i := range signal {
+		signal[i] = 200 + 0.05*float64(i) + 80*math.Sin(float64(i)/150)
+	}
+	for _, target := range []float64{20, 30, 40} {
+		noisy := AddGaussianNoise(signal, target, rng)
+		got := EstimateSNRdB(noisy)
+		if math.Abs(got-target) > 4 {
+			t.Errorf("target %g dB: estimated %g dB", target, got)
+		}
+	}
+	if got := EstimateSNRdB(signal); got < 38 {
+		t.Errorf("clean signal estimated at %g dB, want high", got)
+	}
+	if got := EstimateSNRdB([]float64{1, 2, 3}); !math.IsInf(got, 1) {
+		t.Errorf("short series estimate = %g, want +Inf", got)
+	}
+}
+
+func TestAutoSmoothWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	signal := make([]float64, 4000)
+	for i := range signal {
+		signal[i] = 200 + 0.05*float64(i) + 80*math.Sin(float64(i)/150)
+	}
+	if got := AutoSmoothWindow(signal); got != 0 {
+		t.Errorf("clean series window = %d, want 0", got)
+	}
+	fuzzy := AddGaussianNoise(signal, 20, rng)
+	if got := AutoSmoothWindow(fuzzy); got != 5 {
+		t.Errorf("very fuzzy series window = %d, want 5", got)
+	}
+	mid := AddGaussianNoise(signal, 33, rng)
+	if got := AutoSmoothWindow(mid); got != 3 {
+		t.Errorf("mildly fuzzy series window = %d, want 3", got)
+	}
+}
