@@ -223,6 +223,65 @@ func BenchmarkAblationFilterRatio(b *testing.B) {
 
 // --- Micro-benchmarks for the hot paths ---
 
+// BenchmarkPrecomputeLiquor measures the precompute module (candidate
+// enumeration + series construction) on the liquor dataset — the
+// columnar group-by kernel's home turf.
+func BenchmarkPrecomputeLiquor(b *testing.B) {
+	d := datasets.Liquor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := explain.NewUniverse(d.Rel, explain.Config{
+			Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy, MaxOrder: d.MaxOrder,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrecomputeLiquorParallel is the same build fanned across 4
+// workers (identical output, see TestNewUniverseParallelDeterminism).
+func BenchmarkPrecomputeLiquorParallel(b *testing.B) {
+	d := datasets.Liquor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := explain.NewUniverse(d.Rel, explain.Config{
+			Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy, MaxOrder: d.MaxOrder,
+			Parallelism: 4,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrecomputeKernel pits the columnar integer-keyed group-by
+// kernel against the legacy string-keyed one on the liquor rows.
+func BenchmarkPrecomputeKernel(b *testing.B) {
+	d := datasets.Liquor()
+	var dims []int
+	for _, name := range d.ExplainBy {
+		dims = append(dims, d.Rel.DimIndex(name))
+	}
+	if len(dims) > 3 {
+		dims = dims[:3]
+	}
+	b.Run("columnar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.Rel.GroupBySeriesColumnar(dims, d.Rel.MeasureIndex(d.Measure))
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.Rel.GroupBySeries(dims, d.Rel.MeasureIndex(d.Measure))
+		}
+	})
+}
+
+// BenchmarkLiquorEndToEnd runs the full optimized pipeline on liquor,
+// the precompute-dominated end-to-end workload of Figure 15.
+func BenchmarkLiquorEndToEnd(b *testing.B) {
+	runDatasetBench(b, datasets.Liquor(), true)
+}
+
 func liquorUniverse(b *testing.B) *explain.Universe {
 	b.Helper()
 	d := datasets.Liquor()

@@ -1,0 +1,135 @@
+// Command benchjson runs the engine's hot-path micro-benchmarks and emits
+// a machine-readable BENCH_engine.json (ns/op, B/op, allocs/op per
+// benchmark), so the performance trajectory across PRs can be tracked by
+// tooling instead of by eyeballing `go test -bench` output.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-bench regex] [-benchtime 2s] [-count 1] [-o BENCH_engine.json]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultBench covers the precompute-dominated and solver-dominated hot
+// paths that the columnar kernel and the allocation-free DP target.
+const defaultBench = "BenchmarkPrecompute|BenchmarkCascading|BenchmarkLiquor"
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the BENCH_engine.json document.
+type Report struct {
+	GeneratedBy string      `json:"generated_by"`
+	GoVersion   string      `json:"go_version"`
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	BenchRegex  string      `json:"bench_regex"`
+	BenchTime   string      `json:"bench_time"`
+	UnixTime    int64       `json:"unix_time"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkPrecomputeLiquor-8  5  229347513 ns/op  27838045 B/op  196635 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "2s", "value for go test -benchtime")
+	count := flag.Int("count", 1, "value for go test -count")
+	pkg := flag.String("pkg", ".", "package holding the benchmarks")
+	out := flag.String("o", "BENCH_engine.json", "output file ('-' for stdout)")
+	flag.Parse()
+
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", *bench,
+		"-benchmem",
+		"-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count),
+		*pkg,
+	}
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n%s%s", err, stdout.String(), stderr.String())
+		os.Exit(1)
+	}
+
+	report := Report{
+		GeneratedBy: "cmd/benchjson",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		BenchRegex:  *bench,
+		BenchTime:   *benchtime,
+		UnixTime:    time.Now().Unix(),
+	}
+	sc := bufio.NewScanner(&stdout)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var bytesOp, allocsOp int64
+		if m[4] != "" {
+			bytesOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			allocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		report.Benchmarks = append(report.Benchmarks, Benchmark{
+			Name:        strings.TrimPrefix(m[1], "Benchmark"),
+			Iterations:  iters,
+			NsPerOp:     ns,
+			BytesPerOp:  bytesOp,
+			AllocsPerOp: allocsOp,
+		})
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines matched; raw output:\n%s", stdout.String())
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+}

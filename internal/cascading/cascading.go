@@ -58,6 +58,7 @@ type Solver struct {
 	u      *explain.Universe
 	metric explain.Metric
 	m      int
+	dims   []int // explain-by dims, fetched once (ExplainBy copies)
 
 	// Reusable per-solve scratch: score buffers and a generation-tagged
 	// memo that avoids reallocating or clearing ε-sized arrays on every
@@ -70,6 +71,20 @@ type Solver struct {
 	reachBuf  []bool
 	marked    []int
 	zeroVec   []float64
+
+	// Allocation-free hot path: memo DP vectors are carved out of one
+	// arena per solve instead of one make per node; the knapsack scratch
+	// of best() and the parent-pointer tables of extract() live in small
+	// per-recursion-depth stacks (drill-down depth is bounded by β̄).
+	vecArena []float64
+	arenaOff int
+	dpStack  [][]float64
+	exDP     [][]float64
+	exTake   [][]int
+
+	// GuessVerify scratch, reused across rounds and calls.
+	chiBuf     []int
+	allowedBuf []bool
 }
 
 // NewSolver returns a Solver that selects up to m non-overlapping
@@ -78,7 +93,7 @@ func NewSolver(u *explain.Universe, metric explain.Metric, m int) *Solver {
 	if m < 1 {
 		m = 1
 	}
-	return &Solver{u: u, metric: metric, m: m}
+	return &Solver{u: u, metric: metric, m: m, dims: u.ExplainBy()}
 }
 
 // Metric returns the difference metric the solver scores with.
@@ -153,12 +168,59 @@ func (s *Solver) Solve(c, t int, allowed []bool) Result {
 	return s.solveScored(s.scoreSegment(c, t, allowed), allowed)
 }
 
+// dpAt returns the zeroed knapsack scratch vector for the given recursion
+// depth. Depth is bounded by the drill-down depth (β̄ + 1), so the stack
+// stays tiny and no per-node allocation happens.
+func (s *Solver) dpAt(depth int) []float64 {
+	for len(s.dpStack) <= depth {
+		s.dpStack = append(s.dpStack, make([]float64, s.m+1))
+	}
+	dp := s.dpStack[depth]
+	for i := range dp {
+		dp[i] = 0
+	}
+	return dp
+}
+
+// exBufs returns extract()'s parent-pointer tables for the given recursion
+// depth, as flat (rows × (m+1)) arrays grown on demand and reused across
+// solves.
+func (s *Solver) exBufs(depth, rows int) ([]float64, []int) {
+	for len(s.exDP) <= depth {
+		s.exDP = append(s.exDP, nil)
+		s.exTake = append(s.exTake, nil)
+	}
+	need := rows * (s.m + 1)
+	if cap(s.exDP[depth]) < need {
+		s.exDP[depth] = make([]float64, need)
+		s.exTake[depth] = make([]int, need)
+	}
+	return s.exDP[depth][:need], s.exTake[depth][:need]
+}
+
+// carveVec takes the next (m+1)-sized zeroed vector from the per-solve
+// arena. Each node is memoized at most once per generation, so the arena
+// sized at (ε+1)×(m+1) never overflows.
+func (st *solveState) carveVec() []float64 {
+	s := st.s
+	out := s.vecArena[s.arenaOff : s.arenaOff+s.m+1 : s.arenaOff+s.m+1]
+	s.arenaOff += s.m + 1
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
 func (s *Solver) solveScored(scores segmentScores, allowed []bool) Result {
 	n := s.u.NumCandidates() + 1
 	if cap(s.memoBuf) < n {
 		s.memoBuf = make([][]float64, n)
 		s.memoGen = make([]uint32, n)
 	}
+	if need := n * (s.m + 1); cap(s.vecArena) < need {
+		s.vecArena = make([]float64, need)
+	}
+	s.arenaOff = 0
 	s.curGen++
 	st := &solveState{
 		s:       s,
@@ -194,9 +256,11 @@ func (s *Solver) solveScored(scores segmentScores, allowed []bool) Result {
 	if s.zeroVec == nil || len(s.zeroVec) != s.m+1 {
 		s.zeroVec = make([]float64, s.m+1)
 	}
-	best := st.best(-1)
+	// Result.Best escapes the solve (callers cache Results), so copy it
+	// out of the reusable arena.
+	best := append([]float64(nil), st.best(-1, 0)...)
 	picked := make([]int, 0, s.m)
-	st.extract(-1, s.m, &picked)
+	st.extract(-1, s.m, 0, &picked)
 	res := Result{Best: best}
 	for _, id := range picked {
 		res.Explanations = append(res.Explanations, Picked{
@@ -219,8 +283,10 @@ func (st *solveState) selectable(id int) bool {
 
 // best computes the DP vector for the subtree rooted at the given node:
 // best[q] = max total γ selecting at most q non-overlapping explanations
-// within the node's slice. nodeID is the candidate ID, or -1 for the root.
-func (st *solveState) best(nodeID int) []float64 {
+// within the node's slice. nodeID is the candidate ID, or -1 for the root;
+// depth is the drill-down recursion depth, which indexes the reusable
+// knapsack scratch.
+func (st *solveState) best(nodeID, depth int) []float64 {
 	if st.reach != nil && nodeID >= 0 && !st.reach[nodeID+1] {
 		return st.s.zeroVec
 	}
@@ -228,13 +294,13 @@ func (st *solveState) best(nodeID int) []float64 {
 		return v
 	}
 	m := st.s.m
-	out := make([]float64, m+1)
+	out := st.carveVec()
 
 	// Option 1: drill down on any dimension the node leaves free and
 	// distribute quota among that dimension's children by a small
 	// knapsack. Child lists are pre-sorted by the universe, keeping
 	// extraction deterministic.
-	for _, dim := range st.s.u.ExplainBy() {
+	for _, dim := range st.s.dims {
 		if nodeID >= 0 && st.s.u.Candidate(nodeID).Conj.HasDim(dim) {
 			continue
 		}
@@ -242,9 +308,9 @@ func (st *solveState) best(nodeID int) []float64 {
 		if len(kids) == 0 {
 			continue
 		}
-		dp := make([]float64, m+1)
+		dp := st.s.dpAt(depth)
 		for _, kid := range kids {
-			kb := st.best(kid)
+			kb := st.best(kid, depth+1)
 			for q := m; q >= 1; q-- {
 				for take := 1; take <= q; take++ {
 					if v := dp[q-take] + kb[take]; v > dp[q] {
@@ -282,8 +348,10 @@ func (st *solveState) best(nodeID int) []float64 {
 }
 
 // extract re-walks the DP decisions to recover which explanations achieve
-// best[q] at the given node, appending candidate IDs to picked.
-func (st *solveState) extract(nodeID, q int, picked *[]int) {
+// best[q] at the given node, appending candidate IDs to picked. depth
+// indexes the reusable parent-pointer tables, which stay live across the
+// recursive calls below (the recursion only ever uses deeper buffers).
+func (st *solveState) extract(nodeID, q, depth int, picked *[]int) {
 	if q <= 0 {
 		return
 	}
@@ -300,7 +368,7 @@ func (st *solveState) extract(nodeID, q int, picked *[]int) {
 
 	// Otherwise some drill-down does. Find the dimension and re-run its
 	// knapsack with parent pointers to recover the quota split.
-	for _, dim := range st.s.u.ExplainBy() {
+	for _, dim := range st.s.dims {
 		if nodeID >= 0 && st.s.u.Candidate(nodeID).Conj.HasDim(dim) {
 			continue
 		}
@@ -309,30 +377,33 @@ func (st *solveState) extract(nodeID, q int, picked *[]int) {
 			continue
 		}
 		m := st.s.m
-		// dp[k][j]: best total over the first k children using quota j.
-		dp := make([][]float64, len(kids)+1)
-		take := make([][]int, len(kids)+1)
-		dp[0] = make([]float64, m+1)
+		w := m + 1
+		// dp[k*w+j]: best total over the first k children using quota j.
+		dp, take := st.s.exBufs(depth, len(kids)+1)
+		for j := 0; j <= m; j++ {
+			dp[j] = 0
+		}
 		for k, kid := range kids {
-			kb := st.best(kid)
-			dp[k+1] = make([]float64, m+1)
-			take[k+1] = make([]int, m+1)
+			kb := st.best(kid, depth+1)
+			prev, cur := dp[k*w:(k+1)*w], dp[(k+1)*w:(k+2)*w]
+			curTake := take[(k+1)*w : (k+2)*w]
 			for j := 0; j <= m; j++ {
-				dp[k+1][j] = dp[k][j]
+				cur[j] = prev[j]
+				curTake[j] = 0
 				for x := 1; x <= j; x++ {
-					if v := dp[k][j-x] + kb[x]; v > dp[k+1][j] {
-						dp[k+1][j] = v
-						take[k+1][j] = x
+					if v := prev[j-x] + kb[x]; v > cur[j] {
+						cur[j] = v
+						curTake[j] = x
 					}
 				}
 			}
 		}
-		if dp[len(kids)][q] >= target {
+		if dp[len(kids)*w+q] >= target {
 			j := q
 			for k := len(kids); k >= 1; k-- {
-				x := take[k][j]
+				x := take[k*w+j]
 				if x > 0 {
-					st.extract(kids[k-1], x, picked)
+					st.extract(kids[k-1], x, depth+1, picked)
 					j -= x
 				}
 			}

@@ -20,8 +20,12 @@ func (s *Solver) GuessVerify(c, t int, initGuess int, base []bool) (Result, int)
 
 	// χ: selectable candidate IDs. Rather than fully sorting all ε of
 	// them per segment, each round partially selects just the prefix it
-	// needs (the guess plus the verification lookahead).
-	chi := make([]int, 0, n)
+	// needs (the guess plus the verification lookahead). The slice is
+	// solver scratch, reused across segments.
+	if cap(s.chiBuf) < n {
+		s.chiBuf = make([]int, 0, n)
+	}
+	chi := s.chiBuf[:0]
 	for i := 0; i < n; i++ {
 		if base == nil || base[i] {
 			chi = append(chi, i)
@@ -51,7 +55,13 @@ func (s *Solver) GuessVerify(c, t int, initGuess int, base []bool) (Result, int)
 			})
 			sorted = need
 		}
-		allowed := make([]bool, n)
+		if cap(s.allowedBuf) < n {
+			s.allowedBuf = make([]bool, n)
+		}
+		allowed := s.allowedBuf[:n]
+		for i := range allowed {
+			allowed[i] = false
+		}
 		for _, id := range chi[:mbar] {
 			allowed[id] = true
 		}

@@ -62,10 +62,12 @@ type Options struct {
 	// SmoothWindow applies a moving average before explaining (Section
 	// 7.4); 0 disables.
 	SmoothWindow int
-	// Parallelism pre-computes per-segment explanations with this many
-	// goroutines before segmentation. 0 or 1 keeps the paper's
-	// single-threaded execution; results are identical either way, and
-	// with parallelism on, the Cascading timing reports summed CPU time.
+	// Parallelism runs the engine's fan-out work with this many
+	// goroutines: candidate enumeration's per-subset group-bys in the
+	// precompute module, and pre-solving per-segment explanations before
+	// segmentation. 0 or 1 keeps the paper's single-threaded execution;
+	// results are identical either way, and with parallelism on, the
+	// Cascading timing reports summed CPU time.
 	Parallelism int
 }
 
@@ -198,12 +200,13 @@ func (r *Result) Cuts() []int {
 // precompute module; Explain runs Cascading Analysts and K-Segmentation.
 // An Engine is not safe for concurrent use.
 type Engine struct {
-	rel     *relation.Relation
-	query   Query
-	opts    Options
-	u       *explain.Universe
-	allowed []bool
-	exp     *segment.Explainer
+	rel      *relation.Relation
+	query    Query
+	opts     Options
+	u        *explain.Universe
+	allowed  []bool
+	filtered int // candidates surviving the filter, counted once
+	exp      *segment.Explainer
 
 	precompute time.Duration
 }
@@ -214,10 +217,11 @@ func NewEngine(rel *relation.Relation, q Query, opts Options) (*Engine, error) {
 	opts.setDefaults()
 	start := time.Now()
 	u, err := explain.NewUniverse(rel, explain.Config{
-		Measure:   q.Measure,
-		Agg:       q.Agg,
-		ExplainBy: q.ExplainBy,
-		MaxOrder:  opts.MaxOrder,
+		Measure:     q.Measure,
+		Agg:         q.Agg,
+		ExplainBy:   q.ExplainBy,
+		MaxOrder:    opts.MaxOrder,
+		Parallelism: opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -225,13 +229,14 @@ func NewEngine(rel *relation.Relation, q Query, opts Options) (*Engine, error) {
 	if opts.SmoothWindow > 1 {
 		u.Smooth(opts.SmoothWindow)
 	}
-	e := &Engine{rel: rel, query: q, opts: opts, u: u}
+	e := &Engine{rel: rel, query: q, opts: opts, u: u, filtered: u.NumCandidates()}
 	if opts.FilterRatio > 0 {
 		kept := u.FilterLowSupport(opts.FilterRatio)
 		e.allowed = make([]bool, u.NumCandidates())
 		for _, id := range kept {
 			e.allowed[id] = true
 		}
+		e.filtered = len(kept)
 	}
 	e.exp = segment.NewExplainer(u, segment.ExplainerConfig{
 		M:              opts.M,
@@ -251,19 +256,9 @@ func (e *Engine) Universe() *explain.Universe { return e.u }
 // Explainer exposes the per-segment explanation cache.
 func (e *Engine) Explainer() *segment.Explainer { return e.exp }
 
-// FilteredCount returns the number of candidates surviving the filter.
-func (e *Engine) FilteredCount() int {
-	if e.allowed == nil {
-		return e.u.NumCandidates()
-	}
-	n := 0
-	for _, ok := range e.allowed {
-		if ok {
-			n++
-		}
-	}
-	return n
-}
+// FilteredCount returns the number of candidates surviving the filter,
+// counted once at construction rather than rescanned per call.
+func (e *Engine) FilteredCount() int { return e.filtered }
 
 // Explain runs the full pipeline and reports the evolving explanations.
 func (e *Engine) Explain() (*Result, error) {

@@ -43,7 +43,7 @@ type Universe struct {
 
 	total []relation.SumCount
 	cands []*Candidate
-	byKey map[string]int
+	index *candIndex
 
 	// children indexes candidate extensions for the drill-down tree:
 	// children[parentKey][dim] lists candidate IDs whose conjunction is the
@@ -69,6 +69,56 @@ type Config struct {
 	ExplainBy []string
 	// MaxOrder is the order threshold β̄ (default 3).
 	MaxOrder int
+	// Parallelism fans the per-subset group-bys of candidate enumeration
+	// across this many goroutines. 0 or 1 builds the universe serially;
+	// the resulting candidate IDs, series, and adjacency are identical
+	// either way.
+	Parallelism int
+}
+
+// candIndex resolves a conjunction to its candidate ID. When the relation
+// fits (≤ 16 dims, dictionaries ≤ 65536, β̄ ≤ 3 — every configuration the
+// engine meets in practice) it is keyed by packed uint64 conjunctions and
+// the hot paths never build a string; otherwise it transparently falls
+// back to the legacy Conjunction.Key() strings.
+type candIndex struct {
+	packed map[relation.PackedConj]int
+	str    map[string]int
+}
+
+func newCandIndex(r *relation.Relation, maxOrder int) *candIndex {
+	if relation.CanPackConjs(r, maxOrder) {
+		return &candIndex{packed: make(map[relation.PackedConj]int)}
+	}
+	return &candIndex{str: make(map[string]int)}
+}
+
+func (ix *candIndex) insert(c relation.Conjunction, id int) {
+	if ix.packed != nil {
+		if k, ok := relation.PackConj(c); ok {
+			ix.packed[k] = id
+			return
+		}
+		// Unreachable when newCandIndex vetted the relation; guard anyway.
+		ix.str = make(map[string]int)
+		for k, v := range ix.packed {
+			ix.str[k.Unpack().Key()] = v
+		}
+		ix.packed = nil
+	}
+	ix.str[c.Key()] = id
+}
+
+func (ix *candIndex) lookup(c relation.Conjunction) (int, bool) {
+	if ix.packed != nil {
+		if k, ok := relation.PackConj(c); ok {
+			id, ok := ix.packed[k]
+			return id, ok
+		}
+		return 0, false
+	}
+	id, ok := ix.str[c.Key()]
+	return id, ok
 }
 
 // NewUniverse enumerates all candidate explanations of order ≤ β̄ that
@@ -113,29 +163,44 @@ func NewUniverse(r *relation.Relation, cfg Config) (*Universe, error) {
 		explainBy: dims,
 		maxOrder:  maxOrder,
 		total:     r.AggregateSeries(m),
-		byKey:     make(map[string]int),
+		index:     newCandIndex(r, maxOrder),
 		children:  make(map[string]map[int][]int),
 	}
 
-	// Enumerate every attribute subset of size 1..β̄ and group-by each.
-	// Group keys are sorted before IDs are assigned so enumeration is
-	// deterministic (map iteration order is not).
-	for _, subset := range subsets(dims, maxOrder) {
-		groups := r.GroupBySeries(subset, m)
-		keys := make([]string, 0, len(groups))
-		for key := range groups {
-			keys = append(keys, key)
-		}
-		sort.Strings(keys)
-		for _, key := range keys {
-			gd, ids := relation.DecodeGroupKey(key)
-			conj := make(relation.Conjunction, len(gd))
-			for i := range gd {
-				conj[i] = relation.Pred{Dim: gd[i], Value: ids[i]}
+	// Enumerate every attribute subset of size 1..β̄ and group-by each
+	// with the columnar kernel: plan all subsets (pass 1), allocate ONE
+	// arena backing every candidate's series, then fill the disjoint
+	// arena ranges (pass 2). Both passes fan across the worker pool; the
+	// kernel orders each subset's groups by id tuple, so candidate IDs
+	// are deterministic and identical at any parallelism.
+	workers := cfg.Parallelism
+	subsetList := subsets(dims, maxOrder)
+	plans := make([]*relation.GroupByPlan, len(subsetList))
+	runIndexed(len(subsetList), workers, func(i int) {
+		plans[i] = r.PlanGroupBy(subsetList[i], m)
+	})
+	T := r.NumTimestamps()
+	offsets := make([]int, len(plans)+1)
+	for i, p := range plans {
+		offsets[i+1] = offsets[i] + p.NumGroups()
+	}
+	arena := make([]relation.SumCount, offsets[len(plans)]*T)
+	grouped := make([]*relation.GroupedSeries, len(plans))
+	runIndexed(len(plans), workers, func(i int) {
+		grouped[i] = plans[i].Fill(arena[offsets[i]*T : offsets[i+1]*T])
+	})
+	u.cands = make([]*Candidate, 0, offsets[len(plans)])
+	for si, gs := range grouped {
+		subset := subsetList[si]
+		for g, ng := 0, gs.NumGroups(); g < ng; g++ {
+			ids := gs.GroupIDs(g)
+			conj := make(relation.Conjunction, len(subset))
+			for i := range subset {
+				conj[i] = relation.Pred{Dim: subset[i], Value: ids[i]}
 			}
-			c := &Candidate{ID: len(u.cands), Conj: conj, Series: groups[key]}
+			c := &Candidate{ID: len(u.cands), Conj: conj, Series: gs.Series(g)}
 			u.cands = append(u.cands, c)
-			u.byKey[conj.Key()] = c.ID
+			u.index.insert(conj, c.ID)
 		}
 	}
 
@@ -155,7 +220,7 @@ func NewUniverse(r *relation.Relation, cfg Config) (*Universe, error) {
 
 			parentID := 0 // root
 			if len(parent) > 0 {
-				id, ok := u.byKey[parentKey]
+				id, ok := u.index.lookup(parent)
 				if !ok {
 					// Every prefix of an occurring conjunction occurs, so
 					// this is unreachable; guard anyway.
@@ -185,7 +250,7 @@ func NewUniverse(r *relation.Relation, cfg Config) (*Universe, error) {
 		subs := conjSubsets(c.Conj)
 		anc := make([]int, 0, len(subs))
 		for _, sub := range subs {
-			if aid, ok := u.byKey[sub.Key()]; ok {
+			if aid, ok := u.index.lookup(sub); ok {
 				anc = append(anc, aid)
 			}
 		}
@@ -272,8 +337,7 @@ func (u *Universe) Candidate(id int) *Candidate { return u.cands[id] }
 // Lookup resolves a conjunction to its candidate ID; ok is false when the
 // conjunction never occurs in the data.
 func (u *Universe) Lookup(c relation.Conjunction) (id int, ok bool) {
-	id, ok = u.byKey[c.Key()]
-	return id, ok
+	return u.index.lookup(c)
 }
 
 // Children returns the candidate IDs that extend the conjunction with

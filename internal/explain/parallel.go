@@ -1,0 +1,40 @@
+package explain
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runIndexed runs fn(i) for every i in [0, n) across at most workers
+// goroutines, pulling indexes from a shared atomic counter so expensive
+// items (high-order subsets dominate enumeration cost) balance across
+// cores. workers ≤ 1 runs inline. fn must write only to per-index state;
+// the results are then identical regardless of the worker count, which is
+// what keeps parallel universe construction deterministic.
+func runIndexed(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,96 @@
+package explain_test
+
+// Parallel universe construction must be bit-for-bit deterministic: the
+// candidate IDs, conjunctions, series, children adjacency, and ancestor
+// closures coming out of NewUniverse may not depend on the worker count
+// or on goroutine scheduling.
+
+import (
+	"testing"
+
+	"repro/internal/explain"
+	"repro/internal/relation"
+	"repro/internal/synth"
+)
+
+func TestNewUniverseParallelDeterminism(t *testing.T) {
+	d, err := synth.Generate(synth.Params{Seed: 7, SNRdB: 30, N: 150, Categories: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := explain.Config{Measure: "sales", Agg: relation.Sum, MaxOrder: 3}
+	serial, err := explain.NewUniverse(d.Rel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		cfg.Parallelism = workers
+		// Repeat to give racy schedules a chance to differ.
+		for trial := 0; trial < 3; trial++ {
+			par, err := explain.NewUniverse(d.Rel, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertUniversesIdentical(t, serial, par, workers)
+		}
+	}
+}
+
+func assertUniversesIdentical(t *testing.T, a, b *explain.Universe, workers int) {
+	t.Helper()
+	if a.NumCandidates() != b.NumCandidates() {
+		t.Fatalf("workers=%d: %d candidates, serial %d", workers, b.NumCandidates(), a.NumCandidates())
+	}
+	if a.NumTimestamps() != b.NumTimestamps() {
+		t.Fatalf("workers=%d: timestamp counts differ", workers)
+	}
+	for id := 0; id < a.NumCandidates(); id++ {
+		ca, cb := a.Candidate(id), b.Candidate(id)
+		if ca.Conj.Key() != cb.Conj.Key() {
+			t.Fatalf("workers=%d candidate %d: conj %q, serial %q",
+				workers, id, cb.Conj.Key(), ca.Conj.Key())
+		}
+		for tt := range ca.Series {
+			if ca.Series[tt] != cb.Series[tt] {
+				t.Fatalf("workers=%d candidate %d t=%d: series %+v, serial %+v",
+					workers, id, tt, cb.Series[tt], ca.Series[tt])
+			}
+		}
+		for _, dim := range a.ExplainBy() {
+			ka := a.ChildrenOf(id, dim)
+			kb := b.ChildrenOf(id, dim)
+			if len(ka) != len(kb) {
+				t.Fatalf("workers=%d node %d dim %d: %d children, serial %d",
+					workers, id, dim, len(kb), len(ka))
+			}
+			for i := range ka {
+				if ka[i] != kb[i] {
+					t.Fatalf("workers=%d node %d dim %d child %d: %d, serial %d",
+						workers, id, dim, i, kb[i], ka[i])
+				}
+			}
+		}
+		aa, ab := a.AncestorsOf(id), b.AncestorsOf(id)
+		if len(aa) != len(ab) {
+			t.Fatalf("workers=%d candidate %d: ancestor counts differ", workers, id)
+		}
+		for i := range aa {
+			if aa[i] != ab[i] {
+				t.Fatalf("workers=%d candidate %d ancestor %d: %d, serial %d",
+					workers, id, i, ab[i], aa[i])
+			}
+		}
+	}
+	// Root adjacency too.
+	for _, dim := range a.ExplainBy() {
+		ka, kb := a.ChildrenOf(-1, dim), b.ChildrenOf(-1, dim)
+		if len(ka) != len(kb) {
+			t.Fatalf("workers=%d root dim %d: child counts differ", workers, dim)
+		}
+		for i := range ka {
+			if ka[i] != kb[i] {
+				t.Fatalf("workers=%d root dim %d child %d differs", workers, dim, i)
+			}
+		}
+	}
+}

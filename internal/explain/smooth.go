@@ -55,8 +55,13 @@ func (u *Universe) SliceTime(from, to int) (*Universe, error) {
 		explainBy: u.explainBy,
 		maxOrder:  u.maxOrder,
 		total:     u.total[from : to+1],
-		byKey:     u.byKey,
+		index:     u.index,
 		children:  u.children,
+		// The drill-down adjacency and ancestor closure are positional
+		// over candidate IDs, which a time slice preserves, so the solver
+		// can run against the sliced universe directly.
+		childrenByID: u.childrenByID,
+		ancestors:    u.ancestors,
 	}
 	out.cands = make([]*Candidate, len(u.cands))
 	for i, c := range u.cands {

@@ -1,0 +1,236 @@
+package relation
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// This file implements the columnar, integer-keyed group-by kernel that
+// replaced the string-keyed GroupBySeries on the precompute hot path.
+//
+// The kernel runs in two passes. Pass 1 (PlanGroupBy) scans the rows once,
+// packs each row's dictionary-id tuple over the requested dimensions into a
+// single uint64 and assigns dense group slots through a map[uint64]int32 —
+// no per-row heap allocation, no string hashing. Pass 2 (Fill) scans the
+// rows again and accumulates each row's (sum, count) contribution into a
+// single contiguous []SumCount arena of size groups×T, instead of one
+// slice allocation per group.
+//
+// Splitting the passes lets a caller (explain.NewUniverse) plan many
+// group-bys first, allocate ONE arena for all of them, and then fill the
+// disjoint arena ranges in parallel.
+//
+// When the requested dimensions' dictionary widths cannot be packed into
+// 64 bits (astronomical cardinalities), the kernel transparently falls
+// back to byte-string keys for slot assignment; the output format and the
+// group ordering are identical either way.
+
+// GroupedSeries is the columnar result of one group-by: for every distinct
+// dictionary-id combination of Dims that occurs in the relation, the
+// decomposed per-timestamp aggregate of the planned measure. Groups are
+// ordered by their id tuples (lexicographically ascending), which makes
+// the result deterministic and mergeable.
+type GroupedSeries struct {
+	// Dims holds the grouped dimension indexes, ascending.
+	Dims []int
+	// T is the series length (the relation's timestamp count).
+	T int
+
+	n     int        // number of distinct groups
+	ids   []uint32   // group-major id tuples: group g owns ids[g*len(Dims):(g+1)*len(Dims)]
+	arena []SumCount // group-major series: group g owns arena[g*T:(g+1)*T]
+}
+
+// NumGroups returns the number of distinct groups.
+func (g *GroupedSeries) NumGroups() int { return g.n }
+
+// GroupIDs returns group i's dictionary-id tuple, parallel to Dims. The
+// slice aliases kernel storage and must not be modified.
+func (g *GroupedSeries) GroupIDs(i int) []uint32 {
+	d := len(g.Dims)
+	return g.ids[i*d : (i+1)*d : (i+1)*d]
+}
+
+// Series returns group i's decomposed per-timestamp aggregate. The slice
+// aliases the arena and must not be modified.
+func (g *GroupedSeries) Series(i int) []SumCount {
+	return g.arena[i*g.T : (i+1)*g.T : (i+1)*g.T]
+}
+
+// Arena exposes the backing arena (all groups' series, contiguous).
+func (g *GroupedSeries) Arena() []SumCount { return g.arena }
+
+// GroupByPlan is the pass-1 state of the columnar kernel: the dense
+// slot assignment for every distinct group, sorted into canonical order,
+// ready to fill an arena.
+type GroupByPlan struct {
+	r    *Relation
+	dims []int
+	m    int
+
+	// packed is true when id tuples fit a uint64 (the common case).
+	packed bool
+	shifts []uint           // per-dim left-shift amounts for packing
+	slots  map[uint64]int32 // packed key -> first-occurrence slot
+	sslots map[string]int32 // fallback: byte-string key -> slot
+
+	n    int      // number of distinct groups
+	ids  []uint32 // slot-major id tuples, first-occurrence order
+	perm []int32  // slot -> sorted group index
+}
+
+// PlanGroupBy runs pass 1 of the columnar group-by kernel over the given
+// dimensions for measure m: it discovers every distinct id combination and
+// assigns each a dense group index in canonical (id-tuple ascending)
+// order. The plan retains no per-row state, so holding many plans at once
+// costs O(groups), not O(rows).
+func (r *Relation) PlanGroupBy(dims []int, m int) *GroupByPlan {
+	return r.planGroupBy(dims, m, false)
+}
+
+// planGroupBy is PlanGroupBy with the fallback keying forcible for tests.
+func (r *Relation) planGroupBy(dims []int, m int, forceFallback bool) *GroupByPlan {
+	p := &GroupByPlan{r: r, dims: append([]int(nil), dims...), m: m}
+
+	// Decide the packing layout: each dimension gets just enough bits for
+	// its dictionary. The dims of any realistic explain-by subset fit a
+	// uint64 with lots of room to spare.
+	p.shifts = make([]uint, len(dims))
+	var totalBits uint
+	for i, d := range dims {
+		w := bitsFor(r.dims[d].Cardinality())
+		p.shifts[i] = w
+		totalBits += w
+	}
+	p.packed = totalBits <= 64 && !forceFallback
+
+	if p.packed {
+		p.slots = make(map[uint64]int32, 64)
+		for row := 0; row < r.numRows; row++ {
+			k := p.rowKey(row)
+			if _, ok := p.slots[k]; !ok {
+				p.slots[k] = int32(len(p.slots))
+				for _, d := range dims {
+					p.ids = append(p.ids, r.dims[d].ids[row])
+				}
+			}
+		}
+	} else {
+		p.sslots = make(map[string]int32, 64)
+		buf := make([]byte, 0, len(dims)*4)
+		for row := 0; row < r.numRows; row++ {
+			buf = buf[:0]
+			for _, d := range dims {
+				v := r.dims[d].ids[row]
+				buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			if _, ok := p.sslots[string(buf)]; !ok {
+				p.sslots[string(buf)] = int32(len(p.sslots))
+				for _, d := range dims {
+					p.ids = append(p.ids, r.dims[d].ids[row])
+				}
+			}
+		}
+	}
+
+	if p.packed {
+		p.n = len(p.slots)
+	} else {
+		p.n = len(p.sslots)
+	}
+
+	// Sort groups by id tuple so downstream candidate IDs are assigned
+	// deterministically regardless of row order or parallelism. An empty
+	// dims list degenerates to at most one grand-total group, matching
+	// the legacy kernel's single ""-keyed group.
+	n := p.n
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	d := len(dims)
+	sort.Slice(order, func(a, b int) bool {
+		ta := p.ids[int(order[a])*d : int(order[a])*d+d]
+		tb := p.ids[int(order[b])*d : int(order[b])*d+d]
+		for i := 0; i < d; i++ {
+			if ta[i] != tb[i] {
+				return ta[i] < tb[i]
+			}
+		}
+		return false
+	})
+	p.perm = make([]int32, n)
+	for rank, slot := range order {
+		p.perm[slot] = int32(rank)
+	}
+	return p
+}
+
+// rowKey packs the row's id tuple over the planned dimensions.
+func (p *GroupByPlan) rowKey(row int) uint64 {
+	var k uint64
+	for i, d := range p.dims {
+		k = k<<p.shifts[i] | uint64(p.r.dims[d].ids[row])
+	}
+	return k
+}
+
+// NumGroups returns the number of distinct groups the plan discovered.
+func (p *GroupByPlan) NumGroups() int { return p.n }
+
+// Fill runs pass 2 into the given arena, which must have length
+// NumGroups()×T, and returns the columnar result viewing it. Distinct
+// plans write to distinct arenas (or disjoint ranges of a shared one), so
+// Fill calls on different plans may run concurrently.
+func (p *GroupByPlan) Fill(arena []SumCount) *GroupedSeries {
+	r := p.r
+	T := r.NumTimestamps()
+	if len(arena) != p.NumGroups()*T {
+		panic("relation: GroupByPlan.Fill arena has wrong length")
+	}
+	vals := r.measures[p.m].vals
+	if p.packed {
+		for row := 0; row < r.numRows; row++ {
+			g := p.perm[p.slots[p.rowKey(row)]]
+			sc := &arena[int(g)*T+int(r.timeIdx[row])]
+			sc.Sum += vals[row]
+			sc.Count++
+		}
+	} else {
+		buf := make([]byte, 0, len(p.dims)*4)
+		for row := 0; row < r.numRows; row++ {
+			buf = buf[:0]
+			for _, d := range p.dims {
+				v := r.dims[d].ids[row]
+				buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			g := p.perm[p.sslots[string(buf)]]
+			sc := &arena[int(g)*T+int(r.timeIdx[row])]
+			sc.Sum += vals[row]
+			sc.Count++
+		}
+	}
+
+	// Reorder the first-occurrence id tuples into sorted group order.
+	d := len(p.dims)
+	ids := make([]uint32, len(p.ids))
+	for slot := 0; slot < p.n; slot++ {
+		copy(ids[int(p.perm[slot])*d:], p.ids[slot*d:slot*d+d])
+	}
+	return &GroupedSeries{Dims: p.dims, T: T, n: p.n, ids: ids, arena: arena}
+}
+
+// GroupBySeriesColumnar is the one-shot form of the columnar kernel:
+// plan, allocate a right-sized arena, and fill it.
+func (r *Relation) GroupBySeriesColumnar(dims []int, m int) *GroupedSeries {
+	p := r.PlanGroupBy(dims, m)
+	return p.Fill(make([]SumCount, p.NumGroups()*r.NumTimestamps()))
+}
+
+// bitsFor returns the number of bits needed to store ids 0..card-1.
+func bitsFor(card int) uint {
+	if card <= 1 {
+		return 0
+	}
+	return uint(bits.Len(uint(card - 1)))
+}

@@ -1,0 +1,77 @@
+package relation
+
+// PackedConj is a Conjunction packed into one uint64, the integer map key
+// the explain package uses in place of Conjunction.Key() strings on the
+// candidate-index hot path.
+//
+// Layout (LSB first): predicate i (in canonical, dimension-ascending
+// order) occupies bits [20i, 20i+20) as (dim << 16 | value); the
+// conjunction's order occupies bits [60, 62). That supports up to 3
+// predicates over at most 16 dimensions with dictionaries of at most
+// 65536 values — comfortably beyond every explain-by configuration the
+// engine meets (the paper's order threshold β̄ defaults to 3). CanPackConjs
+// reports whether a (relation, maxOrder) pair stays within those bounds;
+// callers fall back to string keys when it does not.
+type PackedConj uint64
+
+const (
+	packedPredBits  = 20
+	packedValueBits = 16
+	packedMaxOrder  = 3
+	packedMaxDims   = 1 << (packedPredBits - packedValueBits) // 16
+	packedMaxValues = 1 << packedValueBits                    // 65536
+)
+
+// PackConj packs a canonical (dimension-sorted) conjunction. ok is false
+// when the conjunction exceeds the packable bounds: order > 3, a dimension
+// index ≥ 16, or a dictionary id ≥ 65536.
+func PackConj(c Conjunction) (key PackedConj, ok bool) {
+	if len(c) > packedMaxOrder {
+		return 0, false
+	}
+	var k uint64
+	for i, p := range c {
+		if p.Dim < 0 || p.Dim >= packedMaxDims || p.Value >= packedMaxValues {
+			return 0, false
+		}
+		k |= (uint64(p.Dim)<<packedValueBits | uint64(p.Value)) << (packedPredBits * i)
+	}
+	k |= uint64(len(c)) << (packedPredBits * packedMaxOrder)
+	return PackedConj(k), true
+}
+
+// Order returns the number of predicates in the packed conjunction.
+func (k PackedConj) Order() int {
+	return int(k >> (packedPredBits * packedMaxOrder))
+}
+
+// Unpack expands the key back into a canonical Conjunction.
+func (k PackedConj) Unpack() Conjunction {
+	n := k.Order()
+	if n == 0 {
+		return nil
+	}
+	out := make(Conjunction, n)
+	for i := 0; i < n; i++ {
+		f := uint64(k) >> (packedPredBits * i) & (1<<packedPredBits - 1)
+		out[i] = Pred{
+			Dim:   int(f >> packedValueBits),
+			Value: uint32(f & (packedMaxValues - 1)),
+		}
+	}
+	return out
+}
+
+// CanPackConjs reports whether every conjunction of order ≤ maxOrder over
+// r's dimensions fits a PackedConj.
+func CanPackConjs(r *Relation, maxOrder int) bool {
+	if maxOrder > packedMaxOrder || r.NumDims() > packedMaxDims {
+		return false
+	}
+	for _, d := range r.dims {
+		if d.Cardinality() > packedMaxValues {
+			return false
+		}
+	}
+	return true
+}

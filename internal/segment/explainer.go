@@ -28,7 +28,7 @@ type Explainer struct {
 	useGuess  bool
 	guessInit int
 
-	cache      map[int64]*cascading.Result
+	cache      *segCache
 	idealCache map[int64]float64
 
 	// stats accumulate across calls for the latency-breakdown experiment.
@@ -69,7 +69,7 @@ func NewExplainer(u *explain.Universe, cfg ExplainerConfig) *Explainer {
 		allowed:    cfg.Allowed,
 		useGuess:   cfg.UseGuessVerify,
 		guessInit:  gi,
-		cache:      make(map[int64]*cascading.Result),
+		cache:      newSegCache(u.NumTimestamps()),
 		idealCache: make(map[int64]float64),
 	}
 }
@@ -83,8 +83,7 @@ func (e *Explainer) M() int { return e.m }
 // TopM returns the top-m non-overlapping explanations for segment [c, t],
 // computing them on first use and serving the cache afterwards.
 func (e *Explainer) TopM(c, t int) *cascading.Result {
-	key := segKey(c, t)
-	if r, ok := e.cache[key]; ok {
+	if r := e.cache.get(c, t); r != nil {
 		return r
 	}
 	start := time.Now()
@@ -98,8 +97,7 @@ func (e *Explainer) TopM(c, t int) *cascading.Result {
 	}
 	e.caTime += time.Since(start)
 	e.caSolves++
-	e.cache[key] = &res
-	return &res
+	return e.cache.put(c, t, res)
 }
 
 // Stats reports how many Cascading Analysts solves ran, the total time
@@ -112,7 +110,7 @@ func (e *Explainer) Stats() (solves int, caTime time.Duration, rounds int) {
 // (real-time) extension keeps the cache instead and only recomputes
 // segments that touch newly arrived points.
 func (e *Explainer) ResetCache() {
-	e.cache = make(map[int64]*cascading.Result)
+	e.cache.reset()
 	e.idealCache = make(map[int64]float64)
 	e.caSolves, e.caTime, e.caRounds = 0, 0, 0
 }
@@ -122,12 +120,7 @@ func (e *Explainer) ResetCache() {
 // points after p changed (e.g. a revised last day) so stale explanations
 // are recomputed while the unchanged prefix stays cached.
 func (e *Explainer) InvalidateFrom(p int) {
-	for key := range e.cache {
-		c, t := key>>segKeyShift, key&(1<<segKeyShift-1)
-		if t >= int64(p) || c >= int64(p) {
-			delete(e.cache, key)
-		}
-	}
+	e.cache.invalidateFrom(p)
 	for key := range e.idealCache {
 		c, t := key>>segKeyShift, key&(1<<segKeyShift-1)
 		if t >= int64(p) || c >= int64(p) {
@@ -156,14 +149,31 @@ func segKey(c, t int) int64 { return int64(c)<<segKeyShift | int64(t) }
 func (e *Explainer) Rebind(u *explain.Universe) {
 	old := e.u
 	if old != u {
-		for key, res := range e.cache {
+		remap := func(c, t int, res *cascading.Result) bool {
 			remapped, ok := remapResult(res, old, u)
 			if !ok {
-				delete(e.cache, key)
-				delete(e.idealCache, key)
-				continue
+				delete(e.idealCache, segKey(c, t))
+				return false
 			}
-			e.cache[key] = remapped
+			*res = *remapped
+			return true
+		}
+		n := u.NumTimestamps()
+		if e.cache.grow(n) {
+			// The triangle (or map) accommodates the grown series:
+			// remap entries in place, no reallocation.
+			e.cache.rewrite(remap)
+		} else {
+			// Migrate into a fresh cache sized with headroom so the
+			// following appends of a streaming series grow in place
+			// instead of re-allocating the triangle per update.
+			next := newSegCacheCap(n, n+n/2)
+			e.cache.forEach(func(c, t int, res *cascading.Result) {
+				if remap(c, t, res) {
+					next.put(c, t, *res)
+				}
+			})
+			e.cache = next
 		}
 	}
 	e.u = u

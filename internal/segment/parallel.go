@@ -25,7 +25,7 @@ func (e *Explainer) PrewarmParallel(segs [][2]int, workers int) int {
 	}
 	var todo [][2]int
 	for _, s := range segs {
-		if _, ok := e.cache[segKey(s[0], s[1])]; !ok {
+		if e.cache.get(s[0], s[1]) == nil {
 			todo = append(todo, s)
 		}
 	}
@@ -68,8 +68,7 @@ func (e *Explainer) PrewarmParallel(segs [][2]int, workers int) int {
 	wg.Wait()
 
 	for i := range results {
-		r := results[i].res
-		e.cache[segKey(results[i].seg[0], results[i].seg[1])] = &r
+		e.cache.put(results[i].seg[0], results[i].seg[1], results[i].res)
 	}
 	for w := 0; w < workers; w++ {
 		e.caTime += caTimes[w]

@@ -1,0 +1,182 @@
+package segment
+
+import "repro/internal/cascading"
+
+// segCache stores one cascading.Result per segment (c, t), 0 ≤ c < t < n.
+//
+// For series up to flatCacheMaxN points it is a flat upper-triangular
+// table of n(n-1)/2 Result values with a generation tag per entry: probes
+// are an index computation instead of a map hash, results are stored
+// unboxed, and ResetCache is a generation bump instead of a reallocation.
+// Longer series fall back to the original map form, which also keeps
+// sketched runs over huge series (sparse position sets) from paying for
+// an enormous triangle. The flat form is selected on length alone, so a
+// sketched run over a short series still allocates its (small) triangle.
+type segCache struct {
+	n    int // logical series length; flat when > 0
+	capN int // series length the triangle was allocated for (≥ n)
+	flat []cascading.Result
+	gen  []uint32
+	cur  uint32
+
+	m map[int64]*cascading.Result
+}
+
+// flatCacheMaxN bounds the flat form: 1024 points means at most ~523k
+// entries (~25 MB), past which the triangle's footprint outgrows the map's
+// overhead for the densities the DP produces.
+const flatCacheMaxN = 1024
+
+func newSegCache(n int) *segCache { return newSegCacheCap(n, n) }
+
+// newSegCacheCap allocates the triangle for capN points while logically
+// serving n — the headroom lets grow() extend a streaming series in place.
+func newSegCacheCap(n, capN int) *segCache {
+	if capN < n {
+		capN = n
+	}
+	if capN > flatCacheMaxN {
+		// Headroom is an optimization; never let it push an otherwise
+		// flat-eligible length into the map form.
+		capN = flatCacheMaxN
+	}
+	if n >= 2 && n <= flatCacheMaxN {
+		size := capN * (capN - 1) / 2
+		return &segCache{
+			n:    n,
+			capN: capN,
+			flat: make([]cascading.Result, size),
+			gen:  make([]uint32, size),
+			cur:  1,
+		}
+	}
+	return &segCache{m: make(map[int64]*cascading.Result)}
+}
+
+// flatIdx maps the segment (c, t), c < t, onto the upper triangle. The
+// stride is the allocated capacity so indexes stay stable when the
+// logical length grows.
+func (sc *segCache) flatIdx(c, t int) int {
+	return c*(2*sc.capN-c-1)/2 + (t - c - 1)
+}
+
+// grow retargets the cache to a series of length n without moving any
+// entry. It reports false when the flat triangle lacks the capacity (the
+// caller must then migrate into a fresh cache). Map-backed caches are
+// length-independent and always succeed.
+func (sc *segCache) grow(n int) bool {
+	if sc.n == 0 {
+		return true
+	}
+	if n > sc.capN {
+		return false
+	}
+	if n > sc.n {
+		sc.n = n
+	}
+	return true
+}
+
+// rewrite visits every live entry, letting fn mutate the result in place;
+// returning false drops the entry.
+func (sc *segCache) rewrite(fn func(c, t int, r *cascading.Result) bool) {
+	if sc.n > 0 {
+		for c := 0; c < sc.n; c++ {
+			for t := c + 1; t < sc.n; t++ {
+				if i := sc.flatIdx(c, t); sc.gen[i] == sc.cur && !fn(c, t, &sc.flat[i]) {
+					sc.gen[i] = 0
+				}
+			}
+		}
+	}
+	for key, r := range sc.m {
+		if !fn(int(key>>segKeyShift), int(key&(1<<segKeyShift-1)), r) {
+			delete(sc.m, key)
+		}
+	}
+}
+
+// get returns the cached result for [c, t], or nil. Segments outside a
+// flat cache's triangle (API misuse) are probed in the side map put
+// maintains for them.
+func (sc *segCache) get(c, t int) *cascading.Result {
+	if sc.n > 0 && c >= 0 && t < sc.n && c < t {
+		i := sc.flatIdx(c, t)
+		if sc.gen[i] != sc.cur {
+			return nil
+		}
+		return &sc.flat[i]
+	}
+	return sc.m[segKey(c, t)]
+}
+
+// put stores the result for [c, t] and returns a pointer that stays valid
+// until the entry is invalidated or overwritten.
+func (sc *segCache) put(c, t int, r cascading.Result) *cascading.Result {
+	if sc.n > 0 && c >= 0 && t < sc.n && c < t {
+		i := sc.flatIdx(c, t)
+		sc.flat[i] = r
+		sc.gen[i] = sc.cur
+		return &sc.flat[i]
+	}
+	if sc.m == nil {
+		// A flat cache asked to store an out-of-range segment (only
+		// possible through API misuse); keep it anyway in a side map.
+		sc.m = make(map[int64]*cascading.Result)
+	}
+	sc.m[segKey(c, t)] = &r
+	return &r
+}
+
+// reset invalidates every entry. For the flat form this is a generation
+// bump — O(1), no allocation, no clearing.
+func (sc *segCache) reset() {
+	if sc.n > 0 {
+		sc.cur++
+		if sc.cur == 0 { // generation counter wrapped: clear tags once
+			for i := range sc.gen {
+				sc.gen[i] = 0
+			}
+			sc.cur = 1
+		}
+	}
+	if sc.m != nil {
+		sc.m = make(map[int64]*cascading.Result)
+	}
+}
+
+// invalidateFrom drops every segment touching a point at or after p.
+func (sc *segCache) invalidateFrom(p int) {
+	if sc.n > 0 {
+		for c := 0; c < sc.n; c++ {
+			for t := c + 1; t < sc.n; t++ {
+				if c >= p || t >= p {
+					sc.gen[sc.flatIdx(c, t)] = 0
+				}
+			}
+		}
+	}
+	for key := range sc.m {
+		c, t := key>>segKeyShift, key&(1<<segKeyShift-1)
+		if t >= int64(p) || c >= int64(p) {
+			delete(sc.m, key)
+		}
+	}
+}
+
+// forEach visits every live entry. The visited pointers obey put's
+// validity rule; mutating the cache during iteration is not allowed.
+func (sc *segCache) forEach(fn func(c, t int, r *cascading.Result)) {
+	if sc.n > 0 {
+		for c := 0; c < sc.n; c++ {
+			for t := c + 1; t < sc.n; t++ {
+				if i := sc.flatIdx(c, t); sc.gen[i] == sc.cur {
+					fn(c, t, &sc.flat[i])
+				}
+			}
+		}
+	}
+	for key, r := range sc.m {
+		fn(int(key>>segKeyShift), int(key&(1<<segKeyShift-1)), r)
+	}
+}

@@ -385,21 +385,29 @@ func TestExplainerCacheAndStats(t *testing.T) {
 	if s, _, _ := e.Stats(); s != 0 {
 		t.Errorf("stats not reset: %d", s)
 	}
-	if e.TopM(0, 10) == r1 {
-		t.Error("cache not cleared")
+	// The flat cache reuses storage slots, so detect the recompute through
+	// the solve counter rather than pointer identity.
+	e.TopM(0, 10)
+	if s, _, _ := e.Stats(); s != 1 {
+		t.Errorf("cache not cleared: %d solves after reset, want 1", s)
 	}
 }
 
 func TestExplainerInvalidateFrom(t *testing.T) {
 	u := twoPhase(t, 20, 10)
 	e := newExplainer(t, u, ExplainerConfig{M: 2})
-	early := e.TopM(0, 5)
-	late := e.TopM(12, 19)
+	e.TopM(0, 5)
+	e.TopM(12, 19)
 	e.InvalidateFrom(10)
-	if e.TopM(0, 5) != early {
+	// The flat cache reuses storage slots, so pointer identity proves
+	// nothing; detect retention vs recompute through the solve counter.
+	solvesBefore, _, _ := e.Stats()
+	e.TopM(0, 5)
+	if solves, _, _ := e.Stats(); solves != solvesBefore {
 		t.Error("prefix segment should stay cached")
 	}
-	if e.TopM(12, 19) == late {
+	e.TopM(12, 19)
+	if solves, _, _ := e.Stats(); solves != solvesBefore+1 {
 		t.Error("suffix segment should have been invalidated")
 	}
 }

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Runs the engine's hot-path micro-benchmarks and writes BENCH_engine.json
+# (ns/op, B/op, allocs/op per benchmark) at the repo root, so the perf
+# trajectory stays machine-readable across PRs.
+#
+# Usage: scripts/bench.sh [extra benchjson flags...]
+#   e.g. scripts/bench.sh -benchtime 5s
+#        scripts/bench.sh -bench 'BenchmarkPrecompute' -o /tmp/p.json
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchjson "$@"
