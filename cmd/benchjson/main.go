@@ -1,11 +1,24 @@
-// Command benchjson runs the engine's hot-path micro-benchmarks and emits
-// a machine-readable BENCH_engine.json (ns/op, B/op, allocs/op per
-// benchmark), so the performance trajectory across PRs can be tracked by
-// tooling instead of by eyeballing `go test -bench` output.
+// Command benchjson runs the engine's benchmarks and emits machine-
+// readable JSON, so the performance trajectory across PRs can be tracked
+// by tooling instead of by eyeballing `go test -bench` output.
+//
+// Two modes:
+//
+//	-mode micro (default) runs the hot-path micro-benchmarks through
+//	`go test -bench` and writes BENCH_engine.json (ns/op, B/op,
+//	allocs/op per benchmark).
+//
+//	-mode streaming replays the 120-day streaming workload in-process,
+//	measuring every update's latency through the O(delta) append path
+//	(Incremental.AppendRows) against the legacy full-rebuild path
+//	(Incremental.Update with a full snapshot), and writes
+//	BENCH_streaming.json with per-update latencies and the rebuild/append
+//	speedup.
 //
 // Usage:
 //
 //	go run ./cmd/benchjson [-bench regex] [-benchtime 2s] [-count 1] [-o BENCH_engine.json]
+//	go run ./cmd/benchjson -mode streaming [-replays 7] [-o BENCH_streaming.json]
 package main
 
 import (
@@ -21,6 +34,10 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/relation"
 )
 
 // defaultBench covers the precompute-dominated and solver-dominated hot
@@ -55,12 +72,33 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
+	mode := flag.String("mode", "micro", "micro (go test -bench) or streaming (per-update latency replay)")
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "2s", "value for go test -benchtime")
 	count := flag.Int("count", 1, "value for go test -count")
 	pkg := flag.String("pkg", ".", "package holding the benchmarks")
-	out := flag.String("o", "BENCH_engine.json", "output file ('-' for stdout)")
+	replays := flag.Int("replays", 7, "streaming mode: replay count (per-update minimum is reported)")
+	out := flag.String("o", "", "output file ('-' for stdout; default depends on mode)")
 	flag.Parse()
+
+	switch *mode {
+	case "streaming":
+		if *out == "" {
+			*out = "BENCH_streaming.json"
+		}
+		if err := runStreaming(*out, *replays); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "micro":
+		if *out == "" {
+			*out = "BENCH_engine.json"
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
 
 	args := []string{
 		"test", "-run", "^$",
@@ -132,4 +170,155 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+}
+
+// streamStart is where the streaming replay switches from batch build to
+// per-day updates: the first half of the 120-day workload.
+const streamStart = 60
+
+// StreamUpdate is one per-update latency sample (minimum over replays).
+type StreamUpdate struct {
+	Day       int     `json:"day"`
+	N         int     `json:"n"`
+	AppendNs  int64   `json:"append_ns"`
+	RebuildNs int64   `json:"rebuild_ns"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// StreamTotals sums a range of updates.
+type StreamTotals struct {
+	Updates   int     `json:"updates"`
+	AppendNs  int64   `json:"append_ns"`
+	RebuildNs int64   `json:"rebuild_ns"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// StreamReport is the BENCH_streaming.json document.
+type StreamReport struct {
+	GeneratedBy string         `json:"generated_by"`
+	GoVersion   string         `json:"go_version"`
+	GOOS        string         `json:"goos"`
+	GOARCH      string         `json:"goarch"`
+	Workload    string         `json:"workload"`
+	StartDays   int            `json:"start_days"`
+	TotalDays   int            `json:"total_days"`
+	Replays     int            `json:"replays"`
+	UnixTime    int64          `json:"unix_time"`
+	Updates     []StreamUpdate `json:"updates"`
+	Totals      StreamTotals   `json:"totals"`
+	// LaterHalf covers the second half of the updates, where the gap
+	// between O(delta) appends and O(history) rebuilds is widest.
+	LaterHalf StreamTotals `json:"later_half"`
+}
+
+func streamOptions() core.Options {
+	opts := core.DefaultOptions()
+	opts.MaxOrder = 2
+	return opts
+}
+
+// runStreaming replays the streaming workload day by day through both
+// incremental paths and writes the per-update latency report. Snapshots
+// for the rebuild path are materialized up front so their construction is
+// not billed to the update.
+func runStreaming(out string, replays int) error {
+	if replays < 1 {
+		replays = 1
+	}
+	days := datasets.StreamDays
+	q := core.Query{Measure: "cases", Agg: relation.Sum, ExplainBy: []string{"state", "county"}}
+
+	snapshots := make([]*relation.Relation, days+1)
+	for d := streamStart + 1; d <= days; d++ {
+		snapshots[d] = datasets.Stream(d).Rel
+	}
+
+	nUpdates := days - streamStart
+	appendNs := make([]int64, nUpdates)
+	rebuildNs := make([]int64, nUpdates)
+	for r := 0; r < replays; r++ {
+		incAppend, _, err := core.NewIncremental(datasets.Stream(streamStart).Rel, q, streamOptions())
+		if err != nil {
+			return err
+		}
+		incRebuild, _, err := core.NewIncremental(datasets.Stream(streamStart).Rel, q, streamOptions())
+		if err != nil {
+			return err
+		}
+		for d := streamStart; d < days; d++ {
+			timeVals, dims, measures := datasets.StreamDelta(d)
+			t0 := time.Now()
+			if _, err := incAppend.AppendRows(timeVals, dims, measures); err != nil {
+				return err
+			}
+			aNs := time.Since(t0).Nanoseconds()
+
+			t1 := time.Now()
+			if _, err := incRebuild.Update(snapshots[d+1]); err != nil {
+				return err
+			}
+			rNs := time.Since(t1).Nanoseconds()
+
+			i := d - streamStart
+			if r == 0 || aNs < appendNs[i] {
+				appendNs[i] = aNs
+			}
+			if r == 0 || rNs < rebuildNs[i] {
+				rebuildNs[i] = rNs
+			}
+		}
+	}
+
+	report := StreamReport{
+		GeneratedBy: "cmd/benchjson -mode streaming",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Workload:    "datasets.Stream: 120-day four-state epidemic, per-county rows, day-by-day updates from day 60",
+		StartDays:   streamStart,
+		TotalDays:   days,
+		Replays:     replays,
+		UnixTime:    time.Now().Unix(),
+	}
+	sum := func(from, to int) StreamTotals {
+		t := StreamTotals{Updates: to - from}
+		for i := from; i < to; i++ {
+			t.AppendNs += appendNs[i]
+			t.RebuildNs += rebuildNs[i]
+		}
+		if t.AppendNs > 0 {
+			t.Speedup = float64(t.RebuildNs) / float64(t.AppendNs)
+		}
+		return t
+	}
+	for i := 0; i < nUpdates; i++ {
+		u := StreamUpdate{
+			Day:       streamStart + i,
+			N:         streamStart + i + 1,
+			AppendNs:  appendNs[i],
+			RebuildNs: rebuildNs[i],
+		}
+		if u.AppendNs > 0 {
+			u.Speedup = float64(u.RebuildNs) / float64(u.AppendNs)
+		}
+		report.Updates = append(report.Updates, u)
+	}
+	report.Totals = sum(0, nUpdates)
+	report.LaterHalf = sum(nUpdates/2, nUpdates)
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		os.Stdout.Write(enc)
+		return nil
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d updates, later-half speedup %.1fx)\n",
+		out, nUpdates, report.LaterHalf.Speedup)
+	return nil
 }

@@ -1,7 +1,10 @@
 // Streaming: the real-time extension (Section 8). A covid-style series
-// arrives day by day; the incremental explainer reuses cached per-segment
-// explanations and only re-segments around the new points, so each update
-// is much cheaper than re-explaining from scratch.
+// arrives day by day and flows through the true append path —
+// Relation.AppendRows → Universe.Append → Incremental.AppendRows — so
+// each update costs O(delta), not O(history): the engine extends every
+// candidate's series inside its shared arena, registers slices that first
+// appear in the delta (FL starts reporting only on day 90) at the tail,
+// and re-segments just the open tail around the new points.
 //
 // Run with: go run ./examples/streaming
 package main
@@ -12,66 +15,41 @@ import (
 	"time"
 
 	tsexplain "repro"
+	"repro/internal/datasets"
 )
 
-// buildDays materializes the first `days` days of a three-wave epidemic:
-// NY dominates days 0-39, TX days 40-79, CA afterwards.
-func buildDays(days int) *tsexplain.Relation {
-	b := tsexplain.NewBuilder("stream", "day", []string{"state"}, []string{"cases"})
-	labels := make([]string, 120)
-	for i := range labels {
-		labels[i] = fmt.Sprintf("day%03d", i)
-	}
-	b.SetTimeOrder(labels[:days])
-	for i := 0; i < days; i++ {
-		ny, tx, ca := 50.0, 50.0, 50.0
-		switch {
-		case i < 40:
-			ny += 30 * float64(i)
-		case i < 80:
-			ny += 30 * 39
-			tx += 40 * float64(i-39)
-		default:
-			ny += 30 * 39
-			tx += 40 * 40
-			ca += 55 * float64(i-79)
-		}
-		for _, row := range []struct {
-			state string
-			v     float64
-		}{{"NY", ny}, {"TX", tx}, {"CA", ca}} {
-			if err := b.Append(labels[i], []string{row.state}, []float64{row.v}); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
-	rel, err := b.Finish()
-	if err != nil {
-		log.Fatal(err)
-	}
-	return rel
-}
-
 func main() {
-	query := tsexplain.Query{Measure: "cases", Agg: tsexplain.Sum}
+	const start = 60
+	d := datasets.Stream(start)
+	query := tsexplain.Query{Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy}
+	opts := tsexplain.Options{MaxOrder: d.MaxOrder}
 
-	start := time.Now()
-	inc, res, err := tsexplain.NewIncremental(buildDays(60), query, tsexplain.Options{})
+	buildStart := time.Now()
+	inc, res, err := tsexplain.NewIncremental(d.Rel, query, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("day 60: K=%d, cuts %v (initial explain %v)\n",
-		res.K, res.Cuts(), time.Since(start).Round(time.Microsecond))
+	fmt.Printf("day %3d: K=%d, cuts %v (initial explain %v)\n",
+		start, res.K, res.Cuts(), time.Since(buildStart).Round(time.Microsecond))
 
-	for _, day := range []int{70, 85, 100, 120} {
-		start = time.Now()
-		res, err = inc.Update(buildDays(day))
+	var total time.Duration
+	for day := start; day < datasets.StreamDays; day++ {
+		timeVals, dims, measures := datasets.StreamDelta(day)
+		upStart := time.Now()
+		res, err = inc.AppendRows(timeVals, dims, measures)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("day %3d: K=%d, cuts %v (update %v)\n",
-			day, res.K, res.Cuts(), time.Since(start).Round(time.Microsecond))
+		took := time.Since(upStart)
+		total += took
+		if (day+1)%10 == 0 {
+			fmt.Printf("day %3d: K=%d, cuts %v (append %v)\n",
+				day+1, res.K, res.Cuts(), took.Round(time.Microsecond))
+		}
 	}
+	fmt.Printf("\n%d single-day appends in %v (avg %v/update)\n",
+		datasets.StreamDays-start, total.Round(time.Microsecond),
+		(total / time.Duration(datasets.StreamDays-start)).Round(time.Microsecond))
 
 	fmt.Println("\nfinal explanation:")
 	for _, seg := range res.Segments {

@@ -206,14 +206,36 @@ type Engine struct {
 	u        *explain.Universe
 	allowed  []bool
 	filtered int // candidates surviving the filter, counted once
-	exp      *segment.Explainer
+	// firstKeep[id] is the first position at which candidate id passes
+	// the support filter (-1: filtered out); the append path uses it to
+	// refresh the filter by rescanning only the changed suffix.
+	firstKeep []int
+	exp       *segment.Explainer
+	// vc is the persistent variance calculator: variances of committed
+	// history survive across Explain calls and streaming appends, so an
+	// update only recomputes quantities the new data touches.
+	vc *segment.VarCalc
 
 	precompute time.Duration
+}
+
+// engineConfig selects construction variants shared by the public
+// constructors: whether to build the per-segment explanation cache (the
+// incremental snapshot path attaches an existing one instead, so building
+// a throwaway here would be pure waste) and whether the universe should
+// retain its append-path state.
+type engineConfig struct {
+	explainer bool
+	streaming bool
 }
 
 // NewEngine builds the engine: it enumerates candidate explanations,
 // precomputes their series, applies smoothing and the support filter.
 func NewEngine(rel *relation.Relation, q Query, opts Options) (*Engine, error) {
+	return newEngine(rel, q, opts, engineConfig{explainer: true})
+}
+
+func newEngine(rel *relation.Relation, q Query, opts Options, cfg engineConfig) (*Engine, error) {
 	opts.setDefaults()
 	start := time.Now()
 	u, err := explain.NewUniverse(rel, explain.Config{
@@ -222,6 +244,7 @@ func NewEngine(rel *relation.Relation, q Query, opts Options) (*Engine, error) {
 		ExplainBy:   q.ExplainBy,
 		MaxOrder:    opts.MaxOrder,
 		Parallelism: opts.Parallelism,
+		Streaming:   cfg.streaming,
 	})
 	if err != nil {
 		return nil, err
@@ -231,22 +254,110 @@ func NewEngine(rel *relation.Relation, q Query, opts Options) (*Engine, error) {
 	}
 	e := &Engine{rel: rel, query: q, opts: opts, u: u, filtered: u.NumCandidates()}
 	if opts.FilterRatio > 0 {
-		kept := u.FilterLowSupport(opts.FilterRatio)
-		e.allowed = make([]bool, u.NumCandidates())
-		for _, id := range kept {
-			e.allowed[id] = true
+		totals := u.TotalValues()
+		n := u.NumCandidates()
+		e.allowed = make([]bool, n)
+		e.firstKeep = make([]int, n)
+		e.filtered = 0
+		for id := 0; id < n; id++ {
+			fk := u.FirstQualifying(id, 0, opts.FilterRatio, totals)
+			e.firstKeep[id] = fk
+			if fk >= 0 {
+				e.allowed[id] = true
+				e.filtered++
+			}
 		}
-		e.filtered = len(kept)
 	}
-	e.exp = segment.NewExplainer(u, segment.ExplainerConfig{
-		M:              opts.M,
-		Metric:         opts.Metric,
-		Allowed:        e.allowed,
-		UseGuessVerify: opts.UseGuessVerify,
-		GuessInit:      opts.GuessInit,
-	})
+	if cfg.explainer {
+		e.exp = segment.NewExplainer(u, segment.ExplainerConfig{
+			M:              opts.M,
+			Metric:         opts.Metric,
+			Allowed:        e.allowed,
+			UseGuessVerify: opts.UseGuessVerify,
+			GuessInit:      opts.GuessInit,
+		})
+	}
 	e.precompute = time.Since(start)
 	return e, nil
+}
+
+// ingestAppended consumes relation rows appended (via Relation.AppendRows)
+// since the engine last saw the relation: the universe extends in place
+// from just the delta, and the support filter refreshes by rescanning
+// only positions the delta could have changed. The per-segment
+// explanation cache keeps every still-valid entry — candidate IDs are
+// stable under the append path, so no remapping happens.
+func (e *Engine) ingestAppended() (explain.AppendInfo, error) {
+	start := time.Now()
+	info, err := e.u.Append()
+	if err != nil {
+		return info, err
+	}
+	nc := e.u.NumCandidates()
+	if e.opts.FilterRatio > 0 {
+		totals := e.u.TotalValues()
+		oldCands := len(e.firstKeep)
+		for id := oldCands; id < nc; id++ {
+			e.firstKeep = append(e.firstKeep, -1)
+		}
+		if len(e.allowed) < nc {
+			grown := make([]bool, nc)
+			copy(grown, e.allowed)
+			e.allowed = grown
+		}
+		e.filtered = 0
+		flippedFrom := info.NewTimestamps
+		for id := 0; id < nc; id++ {
+			fk := e.firstKeep[id]
+			if fk < 0 || fk >= info.ChangedFrom {
+				fk = e.u.FirstQualifying(id, info.ChangedFrom, e.opts.FilterRatio, totals)
+				e.firstKeep[id] = fk
+			}
+			keep := fk >= 0
+			// A candidate crossing the support threshold (either way)
+			// invalidates cached explanations — segments solved under the
+			// old selectable set may rank differently now — but only from
+			// its first position with any mass: while its series is zero
+			// its γ is zero at every segment endpoint, so it can neither
+			// be selected nor change what was. A slice born in a recent
+			// delta (FL appearing mid-stream) that crosses the threshold
+			// later therefore invalidates only from its birth, and the
+			// usual case — no flip at all — invalidates nothing extra.
+			if id < oldCands && e.allowed[id] != keep {
+				series := e.u.Candidate(id).Series
+				for t := 0; t < info.ChangedFrom && t < flippedFrom; t++ {
+					if series[t] != (relation.SumCount{}) {
+						flippedFrom = t
+						break
+					}
+				}
+			}
+			e.allowed[id] = keep
+			if keep {
+				e.filtered++
+			}
+		}
+		if flippedFrom < info.ChangedFrom {
+			info.ChangedFrom = flippedFrom
+		}
+	} else {
+		e.filtered = nc
+	}
+	e.exp.Rebind(e.u) // same universe: grows caches, remaps nothing
+	e.exp.SetAllowed(e.allowed)
+	e.precompute = time.Since(start)
+	return info, nil
+}
+
+// InvalidateFrom drops every cached per-segment quantity — top
+// explanations, ideal DCGs, and variances — touching a position at or
+// after p. The real-time extension calls it with the first changed
+// position after each append.
+func (e *Engine) InvalidateFrom(p int) {
+	e.exp.InvalidateFrom(p)
+	if e.vc != nil {
+		e.vc.InvalidateFrom(p)
+	}
 }
 
 // Universe exposes the candidate universe (for experiments and examples
@@ -265,19 +376,38 @@ func (e *Engine) Explain() (*Result, error) {
 	return e.explainWithPositions(nil)
 }
 
+// ExplainWithK runs the full pipeline with the given segment-count
+// override: k > 0 fixes K, k ≤ 0 selects it with the elbow method. It
+// lets one engine serve requests with different K without being rebuilt —
+// the per-segment explanation cache is K-independent, so everything after
+// the first call reuses it.
+func (e *Engine) ExplainWithK(k int) (*Result, error) {
+	return e.explainPositionsK(nil, k)
+}
+
 // explainWithPositions runs segmentation restricted to the given cut
 // positions (nil means engine-managed: all positions, or the sketch when
 // O2 is on).
 func (e *Engine) explainWithPositions(positions []int) (*Result, error) {
+	return e.explainPositionsK(positions, e.opts.K)
+}
+
+// explainPositionsK is the pipeline body behind Explain, ExplainWithK,
+// and the incremental position-restricted path.
+func (e *Engine) explainPositionsK(positions []int, fixedK int) (*Result, error) {
 	n := e.u.NumTimestamps()
 	if n < 2 {
 		return nil, fmt.Errorf("core: series has %d points, nothing to explain", n)
 	}
-	vc := segment.NewVarCalc(e.exp, e.opts.VarianceKind)
+	if e.vc == nil {
+		e.vc = segment.NewVarCalc(e.exp, e.opts.VarianceKind)
+	}
+	vc := e.vc
 
 	wallStart := time.Now()
 	_, caBefore, _ := e.exp.Stats()
 
+	coarsened := false
 	if positions == nil && e.opts.UseSketch {
 		sketch, err := segment.SelectSketch(vc, e.opts.Sketch)
 		if err != nil {
@@ -287,7 +417,13 @@ func (e *Engine) explainWithPositions(positions []int) (*Result, error) {
 		if at := e.opts.Sketch.CoarsenAt(); at > 0 && n > at && len(sketch) < n {
 			// Long series: phase 2 treats sketch intervals as objects.
 			vc.SetObjectPositions(sketch)
+			coarsened = true
 		}
+	}
+	if !coarsened && vc.HasObjectPositions() {
+		// A previous call coarsened the persistent calculator; restore
+		// unit objects (this resets its caches).
+		vc.SetObjectPositions(nil)
 	}
 	if e.opts.Parallelism > 1 {
 		// Pre-solve every segment the DP will touch across cores. With a
@@ -311,7 +447,7 @@ func (e *Engine) explainWithPositions(positions []int) (*Result, error) {
 	}
 	curve := segment.KVarianceCurve(dpRes)
 
-	k := e.opts.K
+	k := fixedK
 	autoK := false
 	if k <= 0 {
 		k = segment.ElbowK(curve)

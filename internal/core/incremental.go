@@ -13,6 +13,15 @@ import (
 // the new data touches — top explanations involving new points, and a
 // segmentation restricted to the previous cutting points plus the newly
 // arrived positions.
+//
+// Append and AppendRows are the true streaming path: the delta flows
+// through Relation.AppendRows into Universe.Append, extending every
+// candidate's series inside the shared arena and registering candidates
+// that first appear in the delta at the tail, so per-update cost scales
+// with the delta, not with history. Update remains as a compatibility
+// wrapper for callers that re-materialize full snapshots; it rebuilds the
+// universe (linear in total history) but still reuses the expensive
+// per-segment explanation cache.
 type Incremental struct {
 	query Query
 	opts  Options
@@ -23,9 +32,11 @@ type Incremental struct {
 }
 
 // NewIncremental builds the incremental explainer over the initial
-// relation snapshot and produces the first result.
+// relation snapshot and produces the first result. The relation is
+// retained and extended in place by AppendRows/Append; it must not be
+// mutated elsewhere afterwards.
 func NewIncremental(rel *relation.Relation, q Query, opts Options) (*Incremental, *Result, error) {
-	eng, err := NewEngine(rel, q, opts)
+	eng, err := newEngine(rel, q, opts, engineConfig{explainer: true, streaming: true})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -43,9 +54,168 @@ func NewIncremental(rel *relation.Relation, q Query, opts Options) (*Incremental
 	return inc, res, nil
 }
 
+// AppendRows ingests a batch of raw rows — row-major, exactly the shape
+// Relation.AppendRows takes — and returns the refreshed result. Rows must
+// land at or after the previously last timestamp; new time labels extend
+// the series, new categorical values grow the dictionaries, and slices
+// first occurring in the delta become candidates without disturbing any
+// existing candidate ID. Per-update cost is O(delta), not O(history).
+func (inc *Incremental) AppendRows(timeVals []string, dims [][]string, measures [][]float64) (*Result, error) {
+	oldN := inc.lastN
+	if err := inc.eng.rel.AppendRows(timeVals, dims, measures); err != nil {
+		return nil, err
+	}
+	return inc.ingest(oldN)
+}
+
+// Append ingests a delta relation — same time dimension, dimensions, and
+// measures as the base relation, holding only the newly arrived rows —
+// and returns the refreshed result. The delta's rows are replayed in its
+// own series order, so its time labels extend the base series in order.
+func (inc *Incremental) Append(delta *relation.Relation) (*Result, error) {
+	rel := inc.eng.rel
+	if delta.TimeName() != rel.TimeName() {
+		return nil, fmt.Errorf("core: delta time dimension %q, want %q", delta.TimeName(), rel.TimeName())
+	}
+	if err := sameNames("dimension", delta.DimNames(), rel.DimNames()); err != nil {
+		return nil, err
+	}
+	if err := sameNames("measure", delta.MeasureNames(), rel.MeasureNames()); err != nil {
+		return nil, err
+	}
+	timeVals, dims, measures := delta.RowBatch(delta.RowsByTime(), 0, delta.NumTimestamps())
+	return inc.AppendRows(timeVals, dims, measures)
+}
+
+func sameNames(kind string, got, want []string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("core: delta has %d %s attributes, want %d", len(got), kind, len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("core: delta %s %d is %q, want %q", kind, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// ingest runs the post-append refresh: universe/filter extension, cache
+// invalidation of just the changed suffix, and the Section 8 restricted
+// re-segmentation.
+func (inc *Incremental) ingest(oldN int) (*Result, error) {
+	info, err := inc.eng.ingestAppended()
+	if err != nil {
+		return nil, err
+	}
+	newN := info.NewTimestamps
+	// Drop cached segments that touch a changed position. Unlike the
+	// snapshot path, the append path knows exactly which positions the
+	// delta (and, under smoothing, its window) could have perturbed.
+	inc.eng.InvalidateFrom(info.ChangedFrom)
+
+	// ChangedFrom == 0 means everything is fair game again (a candidate
+	// with mass from the very start crossed the support threshold, or
+	// smoothing reached back to the start): previous cuts carry no
+	// authority, so run the unrestricted pipeline for this update instead
+	// of the Section 8 restriction.
+	var positions []int
+	if info.ChangedFrom > 0 {
+		positions = appendPositions(oldN, newN, inc.lastCuts, inc.eng.opts.KMax, info.ChangedFrom)
+	}
+	res, err := inc.eng.explainWithPositions(positions)
+	if err != nil {
+		return nil, err
+	}
+	inc.lastCuts = res.Cuts()
+	inc.lastN = newN
+	return res, nil
+}
+
+// appendPositions is the Section 8 position restriction, hardened for
+// exact agreement with a from-scratch run on stable data. Candidate cut
+// positions are:
+//
+//   - the previous cuts ("the existing time series' cutting points") and
+//     each previous segment's midpoint, which keeps the K-Variance curve
+//     deep enough that the elbow method behaves exactly as it does over
+//     the unrestricted curve even when the delta is tiny;
+//   - every position from the last committed interior cut to the end —
+//     the still-open tail segment plus the newly arrived points. A regime
+//     change reveals itself only a few points after it happens, so the
+//     open tail must stay re-splittable at full resolution; segments
+//     before it are committed and only their boundaries stay in play.
+//
+// Per-update segmentation cost is therefore O(tail²) DP cells over
+// mostly cached segments. The open tail is short once cuts have
+// committed (the typical streaming regime), but it deliberately spans
+// the whole series while the segmentation is still K=1 — exactness
+// against a from-scratch run takes precedence over capping the tail, and
+// the per-segment caches keep even that case far below a rebuild.
+// changedFrom is the first invalidated position: the open tail always
+// extends back to it, so a mid-history invalidation (a support-filter
+// flip on a candidate born mid-stream) stays re-splittable at full
+// resolution. On a plain append it is at or after the previously last
+// point and leaves the tail unchanged.
+func appendPositions(oldN, newN int, lastCuts []int, kmax, changedFrom int) []int {
+	posSet := map[int]bool{0: true, newN - 1: true}
+	for _, c := range lastCuts {
+		if c < newN-1 {
+			posSet[c] = true
+		}
+	}
+	for i := 1; i < len(lastCuts); i++ {
+		if mid := (lastCuts[i-1] + lastCuts[i]) / 2; mid > 0 && mid < newN-1 {
+			posSet[mid] = true
+		}
+	}
+	// The open tail starts at the last interior cut strictly before the
+	// previously last point (0 when the series is still one segment).
+	openFrom := 0
+	for _, c := range lastCuts {
+		if c < oldN-1 && c > openFrom {
+			openFrom = c
+		}
+	}
+	if changedFrom < openFrom {
+		openFrom = changedFrom
+	}
+	for p := openFrom; p < newN; p++ {
+		if p > 0 {
+			posSet[p] = true
+		}
+	}
+	// Pad with a coarse power-of-two grid until the restricted K-Variance
+	// curve reaches the same feasible depth (kmax segments) as the
+	// unrestricted one — the elbow method normalizes K over the feasible
+	// range, so a shallower curve would skew K selection. The grid is a
+	// function of the grid stride alone, not of n, so its segments stay
+	// cached across updates.
+	if len(posSet) <= kmax {
+		g := 1
+		for (newN-1)/(2*g) >= kmax {
+			g *= 2
+		}
+		for p := g; p < newN-1; p += g {
+			posSet[p] = true
+		}
+	}
+	positions := make([]int, 0, len(posSet))
+	for p := range posSet {
+		positions = append(positions, p)
+	}
+	sort.Ints(positions)
+	return positions
+}
+
 // Update consumes a new relation snapshot that extends the previous one
 // with later timestamps and returns the refreshed result. The previous
 // snapshot's time labels must be an exact prefix of the new snapshot's.
+//
+// Update rebuilds the universe over the full snapshot (linear in total
+// history) and remaps the cached per-segment results onto it; prefer
+// Append/AppendRows, which consume only the delta. Update never builds a
+// throwaway explanation cache: engine construction skips the explainer
+// and the live one is re-attached after rebinding.
 func (inc *Incremental) Update(newRel *relation.Relation) (*Result, error) {
 	oldRel := inc.eng.rel
 	oldN := inc.lastN
@@ -62,7 +232,9 @@ func (inc *Incremental) Update(newRel *relation.Relation) (*Result, error) {
 
 	// Rebuild the universe over the extended relation (linear in the new
 	// data) while keeping the expensive per-segment explanation cache.
-	fresh, err := NewEngine(newRel, inc.query, inc.opts)
+	// engineConfig.explainer is false: the rebuilt engine adopts the live
+	// explainer instead of constructing one only to discard it.
+	fresh, err := newEngine(newRel, inc.query, inc.opts, engineConfig{streaming: true})
 	if err != nil {
 		return nil, err
 	}
@@ -79,31 +251,32 @@ func (inc *Incremental) Update(newRel *relation.Relation) (*Result, error) {
 			invalidFrom = 0
 		}
 	}
+	// As on the append path, a candidate crossing the support-filter
+	// threshold invalidates cached explanations from its first position
+	// with mass: segments solved under the old selectable set may rank
+	// differently now. Candidate IDs shift across the rebuild, so flips
+	// are detected through the conjunctions.
+	if inc.opts.FilterRatio > 0 {
+		old := inc.eng
+		for id := 0; id < old.u.NumCandidates() && invalidFrom > 0; id++ {
+			nid, ok := fresh.u.Lookup(old.u.Candidate(id).Conj)
+			if !ok || old.allowed[id] == fresh.allowed[nid] {
+				continue
+			}
+			series := fresh.u.Candidate(nid).Series
+			for t := 0; t < invalidFrom; t++ {
+				if series[t] != (relation.SumCount{}) {
+					invalidFrom = t
+					break
+				}
+			}
+		}
+	}
 	exp.InvalidateFrom(invalidFrom)
 	fresh.exp = exp
 	inc.eng = fresh
 
-	// Candidate cut positions: previous cuts plus every new point
-	// (Section 8: "runs the segmentation algorithm based on the existing
-	// time series' cutting points and newly arrived data points").
-	posSet := map[int]bool{0: true, newN - 1: true}
-	for _, c := range inc.lastCuts {
-		if c < newN-1 {
-			posSet[c] = true
-		}
-	}
-	for p := oldN - 1; p < newN; p++ {
-		if p > 0 {
-			posSet[p] = true
-		}
-	}
-	positions := make([]int, 0, len(posSet))
-	for p := range posSet {
-		positions = append(positions, p)
-	}
-	sort.Ints(positions)
-
-	res, err := inc.eng.explainWithPositions(positions)
+	res, err := inc.eng.explainWithPositions(appendPositions(oldN, newN, inc.lastCuts, inc.eng.opts.KMax, invalidFrom))
 	if err != nil {
 		return nil, err
 	}

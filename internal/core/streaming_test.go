@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/relation"
+)
+
+// replayBuilder reconstructs, from scratch through the Builder path, the
+// exact row sequence the incremental engine has ingested so far, so the
+// from-scratch comparator explains byte-for-byte the same relation.
+type replayBuilder struct {
+	timeVals []string
+	dims     [][]string
+	measures [][]float64
+}
+
+func (rb *replayBuilder) append(timeVals []string, dims [][]string, measures [][]float64) {
+	rb.timeVals = append(rb.timeVals, timeVals...)
+	rb.dims = append(rb.dims, dims...)
+	rb.measures = append(rb.measures, measures...)
+}
+
+func (rb *replayBuilder) relation(t *testing.T) *relation.Relation {
+	t.Helper()
+	b := relation.NewBuilder("stream", "date", []string{"state", "county"}, []string{"cases"})
+	for i := range rb.timeVals {
+		if err := b.Append(rb.timeVals[i], rb.dims[i], rb.measures[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// sameResults asserts the two results agree on everything a user sees:
+// segmentation, labels, series values, and every segment's ranked
+// explanations with bit-identical scores.
+func sameResults(t *testing.T, ctx string, got, want *Result) {
+	t.Helper()
+	if got.K != want.K || got.AutoK != want.AutoK {
+		t.Fatalf("%s: K=%d autoK=%v, want K=%d autoK=%v", ctx, got.K, got.AutoK, want.K, want.AutoK)
+	}
+	if gc, wc := fmt.Sprint(got.Cuts()), fmt.Sprint(want.Cuts()); gc != wc {
+		t.Fatalf("%s: cuts %s, want %s", ctx, gc, wc)
+	}
+	if got.TotalVariance != want.TotalVariance {
+		t.Fatalf("%s: total variance %v, want %v", ctx, got.TotalVariance, want.TotalVariance)
+	}
+	if len(got.Series) != len(want.Series) {
+		t.Fatalf("%s: series length %d, want %d", ctx, len(got.Series), len(want.Series))
+	}
+	for i := range got.Series {
+		if got.Series[i] != want.Series[i] {
+			t.Fatalf("%s: series[%d] = %v, want %v", ctx, i, got.Series[i], want.Series[i])
+		}
+		if got.Labels[i] != want.Labels[i] {
+			t.Fatalf("%s: label[%d] = %q, want %q", ctx, i, got.Labels[i], want.Labels[i])
+		}
+	}
+	for s := range got.Segments {
+		g, w := got.Segments[s], want.Segments[s]
+		if g.StartLabel != w.StartLabel || g.EndLabel != w.EndLabel {
+			t.Fatalf("%s: segment %d spans %s~%s, want %s~%s", ctx, s, g.StartLabel, g.EndLabel, w.StartLabel, w.EndLabel)
+		}
+		if len(g.Top) != len(w.Top) {
+			t.Fatalf("%s: segment %d has %d explanations, want %d", ctx, s, len(g.Top), len(w.Top))
+		}
+		for i := range g.Top {
+			ge, we := g.Top[i], w.Top[i]
+			if ge.Predicates != we.Predicates || ge.Effect != we.Effect || ge.Gamma != we.Gamma {
+				t.Fatalf("%s: segment %d explanation %d = {%s %s γ=%v}, want {%s %s γ=%v}",
+					ctx, s, i, ge.Predicates, ge.Effect, ge.Gamma, we.Predicates, we.Effect, we.Gamma)
+			}
+			for j := range ge.Values {
+				if ge.Values[j] != we.Values[j] {
+					t.Fatalf("%s: segment %d explanation %d value %d = %v, want %v",
+						ctx, s, i, j, ge.Values[j], we.Values[j])
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalAppendFilterFlip streams a workload where a slice sits
+// below the support-filter threshold for all of history and then crosses
+// it mid-stream. The flip changes the selectable set for every segment,
+// so the append path must drop its cached explanations (and its position
+// restriction) for that update to stay identical to a from-scratch run.
+func TestIncrementalAppendFilterFlip(t *testing.T) {
+	opts := Options{FilterRatio: 0.01, MaxOrder: 1}
+	day := func(d int) (ts []string, dims [][]string, meas [][]float64) {
+		label := fmt.Sprintf("d%03d", d)
+		big := 1000.0 + 10*float64(d)
+		// tiny moves (nonzero γ, so it would be reported if selectable)
+		// but stays below 1% of the total for all of history...
+		tiny := 0.5 + 0.02*float64(d)
+		if d >= 30 {
+			// ...then crosses the threshold at day 30, flipping its
+			// filter status for every cached early segment too.
+			tiny = 400 + 5*float64(d-29)
+		}
+		for _, r := range []struct {
+			s string
+			v float64
+		}{{"big", big}, {"mid", 200 + 3*float64(d)}, {"tiny", tiny}} {
+			ts = append(ts, label)
+			dims = append(dims, []string{r.s})
+			meas = append(meas, []float64{r.v})
+		}
+		return
+	}
+	b := relation.NewBuilder("flip", "day", []string{"state"}, []string{"v"})
+	var all struct {
+		ts   []string
+		dims [][]string
+		meas [][]float64
+	}
+	addAll := func(ts []string, dims [][]string, meas [][]float64) {
+		all.ts = append(all.ts, ts...)
+		all.dims = append(all.dims, dims...)
+		all.meas = append(all.meas, meas...)
+	}
+	for d := 0; d < 25; d++ {
+		ts, dims, meas := day(d)
+		addAll(ts, dims, meas)
+		for i := range ts {
+			if err := b.Append(ts[i], dims[i], meas[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	base, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Measure: "v", Agg: relation.Sum}
+	inc, _, err := NewIncremental(base, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The compatibility snapshot path must handle the flip too.
+	incSnap, _, err := NewIncremental(base, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 25; d < 40; d++ {
+		ts, dims, meas := day(d)
+		addAll(ts, dims, meas)
+		res, err := inc.AppendRows(ts, dims, meas)
+		if err != nil {
+			t.Fatalf("day %d: %v", d, err)
+		}
+		fb := relation.NewBuilder("flip", "day", []string{"state"}, []string{"v"})
+		for i := range all.ts {
+			if err := fb.Append(all.ts[i], all.dims[i], all.meas[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		frel, err := fb.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewEngine(frel, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Explain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, fmt.Sprintf("day %d", d), res, want)
+		snapRes, err := incSnap.Update(frel)
+		if err != nil {
+			t.Fatalf("day %d snapshot: %v", d, err)
+		}
+		sameResults(t, fmt.Sprintf("day %d (snapshot)", d), snapRes, want)
+		if d == 30 && fresh.FilteredCount() != inc.Engine().FilteredCount() {
+			t.Fatalf("day %d: filtered count %d, want %d", d, inc.Engine().FilteredCount(), fresh.FilteredCount())
+		}
+	}
+}
+
+// TestIncrementalAppendMatchesFromScratch replays the streaming workload
+// day by day through Incremental.AppendRows and asserts that every
+// update's result is identical to a from-scratch Explain over the same
+// rows — including the day FL (a brand-new state, with brand-new county
+// slices) first appears mid-stream, and a late batch revising the most
+// recent day.
+func TestIncrementalAppendMatchesFromScratch(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"vanilla", Options{}},
+		{"filter+guess", Options{FilterRatio: 0.001, UseGuessVerify: true}},
+		{"smoothed", Options{SmoothWindow: 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.opts.MaxOrder = 2
+			const start = 60
+			rb := &replayBuilder{}
+			for day := 0; day < start; day++ {
+				rb.append(datasets.StreamDelta(day))
+			}
+			base := rb.relation(t)
+			q := Query{Measure: "cases", Agg: relation.Sum, ExplainBy: []string{"state", "county"}}
+			inc, first, err := NewIncremental(base, q, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.K < 2 {
+				t.Fatalf("initial K = %d", first.K)
+			}
+
+			check := func(day int, res *Result) {
+				t.Helper()
+				fresh, err := NewEngine(rb.relation(t), q, tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := fresh.Explain()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, fmt.Sprintf("day %d", day), res, want)
+			}
+
+			for day := start; day < datasets.StreamDays; day++ {
+				tv, dv, mv := datasets.StreamDelta(day)
+				rb.append(tv, dv, mv)
+				res, err := inc.AppendRows(tv, dv, mv)
+				if err != nil {
+					t.Fatalf("day %d: %v", day, err)
+				}
+				check(day, res)
+
+				if day == 75 {
+					// Late-arriving records revising the most recent day.
+					late := []string{tv[0]}
+					lateDims := [][]string{{"TX", "c9"}}
+					lateMeas := [][]float64{{17}}
+					rb.append(late, lateDims, lateMeas)
+					res, err := inc.AppendRows(late, lateDims, lateMeas)
+					if err != nil {
+						t.Fatalf("day %d revision: %v", day, err)
+					}
+					check(day, res)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+// Streaming workload: the three-wave epidemic the streaming example,
+// the /api/stream demo endpoint, the append-path equivalence tests, and
+// the BENCH_streaming.json benchmark all share. Per-county daily case
+// counts arrive day by day; NY drives days 0–39, TX days 40–79, CA days
+// 80 on — and FL starts reporting only at day 90, so the stream
+// introduces a brand-new attribute value (and its county slices)
+// mid-flight, exercising delta-born candidate registration.
+
+package datasets
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// StreamDays is the full length of the streaming demo series.
+const StreamDays = 120
+
+// streamState describes one state's wave: cases rise by slope on every
+// day transition in (rampFrom, rampTo] and hold outside, split across six
+// counties by fixed shares. The waves abut exactly — NY's last rise is
+// 38→39, TX's first is 39→40 — so each wave boundary is a single crisp
+// cutting point. States with from > 0 report nothing before that day:
+// their slices simply do not exist in earlier data.
+type streamState struct {
+	name             string
+	from             int
+	base             float64
+	slope            float64
+	rampFrom, rampTo int
+	shares           [6]float64
+}
+
+var streamStates = []streamState{
+	{name: "NY", base: 50, slope: 30, rampFrom: 0, rampTo: 39,
+		shares: [6]float64{0.30, 0.22, 0.16, 0.13, 0.11, 0.08}},
+	{name: "TX", base: 50, slope: 40, rampFrom: 39, rampTo: 79,
+		shares: [6]float64{0.32, 0.21, 0.17, 0.12, 0.10, 0.08}},
+	{name: "CA", base: 50, slope: 55, rampFrom: 79, rampTo: 119,
+		shares: [6]float64{0.28, 0.24, 0.15, 0.13, 0.12, 0.08}},
+	{name: "FL", from: 90, base: 40, slope: 3, rampFrom: 89, rampTo: 119,
+		shares: [6]float64{0.40, 0.25, 0.15, 0.10, 0.06, 0.04}},
+}
+
+var streamLabels = dateLabels(time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC), StreamDays)
+
+// streamLevel is state s's total cases on the given day.
+func streamLevel(s *streamState, day int) float64 {
+	if day > s.rampTo {
+		day = s.rampTo
+	}
+	steps := day - s.rampFrom
+	if steps < 0 {
+		steps = 0
+	}
+	return s.base + s.slope*float64(steps)
+}
+
+// StreamDelta returns one day's row batch, row-major in the shape
+// Relation.AppendRows and Incremental.AppendRows consume.
+func StreamDelta(day int) (timeVals []string, dims [][]string, measures [][]float64) {
+	label := streamLabels[day]
+	for si := range streamStates {
+		s := &streamStates[si]
+		if day < s.from {
+			continue
+		}
+		level := streamLevel(s, day)
+		for c, share := range s.shares {
+			timeVals = append(timeVals, label)
+			dims = append(dims, []string{s.name, fmt.Sprintf("c%d", c+1)})
+			measures = append(measures, []float64{level * share})
+		}
+	}
+	return timeVals, dims, measures
+}
+
+// Stream materializes the first days days of the streaming workload as a
+// dataset, built through the same Builder path as every other dataset so
+// it is byte-for-byte what a batch load of the prefix would produce.
+func Stream(days int) *Dataset {
+	if days > StreamDays {
+		days = StreamDays
+	}
+	b := relation.NewBuilder("stream", "date", []string{"state", "county"}, []string{"cases"})
+	b.SetTimeOrder(streamLabels[:days])
+	for day := 0; day < days; day++ {
+		timeVals, dims, measures := StreamDelta(day)
+		for i := range timeVals {
+			if err := b.Append(timeVals[i], dims[i], measures[i]); err != nil {
+				panic(err)
+			}
+		}
+	}
+	rel, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return &Dataset{
+		Name:      "stream",
+		Rel:       rel,
+		Measure:   "cases",
+		Agg:       relation.Sum,
+		ExplainBy: []string{"state", "county"},
+		MaxOrder:  2,
+	}
+}

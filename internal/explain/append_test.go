@@ -1,0 +1,194 @@
+package explain
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// streamRows generates a small two-dimensional workload whose delta
+// introduces a brand-new value on each dimension.
+func streamRows(days int) (timeVals []string, dims [][]string, measures [][]float64) {
+	for day := 0; day < days; day++ {
+		label := fmt.Sprintf("d%03d", day)
+		for _, a := range []string{"x", "y"} {
+			timeVals = append(timeVals, label)
+			dims = append(dims, []string{a, fmt.Sprintf("g%d", day%2)})
+			measures = append(measures, []float64{float64(day*7 + len(a)*3)})
+		}
+		if day >= 8 {
+			// z (and its pairing with the new group g9) only exists late.
+			timeVals = append(timeVals, label)
+			dims = append(dims, []string{"z", "g9"})
+			measures = append(measures, []float64{float64(100 + day)})
+		}
+	}
+	return
+}
+
+func buildStream(t *testing.T, timeVals []string, dims [][]string, measures [][]float64) *relation.Relation {
+	t.Helper()
+	b := relation.NewBuilder("s", "day", []string{"a", "g"}, []string{"v"})
+	for i := range timeVals {
+		if err := b.Append(timeVals[i], dims[i], measures[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// sameUniverse checks the streamed universe against a fresh build over
+// the same relation: identical candidate sets (matched by conjunction),
+// bit-identical series and totals, and equivalent drill-down adjacency.
+func sameUniverse(t *testing.T, ctx string, got, want *Universe) {
+	t.Helper()
+	if got.NumCandidates() != want.NumCandidates() {
+		t.Fatalf("%s: %d candidates, want %d", ctx, got.NumCandidates(), want.NumCandidates())
+	}
+	if got.NumTimestamps() != want.NumTimestamps() {
+		t.Fatalf("%s: %d timestamps, want %d", ctx, got.NumTimestamps(), want.NumTimestamps())
+	}
+	gt, wt := got.TotalValues(), want.TotalValues()
+	for i := range wt {
+		if gt[i] != wt[i] {
+			t.Fatalf("%s: total[%d] = %v, want %v", ctx, i, gt[i], wt[i])
+		}
+	}
+	rel := want.Relation()
+	for id := 0; id < want.NumCandidates(); id++ {
+		wc := want.Candidate(id)
+		gid, ok := got.Lookup(wc.Conj)
+		if !ok {
+			t.Fatalf("%s: candidate %s missing", ctx, wc.Conj.String(rel))
+		}
+		gv, wv := got.CandidateValues(gid), want.CandidateValues(id)
+		for i := range wv {
+			if gv[i] != wv[i] {
+				t.Fatalf("%s: %s value[%d] = %v, want %v", ctx, wc.Conj.String(rel), i, gv[i], wv[i])
+			}
+		}
+		// Ancestor sets must agree through the conjunction mapping.
+		wantAnc := map[string]bool{}
+		for _, aid := range want.AncestorsOf(id) {
+			wantAnc[want.Candidate(aid).Conj.Key()] = true
+		}
+		gotAnc := map[string]bool{}
+		for _, aid := range got.AncestorsOf(gid) {
+			gotAnc[got.Candidate(aid).Conj.Key()] = true
+		}
+		if len(gotAnc) != len(wantAnc) {
+			t.Fatalf("%s: %s ancestors %v, want %v", ctx, wc.Conj.String(rel), gotAnc, wantAnc)
+		}
+		for k := range wantAnc {
+			if !gotAnc[k] {
+				t.Fatalf("%s: %s missing ancestor %s", ctx, wc.Conj.String(rel), k)
+			}
+		}
+	}
+	// Root drill-down per dimension must expose the same child slices.
+	for _, dim := range want.ExplainBy() {
+		wantKids := map[string]bool{}
+		for _, id := range want.ChildrenOf(-1, dim) {
+			wantKids[want.Candidate(id).Conj.Key()] = true
+		}
+		gotKids := map[string]bool{}
+		for _, id := range got.ChildrenOf(-1, dim) {
+			gotKids[got.Candidate(id).Conj.Key()] = true
+		}
+		if len(gotKids) != len(wantKids) {
+			t.Fatalf("%s: root children over dim %d = %v, want %v", ctx, dim, gotKids, wantKids)
+		}
+		for k := range wantKids {
+			if !gotKids[k] {
+				t.Fatalf("%s: root missing child %s over dim %d", ctx, k, dim)
+			}
+		}
+	}
+}
+
+func universeConfig() Config {
+	return Config{Measure: "v", Agg: relation.Sum, MaxOrder: 2, Streaming: true}
+}
+
+func TestUniverseAppendMatchesFresh(t *testing.T) {
+	for _, smooth := range []int{0, 5} {
+		t.Run(fmt.Sprintf("smooth=%d", smooth), func(t *testing.T) {
+			timeVals, dims, measures := streamRows(12)
+
+			// Stream: start with 6 days, then append the rest in three
+			// uneven batches (one of which introduces z/g9).
+			cut := func(day int) int {
+				for i, tv := range timeVals {
+					if tv >= fmt.Sprintf("d%03d", day) {
+						return i
+					}
+				}
+				return len(timeVals)
+			}
+			streamed := buildStream(t, timeVals[:cut(6)], dims[:cut(6)], measures[:cut(6)])
+			u, err := NewUniverse(streamed, universeConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if smooth > 1 {
+				u.Smooth(smooth)
+			}
+
+			// Existing candidate IDs must survive every append untouched.
+			idOf := map[string]int{}
+			for id := 0; id < u.NumCandidates(); id++ {
+				idOf[u.Candidate(id).Conj.Key()] = id
+			}
+
+			for _, to := range []int{8, 10, 12} {
+				from := cut(to - 2)
+				hi := cut(to)
+				if err := streamed.AppendRows(timeVals[from:hi], dims[from:hi], measures[from:hi]); err != nil {
+					t.Fatal(err)
+				}
+				info, err := u.Append()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if info.NewTimestamps != streamed.NumTimestamps() {
+					t.Fatalf("info.NewTimestamps = %d, want %d", info.NewTimestamps, streamed.NumTimestamps())
+				}
+				for key, id := range idOf {
+					if u.Candidate(id).Conj.Key() != key {
+						t.Fatalf("after append to day %d: candidate %d changed conjunction", to, id)
+					}
+				}
+				for id := 0; id < u.NumCandidates(); id++ {
+					idOf[u.Candidate(id).Conj.Key()] = id
+				}
+
+				fullPrefix := buildStream(t, timeVals[:hi], dims[:hi], measures[:hi])
+				fresh, err := NewUniverse(fullPrefix, universeConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if smooth > 1 {
+					fresh.Smooth(smooth)
+				}
+				sameUniverse(t, fmt.Sprintf("day %d", to), u, fresh)
+			}
+		})
+	}
+}
+
+func TestUniverseAppendRequiresStreaming(t *testing.T) {
+	timeVals, dims, measures := streamRows(4)
+	rel := buildStream(t, timeVals, dims, measures)
+	u, err := NewUniverse(rel, Config{Measure: "v", Agg: relation.Sum, MaxOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Append(); err == nil {
+		t.Error("Append on a non-streaming universe: want error")
+	}
+}

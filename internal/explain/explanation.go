@@ -56,6 +56,30 @@ type Universe struct {
 	// ancestors[id] lists the candidate IDs of every non-empty
 	// sub-conjunction of candidate id (itself included).
 	ancestors [][]int
+
+	// raw is the candidate-major series arena: candidate id's decomposed
+	// raw (pre-smoothing) series occupies raw[id*arenaCap : id*arenaCap+T].
+	// The stride leaves tail headroom under Config.Streaming so appends
+	// extend series in place instead of reallocating per update.
+	raw      []relation.SumCount
+	arenaCap int
+	// rawTotal is the raw overall aggregate series; total aliases it until
+	// Smooth replaces the active view with the smoothed one.
+	rawTotal []relation.SumCount
+
+	smooth *smoothState // non-nil once Smooth ran on an arena-backed universe
+	stream *streamState // non-nil when built with Config.Streaming
+}
+
+// streamState is the retained pass-1 state that lets Append consume only
+// newly arrived rows: one group-by plan per explain-by subset, plus the
+// mapping from each plan's group ranks to universe candidate IDs.
+type streamState struct {
+	subsets  [][]int
+	plans    []*relation.GroupByPlan
+	candOf   [][]int // per subset: group rank -> candidate ID
+	ingested int     // relation rows already consumed
+	workers  int
 }
 
 // Config controls candidate enumeration.
@@ -74,6 +98,11 @@ type Config struct {
 	// the resulting candidate IDs, series, and adjacency are identical
 	// either way.
 	Parallelism int
+	// Streaming retains the group-by plans and allocates the series arena
+	// with tail headroom so Append can extend the universe from newly
+	// arrived rows in O(delta). One-shot universes leave it false and pay
+	// neither the headroom nor the retained plan state.
+	Streaming bool
 }
 
 // candIndex resolves a conjunction to its candidate ID. When the relation
@@ -162,17 +191,18 @@ func NewUniverse(r *relation.Relation, cfg Config) (*Universe, error) {
 		measure:   m,
 		explainBy: dims,
 		maxOrder:  maxOrder,
-		total:     r.AggregateSeries(m),
+		rawTotal:  r.AggregateSeries(m),
 		index:     newCandIndex(r, maxOrder),
 		children:  make(map[string]map[int][]int),
 	}
+	u.total = u.rawTotal
 
 	// Enumerate every attribute subset of size 1..β̄ and group-by each
 	// with the columnar kernel: plan all subsets (pass 1), allocate ONE
-	// arena backing every candidate's series, then fill the disjoint
-	// arena ranges (pass 2). Both passes fan across the worker pool; the
-	// kernel orders each subset's groups by id tuple, so candidate IDs
-	// are deterministic and identical at any parallelism.
+	// candidate-major arena backing every candidate's series, then fill
+	// the disjoint arena ranges (pass 2). Both passes fan across the
+	// worker pool; the kernel orders each subset's groups by id tuple, so
+	// candidate IDs are deterministic and identical at any parallelism.
 	workers := cfg.Parallelism
 	subsetList := subsets(dims, maxOrder)
 	plans := make([]*relation.GroupByPlan, len(subsetList))
@@ -184,23 +214,57 @@ func NewUniverse(r *relation.Relation, cfg Config) (*Universe, error) {
 	for i, p := range plans {
 		offsets[i+1] = offsets[i] + p.NumGroups()
 	}
-	arena := make([]relation.SumCount, offsets[len(plans)]*T)
-	grouped := make([]*relation.GroupedSeries, len(plans))
+	totalGroups := offsets[len(plans)]
+	// Streaming universes get segcache-style headroom in both dimensions
+	// (timestamps per series, candidate slots) so the common append —
+	// later days, maybe a few new candidates — never reallocates.
+	u.arenaCap = T
+	slotCap := totalGroups
+	if cfg.Streaming {
+		u.arenaCap = T + T/2 + 8
+		slotCap = totalGroups + totalGroups/4 + 16
+		grown := make([]relation.SumCount, T, u.arenaCap)
+		copy(grown, u.rawTotal)
+		u.rawTotal = grown
+		u.total = u.rawTotal
+	}
+	u.raw = make([]relation.SumCount, slotCap*u.arenaCap)
 	runIndexed(len(plans), workers, func(i int) {
-		grouped[i] = plans[i].Fill(arena[offsets[i]*T : offsets[i+1]*T])
+		if plans[i].NumGroups() == 0 {
+			return
+		}
+		plans[i].FillArena(u.raw[offsets[i]*u.arenaCap:(offsets[i]+plans[i].NumGroups())*u.arenaCap], u.arenaCap)
 	})
-	u.cands = make([]*Candidate, 0, offsets[len(plans)])
-	for si, gs := range grouped {
+	u.cands = make([]*Candidate, 0, totalGroups)
+	for si, p := range plans {
 		subset := subsetList[si]
-		for g, ng := 0, gs.NumGroups(); g < ng; g++ {
-			ids := gs.GroupIDs(g)
+		for g, ng := 0, p.NumGroups(); g < ng; g++ {
+			ids := p.GroupIDsAt(g)
 			conj := make(relation.Conjunction, len(subset))
 			for i := range subset {
 				conj[i] = relation.Pred{Dim: subset[i], Value: ids[i]}
 			}
-			c := &Candidate{ID: len(u.cands), Conj: conj, Series: gs.Series(g)}
+			id := len(u.cands)
+			c := &Candidate{ID: id, Conj: conj, Series: u.raw[id*u.arenaCap : id*u.arenaCap+T : (id+1)*u.arenaCap]}
 			u.cands = append(u.cands, c)
-			u.index.insert(conj, c.ID)
+			u.index.insert(conj, id)
+		}
+	}
+	if cfg.Streaming {
+		candOf := make([][]int, len(plans))
+		for si := range plans {
+			ids := make([]int, plans[si].NumGroups())
+			for g := range ids {
+				ids[g] = offsets[si] + g
+			}
+			candOf[si] = ids
+		}
+		u.stream = &streamState{
+			subsets:  subsetList,
+			plans:    plans,
+			candOf:   candOf,
+			ingested: r.NumRows(),
+			workers:  workers,
 		}
 	}
 

@@ -42,3 +42,23 @@ func (u *Universe) FilterLowSupport(ratio float64) []int {
 func (u *Universe) AllCandidateIDs() []int {
 	return u.FilterLowSupport(0)
 }
+
+// FirstQualifying returns the first position t ≥ from at which candidate
+// id passes the support filter — |v| ≥ ratio·|total| and |v| > 0, the
+// exact keep condition of FilterLowSupport — or -1 when none does.
+// totalVals must be the universe's TotalValues(); callers scanning many
+// candidates compute it once. The incremental engine uses this to
+// maintain the filtered set in O(changed suffix) per append: a candidate
+// whose first qualifying position precedes the change is still kept
+// without rescanning, and everything else only rescans from the change.
+func (u *Universe) FirstQualifying(id, from int, ratio float64, totalVals []float64) int {
+	cand := u.cands[id]
+	for t := from; t < len(totalVals); t++ {
+		sc := cand.Series[t]
+		v := math.Abs(u.agg.Eval(sc.Sum, sc.Count))
+		if v >= ratio*math.Abs(totalVals[t]) && v > 0 {
+			return t
+		}
+	}
+	return -1
+}

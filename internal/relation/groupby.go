@@ -74,9 +74,10 @@ type GroupByPlan struct {
 	slots  map[uint64]int32 // packed key -> first-occurrence slot
 	sslots map[string]int32 // fallback: byte-string key -> slot
 
-	n    int      // number of distinct groups
-	ids  []uint32 // slot-major id tuples, first-occurrence order
-	perm []int32  // slot -> sorted group index
+	n        int      // number of distinct groups
+	ids      []uint32 // slot-major id tuples, first-occurrence order
+	perm     []int32  // slot -> sorted group index (rank)
+	rankSlot []int32  // rank -> slot (inverse of perm)
 }
 
 // PlanGroupBy runs pass 1 of the columnar group-by kernel over the given
@@ -119,11 +120,7 @@ func (r *Relation) planGroupBy(dims []int, m int, forceFallback bool) *GroupByPl
 		p.sslots = make(map[string]int32, 64)
 		buf := make([]byte, 0, len(dims)*4)
 		for row := 0; row < r.numRows; row++ {
-			buf = buf[:0]
-			for _, d := range dims {
-				v := r.dims[d].ids[row]
-				buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-			}
+			buf = p.rowFallbackKey(buf, row)
 			if _, ok := p.sslots[string(buf)]; !ok {
 				p.sslots[string(buf)] = int32(len(p.sslots))
 				for _, d := range dims {
@@ -160,10 +157,189 @@ func (r *Relation) planGroupBy(dims []int, m int, forceFallback bool) *GroupByPl
 		return false
 	})
 	p.perm = make([]int32, n)
+	p.rankSlot = order
 	for rank, slot := range order {
 		p.perm[slot] = int32(rank)
 	}
 	return p
+}
+
+// GroupIDsAt returns the id tuple of the group with the given rank,
+// parallel to the planned dimensions. The slice aliases plan storage and
+// must not be modified.
+func (p *GroupByPlan) GroupIDsAt(rank int) []uint32 {
+	d := len(p.dims)
+	s := int(p.rankSlot[rank])
+	return p.ids[s*d : s*d+d : s*d+d]
+}
+
+// packTuple packs an id tuple with the plan's current shift layout.
+func (p *GroupByPlan) packTuple(ids []uint32) uint64 {
+	var k uint64
+	for i, v := range ids {
+		k = k<<p.shifts[i] | uint64(v)
+	}
+	return k
+}
+
+// fallbackKey renders an id tuple as the byte-string key of the fallback
+// keying scheme. Every fallback path — discovery, fill, append — must
+// encode through it (or rowFallbackKey) so the layout exists in exactly
+// one place.
+func fallbackKey(buf []byte, ids []uint32) []byte {
+	buf = buf[:0]
+	for _, v := range ids {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return buf
+}
+
+// rowFallbackKey renders the row's id tuple over the planned dimensions
+// as a fallback key, reusing buf.
+func (p *GroupByPlan) rowFallbackKey(buf []byte, row int) []byte {
+	buf = buf[:0]
+	for _, d := range p.dims {
+		v := p.r.dims[d].ids[row]
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return buf
+}
+
+// ensureKeyCapacity re-checks the packing layout against the current
+// dictionaries, which may have grown since the plan was built (streaming
+// appends introduce new categorical values). When a dimension outgrew its
+// bit width the slot map is re-keyed from the stored id tuples: with wider
+// shifts while everything still fits 64 bits, otherwise by migrating to
+// the byte-string fallback. Either way existing slots and ranks survive.
+func (p *GroupByPlan) ensureKeyCapacity() {
+	if !p.packed {
+		return
+	}
+	grown := false
+	var totalBits uint
+	for i, d := range p.dims {
+		w := bitsFor(p.r.dims[d].Cardinality())
+		if w > p.shifts[i] {
+			grown = true
+		} else {
+			w = p.shifts[i]
+		}
+		totalBits += w
+	}
+	if !grown {
+		return
+	}
+	d := len(p.dims)
+	if totalBits <= 64 {
+		for i, dim := range p.dims {
+			if w := bitsFor(p.r.dims[dim].Cardinality()); w > p.shifts[i] {
+				p.shifts[i] = w
+			}
+		}
+		slots := make(map[uint64]int32, len(p.slots))
+		for slot := 0; slot < p.n; slot++ {
+			slots[p.packTuple(p.ids[slot*d:slot*d+d])] = int32(slot)
+		}
+		p.slots = slots
+		return
+	}
+	p.packed = false
+	p.slots = nil
+	p.sslots = make(map[string]int32, p.n)
+	buf := make([]byte, 0, d*4)
+	for slot := 0; slot < p.n; slot++ {
+		buf = fallbackKey(buf, p.ids[slot*d:slot*d+d])
+		p.sslots[string(buf)] = int32(slot)
+	}
+}
+
+// AppendRows extends the plan with the relation rows [fromRow, NumRows):
+// pass 1 of the append path. Groups first occurring in the delta are
+// assigned the ranks after every existing one, ordered by id tuple among
+// themselves, so existing ranks — and therefore the candidate IDs built on
+// them — stay stable. It returns the number of groups added.
+func (p *GroupByPlan) AppendRows(fromRow int) int {
+	r := p.r
+	p.ensureKeyCapacity()
+	oldN := p.n
+	if p.packed {
+		for row := fromRow; row < r.numRows; row++ {
+			k := p.rowKey(row)
+			if _, ok := p.slots[k]; !ok {
+				p.slots[k] = int32(len(p.slots))
+				for _, d := range p.dims {
+					p.ids = append(p.ids, r.dims[d].ids[row])
+				}
+			}
+		}
+		p.n = len(p.slots)
+	} else {
+		buf := make([]byte, 0, len(p.dims)*4)
+		for row := fromRow; row < r.numRows; row++ {
+			buf = p.rowFallbackKey(buf, row)
+			if _, ok := p.sslots[string(buf)]; !ok {
+				p.sslots[string(buf)] = int32(len(p.sslots))
+				for _, d := range p.dims {
+					p.ids = append(p.ids, r.dims[d].ids[row])
+				}
+			}
+		}
+		p.n = len(p.sslots)
+	}
+	added := p.n - oldN
+	if added == 0 {
+		return 0
+	}
+	// Order the delta's new groups among themselves by id tuple (the same
+	// canonical order the initial plan uses), after all existing ranks.
+	d := len(p.dims)
+	order := make([]int32, added)
+	for i := range order {
+		order[i] = int32(oldN + i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta := p.ids[int(order[a])*d : int(order[a])*d+d]
+		tb := p.ids[int(order[b])*d : int(order[b])*d+d]
+		for i := 0; i < d; i++ {
+			if ta[i] != tb[i] {
+				return ta[i] < tb[i]
+			}
+		}
+		return false
+	})
+	p.perm = append(p.perm, make([]int32, added)...)
+	for i, slot := range order {
+		p.perm[slot] = int32(oldN + i)
+	}
+	p.rankSlot = append(p.rankSlot, order...)
+	return added
+}
+
+// FillRows accumulates the relation rows [fromRow, NumRows) into
+// per-group destination series obtained from the series callback, which
+// maps a group's rank to the slice (indexed by time position) that should
+// receive its contributions. It is the append path's pass 2: the universe
+// hands out views into its shared arena, and only the delta is scanned.
+func (p *GroupByPlan) FillRows(fromRow int, series func(rank int) []SumCount) {
+	r := p.r
+	vals := r.measures[p.m].vals
+	if p.packed {
+		for row := fromRow; row < r.numRows; row++ {
+			sc := series(int(p.perm[p.slots[p.rowKey(row)]]))
+			s := &sc[r.timeIdx[row]]
+			s.Sum += vals[row]
+			s.Count++
+		}
+		return
+	}
+	buf := make([]byte, 0, len(p.dims)*4)
+	for row := fromRow; row < r.numRows; row++ {
+		buf = p.rowFallbackKey(buf, row)
+		sc := series(int(p.perm[p.sslots[string(buf)]]))
+		s := &sc[r.timeIdx[row]]
+		s.Sum += vals[row]
+		s.Count++
+	}
 }
 
 // rowKey packs the row's id tuple over the planned dimensions.
@@ -178,37 +354,50 @@ func (p *GroupByPlan) rowKey(row int) uint64 {
 // NumGroups returns the number of distinct groups the plan discovered.
 func (p *GroupByPlan) NumGroups() int { return p.n }
 
-// Fill runs pass 2 into the given arena, which must have length
-// NumGroups()×T, and returns the columnar result viewing it. Distinct
-// plans write to distinct arenas (or disjoint ranges of a shared one), so
-// Fill calls on different plans may run concurrently.
-func (p *GroupByPlan) Fill(arena []SumCount) *GroupedSeries {
+// FillArena runs pass 2 into a strided arena: group rank g's series
+// occupies arena[g*stride : g*stride+T], with stride ≥ T. The stride lets
+// a caller lay groups out with tail headroom so streaming appends extend
+// series in place. Distinct plans write to distinct arenas (or disjoint
+// ranges of a shared one), so calls on different plans may run
+// concurrently.
+func (p *GroupByPlan) FillArena(arena []SumCount, stride int) {
 	r := p.r
 	T := r.NumTimestamps()
-	if len(arena) != p.NumGroups()*T {
-		panic("relation: GroupByPlan.Fill arena has wrong length")
+	if p.NumGroups() == 0 {
+		return
+	}
+	if stride < T || len(arena) < (p.NumGroups()-1)*stride+T {
+		panic("relation: GroupByPlan.FillArena arena too small for stride")
 	}
 	vals := r.measures[p.m].vals
 	if p.packed {
 		for row := 0; row < r.numRows; row++ {
 			g := p.perm[p.slots[p.rowKey(row)]]
-			sc := &arena[int(g)*T+int(r.timeIdx[row])]
+			sc := &arena[int(g)*stride+int(r.timeIdx[row])]
 			sc.Sum += vals[row]
 			sc.Count++
 		}
 	} else {
 		buf := make([]byte, 0, len(p.dims)*4)
 		for row := 0; row < r.numRows; row++ {
-			buf = buf[:0]
-			for _, d := range p.dims {
-				v := r.dims[d].ids[row]
-				buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-			}
+			buf = p.rowFallbackKey(buf, row)
 			g := p.perm[p.sslots[string(buf)]]
-			sc := &arena[int(g)*T+int(r.timeIdx[row])]
+			sc := &arena[int(g)*stride+int(r.timeIdx[row])]
 			sc.Sum += vals[row]
 			sc.Count++
 		}
+	}
+}
+
+// Fill runs pass 2 into the given arena, which must have length
+// NumGroups()×T, and returns the columnar result viewing it.
+func (p *GroupByPlan) Fill(arena []SumCount) *GroupedSeries {
+	T := p.r.NumTimestamps()
+	if len(arena) != p.NumGroups()*T {
+		panic("relation: GroupByPlan.Fill arena has wrong length")
+	}
+	if p.NumGroups() > 0 {
+		p.FillArena(arena, T)
 	}
 
 	// Reorder the first-occurrence id tuples into sorted group order.

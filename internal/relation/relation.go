@@ -60,16 +60,20 @@ type MeasureColumn struct {
 // Name returns the attribute name of the column.
 func (c *MeasureColumn) Name() string { return c.name }
 
-// Relation is an immutable in-memory table with one time dimension,
-// zero or more categorical dimensions, and zero or more measures.
+// Relation is an in-memory table with one time dimension, zero or more
+// categorical dimensions, and zero or more measures. A finished Relation
+// never rewrites history, but it may grow at the tail: AppendRows ingests
+// rows at (or after) the current last timestamp, which is how the
+// real-time extension streams data in without rebuilding the table.
 type Relation struct {
 	name string
 
 	numRows int
 
 	timeName   string
-	timeIdx    []int32  // per-row index into timeLabels
-	timeLabels []string // distinct time values, in series order
+	timeIdx    []int32          // per-row index into timeLabels
+	timeLabels []string         // distinct time values, in series order
+	timePos    map[string]int32 // reverse index: label -> series position
 
 	dims      []*DimColumn
 	dimByName map[string]int
@@ -259,6 +263,7 @@ func (b *Builder) Finish() (*Relation, error) {
 			labelPos[l] = int32(i)
 		}
 	}
+	r.timePos = labelPos
 	r.timeIdx = make([]int32, n)
 	for i, v := range b.timeVals {
 		pos, ok := labelPos[v]
@@ -300,4 +305,128 @@ func (b *Builder) Finish() (*Relation, error) {
 		r.measures = append(r.measures, &MeasureColumn{name: name, vals: b.measures[mi]})
 	}
 	return r, nil
+}
+
+// timePosition resolves a label to its series position, rebuilding the
+// reverse index if the relation predates it (older construction paths).
+func (r *Relation) timePosition(label string) (int32, bool) {
+	if r.timePos == nil {
+		r.timePos = make(map[string]int32, len(r.timeLabels))
+		for i, l := range r.timeLabels {
+			r.timePos[l] = int32(i)
+		}
+	}
+	p, ok := r.timePos[label]
+	return p, ok
+}
+
+// AppendRows extends the relation in place with rows at the tail of the
+// series: every row's time label must resolve to the current last
+// timestamp (late records revising the most recent point) or to a new
+// label, which is appended to the series in first-appearance order. Rows
+// are row-major: dims[i] and measures[i] belong to row i and must match
+// the relation's dimension and measure counts. Dictionaries grow as new
+// categorical values appear.
+//
+// Validation runs before any mutation, so a failed call leaves the
+// relation unchanged. Earlier timestamps are immutable; a row that
+// resolves before the last existing label is rejected, which is what lets
+// the incremental engine trust that appended data never rewrites history.
+func (r *Relation) AppendRows(timeVals []string, dims [][]string, measures [][]float64) error {
+	if len(dims) != len(timeVals) || len(measures) != len(timeVals) {
+		return fmt.Errorf("relation: AppendRows got %d time values, %d dim rows, %d measure rows",
+			len(timeVals), len(dims), len(measures))
+	}
+	for i := range timeVals {
+		if len(dims[i]) != len(r.dims) {
+			return fmt.Errorf("relation: row %d has %d dimension values, want %d", i, len(dims[i]), len(r.dims))
+		}
+		if len(measures[i]) != len(r.measures) {
+			return fmt.Errorf("relation: row %d has %d measure values, want %d", i, len(measures[i]), len(r.measures))
+		}
+	}
+	// Resolve time labels without mutating: existing labels must be the
+	// current last one; unseen labels are staged for appending.
+	minPos := int32(len(r.timeLabels)) - 1
+	if minPos < 0 {
+		minPos = 0
+	}
+	staged := make(map[string]int32)
+	var newLabels []string
+	for i, l := range timeVals {
+		pos, ok := r.timePosition(l)
+		if !ok {
+			pos, ok = staged[l]
+			if !ok {
+				pos = int32(len(r.timeLabels) + len(newLabels))
+				staged[l] = pos
+				newLabels = append(newLabels, l)
+			}
+		}
+		if pos < minPos {
+			return fmt.Errorf("relation: row %d appends at timestamp %q (position %d), before the last existing timestamp %q",
+				i, l, pos, r.timeLabels[len(r.timeLabels)-1])
+		}
+	}
+
+	// Mutate: labels, per-row time indexes, dictionaries, measures.
+	for _, l := range newLabels {
+		r.timePos[l] = int32(len(r.timeLabels))
+		r.timeLabels = append(r.timeLabels, l)
+	}
+	for i := range timeVals {
+		pos, _ := r.timePosition(timeVals[i])
+		r.timeIdx = append(r.timeIdx, pos)
+		for di, col := range r.dims {
+			v := dims[i][di]
+			id, ok := col.index[v]
+			if !ok {
+				id = uint32(len(col.dict))
+				col.dict = append(col.dict, v)
+				col.index[v] = id
+			}
+			col.ids = append(col.ids, id)
+		}
+		for mi, col := range r.measures {
+			col.vals = append(col.vals, measures[i][mi])
+		}
+	}
+	r.numRows += len(timeVals)
+	return nil
+}
+
+// RowsByTime indexes the relation's rows by series position: element t
+// lists the row indexes whose time label is the t-th timestamp, in row
+// order. Streaming drivers use it to replay a relation in time order.
+func (r *Relation) RowsByTime() [][]int {
+	out := make([][]int, r.NumTimestamps())
+	for row := 0; row < r.numRows; row++ {
+		t := r.timeIdx[row]
+		out[t] = append(out[t], row)
+	}
+	return out
+}
+
+// RowBatch decodes the rows at time positions [from, to) into the
+// row-major shape AppendRows consumes, using the index from RowsByTime.
+// It is the replay primitive: feed a relation's tail (or a whole delta
+// relation) into another relation's append path.
+func (r *Relation) RowBatch(byTime [][]int, from, to int) (timeVals []string, dims [][]string, measures [][]float64) {
+	for t := from; t < to; t++ {
+		label := r.timeLabels[t]
+		for _, row := range byTime[t] {
+			timeVals = append(timeVals, label)
+			dv := make([]string, len(r.dims))
+			for d := range dv {
+				dv[d] = r.DimValue(d, row)
+			}
+			mv := make([]float64, len(r.measures))
+			for m := range mv {
+				mv[m] = r.MeasureValue(m, row)
+			}
+			dims = append(dims, dv)
+			measures = append(measures, mv)
+		}
+	}
+	return timeVals, dims, measures
 }

@@ -112,7 +112,7 @@ func (e *Explainer) dcg(expl []cascading.Picked, c, t int, rectify bool) float64
 // segment is already in the ranked list.
 func (e *Explainer) idealDCG(c, t int) float64 {
 	key := segKey(c, t)
-	if v, ok := e.idealCache[key]; ok {
+	if v, ok := e.idealCache.get(key); ok {
 		return v
 	}
 	target := e.TopM(c, t)
@@ -120,7 +120,7 @@ func (e *Explainer) idealDCG(c, t int) float64 {
 	for r, p := range target.Explanations {
 		sum += p.Gamma * discount(r)
 	}
-	e.idealCache[key] = sum
+	e.idealCache.put(t, key, sum)
 	return sum
 }
 

@@ -29,7 +29,7 @@ type Explainer struct {
 	guessInit int
 
 	cache      *segCache
-	idealCache map[int64]float64
+	idealCache *endCache
 
 	// stats accumulate across calls for the latency-breakdown experiment.
 	caSolves int
@@ -70,7 +70,7 @@ func NewExplainer(u *explain.Universe, cfg ExplainerConfig) *Explainer {
 		useGuess:   cfg.UseGuessVerify,
 		guessInit:  gi,
 		cache:      newSegCache(u.NumTimestamps()),
-		idealCache: make(map[int64]float64),
+		idealCache: newEndCache(),
 	}
 }
 
@@ -111,7 +111,7 @@ func (e *Explainer) Stats() (solves int, caTime time.Duration, rounds int) {
 // segments that touch newly arrived points.
 func (e *Explainer) ResetCache() {
 	e.cache.reset()
-	e.idealCache = make(map[int64]float64)
+	e.idealCache.reset()
 	e.caSolves, e.caTime, e.caRounds = 0, 0, 0
 }
 
@@ -121,12 +121,7 @@ func (e *Explainer) ResetCache() {
 // are recomputed while the unchanged prefix stays cached.
 func (e *Explainer) InvalidateFrom(p int) {
 	e.cache.invalidateFrom(p)
-	for key := range e.idealCache {
-		c, t := key>>segKeyShift, key&(1<<segKeyShift-1)
-		if t >= int64(p) || c >= int64(p) {
-			delete(e.idealCache, key)
-		}
-	}
+	e.idealCache.invalidateFrom(p)
 }
 
 // segKeyShift sizes the packed (c, t) cache key; series up to 2^21 points
@@ -137,22 +132,47 @@ const segKeyShift = 21
 // the series grows, which the real-time extension relies on.
 func segKey(c, t int) int64 { return int64(c)<<segKeyShift | int64(t) }
 
+// Grow retargets the explainer's caches at a series of length n without
+// touching any cached result. The flat cache extends in place while its
+// headroom lasts; past that, entries migrate verbatim into a fresh cache
+// allocated with new headroom.
+func (e *Explainer) Grow(n int) {
+	if e.cache.grow(n) {
+		return
+	}
+	next := newSegCacheCap(n, n+n/2)
+	e.cache.forEach(func(c, t int, res *cascading.Result) {
+		next.put(c, t, *res)
+	})
+	e.cache = next
+}
+
 // Rebind points the explainer at a new universe while keeping the cached
 // per-segment results. It is only safe when the new universe extends the
 // old one with later timestamps (the shared prefix must be unchanged),
 // which is exactly the real-time append scenario of Section 8.
 //
-// Candidate IDs are universe-specific (new values appearing in the new
-// data shift the enumeration), so every cached result's IDs are remapped
+// Rebinding to the explainer's current universe — the append path, which
+// grows the universe in place and registers delta-born candidates at the
+// tail — is a no-op apart from cache growth: candidate IDs are stable, so
+// every cached result stays valid verbatim and the solver just grows its
+// scratch on demand.
+//
+// A genuinely new universe (the snapshot-rebuild path) re-enumerates
+// candidates, so IDs shift: every cached result's IDs are remapped
 // through the conjunctions; entries that cannot be remapped are dropped
 // and will simply be recomputed.
 func (e *Explainer) Rebind(u *explain.Universe) {
 	old := e.u
-	if old != u {
+	if old == u {
+		e.Grow(u.NumTimestamps())
+		return
+	}
+	{
 		remap := func(c, t int, res *cascading.Result) bool {
 			remapped, ok := remapResult(res, old, u)
 			if !ok {
-				delete(e.idealCache, segKey(c, t))
+				e.idealCache.remove(segKey(c, t))
 				return false
 			}
 			*res = *remapped

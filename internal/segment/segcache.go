@@ -146,13 +146,18 @@ func (sc *segCache) reset() {
 }
 
 // invalidateFrom drops every segment touching a point at or after p.
+// Segments satisfy c < t, so touching ≥ p is exactly t ≥ p; the flat scan
+// covers only those entries — O(n·(n−p)), which the streaming append path
+// (invalidating a short tail every update) relies on.
 func (sc *segCache) invalidateFrom(p int) {
 	if sc.n > 0 {
 		for c := 0; c < sc.n; c++ {
-			for t := c + 1; t < sc.n; t++ {
-				if c >= p || t >= p {
-					sc.gen[sc.flatIdx(c, t)] = 0
-				}
+			lo := p
+			if lo <= c {
+				lo = c + 1
+			}
+			for t := lo; t < sc.n; t++ {
+				sc.gen[sc.flatIdx(c, t)] = 0
 			}
 		}
 	}
@@ -162,6 +167,53 @@ func (sc *segCache) invalidateFrom(p int) {
 			delete(sc.m, key)
 		}
 	}
+}
+
+// endCache is a segment-keyed float cache with a per-end-position key
+// index, so dropping every entry at or past a position touches only the
+// affected entries instead of scanning the whole map — again what the
+// per-update tail invalidation of the streaming path needs.
+type endCache struct {
+	m     map[int64]float64
+	byEnd [][]int64
+}
+
+func newEndCache() *endCache { return &endCache{m: make(map[int64]float64)} }
+
+func (c *endCache) get(key int64) (float64, bool) {
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// put stores a value for a segment ending at t. Callers only put after a
+// get miss, so the end index never holds duplicate live keys.
+func (c *endCache) put(t int, key int64, v float64) {
+	c.m[key] = v
+	for len(c.byEnd) <= t {
+		c.byEnd = append(c.byEnd, nil)
+	}
+	c.byEnd[t] = append(c.byEnd[t], key)
+}
+
+func (c *endCache) remove(key int64) { delete(c.m, key) }
+
+// invalidateFrom drops every entry whose segment touches a position ≥ p
+// (segment keys satisfy c < t, so that is exactly t ≥ p).
+func (c *endCache) invalidateFrom(p int) {
+	if p < 0 {
+		p = 0
+	}
+	for t := p; t < len(c.byEnd); t++ {
+		for _, key := range c.byEnd[t] {
+			delete(c.m, key)
+		}
+		c.byEnd[t] = nil
+	}
+}
+
+func (c *endCache) reset() {
+	c.m = make(map[int64]float64)
+	c.byEnd = c.byEnd[:0]
 }
 
 // forEach visits every live entry. The visited pointers obey put's

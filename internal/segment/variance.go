@@ -25,7 +25,7 @@ type VarCalc struct {
 	// ablation study disables it.
 	rectify bool
 
-	cache map[int64]float64
+	cache *endCache
 
 	// objPos, when non-nil, replaces unit objects with the intervals
 	// between consecutive positions (sketch intervals).
@@ -44,14 +44,14 @@ type VarCalc struct {
 
 // NewVarCalc returns a variance calculator over the explainer.
 func NewVarCalc(e *Explainer, kind VarianceKind) *VarCalc {
-	return &VarCalc{e: e, kind: kind, rectify: true, cache: make(map[int64]float64)}
+	return &VarCalc{e: e, kind: kind, rectify: true, cache: newEndCache()}
 }
 
 // SetRectify toggles the rectified-relevance rule (Table 2). It is on by
 // default; only the ablation experiment turns it off.
 func (vc *VarCalc) SetRectify(on bool) {
 	vc.rectify = on
-	vc.cache = make(map[int64]float64)
+	vc.cache.reset()
 	vc.pairPrefix = nil
 	vc.objRes, vc.objIdeal = nil, nil
 }
@@ -59,13 +59,18 @@ func (vc *VarCalc) SetRectify(on bool) {
 // objPrepared returns the cached top explanations and ideal DCG of the
 // object starting at bound index oi of the global object list.
 func (vc *VarCalc) objPrepared(oi, oc, ot int) (*cascading.Result, float64) {
-	if vc.objRes == nil {
-		count := vc.e.u.NumTimestamps() - 1
-		if vc.objPos != nil {
-			count = len(vc.objPos) - 1
-		}
-		vc.objRes = make([]*cascading.Result, count)
-		vc.objIdeal = make([]float64, count)
+	count := vc.e.u.NumTimestamps() - 1
+	if vc.objPos != nil {
+		count = len(vc.objPos) - 1
+	}
+	if len(vc.objRes) < count {
+		// The series grew since the caches were built (streaming append);
+		// keep the prefix, add empty slots for the new objects.
+		grownRes := make([]*cascading.Result, count)
+		copy(grownRes, vc.objRes)
+		grownIdeal := make([]float64, count)
+		copy(grownIdeal, vc.objIdeal)
+		vc.objRes, vc.objIdeal = grownRes, grownIdeal
 	}
 	if r := vc.objRes[oi]; r != nil {
 		return r, vc.objIdeal[oi]
@@ -99,9 +104,37 @@ func (vc *VarCalc) SetObjectPositions(pos []int) {
 		vc.objPos = append([]int(nil), pos...)
 		sort.Ints(vc.objPos)
 	}
-	vc.cache = make(map[int64]float64)
+	vc.cache.reset()
 	vc.pairPrefix = nil
 	vc.objRes, vc.objIdeal = nil, nil
+}
+
+// HasObjectPositions reports whether the calculator currently coarsens
+// objects to sketch intervals.
+func (vc *VarCalc) HasObjectPositions() bool { return vc.objPos != nil }
+
+// InvalidateFrom drops every cached quantity that touches a position at
+// or after p: weighted variances of segments reaching p, per-object
+// caches of objects reaching p, and the AllPair prefix table. The
+// real-time extension calls this after an append so a VarCalc kept across
+// updates recomputes only the changed suffix — variances of committed
+// history stay cached.
+func (vc *VarCalc) InvalidateFrom(p int) {
+	vc.cache.invalidateFrom(p)
+	for i := range vc.objRes {
+		if vc.objRes[i] == nil {
+			continue
+		}
+		end := i + 1
+		if vc.objPos != nil {
+			end = vc.objPos[i+1]
+		}
+		if end >= p {
+			vc.objRes[i] = nil
+			vc.objIdeal[i] = 0
+		}
+	}
+	vc.pairPrefix = nil
 }
 
 // Explainer returns the underlying explainer.
@@ -145,7 +178,7 @@ func (vc *VarCalc) Weighted(a, b int) float64 {
 		return 0 // a single object is its own centroid
 	}
 	key := segKey(a, b)
-	if v, ok := vc.cache[key]; ok {
+	if v, ok := vc.cache.get(key); ok {
 		return v
 	}
 	var total float64
@@ -173,7 +206,7 @@ func (vc *VarCalc) Weighted(a, b int) float64 {
 			total = float64(b-a) * sum / float64(len(bounds)-1)
 		}
 	}
-	vc.cache[key] = total
+	vc.cache.put(b, key, total)
 	return total
 }
 

@@ -1,0 +1,54 @@
+package server
+
+import "container/list"
+
+// lruCache is a minimal string-keyed LRU used to bound the server's
+// result cache and engine pool. It is not safe for concurrent use; the
+// Server guards it with its mutex.
+type lruCache[V any] struct {
+	capacity int
+	ll       *list.List
+	items    map[string]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lruCache[V]) get(key string) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// add inserts (or refreshes) a value and evicts the least recently used
+// entries beyond capacity.
+func (c *lruCache[V]) add(key string, val V) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*lruEntry[V]).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache[V]) len() int { return c.ll.Len() }

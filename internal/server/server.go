@@ -20,22 +20,55 @@ import (
 )
 
 // Server handles the demo endpoints. Results are cached per parameter
-// combination so repeated requests are instant, mirroring the
-// interactivity requirement of Section 1 (challenge b).
+// combination (bounded LRU) so repeated requests are instant, mirroring
+// the interactivity requirement of Section 1 (challenge b); concurrent
+// cold requests for the same key are deduplicated singleflight-style so a
+// thundering herd runs one explain, not N; and engines are pooled per
+// (dataset, smoothing, optimization) so requests that differ only in K
+// reuse the expensive universe and per-segment explanation cache.
 type Server struct {
 	mux *http.ServeMux
 
-	mu     sync.Mutex
-	cache  map[string]*core.Result
+	mu       sync.Mutex
+	cache    *lruCache[*core.Result]
+	inflight map[string]*inflightCall
+	engines  *lruCache[*pooledEngine]
+	computes int // full explain computations run (observed by tests)
+
 	slices *sliceAPI
 }
+
+// inflightCall tracks one in-progress explain; late arrivals for the same
+// key wait on done instead of recomputing.
+type inflightCall struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// pooledEngine serializes use of one cached engine (engines are not safe
+// for concurrent use; distinct parameter combinations still explain in
+// parallel).
+type pooledEngine struct {
+	mu  sync.Mutex
+	eng *core.Engine
+}
+
+// resultCacheSize and enginePoolSize bound the caches: results are small,
+// engines hold full candidate universes.
+const (
+	resultCacheSize = 256
+	enginePoolSize  = 16
+)
 
 // New returns a ready-to-serve handler.
 func New() *Server {
 	s := &Server{
-		mux:    http.NewServeMux(),
-		cache:  make(map[string]*core.Result),
-		slices: newSliceAPI(),
+		mux:      http.NewServeMux(),
+		cache:    newLRU[*core.Result](resultCacheSize),
+		inflight: make(map[string]*inflightCall),
+		engines:  newLRU[*pooledEngine](enginePoolSize),
+		slices:   newSliceAPI(),
 	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/api/datasets", s.handleDatasets)
@@ -43,6 +76,7 @@ func New() *Server {
 	s.mux.HandleFunc("/api/recommend", s.handleRecommend)
 	s.mux.HandleFunc("/api/slice", s.handleSlice)
 	s.mux.HandleFunc("/api/diff", s.handleDiff)
+	s.mux.HandleFunc("/api/stream", s.handleStream)
 	s.mux.HandleFunc("/svg/trendlines", s.handleTrendlines)
 	s.mux.HandleFunc("/svg/kvariance", s.handleKVariance)
 	return s
@@ -52,11 +86,34 @@ func New() *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // demoNames lists the selectable datasets.
-var demoNames = []string{"covid", "covid-daily", "sp500", "liquor", "vax-deaths"}
+var demoNames = []string{"covid", "covid-daily", "sp500", "liquor", "vax-deaths", "stream"}
+
+// normalizeDataset canonicalizes dataset aliases so every alias shares
+// one cache key and one pooled engine ("covid-total" used to be cached —
+// and computed — separately from "covid").
+func normalizeDataset(name string) string {
+	switch name {
+	case "":
+		return "covid"
+	case "covid-total":
+		return "covid"
+	default:
+		return name
+	}
+}
+
+func validDataset(name string) bool {
+	for _, n := range demoNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
 
 func demoDataset(name string) (*datasets.Dataset, error) {
-	switch name {
-	case "covid", "covid-total":
+	switch normalizeDataset(name) {
+	case "covid":
 		return datasets.CovidTotal(), nil
 	case "covid-daily":
 		return datasets.CovidDaily(), nil
@@ -66,12 +123,15 @@ func demoDataset(name string) (*datasets.Dataset, error) {
 		return datasets.Liquor(), nil
 	case "vax-deaths":
 		return datasets.VaxDeaths(), nil
+	case "stream":
+		return datasets.Stream(datasets.StreamDays), nil
 	default:
 		return nil, fmt.Errorf("unknown dataset %q", name)
 	}
 }
 
-// params decodes the shared query parameters.
+// params decodes the shared query parameters. dataset is always in
+// normalized form.
 type params struct {
 	dataset string
 	k       int
@@ -81,9 +141,9 @@ type params struct {
 
 func parseParams(r *http.Request) (params, error) {
 	q := r.URL.Query()
-	p := params{dataset: q.Get("dataset")}
-	if p.dataset == "" {
-		p.dataset = "covid"
+	p := params{dataset: normalizeDataset(q.Get("dataset"))}
+	if !validDataset(p.dataset) {
+		return p, fmt.Errorf("unknown dataset %q", q.Get("dataset"))
 	}
 	var err error
 	if v := q.Get("k"); v != "" {
@@ -104,43 +164,96 @@ func (p params) key() string {
 	return fmt.Sprintf("%s|%d|%d|%v", p.dataset, p.k, p.smooth, p.vanilla)
 }
 
-// explainFor runs (or serves from cache) one explanation.
-func (s *Server) explainFor(p params) (*core.Result, error) {
-	s.mu.Lock()
-	if res, ok := s.cache[p.key()]; ok {
-		s.mu.Unlock()
-		return res, nil
-	}
-	s.mu.Unlock()
+// engineKey identifies the pooled engine: everything but K, which only
+// steers segmentation and is overridden per explain call.
+func (p params) engineKey() string {
+	return fmt.Sprintf("%s|%d|%v", p.dataset, p.smooth, p.vanilla)
+}
 
-	d, err := demoDataset(p.dataset)
-	if err != nil {
-		return nil, err
-	}
+// options assembles the engine options for the request (K excluded; it is
+// passed to ExplainWithK so one engine serves every K).
+func (p params) options(d *datasets.Dataset) core.Options {
 	var opts core.Options
 	if !p.vanilla {
 		opts = core.DefaultOptions()
 	}
 	opts.MaxOrder = d.MaxOrder
-	opts.K = p.k
 	opts.SmoothWindow = d.SmoothWindow
 	if p.smooth > 0 {
 		opts.SmoothWindow = p.smooth
 	}
-	eng, err := core.NewEngine(d.Rel, core.Query{
-		Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy,
-	}, opts)
-	if err != nil {
-		return nil, err
-	}
-	res, err := eng.Explain()
-	if err != nil {
-		return nil, err
-	}
+	return opts
+}
+
+// explainFor runs (or serves from cache) one explanation. Concurrent
+// requests for the same cold key share a single computation.
+func (s *Server) explainFor(p params) (*core.Result, error) {
+	key := p.key()
 	s.mu.Lock()
-	s.cache[p.key()] = res
+	if res, ok := s.cache.get(key); ok {
+		s.mu.Unlock()
+		return res, nil
+	}
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &inflightCall{done: make(chan struct{})}
+	s.inflight[key] = c
 	s.mu.Unlock()
-	return res, nil
+
+	// Deregister and wake waiters even if the computation panics (the
+	// HTTP server recovers per-connection panics; without the defer the
+	// key would stay in-flight forever and every later request for it
+	// would block on done).
+	defer func() {
+		if c.res == nil && c.err == nil {
+			// Reached only when computeExplain panicked: give waiters an
+			// error instead of a nil result.
+			c.err = fmt.Errorf("explain computation aborted")
+		}
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if c.err == nil {
+			s.cache.add(key, c.res)
+		}
+		s.mu.Unlock()
+		close(c.done)
+	}()
+	c.res, c.err = s.computeExplain(p)
+	return c.res, c.err
+}
+
+// computeExplain resolves the pooled engine for the request (building it
+// on first use) and runs one explain under the engine's lock.
+func (s *Server) computeExplain(p params) (*core.Result, error) {
+	ekey := p.engineKey()
+	s.mu.Lock()
+	pe, ok := s.engines.get(ekey)
+	if !ok {
+		pe = &pooledEngine{}
+		s.engines.add(ekey, pe)
+	}
+	s.computes++
+	s.mu.Unlock()
+
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	if pe.eng == nil {
+		d, err := demoDataset(p.dataset)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.NewEngine(d.Rel, core.Query{
+			Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy,
+		}, p.options(d))
+		if err != nil {
+			return nil, err
+		}
+		pe.eng = eng
+	}
+	return pe.eng.ExplainWithK(p.k)
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

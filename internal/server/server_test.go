@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -38,7 +39,7 @@ func TestDatasetsEndpoint(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Datasets) != 5 {
+	if len(out.Datasets) != 6 {
 		t.Errorf("datasets = %v", out.Datasets)
 	}
 }
@@ -70,16 +71,130 @@ func TestExplainEndpoint(t *testing.T) {
 func TestExplainCaching(t *testing.T) {
 	s := New()
 	get(t, s, "/api/explain?dataset=vax-deaths")
-	if len(s.cache) != 1 {
-		t.Fatalf("cache size = %d, want 1", len(s.cache))
+	if s.cache.len() != 1 {
+		t.Fatalf("cache size = %d, want 1", s.cache.len())
 	}
 	get(t, s, "/api/explain?dataset=vax-deaths")
-	if len(s.cache) != 1 {
+	if s.cache.len() != 1 {
 		t.Errorf("repeated request grew the cache")
 	}
+	if s.computes != 1 {
+		t.Errorf("computes = %d, want 1", s.computes)
+	}
 	get(t, s, "/api/explain?dataset=vax-deaths&k=2")
-	if len(s.cache) != 2 {
+	if s.cache.len() != 2 {
 		t.Errorf("distinct params should add a cache entry")
+	}
+	// The k=2 request must have reused the pooled engine, not built a
+	// second one.
+	if s.engines.len() != 1 {
+		t.Errorf("engine pool size = %d, want 1", s.engines.len())
+	}
+}
+
+func TestDatasetAliasSharesCache(t *testing.T) {
+	s := New()
+	rec := get(t, s, "/api/explain?dataset=covid-total")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var aliased explainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &aliased); err != nil {
+		t.Fatal(err)
+	}
+	if aliased.Dataset != "covid" {
+		t.Errorf("alias reported dataset %q, want normalized \"covid\"", aliased.Dataset)
+	}
+	rec = get(t, s, "/api/explain?dataset=covid")
+	var canonical explainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &canonical); err != nil {
+		t.Fatal(err)
+	}
+	if s.cache.len() != 1 {
+		t.Errorf("cache size = %d, want 1 (alias must share the canonical key)", s.cache.len())
+	}
+	if s.computes != 1 {
+		t.Errorf("computes = %d, want 1 (alias must not recompute)", s.computes)
+	}
+	if canonical.K != aliased.K || canonical.Variance != aliased.Variance {
+		t.Errorf("alias result differs: %+v vs %+v", aliased, canonical)
+	}
+}
+
+func TestConcurrentColdExplainsComputeOnce(t *testing.T) {
+	s := New()
+	const clients = 16
+	var wg sync.WaitGroup
+	codes := make([]int, clients)
+	bodies := make([]string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest("GET", "/api/explain?dataset=vax-deaths", nil)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			codes[i] = rec.Code
+			bodies[i] = rec.Body.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if codes[i] != 200 {
+			t.Fatalf("client %d: status %d: %s", i, codes[i], bodies[i])
+		}
+		if bodies[i] != bodies[0] {
+			t.Errorf("client %d got a different body", i)
+		}
+	}
+	if s.computes != 1 {
+		t.Errorf("computes = %d, want 1 (thundering herd must share one explain)", s.computes)
+	}
+	if s.cache.len() != 1 {
+		t.Errorf("cache size = %d, want 1", s.cache.len())
+	}
+}
+
+func TestStreamEndpoint(t *testing.T) {
+	s := New()
+	rec := get(t, s, "/api/stream?dataset=stream&start=100&step=5")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	// Initial snapshot plus ceil(20/5) updates.
+	if len(lines) != 5 {
+		t.Fatalf("got %d NDJSON lines, want 5: %s", len(lines), rec.Body.String())
+	}
+	var first, last streamUpdate
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if !first.Initial || first.N != 100 {
+		t.Errorf("first line = %+v, want initial snapshot at n=100", first)
+	}
+	if last.Error != "" || last.N != 120 || last.K < 2 {
+		t.Errorf("last line = %+v, want final update at n=120", last)
+	}
+	if len(last.Top) == 0 {
+		t.Errorf("last update reports no explanations")
+	}
+
+	for _, path := range []string{
+		"/api/stream?dataset=stream&start=1",
+		"/api/stream?dataset=stream&start=999",
+		"/api/stream?dataset=stream&step=0",
+		"/api/stream?dataset=bogus",
+	} {
+		if rec := get(t, s, path); rec.Code != 400 {
+			t.Errorf("%s: status = %d, want 400", path, rec.Code)
+		}
 	}
 }
 

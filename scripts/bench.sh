@@ -1,11 +1,15 @@
 #!/bin/sh
-# Runs the engine's hot-path micro-benchmarks and writes BENCH_engine.json
-# (ns/op, B/op, allocs/op per benchmark) at the repo root, so the perf
-# trajectory stays machine-readable across PRs.
+# Runs the engine's benchmarks and writes the machine-readable reports at
+# the repo root, so the perf trajectory stays trackable across PRs:
 #
-# Usage: scripts/bench.sh [extra benchjson flags...]
+#   BENCH_engine.json     hot-path micro-benchmarks (ns/op, B/op, allocs/op)
+#   BENCH_streaming.json  streaming replay: per-update latency of the
+#                         O(delta) append path vs the full-rebuild path
+#
+# Usage: scripts/bench.sh [extra benchjson flags for the micro run...]
 #   e.g. scripts/bench.sh -benchtime 5s
 #        scripts/bench.sh -bench 'BenchmarkPrecompute' -o /tmp/p.json
 set -eu
 cd "$(dirname "$0")/.."
-exec go run ./cmd/benchjson "$@"
+go run ./cmd/benchjson "$@"
+go run ./cmd/benchjson -mode streaming
