@@ -1,0 +1,199 @@
+// Command benchcmp gates performance regressions in CI: it diffs a
+// freshly generated benchmark JSON (cmd/benchjson output) against the
+// committed baseline at the repo root and exits non-zero when a hot path
+// regressed beyond the thresholds — by default >25% on latency or >2× on
+// allocations per op.
+//
+//	go run ./cmd/benchcmp -mode engine    -baseline BENCH_engine.json    -current /tmp/engine.json
+//	go run ./cmd/benchcmp -mode streaming -baseline BENCH_streaming.json -current /tmp/streaming.json
+//
+// Engine mode compares ns/op and allocs/op per benchmark (taking the
+// minimum across -count repetitions, so noisy runs only help); streaming
+// mode compares the append path's total and later-half latency plus the
+// append-vs-rebuild speedup. A benchmark present in the baseline but
+// missing from the current run fails the gate — silently dropping a
+// benchmark must not pass.
+//
+// To intentionally re-baseline after an accepted perf change, regenerate
+// the repo-root JSONs with scripts/bench.sh and commit them alongside the
+// change that explains the shift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Benchmark mirrors cmd/benchjson's per-benchmark record.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report mirrors the BENCH_engine.json document.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// StreamTotals and StreamReport mirror BENCH_streaming.json.
+type StreamTotals struct {
+	AppendNs int64   `json:"append_ns"`
+	Speedup  float64 `json:"speedup"`
+}
+
+type StreamReport struct {
+	Totals    StreamTotals `json:"totals"`
+	LaterHalf StreamTotals `json:"later_half"`
+}
+
+func main() {
+	mode := flag.String("mode", "engine", "engine (micro benchmarks) or streaming (append-path replay)")
+	baseline := flag.String("baseline", "", "committed baseline JSON (default depends on mode)")
+	current := flag.String("current", "", "freshly generated JSON to check")
+	maxLatency := flag.Float64("max-latency-ratio", 1.25, "fail when current/baseline latency exceeds this")
+	maxAllocs := flag.Float64("max-allocs-ratio", 2.0, "fail when current/baseline allocs/op exceeds this")
+	flag.Parse()
+
+	if *baseline == "" {
+		if *mode == "streaming" {
+			*baseline = "BENCH_streaming.json"
+		} else {
+			*baseline = "BENCH_engine.json"
+		}
+	}
+	if *current == "" {
+		fail("missing -current")
+	}
+
+	var violations []string
+	var err error
+	switch *mode {
+	case "engine":
+		violations, err = compareEngine(*baseline, *current, *maxLatency, *maxAllocs)
+	case "streaming":
+		violations, err = compareStreaming(*baseline, *current, *maxLatency)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d regression(s) beyond thresholds (latency ×%.2f, allocs ×%.2f):\n",
+			len(violations), *maxLatency, *maxAllocs)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		fmt.Fprintln(os.Stderr, "benchcmp: to intentionally re-baseline, regenerate with scripts/bench.sh and commit the new JSON")
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchcmp: %s within thresholds of %s\n", *current, *baseline)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcmp: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func load(path string, v any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, v)
+}
+
+// minByName folds repeated benchmark lines (-count > 1) to their best
+// run: the minimum is the least noisy estimate of the true cost.
+func minByName(benches []Benchmark) map[string]Benchmark {
+	out := make(map[string]Benchmark)
+	for _, b := range benches {
+		prev, ok := out[b.Name]
+		if !ok {
+			out[b.Name] = b
+			continue
+		}
+		if b.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = b.NsPerOp
+		}
+		if b.AllocsPerOp < prev.AllocsPerOp {
+			prev.AllocsPerOp = b.AllocsPerOp
+		}
+		out[b.Name] = prev
+	}
+	return out
+}
+
+func compareEngine(baselinePath, currentPath string, maxLatency, maxAllocs float64) ([]string, error) {
+	var base, cur Report
+	if err := load(baselinePath, &base); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := load(currentPath, &cur); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	baseBy := minByName(base.Benchmarks)
+	curBy := minByName(cur.Benchmarks)
+
+	var violations []string
+	for name, b := range baseBy {
+		c, ok := curBy[name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		if b.NsPerOp > 0 {
+			if ratio := c.NsPerOp / b.NsPerOp; ratio > maxLatency {
+				violations = append(violations, fmt.Sprintf(
+					"%s: latency %.0f → %.0f ns/op (×%.2f)", name, b.NsPerOp, c.NsPerOp, ratio))
+			}
+		}
+		if b.AllocsPerOp > 0 {
+			if ratio := float64(c.AllocsPerOp) / float64(b.AllocsPerOp); ratio > maxAllocs {
+				violations = append(violations, fmt.Sprintf(
+					"%s: allocs %d → %d /op (×%.2f)", name, b.AllocsPerOp, c.AllocsPerOp, ratio))
+			}
+		}
+	}
+	return violations, nil
+}
+
+// compareStreaming gates the O(delta) append path: total and later-half
+// append latency must stay within the latency threshold, and the
+// append-vs-rebuild speedup must not collapse (losing more than the
+// latency threshold's worth of its baseline value indicates the append
+// path degraded toward the rebuild path).
+func compareStreaming(baselinePath, currentPath string, maxLatency float64) ([]string, error) {
+	var base, cur StreamReport
+	if err := load(baselinePath, &base); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := load(currentPath, &cur); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	var violations []string
+	check := func(name string, b, c int64) {
+		if b <= 0 {
+			return
+		}
+		if ratio := float64(c) / float64(b); ratio > maxLatency {
+			violations = append(violations, fmt.Sprintf(
+				"%s: append latency %d → %d ns (×%.2f)", name, b, c, ratio))
+		}
+	}
+	check("totals", base.Totals.AppendNs, cur.Totals.AppendNs)
+	check("later_half", base.LaterHalf.AppendNs, cur.LaterHalf.AppendNs)
+	if base.LaterHalf.Speedup > 0 && !math.IsInf(base.LaterHalf.Speedup, 0) {
+		floor := base.LaterHalf.Speedup / maxLatency
+		if cur.LaterHalf.Speedup < floor {
+			violations = append(violations, fmt.Sprintf(
+				"later_half: append-vs-rebuild speedup %.1fx → %.1fx (floor %.1fx)",
+				base.LaterHalf.Speedup, cur.LaterHalf.Speedup, floor))
+		}
+	}
+	return violations, nil
+}

@@ -1,0 +1,438 @@
+// Command loadgen replays a mixed TSExplain workload — cold and warm
+// explains across datasets and K values, SVG renders, OLAP slices,
+// two-point diffs, and streaming replays — against the serving layer at a
+// fixed client concurrency, and writes BENCH_server.json with per-endpoint
+// latency quantiles (p50/p95/p99), throughput, status-code counts, and
+// the server's own shed/eviction counters scraped from /metrics.
+//
+// With -addr it targets a running server; without it, it starts an
+// in-process server (configurable shards/workers/queue/budget) so one
+// command produces a reproducible benchmark:
+//
+//	go run ./cmd/loadgen -clients 256 -duration 15s
+//	go run ./cmd/loadgen -addr http://127.0.0.1:8080 -clients 64
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "", "target server base URL; empty starts an in-process server")
+	clients := flag.Int("clients", 256, "concurrent client goroutines")
+	duration := flag.Duration("duration", 15*time.Second, "how long to drive load")
+	dsets := flag.String("datasets", "liquor,covid,stream", "comma-separated dataset mix")
+	mix := flag.String("mix", "explain=8,svg=1,slice=3,diff=2,stream=1", "weighted request mix")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	out := flag.String("o", "BENCH_server.json", "output file ('-' for stdout)")
+	// In-process server knobs (ignored with -addr).
+	shards := flag.Int("shards", 4, "in-process server: registry shards")
+	workers := flag.Int("workers", 0, "in-process server: workers per shard (0: auto)")
+	queue := flag.Int("queue", 16, "in-process server: queue depth per shard (-1: none)")
+	timeout := flag.Duration("timeout", 10*time.Second, "in-process server: per-request deadline")
+	budgetMB := flag.Int64("mem-budget-mb", 256, "in-process server: engine memory budget")
+	flag.Parse()
+
+	cfg := runConfig{
+		clients:  *clients,
+		duration: *duration,
+		datasets: strings.Split(*dsets, ","),
+		seed:     *seed,
+	}
+	var err error
+	if cfg.mix, err = parseMix(*mix); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	base := *addr
+	var shutdown func()
+	if base == "" {
+		base, shutdown, err = startInProcess(server.Config{
+			Shards:            *shards,
+			WorkersPerShard:   *workers,
+			QueueDepth:        *queue,
+			RequestTimeout:    *timeout,
+			MemoryBudgetBytes: *budgetMB << 20,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		cfg.server = fmt.Sprintf("in-process shards=%d workers=%d queue=%d budget=%dMiB timeout=%s",
+			*shards, *workers, *queue, *budgetMB, *timeout)
+	} else {
+		cfg.server = "external " + base
+	}
+
+	report, err := run(base, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s (%d requests, %.1f req/s, p95 %.1f ms)\n",
+		*out, report.Totals.Requests, report.Totals.RPS, report.Totals.P95Ms)
+}
+
+type runConfig struct {
+	clients  int
+	duration time.Duration
+	datasets []string
+	mix      []weightedClass
+	seed     int64
+	server   string
+}
+
+type weightedClass struct {
+	name   string
+	weight int
+}
+
+func parseMix(s string) ([]weightedClass, error) {
+	var out []weightedClass
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad mix entry %q (want class=weight)", part)
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		switch kv[0] {
+		case "explain", "svg", "slice", "diff", "stream":
+		default:
+			return nil, fmt.Errorf("unknown mix class %q", kv[0])
+		}
+		out = append(out, weightedClass{kv[0], w})
+	}
+	return out, nil
+}
+
+// startInProcess serves a fresh server.Config on a loopback listener.
+func startInProcess(cfg server.Config) (base string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: server.NewWithConfig(cfg)}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// sample is one finished request.
+type sample struct {
+	class string
+	code  int
+	ms    float64
+}
+
+func run(base string, cfg runConfig) (*Report, error) {
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.clients * 2,
+			MaxIdleConnsPerHost: cfg.clients * 2,
+		},
+	}
+
+	// Bootstrap: fetch each dataset's time labels (for diff endpoints)
+	// outside the measured window.
+	labels := make(map[string][]string)
+	for _, d := range cfg.datasets {
+		resp, err := client.Get(base + "/api/slice?dataset=" + d)
+		if err != nil {
+			return nil, fmt.Errorf("bootstrap %s: %w", d, err)
+		}
+		var out struct {
+			Labels []string `json:"labels"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil || len(out.Labels) < 4 {
+			return nil, fmt.Errorf("bootstrap %s: status %d, labels %d", d, resp.StatusCode, len(out.Labels))
+		}
+		labels[d] = out.Labels
+	}
+
+	var totalWeight int
+	for _, c := range cfg.mix {
+		totalWeight += c.weight
+	}
+	if totalWeight == 0 {
+		return nil, fmt.Errorf("empty workload mix")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+	perClient := make([][]sample, cfg.clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(i)))
+			for ctx.Err() == nil {
+				cls := pickClass(rng, cfg.mix, totalWeight)
+				url := buildURL(base, cls, rng, cfg.datasets, labels)
+				t0 := time.Now()
+				code := doRequest(ctx, client, url)
+				perClient[i] = append(perClient[i], sample{
+					class: cls, code: code, ms: float64(time.Since(t0).Microseconds()) / 1000,
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []sample
+	for _, s := range perClient {
+		all = append(all, s...)
+	}
+	report := buildReport(all, elapsed, cfg)
+	report.Metrics = scrapeMetrics(client, base)
+	return report, nil
+}
+
+func pickClass(rng *rand.Rand, mix []weightedClass, total int) string {
+	n := rng.Intn(total)
+	for _, c := range mix {
+		if n < c.weight {
+			return c.name
+		}
+		n -= c.weight
+	}
+	return mix[len(mix)-1].name
+}
+
+// ks and smooths span the warm/cold parameter space: repeated
+// combinations hit the result cache, new combinations reuse pooled
+// engines across K, and distinct smoothing windows force cold builds.
+var (
+	ks      = []int{0, 2, 3, 5, 8}
+	smooths = []int{0, 0, 0, 7}
+)
+
+func buildURL(base, class string, rng *rand.Rand, dsets []string, labels map[string][]string) string {
+	d := dsets[rng.Intn(len(dsets))]
+	switch class {
+	case "explain":
+		return fmt.Sprintf("%s/api/explain?dataset=%s&k=%d&smooth=%d",
+			base, d, ks[rng.Intn(len(ks))], smooths[rng.Intn(len(smooths))])
+	case "svg":
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("%s/svg/trendlines?dataset=%s", base, d)
+		}
+		return fmt.Sprintf("%s/svg/kvariance?dataset=%s", base, d)
+	case "slice":
+		return fmt.Sprintf("%s/api/slice?dataset=%s", base, d)
+	case "diff":
+		ls := labels[d]
+		from, to := len(ls)/4, len(ls)*3/4
+		return fmt.Sprintf("%s/api/diff?dataset=%s&from=%s&to=%s", base, d, ls[from], ls[to])
+	case "stream":
+		// A short replay: the tail of the stream dataset in large steps.
+		return fmt.Sprintf("%s/api/stream?dataset=stream&start=110&step=5", base)
+	}
+	return base + "/api/datasets"
+}
+
+// doRequest returns the response status (0 on transport errors). Bodies
+// are drained so connections are reused.
+func doRequest(ctx context.Context, client *http.Client, url string) int {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return 0
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// Report is the BENCH_server.json document.
+type Report struct {
+	GeneratedBy string                 `json:"generated_by"`
+	GoVersion   string                 `json:"go_version"`
+	GOOS        string                 `json:"goos"`
+	GOARCH      string                 `json:"goarch"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	Server      string                 `json:"server"`
+	Clients     int                    `json:"clients"`
+	DurationS   float64                `json:"duration_s"`
+	Datasets    []string               `json:"datasets"`
+	Mix         string                 `json:"mix"`
+	UnixTime    int64                  `json:"unix_time"`
+	Totals      ClassStats             `json:"totals"`
+	ByClass     map[string]*ClassStats `json:"by_class"`
+	Metrics     map[string]float64     `json:"server_metrics,omitempty"`
+}
+
+// ClassStats aggregates one request class (or all of them).
+type ClassStats struct {
+	Requests int            `json:"requests"`
+	RPS      float64        `json:"rps"`
+	Codes    map[string]int `json:"codes"`
+	MeanMs   float64        `json:"mean_ms"`
+	P50Ms    float64        `json:"p50_ms"`
+	P95Ms    float64        `json:"p95_ms"`
+	P99Ms    float64        `json:"p99_ms"`
+	MaxMs    float64        `json:"max_ms"`
+}
+
+func buildReport(all []sample, elapsed time.Duration, cfg runConfig) *Report {
+	r := &Report{
+		GeneratedBy: "cmd/loadgen",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Server:      cfg.server,
+		Clients:     cfg.clients,
+		DurationS:   elapsed.Seconds(),
+		Datasets:    cfg.datasets,
+		UnixTime:    time.Now().Unix(),
+		ByClass:     make(map[string]*ClassStats),
+	}
+	var mixParts []string
+	for _, c := range cfg.mix {
+		mixParts = append(mixParts, fmt.Sprintf("%s=%d", c.name, c.weight))
+	}
+	r.Mix = strings.Join(mixParts, ",")
+
+	byClass := make(map[string][]sample)
+	for _, s := range all {
+		byClass[s.class] = append(byClass[s.class], s)
+	}
+	r.Totals = classStats(all, elapsed)
+	for cls, samples := range byClass {
+		st := classStats(samples, elapsed)
+		r.ByClass[cls] = &st
+	}
+	return r
+}
+
+func classStats(samples []sample, elapsed time.Duration) ClassStats {
+	st := ClassStats{Requests: len(samples), Codes: make(map[string]int)}
+	if len(samples) == 0 {
+		return st
+	}
+	ms := make([]float64, 0, len(samples))
+	var sum float64
+	for _, s := range samples {
+		st.Codes[strconv.Itoa(s.code)]++
+		ms = append(ms, s.ms)
+		sum += s.ms
+	}
+	sort.Float64s(ms)
+	st.RPS = float64(len(samples)) / elapsed.Seconds()
+	st.MeanMs = sum / float64(len(ms))
+	st.P50Ms = quantile(ms, 0.50)
+	st.P95Ms = quantile(ms, 0.95)
+	st.P99Ms = quantile(ms, 0.99)
+	st.MaxMs = ms[len(ms)-1]
+	return st
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// scrapeMetrics pulls the server's own counters that matter for the
+// acceptance criteria: shed totals, evictions, and pooled engine bytes.
+func scrapeMetrics(client *http.Client, base string) map[string]float64 {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	out := make(map[string]float64)
+	keep := func(name string) bool {
+		switch name {
+		case "tsexplain_result_cache_hits_total", "tsexplain_result_cache_misses_total",
+			"tsexplain_singleflight_dedup_total", "tsexplain_engine_evictions_total",
+			"tsexplain_dataset_loads_total":
+			return true
+		}
+		return strings.HasPrefix(name, "tsexplain_shed_total") ||
+			strings.HasPrefix(name, "tsexplain_engine_pool_bytes") ||
+			strings.HasPrefix(name, "tsexplain_engine_pool_engines")
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		name := fields[0]
+		bare := name
+		if i := strings.IndexByte(bare, '{'); i >= 0 {
+			bare = bare[:i]
+		}
+		if !keep(bare) && !keep(name) {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		// Keep shed reasons separate; sum per-shard gauges into one
+		// number per metric family.
+		key := bare
+		if bare == "tsexplain_shed_total" {
+			if i := strings.Index(name, `reason="`); i >= 0 {
+				rest := name[i+len(`reason="`):]
+				if j := strings.IndexByte(rest, '"'); j >= 0 {
+					key = bare + "_" + rest[:j]
+				}
+			}
+		}
+		out[key] += v
+	}
+	return out
+}

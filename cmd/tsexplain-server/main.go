@@ -1,15 +1,20 @@
-// Command tsexplain-server runs the interactive TSExplain demo: a web
-// page where you pick a dataset, adjust K and smoothing, and see the
-// evolving-explanation trendlines, the K-Variance curve, the per-segment
-// explanation table, and the latency breakdown.
+// Command tsexplain-server runs the TSExplain serving layer: the
+// interactive demo page plus a production request path — sharded lazy
+// dataset registry, bounded per-shard worker pools with 429/503
+// back-pressure, per-request deadlines the engine observes, structured
+// request logs, and a Prometheus /metrics endpoint.
 //
 //	go run ./cmd/tsexplain-server -addr :8080
+//	go run ./cmd/tsexplain-server -shards 8 -workers 2 -queue 32 \
+//	    -request-timeout 10s -mem-budget-mb 512 -access-log
 package main
 
 import (
 	"flag"
+	"io"
 	"log"
 	"net/http"
+	"os"
 	"time"
 
 	"repro/internal/server"
@@ -17,13 +22,34 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	shards := flag.Int("shards", 0, "registry shards (0: default 4)")
+	workers := flag.Int("workers", 0, "worker slots per shard (0: GOMAXPROCS spread across shards)")
+	queue := flag.Int("queue", 0, "queued requests per shard before shedding 429 (0: default 64, -1: no queue)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline (0: default 30s)")
+	memBudgetMB := flag.Int64("mem-budget-mb", 0, "engine memory budget in MiB (0: default 1024)")
+	resultCache := flag.Int("result-cache", 0, "cached explain results (0: default 256)")
+	accessLog := flag.Bool("access-log", false, "write structured JSON request logs to stderr")
 	flag.Parse()
+
+	var logW io.Writer
+	if *accessLog {
+		logW = os.Stderr
+	}
+	handler := server.NewWithConfig(server.Config{
+		Shards:            *shards,
+		WorkersPerShard:   *workers,
+		QueueDepth:        *queue,
+		RequestTimeout:    *requestTimeout,
+		MemoryBudgetBytes: *memBudgetMB << 20,
+		ResultCacheSize:   *resultCache,
+		AccessLog:         logW,
+	})
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("TSExplain demo listening on http://%s", *addr)
+	log.Printf("TSExplain serving on http://%s (metrics at /metrics)", *addr)
 	log.Fatal(srv.ListenAndServe())
 }

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -232,10 +233,27 @@ type engineConfig struct {
 // NewEngine builds the engine: it enumerates candidate explanations,
 // precomputes their series, applies smoothing and the support filter.
 func NewEngine(rel *relation.Relation, q Query, opts Options) (*Engine, error) {
-	return newEngine(rel, q, opts, engineConfig{explainer: true})
+	return newEngine(nil, rel, q, opts, engineConfig{explainer: true})
 }
 
-func newEngine(rel *relation.Relation, q Query, opts Options, cfg engineConfig) (*Engine, error) {
+// NewEngineCtx is NewEngine with a cancellation context: candidate
+// enumeration polls ctx between units of work and aborts with ctx's error
+// when it is cancelled, so a request deadline bounds the expensive
+// universe build instead of letting it run to completion.
+func NewEngineCtx(ctx context.Context, rel *relation.Relation, q Query, opts Options) (*Engine, error) {
+	return newEngine(ctx, rel, q, opts, engineConfig{explainer: true})
+}
+
+// ctxCancelFunc adapts a context into the polling hook the lower layers
+// take; nil contexts poll as never-cancelled.
+func ctxCancelFunc(ctx context.Context) func() error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err
+}
+
+func newEngine(ctx context.Context, rel *relation.Relation, q Query, opts Options, cfg engineConfig) (*Engine, error) {
 	opts.setDefaults()
 	start := time.Now()
 	u, err := explain.NewUniverse(rel, explain.Config{
@@ -245,6 +263,7 @@ func newEngine(rel *relation.Relation, q Query, opts Options, cfg engineConfig) 
 		MaxOrder:    opts.MaxOrder,
 		Parallelism: opts.Parallelism,
 		Streaming:   cfg.streaming,
+		Cancel:      ctxCancelFunc(ctx),
 	})
 	if err != nil {
 		return nil, err
@@ -371,6 +390,23 @@ func (e *Engine) Explainer() *segment.Explainer { return e.exp }
 // counted once at construction rather than rescanned per call.
 func (e *Engine) FilteredCount() int { return e.filtered }
 
+// MemoryFootprint estimates the engine's heap cost in bytes: the
+// candidate universe's series arenas plus the per-segment explanation
+// cache's triangle. The serving layer's registry uses it to enforce a
+// memory budget across pooled engines; it is an estimate, tuned for
+// consistent relative cost rather than byte-exact accounting.
+func (e *Engine) MemoryFootprint() int64 {
+	b := e.u.ApproxBytes()
+	// Flat segment-cache triangle (n ≤ 1024): one generation-tagged slot
+	// per (c, t) pair; cached cascading results add to it as segments are
+	// solved, estimated at one picked-explanation record per slot.
+	n := int64(e.u.NumTimestamps())
+	b += n * (n + 1) / 2 * 24
+	// Filter bitmaps and first-qualifying positions.
+	b += int64(len(e.allowed)) + int64(len(e.firstKeep))*8
+	return b
+}
+
 // Explain runs the full pipeline and reports the evolving explanations.
 func (e *Engine) Explain() (*Result, error) {
 	return e.explainWithPositions(nil)
@@ -382,19 +418,34 @@ func (e *Engine) Explain() (*Result, error) {
 // the per-segment explanation cache is K-independent, so everything after
 // the first call reuses it.
 func (e *Engine) ExplainWithK(k int) (*Result, error) {
-	return e.explainPositionsK(nil, k)
+	return e.explainPositionsK(nil, nil, k)
+}
+
+// ExplainWithKCtx is ExplainWithK with a cancellation context: the
+// pipeline polls ctx between per-segment solves (the unit of expensive
+// work) and aborts with ctx's error once it is cancelled. An aborted
+// explain leaves the engine consistent — segments solved before the
+// cancellation stay cached and benefit the next call.
+func (e *Engine) ExplainWithKCtx(ctx context.Context, k int) (*Result, error) {
+	return e.explainPositionsK(ctx, nil, k)
 }
 
 // explainWithPositions runs segmentation restricted to the given cut
 // positions (nil means engine-managed: all positions, or the sketch when
 // O2 is on).
 func (e *Engine) explainWithPositions(positions []int) (*Result, error) {
-	return e.explainPositionsK(positions, e.opts.K)
+	return e.explainPositionsK(nil, positions, e.opts.K)
 }
 
 // explainPositionsK is the pipeline body behind Explain, ExplainWithK,
 // and the incremental position-restricted path.
-func (e *Engine) explainPositionsK(positions []int, fixedK int) (*Result, error) {
+func (e *Engine) explainPositionsK(ctx context.Context, positions []int, fixedK int) (*Result, error) {
+	cancel := ctxCancelFunc(ctx)
+	if cancel != nil {
+		if err := cancel(); err != nil {
+			return nil, err
+		}
+	}
 	n := e.u.NumTimestamps()
 	if n < 2 {
 		return nil, fmt.Errorf("core: series has %d points, nothing to explain", n)
@@ -436,11 +487,17 @@ func (e *Engine) explainPositionsK(positions []int, fixedK int) (*Result, error)
 				pos[i] = i
 			}
 		}
-		e.exp.PrewarmParallel(segment.SegmentPairs(pos, n, true), e.opts.Parallelism)
+		e.exp.PrewarmParallelCancel(segment.SegmentPairs(pos, n, true), e.opts.Parallelism, cancel)
+		if cancel != nil {
+			if err := cancel(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	dpRes, err := segment.Optimize(vc, segment.Options{
 		KMax:      e.opts.KMax,
 		Positions: positions,
+		Cancel:    cancel,
 	})
 	if err != nil {
 		return nil, err
@@ -477,6 +534,11 @@ func (e *Engine) explainPositionsK(positions []int, fixedK int) (*Result, error)
 		Labels:        e.rel.TimeLabels(),
 	}
 	for i := 1; i < len(scheme.Cuts); i++ {
+		if cancel != nil {
+			if err := cancel(); err != nil {
+				return nil, err
+			}
+		}
 		res.Segments = append(res.Segments, e.buildSegment(scheme.Cuts[i-1], scheme.Cuts[i]))
 	}
 

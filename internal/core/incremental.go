@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -36,11 +37,18 @@ type Incremental struct {
 // retained and extended in place by AppendRows/Append; it must not be
 // mutated elsewhere afterwards.
 func NewIncremental(rel *relation.Relation, q Query, opts Options) (*Incremental, *Result, error) {
-	eng, err := newEngine(rel, q, opts, engineConfig{explainer: true, streaming: true})
+	return NewIncrementalCtx(nil, rel, q, opts)
+}
+
+// NewIncrementalCtx is NewIncremental with a cancellation context: the
+// initial engine build and first explain observe ctx, so a streaming
+// client with an expired deadline does not pay for a full cold build.
+func NewIncrementalCtx(ctx context.Context, rel *relation.Relation, q Query, opts Options) (*Incremental, *Result, error) {
+	eng, err := newEngine(ctx, rel, q, opts, engineConfig{explainer: true, streaming: true})
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := eng.Explain()
+	res, err := eng.explainPositionsK(ctx, nil, eng.opts.K)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -234,7 +242,7 @@ func (inc *Incremental) Update(newRel *relation.Relation) (*Result, error) {
 	// data) while keeping the expensive per-segment explanation cache.
 	// engineConfig.explainer is false: the rebuilt engine adopts the live
 	// explainer instead of constructing one only to discard it.
-	fresh, err := newEngine(newRel, inc.query, inc.opts, engineConfig{streaming: true})
+	fresh, err := newEngine(nil, newRel, inc.query, inc.opts, engineConfig{streaming: true})
 	if err != nil {
 		return nil, err
 	}

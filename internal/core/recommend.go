@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/explain"
@@ -34,6 +35,13 @@ type AttributeScore struct {
 // movement is spread thinly across many values (e.g. "Vendor Name" for
 // liquor) rank low.
 func RecommendExplainBy(rel *relation.Relation, q Query) ([]AttributeScore, error) {
+	return RecommendExplainByCtx(nil, rel, q)
+}
+
+// RecommendExplainByCtx is RecommendExplainBy with a cancellation
+// context: the per-attribute universe builds observe ctx, so an expired
+// request stops screening instead of building every remaining dimension.
+func RecommendExplainByCtx(ctx context.Context, rel *relation.Relation, q Query) ([]AttributeScore, error) {
 	var out []AttributeScore
 	for d := 0; d < rel.NumDims(); d++ {
 		name := rel.Dim(d).Name()
@@ -42,6 +50,7 @@ func RecommendExplainBy(rel *relation.Relation, q Query) ([]AttributeScore, erro
 			Agg:       q.Agg,
 			ExplainBy: []string{name},
 			MaxOrder:  1,
+			Cancel:    ctxCancelFunc(ctx),
 		})
 		if err != nil {
 			return nil, err

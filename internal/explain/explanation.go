@@ -103,6 +103,11 @@ type Config struct {
 	// arrived rows in O(delta). One-shot universes leave it false and pay
 	// neither the headroom nor the retained plan state.
 	Streaming bool
+	// Cancel, when non-nil, is polled between units of enumeration work; a
+	// non-nil return aborts construction with that error. The serving
+	// layer passes ctx.Err here so a request deadline stops a half-built
+	// universe instead of letting it run to completion.
+	Cancel func() error
 }
 
 // candIndex resolves a conjunction to its candidate ID. When the relation
@@ -204,11 +209,21 @@ func NewUniverse(r *relation.Relation, cfg Config) (*Universe, error) {
 	// worker pool; the kernel orders each subset's groups by id tuple, so
 	// candidate IDs are deterministic and identical at any parallelism.
 	workers := cfg.Parallelism
+	cancel := cfg.Cancel
+	if cancel == nil {
+		cancel = func() error { return nil }
+	}
 	subsetList := subsets(dims, maxOrder)
 	plans := make([]*relation.GroupByPlan, len(subsetList))
 	runIndexed(len(subsetList), workers, func(i int) {
+		if cancel() != nil {
+			return
+		}
 		plans[i] = r.PlanGroupBy(subsetList[i], m)
 	})
+	if err := cancel(); err != nil {
+		return nil, err
+	}
 	T := r.NumTimestamps()
 	offsets := make([]int, len(plans)+1)
 	for i, p := range plans {
@@ -230,11 +245,14 @@ func NewUniverse(r *relation.Relation, cfg Config) (*Universe, error) {
 	}
 	u.raw = make([]relation.SumCount, slotCap*u.arenaCap)
 	runIndexed(len(plans), workers, func(i int) {
-		if plans[i].NumGroups() == 0 {
+		if plans[i].NumGroups() == 0 || cancel() != nil {
 			return
 		}
 		plans[i].FillArena(u.raw[offsets[i]*u.arenaCap:(offsets[i]+plans[i].NumGroups())*u.arenaCap], u.arenaCap)
 	})
+	if err := cancel(); err != nil {
+		return nil, err
+	}
 	u.cands = make([]*Candidate, 0, totalGroups)
 	for si, p := range plans {
 		subset := subsetList[si]
@@ -416,6 +434,24 @@ func (u *Universe) Children(parentKey string, dim int) []int {
 
 // NumTimestamps returns n, the length of the aggregated series.
 func (u *Universe) NumTimestamps() int { return len(u.total) }
+
+// ApproxBytes estimates the heap footprint of the universe's bulk state:
+// the raw candidate-series arena, the smoothed views and prefix sums, and
+// the candidate records. It deliberately ignores small fixed overheads —
+// the serving layer's memory budget only needs a consistent relative cost
+// per pooled engine, not an exact accounting.
+func (u *Universe) ApproxBytes() int64 {
+	const scSize = 16 // relation.SumCount: two float64s
+	b := int64(cap(u.raw)+cap(u.rawTotal)) * scSize
+	if u.smooth != nil {
+		b += int64(cap(u.smooth.arena)+cap(u.smooth.total)+
+			cap(u.smooth.prefix)+cap(u.smooth.totPrefix)) * scSize
+	}
+	// Candidate records, conjunctions, index entries, and adjacency: ~96
+	// bytes each on 64-bit platforms, measured coarsely.
+	b += int64(len(u.cands)) * 96
+	return b
+}
 
 // TotalSeries returns the decomposed overall aggregate per timestamp.
 func (u *Universe) TotalSeries() []relation.SumCount { return u.total }

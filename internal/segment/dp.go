@@ -52,6 +52,11 @@ type Options struct {
 	// MaxSegmentLen bounds the length (in points) of any segment; 0 means
 	// unbounded. Sketch selection uses L = min(0.05n, 20).
 	MaxSegmentLen int
+	// Cancel, when non-nil, is polled between variance evaluations (each
+	// may trigger a Cascading Analysts solve); a non-nil return aborts the
+	// DP with that error so a request deadline stops the O(q²) solve
+	// sweep instead of letting it run to completion.
+	Cancel func() error
 }
 
 // Optimize solves the K-Segmentation problem (Problem 1) with the dynamic
@@ -86,6 +91,10 @@ func Optimize(vc *VarCalc, opts Options) (DPResult, error) {
 	// the DP's inner loop reads a slice instead of hitting the cache map
 	// K times per pair. wt[i][i-1-j] = |P|·var over [pos[j], pos[i]] for
 	// every admissible predecessor j (jlo[i] ≤ j < i).
+	cancel := opts.Cancel
+	if cancel == nil {
+		cancel = func() error { return nil }
+	}
 	jlo := make([]int, q)
 	wt := make([][]float64, q)
 	for i := 1; i < q; i++ {
@@ -98,6 +107,9 @@ func Optimize(vc *VarCalc, opts Options) (DPResult, error) {
 		jlo[i] = lo
 		row := make([]float64, i-lo)
 		for j := i - 1; j >= lo; j-- {
+			if err := cancel(); err != nil {
+				return DPResult{}, err
+			}
 			row[i-1-j] = vc.Weighted(pos[j], pos[i])
 		}
 		wt[i] = row
@@ -124,6 +136,9 @@ func Optimize(vc *VarCalc, opts Options) (DPResult, error) {
 		par[1][i] = 0
 	}
 	for k := 2; k <= kmax; k++ {
+		if err := cancel(); err != nil {
+			return DPResult{}, err
+		}
 		Dprev := D[k-1]
 		for i := k; i < q; i++ {
 			best := inf

@@ -3,6 +3,7 @@ package segment
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cascading"
@@ -20,8 +21,22 @@ import (
 // counter, so the Figure 15 breakdown reports CPU time when parallelism
 // is on.
 func (e *Explainer) PrewarmParallel(segs [][2]int, workers int) int {
+	return e.PrewarmParallelCancel(segs, workers, nil)
+}
+
+// PrewarmParallelCancel is PrewarmParallel with a cancellation hook:
+// cancel (when non-nil) is polled before each segment solve, and a
+// non-nil return makes every worker stop picking up new segments.
+// Segments solved before the cancellation are still cached — the cache
+// stays consistent, the work simply stops early — and the count of
+// completed solves is returned. The caller is expected to surface the
+// cancellation error itself.
+func (e *Explainer) PrewarmParallelCancel(segs [][2]int, workers int, cancel func() error) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if cancel == nil {
+		cancel = func() error { return nil }
 	}
 	var todo [][2]int
 	for _, s := range segs {
@@ -39,10 +54,12 @@ func (e *Explainer) PrewarmParallel(segs [][2]int, workers int) int {
 	type done struct {
 		seg [2]int
 		res cascading.Result
+		ok  bool
 	}
 	results := make([]done, len(todo))
 	var caTimes = make([]time.Duration, workers)
 	var rounds = make([]int, workers)
+	var stopped atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -51,6 +68,13 @@ func (e *Explainer) PrewarmParallel(segs [][2]int, workers int) int {
 			solver := cascading.NewSolver(e.u, e.solver.Metric(), e.m)
 			start := time.Now()
 			for i := w; i < len(todo); i += workers {
+				if stopped.Load() {
+					break
+				}
+				if cancel() != nil {
+					stopped.Store(true)
+					break
+				}
 				seg := todo[i]
 				var res cascading.Result
 				if e.useGuess {
@@ -60,22 +84,27 @@ func (e *Explainer) PrewarmParallel(segs [][2]int, workers int) int {
 				} else {
 					res = solver.Solve(seg[0], seg[1], e.allowed)
 				}
-				results[i] = done{seg: seg, res: res}
+				results[i] = done{seg: seg, res: res, ok: true}
 			}
 			caTimes[w] = time.Since(start)
 		}(w)
 	}
 	wg.Wait()
 
+	solved := 0
 	for i := range results {
+		if !results[i].ok {
+			continue
+		}
 		e.cache.put(results[i].seg[0], results[i].seg[1], results[i].res)
+		solved++
 	}
 	for w := 0; w < workers; w++ {
 		e.caTime += caTimes[w]
 		e.caRounds += rounds[w]
 	}
-	e.caSolves += len(todo)
-	return len(todo)
+	e.caSolves += solved
+	return solved
 }
 
 // SegmentPairs enumerates every segment the segmentation DP will need

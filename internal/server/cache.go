@@ -52,3 +52,21 @@ func (c *lruCache[V]) add(key string, val V) {
 
 // len returns the number of cached entries.
 func (c *lruCache[V]) len() int { return c.ll.Len() }
+
+// evictOldest removes and returns the least recently used entry for which
+// evictable returns true, scanning from cold to hot. The registry uses it
+// for memory-budget eviction: pinned engines (in-flight requests) report
+// not-evictable and are skipped, so shedding memory never yanks an engine
+// out from under a request.
+func (c *lruCache[V]) evictOldest(evictable func(V) bool) (V, bool) {
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		ent := el.Value.(*lruEntry[V])
+		if evictable(ent.val) {
+			c.ll.Remove(el)
+			delete(c.items, ent.key)
+			return ent.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is the server's observability spine: request counters and
+// latency histograms per endpoint, cache/singleflight/eviction counters,
+// and load-shedding totals, exported in Prometheus text format from
+// /metrics without any dependency beyond the standard library. Gauges
+// (pool occupancy, queue depth, memory use) are read from the registry at
+// scrape time rather than tracked here.
+type metrics struct {
+	mu       sync.Mutex
+	reqCount map[string]map[int]int64 // endpoint -> status code -> count
+	latency  map[string]*latencyHist  // endpoint -> histogram (seconds)
+
+	cacheHits     atomic.Int64 // result-cache hits
+	cacheMisses   atomic.Int64 // result-cache misses (explain computed or deduped)
+	dedups        atomic.Int64 // singleflight waiters served by another request's compute
+	evictions     atomic.Int64 // engines evicted under the memory budget
+	datasetLoads  atomic.Int64 // lazy dataset materializations
+	shedQueueFull atomic.Int64 // requests rejected with 429 (queue full)
+	shedDeadline  atomic.Int64 // requests failed with 503 (deadline/cancel)
+}
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning the
+// sub-millisecond warm-cache path to multi-second cold builds.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+type latencyHist struct {
+	buckets []int64 // one counter per latencyBuckets entry
+	count   int64
+	sum     float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		reqCount: make(map[string]map[int]int64),
+		latency:  make(map[string]*latencyHist),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(endpoint string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.reqCount[endpoint]
+	if byCode == nil {
+		byCode = make(map[int]int64)
+		m.reqCount[endpoint] = byCode
+	}
+	byCode[code]++
+	h := m.latency[endpoint]
+	if h == nil {
+		h = &latencyHist{buckets: make([]int64, len(latencyBuckets))}
+		m.latency[endpoint] = h
+	}
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			h.buckets[i]++
+		}
+	}
+	h.count++
+	h.sum += seconds
+}
+
+// shardGauges is one shard's point-in-time state, read at scrape.
+type shardGauges struct {
+	engines    int   // pooled engines resident
+	memBytes   int64 // estimated bytes used by resident engines
+	queueDepth int64 // requests waiting for a worker slot
+	busy       int64 // worker slots in use
+	results    int   // result-cache entries
+}
+
+// write renders everything in Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, shards []shardGauges) {
+	m.mu.Lock()
+	endpoints := make([]string, 0, len(m.reqCount))
+	for ep := range m.reqCount {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+
+	fmt.Fprintln(w, "# HELP tsexplain_http_requests_total Finished HTTP requests by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE tsexplain_http_requests_total counter")
+	for _, ep := range endpoints {
+		codes := make([]int, 0, len(m.reqCount[ep]))
+		for c := range m.reqCount[ep] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "tsexplain_http_requests_total{endpoint=%q,code=%q} %d\n",
+				ep, strconv.Itoa(c), m.reqCount[ep][c])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP tsexplain_http_request_duration_seconds Request latency by endpoint.")
+	fmt.Fprintln(w, "# TYPE tsexplain_http_request_duration_seconds histogram")
+	hists := make([]string, 0, len(m.latency))
+	for ep := range m.latency {
+		hists = append(hists, ep)
+	}
+	sort.Strings(hists)
+	for _, ep := range hists {
+		h := m.latency[ep]
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(w, "tsexplain_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, strconv.FormatFloat(ub, 'g', -1, 64), h.buckets[i])
+		}
+		fmt.Fprintf(w, "tsexplain_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.count)
+		fmt.Fprintf(w, "tsexplain_http_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "tsexplain_http_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.count)
+	}
+	m.mu.Unlock()
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("tsexplain_result_cache_hits_total", "Explain results served from the result cache.", m.cacheHits.Load())
+	counter("tsexplain_result_cache_misses_total", "Explain requests that missed the result cache.", m.cacheMisses.Load())
+	counter("tsexplain_singleflight_dedup_total", "Requests that waited on another request's in-flight compute.", m.dedups.Load())
+	counter("tsexplain_engine_evictions_total", "Engines evicted to stay within the memory budget.", m.evictions.Load())
+	counter("tsexplain_dataset_loads_total", "Datasets materialized lazily on first request.", m.datasetLoads.Load())
+	fmt.Fprintln(w, "# HELP tsexplain_shed_total Requests shed by admission control, by reason.")
+	fmt.Fprintln(w, "# TYPE tsexplain_shed_total counter")
+	fmt.Fprintf(w, "tsexplain_shed_total{reason=\"queue_full\"} %d\n", m.shedQueueFull.Load())
+	fmt.Fprintf(w, "tsexplain_shed_total{reason=\"deadline\"} %d\n", m.shedDeadline.Load())
+
+	gauge := func(name, help string, per func(shardGauges) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for i, g := range shards {
+			fmt.Fprintf(w, "%s{shard=%q} %d\n", name, strconv.Itoa(i), per(g))
+		}
+	}
+	gauge("tsexplain_engine_pool_engines", "Pooled engines resident per shard.",
+		func(g shardGauges) int64 { return int64(g.engines) })
+	gauge("tsexplain_engine_pool_bytes", "Estimated bytes held by pooled engines per shard.",
+		func(g shardGauges) int64 { return g.memBytes })
+	gauge("tsexplain_queue_depth", "Requests waiting for a worker slot per shard.",
+		func(g shardGauges) int64 { return g.queueDepth })
+	gauge("tsexplain_workers_busy", "Worker slots in use per shard.",
+		func(g shardGauges) int64 { return g.busy })
+	gauge("tsexplain_result_cache_entries", "Result-cache entries per shard.",
+		func(g shardGauges) int64 { return int64(g.results) })
+}

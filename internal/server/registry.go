@@ -1,0 +1,469 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+)
+
+// Back-pressure sentinels. errQueueFull maps to 429 (the client should
+// retry with backoff); context errors map to 503 (the request's deadline
+// expired while queued or mid-compute).
+var errQueueFull = errors.New("server overloaded: admission queue full")
+
+// registry is the sharded serving substrate behind every compute
+// endpoint: datasets load lazily on first request, engines pool per
+// (dataset, smoothing, optimization) key inside the shard that owns the
+// key, and each shard bounds its concurrent work with a worker pool and
+// admission queue. Sharding cuts lock contention — requests for different
+// shards never touch the same mutex — and gives eviction and admission
+// natural local scope.
+type registry struct {
+	shards []*shard
+	met    *metrics
+
+	// requestTimeout bounds detached singleflight computes (see explain).
+	requestTimeout time.Duration
+
+	// computes counts full explain computations (observed by tests and
+	// the singleflight assertions).
+	computes atomic.Int64
+
+	// datasets are materialized once and kept forever: they are small
+	// relative to engines, and every engine for a dataset shares one
+	// relation. dmu guards only the map; each entry materializes under
+	// its own once, so a slow cold load (liquor) never stalls requests
+	// for other datasets behind a global lock.
+	dmu   sync.Mutex
+	dsets map[string]*datasetEntry
+}
+
+// datasetEntry is one lazily materialized dataset.
+type datasetEntry struct {
+	once sync.Once
+	d    *datasets.Dataset
+	err  error
+}
+
+// shard owns a disjoint slice of the key space.
+type shard struct {
+	met *metrics
+
+	mu        sync.Mutex
+	engines   *lruCache[*engineEntry]
+	results   *lruCache[*core.Result]
+	inflight  map[string]*inflightCall
+	memUsed   int64
+	memBudget int64
+
+	// Admission: sem holds one token per running request; waiting counts
+	// requests queued for a token, capped at queueLimit.
+	sem        chan struct{}
+	queueLimit int64
+	waiting    atomic.Int64
+	busy       atomic.Int64
+}
+
+// engineEntry is one pooled engine. lock serializes use (engines are not
+// safe for concurrent use) and, unlike a mutex, can be abandoned when the
+// waiter's context expires. pins counts requests holding or waiting for
+// the entry; eviction skips pinned entries, so an engine is never dropped
+// with a request in flight.
+type engineEntry struct {
+	key  string
+	lock chan struct{}
+	eng  *core.Engine
+	cost int64
+	pins atomic.Int32
+}
+
+// inflightCall tracks one in-progress explain; late arrivals for the same
+// key wait on done instead of recomputing.
+type inflightCall struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+func newRegistry(cfg Config, met *metrics) *registry {
+	g := &registry{
+		met:            met,
+		requestTimeout: cfg.RequestTimeout,
+		dsets:          make(map[string]*datasetEntry),
+	}
+	perShardResults := cfg.ResultCacheSize / cfg.Shards
+	if perShardResults < 8 {
+		perShardResults = 8
+	}
+	perShardBudget := cfg.MemoryBudgetBytes / int64(cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		g.shards = append(g.shards, &shard{
+			met: met,
+			// The engine pool is bounded by the memory budget, not an
+			// entry count; give the LRU effectively unbounded capacity.
+			engines:    newLRU[*engineEntry](1 << 30),
+			results:    newLRU[*core.Result](perShardResults),
+			inflight:   make(map[string]*inflightCall),
+			memBudget:  perShardBudget,
+			sem:        make(chan struct{}, cfg.WorkersPerShard),
+			queueLimit: int64(cfg.QueueDepth),
+		})
+	}
+	return g
+}
+
+// shardFor maps a key to its owning shard (FNV-1a).
+func (g *registry) shardFor(key string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return g.shards[int(h.Sum32())%len(g.shards)]
+}
+
+// dataset returns the named demo dataset, materializing it on first
+// request. Unlike the old eager path, a server that never sees liquor
+// traffic never pays for building the liquor relation. Concurrent first
+// requests for the same dataset share one materialization; different
+// datasets materialize independently.
+func (g *registry) dataset(name string) (*datasets.Dataset, error) {
+	g.dmu.Lock()
+	e, ok := g.dsets[name]
+	if !ok {
+		e = &datasetEntry{}
+		g.dsets[name] = e
+	}
+	g.dmu.Unlock()
+	e.once.Do(func() {
+		e.d, e.err = demoDataset(name)
+		if e.err == nil {
+			g.met.datasetLoads.Add(1)
+		}
+	})
+	return e.d, e.err
+}
+
+// admit reserves one worker slot on the shard, queueing when all slots
+// are busy. It fails fast with errQueueFull once queueLimit requests are
+// already waiting, and with ctx's error if the request's deadline expires
+// while queued. The returned release must be called exactly once.
+func (sh *shard) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case sh.sem <- struct{}{}:
+		sh.busy.Add(1)
+		return sh.release, nil
+	default:
+	}
+	if sh.waiting.Add(1) > sh.queueLimit {
+		sh.waiting.Add(-1)
+		sh.met.shedQueueFull.Add(1)
+		return nil, errQueueFull
+	}
+	defer sh.waiting.Add(-1)
+	select {
+	case sh.sem <- struct{}{}:
+		sh.busy.Add(1)
+		return sh.release, nil
+	case <-ctx.Done():
+		sh.met.shedDeadline.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+func (sh *shard) release() {
+	sh.busy.Add(-1)
+	<-sh.sem
+}
+
+// explain serves one explanation: result cache, then singleflight, then
+// an admitted compute on a pooled engine. Warm hits return without
+// touching admission at all, so cached traffic never occupies a worker
+// slot.
+func (g *registry) explain(ctx context.Context, p params) (*core.Result, error) {
+	sh := g.shardFor(p.engineKey())
+	key := p.key()
+
+	sh.mu.Lock()
+	if res, ok := sh.results.get(key); ok {
+		sh.mu.Unlock()
+		g.met.cacheHits.Add(1)
+		return res, nil
+	}
+	g.met.cacheMisses.Add(1)
+	if c, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		g.met.dedups.Add(1)
+		select {
+		case <-c.done:
+			return c.res, c.err
+		case <-ctx.Done():
+			g.met.shedDeadline.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+	c := &inflightCall{done: make(chan struct{})}
+	sh.inflight[key] = c
+	sh.mu.Unlock()
+
+	// Deregister and wake waiters even if the computation panics (the
+	// HTTP server recovers per-connection panics; without the defer the
+	// key would stay in-flight forever and every later request for it
+	// would block on done).
+	defer func() {
+		if c.res == nil && c.err == nil {
+			c.err = errors.New("explain computation aborted")
+		}
+		sh.mu.Lock()
+		delete(sh.inflight, key)
+		if c.err == nil {
+			sh.results.add(key, c.res)
+		}
+		sh.mu.Unlock()
+		close(c.done)
+	}()
+
+	// The compute is shared by every deduped waiter, so it must not die
+	// with the leader's client: it runs detached from the leader's
+	// cancellation, bounded by its own RequestTimeout-length deadline. A
+	// leader that hangs up leaves the compute finishing (and caching) for
+	// the waiters; a genuine deadline still aborts it mid-engine.
+	cctx, ccancel := context.WithTimeout(context.WithoutCancel(ctx), g.requestTimeout)
+	defer ccancel()
+	c.res, c.err = g.compute(cctx, sh, p)
+	if c.err != nil {
+		return nil, c.err
+	}
+	// The leader's own client may have expired while the shared compute
+	// ran; report that truthfully without poisoning the cached result.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.res, nil
+}
+
+// countIfDeadline attributes a compute-phase abort (engine build or
+// explain cancelled by the request's context) to the deadline-shed
+// counter; the queued-wait paths count themselves at their select sites.
+func (g *registry) countIfDeadline(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		g.met.shedDeadline.Add(1)
+	}
+}
+
+// compute resolves the pooled engine for the request (building it on
+// first use, under the compute context) and runs one explain. Lock
+// ordering matters for admission fairness: the engine's serialization
+// lock is acquired BEFORE a worker slot, so a request queued behind a
+// busy engine waits without occupying a slot — one slow cold engine
+// cannot absorb a shard's whole worker pool while the CPU sits idle.
+// Every slot-taking path orders entry-lock → slot, so there is no cycle.
+func (g *registry) compute(ctx context.Context, sh *shard, p params) (*core.Result, error) {
+	ent, unlock, err := g.lockEntry(ctx, sh, p.engineKey())
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	releaseSlot, err := sh.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer releaseSlot()
+	if err := g.buildLocked(ctx, sh, ent, func(ctx context.Context) (*core.Engine, error) {
+		d, err := g.dataset(p.dataset)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewEngineCtx(ctx, d.Rel, core.Query{
+			Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy,
+		}, p.options(d))
+	}); err != nil {
+		return nil, err
+	}
+	g.computes.Add(1)
+	res, err := ent.eng.ExplainWithKCtx(ctx, p.k)
+	if err != nil {
+		g.countIfDeadline(err)
+	}
+	return res, err
+}
+
+// engineExclusive resolves a pooled engine for a request that drives it
+// directly (diff): entry lock, then worker slot, then build if cold. The
+// engine stays locked — and the slot held — until release is called. The
+// deferred cleanups make a panicking build release the lock, pin, and
+// slot instead of leaking them past net/http's recover.
+func (g *registry) engineExclusive(ctx context.Context, ekey string, build func(context.Context) (*core.Engine, error)) (*core.Engine, func(), error) {
+	sh := g.shardFor(ekey)
+	ent, unlock, err := g.lockEntry(ctx, sh, ekey)
+	if err != nil {
+		return nil, nil, err
+	}
+	acquired := false
+	defer func() {
+		if !acquired {
+			unlock()
+		}
+	}()
+	releaseSlot, err := sh.admit(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		if !acquired {
+			releaseSlot()
+		}
+	}()
+	if err := g.buildLocked(ctx, sh, ent, build); err != nil {
+		return nil, nil, err
+	}
+	acquired = true
+	return ent.eng, func() { releaseSlot(); unlock() }, nil
+}
+
+// engineShared resolves a pooled engine for read-only use of its
+// immutable post-build state (slice traffic reads the candidate
+// universe). A cold engine is built under the entry lock and a worker
+// slot; once built, the lock and slot are released immediately and only
+// the pin is kept for the request's duration, so concurrent readers
+// share the engine without serializing on it or occupying slots.
+func (g *registry) engineShared(ctx context.Context, ekey string, build func(context.Context) (*core.Engine, error)) (*core.Engine, func(), error) {
+	sh := g.shardFor(ekey)
+	ent, unlock, err := g.lockEntry(ctx, sh, ekey)
+	if err != nil {
+		return nil, nil, err
+	}
+	shared := false
+	defer func() {
+		if !shared {
+			unlock() // error or panicking build: release lock and pin
+		}
+	}()
+	if ent.eng == nil {
+		releaseSlot, err := sh.admit(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		err = func() error {
+			defer releaseSlot()
+			return g.buildLocked(ctx, sh, ent, build)
+		}()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	eng := ent.eng
+	shared = true
+	// Drop the lock but keep the pin: the engine cannot be evicted while
+	// the reader holds it, and writers (diff) still serialize on the lock.
+	<-ent.lock
+	return eng, func() { ent.pins.Add(-1) }, nil
+}
+
+// lockEntry returns the shard's entry for ekey with its lock held and a
+// pin taken. The pin spans the lock wait as well, so an entry a request
+// is queued on cannot be evicted either. unlock releases both.
+func (g *registry) lockEntry(ctx context.Context, sh *shard, ekey string) (*engineEntry, func(), error) {
+	sh.mu.Lock()
+	ent, ok := sh.engines.get(ekey)
+	if !ok {
+		ent = &engineEntry{key: ekey, lock: make(chan struct{}, 1)}
+		sh.engines.add(ekey, ent)
+	}
+	ent.pins.Add(1)
+	sh.mu.Unlock()
+
+	select {
+	case ent.lock <- struct{}{}:
+	case <-ctx.Done():
+		ent.pins.Add(-1)
+		g.met.shedDeadline.Add(1)
+		return nil, nil, ctx.Err()
+	}
+	unlock := func() {
+		<-ent.lock
+		ent.pins.Add(-1)
+	}
+	return ent, unlock, nil
+}
+
+// buildLocked materializes the entry's engine if it is still cold. It
+// must be called with the entry lock held and a worker slot admitted;
+// the freshly charged cost triggers an eviction pass on the shard.
+func (g *registry) buildLocked(ctx context.Context, sh *shard, ent *engineEntry, build func(context.Context) (*core.Engine, error)) error {
+	if ent.eng != nil {
+		return nil
+	}
+	eng, err := build(ctx)
+	if err != nil {
+		g.countIfDeadline(err)
+		return err
+	}
+	ent.eng = eng
+	ent.cost = eng.MemoryFootprint()
+	sh.mu.Lock()
+	sh.memUsed += ent.cost
+	sh.evictOverBudgetLocked()
+	sh.mu.Unlock()
+	return nil
+}
+
+// evictOverBudgetLocked sheds cold engines until the shard is back under
+// its memory budget. Pinned entries (requests in flight or queued on the
+// engine) are never evicted, so a shard whose budget is exceeded entirely
+// by pinned engines temporarily stays over budget and converges once the
+// requests drain.
+func (sh *shard) evictOverBudgetLocked() {
+	for sh.memUsed > sh.memBudget {
+		ent, ok := sh.engines.evictOldest(func(e *engineEntry) bool {
+			return e.pins.Load() == 0
+		})
+		if !ok {
+			return
+		}
+		sh.memUsed -= ent.cost
+		sh.met.evictions.Add(1)
+	}
+}
+
+// gauges snapshots per-shard state for the /metrics scrape.
+func (g *registry) gauges() []shardGauges {
+	out := make([]shardGauges, len(g.shards))
+	for i, sh := range g.shards {
+		sh.mu.Lock()
+		out[i] = shardGauges{
+			engines:    sh.engines.len(),
+			memBytes:   sh.memUsed,
+			results:    sh.results.len(),
+			queueDepth: sh.waiting.Load(),
+			busy:       sh.busy.Load(),
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// resultEntries and engineEntries sum cache sizes across shards
+// (observed by tests).
+func (g *registry) resultEntries() int {
+	n := 0
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+		n += sh.results.len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (g *registry) engineEntries() int {
+	n := 0
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+		n += sh.engines.len()
+		sh.mu.Unlock()
+	}
+	return n
+}

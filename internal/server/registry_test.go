@@ -1,0 +1,440 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testConfig returns a single-shard config so tests can reason about one
+// worker pool and one engine pool without hashing surprises.
+func testConfig() Config {
+	return Config{Shards: 1, WorkersPerShard: 1, QueueDepth: -1}
+}
+
+func bg() context.Context { return context.Background() }
+
+func TestAdmitQueueFull(t *testing.T) {
+	s := NewWithConfig(Config{Shards: 1, WorkersPerShard: 1, QueueDepth: 1})
+	sh := s.reg.shards[0]
+
+	rel1, err := sh.admit(bg())
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	// Second request queues (async; it will get the slot when rel1 runs).
+	var wg sync.WaitGroup
+	wg.Add(1)
+	queuedDone := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		rel2, err := sh.admit(bg())
+		if err != nil {
+			t.Errorf("queued admit: %v", err)
+			return
+		}
+		close(queuedDone)
+		rel2()
+	}()
+	// Wait for the goroutine to be counted as waiting.
+	deadline := time.Now().Add(2 * time.Second)
+	for sh.waiting.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never registered as waiting")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Third request exceeds the queue limit and is shed immediately.
+	if _, err := sh.admit(bg()); err != errQueueFull {
+		t.Fatalf("over-limit admit: err = %v, want errQueueFull", err)
+	}
+	if got := s.met.shedQueueFull.Load(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+	rel1()
+	wg.Wait()
+	select {
+	case <-queuedDone:
+	default:
+		t.Error("queued request never acquired the released slot")
+	}
+}
+
+func TestAdmitDeadlineWhileQueued(t *testing.T) {
+	s := NewWithConfig(Config{Shards: 1, WorkersPerShard: 1, QueueDepth: 4})
+	sh := s.reg.shards[0]
+	release, err := sh.admit(bg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(bg(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := sh.admit(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("queued admit past deadline: err = %v, want DeadlineExceeded", err)
+	}
+	if got := s.met.shedDeadline.Load(); got != 1 {
+		t.Errorf("deadline shed counter = %d, want 1", got)
+	}
+}
+
+// TestEvictionRespectsBudgetAndPins drives the registry over a tiny
+// memory budget and checks that cold engines are evicted while pinned
+// engines (in-flight requests) never are.
+func TestEvictionRespectsBudgetAndPins(t *testing.T) {
+	cfg := testConfig()
+	cfg.MemoryBudgetBytes = 1 // every engine build exceeds the budget
+	s := NewWithConfig(cfg)
+	sh := s.reg.shards[0]
+
+	p1 := params{dataset: "vax-deaths"}
+	p2 := params{dataset: "stream"}
+	if _, err := s.reg.explain(bg(), p1); err != nil {
+		t.Fatal(err)
+	}
+	// p1's engine was pinned during its own build, so it survives its own
+	// eviction pass and is evictable only once the request finished.
+	if n := s.reg.engineEntries(); n != 1 {
+		t.Fatalf("after first explain: %d engines, want 1", n)
+	}
+	if _, err := s.reg.explain(bg(), p2); err != nil {
+		t.Fatal(err)
+	}
+	// p2's build evicted the now-cold p1 engine.
+	if n := s.reg.engineEntries(); n != 1 {
+		t.Errorf("after second explain: %d engines, want 1 (cold engine evicted)", n)
+	}
+	if got := s.met.evictions.Load(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	sh.mu.Lock()
+	_, p1Resident := sh.engines.get(p1.engineKey())
+	ent2, p2Resident := sh.engines.get(p2.engineKey())
+	sh.mu.Unlock()
+	if p1Resident || !p2Resident {
+		t.Fatalf("resident engines: p1=%v p2=%v, want only p2", p1Resident, p2Resident)
+	}
+
+	// Pin p2's engine as an in-flight request would, then build a third
+	// engine: the eviction pass must skip the pinned entry even though the
+	// shard is over budget.
+	ent2.pins.Add(1)
+	if _, err := s.reg.explain(bg(), p1); err != nil {
+		t.Fatal(err)
+	}
+	sh.mu.Lock()
+	_, p2StillThere := sh.engines.get(p2.engineKey())
+	sh.mu.Unlock()
+	if !p2StillThere {
+		t.Fatal("pinned engine was evicted with a request in flight")
+	}
+	// Unpinned, it becomes evictable on the next pass.
+	ent2.pins.Add(-1)
+	if _, err := s.reg.explain(bg(), params{dataset: "covid-daily"}); err != nil {
+		t.Fatal(err)
+	}
+	sh.mu.Lock()
+	_, p2Gone := sh.engines.get(p2.engineKey())
+	sh.mu.Unlock()
+	if p2Gone {
+		t.Error("unpinned cold engine survived an over-budget eviction pass")
+	}
+}
+
+// TestStreamHoldsWorkerSlotSheds429 exercises end-to-end back-pressure:
+// with one worker and no queue, a streaming replay occupies the only
+// slot, so a concurrent cold explain is shed with 429 and a JSON error.
+func TestStreamHoldsWorkerSlotSheds429(t *testing.T) {
+	s := NewWithConfig(Config{Shards: 1, WorkersPerShard: 1, QueueDepth: -1})
+	sh := s.reg.shards[0]
+
+	ctx, cancelStream := context.WithCancel(bg())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req := httptest.NewRequest("GET", "/api/stream?dataset=stream&start=2&step=1", nil).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for sh.busy.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream request never occupied the worker slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rec := get(t, s, "/api/explain?dataset=vax-deaths")
+	if rec.Code != 429 {
+		t.Fatalf("explain while saturated: status = %d, want 429 (%s)", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	var out struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out.Error == "" {
+		t.Errorf("429 body %q is not the JSON error shape", rec.Body.String())
+	}
+
+	cancelStream()
+	wg.Wait()
+	// With the slot free again, the same request succeeds.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if rec := get(t, s, "/api/explain?dataset=vax-deaths"); rec.Code == 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("explain still shed after stream released its slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRequestDeadlineSheds503 gives the server a deadline far shorter
+// than a cold liquor build: the engine observes the cancellation
+// mid-precompute and the request fails with 503, not a hung worker.
+func TestRequestDeadlineSheds503(t *testing.T) {
+	cfg := testConfig()
+	cfg.RequestTimeout = 30 * time.Millisecond
+	s := NewWithConfig(cfg)
+	rec := get(t, s, "/api/explain?dataset=liquor")
+	if rec.Code != 503 {
+		t.Fatalf("status = %d, want 503 (%s)", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out.Error == "" {
+		t.Errorf("503 body %q is not the JSON error shape", rec.Body.String())
+	}
+	if got := s.met.shedDeadline.Load(); got == 0 {
+		t.Error("deadline shed counter not incremented")
+	}
+	// The worker slot was released despite the abort.
+	if busy := s.reg.shards[0].busy.Load(); busy != 0 {
+		t.Errorf("busy workers = %d after aborted request, want 0", busy)
+	}
+}
+
+func TestDatasetsLoadLazily(t *testing.T) {
+	s := New()
+	if got := s.met.datasetLoads.Load(); got != 0 {
+		t.Fatalf("datasets loaded at construction = %d, want 0 (lazy)", got)
+	}
+	get(t, s, "/api/explain?dataset=vax-deaths")
+	if got := s.met.datasetLoads.Load(); got != 1 {
+		t.Errorf("dataset loads after one explain = %d, want 1", got)
+	}
+	get(t, s, "/api/explain?dataset=vax-deaths&k=2")
+	if got := s.met.datasetLoads.Load(); got != 1 {
+		t.Errorf("dataset loads after warm engine reuse = %d, want 1", got)
+	}
+}
+
+func TestShardForIsStable(t *testing.T) {
+	s := NewWithConfig(Config{Shards: 4})
+	for _, key := range []string{"covid|0|false", "liquor|7|true", "stream|0|false"} {
+		a, b := s.reg.shardFor(key), s.reg.shardFor(key)
+		if a != b {
+			t.Errorf("shardFor(%q) not stable", key)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := NewWithConfig(testConfig())
+	get(t, s, "/api/explain?dataset=vax-deaths")
+	get(t, s, "/api/explain?dataset=vax-deaths") // warm: cache hit
+	get(t, s, "/api/explain?dataset=bogus")      // 404
+
+	rec := get(t, s, "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`tsexplain_http_requests_total{endpoint="/api/explain",code="200"} 2`,
+		`tsexplain_http_requests_total{endpoint="/api/explain",code="404"} 1`,
+		`tsexplain_http_request_duration_seconds_bucket{endpoint="/api/explain",le="+Inf"} 3`,
+		`tsexplain_http_request_duration_seconds_count{endpoint="/api/explain"} 3`,
+		`tsexplain_result_cache_hits_total 1`,
+		`tsexplain_result_cache_misses_total 1`,
+		`tsexplain_dataset_loads_total 1`,
+		`tsexplain_shed_total{reason="queue_full"} 0`,
+		`tsexplain_engine_pool_engines{shard="0"} 1`,
+		`tsexplain_result_cache_entries{shard="0"} 1`,
+		`tsexplain_queue_depth{shard="0"} 0`,
+		`tsexplain_workers_busy{shard="0"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// Engine pool bytes reflect the resident engine's footprint.
+	if !strings.Contains(body, `tsexplain_engine_pool_bytes{shard="0"} `) {
+		t.Error("metrics output missing engine pool bytes gauge")
+	}
+}
+
+// TestLeaderDisconnectDoesNotFailWaiters cancels the singleflight
+// leader's context while a waiter is deduped onto the same compute: the
+// detached compute must finish and serve the waiter regardless.
+func TestLeaderDisconnectDoesNotFailWaiters(t *testing.T) {
+	s := NewWithConfig(Config{Shards: 1, WorkersPerShard: 1, QueueDepth: 4})
+	p := params{dataset: "vax-deaths"}
+	sh := s.reg.shardFor(p.engineKey())
+
+	// Occupy the only worker slot so the leader's compute queues
+	// deterministically while registered in flight.
+	releaseSlot, err := sh.admit(bg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderCtx, cancelLeader := context.WithCancel(bg())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := s.reg.explain(leaderCtx, p)
+		leaderDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for sh.waiting.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never queued for the worker slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := s.reg.explain(bg(), p)
+		waiterDone <- err
+	}()
+	for s.met.dedups.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never deduped onto the leader's compute")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Hang up the leader's client, then let the compute run: it is
+	// detached from the leader's cancellation, so the waiter still gets
+	// the real result.
+	cancelLeader()
+	releaseSlot()
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter failed with leader's cancellation: %v", err)
+	}
+	if err := <-leaderDone; err != nil && !errors.Is(err, context.Canceled) {
+		t.Errorf("leader err = %v, want nil or context.Canceled", err)
+	}
+	if n := s.reg.computes.Load(); n != 1 {
+		t.Errorf("computes = %d, want 1 (waiter must reuse the detached compute)", n)
+	}
+}
+
+// TestEngineSharedAllowsConcurrentReaders takes the ad-hoc engine shared
+// twice without releasing: the second acquisition must not block on the
+// first (readers share the immutable universe), and an exclusive user
+// still works once the readers are done.
+func TestEngineSharedAllowsConcurrentReaders(t *testing.T) {
+	s := NewWithConfig(testConfig())
+	key := adhocKey("vax-deaths")
+	build := s.adhocBuilder("vax-deaths")
+	e1, rel1, err := s.reg.engineShared(bg(), key, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e2, rel2, err := s.reg.engineShared(bg(), key, build)
+		if err != nil {
+			t.Errorf("second shared acquisition: %v", err)
+			return
+		}
+		if e2 != e1 {
+			t.Error("shared readers got different engines")
+		}
+		rel2()
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second shared reader blocked behind the first")
+	}
+	rel1()
+	_, relX, err := s.reg.engineExclusive(bg(), key, build)
+	if err != nil {
+		t.Fatalf("exclusive after readers: %v", err)
+	}
+	relX()
+}
+
+// TestFailedBuildLeavesPoolUsable cancels an engine build mid-flight and
+// checks the stub entry rebuilds cleanly on the next request.
+func TestFailedBuildLeavesPoolUsable(t *testing.T) {
+	s := NewWithConfig(testConfig())
+	ctx, cancel := context.WithCancel(bg())
+	cancel() // already expired
+	p := params{dataset: "vax-deaths"}
+	if _, err := s.reg.explain(ctx, p); err == nil {
+		t.Fatal("explain with cancelled context succeeded, want error")
+	}
+	res, err := s.reg.explain(bg(), p)
+	if err != nil || res == nil {
+		t.Fatalf("explain after aborted build: %v", err)
+	}
+}
+
+func TestAccessLogWritesJSONLines(t *testing.T) {
+	var buf syncBuffer
+	cfg := testConfig()
+	cfg.AccessLog = &buf
+	s := NewWithConfig(cfg)
+	get(t, s, "/api/explain?dataset=vax-deaths&k=3")
+	line := strings.TrimSpace(buf.String())
+	if line == "" {
+		t.Fatal("no access log line written")
+	}
+	var entry struct {
+		Msg      string  `json:"msg"`
+		Endpoint string  `json:"endpoint"`
+		Status   int     `json:"status"`
+		Ms       float64 `json:"ms"`
+	}
+	if err := json.Unmarshal([]byte(strings.Split(line, "\n")[0]), &entry); err != nil {
+		t.Fatalf("access log line %q is not JSON: %v", line, err)
+	}
+	if entry.Msg != "request" || entry.Endpoint != "/api/explain" || entry.Status != 200 {
+		t.Errorf("access log entry = %+v", entry)
+	}
+}
+
+// syncBuffer is a mutex-guarded buffer (the logger writes from handler
+// goroutines).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

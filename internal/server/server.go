@@ -1,17 +1,25 @@
-// Package server exposes TSExplain over HTTP, the shape of the paper's
-// interactive demo (SIGMOD 2021 companion): a JSON API for explaining the
-// built-in datasets with adjustable K / smoothing / optimization toggles,
-// SVG endpoints for the Figure 2 trendline and the K-Variance curve, and
-// a self-contained HTML page that drives them.
+// Package server exposes TSExplain over HTTP, grown from the shape of
+// the paper's interactive demo (SIGMOD 2021 companion) into a production
+// serving layer: a JSON API for explaining the built-in datasets with
+// adjustable K / smoothing / optimization toggles, SVG endpoints for the
+// Figure 2 trendline and the K-Variance curve, a self-contained HTML
+// page that drives them — all served through a sharded dataset registry
+// with lazy loading, per-shard bounded worker pools with 429/503
+// back-pressure, per-request deadlines that the engine observes, and a
+// dependency-free Prometheus /metrics endpoint.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
-	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -19,71 +27,229 @@ import (
 	"repro/internal/render"
 )
 
-// Server handles the demo endpoints. Results are cached per parameter
-// combination (bounded LRU) so repeated requests are instant, mirroring
-// the interactivity requirement of Section 1 (challenge b); concurrent
-// cold requests for the same key are deduplicated singleflight-style so a
-// thundering herd runs one explain, not N; and engines are pooled per
-// (dataset, smoothing, optimization) so requests that differ only in K
-// reuse the expensive universe and per-segment explanation cache.
-type Server struct {
-	mux *http.ServeMux
-
-	mu       sync.Mutex
-	cache    *lruCache[*core.Result]
-	inflight map[string]*inflightCall
-	engines  *lruCache[*pooledEngine]
-	computes int // full explain computations run (observed by tests)
-
-	slices *sliceAPI
+// Config tunes the serving layer. The zero value of every field selects
+// a production-ready default; negative QueueDepth disables queueing
+// entirely (requests are rejected the moment every worker is busy).
+type Config struct {
+	// Shards is the number of registry shards. Engines pool inside the
+	// shard owning their (dataset, smoothing, optimization) key, so
+	// requests for different shards share no lock. Default 4.
+	Shards int
+	// WorkersPerShard bounds concurrently computing requests per shard.
+	// Default: GOMAXPROCS spread across the shards, at least 1.
+	WorkersPerShard int
+	// QueueDepth bounds requests waiting for a worker slot per shard;
+	// beyond it requests are shed with 429. Default 64; negative means 0.
+	QueueDepth int
+	// RequestTimeout is the per-request deadline. The engine observes the
+	// deadline mid-compute: an expired request aborts its explain instead
+	// of running to completion. Default 30s.
+	RequestTimeout time.Duration
+	// MemoryBudgetBytes bounds the estimated footprint of pooled engines
+	// (split across shards); cold engines are LRU-evicted beyond it, but
+	// never an engine with in-flight requests. Default 1 GiB.
+	MemoryBudgetBytes int64
+	// ResultCacheSize bounds cached explain results (split across
+	// shards). Default 256.
+	ResultCacheSize int
+	// AccessLog, when non-nil, receives one structured (JSON) log line
+	// per request: endpoint, status, latency. Nil disables logging.
+	AccessLog io.Writer
 }
 
-// inflightCall tracks one in-progress explain; late arrivals for the same
-// key wait on done instead of recomputing.
-type inflightCall struct {
-	done chan struct{}
-	res  *core.Result
-	err  error
-}
-
-// pooledEngine serializes use of one cached engine (engines are not safe
-// for concurrent use; distinct parameter combinations still explain in
-// parallel).
-type pooledEngine struct {
-	mu  sync.Mutex
-	eng *core.Engine
-}
-
-// resultCacheSize and enginePoolSize bound the caches: results are small,
-// engines hold full candidate universes.
-const (
-	resultCacheSize = 256
-	enginePoolSize  = 16
-)
-
-// New returns a ready-to-serve handler.
-func New() *Server {
-	s := &Server{
-		mux:      http.NewServeMux(),
-		cache:    newLRU[*core.Result](resultCacheSize),
-		inflight: make(map[string]*inflightCall),
-		engines:  newLRU[*pooledEngine](enginePoolSize),
-		slices:   newSliceAPI(),
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
 	}
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/api/datasets", s.handleDatasets)
-	s.mux.HandleFunc("/api/explain", s.handleExplain)
-	s.mux.HandleFunc("/api/recommend", s.handleRecommend)
-	s.mux.HandleFunc("/api/slice", s.handleSlice)
-	s.mux.HandleFunc("/api/diff", s.handleDiff)
-	s.mux.HandleFunc("/api/stream", s.handleStream)
-	s.mux.HandleFunc("/svg/trendlines", s.handleTrendlines)
-	s.mux.HandleFunc("/svg/kvariance", s.handleKVariance)
+	if c.WorkersPerShard <= 0 {
+		c.WorkersPerShard = (runtime.GOMAXPROCS(0) + c.Shards - 1) / c.Shards
+		if c.WorkersPerShard < 1 {
+			c.WorkersPerShard = 1
+		}
+	}
+	switch {
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	case c.QueueDepth == 0:
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MemoryBudgetBytes <= 0 {
+		c.MemoryBudgetBytes = 1 << 30
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 256
+	}
+	return c
+}
+
+// Server handles the demo endpoints. Results are cached per parameter
+// combination (bounded LRU, sharded) so repeated requests are instant,
+// mirroring the interactivity requirement of Section 1 (challenge b);
+// concurrent cold requests for the same key are deduplicated
+// singleflight-style so a thundering herd runs one explain, not N; and
+// engines are pooled per (dataset, smoothing, optimization) so requests
+// that differ only in K reuse the expensive universe and per-segment
+// explanation cache.
+type Server struct {
+	mux    *http.ServeMux
+	cfg    Config
+	met    *metrics
+	reg    *registry
+	logger *slog.Logger
+}
+
+// New returns a ready-to-serve handler with default configuration.
+func New() *Server { return NewWithConfig(Config{}) }
+
+// NewWithConfig returns a ready-to-serve handler.
+func NewWithConfig(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		mux: http.NewServeMux(),
+		cfg: cfg,
+		met: newMetrics(),
+	}
+	s.reg = newRegistry(cfg, s.met)
+	if cfg.AccessLog != nil {
+		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
+	}
+	s.handle("/", s.handleIndex)
+	s.handle("/api/datasets", s.handleDatasets)
+	s.handle("/api/explain", s.handleExplain)
+	s.handle("/api/recommend", s.handleRecommend)
+	s.handle("/api/slice", s.handleSlice)
+	s.handle("/api/diff", s.handleDiff)
+	s.handle("/api/stream", s.handleStream)
+	s.handle("/svg/trendlines", s.handleTrendlines)
+	s.handle("/svg/kvariance", s.handleKVariance)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handle registers an instrumented endpoint: per-request deadline,
+// status/latency metrics, and an access-log line. /metrics itself stays
+// uninstrumented so scrapes don't pollute the request counters.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		s.met.observe(pattern, sw.status(), elapsed.Seconds())
+		if s.logger != nil {
+			s.logger.LogAttrs(context.Background(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("endpoint", pattern),
+				slog.String("query", r.URL.RawQuery),
+				slog.Int("status", sw.status()),
+				slog.Float64("ms", ms(elapsed)),
+			)
+		}
+	})
+}
+
+// statusWriter captures the response code for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so streaming endpoints keep
+// working through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Render into a buffer first: write holds the metrics mutex, and a
+	// slow scraper must not be able to stall it (and with it every
+	// request's metrics.observe) on a blocked TCP write.
+	var buf bytes.Buffer
+	s.met.write(&buf, s.reg.gauges())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// statusErr carries the HTTP status a failure should map to.
+type statusErr struct {
+	code int
+	err  error
+}
+
+func (e *statusErr) Error() string { return e.err.Error() }
+func (e *statusErr) Unwrap() error { return e.err }
+
+func httpErrf(code int, format string, args ...any) error {
+	return &statusErr{code: code, err: fmt.Errorf(format, args...)}
+}
+
+// errorCode normalizes any serving-path failure to its HTTP status:
+// malformed input 400, unknown resources 404, queue-full 429, expired
+// deadlines and cancellations 503, everything else 500.
+func errorCode(err error) int {
+	var se *statusErr
+	switch {
+	case errors.As(err, &se):
+		return se.code
+	case errors.Is(err, errQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError emits the normalized JSON error shape on every failure path
+// (no handler returns 200 with an empty body on bad input).
+func writeError(w http.ResponseWriter, err error) {
+	code := errorCode(err)
+	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// httpError keeps the legacy explicit-status shape used by handlers that
+// classify their own errors.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
 
 // demoNames lists the selectable datasets.
 var demoNames = []string{"covid", "covid-daily", "sp500", "liquor", "vax-deaths", "stream"}
@@ -126,7 +292,7 @@ func demoDataset(name string) (*datasets.Dataset, error) {
 	case "stream":
 		return datasets.Stream(datasets.StreamDays), nil
 	default:
-		return nil, fmt.Errorf("unknown dataset %q", name)
+		return nil, httpErrf(http.StatusNotFound, "unknown dataset %q", name)
 	}
 }
 
@@ -143,17 +309,17 @@ func parseParams(r *http.Request) (params, error) {
 	q := r.URL.Query()
 	p := params{dataset: normalizeDataset(q.Get("dataset"))}
 	if !validDataset(p.dataset) {
-		return p, fmt.Errorf("unknown dataset %q", q.Get("dataset"))
+		return p, httpErrf(http.StatusNotFound, "unknown dataset %q", q.Get("dataset"))
 	}
 	var err error
 	if v := q.Get("k"); v != "" {
 		if p.k, err = strconv.Atoi(v); err != nil || p.k < 0 || p.k > 20 {
-			return p, fmt.Errorf("bad k %q", v)
+			return p, httpErrf(http.StatusBadRequest, "bad k %q (want 0..20)", v)
 		}
 	}
 	if v := q.Get("smooth"); v != "" {
 		if p.smooth, err = strconv.Atoi(v); err != nil || p.smooth < 0 || p.smooth > 60 {
-			return p, fmt.Errorf("bad smooth %q", v)
+			return p, httpErrf(http.StatusBadRequest, "bad smooth %q (want 0..60)", v)
 		}
 	}
 	p.vanilla = q.Get("vanilla") == "1"
@@ -183,83 +349,6 @@ func (p params) options(d *datasets.Dataset) core.Options {
 		opts.SmoothWindow = p.smooth
 	}
 	return opts
-}
-
-// explainFor runs (or serves from cache) one explanation. Concurrent
-// requests for the same cold key share a single computation.
-func (s *Server) explainFor(p params) (*core.Result, error) {
-	key := p.key()
-	s.mu.Lock()
-	if res, ok := s.cache.get(key); ok {
-		s.mu.Unlock()
-		return res, nil
-	}
-	if c, ok := s.inflight[key]; ok {
-		s.mu.Unlock()
-		<-c.done
-		return c.res, c.err
-	}
-	c := &inflightCall{done: make(chan struct{})}
-	s.inflight[key] = c
-	s.mu.Unlock()
-
-	// Deregister and wake waiters even if the computation panics (the
-	// HTTP server recovers per-connection panics; without the defer the
-	// key would stay in-flight forever and every later request for it
-	// would block on done).
-	defer func() {
-		if c.res == nil && c.err == nil {
-			// Reached only when computeExplain panicked: give waiters an
-			// error instead of a nil result.
-			c.err = fmt.Errorf("explain computation aborted")
-		}
-		s.mu.Lock()
-		delete(s.inflight, key)
-		if c.err == nil {
-			s.cache.add(key, c.res)
-		}
-		s.mu.Unlock()
-		close(c.done)
-	}()
-	c.res, c.err = s.computeExplain(p)
-	return c.res, c.err
-}
-
-// computeExplain resolves the pooled engine for the request (building it
-// on first use) and runs one explain under the engine's lock.
-func (s *Server) computeExplain(p params) (*core.Result, error) {
-	ekey := p.engineKey()
-	s.mu.Lock()
-	pe, ok := s.engines.get(ekey)
-	if !ok {
-		pe = &pooledEngine{}
-		s.engines.add(ekey, pe)
-	}
-	s.computes++
-	s.mu.Unlock()
-
-	pe.mu.Lock()
-	defer pe.mu.Unlock()
-	if pe.eng == nil {
-		d, err := demoDataset(p.dataset)
-		if err != nil {
-			return nil, err
-		}
-		eng, err := core.NewEngine(d.Rel, core.Query{
-			Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy,
-		}, p.options(d))
-		if err != nil {
-			return nil, err
-		}
-		pe.eng = eng
-	}
-	return pe.eng.ExplainWithK(p.k)
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
@@ -298,12 +387,12 @@ type explJSON struct {
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	p, err := parseParams(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
-	res, err := s.explainFor(p)
+	res, err := s.reg.explain(r.Context(), p)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	resp := explainResponse{
@@ -337,17 +426,25 @@ func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	p, err := parseParams(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
-	d, err := demoDataset(p.dataset)
+	sh := s.reg.shardFor(p.dataset)
+	release, err := sh.admit(r.Context())
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
-	scores, err := core.RecommendExplainBy(d.Rel, core.Query{Measure: d.Measure, Agg: d.Agg})
+	defer release()
+	d, err := s.reg.dataset(p.dataset)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		writeError(w, err)
+		return
+	}
+	scores, err := core.RecommendExplainByCtx(r.Context(), d.Rel, core.Query{Measure: d.Measure, Agg: d.Agg})
+	if err != nil {
+		s.reg.countIfDeadline(err)
+		writeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -370,12 +467,12 @@ func (s *Server) serveSVG(w http.ResponseWriter, r *http.Request,
 	draw func(*bytes.Buffer, *core.Result, string) error) {
 	p, err := parseParams(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
-	res, err := s.explainFor(p)
+	res, err := s.reg.explain(r.Context(), p)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	var buf bytes.Buffer

@@ -71,24 +71,24 @@ func TestExplainEndpoint(t *testing.T) {
 func TestExplainCaching(t *testing.T) {
 	s := New()
 	get(t, s, "/api/explain?dataset=vax-deaths")
-	if s.cache.len() != 1 {
-		t.Fatalf("cache size = %d, want 1", s.cache.len())
+	if n := s.reg.resultEntries(); n != 1 {
+		t.Fatalf("cache size = %d, want 1", n)
 	}
 	get(t, s, "/api/explain?dataset=vax-deaths")
-	if s.cache.len() != 1 {
-		t.Errorf("repeated request grew the cache")
+	if n := s.reg.resultEntries(); n != 1 {
+		t.Errorf("repeated request grew the cache (%d entries)", n)
 	}
-	if s.computes != 1 {
-		t.Errorf("computes = %d, want 1", s.computes)
+	if n := s.reg.computes.Load(); n != 1 {
+		t.Errorf("computes = %d, want 1", n)
 	}
 	get(t, s, "/api/explain?dataset=vax-deaths&k=2")
-	if s.cache.len() != 2 {
-		t.Errorf("distinct params should add a cache entry")
+	if n := s.reg.resultEntries(); n != 2 {
+		t.Errorf("distinct params should add a cache entry (got %d)", n)
 	}
 	// The k=2 request must have reused the pooled engine, not built a
 	// second one.
-	if s.engines.len() != 1 {
-		t.Errorf("engine pool size = %d, want 1", s.engines.len())
+	if n := s.reg.engineEntries(); n != 1 {
+		t.Errorf("engine pool size = %d, want 1", n)
 	}
 }
 
@@ -110,11 +110,11 @@ func TestDatasetAliasSharesCache(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &canonical); err != nil {
 		t.Fatal(err)
 	}
-	if s.cache.len() != 1 {
-		t.Errorf("cache size = %d, want 1 (alias must share the canonical key)", s.cache.len())
+	if n := s.reg.resultEntries(); n != 1 {
+		t.Errorf("cache size = %d, want 1 (alias must share the canonical key)", n)
 	}
-	if s.computes != 1 {
-		t.Errorf("computes = %d, want 1 (alias must not recompute)", s.computes)
+	if n := s.reg.computes.Load(); n != 1 {
+		t.Errorf("computes = %d, want 1 (alias must not recompute)", n)
 	}
 	if canonical.K != aliased.K || canonical.Variance != aliased.Variance {
 		t.Errorf("alias result differs: %+v vs %+v", aliased, canonical)
@@ -147,11 +147,11 @@ func TestConcurrentColdExplainsComputeOnce(t *testing.T) {
 			t.Errorf("client %d got a different body", i)
 		}
 	}
-	if s.computes != 1 {
-		t.Errorf("computes = %d, want 1 (thundering herd must share one explain)", s.computes)
+	if n := s.reg.computes.Load(); n != 1 {
+		t.Errorf("computes = %d, want 1 (thundering herd must share one explain)", n)
 	}
-	if s.cache.len() != 1 {
-		t.Errorf("cache size = %d, want 1", s.cache.len())
+	if n := s.reg.resultEntries(); n != 1 {
+		t.Errorf("cache size = %d, want 1", n)
 	}
 }
 
@@ -190,24 +190,46 @@ func TestStreamEndpoint(t *testing.T) {
 		"/api/stream?dataset=stream&start=1",
 		"/api/stream?dataset=stream&start=999",
 		"/api/stream?dataset=stream&step=0",
-		"/api/stream?dataset=bogus",
 	} {
 		if rec := get(t, s, path); rec.Code != 400 {
 			t.Errorf("%s: status = %d, want 400", path, rec.Code)
 		}
 	}
+	if rec := get(t, s, "/api/stream?dataset=bogus"); rec.Code != 404 {
+		t.Errorf("unknown dataset: status = %d, want 404", rec.Code)
+	}
 }
 
 func TestExplainBadParams(t *testing.T) {
 	s := New()
-	for _, path := range []string{
-		"/api/explain?dataset=bogus",
-		"/api/explain?k=99",
-		"/api/explain?k=abc",
-		"/api/explain?smooth=-2",
-	} {
-		if rec := get(t, s, path); rec.Code != 400 {
-			t.Errorf("%s: status = %d, want 400", path, rec.Code)
+	// Malformed parameters are 400s; unknown resources are 404s. Every
+	// error path answers with the JSON error shape, never an empty 200.
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/api/explain?dataset=bogus", 404},
+		{"/api/explain?k=99", 400},
+		{"/api/explain?k=abc", 400},
+		{"/api/explain?smooth=-2", 400},
+		{"/api/recommend?dataset=bogus", 404},
+		{"/svg/trendlines?dataset=bogus", 404},
+		{"/svg/kvariance?k=oops", 400},
+		{"/api/diff?dataset=bogus", 404},
+	}
+	for _, tc := range cases {
+		rec := get(t, s, tc.path)
+		if rec.Code != tc.code {
+			t.Errorf("%s: status = %d, want %d", tc.path, rec.Code, tc.code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: content type = %q, want JSON error body", tc.path, ct)
+		}
+		var out struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out.Error == "" {
+			t.Errorf("%s: body %q is not the JSON error shape", tc.path, rec.Body.String())
 		}
 	}
 }
@@ -301,7 +323,7 @@ func TestSliceEndpointErrors(t *testing.T) {
 		path string
 		code int
 	}{
-		{"/api/slice?dataset=bogus", 400},
+		{"/api/slice?dataset=bogus", 404},
 		{"/api/slice?dataset=vax-deaths&expr=oops", 400},
 		{"/api/slice?dataset=vax-deaths&expr=age-group%3Dnope", 400},
 		{"/api/slice?dataset=vax-deaths&expr=age-group%3D50%2B%26age-group%3D%3C30", 400},

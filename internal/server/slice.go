@@ -1,85 +1,38 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
-	"repro/internal/datasets"
-	"repro/internal/explain"
 	"repro/internal/relation"
 )
 
-// sliceAPI serves the OLAP navigation of Section 1 ("users can freely
-// perform drill-down, roll-up, slicing and dicing, and visualize what
-// has happened"): given a dataset and a conjunction like
-// "state=New York" or "Pack=12&Bottle Volume (ml)=750", it returns that
-// slice's aggregated series plus the drill-down children available under
-// each remaining explain-by attribute. The per-dataset candidate
-// universe (the in-memory data cube of Section 5.2) is built once and
-// shared across requests.
-type sliceAPI struct {
-	mu        sync.Mutex
-	universes map[string]*explain.Universe
-	relations map[string]*datasets.Dataset
-	engines   map[string]*core.Engine
-}
+// The slice and diff endpoints share one pooled "ad-hoc" engine per
+// dataset: a default-options, unsmoothed engine whose candidate universe
+// is the in-memory data cube of Section 5.2 (slices read the universe,
+// diffs run TopExplanations on the engine). Pooling it in the registry —
+// rather than a side map — makes it budget-counted, pinned while in use,
+// evictable when cold, and cancellable while building. Slices take it
+// shared (the post-build universe is immutable, so readers neither
+// serialize nor occupy worker slots once it is warm); diffs take it
+// exclusive (solves mutate the engine's caches).
+func adhocKey(dataset string) string { return dataset + "|adhoc" }
 
-func newSliceAPI() *sliceAPI {
-	return &sliceAPI{
-		universes: make(map[string]*explain.Universe),
-		relations: make(map[string]*datasets.Dataset),
-		engines:   make(map[string]*core.Engine),
+func (s *Server) adhocBuilder(dataset string) func(context.Context) (*core.Engine, error) {
+	return func(ctx context.Context) (*core.Engine, error) {
+		d, err := s.reg.dataset(dataset)
+		if err != nil {
+			return nil, err
+		}
+		opts := core.DefaultOptions()
+		opts.MaxOrder = d.MaxOrder
+		return core.NewEngineCtx(ctx, d.Rel, core.Query{
+			Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy,
+		}, opts)
 	}
-}
-
-// engineFor builds (once) a default-options engine for ad-hoc diffs.
-func (a *sliceAPI) engineFor(name string) (*core.Engine, *datasets.Dataset, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if e, ok := a.engines[name]; ok {
-		return e, a.relations[name], nil
-	}
-	d, err := demoDataset(name)
-	if err != nil {
-		return nil, nil, err
-	}
-	opts := core.DefaultOptions()
-	opts.MaxOrder = d.MaxOrder
-	eng, err := core.NewEngine(d.Rel, core.Query{
-		Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy,
-	}, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	a.engines[name] = eng
-	a.relations[name] = d
-	return eng, d, nil
-}
-
-// universeFor builds (once) the universe for a dataset.
-func (a *sliceAPI) universeFor(name string) (*explain.Universe, *datasets.Dataset, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if u, ok := a.universes[name]; ok {
-		return u, a.relations[name], nil
-	}
-	d, err := demoDataset(name)
-	if err != nil {
-		return nil, nil, err
-	}
-	u, err := explain.NewUniverse(d.Rel, explain.Config{
-		Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy, MaxOrder: d.MaxOrder,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	a.universes[name] = u
-	a.relations[name] = d
-	return u, d, nil
 }
 
 // parseConjunction decodes "attr=value&attr2=value2" against a relation.
@@ -92,14 +45,18 @@ func parseConjunction(r *relation.Relation, expr string) (relation.Conjunction, 
 	for _, part := range strings.Split(expr, "&") {
 		kv := strings.SplitN(part, "=", 2)
 		if len(kv) != 2 || kv[0] == "" {
-			return nil, fmt.Errorf("bad predicate %q (want attr=value)", part)
+			return nil, httpErrf(http.StatusBadRequest, "bad predicate %q (want attr=value)", part)
 		}
 		if _, dup := pairs[kv[0]]; dup {
-			return nil, fmt.Errorf("attribute %q repeated", kv[0])
+			return nil, httpErrf(http.StatusBadRequest, "attribute %q repeated", kv[0])
 		}
 		pairs[kv[0]] = kv[1]
 	}
-	return relation.NewConjunction(r, pairs)
+	conj, err := relation.NewConjunction(r, pairs)
+	if err != nil {
+		return nil, httpErrf(http.StatusBadRequest, "%v", err)
+	}
+	return conj, nil
 }
 
 // sliceResponse is the JSON shape of /api/slice.
@@ -117,33 +74,43 @@ type drillDownJSON struct {
 	Children  []string `json:"children"`
 }
 
+// handleSlice serves the OLAP navigation of Section 1 ("users can freely
+// perform drill-down, roll-up, slicing and dicing, and visualize what
+// has happened"): given a dataset and a conjunction like
+// "state=New York" or "Pack=12&Bottle Volume (ml)=750", it returns that
+// slice's aggregated series plus the drill-down children available under
+// each remaining explain-by attribute.
 func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	name := q.Get("dataset")
-	if name == "" {
-		name = "covid"
-	}
-	u, d, err := s.slices.universeFor(name)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	name := normalizeDataset(q.Get("dataset"))
+	if !validDataset(name) {
+		writeError(w, httpErrf(http.StatusNotFound, "unknown dataset %q", q.Get("dataset")))
 		return
 	}
-	conj, err := parseConjunction(d.Rel, q.Get("expr"))
+	eng, release, err := s.reg.engineShared(r.Context(), adhocKey(name), s.adhocBuilder(name))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, err)
+		return
+	}
+	defer release()
+	u := eng.Universe()
+	rel := u.Relation()
+	conj, err := parseConjunction(rel, q.Get("expr"))
+	if err != nil {
+		writeError(w, err)
 		return
 	}
 
 	resp := sliceResponse{
 		Dataset: name,
 		Expr:    q.Get("expr"),
-		Labels:  d.Rel.TimeLabels(),
+		Labels:  rel.TimeLabels(),
 	}
 	nodeID := -1
 	if len(conj) > 0 {
 		id, ok := u.Lookup(conj)
 		if !ok {
-			httpError(w, http.StatusNotFound, fmt.Errorf("slice %q has no data", q.Get("expr")))
+			writeError(w, httpErrf(http.StatusNotFound, "slice %q has no data", q.Get("expr")))
 			return
 		}
 		nodeID = id
@@ -172,10 +139,10 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 		if len(kids) == 0 {
 			continue
 		}
-		dd := drillDownJSON{Attribute: d.Rel.Dim(dim).Name()}
+		dd := drillDownJSON{Attribute: rel.Dim(dim).Name()}
 		for _, kid := range kids {
 			v, _ := u.Candidate(kid).Conj.ValueFor(dim)
-			dd.Children = append(dd.Children, d.Rel.Dim(dim).Value(v))
+			dd.Children = append(dd.Children, rel.Dim(dim).Value(v))
 		}
 		resp.DrillDown = append(resp.DrillDown, dd)
 	}
@@ -184,24 +151,26 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
-// Slice series support also powers the engine-free comparison endpoint:
+// handleDiff is the engine-free comparison endpoint:
 // /api/diff?dataset=...&from=<label>&to=<label> runs the two-relations
-// diff building block between two timestamps.
+// diff building block between two timestamps on the shared ad-hoc engine.
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	p, err := parseParams(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
-	eng, d, err := s.slices.engineFor(p.dataset)
+	eng, release, err := s.reg.engineExclusive(r.Context(), adhocKey(p.dataset), s.adhocBuilder(p.dataset))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
+	defer release()
+	rel := eng.Universe().Relation()
 	from, to := -1, -1
-	for i := 0; i < d.Rel.NumTimestamps(); i++ {
-		switch d.Rel.TimeLabel(i) {
+	for i := 0; i < rel.NumTimestamps(); i++ {
+		switch rel.TimeLabel(i) {
 		case q.Get("from"):
 			from = i
 		case q.Get("to"):
@@ -209,13 +178,13 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if from < 0 || to < 0 || from >= to {
-		httpError(w, http.StatusBadRequest,
-			fmt.Errorf("need from/to labels with from before to"))
+		writeError(w, httpErrf(http.StatusBadRequest,
+			"need from/to labels with from before to"))
 		return
 	}
 	top, err := eng.TopExplanations(from, to)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, httpErrf(http.StatusBadRequest, "%v", err))
 		return
 	}
 	out := map[string]any{

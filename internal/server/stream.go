@@ -25,12 +25,21 @@ import (
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	p, err := parseParams(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
-	d, err := demoDataset(p.dataset)
+	// The whole replay holds one worker slot: a streaming client is a
+	// long-lived compute consumer, and admission must see it as such.
+	sh := s.reg.shardFor(p.dataset)
+	release, err := sh.admit(r.Context())
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, err)
+		return
+	}
+	defer release()
+	d, err := s.reg.dataset(p.dataset)
+	if err != nil {
+		writeError(w, err)
 		return
 	}
 	n := d.Rel.NumTimestamps()
@@ -41,14 +50,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	if v := q.Get("start"); v != "" {
 		if start, err = strconv.Atoi(v); err != nil || start < 2 || start >= n {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad start %q (want 2..%d)", v, n-1))
+			writeError(w, httpErrf(http.StatusBadRequest, "bad start %q (want 2..%d)", v, n-1))
 			return
 		}
 	}
 	step := 1
 	if v := q.Get("step"); v != "" {
 		if step, err = strconv.Atoi(v); err != nil || step < 1 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad step %q", v))
+			writeError(w, httpErrf(http.StatusBadRequest, "bad step %q", v))
 			return
 		}
 	}
@@ -62,11 +71,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	opts := p.options(d)
 	opts.K = p.k
 	buildStart := time.Now()
-	inc, res, err := core.NewIncremental(prefix, core.Query{
+	inc, res, err := core.NewIncrementalCtx(r.Context(), prefix, core.Query{
 		Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy,
 	}, opts)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.reg.countIfDeadline(err)
+		writeError(w, err)
 		return
 	}
 
@@ -82,9 +92,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	writeUpdate(newStreamUpdate(d.Rel, res, start, time.Since(buildStart), true))
 
 	for t := start; t < n; t += step {
-		// Stop replaying into a dead connection — a client that hung up
-		// must not keep the server computing updates to completion.
-		if r.Context().Err() != nil {
+		// Stop replaying into a dead connection or past the request
+		// deadline — a client that hung up must not keep the server
+		// computing updates to completion. The headers already went out
+		// as 200, so a deadline-truncated replay is marked with a final
+		// NDJSON error line instead of silently looking complete.
+		if err := r.Context().Err(); err != nil {
+			writeUpdate(streamUpdate{Error: "replay aborted: " + err.Error()})
 			return
 		}
 		hi := t + step

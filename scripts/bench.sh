@@ -5,11 +5,27 @@
 #   BENCH_engine.json     hot-path micro-benchmarks (ns/op, B/op, allocs/op)
 #   BENCH_streaming.json  streaming replay: per-update latency of the
 #                         O(delta) append path vs the full-rebuild path
+#   BENCH_server.json     serving-layer load test: per-endpoint latency
+#                         quantiles, throughput, and shed/eviction counts
+#                         (only with "server" as the first argument)
+#
+# CI regenerates the first two in short mode on every PR and gates them
+# against the committed baselines with cmd/benchcmp; after an accepted
+# perf change, rerun this script and commit the new JSONs to re-baseline.
 #
 # Usage: scripts/bench.sh [extra benchjson flags for the micro run...]
+#        scripts/bench.sh server [extra loadgen flags...]
 #   e.g. scripts/bench.sh -benchtime 5s
 #        scripts/bench.sh -bench 'BenchmarkPrecompute' -o /tmp/p.json
+#        scripts/bench.sh server -clients 256 -duration 15s
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "server" ]; then
+	shift
+	go run ./cmd/loadgen "$@"
+	exit 0
+fi
+
 go run ./cmd/benchjson "$@"
 go run ./cmd/benchjson -mode streaming

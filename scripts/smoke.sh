@@ -1,0 +1,38 @@
+#!/bin/sh
+# Builds and runs every example binary and the tsexplain CLI against the
+# bundled datasets, checking exit codes and that each produced non-empty
+# output. CI runs this on every PR so example drift — like the pre-PR-1
+# missing go.mod — is caught automatically instead of by the next reader.
+#
+# Usage: scripts/smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run_check() {
+	name="$1"
+	shift
+	out="$tmp/$(echo "$name" | tr '/' '_').out"
+	echo "smoke: $name"
+	"$@" >"$out" 2>&1 || {
+		rc=$?
+		echo "smoke: $name FAILED (exit $rc)" >&2
+		cat "$out" >&2
+		exit 1
+	}
+	if ! [ -s "$out" ]; then
+		echo "smoke: $name produced no output" >&2
+		exit 1
+	fi
+}
+
+for d in examples/*/; do
+	run_check "$d" go run "./$d"
+done
+
+run_check "cmd/tsexplain demo=covid" go run ./cmd/tsexplain -demo covid
+run_check "cmd/tsexplain demo=vax-deaths" go run ./cmd/tsexplain -demo vax-deaths
+
+echo "smoke: all OK"
