@@ -6,13 +6,16 @@
 //
 //	go run ./cmd/benchcmp -mode engine    -baseline BENCH_engine.json    -current /tmp/engine.json
 //	go run ./cmd/benchcmp -mode streaming -baseline BENCH_streaming.json -current /tmp/streaming.json
+//	go run ./cmd/benchcmp -mode catalog   -baseline BENCH_catalog.json   -current /tmp/catalog.json
 //
 // Engine mode compares ns/op and allocs/op per benchmark (taking the
 // minimum across -count repetitions, so noisy runs only help); streaming
 // mode compares the append path's total and later-half latency plus the
-// append-vs-rebuild speedup. A benchmark present in the baseline but
-// missing from the current run fails the gate — silently dropping a
-// benchmark must not pass.
+// append-vs-rebuild speedup; catalog mode compares per-dataset snapshot
+// restore latency and the restore-vs-rebuild speedup (warm restarts must
+// stay warm). A benchmark present in the baseline but missing from the
+// current run fails the gate — silently dropping a benchmark must not
+// pass.
 //
 // To intentionally re-baseline after an accepted perf change, regenerate
 // the repo-root JSONs with scripts/bench.sh and commit them alongside the
@@ -51,7 +54,7 @@ type StreamReport struct {
 }
 
 func main() {
-	mode := flag.String("mode", "engine", "engine (micro benchmarks) or streaming (append-path replay)")
+	mode := flag.String("mode", "engine", "engine (micro benchmarks), streaming (append-path replay), or catalog (snapshot warm-restart)")
 	baseline := flag.String("baseline", "", "committed baseline JSON (default depends on mode)")
 	current := flag.String("current", "", "freshly generated JSON to check")
 	maxLatency := flag.Float64("max-latency-ratio", 1.25, "fail when current/baseline latency exceeds this")
@@ -59,9 +62,12 @@ func main() {
 	flag.Parse()
 
 	if *baseline == "" {
-		if *mode == "streaming" {
+		switch *mode {
+		case "streaming":
 			*baseline = "BENCH_streaming.json"
-		} else {
+		case "catalog":
+			*baseline = "BENCH_catalog.json"
+		default:
 			*baseline = "BENCH_engine.json"
 		}
 	}
@@ -76,6 +82,8 @@ func main() {
 		violations, err = compareEngine(*baseline, *current, *maxLatency, *maxAllocs)
 	case "streaming":
 		violations, err = compareStreaming(*baseline, *current, *maxLatency)
+	case "catalog":
+		violations, err = compareCatalog(*baseline, *current, *maxLatency)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -193,6 +201,63 @@ func compareStreaming(baselinePath, currentPath string, maxLatency float64) ([]s
 			violations = append(violations, fmt.Sprintf(
 				"later_half: append-vs-rebuild speedup %.1fx → %.1fx (floor %.1fx)",
 				base.LaterHalf.Speedup, cur.LaterHalf.Speedup, floor))
+		}
+	}
+	return violations, nil
+}
+
+// CatalogDataset and CatalogReport mirror BENCH_catalog.json.
+type CatalogDataset struct {
+	Name              string  `json:"name"`
+	ColdBuildNs       int64   `json:"cold_build_ns"`
+	SnapshotRestoreNs int64   `json:"snapshot_restore_ns"`
+	Speedup           float64 `json:"speedup"`
+}
+
+type CatalogReport struct {
+	Datasets []CatalogDataset `json:"datasets"`
+}
+
+// compareCatalog gates the warm-restart path per dataset: snapshot
+// restore latency must stay within the latency threshold of its
+// baseline, and the restore-vs-rebuild speedup must not collapse (a
+// speedup sliding toward 1x means restarts stopped being warm). A
+// dataset present in the baseline but missing from the current run fails
+// the gate.
+func compareCatalog(baselinePath, currentPath string, maxLatency float64) ([]string, error) {
+	var base, cur CatalogReport
+	if err := load(baselinePath, &base); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := load(currentPath, &cur); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	curBy := make(map[string]CatalogDataset, len(cur.Datasets))
+	for _, d := range cur.Datasets {
+		curBy[d.Name] = d
+	}
+	var violations []string
+	for _, b := range base.Datasets {
+		c, ok := curBy[b.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: missing from current run", b.Name))
+			continue
+		}
+		if b.SnapshotRestoreNs > 0 {
+			if ratio := float64(c.SnapshotRestoreNs) / float64(b.SnapshotRestoreNs); ratio > maxLatency {
+				violations = append(violations, fmt.Sprintf(
+					"%s: snapshot restore %d → %d ns (×%.2f)", b.Name, b.SnapshotRestoreNs, c.SnapshotRestoreNs, ratio))
+			}
+		}
+		if b.Speedup > 0 && !math.IsInf(b.Speedup, 0) {
+			floor := b.Speedup / maxLatency
+			if floor < 1 {
+				floor = 1 // a warm restart must at least beat the rebuild
+			}
+			if c.Speedup < floor {
+				violations = append(violations, fmt.Sprintf(
+					"%s: restore-vs-rebuild speedup %.1fx → %.1fx (floor %.1fx)", b.Name, b.Speedup, c.Speedup, floor))
+			}
 		}
 	}
 	return violations, nil

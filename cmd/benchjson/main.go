@@ -2,7 +2,7 @@
 // readable JSON, so the performance trajectory across PRs can be tracked
 // by tooling instead of by eyeballing `go test -bench` output.
 //
-// Two modes:
+// Three modes:
 //
 //	-mode micro (default) runs the hot-path micro-benchmarks through
 //	`go test -bench` and writes BENCH_engine.json (ns/op, B/op,
@@ -15,10 +15,17 @@
 //	BENCH_streaming.json with per-update latencies and the rebuild/append
 //	speedup.
 //
+//	-mode catalog measures the warm-restart path on the liquor and stream
+//	datasets staged in a temp on-disk catalog: cold start (CSV parse +
+//	full engine build) vs snapshot save and snapshot restore (decode +
+//	engine finish), and writes BENCH_catalog.json with the restore-vs-
+//	rebuild speedup.
+//
 // Usage:
 //
 //	go run ./cmd/benchjson [-bench regex] [-benchtime 2s] [-count 1] [-o BENCH_engine.json]
 //	go run ./cmd/benchjson -mode streaming [-replays 7] [-o BENCH_streaming.json]
+//	go run ./cmd/benchjson -mode catalog [-replays 5] [-o BENCH_catalog.json]
 package main
 
 import (
@@ -29,14 +36,17 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/explain"
 	"repro/internal/relation"
 )
 
@@ -72,12 +82,12 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	mode := flag.String("mode", "micro", "micro (go test -bench) or streaming (per-update latency replay)")
+	mode := flag.String("mode", "micro", "micro (go test -bench), streaming (per-update latency replay), or catalog (snapshot save/restore vs rebuild)")
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "2s", "value for go test -benchtime")
 	count := flag.Int("count", 1, "value for go test -count")
 	pkg := flag.String("pkg", ".", "package holding the benchmarks")
-	replays := flag.Int("replays", 7, "streaming mode: replay count (per-update minimum is reported)")
+	replays := flag.Int("replays", 7, "streaming/catalog modes: replay count (minimum is reported)")
 	out := flag.String("o", "", "output file ('-' for stdout; default depends on mode)")
 	flag.Parse()
 
@@ -87,6 +97,15 @@ func main() {
 			*out = "BENCH_streaming.json"
 		}
 		if err := runStreaming(*out, *replays); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "catalog":
+		if *out == "" {
+			*out = "BENCH_catalog.json"
+		}
+		if err := runCatalog(*out, *replays); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -321,4 +340,194 @@ func runStreaming(out string, replays int) error {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d updates, later-half speedup %.1fx)\n",
 		out, nUpdates, report.LaterHalf.Speedup)
 	return nil
+}
+
+// CatalogDataset is one dataset's warm-restart measurements (minimum
+// over replays).
+type CatalogDataset struct {
+	Name          string `json:"name"`
+	Rows          int    `json:"rows"`
+	Timestamps    int    `json:"timestamps"`
+	Candidates    int    `json:"candidates"`
+	CSVBytes      int64  `json:"csv_bytes"`
+	SnapshotBytes int64  `json:"snapshot_bytes"`
+	// ColdBuildNs is a cold start without a snapshot: CSV parse +
+	// dictionary encoding + full engine build (group-by, planning,
+	// smoothing, filter).
+	ColdBuildNs int64 `json:"cold_build_ns"`
+	// SnapshotSaveNs encodes and atomically writes the snapshot.
+	SnapshotSaveNs int64 `json:"snapshot_save_ns"`
+	// SnapshotRestoreNs is a warm start: snapshot load (checksum,
+	// decode) + engine finish (smoothing, filter, explainer).
+	SnapshotRestoreNs int64 `json:"snapshot_restore_ns"`
+	// Speedup is ColdBuildNs / SnapshotRestoreNs.
+	Speedup float64 `json:"speedup"`
+}
+
+// CatalogReport is the BENCH_catalog.json document.
+type CatalogReport struct {
+	GeneratedBy string           `json:"generated_by"`
+	GoVersion   string           `json:"go_version"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	Replays     int              `json:"replays"`
+	UnixTime    int64            `json:"unix_time"`
+	Datasets    []CatalogDataset `json:"datasets"`
+}
+
+// runCatalog stages the liquor and stream datasets in a temp on-disk
+// catalog and measures cold start vs snapshot save/restore.
+func runCatalog(out string, replays int) error {
+	if replays < 1 {
+		replays = 1
+	}
+	dir, err := os.MkdirTemp("", "tsx-bench-catalog-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cat, err := catalog.Open(dir)
+	if err != nil {
+		return err
+	}
+
+	report := CatalogReport{
+		GeneratedBy: "cmd/benchjson -mode catalog",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Replays:     replays,
+		UnixTime:    time.Now().Unix(),
+	}
+	for _, d := range []*datasets.Dataset{datasets.Liquor(), datasets.Stream(datasets.StreamDays)} {
+		cd, err := benchCatalogDataset(cat, d, replays)
+		if err != nil {
+			return fmt.Errorf("%s: %w", d.Name, err)
+		}
+		report.Datasets = append(report.Datasets, cd)
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		os.Stdout.Write(enc)
+		return nil
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	for _, cd := range report.Datasets {
+		fmt.Fprintf(os.Stderr, "benchjson: %s cold %.1fms, restore %.1fms (%.1fx)\n",
+			cd.Name, float64(cd.ColdBuildNs)/1e6, float64(cd.SnapshotRestoreNs)/1e6, cd.Speedup)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d datasets)\n", out, len(report.Datasets))
+	return nil
+}
+
+// catalogBenchName makes a catalog-safe slug for a dataset.
+func catalogBenchName(name string) string {
+	return "bench-" + strings.ToLower(strings.ReplaceAll(name, " ", "-"))
+}
+
+func benchCatalogDataset(cat *catalog.Catalog, d *datasets.Dataset, replays int) (CatalogDataset, error) {
+	name := catalogBenchName(d.Name)
+	m := catalog.Manifest{
+		Name:         name,
+		TimeCol:      d.Rel.TimeName(),
+		DimCols:      d.Rel.DimNames(),
+		MeasureCol:   d.Measure,
+		Agg:          d.Agg.String(),
+		ExplainBy:    d.ExplainBy,
+		MaxOrder:     d.MaxOrder,
+		SmoothWindow: d.SmoothWindow,
+	}
+	var csvBuf bytes.Buffer
+	if err := relation.WriteCSV(&csvBuf, d.Rel); err != nil {
+		return CatalogDataset{}, err
+	}
+	if _, err := cat.Create(m, bytes.NewReader(csvBuf.Bytes())); err != nil {
+		return CatalogDataset{}, err
+	}
+	cd := CatalogDataset{
+		Name:       d.Name,
+		Rows:       d.Rel.NumRows(),
+		Timestamps: d.Rel.NumTimestamps(),
+		CSVBytes:   int64(csvBuf.Len()),
+	}
+	q := core.Query{Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy}
+	opts := core.DefaultOptions()
+	opts.MaxOrder = d.MaxOrder
+	opts.SmoothWindow = d.SmoothWindow
+
+	// Cold start: CSV parse + full engine build, exactly what a restart
+	// without a snapshot pays per dataset.
+	for r := 0; r < replays; r++ {
+		t0 := time.Now()
+		rel, err := cat.LoadRelation(name)
+		if err != nil {
+			return cd, err
+		}
+		if _, err := core.NewEngine(rel, q, opts); err != nil {
+			return cd, err
+		}
+		if ns := time.Since(t0).Nanoseconds(); r == 0 || ns < cd.ColdBuildNs {
+			cd.ColdBuildNs = ns
+		}
+	}
+
+	// Snapshot save: raw universe encode + checksummed atomic write. The
+	// universe build itself is not billed — the background refresher
+	// amortizes it off the request path.
+	fp, err := cat.DataFingerprint(name)
+	if err != nil {
+		return cd, err
+	}
+	rel, err := cat.LoadRelation(name)
+	if err != nil {
+		return cd, err
+	}
+	u, err := explain.NewUniverse(rel, explain.Config{
+		Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy, MaxOrder: d.MaxOrder,
+	})
+	if err != nil {
+		return cd, err
+	}
+	cd.Candidates = u.NumCandidates()
+	for r := 0; r < replays; r++ {
+		t0 := time.Now()
+		if err := cat.SaveSnapshot(name, rel, u, fp); err != nil {
+			return cd, err
+		}
+		if ns := time.Since(t0).Nanoseconds(); r == 0 || ns < cd.SnapshotSaveNs {
+			cd.SnapshotSaveNs = ns
+		}
+	}
+
+	// Warm start: snapshot load (checksum + decode) + engine finish
+	// (smoothing, support filter, explainer) — the group-by and planning
+	// passes never run.
+	for r := 0; r < replays; r++ {
+		t0 := time.Now()
+		srel, su, err := cat.LoadSnapshot(name)
+		if err != nil {
+			return cd, err
+		}
+		_ = srel
+		if _, err := core.NewEngineFromUniverse(su, q, opts); err != nil {
+			return cd, err
+		}
+		if ns := time.Since(t0).Nanoseconds(); r == 0 || ns < cd.SnapshotRestoreNs {
+			cd.SnapshotRestoreNs = ns
+		}
+	}
+	if cd.SnapshotRestoreNs > 0 {
+		cd.Speedup = float64(cd.ColdBuildNs) / float64(cd.SnapshotRestoreNs)
+	}
+	if fi, err := os.Stat(filepath.Join(cat.Dir(), name, "snapshot.bin")); err == nil {
+		cd.SnapshotBytes = fi.Size()
+	}
+	return cd, nil
 }

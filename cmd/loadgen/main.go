@@ -1,26 +1,34 @@
 // Command loadgen replays a mixed TSExplain workload — cold and warm
 // explains across datasets and K values, SVG renders, OLAP slices,
-// two-point diffs, and streaming replays — against the serving layer at a
-// fixed client concurrency, and writes BENCH_server.json with per-endpoint
-// latency quantiles (p50/p95/p99), throughput, status-code counts, and
-// the server's own shed/eviction counters scraped from /metrics.
+// two-point diffs, streaming replays, and catalog NDJSON appends —
+// against the serving layer at a fixed client concurrency, and writes
+// BENCH_server.json with per-endpoint latency quantiles (p50/p95/p99),
+// throughput, status-code counts, and the server's own shed/eviction
+// counters scraped from /metrics.
 //
 // With -addr it targets a running server; without it, it starts an
 // in-process server (configurable shards/workers/queue/budget) so one
-// command produces a reproducible benchmark:
+// command produces a reproducible benchmark. The in-process server runs
+// with a temp catalog data dir, and the bootstrap uploads a synthetic
+// dataset ("loadgen-synth") so the admin path — upload, append through
+// the streaming ingestion engine, snapshot refresh — is exercised under
+// the same load as the read path (mix class "append"):
 //
 //	go run ./cmd/loadgen -clients 256 -duration 15s
+//	go run ./cmd/loadgen -mix 'explain=8,svg=1,slice=3,diff=2,stream=1,append=2'
 //	go run ./cmd/loadgen -addr http://127.0.0.1:8080 -clients 64
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"mime/multipart"
 	"net"
 	"net/http"
 	"os"
@@ -29,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/server"
@@ -39,7 +48,7 @@ func main() {
 	clients := flag.Int("clients", 256, "concurrent client goroutines")
 	duration := flag.Duration("duration", 15*time.Second, "how long to drive load")
 	dsets := flag.String("datasets", "liquor,covid,stream", "comma-separated dataset mix")
-	mix := flag.String("mix", "explain=8,svg=1,slice=3,diff=2,stream=1", "weighted request mix")
+	mix := flag.String("mix", "explain=8,svg=1,slice=3,diff=2,stream=1,append=1", "weighted request mix")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	out := flag.String("o", "BENCH_server.json", "output file ('-' for stdout)")
 	// In-process server knobs (ignored with -addr).
@@ -65,12 +74,19 @@ func main() {
 	base := *addr
 	var shutdown func()
 	if base == "" {
+		dataDir, derr := os.MkdirTemp("", "loadgen-catalog-")
+		if derr != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", derr)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dataDir)
 		base, shutdown, err = startInProcess(server.Config{
 			Shards:            *shards,
 			WorkersPerShard:   *workers,
 			QueueDepth:        *queue,
 			RequestTimeout:    *timeout,
 			MemoryBudgetBytes: *budgetMB << 20,
+			DataDir:           dataDir,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -132,7 +148,7 @@ func parseMix(s string) ([]weightedClass, error) {
 			return nil, fmt.Errorf("bad mix weight %q", part)
 		}
 		switch kv[0] {
-		case "explain", "svg", "slice", "diff", "stream":
+		case "explain", "svg", "slice", "diff", "stream", "append":
 		default:
 			return nil, fmt.Errorf("unknown mix class %q", kv[0])
 		}
@@ -147,9 +163,68 @@ func startInProcess(cfg server.Config) (base string, shutdown func(), err error)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: server.NewWithConfig(cfg)}
+	handler, err := server.Open(cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: handler}
 	go func() { _ = srv.Serve(ln) }()
 	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// The synthetic catalog dataset the append class drives. Day labels are
+// zero-padded so they sort lexicographically in series order.
+const (
+	synthDataset = "loadgen-synth"
+	synthDays    = 100
+	synthMaxDay  = 9999
+)
+
+var synthStates = []string{"NY", "CA", "TX", "FL"}
+
+func synthDayLabel(d int) string { return fmt.Sprintf("day-%04d", d) }
+
+// synthCSV generates the synthetic dataset's seed CSV.
+func synthCSV() string {
+	var b strings.Builder
+	b.WriteString("day,state,region,value\n")
+	for d := 1; d <= synthDays; d++ {
+		for i, st := range synthStates {
+			region := "east"
+			if i >= 2 {
+				region = "south"
+			}
+			fmt.Fprintf(&b, "%s,%s,%s,%d\n", synthDayLabel(d), st, region, 50+(d*(i+1))%40)
+		}
+	}
+	return b.String()
+}
+
+// uploadSynth creates the synthetic catalog dataset; a false return means
+// the target server has no catalog (external server without -data-dir)
+// and the append class should be dropped.
+func uploadSynth(client *http.Client, base string) bool {
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	mf, _ := mw.CreateFormField("manifest")
+	fmt.Fprintf(mf, `{"name":%q,"timeCol":"day","dimCols":["state","region"],"measureCol":"value","maxOrder":2}`, synthDataset)
+	cf, _ := mw.CreateFormFile("csv", "synth.csv")
+	_, _ = cf.Write([]byte(synthCSV()))
+	mw.Close()
+	req, err := http.NewRequest("POST", base+"/api/datasets", &body)
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	// 201 created now, 409 already present (rerun against a persistent
+	// data dir) — both mean the dataset is appendable.
+	return resp.StatusCode == 201 || resp.StatusCode == 409
 }
 
 // sample is one finished request.
@@ -187,6 +262,30 @@ func run(base string, cfg runConfig) (*Report, error) {
 		labels[d] = out.Labels
 	}
 
+	// The append class needs the synthetic catalog dataset; drop the
+	// class when the target server has no catalog.
+	hasAppend := false
+	for _, c := range cfg.mix {
+		if c.name == "append" && c.weight > 0 {
+			hasAppend = true
+		}
+	}
+	if hasAppend && !uploadSynth(client, base) {
+		fmt.Fprintln(os.Stderr, "loadgen: target server has no catalog; dropping the append class")
+		kept := cfg.mix[:0]
+		for _, c := range cfg.mix {
+			if c.name != "append" {
+				kept = append(kept, c)
+			}
+		}
+		cfg.mix = kept
+	}
+	// appendDay hands out monotonically increasing day labels across
+	// clients; capped at synthMaxDay, after which appends revise the last
+	// day (still a valid append).
+	var appendDay atomic.Int64
+	appendDay.Store(synthDays)
+
 	var totalWeight int
 	for _, c := range cfg.mix {
 		totalWeight += c.weight
@@ -207,9 +306,13 @@ func run(base string, cfg runConfig) (*Report, error) {
 			rng := rand.New(rand.NewSource(cfg.seed + int64(i)))
 			for ctx.Err() == nil {
 				cls := pickClass(rng, cfg.mix, totalWeight)
-				url := buildURL(base, cls, rng, cfg.datasets, labels)
+				var code int
 				t0 := time.Now()
-				code := doRequest(ctx, client, url)
+				if cls == "append" {
+					code = doAppend(ctx, client, base, &appendDay, rng)
+				} else {
+					code = doRequest(ctx, client, buildURL(base, cls, rng, cfg.datasets, labels))
+				}
 				perClient[i] = append(perClient[i], sample{
 					class: cls, code: code, ms: float64(time.Since(t0).Microseconds()) / 1000,
 				})
@@ -269,6 +372,35 @@ func buildURL(base, class string, rng *rand.Rand, dsets []string, labels map[str
 		return fmt.Sprintf("%s/api/stream?dataset=stream&start=110&step=5", base)
 	}
 	return base + "/api/datasets"
+}
+
+// doAppend posts one NDJSON delta row to the synthetic catalog dataset:
+// usually the next day in sequence, so the series keeps growing through
+// the streaming ingestion path (and occasionally a same-day revision).
+func doAppend(ctx context.Context, client *http.Client, base string, day *atomic.Int64, rng *rand.Rand) int {
+	d := day.Add(1)
+	if d > synthMaxDay {
+		day.Store(synthMaxDay)
+		d = synthMaxDay
+	}
+	st := synthStates[rng.Intn(len(synthStates))]
+	region := "east"
+	if st == "TX" || st == "FL" {
+		region = "south"
+	}
+	body := fmt.Sprintf(`{"time":%q,"dims":{"state":%q,"region":%q},"measure":%d}`+"\n",
+		synthDayLabel(int(d)), st, region, 40+rng.Intn(60))
+	req, err := http.NewRequestWithContext(ctx, "POST", base+"/api/datasets/"+synthDataset+"/append", strings.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
 }
 
 // doRequest returns the response status (0 on transport errors). Bodies
@@ -397,7 +529,9 @@ func scrapeMetrics(client *http.Client, base string) map[string]float64 {
 		}
 		return strings.HasPrefix(name, "tsexplain_shed_total") ||
 			strings.HasPrefix(name, "tsexplain_engine_pool_bytes") ||
-			strings.HasPrefix(name, "tsexplain_engine_pool_engines")
+			strings.HasPrefix(name, "tsexplain_engine_pool_engines") ||
+			strings.HasPrefix(name, "tsexplain_catalog_") ||
+			strings.HasPrefix(name, "tsexplain_snapshot_")
 	}
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {

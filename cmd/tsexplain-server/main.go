@@ -4,7 +4,15 @@
 // back-pressure, per-request deadlines the engine observes, structured
 // request logs, and a Prometheus /metrics endpoint.
 //
+// With -data-dir it also serves the on-disk dataset catalog: CSV datasets
+// uploaded through POST /api/datasets (and extended through
+// POST /api/datasets/{name}/append) are served exactly like the
+// built-ins, and -snapshot (default on) makes restarts warm by restoring
+// each dataset's relation and candidate universe from a checksummed
+// binary snapshot instead of re-parsing and re-planning.
+//
 //	go run ./cmd/tsexplain-server -addr :8080
+//	go run ./cmd/tsexplain-server -addr :8080 -data-dir ./tsx-data
 //	go run ./cmd/tsexplain-server -shards 8 -workers 2 -queue 32 \
 //	    -request-timeout 10s -mem-budget-mb 512 -access-log
 package main
@@ -29,13 +37,15 @@ func main() {
 	memBudgetMB := flag.Int64("mem-budget-mb", 0, "engine memory budget in MiB (0: default 1024)")
 	resultCache := flag.Int("result-cache", 0, "cached explain results (0: default 256)")
 	accessLog := flag.Bool("access-log", false, "write structured JSON request logs to stderr")
+	dataDir := flag.String("data-dir", "", "dataset catalog directory; empty serves built-in datasets only")
+	snapshot := flag.Bool("snapshot", true, "write/restore warm-restart snapshots for catalog datasets")
 	flag.Parse()
 
 	var logW io.Writer
 	if *accessLog {
 		logW = os.Stderr
 	}
-	handler := server.NewWithConfig(server.Config{
+	handler, err := server.Open(server.Config{
 		Shards:            *shards,
 		WorkersPerShard:   *workers,
 		QueueDepth:        *queue,
@@ -43,12 +53,20 @@ func main() {
 		MemoryBudgetBytes: *memBudgetMB << 20,
 		ResultCacheSize:   *resultCache,
 		AccessLog:         logW,
+		DataDir:           *dataDir,
+		DisableSnapshots:  !*snapshot,
 	})
+	if err != nil {
+		log.Fatalf("tsexplain-server: %v", err)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if *dataDir != "" {
+		log.Printf("TSExplain catalog at %s (snapshots %v)", *dataDir, *snapshot)
 	}
 	log.Printf("TSExplain serving on http://%s (metrics at /metrics)", *addr)
 	log.Fatal(srv.ListenAndServe())

@@ -7,6 +7,12 @@
 //	tsexplain -demo covid
 //	tsexplain -csv liquor.csv -time date -dims "Pack,Vendor Name" \
 //	    -measure "Bottles Sold" -agg SUM
+//	tsexplain -csv mydata.csv -manifest mydata.json
+//
+// -manifest reads the same JSON document the server's catalog stores
+// next to each uploaded dataset (timeCol/dimCols/measureCol/agg/
+// explainBy/maxOrder/smoothWindow), so an offline run reproduces exactly
+// what the server serves for that dataset.
 package main
 
 import (
@@ -16,37 +22,39 @@ import (
 	"strings"
 
 	tsexplain "repro"
+	"repro/internal/catalog"
 	"repro/internal/datasets"
 	rendersvg "repro/internal/render"
 )
 
 func main() {
 	var (
-		csvPath   = flag.String("csv", "", "CSV file to explain (header row required)")
-		demo      = flag.String("demo", "", "built-in dataset: covid, covid-daily, sp500, liquor, vax-deaths")
-		timeCol   = flag.String("time", "", "time column name")
-		dims      = flag.String("dims", "", "comma-separated dimension columns")
-		measure   = flag.String("measure", "", "measure column name")
-		aggName   = flag.String("agg", "SUM", "aggregate function: SUM, COUNT, AVG")
-		explainBy = flag.String("explain-by", "", "comma-separated explain-by columns (default: all dims)")
-		k         = flag.Int("k", 0, "segment count (0 = automatic elbow selection)")
-		m         = flag.Int("m", 3, "explanations per segment")
-		maxOrder  = flag.Int("max-order", 3, "explanation order threshold β̄")
-		smooth    = flag.Int("smooth", 0, "moving-average window (0 = none)")
-		vanilla   = flag.Bool("vanilla", false, "disable all optimizations")
-		recommend = flag.Bool("recommend", false, "rank dimension attributes by explanatory power and exit")
-		svgOut    = flag.String("svg", "", "also write a Figure 2-style trendline SVG to this file")
+		csvPath      = flag.String("csv", "", "CSV file to explain (header row required)")
+		demo         = flag.String("demo", "", "built-in dataset: covid, covid-daily, sp500, liquor, vax-deaths, stream")
+		manifestPath = flag.String("manifest", "", "catalog manifest JSON describing the CSV (replaces -time/-dims/-measure/-agg/-explain-by)")
+		timeCol      = flag.String("time", "", "time column name")
+		dims         = flag.String("dims", "", "comma-separated dimension columns")
+		measure      = flag.String("measure", "", "measure column name")
+		aggName      = flag.String("agg", "SUM", "aggregate function: SUM, COUNT, AVG")
+		explainBy    = flag.String("explain-by", "", "comma-separated explain-by columns (default: all dims)")
+		k            = flag.Int("k", 0, "segment count (0 = automatic elbow selection)")
+		m            = flag.Int("m", 3, "explanations per segment")
+		maxOrder     = flag.Int("max-order", 3, "explanation order threshold β̄")
+		smooth       = flag.Int("smooth", 0, "moving-average window (0 = none)")
+		vanilla      = flag.Bool("vanilla", false, "disable all optimizations")
+		recommend    = flag.Bool("recommend", false, "rank dimension attributes by explanatory power and exit")
+		svgOut       = flag.String("svg", "", "also write a Figure 2-style trendline SVG to this file")
 	)
 	flag.Parse()
 
-	if err := run(*csvPath, *demo, *timeCol, *dims, *measure, *aggName,
+	if err := run(*csvPath, *demo, *manifestPath, *timeCol, *dims, *measure, *aggName,
 		*explainBy, *svgOut, *k, *m, *maxOrder, *smooth, *vanilla, *recommend); err != nil {
 		fmt.Fprintln(os.Stderr, "tsexplain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(csvPath, demo, timeCol, dims, measure, aggName, explainBy, svgOut string,
+func run(csvPath, demo, manifestPath, timeCol, dims, measure, aggName, explainBy, svgOut string,
 	k, m, maxOrder, smooth int, vanilla, recommend bool) error {
 	var (
 		rel   *tsexplain.Relation
@@ -74,9 +82,36 @@ func run(csvPath, demo, timeCol, dims, measure, aggName, explainBy, svgOut strin
 		if smooth == 0 {
 			opts.SmoothWindow = d.SmoothWindow
 		}
+	case csvPath != "" && manifestPath != "":
+		data, derr := os.ReadFile(manifestPath)
+		if derr != nil {
+			return derr
+		}
+		mf, derr := catalog.ParseManifest(data)
+		if derr != nil {
+			return derr
+		}
+		agg, derr := mf.AggFunc()
+		if derr != nil {
+			return derr
+		}
+		f, ferr := os.Open(csvPath)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		rel, err = tsexplain.ReadCSV(f, mf.Spec())
+		if err != nil {
+			return err
+		}
+		query = tsexplain.Query{Measure: mf.MeasureCol, Agg: agg, ExplainBy: mf.ExplainBy}
+		opts.MaxOrder = mf.EffectiveMaxOrder()
+		if smooth == 0 {
+			opts.SmoothWindow = mf.SmoothWindow
+		}
 	case csvPath != "":
 		if timeCol == "" || dims == "" || measure == "" {
-			return fmt.Errorf("-csv requires -time, -dims, and -measure")
+			return fmt.Errorf("-csv requires -manifest, or -time, -dims, and -measure")
 		}
 		agg, aerr := parseAgg(aggName)
 		if aerr != nil {
@@ -150,6 +185,8 @@ func demoDataset(name string) (*datasets.Dataset, error) {
 		return datasets.Liquor(), nil
 	case "vax-deaths":
 		return datasets.VaxDeaths(), nil
+	case "stream":
+		return datasets.Stream(datasets.StreamDays), nil
 	default:
 		return nil, fmt.Errorf("unknown demo dataset %q", name)
 	}

@@ -1,0 +1,380 @@
+package catalog
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/explain"
+	"repro/internal/relation"
+)
+
+const testCSV = `date,state,county,cases,ignored
+2020-01-01,NY,a,5,x
+2020-01-01,CA,b,3,x
+2020-01-02,NY,a,7,x
+2020-01-02,CA,b,4,x
+2020-01-03,NY,a,9,x
+2020-01-03,CA,b,6,x
+`
+
+func testManifest() Manifest {
+	return Manifest{
+		Name:       "epidemic",
+		Aliases:    []string{"epi", "cases"},
+		TimeCol:    "date",
+		DimCols:    []string{"state", "county"},
+		MeasureCol: "cases",
+		Agg:        "SUM",
+		MaxOrder:   2,
+	}
+}
+
+func openTestCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestManifestValidation(t *testing.T) {
+	good := testManifest()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+	cases := []struct {
+		mutate func(*Manifest)
+		wantIn string
+	}{
+		{func(m *Manifest) { m.Name = "Bad Name" }, "bad dataset name"},
+		{func(m *Manifest) { m.Name = "../escape" }, "bad dataset name"},
+		{func(m *Manifest) { m.Aliases = []string{"epidemic"} }, "repeats"},
+		{func(m *Manifest) { m.Aliases = []string{"x", "x"} }, "repeats"},
+		{func(m *Manifest) { m.TimeCol = "" }, "timeCol"},
+		{func(m *Manifest) { m.DimCols = nil }, "dimCols"},
+		{func(m *Manifest) { m.DimCols = []string{"state", "state"} }, "repeated"},
+		{func(m *Manifest) { m.MeasureCol = "" }, "measureCol"},
+		{func(m *Manifest) { m.MeasureCol = "state" }, "repeated"},
+		{func(m *Manifest) { m.Agg = "MEDIAN" }, "unknown aggregate"},
+		{func(m *Manifest) { m.ExplainBy = []string{"nope"} }, "not a dimCols entry"},
+		{func(m *Manifest) { m.ExplainBy = []string{"state", "state"} }, "repeated"},
+		{func(m *Manifest) { m.MaxOrder = 99 }, "maxOrder"},
+		{func(m *Manifest) { m.SmoothWindow = -1 }, "smoothWindow"},
+	}
+	for i, tc := range cases {
+		m := testManifest()
+		tc.mutate(&m)
+		err := m.Validate()
+		if err == nil {
+			t.Errorf("case %d: invalid manifest accepted", i)
+		} else if !strings.Contains(err.Error(), tc.wantIn) {
+			t.Errorf("case %d: error %q does not mention %q", i, err, tc.wantIn)
+		}
+	}
+	if _, err := ParseManifest([]byte(`{"name":"x","timecolumn":"date"}`)); err == nil {
+		t.Error("unknown manifest field accepted")
+	}
+}
+
+func TestCreateListLoadDelete(t *testing.T) {
+	c := openTestCatalog(t)
+	rel, err := c.Create(testManifest(), strings.NewReader(testCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 6 || rel.NumTimestamps() != 3 || rel.NumDims() != 2 {
+		t.Fatalf("parsed relation shape: %d rows, %d timestamps, %d dims", rel.NumRows(), rel.NumTimestamps(), rel.NumDims())
+	}
+	if got := c.Names(); len(got) != 1 || got[0] != "epidemic" {
+		t.Fatalf("Names = %v", got)
+	}
+	for _, alias := range []string{"epidemic", "epi", "cases"} {
+		if canon, ok := c.Resolve(alias); !ok || canon != "epidemic" {
+			t.Fatalf("Resolve(%q) = %q, %v", alias, canon, ok)
+		}
+	}
+	if _, ok := c.Resolve("nope"); ok {
+		t.Fatal("Resolve accepted an unknown name")
+	}
+
+	// The normalized CSV drops unmapped columns and reloads identically.
+	loaded, err := c.LoadRelation("epidemic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumRows() != rel.NumRows() || loaded.NumTimestamps() != rel.NumTimestamps() {
+		t.Fatalf("reloaded relation differs: %d rows, %d timestamps", loaded.NumRows(), loaded.NumTimestamps())
+	}
+	for row := 0; row < rel.NumRows(); row++ {
+		if loaded.DimValue(0, row) != rel.DimValue(0, row) || loaded.MeasureValue(0, row) != rel.MeasureValue(0, row) {
+			t.Fatalf("reloaded row %d differs", row)
+		}
+	}
+
+	// Create collisions: same name, alias vs name, name vs alias.
+	if _, err := c.Create(testManifest(), strings.NewReader(testCSV)); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	m2 := testManifest()
+	m2.Name = "epi" // collides with an alias of epidemic
+	m2.Aliases = nil
+	if _, err := c.Create(m2, strings.NewReader(testCSV)); !errors.Is(err, ErrExists) {
+		t.Fatalf("alias-colliding create: %v", err)
+	}
+
+	// A fresh Open over the same dir rediscovers the dataset.
+	c2, err := Open(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon, ok := c2.Resolve("epi"); !ok || canon != "epidemic" {
+		t.Fatalf("rescan lost the dataset: %q, %v", canon, ok)
+	}
+
+	if err := c.Delete("epidemic"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Names()) != 0 {
+		t.Fatal("Delete left the dataset listed")
+	}
+	if _, ok := c.Resolve("epi"); ok {
+		t.Fatal("Delete left an alias resolvable")
+	}
+	if _, err := c.LoadRelation("epidemic"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("LoadRelation after delete: %v", err)
+	}
+	if err := c.Delete("epidemic"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	// The name is reusable after deletion.
+	if _, err := c.Create(testManifest(), strings.NewReader(testCSV)); err != nil {
+		t.Fatalf("re-create after delete: %v", err)
+	}
+}
+
+func TestCreateRejectsBadCSV(t *testing.T) {
+	c := openTestCatalog(t)
+	// Missing measure column.
+	bad := "date,state\n2020-01-01,NY\n"
+	if _, err := c.Create(testManifest(), strings.NewReader(bad)); err == nil {
+		t.Fatal("CSV without mapped columns accepted")
+	}
+	// Non-numeric measure.
+	bad = "date,state,county,cases\n2020-01-01,NY,a,notanumber\n"
+	if _, err := c.Create(testManifest(), strings.NewReader(bad)); err == nil {
+		t.Fatal("non-numeric measure accepted")
+	}
+	// A failed create leaves nothing behind: no registration, no files.
+	if len(c.Names()) != 0 {
+		t.Fatalf("failed create registered a dataset: %v", c.Names())
+	}
+	entries, err := os.ReadDir(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if ValidName(e.Name()) {
+			t.Fatalf("failed create left %q on disk", e.Name())
+		}
+	}
+}
+
+func TestAppendRowsPersists(t *testing.T) {
+	c := openTestCatalog(t)
+	if _, err := c.Create(testManifest(), strings.NewReader(testCSV)); err != nil {
+		t.Fatal(err)
+	}
+	err := c.AppendRows("epidemic",
+		[]string{"2020-01-04", "2020-01-04"},
+		[][]string{{"NY", "a"}, {"FL", "c"}},
+		[][]float64{{11}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := c.LoadRelation("epidemic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 8 || rel.NumTimestamps() != 4 {
+		t.Fatalf("after append: %d rows, %d timestamps", rel.NumRows(), rel.NumTimestamps())
+	}
+	if _, ok := rel.Dim(0).ID("FL"); !ok {
+		t.Fatal("appended dictionary value FL missing after reload")
+	}
+}
+
+// buildUniverse builds the raw universe for a catalog dataset the way the
+// serving layer's snapshot refresher does.
+func buildUniverse(t *testing.T, m Manifest, rel *relation.Relation) *explain.Universe {
+	t.Helper()
+	agg, err := m.AggFunc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := explain.NewUniverse(rel, explain.Config{
+		Measure: m.MeasureCol, Agg: agg, ExplainBy: m.ExplainBy, MaxOrder: m.EffectiveMaxOrder(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// mustFingerprint fetches the dataset's current CSV fingerprint.
+func mustFingerprint(t *testing.T, c *Catalog, name string) Fingerprint {
+	t.Helper()
+	fp, err := c.DataFingerprint(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// TestSaveSnapshotAbortsOnConcurrentAppend pins the refresher race rule:
+// a snapshot built from a pre-append parse must not be saved once the CSV
+// has grown, or LoadSnapshot would serve pre-append data as current.
+func TestSaveSnapshotAbortsOnConcurrentAppend(t *testing.T) {
+	c := openTestCatalog(t)
+	m := testManifest()
+	rel, err := c.Create(m, strings.NewReader(testCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := mustFingerprint(t, c, "epidemic")
+	u := buildUniverse(t, m, rel)
+	// An append lands between the build and the save.
+	if err := c.AppendRows("epidemic",
+		[]string{"2020-01-04"}, [][]string{{"NY", "a"}}, [][]float64{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveSnapshot("epidemic", rel, u, fp); !errors.Is(err, ErrSnapshotStale) {
+		t.Fatalf("stale save: %v, want ErrSnapshotStale", err)
+	}
+	if c.HasSnapshot("epidemic") {
+		t.Fatal("aborted save left a snapshot file")
+	}
+}
+
+func TestSnapshotSaveLoad(t *testing.T) {
+	c := openTestCatalog(t)
+	m := testManifest()
+	rel, err := c.Create(m, strings.NewReader(testCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HasSnapshot("epidemic") {
+		t.Fatal("snapshot reported before one was saved")
+	}
+	u := buildUniverse(t, m, rel)
+	if err := c.SaveSnapshot("epidemic", rel, u, mustFingerprint(t, c, "epidemic")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasSnapshot("epidemic") {
+		t.Fatal("snapshot not reported after save")
+	}
+	rel2, u2, err := c.LoadSnapshot("epidemic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.NumRows() != rel.NumRows() || u2.NumCandidates() != u.NumCandidates() {
+		t.Fatalf("restored shape: %d rows, %d candidates (want %d, %d)",
+			rel2.NumRows(), u2.NumCandidates(), rel.NumRows(), u.NumCandidates())
+	}
+}
+
+func TestSnapshotStaleAfterAppend(t *testing.T) {
+	c := openTestCatalog(t)
+	m := testManifest()
+	rel, err := c.Create(m, strings.NewReader(testCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveSnapshot("epidemic", rel, buildUniverse(t, m, rel), mustFingerprint(t, c, "epidemic")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AppendRows("epidemic",
+		[]string{"2020-01-04"}, [][]string{{"NY", "a"}}, [][]float64{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.LoadSnapshot("epidemic"); !errors.Is(err, ErrSnapshotStale) {
+		t.Fatalf("post-append snapshot load: %v, want ErrSnapshotStale", err)
+	}
+}
+
+func TestSnapshotCorruptionAndTruncation(t *testing.T) {
+	c := openTestCatalog(t)
+	m := testManifest()
+	rel, err := c.Create(m, strings.NewReader(testCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveSnapshot("epidemic", rel, buildUniverse(t, m, rel), mustFingerprint(t, c, "epidemic")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(c.Dir(), "epidemic", "snapshot.bin")
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte: the checksum must catch it.
+	bad := append([]byte(nil), full...)
+	bad[len(bad)-3] ^= 0x40
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.LoadSnapshot("epidemic"); err == nil || errors.Is(err, ErrSnapshotStale) {
+		t.Fatalf("corrupted snapshot load: %v, want checksum error", err)
+	}
+
+	// Truncate at several points: header, mid-payload, last byte.
+	for _, cut := range []int{0, 5, 20, len(full) / 2, len(full) - 1} {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.LoadSnapshot("epidemic"); err == nil {
+			t.Fatalf("snapshot truncated at %d of %d loaded without error", cut, len(full))
+		}
+	}
+
+	// Restore the intact file: load works again (the failure path did not
+	// poison anything).
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.LoadSnapshot("epidemic"); err != nil {
+		t.Fatalf("restored snapshot load: %v", err)
+	}
+}
+
+func TestConcurrentCreates(t *testing.T) {
+	c := openTestCatalog(t)
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := testManifest()
+			_, errs[i] = c.Create(m, strings.NewReader(testCSV))
+		}(i)
+	}
+	wg.Wait()
+	ok := 0
+	for _, err := range errs {
+		if err == nil {
+			ok++
+		} else if !errors.Is(err, ErrExists) {
+			t.Fatalf("unexpected create error: %v", err)
+		}
+	}
+	if ok != 1 {
+		t.Fatalf("%d concurrent creates of one name succeeded, want exactly 1", ok)
+	}
+}

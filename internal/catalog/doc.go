@@ -1,0 +1,31 @@
+// Package catalog implements the on-disk dataset catalog behind the
+// serving layer's bring-your-own-data path.
+//
+// A catalog is a directory (the server's -data-dir) holding one
+// subdirectory per dataset:
+//
+//	<data-dir>/<name>/manifest.json   query shape: columns, measure,
+//	                                  aggregate, explain-by, β̄, smoothing,
+//	                                  aliases
+//	<data-dir>/<name>/data.csv        the rows, normalized column order
+//	<data-dir>/<name>/snapshot.bin    optional warm-restart snapshot
+//
+// The manifest is the contract between an uploaded CSV and the engine:
+// it names the time column, the categorical dimensions, the measure and
+// its aggregate, and the per-dataset engine defaults (order threshold β̄,
+// smoothing window) that the built-in datasets carry in code. Datasets
+// created through Create are written atomically (staged in a temp
+// directory, then renamed into place), so a crashed upload never leaves a
+// half-written dataset for the next scan to trip over.
+//
+// The snapshot is the warm-restart path: a checksummed container holding
+// the relation's dictionary-encoded columns and the candidate universe's
+// conjunctions and raw series arena (the codecs live with their types, in
+// internal/relation and internal/explain). Loading it skips CSV parsing,
+// dictionary encoding, and — the expensive part — the group-by and
+// planning passes of universe construction. Snapshots are advisory:
+// LoadSnapshot verifies the container checksum and that data.csv has not
+// changed since the snapshot was taken, and any mismatch (corruption,
+// truncation, a post-snapshot append) returns an error the caller treats
+// as "rebuild from CSV", never as data.
+package catalog

@@ -1,0 +1,173 @@
+package catalog
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"regexp"
+
+	"repro/internal/relation"
+)
+
+// Manifest describes one catalog dataset: how its CSV maps onto a
+// relation, which aggregated series to explain, and the per-dataset
+// engine defaults. It is the JSON document uploaded next to the CSV and
+// stored as manifest.json.
+type Manifest struct {
+	// Name is the dataset's canonical identifier: a lowercase path-safe
+	// slug, unique within the catalog (and disjoint from the built-in
+	// dataset names when served).
+	Name string `json:"name"`
+	// Aliases lists alternative request names resolving to this dataset.
+	// Aliased requests share the canonical dataset's cache keys and pooled
+	// engines — the generalization of the server's old hardcoded
+	// "covid-total" → "covid" normalization.
+	Aliases []string `json:"aliases,omitempty"`
+	// TimeCol is the CSV header of the time dimension. Its values must
+	// sort lexicographically in series order (ISO dates, zero-padded
+	// numerals).
+	TimeCol string `json:"timeCol"`
+	// DimCols are the CSV headers of the categorical dimension columns.
+	DimCols []string `json:"dimCols"`
+	// MeasureCol is the CSV header of the numeric measure column.
+	MeasureCol string `json:"measureCol"`
+	// Agg is the aggregate function over MeasureCol: "SUM" (default),
+	// "COUNT", or "AVG".
+	Agg string `json:"agg,omitempty"`
+	// ExplainBy lists the explain-by attributes; empty means all DimCols.
+	ExplainBy []string `json:"explainBy,omitempty"`
+	// MaxOrder is the explanation order threshold β̄ (default 3, capped at
+	// len(ExplainBy)).
+	MaxOrder int `json:"maxOrder,omitempty"`
+	// SmoothWindow is the default moving-average window applied before
+	// explaining; 0 disables.
+	SmoothWindow int `json:"smoothWindow,omitempty"`
+}
+
+// nameRE is the shape of dataset names and aliases: a filesystem- and
+// URL-safe slug. Keeping names this tight is what makes using them as
+// directory names safe (no separators, no dots, no traversal).
+var nameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9_-]{0,63}$`)
+
+// ValidName reports whether s is an acceptable dataset name or alias.
+func ValidName(s string) bool { return nameRE.MatchString(s) }
+
+// ParseManifest decodes and validates a manifest document. Unknown JSON
+// fields are rejected so a typoed field name ("measure" for "measureCol")
+// fails the upload instead of silently applying a default.
+func ParseManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return m, fmt.Errorf("catalog: parsing manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// Validate checks the manifest's internal consistency: name and alias
+// shapes, non-empty column mapping, no duplicate or unknown explain-by
+// attributes, a known aggregate, and sane engine defaults.
+func (m *Manifest) Validate() error {
+	if !ValidName(m.Name) {
+		return fmt.Errorf("catalog: bad dataset name %q (want %s)", m.Name, nameRE)
+	}
+	seen := map[string]bool{m.Name: true}
+	for _, a := range m.Aliases {
+		if !ValidName(a) {
+			return fmt.Errorf("catalog: bad alias %q (want %s)", a, nameRE)
+		}
+		if seen[a] {
+			return fmt.Errorf("catalog: alias %q repeats the dataset name or another alias", a)
+		}
+		seen[a] = true
+	}
+	if m.TimeCol == "" {
+		return fmt.Errorf("catalog: manifest needs a timeCol")
+	}
+	if len(m.DimCols) == 0 {
+		return fmt.Errorf("catalog: manifest needs at least one dimCols entry")
+	}
+	cols := map[string]bool{m.TimeCol: true}
+	for _, d := range m.DimCols {
+		if d == "" {
+			return fmt.Errorf("catalog: empty dimCols entry")
+		}
+		if cols[d] {
+			return fmt.Errorf("catalog: column %q repeated in manifest", d)
+		}
+		cols[d] = true
+	}
+	if m.MeasureCol == "" {
+		return fmt.Errorf("catalog: manifest needs a measureCol")
+	}
+	if cols[m.MeasureCol] {
+		return fmt.Errorf("catalog: column %q repeated in manifest", m.MeasureCol)
+	}
+	if _, err := m.AggFunc(); err != nil {
+		return err
+	}
+	dimSet := make(map[string]bool, len(m.DimCols))
+	for _, d := range m.DimCols {
+		dimSet[d] = true
+	}
+	ebSeen := make(map[string]bool, len(m.ExplainBy))
+	for _, e := range m.ExplainBy {
+		if !dimSet[e] {
+			return fmt.Errorf("catalog: explainBy attribute %q is not a dimCols entry", e)
+		}
+		if ebSeen[e] {
+			return fmt.Errorf("catalog: explainBy attribute %q repeated", e)
+		}
+		ebSeen[e] = true
+	}
+	if m.MaxOrder < 0 || m.MaxOrder > 8 {
+		return fmt.Errorf("catalog: maxOrder %d out of range (0..8)", m.MaxOrder)
+	}
+	if m.SmoothWindow < 0 || m.SmoothWindow > 365 {
+		return fmt.Errorf("catalog: smoothWindow %d out of range (0..365)", m.SmoothWindow)
+	}
+	return nil
+}
+
+// Spec returns the CSV column mapping the manifest describes.
+func (m *Manifest) Spec() relation.CSVSpec {
+	return relation.CSVSpec{
+		Name:     m.Name,
+		TimeCol:  m.TimeCol,
+		DimCols:  m.DimCols,
+		MeasCols: []string{m.MeasureCol},
+	}
+}
+
+// AggFunc resolves the manifest's aggregate name; empty defaults to SUM.
+func (m *Manifest) AggFunc() (relation.AggFunc, error) {
+	if m.Agg == "" {
+		return relation.Sum, nil
+	}
+	f, err := relation.ParseAggFunc(m.Agg)
+	if err != nil {
+		return 0, fmt.Errorf("catalog: %w", err)
+	}
+	return f, nil
+}
+
+// EffectiveMaxOrder returns the order threshold β̄ after defaults: 3,
+// capped at the number of explain-by attributes.
+func (m *Manifest) EffectiveMaxOrder() int {
+	o := m.MaxOrder
+	if o <= 0 {
+		o = 3
+	}
+	nBy := len(m.ExplainBy)
+	if nBy == 0 {
+		nBy = len(m.DimCols)
+	}
+	if o > nBy {
+		o = nBy
+	}
+	return o
+}

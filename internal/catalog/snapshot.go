@@ -1,0 +1,240 @@
+package catalog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+
+	"repro/internal/explain"
+	"repro/internal/relation"
+)
+
+// The snapshot container wraps the relation and universe codec sections
+// in one file with an integrity checksum and a staleness fingerprint:
+//
+//	magic "TSXSNAP" + version byte
+//	u64 size of data.csv when the snapshot was taken
+//	u64 mtime (ns) of data.csv when the snapshot was taken
+//	u64 payload length
+//	u64 CRC-64/ECMA of the payload
+//	payload: relation section (internal/relation) then universe section
+//	         (internal/explain)
+//
+// The CSV fingerprint (size + mtime) makes data changes
+// self-invalidating: AppendRows grows data.csv, and even a same-size
+// offline edit moves its mtime, so the next LoadSnapshot sees the
+// mismatch and falls back to the (authoritative) CSV until the
+// background refresher writes a fresh snapshot. The checksum catches
+// torn writes and bit rot; the section codecs validate structure. Every
+// failure mode maps to an error — the serving layer logs it and
+// rebuilds, it never serves a suspect snapshot.
+
+const (
+	snapContainerMagic   = "TSXSNAP"
+	snapContainerVersion = 1
+)
+
+// ErrSnapshotStale reports a snapshot whose CSV fingerprint no longer
+// matches data.csv — rows were appended (or the file replaced) after the
+// snapshot was taken. Callers rebuild from the CSV.
+var ErrSnapshotStale = errors.New("catalog: snapshot stale (data.csv changed since it was taken)")
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Fingerprint identifies one state of a dataset's data.csv: byte size
+// plus modification time. Appends grow the size; offline in-place edits
+// (even same-size ones) move the mtime — either way a snapshot built
+// from different data stops validating.
+type Fingerprint struct {
+	Size    int64
+	MTimeNS int64
+}
+
+// DataFingerprint returns the current fingerprint of the dataset's CSV —
+// captured by a snapshot build BEFORE parsing, so a concurrent change
+// between the parse and the save is detected.
+func (c *Catalog) DataFingerprint(name string) (Fingerprint, error) {
+	if _, ok := c.Manifest(name); !ok {
+		return Fingerprint{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	st, err := os.Stat(filepath.Join(c.path(name), dataFile))
+	if err != nil {
+		return Fingerprint{}, fmt.Errorf("catalog: fingerprinting data.csv: %w", err)
+	}
+	return Fingerprint{Size: st.Size(), MTimeNS: st.ModTime().UnixNano()}, nil
+}
+
+// SaveSnapshot atomically writes the dataset's warm-restart snapshot:
+// rel's columns and u's candidate universe, checksummed, staged in a temp
+// file and renamed over snapshot.bin. u must be the raw (unsmoothed)
+// universe built over rel; fp is the DataFingerprint captured before rel
+// was parsed. If data.csv has changed since (a concurrent append), the
+// save is aborted with ErrSnapshotStale — the appender triggers its own
+// refresh, and recording a fresh fingerprint over stale payload would
+// make LoadSnapshot serve pre-append data as current.
+func (c *Catalog) SaveSnapshot(name string, rel *relation.Relation, u *explain.Universe, fp Fingerprint) error {
+	if _, ok := c.Manifest(name); !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	var payload bytes.Buffer
+	sw := relation.NewSnapWriter(&payload)
+	rel.EncodeSnapshot(sw)
+	if err := u.EncodeSnapshot(sw); err != nil {
+		return err
+	}
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+
+	lock := c.lockFor(name)
+	lock.Lock()
+	defer lock.Unlock()
+	st, err := os.Stat(filepath.Join(c.path(name), dataFile))
+	if err != nil {
+		return fmt.Errorf("catalog: fingerprinting data.csv: %w", err)
+	}
+	if st.Size() != fp.Size || st.ModTime().UnixNano() != fp.MTimeNS {
+		return ErrSnapshotStale
+	}
+
+	var header bytes.Buffer
+	header.WriteString(snapContainerMagic)
+	header.WriteByte(snapContainerVersion)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(fp.Size))
+	header.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(fp.MTimeNS))
+	header.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(payload.Len()))
+	header.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], crc64.Checksum(payload.Bytes(), crcTable))
+	header.Write(b[:])
+
+	tmp, err := os.CreateTemp(c.path(name), ".snap-")
+	if err != nil {
+		return fmt.Errorf("catalog: staging snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(header.Bytes()); err == nil {
+		_, err = tmp.Write(payload.Bytes())
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: writing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("catalog: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.path(name), snapshotFile)); err != nil {
+		return fmt.Errorf("catalog: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// loadSnapshotPayload reads the snapshot container, validates the
+// header, checksum, and CSV fingerprint, and returns the codec payload.
+// Callers hold the dataset's lock.
+func (c *Catalog) loadSnapshotPayload(name string) ([]byte, error) {
+	raw, err := os.ReadFile(filepath.Join(c.path(name), snapshotFile))
+	if err != nil {
+		return nil, fmt.Errorf("catalog: reading snapshot: %w", err)
+	}
+	headerLen := len(snapContainerMagic) + 1 + 8 + 8 + 8 + 8
+	if len(raw) < headerLen {
+		return nil, fmt.Errorf("catalog: snapshot truncated (%d bytes)", len(raw))
+	}
+	if string(raw[:len(snapContainerMagic)]) != snapContainerMagic {
+		return nil, fmt.Errorf("catalog: snapshot has bad magic")
+	}
+	off := len(snapContainerMagic)
+	if v := raw[off]; v != snapContainerVersion {
+		return nil, fmt.Errorf("catalog: snapshot version %d unsupported (want %d)", v, snapContainerVersion)
+	}
+	off++
+	csvSize := binary.LittleEndian.Uint64(raw[off:])
+	off += 8
+	csvMTime := binary.LittleEndian.Uint64(raw[off:])
+	off += 8
+	payloadLen := binary.LittleEndian.Uint64(raw[off:])
+	off += 8
+	sum := binary.LittleEndian.Uint64(raw[off:])
+	off += 8
+	if uint64(len(raw)-off) != payloadLen {
+		return nil, fmt.Errorf("catalog: snapshot payload is %d bytes, header says %d", len(raw)-off, payloadLen)
+	}
+	payload := raw[off:]
+	if got := crc64.Checksum(payload, crcTable); got != sum {
+		return nil, fmt.Errorf("catalog: snapshot checksum mismatch (%x != %x)", got, sum)
+	}
+	st, err := os.Stat(filepath.Join(c.path(name), dataFile))
+	if err != nil {
+		return nil, fmt.Errorf("catalog: fingerprinting data.csv: %w", err)
+	}
+	if uint64(st.Size()) != csvSize || uint64(st.ModTime().UnixNano()) != csvMTime {
+		return nil, ErrSnapshotStale
+	}
+	return payload, nil
+}
+
+// LoadSnapshot reads and fully validates the dataset's snapshot,
+// returning the restored relation and raw universe. Any problem — no
+// snapshot, bad magic or version, payload checksum mismatch, truncation,
+// structural invalidity, or a CSV fingerprint that no longer matches
+// data.csv — is an error; the caller falls back to LoadRelation and a
+// fresh universe build.
+func (c *Catalog) LoadSnapshot(name string) (*relation.Relation, *explain.Universe, error) {
+	if _, ok := c.Manifest(name); !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	lock := c.lockFor(name)
+	lock.Lock()
+	defer lock.Unlock()
+	payload, err := c.loadSnapshotPayload(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	sr := relation.NewSnapReader(bytes.NewReader(payload))
+	rel := relation.DecodeSnapshot(sr)
+	if err := sr.Err(); err != nil {
+		return nil, nil, err
+	}
+	u, err := explain.DecodeUniverseSnapshot(sr, rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rel, u, nil
+}
+
+// LoadSnapshotRelation is LoadSnapshot restricted to the relation
+// section: the (dominant) universe payload is never decoded. The serving
+// layer uses it to materialize a dataset's relation on restart; engine
+// builds decode the full snapshot separately.
+func (c *Catalog) LoadSnapshotRelation(name string) (*relation.Relation, error) {
+	if _, ok := c.Manifest(name); !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	lock := c.lockFor(name)
+	lock.Lock()
+	defer lock.Unlock()
+	payload, err := c.loadSnapshotPayload(name)
+	if err != nil {
+		return nil, err
+	}
+	sr := relation.NewSnapReader(bytes.NewReader(payload))
+	rel := relation.DecodeSnapshot(sr)
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// HasSnapshot reports whether a snapshot file exists for the dataset
+// (without validating it).
+func (c *Catalog) HasSnapshot(name string) bool {
+	_, err := os.Stat(filepath.Join(c.path(name), snapshotFile))
+	return err == nil
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/explain"
@@ -268,6 +269,68 @@ func newEngine(ctx context.Context, rel *relation.Relation, q Query, opts Option
 	if err != nil {
 		return nil, err
 	}
+	return finishEngine(u, rel, q, opts, cfg, start)
+}
+
+// NewEngineFromUniverse builds an engine around an already materialized
+// candidate universe — the warm-restart path. The universe typically
+// comes from a catalog snapshot (explain.ReadUniverseSnapshot), so the
+// expensive precompute group-by and planning never run; smoothing and the
+// support filter still run here, per the requested options, on the
+// restored raw series. The universe must match the query exactly (same
+// measure, aggregate, explain-by set, and order threshold) — on any
+// mismatch an error is returned and the caller should fall back to
+// NewEngine. The engine takes ownership of u: it must not be shared with
+// another engine (smoothing mutates the universe's active series views).
+func NewEngineFromUniverse(u *explain.Universe, q Query, opts Options) (*Engine, error) {
+	opts.setDefaults()
+	start := time.Now()
+	rel := u.Relation()
+	if m := rel.MeasureIndex(q.Measure); m < 0 || m != u.MeasureIndex() {
+		return nil, fmt.Errorf("core: universe aggregates measure %d, query wants %q", u.MeasureIndex(), q.Measure)
+	}
+	if u.Agg() != q.Agg {
+		return nil, fmt.Errorf("core: universe aggregate %v, query wants %v", u.Agg(), q.Agg)
+	}
+	wantBy := make([]int, 0, len(q.ExplainBy))
+	if len(q.ExplainBy) == 0 {
+		for i := 0; i < rel.NumDims(); i++ {
+			wantBy = append(wantBy, i)
+		}
+	} else {
+		for _, name := range q.ExplainBy {
+			d := rel.DimIndex(name)
+			if d < 0 {
+				return nil, fmt.Errorf("core: unknown explain-by attribute %q", name)
+			}
+			wantBy = append(wantBy, d)
+		}
+		sort.Ints(wantBy)
+	}
+	gotBy := u.ExplainBy()
+	if len(gotBy) != len(wantBy) {
+		return nil, fmt.Errorf("core: universe explains by %d attributes, query wants %d", len(gotBy), len(wantBy))
+	}
+	for i := range gotBy {
+		if gotBy[i] != wantBy[i] {
+			return nil, fmt.Errorf("core: universe explain-by set differs from the query's")
+		}
+	}
+	wantOrder := opts.MaxOrder
+	if wantOrder > len(wantBy) {
+		wantOrder = len(wantBy)
+	}
+	if u.MaxOrder() != wantOrder {
+		return nil, fmt.Errorf("core: universe order threshold %d, query wants %d", u.MaxOrder(), wantOrder)
+	}
+	return finishEngine(u, rel, q, opts, engineConfig{explainer: true}, start)
+}
+
+// finishEngine runs everything after universe materialization — the tail
+// of the precompute module (smoothing, support filter) plus explainer
+// construction — shared by the from-relation constructors and the
+// from-snapshot path.
+func finishEngine(u *explain.Universe, rel *relation.Relation, q Query, opts Options, cfg engineConfig, start time.Time) (*Engine, error) {
 	if opts.SmoothWindow > 1 {
 		u.Smooth(opts.SmoothWindow)
 	}

@@ -286,6 +286,16 @@ func NewUniverse(r *relation.Relation, cfg Config) (*Universe, error) {
 		}
 	}
 
+	u.buildDerivedIndexes()
+	return u, nil
+}
+
+// buildDerivedIndexes computes the state derived purely from the
+// candidate list and index: the drill-down adjacency and the ancestor
+// closure. It is shared by NewUniverse and the snapshot decoder — a
+// restored universe rebuilds this cheap derived state in memory instead
+// of persisting it.
+func (u *Universe) buildDerivedIndexes() {
 	// Build the drill-down adjacency: each candidate of order β is a child
 	// of each of its β order-(β−1) prefixes, under the removed dimension.
 	u.childrenByID = make([]map[int][]int, len(u.cands)+1)
@@ -338,7 +348,6 @@ func NewUniverse(r *relation.Relation, cfg Config) (*Universe, error) {
 		}
 		u.ancestors[id] = anc
 	}
-	return u, nil
 }
 
 // conjSubsets enumerates every non-empty sub-conjunction of c (c itself

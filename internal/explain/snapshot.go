@@ -1,0 +1,216 @@
+package explain
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/relation"
+)
+
+// This file implements the universe half of the warm-restart snapshot
+// codec. The expensive part of building a Universe is the group-by over
+// the raw relation rows (pass 1 slot discovery + pass 2 arena fill for
+// every explain-by subset); the snapshot persists exactly that output —
+// the candidate conjunctions and the candidate-major series arena — and
+// rebuilds the cheap derived state (candidate index, drill-down
+// adjacency, ancestor closure) in memory on load. Snapshots always hold
+// the RAW (pre-smoothing) arena: one snapshot therefore serves every
+// engine configuration (any smoothing window, optimized or vanilla), and
+// smoothing re-runs in O(candidates × T) on the restored arena.
+//
+// Snapshots are one-shot: a restored universe is not built for streaming
+// (the group-by plans are not persisted), so the streaming append path
+// re-enumerates from the relation as before.
+
+const (
+	uniSnapMagic   = "TSXU"
+	uniSnapVersion = 1
+)
+
+// WriteSnapshot encodes the universe's snapshot section: the query shape
+// (measure, aggregate, explain-by, order threshold), the raw overall
+// series, and every candidate's conjunction and raw series. The universe
+// must be unsmoothed — smoothing replaces the raw arena views, and
+// persisting a smoothed arena would bake one smoothing window into a file
+// meant to serve all of them.
+func (u *Universe) WriteSnapshot(w io.Writer) error {
+	sw := relation.NewSnapWriter(w)
+	if err := u.EncodeSnapshot(sw); err != nil {
+		return err
+	}
+	return sw.Flush()
+}
+
+// EncodeSnapshot appends the universe's snapshot section to an existing
+// snapshot writer (the catalog writes the relation and universe sections
+// into one checksummed file).
+func (u *Universe) EncodeSnapshot(sw *relation.SnapWriter) error {
+	if u.smooth != nil {
+		return fmt.Errorf("explain: cannot snapshot a smoothed universe (snapshot the raw build)")
+	}
+	if u.raw == nil {
+		return fmt.Errorf("explain: cannot snapshot a derived universe (no series arena)")
+	}
+	T := len(u.total)
+	sw.Str(uniSnapMagic)
+	sw.U8(uniSnapVersion)
+	sw.Str(u.rel.Measure(u.measure).Name())
+	sw.U8(uint8(u.agg))
+	sw.U32(uint32(len(u.explainBy)))
+	for _, d := range u.explainBy {
+		sw.Str(u.rel.Dim(d).Name())
+	}
+	sw.U8(uint8(u.maxOrder))
+	sw.U32(uint32(T))
+	sw.SumCounts(u.rawTotal[:T])
+	sw.U32(uint32(len(u.cands)))
+	for _, c := range u.cands {
+		sw.U8(uint8(len(c.Conj)))
+		for _, p := range c.Conj {
+			sw.U32(uint32(p.Dim))
+			sw.U32(p.Value)
+		}
+	}
+	for id := range u.cands {
+		sw.SumCounts(u.raw[id*u.arenaCap : id*u.arenaCap+T])
+	}
+	return nil
+}
+
+// ReadUniverseSnapshot decodes a universe section written by
+// WriteSnapshot and binds it to rel, which must be the relation the
+// snapshot was built from (the catalog persists both in one checksummed
+// file, so they stay consistent). Every reference into the relation —
+// measure and dimension names, dictionary ids, series length — is
+// re-validated against rel, so a snapshot paired with the wrong relation
+// fails loudly and the caller falls back to rebuilding.
+func ReadUniverseSnapshot(r io.Reader, rel *relation.Relation) (*Universe, error) {
+	return DecodeUniverseSnapshot(relation.NewSnapReader(r), rel)
+}
+
+// DecodeUniverseSnapshot decodes one universe section from an existing
+// snapshot reader, the counterpart of EncodeSnapshot.
+func DecodeUniverseSnapshot(sr *relation.SnapReader, rel *relation.Relation) (*Universe, error) {
+	fail := func(format string, args ...any) (*Universe, error) {
+		if err := sr.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("explain: snapshot: "+format, args...)
+	}
+	if magic := sr.Str(); magic != uniSnapMagic {
+		return fail("bad magic %q", magic)
+	}
+	if v := sr.U8(); v != uniSnapVersion {
+		return fail("unsupported version %d (want %d)", v, uniSnapVersion)
+	}
+	measureName := sr.Str()
+	m := rel.MeasureIndex(measureName)
+	if m < 0 {
+		return fail("measure %q not in relation", measureName)
+	}
+	agg := relation.AggFunc(sr.U8())
+	if agg != relation.Sum && agg != relation.Count && agg != relation.Avg {
+		return fail("unknown aggregate %d", agg)
+	}
+	nBy := sr.Len("explain-by count")
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	explainBy := make([]int, 0, nBy)
+	for i := 0; i < nBy; i++ {
+		name := sr.Str()
+		d := rel.DimIndex(name)
+		if d < 0 {
+			return fail("explain-by attribute %q not in relation", name)
+		}
+		if len(explainBy) > 0 && d <= explainBy[len(explainBy)-1] {
+			return fail("explain-by attributes out of order")
+		}
+		explainBy = append(explainBy, d)
+	}
+	maxOrder := int(sr.U8())
+	if maxOrder < 1 || maxOrder > len(explainBy) {
+		return fail("order threshold %d out of range for %d attributes", maxOrder, len(explainBy))
+	}
+	T := sr.Len("series length")
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	if T != rel.NumTimestamps() {
+		return fail("series length %d, relation has %d timestamps", T, rel.NumTimestamps())
+	}
+
+	u := &Universe{
+		rel:       rel,
+		agg:       agg,
+		measure:   m,
+		explainBy: explainBy,
+		maxOrder:  maxOrder,
+		rawTotal:  make([]relation.SumCount, T),
+		arenaCap:  T,
+		index:     newCandIndex(rel, maxOrder),
+		children:  make(map[string]map[int][]int),
+	}
+	sr.SumCountsInto(u.rawTotal)
+	u.total = u.rawTotal
+
+	nCands := sr.Len("candidate count")
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	// The arena allocation is bounded by what the stream can actually
+	// back: a corrupt count fails the multiplication guard or the
+	// subsequent bulk read, never an absurd allocation that outlives it.
+	if T > 0 && nCands > (snapArenaCapEntries/T) {
+		return fail("candidate count %d × %d timestamps exceeds sanity cap", nCands, T)
+	}
+	u.cands = make([]*Candidate, 0, nCands)
+	for id := 0; id < nCands; id++ {
+		order := int(sr.U8())
+		if sr.Err() != nil {
+			return nil, sr.Err()
+		}
+		if order < 1 || order > maxOrder {
+			return fail("candidate %d order %d out of range (β̄ = %d)", id, order, maxOrder)
+		}
+		conj := make(relation.Conjunction, order)
+		for i := range conj {
+			dim := int(sr.U32())
+			val := sr.U32()
+			if sr.Err() != nil {
+				return nil, sr.Err()
+			}
+			if dim < 0 || dim >= rel.NumDims() {
+				return fail("candidate %d references dimension %d of %d", id, dim, rel.NumDims())
+			}
+			if int(val) >= rel.Dim(dim).Cardinality() {
+				return fail("candidate %d references value %d of dimension %q (%d values)",
+					id, val, rel.Dim(dim).Name(), rel.Dim(dim).Cardinality())
+			}
+			if i > 0 && dim <= conj[i-1].Dim {
+				return fail("candidate %d conjunction not in canonical order", id)
+			}
+			conj[i] = relation.Pred{Dim: dim, Value: val}
+		}
+		if _, dup := u.index.lookup(conj); dup {
+			return fail("candidate %d duplicates an earlier conjunction", id)
+		}
+		u.cands = append(u.cands, &Candidate{ID: id, Conj: conj})
+		u.index.insert(conj, id)
+	}
+	u.raw = make([]relation.SumCount, nCands*T)
+	for id, c := range u.cands {
+		s := u.raw[id*T : id*T+T : (id+1)*T]
+		sr.SumCountsInto(s)
+		c.Series = s
+	}
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	u.buildDerivedIndexes()
+	return u, nil
+}
+
+// snapArenaCapEntries bounds the decoded arena to ~2 GiB of SumCounts so
+// corrupt candidate counts cannot trigger absurd allocations.
+const snapArenaCapEntries = 1 << 27

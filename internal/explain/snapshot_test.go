@@ -1,0 +1,149 @@
+package explain
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// universesEquivalent asserts the decoded universe reproduces the
+// original's candidate set, series, index, adjacency, and ancestry
+// bit for bit.
+func universesEquivalent(t *testing.T, a, b *Universe) {
+	t.Helper()
+	if a.NumCandidates() != b.NumCandidates() || a.NumTimestamps() != b.NumTimestamps() {
+		t.Fatalf("shape mismatch: (%d cands, %d T) vs (%d cands, %d T)",
+			a.NumCandidates(), a.NumTimestamps(), b.NumCandidates(), b.NumTimestamps())
+	}
+	if a.MaxOrder() != b.MaxOrder() || a.Agg() != b.Agg() || a.MeasureIndex() != b.MeasureIndex() {
+		t.Fatalf("query shape mismatch")
+	}
+	if !reflect.DeepEqual(a.ExplainBy(), b.ExplainBy()) {
+		t.Fatalf("explain-by mismatch: %v vs %v", a.ExplainBy(), b.ExplainBy())
+	}
+	if !reflect.DeepEqual(a.TotalSeries(), b.TotalSeries()) {
+		t.Fatalf("total series differ")
+	}
+	for id := 0; id < a.NumCandidates(); id++ {
+		ca, cb := a.Candidate(id), b.Candidate(id)
+		if !reflect.DeepEqual(ca.Conj, cb.Conj) {
+			t.Fatalf("candidate %d conjunction %v vs %v", id, ca.Conj, cb.Conj)
+		}
+		if !reflect.DeepEqual(ca.Series, cb.Series) {
+			t.Fatalf("candidate %d series differ", id)
+		}
+		if got, ok := b.Lookup(ca.Conj); !ok || got != id {
+			t.Fatalf("candidate %d not resolvable through decoded index (got %d, %v)", id, got, ok)
+		}
+		if !reflect.DeepEqual(a.AncestorsOf(id), b.AncestorsOf(id)) {
+			t.Fatalf("candidate %d ancestors differ", id)
+		}
+	}
+	for _, dim := range a.ExplainBy() {
+		if !reflect.DeepEqual(a.ChildrenOf(-1, dim), b.ChildrenOf(-1, dim)) {
+			t.Fatalf("root children under dim %d differ", dim)
+		}
+	}
+}
+
+func TestUniverseSnapshotRoundTrip(t *testing.T) {
+	r := buildCovidMini(t)
+	u := newUniverse(t, r, Config{Measure: "cases", Agg: relation.Sum, ExplainBy: []string{"state", "region"}, MaxOrder: 2})
+
+	var relBuf, uniBuf bytes.Buffer
+	if err := r.WriteSnapshot(&relBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.WriteSnapshot(&uniBuf); err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := relation.ReadSnapshot(&relBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := ReadUniverseSnapshot(bytes.NewReader(uniBuf.Bytes()), rel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	universesEquivalent(t, u, u2)
+
+	// A restored universe must accept smoothing like a built one.
+	u2.Smooth(3)
+	u3, err := NewUniverse(r, Config{Measure: "cases", Agg: relation.Sum, ExplainBy: []string{"state", "region"}, MaxOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u3.Smooth(3)
+	for id := 0; id < u3.NumCandidates(); id++ {
+		if !reflect.DeepEqual(u3.Candidate(id).Series, u2.Candidate(id).Series) {
+			t.Fatalf("candidate %d smoothed series differ between built and restored universes", id)
+		}
+	}
+}
+
+func TestUniverseSnapshotRejectsWrongRelation(t *testing.T) {
+	r := buildCovidMini(t)
+	u := newUniverse(t, r, Config{Measure: "cases", Agg: relation.Sum, ExplainBy: []string{"state"}})
+	var buf bytes.Buffer
+	if err := u.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A relation with a different series length must be rejected.
+	b := relation.NewBuilder("other", "date", []string{"state"}, []string{"cases"})
+	for _, d := range []string{"d1", "d2"} {
+		if err := b.Append(d, []string{"NY"}, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	short, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadUniverseSnapshot(bytes.NewReader(buf.Bytes()), short); err == nil {
+		t.Fatal("snapshot bound to a mismatched relation decoded without error")
+	}
+}
+
+func TestUniverseSnapshotTruncated(t *testing.T) {
+	r := buildCovidMini(t)
+	u := newUniverse(t, r, Config{Measure: "cases", Agg: relation.Sum, ExplainBy: []string{"state", "region"}, MaxOrder: 2})
+	var buf bytes.Buffer
+	if err := u.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 3, 9, len(full) / 3, len(full) / 2, len(full) - 1} {
+		if _, err := ReadUniverseSnapshot(bytes.NewReader(full[:cut]), r); err == nil {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(full))
+		}
+	}
+}
+
+func TestUniverseSnapshotRefusesSmoothed(t *testing.T) {
+	r := buildCovidMini(t)
+	u := newUniverse(t, r, Config{Measure: "cases", Agg: relation.Sum, ExplainBy: []string{"state"}})
+	u.Smooth(3)
+	var buf bytes.Buffer
+	if err := u.WriteSnapshot(&buf); err == nil {
+		t.Fatal("smoothed universe snapshot written without error")
+	}
+}
+
+func TestUniverseSnapshotStreamingUniverse(t *testing.T) {
+	// An unsmoothed streaming universe (arena with headroom) must encode
+	// through the same path, stride and all.
+	r := buildCovidMini(t)
+	u := newUniverse(t, r, Config{Measure: "cases", Agg: relation.Sum, ExplainBy: []string{"state"}, Streaming: true})
+	var buf bytes.Buffer
+	if err := u.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	u2, err := ReadUniverseSnapshot(bytes.NewReader(buf.Bytes()), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	universesEquivalent(t, u, u2)
+}

@@ -1,0 +1,405 @@
+package relation
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file implements the relation half of the warm-restart snapshot
+// codec: a versioned, endianness-stable binary encoding of a Relation's
+// dictionary-encoded columns. A server restart decodes the snapshot
+// instead of re-parsing (and re-dictionary-encoding) the source CSV; the
+// companion universe codec in internal/explain then skips the group-by
+// and planning passes entirely. All multi-byte values are little-endian
+// regardless of host byte order, so a snapshot written on one machine
+// loads on any other.
+
+// relSnapMagic identifies a relation snapshot section; the trailing byte
+// is the format version. Readers reject unknown versions rather than
+// guessing, so a format change never silently mis-decodes old files —
+// callers fall back to rebuilding from the source data.
+const (
+	relSnapMagic   = "TSXR"
+	relSnapVersion = 1
+)
+
+// snapMaxLen caps every decoded length field (strings, row counts, column
+// counts). A corrupted or adversarial length then fails decoding with an
+// error instead of attempting a multi-gigabyte allocation.
+const snapMaxLen = 1 << 31
+
+// SnapWriter wraps a buffered writer with the little-endian primitives
+// both snapshot codecs (relation here, universe in internal/explain)
+// share. The first write error sticks; later writes are no-ops, so
+// encoders can write unconditionally and check once at the end.
+type SnapWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewSnapWriter returns a snapshot writer over w. It is exported for the
+// universe codec in internal/explain, which appends its section to the
+// same stream; application code uses WriteSnapshot instead.
+func NewSnapWriter(w io.Writer) *SnapWriter { return &SnapWriter{w: bufio.NewWriter(w)} }
+
+func (sw *SnapWriter) bytes(b []byte) {
+	if sw.err != nil {
+		return
+	}
+	_, sw.err = sw.w.Write(b)
+}
+
+// U8, U32, U64, F64, Str, and Flush are the primitive little-endian
+// emitters shared by the snapshot codecs.
+func (sw *SnapWriter) U8(v uint8) { sw.bytes([]byte{v}) }
+
+func (sw *SnapWriter) U32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	sw.bytes(b[:])
+}
+
+func (sw *SnapWriter) U64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	sw.bytes(b[:])
+}
+
+func (sw *SnapWriter) F64(v float64) { sw.U64(math.Float64bits(v)) }
+
+func (sw *SnapWriter) Str(s string) {
+	sw.U32(uint32(len(s)))
+	sw.bytes([]byte(s))
+}
+
+// SumCounts bulk-encodes a decomposed-aggregate series as (sum, count)
+// float64 pairs. The universe codec uses it for the candidate-series
+// arena, where per-value calls would dominate decode time.
+func (sw *SnapWriter) SumCounts(s []SumCount) {
+	if sw.err != nil {
+		return
+	}
+	var b [16]byte
+	for i := range s {
+		binary.LittleEndian.PutUint64(b[:8], math.Float64bits(s[i].Sum))
+		binary.LittleEndian.PutUint64(b[8:], math.Float64bits(s[i].Count))
+		if _, sw.err = sw.w.Write(b[:]); sw.err != nil {
+			return
+		}
+	}
+}
+
+// Flush drains the buffer and reports the first error encountered.
+func (sw *SnapWriter) Flush() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.w.Flush()
+}
+
+// SnapReader is the decoding counterpart of SnapWriter: little-endian
+// primitives over a buffered reader, with sticky errors and length
+// sanity caps.
+type SnapReader struct {
+	r       *bufio.Reader
+	err     error
+	scratch [8]byte // fixed-width reads decode through here, allocation-free
+}
+
+// NewSnapReader returns a snapshot reader over r, the counterpart of
+// NewSnapWriter.
+func NewSnapReader(r io.Reader) *SnapReader { return &SnapReader{r: bufio.NewReader(r)} }
+
+func (sr *SnapReader) bytes(n int) []byte {
+	if sr.err != nil {
+		return nil
+	}
+	b := sr.scratch[:]
+	if n > len(sr.scratch) {
+		b = make([]byte, n)
+	} else {
+		b = b[:n]
+	}
+	if _, err := io.ReadFull(sr.r, b); err != nil {
+		sr.err = fmt.Errorf("relation: snapshot truncated: %w", err)
+		return nil
+	}
+	return b
+}
+
+// U8, U32, U64, F64, Str, Len, and Err are the primitive little-endian
+// decoders shared by the snapshot codecs.
+func (sr *SnapReader) U8() uint8 {
+	b := sr.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (sr *SnapReader) U32() uint32 {
+	b := sr.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (sr *SnapReader) U64() uint64 {
+	b := sr.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (sr *SnapReader) F64() float64 { return math.Float64frombits(sr.U64()) }
+
+// SumCountsInto bulk-decodes len(dst) (sum, count) pairs into dst, the
+// counterpart of SnapWriter.SumCounts.
+func (sr *SnapReader) SumCountsInto(dst []SumCount) {
+	if sr.err != nil {
+		return
+	}
+	var b [16]byte
+	for i := range dst {
+		if _, err := io.ReadFull(sr.r, b[:]); err != nil {
+			sr.err = fmt.Errorf("relation: snapshot truncated: %w", err)
+			return
+		}
+		dst[i].Sum = math.Float64frombits(binary.LittleEndian.Uint64(b[:8]))
+		dst[i].Count = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	}
+}
+
+// Len decodes a u32 length field, failing the stream when it exceeds the
+// sanity cap.
+func (sr *SnapReader) Len(what string) int {
+	n := sr.U32()
+	if sr.err == nil && n > snapMaxLen {
+		sr.err = fmt.Errorf("relation: snapshot %s length %d exceeds sanity cap", what, n)
+	}
+	return int(n)
+}
+
+func (sr *SnapReader) Str() string {
+	n := sr.Len("string")
+	b := sr.bytes(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Err returns the first decoding error, if any.
+func (sr *SnapReader) Err() error { return sr.err }
+
+// WriteSnapshot encodes the relation in the versioned binary snapshot
+// format: time labels and per-row time indexes, every dimension's
+// dictionary and id column, and every measure column. The encoding is
+// little-endian on every platform and captures the dictionary id
+// assignment exactly, so a decoded relation is bit-identical to the
+// original — including candidate IDs derived from dictionary order by
+// the explain layer.
+func (r *Relation) WriteSnapshot(w io.Writer) error {
+	sw := NewSnapWriter(w)
+	r.encodeSnapshot(sw)
+	return sw.Flush()
+}
+
+// EncodeSnapshot appends the relation's snapshot section to an existing
+// snapshot writer (the catalog writes the relation and universe sections
+// into one checksummed file).
+func (r *Relation) EncodeSnapshot(sw *SnapWriter) { r.encodeSnapshot(sw) }
+
+func (r *Relation) encodeSnapshot(sw *SnapWriter) {
+	sw.bytes([]byte(relSnapMagic))
+	sw.U8(relSnapVersion)
+	sw.Str(r.name)
+	sw.Str(r.timeName)
+	sw.U32(uint32(r.numRows))
+	sw.U32(uint32(len(r.timeLabels)))
+	for _, l := range r.timeLabels {
+		sw.Str(l)
+	}
+	for _, t := range r.timeIdx {
+		sw.U32(uint32(t))
+	}
+	sw.U32(uint32(len(r.dims)))
+	for _, d := range r.dims {
+		sw.Str(d.name)
+		sw.U32(uint32(len(d.dict)))
+		for _, v := range d.dict {
+			sw.Str(v)
+		}
+		for _, id := range d.ids {
+			sw.U32(id)
+		}
+	}
+	sw.U32(uint32(len(r.measures)))
+	for _, m := range r.measures {
+		sw.Str(m.name)
+		for _, v := range m.vals {
+			sw.F64(v)
+		}
+	}
+}
+
+// ReadSnapshot decodes a relation written by WriteSnapshot. Structural
+// invariants — id ranges, column lengths, duplicate names — are
+// re-validated during decoding, so a corrupted snapshot fails loudly
+// rather than producing a relation that violates the invariants the
+// engine relies on. (Bit-flips inside string or float payloads are the
+// catalog checksum's job; this layer guarantees structural soundness.)
+func ReadSnapshot(rd io.Reader) (*Relation, error) {
+	sr := NewSnapReader(rd)
+	r := decodeSnapshot(sr)
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	return r, nil
+}
+
+// DecodeSnapshot decodes one relation section from an existing snapshot
+// reader, the counterpart of EncodeSnapshot. Check the reader's Err
+// afterwards.
+func DecodeSnapshot(sr *SnapReader) *Relation { return decodeSnapshot(sr) }
+
+func decodeSnapshot(sr *SnapReader) *Relation {
+	fail := func(format string, args ...any) *Relation {
+		if sr.err == nil {
+			sr.err = fmt.Errorf("relation: snapshot: "+format, args...)
+		}
+		return nil
+	}
+	if magic := sr.bytes(len(relSnapMagic)); string(magic) != relSnapMagic {
+		return fail("bad magic %q", magic)
+	}
+	if v := sr.U8(); v != relSnapVersion {
+		return fail("unsupported version %d (want %d)", v, relSnapVersion)
+	}
+	r := &Relation{
+		name:     sr.Str(),
+		timeName: sr.Str(),
+	}
+	r.numRows = sr.Len("row count")
+	nLabels := sr.Len("time labels")
+	if sr.err != nil {
+		return nil
+	}
+	r.timeLabels = make([]string, nLabels)
+	r.timePos = make(map[string]int32, nLabels)
+	for i := range r.timeLabels {
+		l := sr.Str()
+		if _, dup := r.timePos[l]; dup && sr.err == nil {
+			return fail("duplicate time label %q", l)
+		}
+		r.timeLabels[i] = l
+		r.timePos[l] = int32(i)
+	}
+	r.timeIdx = make([]int32, r.numRows)
+	for i := range r.timeIdx {
+		t := sr.U32()
+		if int(t) >= nLabels && sr.err == nil {
+			return fail("row %d time index %d out of range (%d labels)", i, t, nLabels)
+		}
+		r.timeIdx[i] = int32(t)
+	}
+	nDims := sr.Len("dimension count")
+	if sr.err != nil {
+		return nil
+	}
+	r.dimByName = make(map[string]int, nDims)
+	for di := 0; di < nDims; di++ {
+		col := &DimColumn{name: sr.Str()}
+		if _, dup := r.dimByName[col.name]; dup && sr.err == nil {
+			return fail("duplicate dimension %q", col.name)
+		}
+		nDict := sr.Len("dictionary")
+		if sr.err != nil {
+			return nil
+		}
+		col.dict = make([]string, nDict)
+		col.index = make(map[string]uint32, nDict)
+		for i := range col.dict {
+			v := sr.Str()
+			if _, dup := col.index[v]; dup && sr.err == nil {
+				return fail("dimension %q: duplicate dictionary value %q", col.name, v)
+			}
+			col.dict[i] = v
+			col.index[v] = uint32(i)
+		}
+		col.ids = make([]uint32, r.numRows)
+		for i := range col.ids {
+			id := sr.U32()
+			if int(id) >= nDict && sr.err == nil {
+				return fail("dimension %q: row %d id %d out of range (%d values)", col.name, i, id, nDict)
+			}
+			col.ids[i] = id
+		}
+		r.dimByName[col.name] = di
+		r.dims = append(r.dims, col)
+	}
+	nMeas := sr.Len("measure count")
+	if sr.err != nil {
+		return nil
+	}
+	r.measureByName = make(map[string]int, nMeas)
+	for mi := 0; mi < nMeas; mi++ {
+		col := &MeasureColumn{name: sr.Str()}
+		if _, dup := r.measureByName[col.name]; dup && sr.err == nil {
+			return fail("duplicate measure %q", col.name)
+		}
+		col.vals = make([]float64, r.numRows)
+		for i := range col.vals {
+			col.vals[i] = sr.F64()
+		}
+		r.measureByName[col.name] = mi
+		r.measures = append(r.measures, col)
+	}
+	if sr.err != nil {
+		return nil
+	}
+	return r
+}
+
+// Clone returns a deep copy of the relation: mutations of the receiver
+// (AppendRows) never reach the copy and vice versa. The serving layer
+// clones the live streaming relation when publishing a fresh immutable
+// view for pooled engines.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{
+		name:          r.name,
+		numRows:       r.numRows,
+		timeName:      r.timeName,
+		timeIdx:       append([]int32(nil), r.timeIdx...),
+		timeLabels:    append([]string(nil), r.timeLabels...),
+		timePos:       make(map[string]int32, len(r.timeLabels)),
+		dimByName:     make(map[string]int, len(r.dims)),
+		measureByName: make(map[string]int, len(r.measures)),
+	}
+	for i, l := range out.timeLabels {
+		out.timePos[l] = int32(i)
+	}
+	for i, d := range r.dims {
+		col := &DimColumn{
+			name:  d.name,
+			ids:   append([]uint32(nil), d.ids...),
+			dict:  append([]string(nil), d.dict...),
+			index: make(map[string]uint32, len(d.dict)),
+		}
+		for id, v := range col.dict {
+			col.index[v] = uint32(id)
+		}
+		out.dimByName[col.name] = i
+		out.dims = append(out.dims, col)
+	}
+	for i, m := range r.measures {
+		out.measureByName[m.name] = i
+		out.measures = append(out.measures, &MeasureColumn{name: m.name, vals: append([]float64(nil), m.vals...)})
+	}
+	return out
+}

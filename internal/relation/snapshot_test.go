@@ -1,0 +1,182 @@
+package relation
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// snapTestRelation builds a small relation with revised last-day rows,
+// multi-value dictionaries, and two measures — enough structure to catch
+// field-level codec mistakes.
+func snapTestRelation(t *testing.T) *Relation {
+	t.Helper()
+	b := NewBuilder("snaptest", "date", []string{"state", "county"}, []string{"cases", "deaths"})
+	states := []string{"NY", "CA", "TX"}
+	counties := []string{"a", "b"}
+	row := 0
+	for d := 0; d < 12; d++ {
+		for _, s := range states {
+			for _, c := range counties {
+				date := fmt.Sprintf("2020-01-%02d", d+1)
+				if err := b.Append(date, []string{s, c}, []float64{float64(row % 17), float64(row % 5)}); err != nil {
+					t.Fatal(err)
+				}
+				row++
+			}
+		}
+	}
+	r, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// relationsEqual compares two relations field by field through the public
+// accessors.
+func relationsEqual(t *testing.T, a, b *Relation) {
+	t.Helper()
+	if a.Name() != b.Name() || a.TimeName() != b.TimeName() || a.NumRows() != b.NumRows() {
+		t.Fatalf("header mismatch: (%q,%q,%d) vs (%q,%q,%d)",
+			a.Name(), a.TimeName(), a.NumRows(), b.Name(), b.TimeName(), b.NumRows())
+	}
+	if !reflect.DeepEqual(a.TimeLabels(), b.TimeLabels()) {
+		t.Fatalf("time labels differ")
+	}
+	for row := 0; row < a.NumRows(); row++ {
+		if a.TimeIndex(row) != b.TimeIndex(row) {
+			t.Fatalf("row %d time index %d vs %d", row, a.TimeIndex(row), b.TimeIndex(row))
+		}
+	}
+	if !reflect.DeepEqual(a.DimNames(), b.DimNames()) {
+		t.Fatalf("dim names differ: %v vs %v", a.DimNames(), b.DimNames())
+	}
+	for d := 0; d < a.NumDims(); d++ {
+		if !reflect.DeepEqual(a.Dim(d).Values(), b.Dim(d).Values()) {
+			t.Fatalf("dim %d dictionaries differ (order matters: ids must survive the roundtrip)", d)
+		}
+		for row := 0; row < a.NumRows(); row++ {
+			if a.DimID(d, row) != b.DimID(d, row) {
+				t.Fatalf("dim %d row %d id %d vs %d", d, row, a.DimID(d, row), b.DimID(d, row))
+			}
+		}
+	}
+	if !reflect.DeepEqual(a.MeasureNames(), b.MeasureNames()) {
+		t.Fatalf("measure names differ")
+	}
+	for m := 0; m < a.NumMeasures(); m++ {
+		for row := 0; row < a.NumRows(); row++ {
+			if a.MeasureValue(m, row) != b.MeasureValue(m, row) {
+				t.Fatalf("measure %d row %d: %v vs %v", m, row, a.MeasureValue(m, row), b.MeasureValue(m, row))
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := snapTestRelation(t)
+	var buf bytes.Buffer
+	if err := r.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relationsEqual(t, r, got)
+
+	// The decoded relation must be fully functional, not just equal:
+	// append to it and aggregate.
+	if err := got.AppendRows(
+		[]string{"2020-01-13"},
+		[][]string{{"FL", "c"}},
+		[][]float64{{7, 1}},
+	); err != nil {
+		t.Fatalf("decoded relation rejects appends: %v", err)
+	}
+	if got.NumTimestamps() != r.NumTimestamps()+1 {
+		t.Fatalf("append after decode: %d timestamps, want %d", got.NumTimestamps(), r.NumTimestamps()+1)
+	}
+}
+
+func TestSnapshotRoundTripDeterministic(t *testing.T) {
+	r := snapTestRelation(t)
+	var a, b bytes.Buffer
+	if err := r.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshot encoding is not deterministic")
+	}
+}
+
+func TestSnapshotTruncated(t *testing.T) {
+	r := snapTestRelation(t)
+	var buf bytes.Buffer
+	if err := r.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail with an error, never panic or succeed.
+	for _, cut := range []int{0, 1, 3, 7, len(full) / 4, len(full) / 2, len(full) - 1} {
+		if _, err := ReadSnapshot(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(full))
+		}
+	}
+}
+
+func TestSnapshotCorruptLengths(t *testing.T) {
+	r := snapTestRelation(t)
+	var buf bytes.Buffer
+	if err := r.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), full...)
+	bad[0] = 'X'
+	if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic decoded without error")
+	}
+	// Bad version.
+	bad = append([]byte(nil), full...)
+	bad[4] = 0xFF
+	if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version decoded without error")
+	}
+	// Absurd string length right after the version byte: must fail the
+	// sanity cap (or truncation), not attempt the allocation.
+	bad = append([]byte(nil), full[:5]...)
+	bad = append(bad, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil {
+		t.Fatal("absurd length decoded without error")
+	}
+}
+
+func TestClone(t *testing.T) {
+	r := snapTestRelation(t)
+	c := r.Clone()
+	relationsEqual(t, r, c)
+
+	// Mutating the clone must not touch the original.
+	if err := c.AppendRows(
+		[]string{"2020-01-13"},
+		[][]string{{"WA", "z"}},
+		[][]float64{{1, 2}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != 72 || r.NumTimestamps() != 12 {
+		t.Fatalf("clone mutation leaked into original: %d rows, %d timestamps", r.NumRows(), r.NumTimestamps())
+	}
+	if c.Dim(0).Cardinality() != 4 || r.Dim(0).Cardinality() != 3 {
+		t.Fatalf("dictionary sharing between clone and original: %d vs %d",
+			c.Dim(0).Cardinality(), r.Dim(0).Cardinality())
+	}
+}

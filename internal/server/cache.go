@@ -53,6 +53,24 @@ func (c *lruCache[V]) add(key string, val V) {
 // len returns the number of cached entries.
 func (c *lruCache[V]) len() int { return c.ll.Len() }
 
+// removeMatching removes every entry whose key satisfies match and
+// returns the removed values. The registry uses it to drop a deleted (or
+// appended-to) dataset's pooled engines and cached results in one sweep.
+func (c *lruCache[V]) removeMatching(match func(key string) bool) []V {
+	var out []V
+	var next *list.Element
+	for el := c.ll.Back(); el != nil; el = next {
+		next = el.Prev()
+		ent := el.Value.(*lruEntry[V])
+		if match(ent.key) {
+			c.ll.Remove(el)
+			delete(c.items, ent.key)
+			out = append(out, ent.val)
+		}
+	}
+	return out
+}
+
 // evictOldest removes and returns the least recently used entry for which
 // evictable returns true, scanning from cold to hot. The registry uses it
 // for memory-budget eviction: pinned engines (in-flight requests) report

@@ -1,0 +1,481 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"mime/multipart"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// catalogTestCSV is a small dataset with a clear driver structure: NY
+// drives the ramp, CA stays flat.
+func catalogTestCSV(days int) string {
+	var b strings.Builder
+	b.WriteString("day,state,county,cases\n")
+	for d := 1; d <= days; d++ {
+		ny := 10
+		if d > days/2 {
+			ny = 10 + 20*(d-days/2)
+		}
+		fmt.Fprintf(&b, "2021-03-%02d,NY,kings,%d\n", d, ny)
+		fmt.Fprintf(&b, "2021-03-%02d,NY,queens,%d\n", d, ny/2)
+		fmt.Fprintf(&b, "2021-03-%02d,CA,la,8\n", d)
+	}
+	return b.String()
+}
+
+const catalogTestManifest = `{
+  "name": "mydata",
+  "aliases": ["md", "mine"],
+  "timeCol": "day",
+  "dimCols": ["state", "county"],
+  "measureCol": "cases",
+  "agg": "SUM",
+  "maxOrder": 2
+}`
+
+func newCatalogServer(t *testing.T, dir string) *Server {
+	t.Helper()
+	s, err := Open(Config{Shards: 2, WorkersPerShard: 2, QueueDepth: 8, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// upload posts a multipart dataset (manifest JSON + CSV) and returns the
+// recorder. wait=1 blocks until the snapshot refresh lands, so a restart
+// immediately after upload finds a snapshot.
+func upload(t *testing.T, s *Server, manifest, csvData string, wait bool) *httptest.ResponseRecorder {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	fw, err := mw.CreateFormField("manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Write([]byte(manifest)); err != nil {
+		t.Fatal(err)
+	}
+	cw, err := mw.CreateFormFile("csv", "data.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.Write([]byte(csvData)); err != nil {
+		t.Fatal(err)
+	}
+	mw.Close()
+	url := "/api/datasets"
+	if wait {
+		url += "?wait=1"
+	}
+	req := httptest.NewRequest("POST", url, &body)
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func appendNDJSON(t *testing.T, s *Server, dataset, ndjson string, wait bool) *httptest.ResponseRecorder {
+	t.Helper()
+	url := "/api/datasets/" + dataset + "/append"
+	if wait {
+		url += "?wait=1"
+	}
+	req := httptest.NewRequest("POST", url, strings.NewReader(ndjson))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestCatalogUploadExplainDelete(t *testing.T) {
+	dir := t.TempDir()
+	s := newCatalogServer(t, dir)
+
+	// Admin API is disabled without a data dir.
+	noCat := New()
+	if rec := upload(t, noCat, catalogTestManifest, catalogTestCSV(10), false); rec.Code != 403 {
+		t.Fatalf("upload without data dir: %d", rec.Code)
+	}
+
+	rec := upload(t, s, catalogTestManifest, catalogTestCSV(12), false)
+	if rec.Code != 201 {
+		t.Fatalf("upload: %d: %s", rec.Code, rec.Body.String())
+	}
+	var created struct {
+		Dataset    string `json:"dataset"`
+		Rows       int    `json:"rows"`
+		Timestamps int    `json:"timestamps"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Dataset != "mydata" || created.Rows != 36 || created.Timestamps != 12 {
+		t.Fatalf("created = %+v", created)
+	}
+
+	// Listed alongside the built-ins.
+	var listing struct {
+		Datasets []string `json:"datasets"`
+		Catalog  []string `json:"catalog"`
+	}
+	if err := json.Unmarshal(get(t, s, "/api/datasets").Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Catalog) != 1 || listing.Catalog[0] != "mydata" {
+		t.Fatalf("catalog listing = %v", listing.Catalog)
+	}
+
+	// Explain the uploaded dataset; NY should surface as the driver of
+	// the later segment.
+	erec := get(t, s, "/api/explain?dataset=mydata")
+	if erec.Code != 200 {
+		t.Fatalf("explain: %d: %s", erec.Code, erec.Body.String())
+	}
+	var res explainResponse
+	if err := json.Unmarshal(erec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segments) < 2 {
+		t.Fatalf("segments = %d, want >= 2", len(res.Segments))
+	}
+	last := res.Segments[len(res.Segments)-1]
+	if len(last.Top) == 0 || !strings.Contains(last.Top[0].Predicates, "state=NY") {
+		t.Fatalf("last segment top = %+v, want state=NY driver", last.Top)
+	}
+
+	// Slice and diff work on catalog datasets through the adhoc engine.
+	if rec := get(t, s, "/api/slice?dataset=mydata&expr=state=NY"); rec.Code != 200 {
+		t.Fatalf("slice: %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Duplicate upload: 409.
+	if rec := upload(t, s, catalogTestManifest, catalogTestCSV(12), false); rec.Code != 409 {
+		t.Fatalf("duplicate upload: %d", rec.Code)
+	}
+	// Reserved name: 400.
+	reserved := strings.Replace(catalogTestManifest, `"mydata"`, `"liquor"`, 1)
+	if rec := upload(t, s, reserved, catalogTestCSV(10), false); rec.Code != 400 {
+		t.Fatalf("reserved-name upload: %d", rec.Code)
+	}
+
+	// Delete; the dataset stops resolving and its engines are gone.
+	req := httptest.NewRequest("DELETE", "/api/datasets/mydata", nil)
+	drec := httptest.NewRecorder()
+	s.ServeHTTP(drec, req)
+	if drec.Code != 200 {
+		t.Fatalf("delete: %d: %s", drec.Code, drec.Body.String())
+	}
+	if rec := get(t, s, "/api/explain?dataset=mydata"); rec.Code != 404 {
+		t.Fatalf("explain after delete: %d", rec.Code)
+	}
+	if n := s.reg.engineEntries(); n != 0 {
+		t.Fatalf("engines after delete: %d, want 0", n)
+	}
+	if rec := get(t, s, "/api/datasets"); strings.Contains(rec.Body.String(), "mydata") {
+		t.Fatal("deleted dataset still listed")
+	}
+	// Deleting a built-in is refused.
+	req = httptest.NewRequest("DELETE", "/api/datasets/covid", nil)
+	drec = httptest.NewRecorder()
+	s.ServeHTTP(drec, req)
+	if drec.Code != 400 {
+		t.Fatalf("delete built-in: %d", drec.Code)
+	}
+}
+
+func TestCatalogManifestAliases(t *testing.T) {
+	s := newCatalogServer(t, t.TempDir())
+	if rec := upload(t, s, catalogTestManifest, catalogTestCSV(10), false); rec.Code != 201 {
+		t.Fatalf("upload: %d", rec.Code)
+	}
+	canonical := get(t, s, "/api/explain?dataset=mydata")
+	if canonical.Code != 200 {
+		t.Fatalf("canonical explain: %d", canonical.Code)
+	}
+	computesAfterCanonical := s.reg.computes.Load()
+	for _, alias := range []string{"md", "mine"} {
+		rec := get(t, s, "/api/explain?dataset="+alias)
+		if rec.Code != 200 {
+			t.Fatalf("alias %q explain: %d", alias, rec.Code)
+		}
+		var a, c explainResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(canonical.Body.Bytes(), &c); err != nil {
+			t.Fatal(err)
+		}
+		// Latency differs between computed and cached responses; compare
+		// everything else.
+		a.Latency, c.Latency = latencyBreakdown{}, latencyBreakdown{}
+		if !reflect.DeepEqual(a, c) {
+			t.Fatalf("alias %q result differs from canonical", alias)
+		}
+	}
+	// The aliases hit the canonical cache entry: no extra computes ran.
+	if n := s.reg.computes.Load(); n != computesAfterCanonical {
+		t.Fatalf("aliases recomputed: %d computes, want %d", n, computesAfterCanonical)
+	}
+	// The alias dataset name in the response is canonical (one cache key).
+	if n := s.reg.resultEntries(); n != 1 {
+		t.Fatalf("result entries = %d, want 1 shared across aliases", n)
+	}
+}
+
+func TestCatalogAppendFlow(t *testing.T) {
+	s := newCatalogServer(t, t.TempDir())
+	if rec := upload(t, s, catalogTestManifest, catalogTestCSV(12), false); rec.Code != 201 {
+		t.Fatalf("upload: %d", rec.Code)
+	}
+	// Warm the serving path.
+	if rec := get(t, s, "/api/explain?dataset=mydata"); rec.Code != 200 {
+		t.Fatalf("explain: %d", rec.Code)
+	}
+
+	// Append two new days, including a brand-new state (dictionary
+	// growth through the streaming path).
+	delta := `{"time":"2021-03-13","dims":{"state":"NY","county":"kings"},"measure":140}
+{"time":"2021-03-13","dims":{"state":"FL","county":"dade"},"measure":60}
+{"time":"2021-03-14","dims":{"state":"NY","county":"kings"},"measure":150}
+{"time":"2021-03-14","dims":{"state":"FL","county":"dade"},"measure":80}
+`
+	rec := appendNDJSON(t, s, "mydata", delta, false)
+	if rec.Code != 200 {
+		t.Fatalf("append: %d: %s", rec.Code, rec.Body.String())
+	}
+	var ap struct {
+		Rows int   `json:"rows"`
+		N    int   `json:"n"`
+		Cuts []int `json:"cuts"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ap); err != nil {
+		t.Fatal(err)
+	}
+	if ap.Rows != 4 || ap.N != 14 {
+		t.Fatalf("append response = %+v, want 4 rows over 14 days", ap)
+	}
+
+	// The serving path sees the appended days and the new FL slice.
+	erec := get(t, s, "/api/explain?dataset=mydata")
+	var res explainResponse
+	if err := json.Unmarshal(erec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Segments[len(res.Segments)-1].End; got != "2021-03-14" {
+		t.Fatalf("explain after append ends at %q, want 2021-03-14", got)
+	}
+	if rec := get(t, s, "/api/slice?dataset=mydata&expr=state=FL"); rec.Code != 200 {
+		t.Fatalf("FL slice after append: %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Rows before the last timestamp are rejected and change nothing.
+	bad := `{"time":"2021-03-01","dims":{"state":"NY","county":"kings"},"measure":1}` + "\n"
+	if rec := appendNDJSON(t, s, "mydata", bad, false); rec.Code != 400 {
+		t.Fatalf("past-append: %d: %s", rec.Code, rec.Body.String())
+	}
+	// An UNSEEN label that sorts before the tail is just as invalid: the
+	// relation layer would order it by arrival, but the CSV reload sorts
+	// lexicographically — accepting it would make a restarted series
+	// disagree with the live one.
+	bad = `{"time":"2020-12-31","dims":{"state":"NY","county":"kings"},"measure":1}` + "\n"
+	if rec := appendNDJSON(t, s, "mydata", bad, false); rec.Code != 400 {
+		t.Fatalf("unseen-past append: %d: %s", rec.Code, rec.Body.String())
+	}
+	// Out-of-order new labels within one batch are rejected for the same
+	// reason (2021-03-16 staged, then 2021-03-15 would land after it in
+	// arrival order but before it after a reload).
+	bad = `{"time":"2021-03-16","dims":{"state":"NY","county":"kings"},"measure":1}` + "\n" +
+		`{"time":"2021-03-15","dims":{"state":"NY","county":"kings"},"measure":1}` + "\n"
+	if rec := appendNDJSON(t, s, "mydata", bad, false); rec.Code != 400 {
+		t.Fatalf("out-of-order batch append: %d: %s", rec.Code, rec.Body.String())
+	}
+	// The rejected batches left no trace: the series still ends at the
+	// last good append.
+	if rec := get(t, s, "/api/explain?dataset=mydata"); !strings.Contains(rec.Body.String(), "2021-03-14") {
+		t.Fatalf("rejected appends disturbed the series: %s", rec.Body.String())
+	}
+	// Malformed rows: missing dims, unknown fields, empty body.
+	for _, b := range []string{
+		`{"time":"2021-03-15","measure":1}` + "\n",
+		`{"time":"2021-03-15","dims":{"state":"NY","county":"kings"},"measure":1,"nope":2}` + "\n",
+		"",
+	} {
+		if rec := appendNDJSON(t, s, "mydata", b, false); rec.Code != 400 {
+			t.Fatalf("bad append body %q: %d", b, rec.Code)
+		}
+	}
+	// Appending to a built-in or unknown dataset fails cleanly.
+	if rec := appendNDJSON(t, s, "covid", delta, false); rec.Code != 400 {
+		t.Fatalf("append to built-in: %d", rec.Code)
+	}
+	if rec := appendNDJSON(t, s, "nope", delta, false); rec.Code != 404 {
+		t.Fatalf("append to unknown: %d", rec.Code)
+	}
+}
+
+// TestCatalogWarmRestart uploads with a synchronous snapshot refresh,
+// then opens a second server over the same data dir and asserts the
+// dataset and its engines restore from the snapshot — and that the
+// explanations match the first server's bit for bit.
+func TestCatalogWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newCatalogServer(t, dir)
+	if rec := upload(t, s1, catalogTestManifest, catalogTestCSV(12), true); rec.Code != 201 {
+		t.Fatalf("upload: %d", rec.Code)
+	}
+	first := get(t, s1, "/api/explain?dataset=mydata")
+	if first.Code != 200 {
+		t.Fatalf("first explain: %d", first.Code)
+	}
+
+	// "Restart": a fresh server over the same directory.
+	s2 := newCatalogServer(t, dir)
+	second := get(t, s2, "/api/explain?dataset=mydata")
+	if second.Code != 200 {
+		t.Fatalf("post-restart explain: %d: %s", second.Code, second.Body.String())
+	}
+	var a, b explainResponse
+	if err := json.Unmarshal(first.Body.Bytes(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second.Body.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	a.Latency, b.Latency = latencyBreakdown{}, latencyBreakdown{}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("post-restart explanations differ from pre-restart")
+	}
+	if n := s2.met.snapshotRelRestores.Load(); n < 1 {
+		t.Fatalf("relation snapshot restores = %d, want >= 1", n)
+	}
+	if n := s2.met.snapshotEngRestores.Load(); n < 1 {
+		t.Fatalf("engine snapshot restores = %d, want >= 1", n)
+	}
+	// The restore counters surface on /metrics for the smoke script.
+	if body := get(t, s2, "/metrics").Body.String(); !strings.Contains(body, `tsexplain_snapshot_restores_total{kind="engine"} 1`) {
+		t.Fatal("metrics missing snapshot restore counter")
+	}
+
+	// With snapshots disabled, the same directory still serves — via the
+	// CSV rebuild path — and no restore is counted.
+	s3, err := Open(Config{DataDir: dir, DisableSnapshots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := get(t, s3, "/api/explain?dataset=mydata"); rec.Code != 200 {
+		t.Fatalf("snapshot-disabled explain: %d", rec.Code)
+	}
+	if n := s3.met.snapshotRelRestores.Load() + s3.met.snapshotEngRestores.Load(); n != 0 {
+		t.Fatalf("snapshot restores with snapshots disabled: %d", n)
+	}
+}
+
+// TestCatalogSnapshotStaleAfterOfflineAppend covers the fallback: rows
+// appended while the snapshot existed (fingerprint mismatch) must force a
+// CSV rebuild that sees the new rows, not a stale restore.
+func TestCatalogSnapshotStaleAfterOfflineAppend(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newCatalogServer(t, dir)
+	if rec := upload(t, s1, catalogTestManifest, catalogTestCSV(12), true); rec.Code != 201 {
+		t.Fatalf("upload: %d", rec.Code)
+	}
+	// Append WITHOUT waiting for the snapshot refresh on a throwaway
+	// server, then immediately restart: the snapshot on disk may predate
+	// the append, and the fingerprint must catch it.
+	if rec := appendNDJSON(t, s1, "mydata",
+		`{"time":"2021-03-13","dims":{"state":"NY","county":"kings"},"measure":999}`+"\n", false); rec.Code != 200 {
+		t.Fatalf("append: %d", rec.Code)
+	}
+
+	s2 := newCatalogServer(t, dir)
+	rec := get(t, s2, "/api/explain?dataset=mydata")
+	if rec.Code != 200 {
+		t.Fatalf("explain: %d", rec.Code)
+	}
+	var res explainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Segments[len(res.Segments)-1].End; got != "2021-03-13" {
+		t.Fatalf("post-restart series ends at %q, want the appended 2021-03-13", got)
+	}
+}
+
+// TestCatalogConcurrentUploadWhileExplaining drives uploads, appends,
+// explains, slices, and deletes concurrently (run under -race in CI).
+func TestCatalogConcurrentUploadWhileExplaining(t *testing.T) {
+	s := newCatalogServer(t, t.TempDir())
+	if rec := upload(t, s, catalogTestManifest, catalogTestCSV(12), false); rec.Code != 201 {
+		t.Fatalf("seed upload: %d", rec.Code)
+	}
+
+	var wg sync.WaitGroup
+	// Explainers and slicers hammer the dataset across the mutations.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 15; j++ {
+				rec := get(t, s, "/api/explain?dataset=mydata&k=2")
+				if rec.Code != 200 && rec.Code != 404 && rec.Code != 429 && rec.Code != 503 {
+					t.Errorf("explain status %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+				get(t, s, "/api/slice?dataset=mydata")
+			}
+		}()
+	}
+	// One appender extends the series.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for d := 13; d < 20; d++ {
+			body := fmt.Sprintf(`{"time":"2021-03-%02d","dims":{"state":"NY","county":"kings"},"measure":%d}`+"\n", d, 100+d)
+			rec := appendNDJSON(t, s, "mydata", body, false)
+			if rec.Code != 200 && rec.Code != 429 && rec.Code != 503 {
+				t.Errorf("append status %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+		}
+	}()
+	// Other datasets come and go concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			mf := fmt.Sprintf(`{"name":"scratch%d","timeCol":"day","dimCols":["state","county"],"measureCol":"cases"}`, i)
+			if rec := upload(t, s, mf, catalogTestCSV(8), false); rec.Code != 201 {
+				t.Errorf("scratch upload: %d", rec.Code)
+				return
+			}
+			get(t, s, fmt.Sprintf("/api/explain?dataset=scratch%d", i))
+			req := httptest.NewRequest("DELETE", fmt.Sprintf("/api/datasets/scratch%d", i), nil)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				t.Errorf("scratch delete: %d", rec.Code)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// The dataset is intact and serves the final appended day.
+	rec := get(t, s, "/api/explain?dataset=mydata")
+	if rec.Code != 200 {
+		t.Fatalf("final explain: %d", rec.Code)
+	}
+	var res explainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Segments[len(res.Segments)-1].End; got != "2021-03-19" {
+		t.Fatalf("final series ends at %q, want 2021-03-19", got)
+	}
+}

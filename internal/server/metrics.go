@@ -27,6 +27,18 @@ type metrics struct {
 	datasetLoads  atomic.Int64 // lazy dataset materializations
 	shedQueueFull atomic.Int64 // requests rejected with 429 (queue full)
 	shedDeadline  atomic.Int64 // requests failed with 503 (deadline/cancel)
+
+	// Catalog admin-path counters.
+	catalogUploads    atomic.Int64 // datasets created through POST /api/datasets
+	catalogDeletes    atomic.Int64 // datasets removed through DELETE /api/datasets/{name}
+	catalogAppendRows atomic.Int64 // delta rows ingested through the append endpoint
+	catalogEvictions  atomic.Int64 // engines dropped by dataset invalidation (delete/append)
+
+	// Warm-restart snapshot counters.
+	snapshotRelRestores atomic.Int64 // dataset relations restored from snapshot
+	snapshotEngRestores atomic.Int64 // engines built from a snapshot universe
+	snapshotFallbacks   atomic.Int64 // snapshot loads that failed (stale/corrupt) and fell back to rebuild
+	snapshotSaves       atomic.Int64 // snapshots written by the background refresher
 }
 
 // latencyBuckets are the histogram upper bounds in seconds, spanning the
@@ -131,6 +143,16 @@ func (m *metrics) write(w io.Writer, shards []shardGauges) {
 	counter("tsexplain_singleflight_dedup_total", "Requests that waited on another request's in-flight compute.", m.dedups.Load())
 	counter("tsexplain_engine_evictions_total", "Engines evicted to stay within the memory budget.", m.evictions.Load())
 	counter("tsexplain_dataset_loads_total", "Datasets materialized lazily on first request.", m.datasetLoads.Load())
+	counter("tsexplain_catalog_uploads_total", "Datasets created through the catalog upload endpoint.", m.catalogUploads.Load())
+	counter("tsexplain_catalog_deletes_total", "Datasets removed through the catalog delete endpoint.", m.catalogDeletes.Load())
+	counter("tsexplain_catalog_append_rows_total", "Delta rows ingested through the catalog append endpoint.", m.catalogAppendRows.Load())
+	counter("tsexplain_catalog_evictions_total", "Engines dropped by dataset invalidation after a delete or append.", m.catalogEvictions.Load())
+	fmt.Fprintln(w, "# HELP tsexplain_snapshot_restores_total Warm-restart snapshot restores, by kind.")
+	fmt.Fprintln(w, "# TYPE tsexplain_snapshot_restores_total counter")
+	fmt.Fprintf(w, "tsexplain_snapshot_restores_total{kind=\"relation\"} %d\n", m.snapshotRelRestores.Load())
+	fmt.Fprintf(w, "tsexplain_snapshot_restores_total{kind=\"engine\"} %d\n", m.snapshotEngRestores.Load())
+	counter("tsexplain_snapshot_fallbacks_total", "Snapshot loads that failed validation and fell back to a rebuild.", m.snapshotFallbacks.Load())
+	counter("tsexplain_snapshot_saves_total", "Warm-restart snapshots written by the background refresher.", m.snapshotSaves.Load())
 	fmt.Fprintln(w, "# HELP tsexplain_shed_total Requests shed by admission control, by reason.")
 	fmt.Fprintln(w, "# TYPE tsexplain_shed_total counter")
 	fmt.Fprintf(w, "tsexplain_shed_total{reason=\"queue_full\"} %d\n", m.shedQueueFull.Load())

@@ -4,12 +4,17 @@ import (
 	"context"
 	"errors"
 	"hash/fnv"
+	"log"
+	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/explain"
 )
 
 // Back-pressure sentinels. errQueueFull maps to 429 (the client should
@@ -28,6 +33,13 @@ type registry struct {
 	shards []*shard
 	met    *metrics
 
+	// cat is the on-disk dataset catalog behind the bring-your-own-data
+	// path; nil when the server runs without a data directory. snapshots
+	// gates the warm-restart path: when false, catalog datasets always
+	// rebuild from their CSV.
+	cat       *catalog.Catalog
+	snapshots bool
+
 	// requestTimeout bounds detached singleflight computes (see explain).
 	requestTimeout time.Duration
 
@@ -35,20 +47,64 @@ type registry struct {
 	// the singleflight assertions).
 	computes atomic.Int64
 
-	// datasets are materialized once and kept forever: they are small
-	// relative to engines, and every engine for a dataset shares one
-	// relation. dmu guards only the map; each entry materializes under
-	// its own once, so a slow cold load (liquor) never stalls requests
-	// for other datasets behind a global lock.
+	// datasets are materialized once and kept until invalidated (catalog
+	// deletes and appends drop the entry; built-ins live forever): they
+	// are small relative to engines, and every engine for a dataset
+	// shares one relation. dmu guards only the map; each entry
+	// materializes under its own lock, so a slow cold load (liquor) never
+	// stalls requests for other datasets behind a global lock.
+	//
+	// gens[name] counts the dataset's invalidations (also under dmu). A
+	// compute records the generation it started under and only caches its
+	// result if the generation is unchanged when it finishes — without
+	// this, an explain in flight across an append would re-insert its
+	// pre-append result into the cache invalidateDataset just swept, and
+	// serve stale data until the next eviction.
 	dmu   sync.Mutex
 	dsets map[string]*datasetEntry
+	gens  map[string]uint64
+
+	// live holds the per-dataset streaming ingestion state behind the
+	// append endpoint (livemu guards the map; each liveStream has its own
+	// lock).
+	livemu sync.Mutex
+	live   map[string]*liveStream
+
+	// refreshing coalesces background snapshot refreshes: at most one
+	// refresh per dataset runs at a time, and a burst of appends queues a
+	// single re-run instead of a goroutine per append.
+	refreshMu  sync.Mutex
+	refreshing map[string]*refreshJob
 }
 
-// datasetEntry is one lazily materialized dataset.
+// refreshJob is one dataset's in-flight snapshot refresh. queued marks a
+// request that arrived mid-run (the job re-runs once more so the refresh
+// covers data persisted after the current run started); waiters are
+// closed when the job fully drains.
+type refreshJob struct {
+	queued  bool
+	waiters []chan struct{}
+}
+
+// datasetEntry is one lazily materialized dataset. Published relations
+// are immutable: an append never mutates an entry's relation, it swaps in
+// a fresh entry (see publishDataset), so concurrent readers of the old
+// entry are always safe.
 type datasetEntry struct {
-	once sync.Once
-	d    *datasets.Dataset
-	err  error
+	mu     sync.Mutex
+	loaded bool
+	d      *datasets.Dataset
+	err    error
+}
+
+// liveStream is one catalog dataset's streaming ingestion state: a
+// persistent incremental engine whose relation the append endpoint
+// extends in place through the O(delta) append path. It is lazily built
+// on the first append and owns its relation — pooled serving engines
+// never share it, they read immutable published clones.
+type liveStream struct {
+	mu  sync.Mutex
+	inc *core.Incremental
 }
 
 // shard owns a disjoint slice of the key space.
@@ -81,6 +137,15 @@ type engineEntry struct {
 	eng  *core.Engine
 	cost int64
 	pins atomic.Int32
+
+	// dead and charged are guarded by the shard mutex. dead marks an
+	// entry removed from the pool by dataset invalidation while a request
+	// was still using it: the request finishes on the entry safely, but
+	// its build cost is never charged to the shard (the entry can no
+	// longer be evicted to reclaim it). charged tracks whether the
+	// entry's cost is currently counted in the shard's memUsed.
+	dead    bool
+	charged bool
 }
 
 // inflightCall tracks one in-progress explain; late arrivals for the same
@@ -91,11 +156,16 @@ type inflightCall struct {
 	err  error
 }
 
-func newRegistry(cfg Config, met *metrics) *registry {
+func newRegistry(cfg Config, met *metrics, cat *catalog.Catalog) *registry {
 	g := &registry{
 		met:            met,
+		cat:            cat,
+		snapshots:      cat != nil && !cfg.DisableSnapshots,
 		requestTimeout: cfg.RequestTimeout,
 		dsets:          make(map[string]*datasetEntry),
+		gens:           make(map[string]uint64),
+		live:           make(map[string]*liveStream),
+		refreshing:     make(map[string]*refreshJob),
 	}
 	perShardResults := cfg.ResultCacheSize / cfg.Shards
 	if perShardResults < 8 {
@@ -125,11 +195,13 @@ func (g *registry) shardFor(key string) *shard {
 	return g.shards[int(h.Sum32())%len(g.shards)]
 }
 
-// dataset returns the named demo dataset, materializing it on first
-// request. Unlike the old eager path, a server that never sees liquor
-// traffic never pays for building the liquor relation. Concurrent first
-// requests for the same dataset share one materialization; different
-// datasets materialize independently.
+// dataset returns the named dataset (built-in or catalog), materializing
+// it on first request. Unlike the old eager path, a server that never
+// sees liquor traffic never pays for building the liquor relation.
+// Concurrent first requests for the same dataset share one
+// materialization; different datasets materialize independently. Catalog
+// load failures are not memoized — a transient file problem heals on the
+// next request instead of pinning the dataset broken.
 func (g *registry) dataset(name string) (*datasets.Dataset, error) {
 	g.dmu.Lock()
 	e, ok := g.dsets[name]
@@ -138,13 +210,74 @@ func (g *registry) dataset(name string) (*datasets.Dataset, error) {
 		g.dsets[name] = e
 	}
 	g.dmu.Unlock()
-	e.once.Do(func() {
-		e.d, e.err = demoDataset(name)
-		if e.err == nil {
-			g.met.datasetLoads.Add(1)
-		}
-	})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.loaded {
+		return e.d, e.err
+	}
+	e.d, e.err = g.loadDataset(name)
+	e.loaded = e.err == nil || !g.isCatalogDataset(name)
+	if e.err == nil {
+		g.met.datasetLoads.Add(1)
+	}
 	return e.d, e.err
+}
+
+// isCatalogDataset reports whether name resolves to a catalog dataset
+// (canonical names only; aliases are resolved before the registry).
+func (g *registry) isCatalogDataset(name string) bool {
+	if g.cat == nil {
+		return false
+	}
+	_, ok := g.cat.Manifest(name)
+	return ok
+}
+
+// loadDataset materializes a dataset: built-in generators first, then the
+// catalog. Catalog datasets prefer the warm-restart snapshot (skipping
+// the CSV parse and dictionary encoding) and fall back to the CSV when
+// the snapshot is missing, stale, or fails validation.
+func (g *registry) loadDataset(name string) (*datasets.Dataset, error) {
+	if isBuiltinDataset(name) {
+		return demoDataset(name)
+	}
+	if g.cat == nil {
+		return nil, httpErrf(http.StatusNotFound, "unknown dataset %q", name)
+	}
+	m, ok := g.cat.Manifest(name)
+	if !ok {
+		return nil, httpErrf(http.StatusNotFound, "unknown dataset %q", name)
+	}
+	agg, err := m.AggFunc()
+	if err != nil {
+		return nil, err
+	}
+	d := &datasets.Dataset{
+		Name:         m.Name,
+		Measure:      m.MeasureCol,
+		Agg:          agg,
+		ExplainBy:    m.ExplainBy,
+		MaxOrder:     m.EffectiveMaxOrder(),
+		SmoothWindow: m.SmoothWindow,
+	}
+	if g.snapshots && g.cat.HasSnapshot(name) {
+		start := time.Now()
+		rel, err := g.cat.LoadSnapshotRelation(name)
+		if err == nil {
+			g.met.snapshotRelRestores.Add(1)
+			log.Printf("catalog: dataset %q restored from snapshot in %v (CSV parse skipped)", name, time.Since(start).Round(time.Microsecond))
+			d.Rel = rel
+			return d, nil
+		}
+		g.met.snapshotFallbacks.Add(1)
+		log.Printf("catalog: dataset %q snapshot unusable (%v); rebuilding from CSV", name, err)
+	}
+	rel, err := g.cat.LoadRelation(name)
+	if err != nil {
+		return nil, err
+	}
+	d.Rel = rel
+	return d, nil
 }
 
 // admit reserves one worker slot on the shard, queueing when all slots
@@ -186,6 +319,7 @@ func (sh *shard) release() {
 func (g *registry) explain(ctx context.Context, p params) (*core.Result, error) {
 	sh := g.shardFor(p.engineKey())
 	key := p.key()
+	gen := g.datasetGen(p.dataset)
 
 	sh.mu.Lock()
 	if res, ok := sh.results.get(key); ok {
@@ -217,9 +351,14 @@ func (g *registry) explain(ctx context.Context, p params) (*core.Result, error) 
 		if c.res == nil && c.err == nil {
 			c.err = errors.New("explain computation aborted")
 		}
+		// Cache only if the dataset was not invalidated (deleted or
+		// appended to) while this compute ran — a stale result cached
+		// here would outlive the sweep invalidateDataset just did. The
+		// deduped waiters still receive the result either way.
+		cacheable := c.err == nil && g.datasetGen(p.dataset) == gen
 		sh.mu.Lock()
 		delete(sh.inflight, key)
-		if c.err == nil {
+		if cacheable {
 			sh.results.add(key, c.res)
 		}
 		sh.mu.Unlock()
@@ -272,15 +411,7 @@ func (g *registry) compute(ctx context.Context, sh *shard, p params) (*core.Resu
 		return nil, err
 	}
 	defer releaseSlot()
-	if err := g.buildLocked(ctx, sh, ent, func(ctx context.Context) (*core.Engine, error) {
-		d, err := g.dataset(p.dataset)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewEngineCtx(ctx, d.Rel, core.Query{
-			Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy,
-		}, p.options(d))
-	}); err != nil {
+	if err := g.buildLocked(ctx, sh, ent, g.engineBuilder(p.dataset, p.options)); err != nil {
 		return nil, err
 	}
 	g.computes.Add(1)
@@ -289,6 +420,38 @@ func (g *registry) compute(ctx context.Context, sh *shard, p params) (*core.Resu
 		g.countIfDeadline(err)
 	}
 	return res, err
+}
+
+// engineBuilder returns the build function for a pooled engine: resolve
+// the dataset, then construct the engine — from the warm-restart snapshot
+// universe when the dataset is catalog-backed and a valid snapshot
+// exists (skipping the group-by and planning passes), from the relation
+// otherwise. A snapshot that fails to load or to match the requested
+// options falls back to the full build; restores are never required for
+// correctness, only for speed.
+func (g *registry) engineBuilder(name string, opts func(*datasets.Dataset) core.Options) func(context.Context) (*core.Engine, error) {
+	return func(ctx context.Context) (*core.Engine, error) {
+		d, err := g.dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		q := core.Query{Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy}
+		o := opts(d)
+		if g.snapshots && g.isCatalogDataset(name) && g.cat.HasSnapshot(name) {
+			if _, u, err := g.cat.LoadSnapshot(name); err == nil {
+				if eng, err := core.NewEngineFromUniverse(u, q, o); err == nil {
+					g.met.snapshotEngRestores.Add(1)
+					return eng, nil
+				}
+			}
+			// Fall through: the relation-level load already logged and
+			// counted the snapshot problem if there was one; an options
+			// mismatch here is normal (e.g. a custom smoothing window is
+			// fine — smoothing reruns on the restored arena — but a stale
+			// snapshot mid-append is not).
+		}
+		return core.NewEngineCtx(ctx, d.Rel, q, o)
+	}
 }
 
 // engineExclusive resolves a pooled engine for a request that drives it
@@ -403,12 +566,67 @@ func (g *registry) buildLocked(ctx context.Context, sh *shard, ent *engineEntry,
 		return err
 	}
 	ent.eng = eng
-	ent.cost = eng.MemoryFootprint()
 	sh.mu.Lock()
-	sh.memUsed += ent.cost
-	sh.evictOverBudgetLocked()
+	ent.cost = eng.MemoryFootprint()
+	// A dead entry (its dataset was deleted or appended to while this
+	// request held it) is no longer in the pool and can never be evicted;
+	// charging its cost would inflate memUsed forever.
+	if !ent.dead {
+		ent.charged = true
+		sh.memUsed += ent.cost
+		sh.evictOverBudgetLocked()
+	}
 	sh.mu.Unlock()
 	return nil
+}
+
+// invalidateDataset drops every cached artifact of a dataset after an
+// admin mutation (delete, append): the materialized dataset entry, every
+// pooled engine whose key belongs to the dataset, and every cached
+// result. Pins are respected in the only way that matters — an entry is
+// removed from the pool, never yanked from the request using it: in-
+// flight requests keep their reference and finish on the pre-mutation
+// data, while new requests materialize fresh state.
+// datasetGen returns the dataset's current invalidation generation.
+func (g *registry) datasetGen(name string) uint64 {
+	g.dmu.Lock()
+	defer g.dmu.Unlock()
+	return g.gens[name]
+}
+
+func (g *registry) invalidateDataset(name string) {
+	g.dmu.Lock()
+	delete(g.dsets, name)
+	g.gens[name]++
+	g.dmu.Unlock()
+
+	prefix := name + "|"
+	owns := func(key string) bool { return strings.HasPrefix(key, prefix) }
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+		for _, ent := range sh.engines.removeMatching(owns) {
+			ent.dead = true
+			if ent.charged {
+				ent.charged = false
+				sh.memUsed -= ent.cost
+			}
+			g.met.catalogEvictions.Add(1)
+		}
+		sh.results.removeMatching(owns)
+		sh.mu.Unlock()
+	}
+}
+
+// publishDataset installs a ready-made dataset entry, replacing whatever
+// the registry held for the name. The upload and append paths use it so
+// the very next request serves the new data without re-reading the file
+// that was just written. d's relation must be immutable from here on
+// (appends clone the live relation before publishing).
+func (g *registry) publishDataset(name string, d *datasets.Dataset) {
+	e := &datasetEntry{loaded: true, d: d}
+	g.dmu.Lock()
+	g.dsets[name] = e
+	g.dmu.Unlock()
 }
 
 // evictOverBudgetLocked sheds cold engines until the shard is back under
@@ -424,9 +642,217 @@ func (sh *shard) evictOverBudgetLocked() {
 		if !ok {
 			return
 		}
+		ent.charged = false
 		sh.memUsed -= ent.cost
 		sh.met.evictions.Add(1)
 	}
+}
+
+// liveFor returns the dataset's streaming ingestion state, creating it
+// on first use.
+func (g *registry) liveFor(name string) *liveStream {
+	g.livemu.Lock()
+	defer g.livemu.Unlock()
+	ls, ok := g.live[name]
+	if !ok {
+		ls = &liveStream{}
+		g.live[name] = ls
+	}
+	return ls
+}
+
+// dropLive discards the dataset's streaming state (after a delete, or
+// when the live engine diverged from disk).
+func (g *registry) dropLive(name string) {
+	g.livemu.Lock()
+	delete(g.live, name)
+	g.livemu.Unlock()
+}
+
+// catalogOptions is the engine configuration a catalog dataset's manifest
+// implies: the paper's optimized defaults with the manifest's order
+// threshold and smoothing window.
+func catalogOptions(d *datasets.Dataset) core.Options {
+	opts := core.DefaultOptions()
+	opts.MaxOrder = d.MaxOrder
+	opts.SmoothWindow = d.SmoothWindow
+	return opts
+}
+
+// appendDelta ingests one batch of delta rows into a catalog dataset:
+// the rows flow through the persistent incremental engine's O(delta)
+// append path (relation → universe → restricted re-segmentation — the
+// same three layers the streaming endpoint demonstrates), are persisted
+// to the dataset's CSV, and a fresh immutable clone of the extended
+// relation is published for pooled serving engines. The returned result
+// is the refreshed segmentation over the extended series. The caller
+// still owns triggering the background snapshot refresh.
+func (g *registry) appendDelta(ctx context.Context, name string, timeVals []string, dims [][]string, measures [][]float64) (*core.Result, error) {
+	ls := g.liveFor(name)
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.inc == nil {
+		d, err := g.dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		// The incremental engine owns its relation: parse a private copy
+		// from disk (the published entry's relation must stay immutable).
+		rel, err := g.cat.LoadRelation(name)
+		if err != nil {
+			return nil, err
+		}
+		inc, _, err := core.NewIncrementalCtx(ctx, rel, core.Query{
+			Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy,
+		}, catalogOptions(d))
+		if err != nil {
+			g.countIfDeadline(err)
+			return nil, err
+		}
+		ls.inc = inc
+	}
+	// The relation layer orders NEW time labels by arrival, but a catalog
+	// dataset's CSV reload sorts labels lexicographically — an unseen
+	// label that sorts before the current tail would make the restarted
+	// series disagree with the live one. Enforce lexicographic order for
+	// catalog appends before any state mutates.
+	rel := ls.inc.Engine().Universe().Relation()
+	last := rel.TimeLabel(rel.NumTimestamps() - 1)
+	maxSeen := last
+	staged := make(map[string]bool)
+	for i, tv := range timeVals {
+		if tv == last || staged[tv] {
+			continue
+		}
+		if tv > maxSeen {
+			staged[tv] = true
+			maxSeen = tv
+			continue
+		}
+		return nil, httpErrf(http.StatusBadRequest,
+			"row %d: timestamp %q does not extend the series (last %q, batch max %q); catalog time labels must be lexicographically non-decreasing",
+			i, tv, last, maxSeen)
+	}
+
+	res, err := ls.inc.AppendRows(timeVals, dims, measures)
+	if err != nil {
+		// Remaining validation failures (revisions of pre-tail labels,
+		// arity mismatches) leave the engine untouched; report as 400.
+		return nil, httpErrf(http.StatusBadRequest, "%v", err)
+	}
+	// Persist the accepted delta. If the durable write fails, the live
+	// engine is ahead of disk: drop it so the next append rebuilds from
+	// the authoritative CSV, and surface the failure.
+	if err := g.cat.AppendRows(name, timeVals, dims, measures); err != nil {
+		ls.inc = nil
+		g.dropLive(name)
+		return nil, err
+	}
+	g.met.catalogAppendRows.Add(int64(len(timeVals)))
+
+	// Publish the extended data for the serving path: drop every engine
+	// and cached result built over the pre-append relation —
+	// unconditionally, now that the delta is durable — then install a
+	// fresh immutable clone so the next request doesn't re-parse the CSV
+	// we just wrote. If the query shape can't be resolved, the
+	// invalidation alone is still correct: the next request reloads from
+	// the (post-append) CSV.
+	d, derr := g.dataset(name) // pre-invalidation entry; only used for the query shape
+	liveRel := ls.inc.Engine().Universe().Relation()
+	g.invalidateDataset(name)
+	if derr == nil {
+		fresh := *d
+		fresh.Rel = liveRel.Clone()
+		g.publishDataset(name, &fresh)
+	}
+	return res, nil
+}
+
+// refreshSnapshot rebuilds the dataset's warm-restart snapshot in the
+// background: parse the CSV, build the raw universe, save — with the
+// pre-parse fingerprint, so a concurrent append aborts the save instead
+// of publishing a stale snapshot as current. Refreshes coalesce: one
+// worker per dataset, and a request arriving mid-run queues exactly one
+// re-run (which then covers everything persisted before it started). The
+// returned channel closes when the dataset's refresh work fully drains
+// (the admin handlers expose it via ?wait=1; fire-and-forget callers
+// ignore it).
+func (g *registry) refreshSnapshot(name string) <-chan struct{} {
+	done := make(chan struct{})
+	if g.cat == nil || !g.snapshots || !g.isCatalogDataset(name) {
+		close(done)
+		return done
+	}
+	g.refreshMu.Lock()
+	if j, running := g.refreshing[name]; running {
+		j.queued = true
+		j.waiters = append(j.waiters, done)
+		g.refreshMu.Unlock()
+		return done
+	}
+	j := &refreshJob{waiters: []chan struct{}{done}}
+	g.refreshing[name] = j
+	g.refreshMu.Unlock()
+	go func() {
+		for {
+			g.snapshotNow(name)
+			g.refreshMu.Lock()
+			if j.queued {
+				j.queued = false
+				g.refreshMu.Unlock()
+				continue
+			}
+			delete(g.refreshing, name)
+			waiters := j.waiters
+			g.refreshMu.Unlock()
+			for _, w := range waiters {
+				close(w)
+			}
+			return
+		}
+	}()
+	return done
+}
+
+// snapshotNow is the refresh body; failures are logged, never fatal —
+// the snapshot is an optimization, the CSV stays authoritative.
+func (g *registry) snapshotNow(name string) {
+	m, ok := g.cat.Manifest(name)
+	if !ok {
+		return
+	}
+	agg, err := m.AggFunc()
+	if err != nil {
+		return
+	}
+	fp, err := g.cat.DataFingerprint(name)
+	if err != nil {
+		log.Printf("catalog: snapshot refresh for %q: %v", name, err)
+		return
+	}
+	start := time.Now()
+	rel, err := g.cat.LoadRelation(name)
+	if err != nil {
+		log.Printf("catalog: snapshot refresh for %q: %v", name, err)
+		return
+	}
+	u, err := explain.NewUniverse(rel, explain.Config{
+		Measure: m.MeasureCol, Agg: agg, ExplainBy: m.ExplainBy, MaxOrder: m.EffectiveMaxOrder(),
+	})
+	if err != nil {
+		log.Printf("catalog: snapshot refresh for %q: %v", name, err)
+		return
+	}
+	if err := g.cat.SaveSnapshot(name, rel, u, fp); err != nil {
+		if errors.Is(err, catalog.ErrSnapshotStale) {
+			// A concurrent append won the race; its own refresh follows.
+			return
+		}
+		log.Printf("catalog: snapshot refresh for %q: %v", name, err)
+		return
+	}
+	g.met.snapshotSaves.Add(1)
+	log.Printf("catalog: snapshot for %q refreshed in %v", name, time.Since(start).Round(time.Millisecond))
 }
 
 // gauges snapshots per-shard state for the /metrics scrape.

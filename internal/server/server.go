@@ -1,12 +1,15 @@
 // Package server exposes TSExplain over HTTP, grown from the shape of
 // the paper's interactive demo (SIGMOD 2021 companion) into a production
-// serving layer: a JSON API for explaining the built-in datasets with
-// adjustable K / smoothing / optimization toggles, SVG endpoints for the
-// Figure 2 trendline and the K-Variance curve, a self-contained HTML
-// page that drives them — all served through a sharded dataset registry
-// with lazy loading, per-shard bounded worker pools with 429/503
-// back-pressure, per-request deadlines that the engine observes, and a
-// dependency-free Prometheus /metrics endpoint.
+// serving layer: a JSON API for explaining the built-in and
+// catalog-uploaded datasets with adjustable K / smoothing / optimization
+// toggles, SVG endpoints for the Figure 2 trendline and the K-Variance
+// curve, a self-contained HTML page that drives them, and a dataset
+// admin API (upload CSV + manifest, append NDJSON deltas through the
+// streaming ingestion path, delete) — all served through a sharded
+// dataset registry with lazy loading and warm-restart snapshot restores,
+// per-shard bounded worker pools with 429/503 back-pressure, per-request
+// deadlines that the engine observes, and a dependency-free Prometheus
+// /metrics endpoint.
 package server
 
 import (
@@ -22,6 +25,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/render"
@@ -55,6 +59,17 @@ type Config struct {
 	// AccessLog, when non-nil, receives one structured (JSON) log line
 	// per request: endpoint, status, latency. Nil disables logging.
 	AccessLog io.Writer
+	// DataDir, when non-empty, enables the on-disk dataset catalog: the
+	// directory is scanned for uploaded datasets at startup, and the
+	// admin endpoints (POST /api/datasets, DELETE /api/datasets/{name},
+	// POST /api/datasets/{name}/append) operate on it. Empty serves the
+	// built-in datasets only.
+	DataDir string
+	// DisableSnapshots turns off the warm-restart snapshot path for
+	// catalog datasets: no snapshots are written or read, and every cold
+	// load parses the CSV and rebuilds the candidate universe. The
+	// default (false) restores from snapshots when they are valid.
+	DisableSnapshots bool
 }
 
 func (c Config) withDefaults() Config {
@@ -104,20 +119,43 @@ type Server struct {
 // New returns a ready-to-serve handler with default configuration.
 func New() *Server { return NewWithConfig(Config{}) }
 
-// NewWithConfig returns a ready-to-serve handler.
+// NewWithConfig returns a ready-to-serve handler. It panics when the
+// catalog data directory cannot be opened; use Open where that failure
+// should be handled instead (the commands do).
 func NewWithConfig(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open returns a ready-to-serve handler, surfacing catalog
+// initialization failures (unreadable data directory, invalid manifest,
+// alias collisions between stored datasets).
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		mux: http.NewServeMux(),
 		cfg: cfg,
 		met: newMetrics(),
 	}
-	s.reg = newRegistry(cfg, s.met)
+	var cat *catalog.Catalog
+	if cfg.DataDir != "" {
+		var err error
+		if cat, err = catalog.Open(cfg.DataDir); err != nil {
+			return nil, err
+		}
+	}
+	s.reg = newRegistry(cfg, s.met, cat)
 	if cfg.AccessLog != nil {
 		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
 	}
 	s.handle("/", s.handleIndex)
-	s.handle("/api/datasets", s.handleDatasets)
+	s.handle("GET /api/datasets", s.handleDatasets)
+	s.handle("POST /api/datasets", s.handleDatasetUpload)
+	s.handle("DELETE /api/datasets/{name}", s.handleDatasetDelete)
+	s.handle("POST /api/datasets/{name}/append", s.handleDatasetAppend)
 	s.handle("/api/explain", s.handleExplain)
 	s.handle("/api/recommend", s.handleRecommend)
 	s.handle("/api/slice", s.handleSlice)
@@ -126,7 +164,7 @@ func NewWithConfig(cfg Config) *Server {
 	s.handle("/svg/trendlines", s.handleTrendlines)
 	s.handle("/svg/kvariance", s.handleKVariance)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -251,25 +289,19 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
-// demoNames lists the selectable datasets.
-var demoNames = []string{"covid", "covid-daily", "sp500", "liquor", "vax-deaths", "stream"}
+// builtinNames lists the compiled-in demo datasets.
+var builtinNames = []string{"covid", "covid-daily", "sp500", "liquor", "vax-deaths", "stream"}
 
-// normalizeDataset canonicalizes dataset aliases so every alias shares
-// one cache key and one pooled engine ("covid-total" used to be cached —
-// and computed — separately from "covid").
-func normalizeDataset(name string) string {
-	switch name {
-	case "":
-		return "covid"
-	case "covid-total":
-		return "covid"
-	default:
-		return name
-	}
-}
+// builtinAliases maps alternative request names for built-in datasets to
+// their canonical name, so every alias shares one cache key and one
+// pooled engine ("covid-total" used to be cached — and computed —
+// separately from "covid"). Catalog datasets declare their aliases in
+// their manifests instead of here; both kinds resolve through
+// Server.resolveDataset before any cache key is formed.
+var builtinAliases = map[string]string{"covid-total": "covid"}
 
-func validDataset(name string) bool {
-	for _, n := range demoNames {
+func isBuiltinDataset(name string) bool {
+	for _, n := range builtinNames {
 		if n == name {
 			return true
 		}
@@ -277,8 +309,42 @@ func validDataset(name string) bool {
 	return false
 }
 
+// isReservedDatasetName reports whether a catalog upload may not claim
+// the name (built-in names and their aliases stay routable to the
+// built-ins).
+func isReservedDatasetName(name string) bool {
+	if isBuiltinDataset(name) {
+		return true
+	}
+	_, ok := builtinAliases[name]
+	return ok
+}
+
+// resolveDataset canonicalizes a request's dataset parameter: the empty
+// default, built-in aliases, built-in names, then catalog names and
+// manifest-declared aliases. The canonical name is what every cache key,
+// engine-pool key, and registry lookup uses, so an alias and its target
+// always share one engine and one cached result.
+func (s *Server) resolveDataset(raw string) (string, error) {
+	if raw == "" {
+		return "covid", nil
+	}
+	if canon, ok := builtinAliases[raw]; ok {
+		return canon, nil
+	}
+	if isBuiltinDataset(raw) {
+		return raw, nil
+	}
+	if s.reg.cat != nil {
+		if canon, ok := s.reg.cat.Resolve(raw); ok {
+			return canon, nil
+		}
+	}
+	return "", httpErrf(http.StatusNotFound, "unknown dataset %q", raw)
+}
+
 func demoDataset(name string) (*datasets.Dataset, error) {
-	switch normalizeDataset(name) {
+	switch name {
 	case "covid":
 		return datasets.CovidTotal(), nil
 	case "covid-daily":
@@ -297,7 +363,7 @@ func demoDataset(name string) (*datasets.Dataset, error) {
 }
 
 // params decodes the shared query parameters. dataset is always in
-// normalized form.
+// canonical (alias-resolved) form.
 type params struct {
 	dataset string
 	k       int
@@ -305,13 +371,13 @@ type params struct {
 	vanilla bool
 }
 
-func parseParams(r *http.Request) (params, error) {
+func (s *Server) parseParams(r *http.Request) (params, error) {
 	q := r.URL.Query()
-	p := params{dataset: normalizeDataset(q.Get("dataset"))}
-	if !validDataset(p.dataset) {
-		return p, httpErrf(http.StatusNotFound, "unknown dataset %q", q.Get("dataset"))
-	}
+	var p params
 	var err error
+	if p.dataset, err = s.resolveDataset(q.Get("dataset")); err != nil {
+		return p, err
+	}
 	if v := q.Get("k"); v != "" {
 		if p.k, err = strconv.Atoi(v); err != nil || p.k < 0 || p.k > 20 {
 			return p, httpErrf(http.StatusBadRequest, "bad k %q (want 0..20)", v)
@@ -352,8 +418,18 @@ func (p params) options(d *datasets.Dataset) core.Options {
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	names := append([]string(nil), builtinNames...)
+	catalogNames := []string{}
+	if s.reg.cat != nil {
+		catalogNames = s.reg.cat.Names()
+		names = append(names, catalogNames...)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{"datasets": demoNames})
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"datasets": names,
+		"builtin":  builtinNames,
+		"catalog":  catalogNames,
+	})
 }
 
 // explainResponse is the JSON shape of /api/explain.
@@ -385,7 +461,7 @@ type explJSON struct {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	p, err := parseParams(r)
+	p, err := s.parseParams(r)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -424,7 +500,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	p, err := parseParams(r)
+	p, err := s.parseParams(r)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -465,7 +541,7 @@ func (s *Server) handleKVariance(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) serveSVG(w http.ResponseWriter, r *http.Request,
 	draw func(*bytes.Buffer, *core.Result, string) error) {
-	p, err := parseParams(r)
+	p, err := s.parseParams(r)
 	if err != nil {
 		writeError(w, err)
 		return

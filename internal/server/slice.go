@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/datasets"
 	"repro/internal/relation"
 )
 
@@ -22,17 +23,11 @@ import (
 func adhocKey(dataset string) string { return dataset + "|adhoc" }
 
 func (s *Server) adhocBuilder(dataset string) func(context.Context) (*core.Engine, error) {
-	return func(ctx context.Context) (*core.Engine, error) {
-		d, err := s.reg.dataset(dataset)
-		if err != nil {
-			return nil, err
-		}
+	return s.reg.engineBuilder(dataset, func(d *datasets.Dataset) core.Options {
 		opts := core.DefaultOptions()
 		opts.MaxOrder = d.MaxOrder
-		return core.NewEngineCtx(ctx, d.Rel, core.Query{
-			Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy,
-		}, opts)
-	}
+		return opts
+	})
 }
 
 // parseConjunction decodes "attr=value&attr2=value2" against a relation.
@@ -82,9 +77,9 @@ type drillDownJSON struct {
 // each remaining explain-by attribute.
 func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	name := normalizeDataset(q.Get("dataset"))
-	if !validDataset(name) {
-		writeError(w, httpErrf(http.StatusNotFound, "unknown dataset %q", q.Get("dataset")))
+	name, err := s.resolveDataset(q.Get("dataset"))
+	if err != nil {
+		writeError(w, err)
 		return
 	}
 	eng, release, err := s.reg.engineShared(r.Context(), adhocKey(name), s.adhocBuilder(name))
@@ -156,7 +151,7 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 // diff building block between two timestamps on the shared ad-hoc engine.
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	p, err := parseParams(r)
+	p, err := s.parseParams(r)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -23,7 +23,7 @@ import (
 // series); step is how many timestamps each update appends (default 1).
 // The usual dataset/smooth/vanilla/k parameters apply.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	p, err := parseParams(r)
+	p, err := s.parseParams(r)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -5,11 +5,13 @@
 #   BENCH_engine.json     hot-path micro-benchmarks (ns/op, B/op, allocs/op)
 #   BENCH_streaming.json  streaming replay: per-update latency of the
 #                         O(delta) append path vs the full-rebuild path
+#   BENCH_catalog.json    warm-restart path: snapshot save/restore vs the
+#                         cold CSV-parse + engine rebuild, per dataset
 #   BENCH_server.json     serving-layer load test: per-endpoint latency
 #                         quantiles, throughput, and shed/eviction counts
 #                         (only with "server" as the first argument)
 #
-# CI regenerates the first two in short mode on every PR and gates them
+# CI regenerates the first three in short mode on every PR and gates them
 # against the committed baselines with cmd/benchcmp; after an accepted
 # perf change, rerun this script and commit the new JSONs to re-baseline.
 #
@@ -29,3 +31,4 @@ fi
 
 go run ./cmd/benchjson "$@"
 go run ./cmd/benchjson -mode streaming
+go run ./cmd/benchjson -mode catalog

@@ -1,8 +1,12 @@
 #!/bin/sh
 # Builds and runs every example binary and the tsexplain CLI against the
 # bundled datasets, checking exit codes and that each produced non-empty
-# output. CI runs this on every PR so example drift — like the pre-PR-1
-# missing go.mod — is caught automatically instead of by the next reader.
+# output; then exercises the bring-your-own-data path end to end: start
+# the server with a temp -data-dir, upload a CSV dataset, explain it,
+# append delta rows, restart the server, and assert the second start
+# restores the dataset from its warm-restart snapshot (log marker). CI
+# runs this on every PR so example drift — like the pre-PR-1 missing
+# go.mod — is caught automatically instead of by the next reader.
 #
 # Usage: scripts/smoke.sh
 set -eu
@@ -34,5 +38,121 @@ done
 
 run_check "cmd/tsexplain demo=covid" go run ./cmd/tsexplain -demo covid
 run_check "cmd/tsexplain demo=vax-deaths" go run ./cmd/tsexplain -demo vax-deaths
+
+# ---- Bring-your-own-data: upload, explain, append, warm restart. ------------
+
+go build -o "$tmp/tsexplain-server" ./cmd/tsexplain-server
+go build -o "$tmp/tsexplain" ./cmd/tsexplain
+
+data_dir="$tmp/catalog"
+addr="127.0.0.1:18098"
+base="http://$addr"
+
+cat >"$tmp/smoke.csv" <<'CSV'
+day,state,product,sales
+2024-01-01,NY,widget,10
+2024-01-01,CA,widget,8
+2024-01-02,NY,widget,12
+2024-01-02,CA,widget,8
+2024-01-03,NY,widget,30
+2024-01-03,CA,widget,9
+2024-01-04,NY,widget,55
+2024-01-04,CA,widget,9
+2024-01-05,NY,widget,80
+2024-01-05,CA,widget,10
+CSV
+cat >"$tmp/smoke-manifest.json" <<'JSON'
+{
+  "name": "smoke-sales",
+  "aliases": ["sales"],
+  "timeCol": "day",
+  "dimCols": ["state", "product"],
+  "measureCol": "sales",
+  "agg": "SUM",
+  "maxOrder": 2
+}
+JSON
+
+start_server() {
+	logf="$1"
+	"$tmp/tsexplain-server" -addr "$addr" -data-dir "$data_dir" >"$logf" 2>&1 &
+	server_pid=$!
+	for _ in $(seq 1 50); do
+		if curl -sf "$base/api/datasets" >/dev/null 2>&1; then
+			return 0
+		fi
+		sleep 0.2
+	done
+	echo "smoke: server did not come up; log:" >&2
+	cat "$logf" >&2
+	exit 1
+}
+
+stop_server() {
+	kill "$server_pid" 2>/dev/null || true
+	wait "$server_pid" 2>/dev/null || true
+}
+
+echo "smoke: server cold start + upload"
+start_server "$tmp/server1.log"
+
+# Upload (waiting for the snapshot refresh so the restart finds one).
+curl -sf -X POST "$base/api/datasets?wait=1" \
+	-F "manifest=<$tmp/smoke-manifest.json" \
+	-F "csv=@$tmp/smoke.csv" >"$tmp/upload.json"
+grep -q '"smoke-sales"' "$tmp/upload.json" || {
+	echo "smoke: upload response unexpected:" >&2
+	cat "$tmp/upload.json" >&2
+	exit 1
+}
+
+# Explain it — via the manifest alias — and check the NY driver surfaces.
+curl -sf "$base/api/explain?dataset=sales" >"$tmp/explain1.json"
+grep -q 'state=NY' "$tmp/explain1.json" || {
+	echo "smoke: explain missing the NY driver:" >&2
+	cat "$tmp/explain1.json" >&2
+	exit 1
+}
+
+# The server result must agree with an offline CLI run on the same file.
+"$tmp/tsexplain" -csv "$tmp/smoke.csv" -manifest "$tmp/smoke-manifest.json" >"$tmp/cli.out"
+grep -q 'state=NY' "$tmp/cli.out" || {
+	echo "smoke: offline CLI run disagrees (no NY driver):" >&2
+	cat "$tmp/cli.out" >&2
+	exit 1
+}
+
+# Append delta rows through the streaming path (waiting for the snapshot
+# refresh so the restart below restores post-append data).
+printf '%s\n%s\n' \
+	'{"time":"2024-01-06","dims":{"state":"NY","product":"widget"},"measure":120}' \
+	'{"time":"2024-01-06","dims":{"state":"CA","product":"widget"},"measure":11}' |
+	curl -sf -X POST "$base/api/datasets/smoke-sales/append?wait=1" --data-binary @- >"$tmp/append.json"
+grep -q '"rows":2' "$tmp/append.json" || {
+	echo "smoke: append response unexpected:" >&2
+	cat "$tmp/append.json" >&2
+	exit 1
+}
+
+stop_server
+
+echo "smoke: server warm restart (snapshot restore)"
+start_server "$tmp/server2.log"
+curl -sf "$base/api/explain?dataset=smoke-sales" >"$tmp/explain2.json"
+grep -q '2024-01-06' "$tmp/explain2.json" || {
+	echo "smoke: post-restart explain missing the appended day:" >&2
+	cat "$tmp/explain2.json" >&2
+	exit 1
+}
+grep -q 'restored from snapshot' "$tmp/server2.log" || {
+	echo "smoke: second start did not restore from snapshot; log:" >&2
+	cat "$tmp/server2.log" >&2
+	exit 1
+}
+curl -s "$base/metrics" | grep -q 'tsexplain_snapshot_restores_total{kind="engine"} 1' || {
+	echo "smoke: /metrics missing the engine snapshot restore" >&2
+	exit 1
+}
+stop_server
 
 echo "smoke: all OK"
