@@ -7,15 +7,23 @@
 //	go run ./cmd/benchcmp -mode engine    -baseline BENCH_engine.json    -current /tmp/engine.json
 //	go run ./cmd/benchcmp -mode streaming -baseline BENCH_streaming.json -current /tmp/streaming.json
 //	go run ./cmd/benchcmp -mode catalog   -baseline BENCH_catalog.json   -current /tmp/catalog.json
+//	go run ./cmd/benchcmp -mode approx    -baseline BENCH_approx.json    -current /tmp/approx.json
 //
 // Engine mode compares ns/op and allocs/op per benchmark (taking the
 // minimum across -count repetitions, so noisy runs only help); streaming
 // mode compares the append path's total and later-half latency plus the
 // append-vs-rebuild speedup; catalog mode compares per-dataset snapshot
 // restore latency and the restore-vs-rebuild speedup (warm restarts must
-// stay warm). A benchmark present in the baseline but missing from the
-// current run fails the gate — silently dropping a benchmark must not
-// pass.
+// stay warm); approx mode gates the high-cardinality approximate path —
+// the approx-vs-exact speedup must hold its floor (at least 5x, and not
+// collapse relative to the baseline) and the reported error bound must
+// stay within the requested epsilon and above the measured error.
+//
+// Benchmark-set mismatches fail in BOTH directions: a benchmark named by
+// the baseline but missing from the fresh run means coverage was silently
+// dropped; one present in the fresh run but absent from the baseline
+// means a new benchmark is running ungated and the committed baseline
+// must be regenerated — either way the gate would otherwise rot.
 //
 // To intentionally re-baseline after an accepted perf change, regenerate
 // the repo-root JSONs with scripts/bench.sh and commit them alongside the
@@ -54,7 +62,7 @@ type StreamReport struct {
 }
 
 func main() {
-	mode := flag.String("mode", "engine", "engine (micro benchmarks), streaming (append-path replay), or catalog (snapshot warm-restart)")
+	mode := flag.String("mode", "engine", "engine (micro benchmarks), streaming (append-path replay), catalog (snapshot warm-restart), or approx (high-cardinality approximate path)")
 	baseline := flag.String("baseline", "", "committed baseline JSON (default depends on mode)")
 	current := flag.String("current", "", "freshly generated JSON to check")
 	maxLatency := flag.Float64("max-latency-ratio", 1.25, "fail when current/baseline latency exceeds this")
@@ -67,6 +75,8 @@ func main() {
 			*baseline = "BENCH_streaming.json"
 		case "catalog":
 			*baseline = "BENCH_catalog.json"
+		case "approx":
+			*baseline = "BENCH_approx.json"
 		default:
 			*baseline = "BENCH_engine.json"
 		}
@@ -84,6 +94,8 @@ func main() {
 		violations, err = compareStreaming(*baseline, *current, *maxLatency)
 	case "catalog":
 		violations, err = compareCatalog(*baseline, *current, *maxLatency)
+	case "approx":
+		violations, err = compareApprox(*baseline, *current, *maxLatency)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -167,6 +179,15 @@ func compareEngine(baselinePath, currentPath string, maxLatency, maxAllocs float
 			}
 		}
 	}
+	// The other direction: a benchmark running fresh but absent from the
+	// committed baseline is ungated — it would silently rot until someone
+	// noticed. Force the re-baseline instead.
+	for name := range curBy {
+		if _, ok := baseBy[name]; !ok {
+			violations = append(violations, fmt.Sprintf(
+				"%s: missing from baseline %s (new benchmark — regenerate and commit the baseline)", name, baselinePath))
+		}
+	}
 	return violations, nil
 }
 
@@ -236,8 +257,10 @@ func compareCatalog(baselinePath, currentPath string, maxLatency float64) ([]str
 	for _, d := range cur.Datasets {
 		curBy[d.Name] = d
 	}
+	baseBy := make(map[string]bool, len(base.Datasets))
 	var violations []string
 	for _, b := range base.Datasets {
+		baseBy[b.Name] = true
 		c, ok := curBy[b.Name]
 		if !ok {
 			violations = append(violations, fmt.Sprintf("%s: missing from current run", b.Name))
@@ -259,6 +282,65 @@ func compareCatalog(baselinePath, currentPath string, maxLatency float64) ([]str
 					"%s: restore-vs-rebuild speedup %.1fx → %.1fx (floor %.1fx)", b.Name, b.Speedup, c.Speedup, floor))
 			}
 		}
+	}
+	for _, c := range cur.Datasets {
+		if !baseBy[c.Name] {
+			violations = append(violations, fmt.Sprintf(
+				"%s: missing from baseline %s (new dataset — regenerate and commit the baseline)", c.Name, baselinePath))
+		}
+	}
+	return violations, nil
+}
+
+// ApproxReport mirrors the fields of BENCH_approx.json the gate reads.
+type ApproxReport struct {
+	ExactExplainNs  int64   `json:"exact_explain_ns"`
+	ApproxExplainNs int64   `json:"approx_explain_ns"`
+	Speedup         float64 `json:"speedup"`
+	Epsilon         float64 `json:"epsilon"`
+	MaxErrBound     float64 `json:"max_err_bound"`
+	MaxActualErr    float64 `json:"max_actual_err"`
+}
+
+// approxSpeedupFloor is the hard acceptance floor for the approximate
+// path on the high-cardinality scenario, independent of the baseline.
+const approxSpeedupFloor = 5.0
+
+// compareApprox gates the anytime approximate path: its latency must not
+// regress, its approx-vs-exact speedup must hold both the hard 5x floor
+// and its baseline (within the latency tolerance), and its error
+// accounting must stay sound — the reported bound within the requested
+// epsilon, the measured error within the reported bound.
+func compareApprox(baselinePath, currentPath string, maxLatency float64) ([]string, error) {
+	var base, cur ApproxReport
+	if err := load(baselinePath, &base); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := load(currentPath, &cur); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	var violations []string
+	if base.ApproxExplainNs > 0 {
+		if ratio := float64(cur.ApproxExplainNs) / float64(base.ApproxExplainNs); ratio > maxLatency {
+			violations = append(violations, fmt.Sprintf(
+				"approx explain latency %d → %d ns (×%.2f)", base.ApproxExplainNs, cur.ApproxExplainNs, ratio))
+		}
+	}
+	floor := approxSpeedupFloor
+	if base.Speedup/maxLatency > floor {
+		floor = base.Speedup / maxLatency
+	}
+	if cur.Speedup < floor {
+		violations = append(violations, fmt.Sprintf(
+			"approx-vs-exact speedup %.1fx → %.1fx (floor %.1fx)", base.Speedup, cur.Speedup, floor))
+	}
+	if cur.MaxErrBound > cur.Epsilon {
+		violations = append(violations, fmt.Sprintf(
+			"reported error bound %.4f exceeds requested epsilon %.4f", cur.MaxErrBound, cur.Epsilon))
+	}
+	if cur.MaxActualErr > cur.MaxErrBound+1e-9 {
+		violations = append(violations, fmt.Sprintf(
+			"measured error %.6f exceeds reported bound %.6f (the bound is unsound)", cur.MaxActualErr, cur.MaxErrBound))
 	}
 	return violations, nil
 }

@@ -21,11 +21,19 @@
 //	engine finish), and writes BENCH_catalog.json with the restore-vs-
 //	rebuild speedup.
 //
+//	-mode approx runs the high-cardinality synthetic scenario (~52k
+//	conjunctions) through the exact and the anytime approximate explain
+//	paths on freshly built engines, measures the end-to-end explain
+//	latency of each, verifies the approximate result against the exact
+//	optimum per segment, and writes BENCH_approx.json with the speedup,
+//	the reported error bound, and the measured error.
+//
 // Usage:
 //
 //	go run ./cmd/benchjson [-bench regex] [-benchtime 2s] [-count 1] [-o BENCH_engine.json]
 //	go run ./cmd/benchjson -mode streaming [-replays 7] [-o BENCH_streaming.json]
 //	go run ./cmd/benchjson -mode catalog [-replays 5] [-o BENCH_catalog.json]
+//	go run ./cmd/benchjson -mode approx [-replays 3] [-o BENCH_approx.json]
 package main
 
 import (
@@ -48,6 +56,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/explain"
 	"repro/internal/relation"
+	"repro/internal/synth"
 )
 
 // defaultBench covers the precompute-dominated and solver-dominated hot
@@ -82,7 +91,7 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	mode := flag.String("mode", "micro", "micro (go test -bench), streaming (per-update latency replay), or catalog (snapshot save/restore vs rebuild)")
+	mode := flag.String("mode", "micro", "micro (go test -bench), streaming (per-update latency replay), catalog (snapshot save/restore vs rebuild), or approx (high-cardinality exact vs anytime approximate)")
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "2s", "value for go test -benchtime")
 	count := flag.Int("count", 1, "value for go test -count")
@@ -106,6 +115,15 @@ func main() {
 			*out = "BENCH_catalog.json"
 		}
 		if err := runCatalog(*out, *replays); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "approx":
+		if *out == "" {
+			*out = "BENCH_approx.json"
+		}
+		if err := runApprox(*out, *replays); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -530,4 +548,184 @@ func benchCatalogDataset(cat *catalog.Catalog, d *datasets.Dataset, replays int)
 		cd.SnapshotBytes = fi.Size()
 	}
 	return cd, nil
+}
+
+// ApproxReport is the BENCH_approx.json document: the high-cardinality
+// scenario's exact-vs-approximate explain latency and the approximate
+// path's reported and measured attribution error.
+type ApproxReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	Replays     int    `json:"replays"`
+	UnixTime    int64  `json:"unix_time"`
+	Scenario    string `json:"scenario"`
+	// Candidate-axis shape of the scenario.
+	Users      int `json:"users"`
+	Regions    int `json:"regions"`
+	N          int `json:"n"`
+	Candidates int `json:"candidates"`
+	Eligible   int `json:"eligible"`
+	// BuildNs is the shared precompute (relation → engine) both modes pay
+	// identically; ExactExplainNs/ApproxExplainNs are the end-to-end
+	// explain calls on a freshly built engine (minimum over replays).
+	BuildNs         int64   `json:"build_ns"`
+	ExactExplainNs  int64   `json:"exact_explain_ns"`
+	ApproxExplainNs int64   `json:"approx_explain_ns"`
+	Speedup         float64 `json:"speedup"`
+	// Error accounting: the requested epsilon, the worst reported
+	// per-segment bound, and the worst error actually measured against
+	// the exact optimum on the approximate run's own segments.
+	Epsilon        float64 `json:"epsilon"`
+	CandidatesUsed int     `json:"candidates_used"`
+	MaxErrBound    float64 `json:"max_err_bound"`
+	MaxActualErr   float64 `json:"max_actual_err"`
+	Rounds         int     `json:"rounds"`
+	K              int     `json:"k"`
+}
+
+// approxScenario returns the benchmark's high-cardinality dataset: the
+// generator defaults, ~52k conjunctions at order 2.
+func approxScenario() (*synth.HighCardDataset, synth.HighCardParams, error) {
+	p := synth.HighCardParams{Seed: 42}.WithDefaults()
+	d, err := synth.HighCardinality(p)
+	return d, p, err
+}
+
+func approxQueryOpts() (core.Query, core.Options) {
+	q := core.Query{Measure: "events", Agg: relation.Sum, ExplainBy: []string{"user", "region"}}
+	opts := core.DefaultOptions()
+	opts.MaxOrder = 2
+	opts.K = 8
+	return q, opts
+}
+
+// runApprox measures the exact and approximate explain paths on the
+// high-cardinality scenario and cross-checks the approximate result.
+func runApprox(out string, replays int) error {
+	if replays < 1 {
+		replays = 1
+	}
+	d, p, err := approxScenario()
+	if err != nil {
+		return err
+	}
+	q, opts := approxQueryOpts()
+	aopts := opts
+	aopts.Approx = core.ApproxOptions{Enabled: true, Epsilon: 0.05, MaxCandidates: 4096}
+
+	report := ApproxReport{
+		GeneratedBy: "cmd/benchjson -mode approx",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Replays:     replays,
+		UnixTime:    time.Now().Unix(),
+		Scenario:    fmt.Sprintf("synth.HighCardinality seed=%d: %d whale users over a %d×%d user-region long tail", p.Seed, p.Whales, p.Users-p.Whales, p.Regions),
+		Users:       p.Users,
+		Regions:     p.Regions,
+		N:           p.N,
+		Epsilon:     aopts.Approx.Epsilon,
+		K:           opts.K,
+	}
+
+	// Exact path: fresh engine per replay so every explain is cold (the
+	// per-segment cache would otherwise make later replays free).
+	var exactEng *core.Engine
+	for r := 0; r < replays; r++ {
+		t0 := time.Now()
+		eng, err := core.NewEngine(d.Rel, q, opts)
+		if err != nil {
+			return err
+		}
+		build := time.Since(t0).Nanoseconds()
+		t1 := time.Now()
+		if _, err := eng.Explain(); err != nil {
+			return err
+		}
+		ns := time.Since(t1).Nanoseconds()
+		if r == 0 || build < report.BuildNs {
+			report.BuildNs = build
+		}
+		if r == 0 || ns < report.ExactExplainNs {
+			report.ExactExplainNs = ns
+		}
+		exactEng = eng
+	}
+	report.Candidates = exactEng.Universe().NumCandidates()
+	report.Eligible = exactEng.FilteredCount()
+
+	// Approximate path, same cold-engine discipline.
+	var approxRes *core.Result
+	for r := 0; r < replays; r++ {
+		eng, err := core.NewEngine(d.Rel, q, aopts)
+		if err != nil {
+			return err
+		}
+		t1 := time.Now()
+		res, err := eng.Explain()
+		if err != nil {
+			return err
+		}
+		ns := time.Since(t1).Nanoseconds()
+		if r == 0 || ns < report.ApproxExplainNs {
+			report.ApproxExplainNs = ns
+		}
+		approxRes = res
+	}
+	if approxRes.Approx == nil {
+		return fmt.Errorf("approx run returned no ApproxInfo")
+	}
+	report.CandidatesUsed = approxRes.Approx.CandidatesUsed
+	report.MaxErrBound = approxRes.Approx.MaxErrBound
+	report.Rounds = approxRes.Approx.Rounds
+	if report.ApproxExplainNs > 0 {
+		report.Speedup = float64(report.ExactExplainNs) / float64(report.ApproxExplainNs)
+	}
+
+	// Measure the true attribution error against the exact optimum on the
+	// approximate run's own segments; it must stay within the reported
+	// per-segment bound.
+	mIdx := len(exactEng.Explainer().TopM(0, 1).Best) - 1
+	for _, seg := range approxRes.Segments {
+		ge := exactEng.Explainer().TopM(seg.Start, seg.End).Best[mIdx]
+		var ga float64
+		for _, e := range seg.Top {
+			ga += e.Gamma
+		}
+		if ge <= 0 {
+			continue
+		}
+		actual := (ge - ga) / ge
+		if actual < 0 {
+			actual = 0
+		}
+		if actual > report.MaxActualErr {
+			report.MaxActualErr = actual
+		}
+		if actual > seg.ErrBound+1e-9 {
+			return fmt.Errorf("segment [%d,%d]: measured error %.6f exceeds reported bound %.6f",
+				seg.Start, seg.End, actual, seg.ErrBound)
+		}
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		os.Stdout.Write(enc)
+		return nil
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: approx %d cands (%d eligible, %d used): exact %.0fms vs approx %.0fms (%.1fx), bound %.4f, measured %.4f\n",
+		report.Candidates, report.Eligible, report.CandidatesUsed,
+		float64(report.ExactExplainNs)/1e6, float64(report.ApproxExplainNs)/1e6,
+		report.Speedup, report.MaxErrBound, report.MaxActualErr)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", out)
+	return nil
 }

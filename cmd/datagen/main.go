@@ -1,25 +1,52 @@
-// Command datagen exports one of the built-in simulated datasets as CSV
-// on stdout, so the CSV path of cmd/tsexplain (and external tools) can be
+// Command datagen exports one of the built-in simulated datasets — or a
+// generated synthetic scenario — as CSV on stdout, so the CSV path of
+// cmd/tsexplain, the catalog upload API, and external tools can be
 // exercised against the same data the experiments use.
 //
 //	go run ./cmd/datagen -dataset liquor > liquor.csv
 //	go run ./cmd/tsexplain -csv liquor.csv -time date \
 //	    -dims "Bottle Volume (ml),Pack,Category Name,Vendor Name" \
 //	    -measure "Bottles Sold"
+//
+// The high-cardinality scenario behind the approximate-mode benchmark
+// (~52k candidate conjunctions at the defaults) is generated with:
+//
+//	go run ./cmd/datagen -scenario highcard -manifest highcard.json > highcard.csv
+//
+// The optional -manifest file is a ready-to-upload catalog manifest
+// (POST /api/datasets) with approximate-mode defaults declared.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/catalog"
 	"repro/internal/datasets"
 	"repro/internal/relation"
+	"repro/internal/synth"
 )
 
 func main() {
 	name := flag.String("dataset", "covid", "covid, covid-daily, sp500, liquor, vax-deaths")
+	scenario := flag.String("scenario", "", "synthetic scenario instead of -dataset: highcard")
+	users := flag.Int("users", 0, "highcard: user cardinality (0: generator default)")
+	regions := flag.Int("regions", 0, "highcard: region cardinality (0: generator default)")
+	n := flag.Int("n", 0, "highcard: series length (0: generator default)")
+	seed := flag.Int64("seed", 42, "highcard: generator seed")
+	manifest := flag.String("manifest", "", "highcard: also write a catalog manifest JSON to this path")
 	flag.Parse()
+
+	if *scenario != "" {
+		if *scenario != "highcard" {
+			fmt.Fprintf(os.Stderr, "datagen: unknown scenario %q\n", *scenario)
+			os.Exit(2)
+		}
+		writeHighCard(*users, *regions, *n, *seed, *manifest)
+		return
+	}
 
 	var d *datasets.Dataset
 	switch *name {
@@ -43,4 +70,41 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "dataset=%s rows=%d n=%d measure=%q explain-by=%v\n",
 		d.Name, d.Rel.NumRows(), d.Rel.NumTimestamps(), d.Measure, d.ExplainBy)
+}
+
+func writeHighCard(users, regions, n int, seed int64, manifestPath string) {
+	d, err := synth.HighCardinality(synth.HighCardParams{
+		Users: users, Regions: regions, N: n, Seed: seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if err := relation.WriteCSV(os.Stdout, d.Rel); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if manifestPath != "" {
+		m := catalog.Manifest{
+			Name:       "highcard",
+			TimeCol:    "T",
+			DimCols:    []string{"user", "region"},
+			MeasureCol: "events",
+			Agg:        "SUM",
+			ExplainBy:  []string{"user", "region"},
+			MaxOrder:   2,
+			Approx:     &catalog.ApproxDefaults{MaxCandidates: 4096, Epsilon: 0.05},
+		}
+		enc, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(manifestPath, append(enc, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "scenario=highcard rows=%d n=%d pairs=%d ground-truth-cuts=%v\n",
+		d.Rel.NumRows(), d.Rel.NumTimestamps(), d.Pairs, d.Cuts)
 }

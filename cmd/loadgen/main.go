@@ -1,6 +1,7 @@
 // Command loadgen replays a mixed TSExplain workload — cold and warm
-// explains across datasets and K values, SVG renders, OLAP slices,
-// two-point diffs, streaming replays, and catalog NDJSON appends —
+// explains across datasets and K values (exact and mode=approx with
+// varied epsilon), SVG renders, OLAP slices, two-point diffs, streaming
+// replays, and catalog NDJSON appends —
 // against the serving layer at a fixed client concurrency, and writes
 // BENCH_server.json with per-endpoint latency quantiles (p50/p95/p99),
 // throughput, status-code counts, and the server's own shed/eviction
@@ -40,7 +41,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/relation"
 	"repro/internal/server"
+	"repro/internal/synth"
 )
 
 func main() {
@@ -48,7 +51,7 @@ func main() {
 	clients := flag.Int("clients", 256, "concurrent client goroutines")
 	duration := flag.Duration("duration", 15*time.Second, "how long to drive load")
 	dsets := flag.String("datasets", "liquor,covid,stream", "comma-separated dataset mix")
-	mix := flag.String("mix", "explain=8,svg=1,slice=3,diff=2,stream=1,append=1", "weighted request mix")
+	mix := flag.String("mix", "explain=8,svg=1,slice=3,diff=2,stream=1,append=1,approx=2", "weighted request mix")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	out := flag.String("o", "BENCH_server.json", "output file ('-' for stdout)")
 	// In-process server knobs (ignored with -addr).
@@ -126,9 +129,13 @@ type runConfig struct {
 	clients  int
 	duration time.Duration
 	datasets []string
-	mix      []weightedClass
-	seed     int64
-	server   string
+	// approxDatasets is what the approx class draws from: the regular
+	// datasets plus, when the target server has a catalog, the uploaded
+	// high-cardinality scenario dataset.
+	approxDatasets []string
+	mix            []weightedClass
+	seed           int64
+	server         string
 }
 
 type weightedClass struct {
@@ -148,7 +155,7 @@ func parseMix(s string) ([]weightedClass, error) {
 			return nil, fmt.Errorf("bad mix weight %q", part)
 		}
 		switch kv[0] {
-		case "explain", "svg", "slice", "diff", "stream", "append":
+		case "explain", "svg", "slice", "diff", "stream", "append", "approx":
 		default:
 			return nil, fmt.Errorf("unknown mix class %q", kv[0])
 		}
@@ -200,16 +207,16 @@ func synthCSV() string {
 	return b.String()
 }
 
-// uploadSynth creates the synthetic catalog dataset; a false return means
-// the target server has no catalog (external server without -data-dir)
-// and the append class should be dropped.
-func uploadSynth(client *http.Client, base string) bool {
+// uploadDataset posts one manifest+CSV pair; a false return means the
+// target server has no catalog (external server without -data-dir) or
+// rejected the upload.
+func uploadDataset(client *http.Client, base, manifest, csv string) bool {
 	var body bytes.Buffer
 	mw := multipart.NewWriter(&body)
 	mf, _ := mw.CreateFormField("manifest")
-	fmt.Fprintf(mf, `{"name":%q,"timeCol":"day","dimCols":["state","region"],"measureCol":"value","maxOrder":2}`, synthDataset)
-	cf, _ := mw.CreateFormFile("csv", "synth.csv")
-	_, _ = cf.Write([]byte(synthCSV()))
+	_, _ = mf.Write([]byte(manifest))
+	cf, _ := mw.CreateFormFile("csv", "data.csv")
+	_, _ = cf.Write([]byte(csv))
 	mw.Close()
 	req, err := http.NewRequest("POST", base+"/api/datasets", &body)
 	if err != nil {
@@ -223,8 +230,37 @@ func uploadSynth(client *http.Client, base string) bool {
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	// 201 created now, 409 already present (rerun against a persistent
-	// data dir) — both mean the dataset is appendable.
+	// data dir) — both mean the dataset is usable.
 	return resp.StatusCode == 201 || resp.StatusCode == 409
+}
+
+// uploadSynth creates the synthetic catalog dataset the append class
+// drives.
+func uploadSynth(client *http.Client, base string) bool {
+	return uploadDataset(client, base,
+		fmt.Sprintf(`{"name":%q,"timeCol":"day","dimCols":["state","region"],"measureCol":"value","maxOrder":2}`, synthDataset),
+		synthCSV())
+}
+
+// The high-cardinality catalog dataset the approx class drives: a scaled
+// copy of the BENCH_approx scenario (~2.2k conjunctions — the dedicated
+// 52k-conjunction gate lives in cmd/benchjson -mode approx) so
+// approximate requests exercise the manifest-default and cache-key paths
+// on a candidate-heavy dataset without blowing the serving benchmark's
+// engine memory budget into eviction thrash.
+const highcardDataset = "loadgen-highcard"
+
+func uploadHighcard(client *http.Client, base string) bool {
+	d, err := synth.HighCardinality(synth.HighCardParams{Users: 168, Regions: 12, N: 128, Seed: 7})
+	if err != nil {
+		return false
+	}
+	var csv bytes.Buffer
+	if err := relation.WriteCSV(&csv, d.Rel); err != nil {
+		return false
+	}
+	manifest := fmt.Sprintf(`{"name":%q,"timeCol":"T","dimCols":["user","region"],"measureCol":"events","maxOrder":2,"approx":{"maxCandidates":2048,"epsilon":0.05}}`, highcardDataset)
+	return uploadDataset(client, base, manifest, csv.String())
 }
 
 // sample is one finished request.
@@ -264,10 +300,13 @@ func run(base string, cfg runConfig) (*Report, error) {
 
 	// The append class needs the synthetic catalog dataset; drop the
 	// class when the target server has no catalog.
-	hasAppend := false
+	hasAppend, hasApprox := false, false
 	for _, c := range cfg.mix {
 		if c.name == "append" && c.weight > 0 {
 			hasAppend = true
+		}
+		if c.name == "approx" && c.weight > 0 {
+			hasApprox = true
 		}
 	}
 	if hasAppend && !uploadSynth(client, base) {
@@ -279,6 +318,13 @@ func run(base string, cfg runConfig) (*Report, error) {
 			}
 		}
 		cfg.mix = kept
+	}
+	// The approx class additionally drives the uploaded high-cardinality
+	// scenario when the target has a catalog; without one it sticks to
+	// the regular dataset mix (approximate mode works on any dataset).
+	cfg.approxDatasets = cfg.datasets
+	if hasApprox && uploadHighcard(client, base) {
+		cfg.approxDatasets = append(append([]string(nil), cfg.datasets...), highcardDataset)
 	}
 	// appendDay hands out monotonically increasing day labels across
 	// clients; capped at synthMaxDay, after which appends revise the last
@@ -311,7 +357,11 @@ func run(base string, cfg runConfig) (*Report, error) {
 				if cls == "append" {
 					code = doAppend(ctx, client, base, &appendDay, rng)
 				} else {
-					code = doRequest(ctx, client, buildURL(base, cls, rng, cfg.datasets, labels))
+					dsets := cfg.datasets
+					if cls == "approx" {
+						dsets = cfg.approxDatasets
+					}
+					code = doRequest(ctx, client, buildURL(base, cls, rng, dsets, labels))
 				}
 				perClient[i] = append(perClient[i], sample{
 					class: cls, code: code, ms: float64(time.Since(t0).Microseconds()) / 1000,
@@ -345,9 +395,12 @@ func pickClass(rng *rand.Rand, mix []weightedClass, total int) string {
 // ks and smooths span the warm/cold parameter space: repeated
 // combinations hit the result cache, new combinations reuse pooled
 // engines across K, and distinct smoothing windows force cold builds.
+// epsilons drives the approx class: two targets so the mode's distinct
+// cache keys are exercised too.
 var (
-	ks      = []int{0, 2, 3, 5, 8}
-	smooths = []int{0, 0, 0, 7}
+	ks       = []int{0, 2, 3, 5, 8}
+	smooths  = []int{0, 0, 0, 7}
+	epsilons = []string{"0.05", "0.05", "0.1"}
 )
 
 func buildURL(base, class string, rng *rand.Rand, dsets []string, labels map[string][]string) string {
@@ -356,6 +409,9 @@ func buildURL(base, class string, rng *rand.Rand, dsets []string, labels map[str
 	case "explain":
 		return fmt.Sprintf("%s/api/explain?dataset=%s&k=%d&smooth=%d",
 			base, d, ks[rng.Intn(len(ks))], smooths[rng.Intn(len(smooths))])
+	case "approx":
+		return fmt.Sprintf("%s/api/explain?dataset=%s&k=%d&mode=approx&epsilon=%s",
+			base, d, ks[rng.Intn(len(ks))], epsilons[rng.Intn(len(epsilons))])
 	case "svg":
 		if rng.Intn(2) == 0 {
 			return fmt.Sprintf("%s/svg/trendlines?dataset=%s", base, d)
@@ -524,7 +580,8 @@ func scrapeMetrics(client *http.Client, base string) map[string]float64 {
 		switch name {
 		case "tsexplain_result_cache_hits_total", "tsexplain_result_cache_misses_total",
 			"tsexplain_singleflight_dedup_total", "tsexplain_engine_evictions_total",
-			"tsexplain_dataset_loads_total":
+			"tsexplain_dataset_loads_total", "tsexplain_approx_requests_total",
+			"tsexplain_approx_error_bound_sum", "tsexplain_approx_error_bound_count":
 			return true
 		}
 		return strings.HasPrefix(name, "tsexplain_shed_total") ||

@@ -131,6 +131,34 @@ func (s *Solver) scoreSegment(c, t int, base []bool) segmentScores {
 	return sc
 }
 
+// scoreSegmentIDs fills the score buffers for segment [c, t] scoring ONLY
+// the listed candidate ids — the budgeted approximate mode, where the
+// selectable set is a pruned top-M and per-segment cost must scale with M
+// rather than ε. Entries outside ids may hold stale values from earlier
+// solves; that is safe because the DP and extraction only ever read the
+// score of a selectable candidate, and the caller restricts selection to
+// exactly ids.
+func (s *Solver) scoreSegmentIDs(c, t int, ids []int) segmentScores {
+	n := s.u.NumCandidates()
+	if cap(s.gammaBuf) < n {
+		s.gammaBuf = make([]float64, n)
+		s.effectBuf = make([]explain.Effect, n)
+	}
+	sc := segmentScores{gamma: s.gammaBuf[:n], effect: s.effectBuf[:n]}
+	for _, id := range ids {
+		sc.gamma[id], sc.effect[id] = s.u.Gamma(id, c, t, s.metric)
+	}
+	return sc
+}
+
+// SolveRestricted is Solve with the selectable set given in both forms:
+// allowed is the membership bitmap the DP tests in O(1), ids the same set
+// as a list so scoring touches M candidates instead of all ε. allowed[id]
+// must be true exactly for the entries of ids.
+func (s *Solver) SolveRestricted(c, t int, allowed []bool, ids []int) Result {
+	return s.solveScoredIDs(s.scoreSegmentIDs(c, t, ids), allowed, ids)
+}
+
 // solveState carries the memoized DP for one segment solve. The memo is
 // indexed by node ID + 1 (0 is the root) so the hot path never builds
 // string keys.
@@ -212,6 +240,15 @@ func (st *solveState) carveVec() []float64 {
 }
 
 func (s *Solver) solveScored(scores segmentScores, allowed []bool) Result {
+	return s.solveScoredIDs(scores, allowed, nil)
+}
+
+// solveScoredIDs is solveScored with the allowed set optionally given as
+// an id list too: reachability marking then walks just the list instead
+// of scanning all ε candidates, which is what keeps a solve restricted to
+// M candidates at O(M)-ish cost overall. ids must enumerate exactly the
+// true entries of allowed (nil falls back to the scan).
+func (s *Solver) solveScoredIDs(scores segmentScores, allowed []bool, ids []int) Result {
 	n := s.u.NumCandidates() + 1
 	if cap(s.memoBuf) < n {
 		s.memoBuf = make([][]float64, n)
@@ -240,14 +277,22 @@ func (s *Solver) solveScored(scores segmentScores, allowed []bool) Result {
 			reach[id+1] = false
 		}
 		s.marked = s.marked[:0]
-		for id := 0; id < n-1; id++ {
-			if !allowed[id] {
-				continue
-			}
+		mark := func(id int) {
 			for _, anc := range s.u.AncestorsOf(id) {
 				if !reach[anc+1] {
 					reach[anc+1] = true
 					s.marked = append(s.marked, anc)
+				}
+			}
+		}
+		if ids != nil {
+			for _, id := range ids {
+				mark(id)
+			}
+		} else {
+			for id := 0; id < n-1; id++ {
+				if allowed[id] {
+					mark(id)
 				}
 			}
 		}
@@ -310,6 +355,14 @@ func (st *solveState) best(nodeID, depth int) []float64 {
 		}
 		dp := st.s.dpAt(depth)
 		for _, kid := range kids {
+			// An unreachable subtree contributes a zero vector, which can
+			// never raise the (monotone) knapsack row: skip it entirely
+			// instead of running the quota loop against zeros. Under a
+			// tight restriction (guess rounds, the approximate top-M) this
+			// skips almost every child.
+			if st.reach != nil && !st.reach[kid+1] {
+				continue
+			}
 			kb := st.best(kid, depth+1)
 			for q := m; q >= 1; q-- {
 				for take := 1; take <= q; take++ {

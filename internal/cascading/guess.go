@@ -31,7 +31,27 @@ func (s *Solver) GuessVerify(c, t int, initGuess int, base []bool) (Result, int)
 			chi = append(chi, i)
 		}
 	}
+	return s.guessVerifyScored(scores, chi, base, initGuess)
+}
 
+// GuessVerifyRestricted is GuessVerify over an explicit selectable id
+// list (the budgeted approximate mode): scoring walks just ids, and the
+// guess rounds partition ids instead of all ε candidates. allowed must be
+// the bitmap form of ids, exactly as for SolveRestricted.
+func (s *Solver) GuessVerifyRestricted(c, t int, initGuess int, allowed []bool, ids []int) (Result, int) {
+	scores := s.scoreSegmentIDs(c, t, ids)
+	if cap(s.chiBuf) < len(scores.gamma) {
+		s.chiBuf = make([]int, 0, len(scores.gamma))
+	}
+	chi := append(s.chiBuf[:0], ids...)
+	return s.guessVerifyScored(scores, chi, allowed, initGuess)
+}
+
+// guessVerifyScored runs the guess-and-verify rounds over a prepared
+// score buffer and selectable id list. chi must alias solver scratch or a
+// caller-owned list; it is reordered in place.
+func (s *Solver) guessVerifyScored(scores segmentScores, chi []int, base []bool, initGuess int) (Result, int) {
+	n := len(scores.gamma)
 	mbar := initGuess
 	if mbar < s.m {
 		mbar = s.m
@@ -42,8 +62,9 @@ func (s *Solver) GuessVerify(c, t int, initGuess int, base []bool) (Result, int)
 		rounds++
 		if mbar >= len(chi) {
 			// Every selectable candidate is in the guess; the result is
-			// trivially optimal.
-			return s.solveScored(scores, base), rounds
+			// trivially optimal. chi lists exactly base's true entries, so
+			// it doubles as the reach-marking id list.
+			return s.solveScoredIDs(scores, base, chi), rounds
 		}
 		if need := mbar + s.m; need > sorted {
 			if need > len(chi) {
@@ -55,17 +76,20 @@ func (s *Solver) GuessVerify(c, t int, initGuess int, base []bool) (Result, int)
 			})
 			sorted = need
 		}
+		// allowedBuf stays all-false between rounds and calls: only the
+		// guessed prefix is marked, and unmarked again below, so a guess
+		// round costs O(m̄) rather than an O(ε) buffer clear.
 		if cap(s.allowedBuf) < n {
 			s.allowedBuf = make([]bool, n)
 		}
 		allowed := s.allowedBuf[:n]
-		for i := range allowed {
-			allowed[i] = false
-		}
 		for _, id := range chi[:mbar] {
 			allowed[id] = true
 		}
-		res := s.solveScored(scores, allowed)
+		res := s.solveScoredIDs(scores, allowed, chi[:mbar])
+		for _, id := range chi[:mbar] {
+			allowed[id] = false
+		}
 		if s.verified(res, scores, chi, mbar) {
 			return res, rounds
 		}

@@ -1,0 +1,55 @@
+package catalog
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseManifest drives manifest validation with arbitrary JSON: it
+// must never panic, every accepted manifest must satisfy its own
+// invariants (valid names, resolvable aggregate, consistent explain-by
+// set), and re-encoding an accepted manifest must parse back to an
+// accepted manifest (upload → store → reload round-trip stability).
+func FuzzParseManifest(f *testing.F) {
+	f.Add(`{"name":"sales","timeCol":"day","dimCols":["state"],"measureCol":"value"}`)
+	f.Add(`{"name":"x","aliases":["y","z"],"timeCol":"t","dimCols":["a","b"],"measureCol":"m","agg":"AVG","explainBy":["a"],"maxOrder":2,"smoothWindow":7}`)
+	f.Add(`{"name":"hc","timeCol":"T","dimCols":["user","region"],"measureCol":"events","approx":{"maxCandidates":4096,"epsilon":0.05}}`)
+	f.Add(`{"name":"BAD NAME","timeCol":"t","dimCols":["a"],"measureCol":"m"}`)
+	f.Add(`{"name":"dup","timeCol":"t","dimCols":["a","a"],"measureCol":"m"}`)
+	f.Add(`{"name":"x","timeCol":"t","dimCols":["a"],"measureCol":"m","unknownField":1}`)
+	f.Add(`not json`)
+	f.Add(`{"name":"x","timeCol":"t","dimCols":["a"],"measureCol":"m","approx":{"epsilon":0.9}}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		m, err := ParseManifest([]byte(data))
+		if err != nil {
+			return
+		}
+		if !ValidName(m.Name) {
+			t.Fatalf("accepted invalid name %q", m.Name)
+		}
+		for _, a := range m.Aliases {
+			if !ValidName(a) {
+				t.Fatalf("accepted invalid alias %q", a)
+			}
+		}
+		if _, err := m.AggFunc(); err != nil {
+			t.Fatalf("accepted unresolvable aggregate %q: %v", m.Agg, err)
+		}
+		if o := m.EffectiveMaxOrder(); o < 1 || o > len(m.DimCols) {
+			t.Fatalf("effective max order %d out of range for %d dims", o, len(m.DimCols))
+		}
+		// Round trip: store and reload must accept the same document.
+		enc, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		m2, err := ParseManifest(enc)
+		if err != nil {
+			t.Fatalf("round-trip rejected: %v\noriginal: %s\nencoded: %s", err, data, enc)
+		}
+		if m2.Name != m.Name || m2.TimeCol != m.TimeCol || m2.MeasureCol != m.MeasureCol {
+			t.Fatalf("round-trip mutated the manifest: %+v vs %+v", m, m2)
+		}
+	})
+}

@@ -42,6 +42,22 @@ type Manifest struct {
 	// SmoothWindow is the default moving-average window applied before
 	// explaining; 0 disables.
 	SmoothWindow int `json:"smoothWindow,omitempty"`
+	// Approx holds the dataset's defaults for approximate-mode requests
+	// (?mode=approx); nil applies the engine defaults.
+	Approx *ApproxDefaults `json:"approx,omitempty"`
+}
+
+// ApproxDefaults is a manifest's default configuration for the anytime
+// approximate explanation path. A request's explicit epsilon parameter
+// overrides Epsilon; MaxCandidates is always taken from here (or the
+// engine default when 0).
+type ApproxDefaults struct {
+	// MaxCandidates caps the selectable candidate set (0: engine default
+	// 4096).
+	MaxCandidates int `json:"maxCandidates,omitempty"`
+	// Epsilon is the default per-segment relative attribution-error
+	// target (0: engine default 0.05).
+	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
 // nameRE is the shape of dataset names and aliases: a filesystem- and
@@ -129,6 +145,14 @@ func (m *Manifest) Validate() error {
 	}
 	if m.SmoothWindow < 0 || m.SmoothWindow > 365 {
 		return fmt.Errorf("catalog: smoothWindow %d out of range (0..365)", m.SmoothWindow)
+	}
+	if m.Approx != nil {
+		if m.Approx.MaxCandidates < 0 || m.Approx.MaxCandidates > 1<<20 {
+			return fmt.Errorf("catalog: approx.maxCandidates %d out of range (0..%d)", m.Approx.MaxCandidates, 1<<20)
+		}
+		if m.Approx.Epsilon < 0 || m.Approx.Epsilon > 0.5 {
+			return fmt.Errorf("catalog: approx.epsilon %g out of range (0..0.5]", m.Approx.Epsilon)
+		}
 	}
 	return nil
 }

@@ -71,6 +71,11 @@ type Options struct {
 	// results are identical either way, and with parallelism on, the
 	// Cascading timing reports summed CPU time.
 	Parallelism int
+	// Approx enables the anytime approximate explanation path for
+	// high-cardinality candidate universes: solves run against a pruned
+	// top-M candidate set with a reported per-segment attribution-error
+	// bound instead of scoring all ε candidates per segment.
+	Approx ApproxOptions
 }
 
 // DefaultOptions returns the paper's fully optimized configuration:
@@ -95,6 +100,14 @@ func (o *Options) setDefaults() {
 	}
 	if o.GuessInit <= 0 {
 		o.GuessInit = 30
+	}
+	if o.Approx.Enabled {
+		if o.Approx.MaxCandidates <= 0 {
+			o.Approx.MaxCandidates = 4096
+		}
+		if o.Approx.Epsilon <= 0 {
+			o.Approx.Epsilon = 0.05
+		}
 	}
 }
 
@@ -159,6 +172,15 @@ type Segment struct {
 	StartLabel, EndLabel string
 	// Top holds the top-m non-overlapping explanations, ranked by γ.
 	Top []Explanation
+	// ErrBound is the reported relative attribution-error bound of the
+	// approximate mode: the exact optimal attribution for this segment
+	// exceeds the reported one by at most this fraction of itself. Always
+	// 0 in exact mode.
+	ErrBound float64
+	// Other aggregates every record the reported explanations do not
+	// cover (the approximate mode's residual): Top plus Other reproduce
+	// the overall series over the segment exactly. Nil in exact mode.
+	Other *Explanation
 }
 
 // Result is the output of one Explain call.
@@ -183,6 +205,8 @@ type Result struct {
 	Timings Timings
 	// Stats reports workload statistics.
 	Stats Stats
+	// Approx reports what the approximate path did; nil in exact mode.
+	Approx *ApproxInfo
 }
 
 // Cuts returns the result's cut positions including endpoints.
@@ -217,6 +241,9 @@ type Engine struct {
 	// history survive across Explain calls and streaming appends, so an
 	// update only recomputes quantities the new data touches.
 	vc *segment.VarCalc
+	// approx is the cached candidate ranking of the approximate path;
+	// nil until the first approximate explain, dropped on append.
+	approx *approxState
 
 	precompute time.Duration
 }
@@ -427,6 +454,14 @@ func (e *Engine) ingestAppended() (explain.AppendInfo, error) {
 	}
 	e.exp.Rebind(e.u) // same universe: grows caches, remaps nothing
 	e.exp.SetAllowed(e.allowed)
+	if e.approx != nil {
+		// Appended data shifts the contribution bounds, so the pruned
+		// selection is stale: clear the restriction (dropping caches
+		// solved under it) and let the next approximate explain re-rank.
+		e.approx = nil
+		e.exp.SetRestriction(e.allowed, nil)
+		e.vc = nil
+	}
 	e.precompute = time.Since(start)
 	return info, nil
 }
@@ -500,9 +535,19 @@ func (e *Engine) explainWithPositions(positions []int) (*Result, error) {
 	return e.explainPositionsK(nil, positions, e.opts.K)
 }
 
-// explainPositionsK is the pipeline body behind Explain, ExplainWithK,
-// and the incremental position-restricted path.
+// explainPositionsK routes one explain to the exact pipeline or, under
+// Options.Approx, the anytime approximate path (which runs the exact
+// pipeline against a pruned candidate set and annotates error bounds).
 func (e *Engine) explainPositionsK(ctx context.Context, positions []int, fixedK int) (*Result, error) {
+	if e.opts.Approx.Enabled {
+		return e.explainApproxK(ctx, positions, fixedK)
+	}
+	return e.explainExactK(ctx, positions, fixedK)
+}
+
+// explainExactK is the pipeline body behind Explain, ExplainWithK,
+// and the incremental position-restricted path.
+func (e *Engine) explainExactK(ctx context.Context, positions []int, fixedK int) (*Result, error) {
 	cancel := ctxCancelFunc(ctx)
 	if cancel != nil {
 		if err := cancel(); err != nil {

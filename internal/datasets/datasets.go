@@ -42,6 +42,12 @@ type Dataset struct {
 	// explaining; 0 disables smoothing (Section 7.4 applies smoothing to
 	// very fuzzy datasets).
 	SmoothWindow int
+	// ApproxMaxCandidates and ApproxEpsilon are the dataset's defaults for
+	// approximate-mode requests (mode=approx); zero values fall back to
+	// the engine defaults (4096 candidates, ε = 0.05). Catalog datasets
+	// declare them in their manifests.
+	ApproxMaxCandidates int
+	ApproxEpsilon       float64
 }
 
 // dateLabels returns count consecutive daily labels starting at start, in

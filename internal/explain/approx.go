@@ -1,0 +1,106 @@
+package explain
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// This file implements the candidate-axis side of the anytime approximate
+// explanation path: a cheap per-candidate upper bound on the difference
+// score any segment can ever assign, the deterministic top-M selection
+// that bound induces, and the exact residual ("other") series of a
+// selected explanation set. The budgeted solver mode in core composes
+// these with the restricted Cascading Analysts solve to keep per-segment
+// cost proportional to the kept candidates instead of the full candidate
+// count ε.
+
+// ContributionBounds returns, per candidate, an upper bound on the
+// absolute-change difference score γ(E, c, t) over EVERY segment [c, t].
+//
+// Definition 3.2 rewrites to γ(E, c, t) = |φ_E(t) − φ_E(c)| with
+// φ_E(x) = f(tot_x) − f(tot_x − e_x), the candidate's effect on the
+// aggregate at a single timestamp. The range max_x φ_E − min_x φ_E
+// therefore dominates γ at any endpoint pair, independent of the
+// segmentation — which is what lets a pruning threshold translate into a
+// per-segment attribution-error bound. For SUM the bound degenerates to
+// the range of the candidate's raw series.
+//
+// The bound is computed against the universe's active (possibly smoothed)
+// series views, the same state Gamma scores, in O(ε·n) total.
+func (u *Universe) ContributionBounds() []float64 {
+	n := len(u.total)
+	fTot := make([]float64, n)
+	for t, sc := range u.total {
+		fTot[t] = u.agg.Eval(sc.Sum, sc.Count)
+	}
+	out := make([]float64, len(u.cands))
+	for id, c := range u.cands {
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for t, e := range c.Series {
+			rem := u.total[t].Sub(e)
+			phi := fTot[t] - u.agg.Eval(rem.Sum, rem.Count)
+			if phi < mn {
+				mn = phi
+			}
+			if phi > mx {
+				mx = phi
+			}
+		}
+		out[id] = mx - mn
+	}
+	return out
+}
+
+// SelectTopBounds picks the ids of the (at most max) candidates with the
+// largest bounds among the eligible set (allowed nil means every
+// candidate), breaking ties by ascending id so the selection is
+// deterministic. It returns the kept ids in ascending id order, and
+// theta: the largest bound among eligible candidates that were NOT kept
+// (0 when nothing was pruned) — the quantity every pruned candidate's γ
+// is bounded by.
+func SelectTopBounds(bounds []float64, allowed []bool, max int) (ids []int, theta float64) {
+	order := make([]int, 0, len(bounds))
+	for id := range bounds {
+		if allowed == nil || allowed[id] {
+			order = append(order, id)
+		}
+	}
+	if max < 0 {
+		max = 0
+	}
+	if len(order) <= max {
+		sort.Ints(order)
+		return order, 0
+	}
+	sort.Slice(order, func(i, j int) bool {
+		bi, bj := bounds[order[i]], bounds[order[j]]
+		if bi != bj {
+			return bi > bj
+		}
+		return order[i] < order[j]
+	})
+	theta = bounds[order[max]]
+	ids = append([]int(nil), order[:max]...)
+	sort.Ints(ids)
+	return ids, theta
+}
+
+// ResidualSeries returns the exact aggregated series of everything the
+// given non-overlapping explanations do NOT cover: per timestamp, the
+// overall decomposed state minus the explanations' states. Because the
+// Cascading Analysts selection is guaranteed non-overlapping, the
+// subtraction is the true decomposed state of the complement slice for
+// any decomposable aggregate, so the reported trendlines plus this
+// residual reproduce the overall series exactly — totals stay exact no
+// matter how many candidates were pruned.
+func (u *Universe) ResidualSeries(ids []int) []relation.SumCount {
+	out := append([]relation.SumCount(nil), u.total...)
+	for _, id := range ids {
+		for t, e := range u.cands[id].Series {
+			out[t] = out[t].Sub(e)
+		}
+	}
+	return out
+}

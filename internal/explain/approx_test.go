@@ -1,0 +1,121 @@
+package explain
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/synth"
+)
+
+func buildTestUniverse(t *testing.T, agg relation.AggFunc) *Universe {
+	t.Helper()
+	d, err := synth.Generate(synth.Params{N: 60, Categories: 4, Seed: 11, SNRdB: 30})
+	if err != nil {
+		t.Fatalf("synth: %v", err)
+	}
+	u, err := NewUniverse(d.Rel, Config{Measure: "sales", Agg: agg})
+	if err != nil {
+		t.Fatalf("universe: %v", err)
+	}
+	return u
+}
+
+// TestContributionBoundDominatesGamma is the soundness property the whole
+// approximate error bound rests on: the per-candidate bound dominates the
+// absolute-change score over every segment.
+func TestContributionBoundDominatesGamma(t *testing.T) {
+	for _, agg := range []relation.AggFunc{relation.Sum, relation.Count, relation.Avg} {
+		u := buildTestUniverse(t, agg)
+		bounds := u.ContributionBounds()
+		n := u.NumTimestamps()
+		for id := 0; id < u.NumCandidates(); id++ {
+			for c := 0; c < n; c++ {
+				for tt := c + 1; tt < n; tt += 7 {
+					g, _ := u.Gamma(id, c, tt, AbsoluteChange)
+					if g > bounds[id]+1e-9 {
+						t.Fatalf("agg %v candidate %d segment [%d,%d]: γ=%g exceeds bound %g",
+							agg, id, c, tt, g, bounds[id])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSelectTopBounds(t *testing.T) {
+	bounds := []float64{5, 1, 9, 3, 9, 0.5}
+	ids, theta := SelectTopBounds(bounds, nil, 3)
+	if want := []int{0, 2, 4}; len(ids) != 3 || ids[0] != want[0] || ids[1] != want[1] || ids[2] != want[2] {
+		t.Fatalf("ids = %v, want %v", ids, want)
+	}
+	if theta != 3 {
+		t.Fatalf("theta = %g, want 3", theta)
+	}
+
+	// Ties break by ascending id: both 9s kept before the 5.
+	ids, theta = SelectTopBounds(bounds, nil, 2)
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 4 {
+		t.Fatalf("ids = %v, want [2 4]", ids)
+	}
+	if theta != 5 {
+		t.Fatalf("theta = %g, want 5", theta)
+	}
+
+	// The allowed bitmap excludes candidates from both selection and theta.
+	allowed := []bool{true, true, false, true, false, true}
+	ids, theta = SelectTopBounds(bounds, allowed, 2)
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 3 {
+		t.Fatalf("ids = %v, want [0 3]", ids)
+	}
+	if theta != 1 {
+		t.Fatalf("theta = %g, want 1", theta)
+	}
+
+	// Nothing pruned: theta is 0 and every eligible id comes back sorted.
+	ids, theta = SelectTopBounds(bounds, nil, 100)
+	if len(ids) != len(bounds) || theta != 0 {
+		t.Fatalf("ids = %v theta = %g, want all ids and theta 0", ids, theta)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("ids not ascending: %v", ids)
+		}
+	}
+}
+
+// TestResidualSeriesExact: the residual of a non-overlapping explanation
+// set plus the explanations' own series reproduces the overall series
+// exactly, per decomposed component.
+func TestResidualSeriesExact(t *testing.T) {
+	u := buildTestUniverse(t, relation.Sum)
+	// Pick the order-1 candidates of dimension 0: sibling slices, disjoint
+	// by construction.
+	var ids []int
+	for id := 0; id < u.NumCandidates(); id++ {
+		c := u.Candidate(id).Conj
+		if c.Order() == 1 && c[0].Dim == u.ExplainBy()[0] {
+			ids = append(ids, id)
+			if len(ids) == 2 {
+				break
+			}
+		}
+	}
+	if len(ids) < 2 {
+		t.Fatal("expected at least two order-1 candidates")
+	}
+	res := u.ResidualSeries(ids)
+	tot := u.TotalSeries()
+	for tt := range tot {
+		sum := res[tt]
+		for _, id := range ids {
+			s := u.Candidate(id).Series[tt]
+			sum.Sum += s.Sum
+			sum.Count += s.Count
+		}
+		if math.Abs(sum.Sum-tot[tt].Sum) > 1e-9*(1+math.Abs(tot[tt].Sum)) ||
+			math.Abs(sum.Count-tot[tt].Count) > 1e-9*(1+math.Abs(tot[tt].Count)) {
+			t.Fatalf("t=%d: residual+selected = %+v, total %+v", tt, sum, tot[tt])
+		}
+	}
+}

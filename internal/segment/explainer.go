@@ -24,6 +24,11 @@ type Explainer struct {
 	// allowed restricts selectable candidates (the filter optimization's
 	// survivor set); nil allows everything.
 	allowed []bool
+	// allowedIDs, when non-nil, is the budgeted approximate mode's pruned
+	// selectable set as an id list: per-solve scoring walks just these ids
+	// instead of every candidate, so segment cost scales with the kept
+	// top-M rather than ε. It always mirrors allowed (bitmap form).
+	allowedIDs []int
 	// useGuess enables the guess-and-verify optimization.
 	useGuess  bool
 	guessInit int
@@ -87,17 +92,30 @@ func (e *Explainer) TopM(c, t int) *cascading.Result {
 		return r
 	}
 	start := time.Now()
-	var res cascading.Result
-	if e.useGuess {
-		var rounds int
-		res, rounds = e.solver.GuessVerify(c, t, e.guessInit, e.allowed)
-		e.caRounds += rounds
-	} else {
-		res = e.solver.Solve(c, t, e.allowed)
-	}
+	res, rounds := e.solveOne(e.solver, c, t)
+	e.caRounds += rounds
 	e.caTime += time.Since(start)
 	e.caSolves++
 	return e.cache.put(c, t, res)
+}
+
+// solveOne runs one segment solve on the given solver under the
+// explainer's current configuration — restricted id list (approximate
+// mode), guess-and-verify, or the plain DP. It is the single dispatch
+// point shared by TopM and the parallel prewarm workers, so a new solver
+// mode cannot reach one path and miss the other. rounds is 0 unless
+// guess-and-verify ran.
+func (e *Explainer) solveOne(solver *cascading.Solver, c, t int) (res cascading.Result, rounds int) {
+	switch {
+	case e.allowedIDs != nil && e.useGuess:
+		return solver.GuessVerifyRestricted(c, t, e.guessInit, e.allowed, e.allowedIDs)
+	case e.allowedIDs != nil:
+		return solver.SolveRestricted(c, t, e.allowed, e.allowedIDs), 0
+	case e.useGuess:
+		return solver.GuessVerify(c, t, e.guessInit, e.allowed)
+	default:
+		return solver.Solve(c, t, e.allowed), 0
+	}
 }
 
 // Stats reports how many Cascading Analysts solves ran, the total time
@@ -220,3 +238,15 @@ func remapResult(res *cascading.Result, old, next *explain.Universe) (*cascading
 // SetAllowed replaces the selectable-candidate restriction for future
 // solves. Cached segments keep the results they were computed with.
 func (e *Explainer) SetAllowed(allowed []bool) { e.allowed = allowed }
+
+// SetRestriction installs the budgeted approximate mode's pruned
+// selectable set: allowed is the membership bitmap, ids the same set as a
+// sorted list (nil ids clears the restriction and returns to full-ε
+// scoring). Unlike SetAllowed it drops every cached per-segment result —
+// entries solved under a different selectable set would otherwise leak a
+// differently pruned optimum into this configuration's answers.
+func (e *Explainer) SetRestriction(allowed []bool, ids []int) {
+	e.allowed = allowed
+	e.allowedIDs = ids
+	e.ResetCache()
+}

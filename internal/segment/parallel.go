@@ -76,14 +76,8 @@ func (e *Explainer) PrewarmParallelCancel(segs [][2]int, workers int, cancel fun
 					break
 				}
 				seg := todo[i]
-				var res cascading.Result
-				if e.useGuess {
-					var r int
-					res, r = solver.GuessVerify(seg[0], seg[1], e.guessInit, e.allowed)
-					rounds[w] += r
-				} else {
-					res = solver.Solve(seg[0], seg[1], e.allowed)
-				}
+				res, r := e.solveOne(solver, seg[0], seg[1])
+				rounds[w] += r
 				results[i] = done{seg: seg, res: res, ok: true}
 			}
 			caTimes[w] = time.Since(start)

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestExplainApproxMode(t *testing.T) {
+	s := New()
+	rec := get(t, s, "/api/explain?dataset=stream&mode=approx&epsilon=0.1")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out explainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Mode != "approx" {
+		t.Errorf("mode = %q, want approx", out.Mode)
+	}
+	if out.Approx == nil {
+		t.Fatal("approx block missing from response")
+	}
+	if out.Approx.Epsilon != 0.1 {
+		t.Errorf("epsilon = %g, want 0.1", out.Approx.Epsilon)
+	}
+	if out.Approx.MaxErrBound > 0.1 && !out.Approx.Truncated &&
+		out.Approx.CandidatesUsed < out.Approx.MaxCandidates &&
+		out.Approx.CandidatesUsed < out.Approx.CandidatesEligible {
+		t.Errorf("bound %g > ε with refinement budget left", out.Approx.MaxErrBound)
+	}
+	for i, seg := range out.Segments {
+		if seg.Other == nil {
+			t.Errorf("segment %d: approx response missing the residual (other)", i)
+		}
+	}
+
+	// Exact mode stays unannotated and keeps its own cache entries.
+	rec = get(t, s, "/api/explain?dataset=stream")
+	var exact explainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &exact); err != nil {
+		t.Fatal(err)
+	}
+	if exact.Mode != "exact" || exact.Approx != nil {
+		t.Errorf("exact response carries approx state: mode=%q approx=%v", exact.Mode, exact.Approx)
+	}
+	for i, seg := range exact.Segments {
+		if seg.Other != nil || seg.ErrBound != 0 {
+			t.Errorf("exact segment %d carries approx annotations", i)
+		}
+	}
+
+	// The approx metrics surfaced.
+	rec = get(t, s, "/metrics")
+	body := rec.Body.String()
+	if !strings.Contains(body, "tsexplain_approx_requests_total 1") {
+		t.Errorf("metrics missing approx request counter:\n%s", grepLines(body, "approx"))
+	}
+	if !strings.Contains(body, "tsexplain_approx_error_bound_count 1") {
+		t.Errorf("metrics missing approx error histogram:\n%s", grepLines(body, "approx"))
+	}
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestExplainApproxParamValidation(t *testing.T) {
+	s := New()
+	for _, tc := range []struct {
+		path string
+		code int
+	}{
+		{"/api/explain?dataset=stream&mode=nope", 400},
+		{"/api/explain?dataset=stream&epsilon=0.1", 400},
+		{"/api/explain?dataset=stream&mode=approx&epsilon=0", 400},
+		{"/api/explain?dataset=stream&mode=approx&epsilon=0.7", 400},
+		{"/api/explain?dataset=stream&mode=approx&epsilon=abc", 400},
+		{"/api/explain?dataset=stream&mode=approx&epsilon=NaN", 400},
+		{"/api/explain?dataset=stream&mode=exact", 200},
+	} {
+		if rec := get(t, s, tc.path); rec.Code != tc.code {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.path, rec.Code, tc.code, rec.Body.String())
+		}
+	}
+}
+
+// TestApproxDistinctCacheKeys: approx and exact requests for the same
+// dataset must not share cached results or pooled engines.
+func TestApproxDistinctCacheKeys(t *testing.T) {
+	a := params{dataset: "stream"}
+	b := params{dataset: "stream", approx: true, epsilon: 0.05}
+	c := params{dataset: "stream", approx: true, epsilon: 0.01}
+	if a.key() == b.key() || b.key() == c.key() {
+		t.Errorf("cache keys collide: %q %q %q", a.key(), b.key(), c.key())
+	}
+	if a.engineKey() == b.engineKey() || b.engineKey() == c.engineKey() {
+		t.Errorf("engine keys collide: %q %q %q", a.engineKey(), b.engineKey(), c.engineKey())
+	}
+}

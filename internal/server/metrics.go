@@ -39,6 +39,33 @@ type metrics struct {
 	snapshotEngRestores atomic.Int64 // engines built from a snapshot universe
 	snapshotFallbacks   atomic.Int64 // snapshot loads that failed (stale/corrupt) and fell back to rebuild
 	snapshotSaves       atomic.Int64 // snapshots written by the background refresher
+
+	// Approximate-mode counters: requests served in mode=approx, and a
+	// histogram of the reported per-request MaxErrBound (observed once per
+	// computed result, under mu).
+	approxRequests atomic.Int64
+	approxErrHist  latencyHist
+}
+
+// approxErrBuckets are the error-bound histogram upper bounds, spanning
+// "provably exact" through the 0.05 default to badly truncated runs.
+var approxErrBuckets = []float64{0, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25}
+
+// observeApproxErr records one computed approximate result's reported
+// error bound.
+func (m *metrics) observeApproxErr(bound float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.approxErrHist.buckets == nil {
+		m.approxErrHist.buckets = make([]int64, len(approxErrBuckets))
+	}
+	for i, ub := range approxErrBuckets {
+		if bound <= ub {
+			m.approxErrHist.buckets[i]++
+		}
+	}
+	m.approxErrHist.count++
+	m.approxErrHist.sum += bound
 }
 
 // latencyBuckets are the histogram upper bounds in seconds, spanning the
@@ -133,11 +160,27 @@ func (m *metrics) write(w io.Writer, shards []shardGauges) {
 		fmt.Fprintf(w, "tsexplain_http_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
 		fmt.Fprintf(w, "tsexplain_http_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.count)
 	}
+
+	fmt.Fprintln(w, "# HELP tsexplain_approx_error_bound Reported per-request attribution-error bound of computed approximate explains.")
+	fmt.Fprintln(w, "# TYPE tsexplain_approx_error_bound histogram")
+	eh := m.approxErrHist
+	for i, ub := range approxErrBuckets {
+		var v int64
+		if eh.buckets != nil {
+			v = eh.buckets[i]
+		}
+		fmt.Fprintf(w, "tsexplain_approx_error_bound_bucket{le=%q} %d\n",
+			strconv.FormatFloat(ub, 'g', -1, 64), v)
+	}
+	fmt.Fprintf(w, "tsexplain_approx_error_bound_bucket{le=\"+Inf\"} %d\n", eh.count)
+	fmt.Fprintf(w, "tsexplain_approx_error_bound_sum %g\n", eh.sum)
+	fmt.Fprintf(w, "tsexplain_approx_error_bound_count %d\n", eh.count)
 	m.mu.Unlock()
 
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
+	counter("tsexplain_approx_requests_total", "Explain requests served in approximate mode (mode=approx).", m.approxRequests.Load())
 	counter("tsexplain_result_cache_hits_total", "Explain results served from the result cache.", m.cacheHits.Load())
 	counter("tsexplain_result_cache_misses_total", "Explain requests that missed the result cache.", m.cacheMisses.Load())
 	counter("tsexplain_singleflight_dedup_total", "Requests that waited on another request's in-flight compute.", m.dedups.Load())

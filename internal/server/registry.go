@@ -260,6 +260,10 @@ func (g *registry) loadDataset(name string) (*datasets.Dataset, error) {
 		MaxOrder:     m.EffectiveMaxOrder(),
 		SmoothWindow: m.SmoothWindow,
 	}
+	if m.Approx != nil {
+		d.ApproxMaxCandidates = m.Approx.MaxCandidates
+		d.ApproxEpsilon = m.Approx.Epsilon
+	}
 	if g.snapshots && g.cat.HasSnapshot(name) {
 		start := time.Now()
 		rel, err := g.cat.LoadSnapshotRelation(name)
@@ -317,6 +321,9 @@ func (sh *shard) release() {
 // touching admission at all, so cached traffic never occupies a worker
 // slot.
 func (g *registry) explain(ctx context.Context, p params) (*core.Result, error) {
+	if p.approx {
+		g.met.approxRequests.Add(1)
+	}
 	sh := g.shardFor(p.engineKey())
 	key := p.key()
 	gen := g.datasetGen(p.dataset)
@@ -418,6 +425,8 @@ func (g *registry) compute(ctx context.Context, sh *shard, p params) (*core.Resu
 	res, err := ent.eng.ExplainWithKCtx(ctx, p.k)
 	if err != nil {
 		g.countIfDeadline(err)
+	} else if res.Approx != nil {
+		g.met.observeApproxErr(res.Approx.MaxErrBound)
 	}
 	return res, err
 }

@@ -369,6 +369,11 @@ type params struct {
 	k       int
 	smooth  int
 	vanilla bool
+	// approx selects the anytime approximate explanation path
+	// (?mode=approx); epsilon is the requested per-segment error target
+	// (0: the dataset's manifest default, falling back to 0.05).
+	approx  bool
+	epsilon float64
 }
 
 func (s *Server) parseParams(r *http.Request) (params, error) {
@@ -389,17 +394,56 @@ func (s *Server) parseParams(r *http.Request) (params, error) {
 		}
 	}
 	p.vanilla = q.Get("vanilla") == "1"
+	switch v := q.Get("mode"); v {
+	case "", "exact":
+	case "approx":
+		p.approx = true
+	default:
+		return p, httpErrf(http.StatusBadRequest, "bad mode %q (want exact or approx)", v)
+	}
+	if v := q.Get("epsilon"); v != "" {
+		if !p.approx {
+			return p, httpErrf(http.StatusBadRequest, "epsilon requires mode=approx")
+		}
+		// The inverted comparison also rejects NaN, which would otherwise
+		// slip past a `<= 0 || > 0.5` pair and never satisfy the
+		// refinement loop's convergence test.
+		if p.epsilon, err = strconv.ParseFloat(v, 64); err != nil || !(p.epsilon > 0 && p.epsilon <= 0.5) {
+			return p, httpErrf(http.StatusBadRequest, "bad epsilon %q (want 0 < epsilon <= 0.5)", v)
+		}
+	}
 	return p, nil
 }
 
+// mode names the explanation mode for responses.
+func (p params) mode() string {
+	if p.approx {
+		return "approx"
+	}
+	return "exact"
+}
+
+// modeKey renders the cache-key component of the explanation mode: the
+// approximate path and every distinct requested epsilon get their own
+// cached results and pooled engines (an approx engine's per-segment
+// cache is solved under its pruned candidate set and must never serve
+// exact traffic, and vice versa; epsilon 0 — "use the dataset default" —
+// keys separately from any explicit value).
+func (p params) modeKey() string {
+	if !p.approx {
+		return "exact"
+	}
+	return fmt.Sprintf("approx:%g", p.epsilon)
+}
+
 func (p params) key() string {
-	return fmt.Sprintf("%s|%d|%d|%v", p.dataset, p.k, p.smooth, p.vanilla)
+	return fmt.Sprintf("%s|%d|%d|%v|%s", p.dataset, p.k, p.smooth, p.vanilla, p.modeKey())
 }
 
 // engineKey identifies the pooled engine: everything but K, which only
 // steers segmentation and is overridden per explain call.
 func (p params) engineKey() string {
-	return fmt.Sprintf("%s|%d|%v", p.dataset, p.smooth, p.vanilla)
+	return fmt.Sprintf("%s|%d|%v|%s", p.dataset, p.smooth, p.vanilla, p.modeKey())
 }
 
 // options assembles the engine options for the request (K excluded; it is
@@ -413,6 +457,17 @@ func (p params) options(d *datasets.Dataset) core.Options {
 	opts.SmoothWindow = d.SmoothWindow
 	if p.smooth > 0 {
 		opts.SmoothWindow = p.smooth
+	}
+	if p.approx {
+		eps := p.epsilon
+		if eps == 0 {
+			eps = d.ApproxEpsilon // 0 falls through to the engine default
+		}
+		opts.Approx = core.ApproxOptions{
+			Enabled:       true,
+			MaxCandidates: d.ApproxMaxCandidates,
+			Epsilon:       eps,
+		}
 	}
 	return opts
 }
@@ -435,10 +490,12 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 // explainResponse is the JSON shape of /api/explain.
 type explainResponse struct {
 	Dataset  string           `json:"dataset"`
+	Mode     string           `json:"mode"`
 	K        int              `json:"k"`
 	AutoK    bool             `json:"autoK"`
 	Variance float64          `json:"totalVariance"`
 	Latency  latencyBreakdown `json:"latencyMs"`
+	Approx   *core.ApproxInfo `json:"approx,omitempty"`
 	Segments []segmentJSON    `json:"segments"`
 }
 
@@ -452,6 +509,10 @@ type segmentJSON struct {
 	Start string     `json:"start"`
 	End   string     `json:"end"`
 	Top   []explJSON `json:"top"`
+	// Approximate-mode extras: the reported relative attribution-error
+	// bound and the exact residual of everything outside Top.
+	ErrBound float64   `json:"errBound,omitempty"`
+	Other    *explJSON `json:"other,omitempty"`
 }
 
 type explJSON struct {
@@ -473,6 +534,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := explainResponse{
 		Dataset:  p.dataset,
+		Mode:     p.mode(),
 		K:        res.K,
 		AutoK:    res.AutoK,
 		Variance: res.TotalVariance,
@@ -481,15 +543,23 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			Cascading:    ms(res.Timings.Cascading),
 			Segmentation: ms(res.Timings.Segmentation),
 		},
+		Approx: res.Approx,
 	}
 	for _, seg := range res.Segments {
-		sj := segmentJSON{Start: seg.StartLabel, End: seg.EndLabel}
+		sj := segmentJSON{Start: seg.StartLabel, End: seg.EndLabel, ErrBound: seg.ErrBound}
 		for _, e := range seg.Top {
 			sj.Top = append(sj.Top, explJSON{
 				Predicates: e.Predicates,
 				Effect:     e.Effect.String(),
 				Gamma:      e.Gamma,
 			})
+		}
+		if seg.Other != nil {
+			sj.Other = &explJSON{
+				Predicates: seg.Other.Predicates,
+				Effect:     seg.Other.Effect.String(),
+				Gamma:      seg.Other.Gamma,
+			}
 		}
 		resp.Segments = append(resp.Segments, sj)
 	}

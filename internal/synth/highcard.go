@@ -1,0 +1,173 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// HighCardParams controls the high-cardinality scenario generator: a
+// relation R(T, user, region, events) whose aggregated series is shaped
+// by a handful of dominant "whale" users with piecewise-linear trends
+// (the explainable signal, whose cut union is the ground-truth
+// segmentation), buried under a long tail of (user, region) pairs that
+// each contribute a single short spike. Every long-tail pair occurs, so
+// the candidate axis carries Users·Regions conjunctions — the regime the
+// anytime approximate path targets, where exact per-segment scoring is
+// linear in a candidate count the support filter cannot meaningfully
+// shrink (each spike clears the 0.001 support threshold at its own
+// timestamp).
+type HighCardParams struct {
+	// Users is the user-dimension cardinality (default 1288, of which
+	// Whales are dominant).
+	Users int
+	// Regions is the region-dimension cardinality (default 40). Long-tail
+	// candidate pairs number (Users−Whales)·Regions.
+	Regions int
+	// N is the series length (default 128).
+	N int
+	// Whales is the number of dominant users (default 8). Each whale has
+	// a piecewise-linear series with 1..3 trend breaks; the union of the
+	// breaks is the ground-truth segmentation.
+	Whales int
+	// SpikeBase scales the long-tail spikes (default 5); each spike value
+	// is uniform in [0.8, 1.2]·SpikeBase.
+	SpikeBase float64
+	// Seed drives all randomness; equal seeds give identical datasets.
+	Seed int64
+}
+
+func (p *HighCardParams) setDefaults() {
+	if p.Users <= 0 {
+		p.Users = 1288
+	}
+	if p.Regions <= 0 {
+		p.Regions = 40
+	}
+	if p.N <= 0 {
+		p.N = 128
+	}
+	if p.Whales <= 0 {
+		p.Whales = 8
+	}
+	if p.Whales > p.Users/2 {
+		p.Whales = p.Users / 2
+	}
+	if p.SpikeBase <= 0 {
+		p.SpikeBase = 5
+	}
+}
+
+// WithDefaults returns the params with every zero field resolved to the
+// generator default, so callers can report the effective configuration.
+func (p HighCardParams) WithDefaults() HighCardParams {
+	p.setDefaults()
+	return p
+}
+
+// HighCardDataset is one generated high-cardinality dataset.
+type HighCardDataset struct {
+	// Rel is the relation R(T, user, region, events); the aggregated
+	// series is SELECT T, SUM(events) GROUP BY T.
+	Rel *relation.Relation
+	// Cuts is the ground-truth segmentation: the union of the whales'
+	// trend breaks, sorted interior positions.
+	Cuts []int
+	// K is the ground-truth segment count, len(Cuts)+1.
+	K int
+	// Pairs counts the long-tail (user, region) pairs, the candidate-axis
+	// cardinality driver.
+	Pairs int
+}
+
+// HighCardinality generates one high-cardinality scenario dataset. The
+// order-2 candidate universe over (user, region) holds roughly
+// Users·Regions + Users + Regions conjunctions (~52k at the defaults).
+func HighCardinality(p HighCardParams) (*HighCardDataset, error) {
+	p.setDefaults()
+	minSeg := p.N / 16
+	if minSeg < 6 {
+		minSeg = 6
+	}
+	if p.N < 4*minSeg {
+		return nil, fmt.Errorf("synth: high-card series length %d too short", p.N)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Ground-truth cuts: jittered evenly spaced interior positions (so
+	// separation always holds, unlike sampling per-whale cut sets whose
+	// union would almost never stay admissible at this whale count). Each
+	// whale then breaks its trend at a random non-empty subset of them;
+	// every global cut is covered by whales with overwhelming probability,
+	// and the union of the whales' breaks is exactly the cut list.
+	nCuts := (p.N - 2*minSeg) / (2 * minSeg)
+	if nCuts > 6 {
+		nCuts = 6
+	}
+	if nCuts < 1 {
+		nCuts = 1
+	}
+	span := float64(p.N-2*minSeg) / float64(nCuts)
+	cuts := make([]int, nCuts)
+	for i := range cuts {
+		jitter := (rng.Float64() - 0.5) * span / 2
+		cuts[i] = minSeg + int((float64(i)+0.5)*span+jitter)
+	}
+	perWhale := make([][]int, p.Whales)
+	for w := range perWhale {
+		for _, c := range cuts {
+			if rng.Float64() < 0.5 {
+				perWhale[w] = append(perWhale[w], c)
+			}
+		}
+		if len(perWhale[w]) == 0 {
+			perWhale[w] = append(perWhale[w], cuts[rng.Intn(len(cuts))])
+		}
+	}
+
+	labels := make([]string, p.N)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%04d", i)
+	}
+	b := relation.NewBuilder("highcard", "T", []string{"user", "region"}, []string{"events"})
+	b.SetTimeOrder(labels)
+
+	// Whales: daily rows in region r00 with piecewise-linear values scaled
+	// up so their swings dominate every segment's attribution (the top
+	// explanations the approximate path must not lose).
+	for w := 0; w < p.Whales; w++ {
+		user := fmt.Sprintf("u%05d", w)
+		series := pwLinear(rng, p.N, perWhale[w])
+		for t := 0; t < p.N; t++ {
+			if err := b.Append(labels[t], []string{user, "r00"}, []float64{series[t] * 1.6}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Long tail: every non-whale (user, region) pair contributes exactly
+	// one spike at an rng-spread timestamp. Each spike is large enough to
+	// clear the default support filter at its own timestamp, so the
+	// filter cannot collapse the candidate axis — only pruning by
+	// contribution bound can.
+	pairs := 0
+	for u := p.Whales; u < p.Users; u++ {
+		user := fmt.Sprintf("u%05d", u)
+		for r := 0; r < p.Regions; r++ {
+			region := fmt.Sprintf("r%02d", r)
+			t := 1 + rng.Intn(p.N-2)
+			v := p.SpikeBase * (0.8 + 0.4*rng.Float64())
+			if err := b.Append(labels[t], []string{user, region}, []float64{v}); err != nil {
+				return nil, err
+			}
+			pairs++
+		}
+	}
+
+	rel, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &HighCardDataset{Rel: rel, Cuts: cuts, K: len(cuts) + 1, Pairs: pairs}, nil
+}

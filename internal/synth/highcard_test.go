@@ -1,0 +1,97 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestHighCardinalityShape(t *testing.T) {
+	p := HighCardParams{Users: 80, Regions: 10, Whales: 4, N: 64, Seed: 7}
+	d, err := HighCardinality(p)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if got, want := d.Rel.NumTimestamps(), 64; got != want {
+		t.Errorf("timestamps = %d, want %d", got, want)
+	}
+	if got, want := d.Pairs, (80-4)*10; got != want {
+		t.Errorf("pairs = %d, want %d", got, want)
+	}
+	if got, want := d.Rel.NumRows(), 4*64+(80-4)*10; got != want {
+		t.Errorf("rows = %d, want %d", got, want)
+	}
+	if d.K != len(d.Cuts)+1 {
+		t.Errorf("K = %d with %d cuts", d.K, len(d.Cuts))
+	}
+	minSeg := 64 / 16
+	if minSeg < 6 {
+		minSeg = 6
+	}
+	prev := 0
+	for _, c := range d.Cuts {
+		if c-prev < minSeg {
+			t.Errorf("cuts %v not separated by %d", d.Cuts, minSeg)
+			break
+		}
+		prev = c
+	}
+	if 64-1-prev < minSeg {
+		t.Errorf("last cut %d too close to the end", prev)
+	}
+}
+
+// TestHighCardinalityDeterministic: equal seeds give bit-identical data,
+// the property the committed benchmark baseline depends on.
+func TestHighCardinalityDeterministic(t *testing.T) {
+	p := HighCardParams{Users: 60, Regions: 8, Whales: 3, N: 64, Seed: 99}
+	a, err := HighCardinality(p)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	b, err := HighCardinality(p)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if a.Rel.NumRows() != b.Rel.NumRows() {
+		t.Fatalf("row counts differ: %d vs %d", a.Rel.NumRows(), b.Rel.NumRows())
+	}
+	m := a.Rel.MeasureIndex("events")
+	as, bs := a.Rel.AggregateSeries(m), b.Rel.AggregateSeries(m)
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatalf("aggregate series differs at %d: %+v vs %+v", i, as[i], bs[i])
+		}
+	}
+}
+
+// TestHighCardinalitySurvivesSupportFilter: the long tail must largely
+// clear the default support filter — otherwise the filter would collapse
+// the candidate axis and the scenario would not stress the approximate
+// path at all.
+func TestHighCardinalitySurvivesSupportFilter(t *testing.T) {
+	d, err := HighCardinality(HighCardParams{Users: 80, Regions: 10, Whales: 4, N: 64, Seed: 7})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	m := d.Rel.MeasureIndex("events")
+	tot := d.Rel.AggregateSeries(m)
+	totVals := make([]float64, len(tot))
+	for i, sc := range tot {
+		totVals[i] = relation.Sum.Eval(sc.Sum, sc.Count)
+	}
+	// Count spike rows clearing 0.001 of the total at their own day: the
+	// generator's invariant is that the long tail is not statically
+	// prunable.
+	maxTot := 0.0
+	for _, v := range totVals {
+		if v > maxTot {
+			maxTot = v
+		}
+	}
+	minSpike := 0.8 * 5 // SpikeBase default 5, low end of the jitter
+	if minSpike < 0.001*maxTot {
+		t.Errorf("spikes (%g) fall below the support threshold at the loudest day (%g): the filter would prune the tail",
+			minSpike, 0.001*maxTot)
+	}
+}

@@ -7,11 +7,14 @@
 #                         O(delta) append path vs the full-rebuild path
 #   BENCH_catalog.json    warm-restart path: snapshot save/restore vs the
 #                         cold CSV-parse + engine rebuild, per dataset
+#   BENCH_approx.json     anytime approximate path: exact vs approx explain
+#                         on the ~52k-conjunction high-cardinality scenario,
+#                         with the reported and measured attribution error
 #   BENCH_server.json     serving-layer load test: per-endpoint latency
 #                         quantiles, throughput, and shed/eviction counts
 #                         (only with "server" as the first argument)
 #
-# CI regenerates the first three in short mode on every PR and gates them
+# CI regenerates the first four in short mode on every PR and gates them
 # against the committed baselines with cmd/benchcmp; after an accepted
 # perf change, rerun this script and commit the new JSONs to re-baseline.
 #
@@ -32,3 +35,4 @@ fi
 go run ./cmd/benchjson "$@"
 go run ./cmd/benchjson -mode streaming
 go run ./cmd/benchjson -mode catalog
+go run ./cmd/benchjson -mode approx
