@@ -381,6 +381,89 @@ func BenchmarkSegmentationDP(b *testing.B) {
 	}
 }
 
+// BenchmarkVarCalcAllPair measures the AllPair variance design on the
+// covid total series: the O(n²) pair-distance prefix build into the flat
+// row-major table, and segment variance queries answered from the
+// finished table (one rectangle sum, as the segmentation DP issues them).
+func BenchmarkVarCalcAllPair(b *testing.B) {
+	d := datasets.CovidTotal()
+	u, err := explain.NewUniverse(d.Rel, explain.Config{
+		Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy, MaxOrder: d.MaxOrder,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp := segment.NewExplainer(u, segment.ExplainerConfig{M: 3})
+	n := u.NumTimestamps()
+
+	b.Run("prefix-build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Fresh calculator each iteration so the prefix table is
+			// rebuilt from scratch — the quantity being measured.
+			vc := segment.NewVarCalc(exp, segment.AllPair)
+			vc.Weighted(0, n-1)
+		}
+	})
+	b.Run("segment-query", func(b *testing.B) {
+		vc := segment.NewVarCalc(exp, segment.AllPair)
+		vc.Weighted(0, n-1) // materialize the prefix table once
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := (i * 31) % (n - 2)
+			z := a + 2 + (i*17)%(n-a-2)
+			vc.Weighted(a, z)
+		}
+	})
+}
+
+// BenchmarkGroupByFill isolates the two-pass group-by kernel on the
+// liquor explain-by columns: pass 1 (PlanGroupBy) discovers the groups
+// and records each row's slot, pass 2 (FillArena) scatters rows into a
+// group-major arena with three indexed loads per row.
+func BenchmarkGroupByFill(b *testing.B) {
+	d := datasets.Liquor()
+	var dims []int
+	for _, name := range d.ExplainBy {
+		dims = append(dims, d.Rel.DimIndex(name))
+	}
+	if len(dims) > 2 {
+		dims = dims[:2]
+	}
+	m := d.Rel.MeasureIndex(d.Measure)
+	T := d.Rel.NumTimestamps()
+	groups := d.Rel.PlanGroupBy(dims, m).NumGroups()
+	arena := make([]relation.SumCount, groups*T)
+
+	b.Run("plan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.Rel.PlanGroupBy(dims, m)
+		}
+	})
+	b.Run("plan+fill", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			clear(arena)
+			d.Rel.PlanGroupBy(dims, m).FillArena(arena, T)
+		}
+	})
+	b.Run("refill", func(b *testing.B) {
+		// A held plan re-derives slots from its maps (the rowSlot record
+		// is released after the first fill), exercising the packed-key
+		// lookup path that later fills and streaming appends take.
+		p := d.Rel.PlanGroupBy(dims, m)
+		p.FillArena(arena, T)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clear(arena)
+			p.FillArena(arena, T)
+		}
+	})
+}
+
 func BenchmarkBaselineBottomUp(b *testing.B) {
 	vals := synthSeries(b, 1600)
 	b.ResetTimer()

@@ -14,7 +14,11 @@
 // mode compares the append path's total and later-half latency plus the
 // append-vs-rebuild speedup; catalog mode compares per-dataset snapshot
 // restore latency and the restore-vs-rebuild speedup (warm restarts must
-// stay warm); approx mode gates the high-cardinality approximate path —
+// stay warm), plus — with -max-snapshot-csv-ratio — the absolute on-disk
+// footprint contract (snapshot ≤ that fraction of the source CSV); engine
+// mode additionally accepts -max-universe-build-ns, an absolute ns/op
+// ceiling on the liquor universe build; approx mode gates the
+// high-cardinality approximate path —
 // the approx-vs-exact speedup must hold its floor (at least 5x, and not
 // collapse relative to the baseline) and the reported error bound must
 // stay within the requested epsilon and above the measured error.
@@ -67,6 +71,8 @@ func main() {
 	current := flag.String("current", "", "freshly generated JSON to check")
 	maxLatency := flag.Float64("max-latency-ratio", 1.25, "fail when current/baseline latency exceeds this")
 	maxAllocs := flag.Float64("max-allocs-ratio", 2.0, "fail when current/baseline allocs/op exceeds this")
+	maxSnapshotCSVRatio := flag.Float64("max-snapshot-csv-ratio", 0, "catalog mode: fail when a dataset's snapshot_bytes/csv_bytes exceeds this (0 disables; the footprint contract is 0.5)")
+	maxUniverseBuildNs := flag.Float64("max-universe-build-ns", 0, "engine mode: absolute ns/op ceiling for PrecomputeLiquor (0 disables; machine-dependent, so CI sets it with headroom)")
 	flag.Parse()
 
 	if *baseline == "" {
@@ -89,11 +95,11 @@ func main() {
 	var err error
 	switch *mode {
 	case "engine":
-		violations, err = compareEngine(*baseline, *current, *maxLatency, *maxAllocs)
+		violations, err = compareEngine(*baseline, *current, *maxLatency, *maxAllocs, *maxUniverseBuildNs)
 	case "streaming":
 		violations, err = compareStreaming(*baseline, *current, *maxLatency)
 	case "catalog":
-		violations, err = compareCatalog(*baseline, *current, *maxLatency)
+		violations, err = compareCatalog(*baseline, *current, *maxLatency, *maxSnapshotCSVRatio)
 	case "approx":
 		violations, err = compareApprox(*baseline, *current, *maxLatency)
 	default:
@@ -148,7 +154,12 @@ func minByName(benches []Benchmark) map[string]Benchmark {
 	return out
 }
 
-func compareEngine(baselinePath, currentPath string, maxLatency, maxAllocs float64) ([]string, error) {
+// universeBuildBench is the benchmark the absolute build-time ceiling
+// applies to: the liquor candidate-universe precompute, the hot path the
+// columnar kernel exists for.
+const universeBuildBench = "PrecomputeLiquor"
+
+func compareEngine(baselinePath, currentPath string, maxLatency, maxAllocs, maxUniverseBuildNs float64) ([]string, error) {
 	var base, cur Report
 	if err := load(baselinePath, &base); err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
@@ -186,6 +197,21 @@ func compareEngine(baselinePath, currentPath string, maxLatency, maxAllocs float
 		if _, ok := baseBy[name]; !ok {
 			violations = append(violations, fmt.Sprintf(
 				"%s: missing from baseline %s (new benchmark — regenerate and commit the baseline)", name, baselinePath))
+		}
+	}
+	// Absolute universe-build ceiling: ratio gates only catch drift
+	// against the last committed baseline; this pins the hard floor the
+	// kernel speedups bought so they can never be re-spent one accepted
+	// re-baseline at a time.
+	if maxUniverseBuildNs > 0 {
+		c, ok := curBy[universeBuildBench]
+		if !ok {
+			violations = append(violations, fmt.Sprintf(
+				"%s: missing from current run (universe-build ceiling unverifiable)", universeBuildBench))
+		} else if c.NsPerOp > maxUniverseBuildNs {
+			violations = append(violations, fmt.Sprintf(
+				"%s: universe build %.0f ns/op exceeds absolute ceiling %.0f ns",
+				universeBuildBench, c.NsPerOp, maxUniverseBuildNs))
 		}
 	}
 	return violations, nil
@@ -230,6 +256,8 @@ func compareStreaming(baselinePath, currentPath string, maxLatency float64) ([]s
 // CatalogDataset and CatalogReport mirror BENCH_catalog.json.
 type CatalogDataset struct {
 	Name              string  `json:"name"`
+	CSVBytes          int64   `json:"csv_bytes"`
+	SnapshotBytes     int64   `json:"snapshot_bytes"`
 	ColdBuildNs       int64   `json:"cold_build_ns"`
 	SnapshotRestoreNs int64   `json:"snapshot_restore_ns"`
 	Speedup           float64 `json:"speedup"`
@@ -244,8 +272,11 @@ type CatalogReport struct {
 // baseline, and the restore-vs-rebuild speedup must not collapse (a
 // speedup sliding toward 1x means restarts stopped being warm). A
 // dataset present in the baseline but missing from the current run fails
-// the gate.
-func compareCatalog(baselinePath, currentPath string, maxLatency float64) ([]string, error) {
+// the gate. With maxSnapshotCSVRatio > 0 each dataset's snapshot must
+// also stay at or under that fraction of its source CSV — an absolute
+// footprint contract, deliberately not baseline-relative, so codec
+// regressions cannot be re-baselined into acceptance.
+func compareCatalog(baselinePath, currentPath string, maxLatency, maxSnapshotCSVRatio float64) ([]string, error) {
 	var base, cur CatalogReport
 	if err := load(baselinePath, &base); err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
@@ -287,6 +318,13 @@ func compareCatalog(baselinePath, currentPath string, maxLatency float64) ([]str
 		if !baseBy[c.Name] {
 			violations = append(violations, fmt.Sprintf(
 				"%s: missing from baseline %s (new dataset — regenerate and commit the baseline)", c.Name, baselinePath))
+		}
+		if maxSnapshotCSVRatio > 0 && c.CSVBytes > 0 {
+			if ratio := float64(c.SnapshotBytes) / float64(c.CSVBytes); ratio > maxSnapshotCSVRatio {
+				violations = append(violations, fmt.Sprintf(
+					"%s: snapshot %d bytes is %.3f× the %d-byte CSV (ceiling %.2f×)",
+					c.Name, c.SnapshotBytes, ratio, c.CSVBytes, maxSnapshotCSVRatio))
+			}
 		}
 	}
 	return violations, nil

@@ -28,12 +28,17 @@
 //	optimum per segment, and writes BENCH_approx.json with the speedup,
 //	the reported error bound, and the measured error.
 //
+// Every mode accepts -cpuprofile/-memprofile: micro mode forwards them to
+// `go test`, the in-process modes profile the replay directly, so the
+// exact workload a CI gate measures can be handed to `go tool pprof`.
+//
 // Usage:
 //
 //	go run ./cmd/benchjson [-bench regex] [-benchtime 2s] [-count 1] [-o BENCH_engine.json]
 //	go run ./cmd/benchjson -mode streaming [-replays 7] [-o BENCH_streaming.json]
 //	go run ./cmd/benchjson -mode catalog [-replays 5] [-o BENCH_catalog.json]
 //	go run ./cmd/benchjson -mode approx [-replays 3] [-o BENCH_approx.json]
+//	go run ./cmd/benchjson -mode catalog -cpuprofile cat.pprof -memprofile cat.mprof
 package main
 
 import (
@@ -47,6 +52,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -60,8 +66,10 @@ import (
 )
 
 // defaultBench covers the precompute-dominated and solver-dominated hot
-// paths that the columnar kernel and the allocation-free DP target.
-const defaultBench = "BenchmarkPrecompute|BenchmarkCascading|BenchmarkLiquor"
+// paths that the columnar kernel and the allocation-free DP target, plus
+// the group-by fill and AllPair prefix micro-benchmarks that watch the
+// flat-layout kernels directly.
+const defaultBench = "BenchmarkPrecompute|BenchmarkCascading|BenchmarkLiquor|BenchmarkVarCalc|BenchmarkGroupByFill"
 
 // Benchmark is one parsed `go test -bench` result line.
 type Benchmark struct {
@@ -98,6 +106,8 @@ func main() {
 	pkg := flag.String("pkg", ".", "package holding the benchmarks")
 	replays := flag.Int("replays", 7, "streaming/catalog modes: replay count (minimum is reported)")
 	out := flag.String("o", "", "output file ('-' for stdout; default depends on mode)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here (micro mode: forwarded to go test; other modes: profiles the replay in-process)")
+	memprofile := flag.String("memprofile", "", "write a heap profile here (micro mode: forwarded to go test; other modes: snapshots the heap after the replay)")
 	flag.Parse()
 
 	switch *mode {
@@ -105,7 +115,7 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_streaming.json"
 		}
-		if err := runStreaming(*out, *replays); err != nil {
+		if err := withProfiles(*cpuprofile, *memprofile, func() error { return runStreaming(*out, *replays) }); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -114,7 +124,7 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_catalog.json"
 		}
-		if err := runCatalog(*out, *replays); err != nil {
+		if err := withProfiles(*cpuprofile, *memprofile, func() error { return runCatalog(*out, *replays) }); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -123,7 +133,7 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_approx.json"
 		}
-		if err := runApprox(*out, *replays); err != nil {
+		if err := withProfiles(*cpuprofile, *memprofile, func() error { return runApprox(*out, *replays) }); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -143,8 +153,17 @@ func main() {
 		"-benchmem",
 		"-benchtime", *benchtime,
 		"-count", strconv.Itoa(*count),
-		*pkg,
 	}
+	// go test writes profiles next to the test binary unless given an
+	// absolute path; resolve so -cpuprofile benchjson.pprof lands where
+	// the user asked.
+	if *cpuprofile != "" {
+		args = append(args, "-cpuprofile", absPath(*cpuprofile))
+	}
+	if *memprofile != "" {
+		args = append(args, "-memprofile", absPath(*memprofile))
+	}
+	args = append(args, *pkg)
 	cmd := exec.Command("go", args...)
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout
@@ -207,6 +226,55 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+}
+
+// absPath resolves a profile path against the invocation directory, since
+// `go test` otherwise drops profiles next to the test binary.
+func absPath(p string) string {
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		return p
+	}
+	return abs
+}
+
+// withProfiles runs an in-process benchmark mode under the optional CPU
+// profiler and snapshots the heap afterwards — the workflow for chasing a
+// regression benchcmp flags: profile the same replay the gate measures,
+// then `go tool pprof` the output.
+func withProfiles(cpu, mem string, run func() error) error {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err == nil {
+				fmt.Fprintf(os.Stderr, "benchjson: wrote CPU profile %s\n", cpu)
+			}
+		}()
+	}
+	if err := run(); err != nil {
+		return err
+	}
+	if mem != "" {
+		runtime.GC() // settle the heap so the profile shows retained memory
+		f, err := os.Create(mem)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote heap profile %s\n", mem)
+	}
+	return nil
 }
 
 // streamStart is where the streaming replay switches from batch build to

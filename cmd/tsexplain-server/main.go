@@ -22,6 +22,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -39,6 +40,7 @@ func main() {
 	accessLog := flag.Bool("access-log", false, "write structured JSON request logs to stderr")
 	dataDir := flag.String("data-dir", "", "dataset catalog directory; empty serves built-in datasets only")
 	snapshot := flag.Bool("snapshot", true, "write/restore warm-restart snapshots for catalog datasets")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profile live traffic with go tool pprof)")
 	flag.Parse()
 
 	var logW io.Writer
@@ -60,9 +62,25 @@ func main() {
 		log.Fatalf("tsexplain-server: %v", err)
 	}
 
+	root := http.Handler(handler)
+	if *pprofOn {
+		// Mount the profiling handlers beside (not inside) the serving
+		// mux so they bypass worker pools, deadlines, and shedding — a
+		// profile of an overloaded server must still be reachable.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root = mux
+		log.Printf("TSExplain pprof at http://%s/debug/pprof/", *addr)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           handler,
+		Handler:           root,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	if *dataDir != "" {

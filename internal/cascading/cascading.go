@@ -69,7 +69,7 @@ type Solver struct {
 	memoGen   []uint32
 	curGen    uint32
 	reachBuf  []bool
-	marked    []int
+	marked    []int32
 	zeroVec   []float64
 
 	// Allocation-free hot path: memo DP vectors are carved out of one
@@ -274,14 +274,14 @@ func (s *Solver) solveScoredIDs(scores segmentScores, allowed []bool, ids []int)
 		}
 		reach := s.reachBuf[:n]
 		for _, id := range s.marked {
-			reach[id+1] = false
+			reach[int(id)+1] = false
 		}
 		s.marked = s.marked[:0]
 		mark := func(id int) {
 			for _, anc := range s.u.AncestorsOf(id) {
 				if !reach[anc+1] {
 					reach[anc+1] = true
-					s.marked = append(s.marked, anc)
+					s.marked = append(s.marked, int32(anc))
 				}
 			}
 		}
@@ -363,7 +363,7 @@ func (st *solveState) best(nodeID, depth int) []float64 {
 			if st.reach != nil && !st.reach[kid+1] {
 				continue
 			}
-			kb := st.best(kid, depth+1)
+			kb := st.best(int(kid), depth+1)
 			for q := m; q >= 1; q-- {
 				for take := 1; take <= q; take++ {
 					if v := dp[q-take] + kb[take]; v > dp[q] {
@@ -437,7 +437,7 @@ func (st *solveState) extract(nodeID, q, depth int, picked *[]int) {
 			dp[j] = 0
 		}
 		for k, kid := range kids {
-			kb := st.best(kid, depth+1)
+			kb := st.best(int(kid), depth+1)
 			prev, cur := dp[k*w:(k+1)*w], dp[(k+1)*w:(k+2)*w]
 			curTake := take[(k+1)*w : (k+2)*w]
 			for j := 0; j <= m; j++ {
@@ -456,7 +456,7 @@ func (st *solveState) extract(nodeID, q, depth int, picked *[]int) {
 			for k := len(kids); k >= 1; k-- {
 				x := take[k*w+j]
 				if x > 0 {
-					st.extract(kids[k-1], x, depth+1, picked)
+					st.extract(int(kids[k-1]), x, depth+1, picked)
 					j -= x
 				}
 			}

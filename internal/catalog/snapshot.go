@@ -2,10 +2,12 @@ package catalog
 
 import (
 	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc64"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -34,8 +36,19 @@ import (
 // rebuilds, it never serves a suspect snapshot.
 
 const (
-	snapContainerMagic   = "TSXSNAP"
-	snapContainerVersion = 1
+	snapContainerMagic = "TSXSNAP"
+	// v1 stores the codec payload raw; v2 flate-compresses it and appends
+	// the uncompressed length to the header (the checksum still covers the
+	// stored bytes, so integrity is verified before inflating). Writers
+	// compress only payloads up to snapCompressMaxBytes: small datasets
+	// are dominated by entropy the varint codec cannot remove (dictionary
+	// strings, near-random mantissas), while large ones (where restore
+	// latency is the product constraint) stay raw so the warm path never
+	// trades decode speed for disk bytes it does not need.
+	snapContainerVersion1 = 1
+	snapContainerVersion2 = 2
+	snapCompressMaxBytes  = 1 << 20
+	snapMaxPayloadBytes   = 1 << 31
 )
 
 // ErrSnapshotStale reports a snapshot whose CSV fingerprint no longer
@@ -101,18 +114,36 @@ func (c *Catalog) SaveSnapshot(name string, rel *relation.Relation, u *explain.U
 		return ErrSnapshotStale
 	}
 
+	version := byte(snapContainerVersion1)
+	stored := payload.Bytes()
+	if payload.Len() <= snapCompressMaxBytes {
+		var comp bytes.Buffer
+		fw, err := flate.NewWriter(&comp, flate.BestCompression)
+		if err == nil {
+			_, werr := fw.Write(stored)
+			if werr == nil && fw.Close() == nil && comp.Len() < payload.Len() {
+				version = snapContainerVersion2
+				stored = comp.Bytes()
+			}
+		}
+	}
+
 	var header bytes.Buffer
 	header.WriteString(snapContainerMagic)
-	header.WriteByte(snapContainerVersion)
+	header.WriteByte(version)
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(fp.Size))
 	header.Write(b[:])
 	binary.LittleEndian.PutUint64(b[:], uint64(fp.MTimeNS))
 	header.Write(b[:])
-	binary.LittleEndian.PutUint64(b[:], uint64(payload.Len()))
+	binary.LittleEndian.PutUint64(b[:], uint64(len(stored)))
 	header.Write(b[:])
-	binary.LittleEndian.PutUint64(b[:], crc64.Checksum(payload.Bytes(), crcTable))
+	binary.LittleEndian.PutUint64(b[:], crc64.Checksum(stored, crcTable))
 	header.Write(b[:])
+	if version == snapContainerVersion2 {
+		binary.LittleEndian.PutUint64(b[:], uint64(payload.Len()))
+		header.Write(b[:])
+	}
 
 	tmp, err := os.CreateTemp(c.path(name), ".snap-")
 	if err != nil {
@@ -120,7 +151,7 @@ func (c *Catalog) SaveSnapshot(name string, rel *relation.Relation, u *explain.U
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(header.Bytes()); err == nil {
-		_, err = tmp.Write(payload.Bytes())
+		_, err = tmp.Write(stored)
 	}
 	if err != nil {
 		tmp.Close()
@@ -151,20 +182,33 @@ func (c *Catalog) loadSnapshotPayload(name string) ([]byte, error) {
 		return nil, fmt.Errorf("catalog: snapshot has bad magic")
 	}
 	off := len(snapContainerMagic)
-	if v := raw[off]; v != snapContainerVersion {
-		return nil, fmt.Errorf("catalog: snapshot version %d unsupported (want %d)", v, snapContainerVersion)
+	version := raw[off]
+	if version != snapContainerVersion1 && version != snapContainerVersion2 {
+		return nil, fmt.Errorf("catalog: snapshot version %d unsupported (want %d or %d)",
+			version, snapContainerVersion1, snapContainerVersion2)
 	}
 	off++
 	csvSize := binary.LittleEndian.Uint64(raw[off:])
 	off += 8
 	csvMTime := binary.LittleEndian.Uint64(raw[off:])
 	off += 8
-	payloadLen := binary.LittleEndian.Uint64(raw[off:])
+	storedLen := binary.LittleEndian.Uint64(raw[off:])
 	off += 8
 	sum := binary.LittleEndian.Uint64(raw[off:])
 	off += 8
-	if uint64(len(raw)-off) != payloadLen {
-		return nil, fmt.Errorf("catalog: snapshot payload is %d bytes, header says %d", len(raw)-off, payloadLen)
+	var rawLen uint64
+	if version == snapContainerVersion2 {
+		if len(raw) < off+8 {
+			return nil, fmt.Errorf("catalog: snapshot truncated (%d bytes)", len(raw))
+		}
+		rawLen = binary.LittleEndian.Uint64(raw[off:])
+		off += 8
+		if rawLen > snapMaxPayloadBytes {
+			return nil, fmt.Errorf("catalog: snapshot payload length %d exceeds sanity cap", rawLen)
+		}
+	}
+	if uint64(len(raw)-off) != storedLen {
+		return nil, fmt.Errorf("catalog: snapshot payload is %d bytes, header says %d", len(raw)-off, storedLen)
 	}
 	payload := raw[off:]
 	if got := crc64.Checksum(payload, crcTable); got != sum {
@@ -176,6 +220,19 @@ func (c *Catalog) loadSnapshotPayload(name string) ([]byte, error) {
 	}
 	if uint64(st.Size()) != csvSize || uint64(st.ModTime().UnixNano()) != csvMTime {
 		return nil, ErrSnapshotStale
+	}
+	if version == snapContainerVersion2 {
+		fr := flate.NewReader(bytes.NewReader(payload))
+		defer fr.Close()
+		inflated := make([]byte, rawLen)
+		if _, err := io.ReadFull(fr, inflated); err != nil {
+			return nil, fmt.Errorf("catalog: inflating snapshot payload: %w", err)
+		}
+		var extra [1]byte
+		if n, _ := fr.Read(extra[:]); n != 0 {
+			return nil, fmt.Errorf("catalog: snapshot payload longer than header says")
+		}
+		payload = inflated
 	}
 	return payload, nil
 }
@@ -197,7 +254,7 @@ func (c *Catalog) LoadSnapshot(name string) (*relation.Relation, *explain.Univer
 	if err != nil {
 		return nil, nil, err
 	}
-	sr := relation.NewSnapReader(bytes.NewReader(payload))
+	sr := relation.NewSnapReaderBytes(payload)
 	rel := relation.DecodeSnapshot(sr)
 	if err := sr.Err(); err != nil {
 		return nil, nil, err
@@ -224,7 +281,7 @@ func (c *Catalog) LoadSnapshotRelation(name string) (*relation.Relation, error) 
 	if err != nil {
 		return nil, err
 	}
-	sr := relation.NewSnapReader(bytes.NewReader(payload))
+	sr := relation.NewSnapReaderBytes(payload)
 	rel := relation.DecodeSnapshot(sr)
 	if err := sr.Err(); err != nil {
 		return nil, err

@@ -118,7 +118,7 @@ func (u *Universe) Append() (AppendInfo, error) {
 	// occurs in the same rows), and appending in ascending ID order keeps
 	// every child list sorted without re-sorting.
 	if info.NewCandidates > 0 {
-		u.childrenByID = append(u.childrenByID, make([]map[int][]int, info.NewCandidates)...)
+		u.childrenFlat = append(u.childrenFlat, make([][][]uint32, info.NewCandidates)...)
 		for id := info.OldCandidates; id < len(u.cands); id++ {
 			c := u.cands[id]
 			for _, p := range c.Conj {
@@ -140,19 +140,11 @@ func (u *Universe) Append() (AppendInfo, error) {
 					}
 					parentID = pid + 1
 				}
-				if u.childrenByID[parentID] == nil {
-					u.childrenByID[parentID] = make(map[int][]int)
-				}
-				u.childrenByID[parentID][p.Dim] = append(u.childrenByID[parentID][p.Dim], id)
+				u.addChildFlat(parentID, p.Dim, uint32(id))
 			}
-			subs := conjSubsets(c.Conj)
-			anc := make([]int, 0, len(subs))
-			for _, sub := range subs {
-				if aid, ok := u.index.lookup(sub); ok {
-					anc = append(anc, aid)
-				}
-			}
-			u.ancestors = append(u.ancestors, anc)
+			// New candidates register at the tail, so extending the CSR
+			// ancestor closure in id order keeps the layout valid.
+			u.appendAncestors(c.Conj)
 		}
 	}
 

@@ -75,11 +75,11 @@ func sameUniverse(t *testing.T, ctx string, got, want *Universe) {
 		// Ancestor sets must agree through the conjunction mapping.
 		wantAnc := map[string]bool{}
 		for _, aid := range want.AncestorsOf(id) {
-			wantAnc[want.Candidate(aid).Conj.Key()] = true
+			wantAnc[want.Candidate(int(aid)).Conj.Key()] = true
 		}
 		gotAnc := map[string]bool{}
 		for _, aid := range got.AncestorsOf(gid) {
-			gotAnc[got.Candidate(aid).Conj.Key()] = true
+			gotAnc[got.Candidate(int(aid)).Conj.Key()] = true
 		}
 		if len(gotAnc) != len(wantAnc) {
 			t.Fatalf("%s: %s ancestors %v, want %v", ctx, wc.Conj.String(rel), gotAnc, wantAnc)
@@ -94,11 +94,11 @@ func sameUniverse(t *testing.T, ctx string, got, want *Universe) {
 	for _, dim := range want.ExplainBy() {
 		wantKids := map[string]bool{}
 		for _, id := range want.ChildrenOf(-1, dim) {
-			wantKids[want.Candidate(id).Conj.Key()] = true
+			wantKids[want.Candidate(int(id)).Conj.Key()] = true
 		}
 		gotKids := map[string]bool{}
 		for _, id := range got.ChildrenOf(-1, dim) {
-			gotKids[got.Candidate(id).Conj.Key()] = true
+			gotKids[got.Candidate(int(id)).Conj.Key()] = true
 		}
 		if len(gotKids) != len(wantKids) {
 			t.Fatalf("%s: root children over dim %d = %v, want %v", ctx, dim, gotKids, wantKids)

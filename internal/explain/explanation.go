@@ -49,13 +49,22 @@ type Universe struct {
 	// children[parentKey][dim] lists candidate IDs whose conjunction is the
 	// parent conjunction extended by one predicate over dim.
 	children map[string]map[int][]int
-	// childrenByID is the same adjacency keyed by parent candidate ID
-	// (index 0 is the root, index id+1 is candidate id), the form the
-	// Cascading Analysts hot path uses to avoid string keys.
-	childrenByID []map[int][]int
-	// ancestors[id] lists the candidate IDs of every non-empty
-	// sub-conjunction of candidate id (itself included).
-	ancestors [][]int
+	// childrenFlat is the same adjacency in the form the Cascading
+	// Analysts hot path walks: childrenFlat[parentID+1] (index 0 is the
+	// root) is nil for leaves, otherwise a slice indexed by explain-by
+	// dimension *position* holding that dimension's sorted child IDs as
+	// compact uint32 — no map, no string keys, half the id width.
+	childrenFlat [][][]uint32
+	// dimPos maps a relation dimension index to its position in explainBy
+	// (−1 when the dimension is not explained), the indirection that lets
+	// childrenFlat drop its per-node map.
+	dimPos []int32
+	// The ancestor closure (every non-empty sub-conjunction of a
+	// candidate, itself included) in CSR form: candidate id's ancestors
+	// are ancIDs[ancOff[id]:ancOff[id+1]]. Streaming appends only ever add
+	// candidates at the tail, so the CSR layout extends in place.
+	ancOff []uint32
+	ancIDs []uint32
 
 	// raw is the candidate-major series arena: candidate id's decomposed
 	// raw (pre-smoothing) series occupies raw[id*arenaCap : id*arenaCap+T].
@@ -116,43 +125,46 @@ type Config struct {
 // the hot paths never build a string; otherwise it transparently falls
 // back to the legacy Conjunction.Key() strings.
 type candIndex struct {
-	packed map[relation.PackedConj]int
-	str    map[string]int
+	// Candidate ids are stored as uint32 — candidate counts are bounded
+	// far below 2^32, and the narrower value type shrinks the map's bucket
+	// footprint on the enumerate/lookup hot path.
+	packed map[relation.PackedConj]uint32
+	str    map[string]uint32
 }
 
 func newCandIndex(r *relation.Relation, maxOrder int) *candIndex {
 	if relation.CanPackConjs(r, maxOrder) {
-		return &candIndex{packed: make(map[relation.PackedConj]int)}
+		return &candIndex{packed: make(map[relation.PackedConj]uint32)}
 	}
-	return &candIndex{str: make(map[string]int)}
+	return &candIndex{str: make(map[string]uint32)}
 }
 
 func (ix *candIndex) insert(c relation.Conjunction, id int) {
 	if ix.packed != nil {
 		if k, ok := relation.PackConj(c); ok {
-			ix.packed[k] = id
+			ix.packed[k] = uint32(id)
 			return
 		}
 		// Unreachable when newCandIndex vetted the relation; guard anyway.
-		ix.str = make(map[string]int)
+		ix.str = make(map[string]uint32)
 		for k, v := range ix.packed {
 			ix.str[k.Unpack().Key()] = v
 		}
 		ix.packed = nil
 	}
-	ix.str[c.Key()] = id
+	ix.str[c.Key()] = uint32(id)
 }
 
 func (ix *candIndex) lookup(c relation.Conjunction) (int, bool) {
 	if ix.packed != nil {
 		if k, ok := relation.PackConj(c); ok {
 			id, ok := ix.packed[k]
-			return id, ok
+			return int(id), ok
 		}
 		return 0, false
 	}
 	id, ok := ix.str[c.Key()]
-	return id, ok
+	return int(id), ok
 }
 
 // NewUniverse enumerates all candidate explanations of order ≤ β̄ that
@@ -296,9 +308,10 @@ func NewUniverse(r *relation.Relation, cfg Config) (*Universe, error) {
 // restored universe rebuilds this cheap derived state in memory instead
 // of persisting it.
 func (u *Universe) buildDerivedIndexes() {
+	u.initDimPos()
 	// Build the drill-down adjacency: each candidate of order β is a child
 	// of each of its β order-(β−1) prefixes, under the removed dimension.
-	u.childrenByID = make([]map[int][]int, len(u.cands)+1)
+	u.childrenFlat = make([][][]uint32, len(u.cands)+1)
 	for _, c := range u.cands {
 		for _, p := range c.Conj {
 			parent := c.Conj.Without(p.Dim)
@@ -320,16 +333,13 @@ func (u *Universe) buildDerivedIndexes() {
 				}
 				parentID = id + 1
 			}
-			if u.childrenByID[parentID] == nil {
-				u.childrenByID[parentID] = make(map[int][]int)
-			}
-			u.childrenByID[parentID][p.Dim] = append(u.childrenByID[parentID][p.Dim], c.ID)
+			u.addChildFlat(parentID, p.Dim, uint32(c.ID))
 		}
 	}
 	// Sort child lists once so the DP and its extraction never re-sort.
-	for _, byDim := range u.childrenByID {
-		for _, kids := range byDim {
-			sort.Ints(kids)
+	for _, byPos := range u.childrenFlat {
+		for _, kids := range byPos {
+			sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
 		}
 	}
 
@@ -337,17 +347,45 @@ func (u *Universe) buildDerivedIndexes() {
 	// sub-conjunction, itself included). The Cascading Analysts DP uses
 	// it to prune drill-down to subtrees that can still reach a
 	// selectable candidate.
-	u.ancestors = make([][]int, len(u.cands))
-	for id, c := range u.cands {
-		subs := conjSubsets(c.Conj)
-		anc := make([]int, 0, len(subs))
-		for _, sub := range subs {
-			if aid, ok := u.index.lookup(sub); ok {
-				anc = append(anc, aid)
-			}
-		}
-		u.ancestors[id] = anc
+	u.ancOff = make([]uint32, 1, len(u.cands)+1)
+	u.ancIDs = u.ancIDs[:0]
+	for _, c := range u.cands {
+		u.appendAncestors(c.Conj)
 	}
+}
+
+// initDimPos (re)builds the dimension-index → explain-by-position map.
+func (u *Universe) initDimPos() {
+	u.dimPos = make([]int32, u.rel.NumDims())
+	for i := range u.dimPos {
+		u.dimPos[i] = -1
+	}
+	for pos, d := range u.explainBy {
+		u.dimPos[d] = int32(pos)
+	}
+}
+
+// addChildFlat records child id under (parentID, dim) in the flat
+// adjacency, allocating the parent's per-dimension slot vector lazily.
+func (u *Universe) addChildFlat(parentID, dim int, id uint32) {
+	byPos := u.childrenFlat[parentID]
+	if byPos == nil {
+		byPos = make([][]uint32, len(u.explainBy))
+		u.childrenFlat[parentID] = byPos
+	}
+	pos := u.dimPos[dim]
+	byPos[pos] = append(byPos[pos], id)
+}
+
+// appendAncestors resolves conj's non-empty sub-conjunctions and appends
+// the closure as the next CSR row of (ancOff, ancIDs).
+func (u *Universe) appendAncestors(conj relation.Conjunction) {
+	for _, sub := range conjSubsets(conj) {
+		if aid, ok := u.index.lookup(sub); ok {
+			u.ancIDs = append(u.ancIDs, uint32(aid))
+		}
+	}
+	u.ancOff = append(u.ancOff, uint32(len(u.ancIDs)))
 }
 
 // conjSubsets enumerates every non-empty sub-conjunction of c (c itself
@@ -369,16 +407,22 @@ func conjSubsets(c relation.Conjunction) []relation.Conjunction {
 
 // AncestorsOf returns the candidate IDs of every non-empty
 // sub-conjunction of candidate id, id itself included.
-func (u *Universe) AncestorsOf(id int) []int { return u.ancestors[id] }
+func (u *Universe) AncestorsOf(id int) []uint32 {
+	return u.ancIDs[u.ancOff[id]:u.ancOff[id+1]]
+}
 
 // ChildrenOf returns the candidate IDs extending node nodeID (-1 for the
 // root) by one predicate over dimension dim, sorted ascending.
-func (u *Universe) ChildrenOf(nodeID, dim int) []int {
-	byDim := u.childrenByID[nodeID+1]
-	if byDim == nil {
+func (u *Universe) ChildrenOf(nodeID, dim int) []uint32 {
+	byPos := u.childrenFlat[nodeID+1]
+	if byPos == nil || dim >= len(u.dimPos) {
 		return nil
 	}
-	return byDim[dim]
+	pos := u.dimPos[dim]
+	if pos < 0 {
+		return nil
+	}
+	return byPos[pos]
 }
 
 // subsets returns all non-empty subsets of dims with size ≤ maxSize, each

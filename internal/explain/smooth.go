@@ -153,8 +153,10 @@ func (u *Universe) SliceTime(from, to int) (*Universe, error) {
 		// The drill-down adjacency and ancestor closure are positional
 		// over candidate IDs, which a time slice preserves, so the solver
 		// can run against the sliced universe directly.
-		childrenByID: u.childrenByID,
-		ancestors:    u.ancestors,
+		childrenFlat: u.childrenFlat,
+		dimPos:       u.dimPos,
+		ancOff:       u.ancOff,
+		ancIDs:       u.ancIDs,
 	}
 	out.cands = make([]*Candidate, len(u.cands))
 	for i, c := range u.cands {

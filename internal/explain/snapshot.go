@@ -23,8 +23,13 @@ import (
 // re-enumerates from the relation as before.
 
 const (
-	uniSnapMagic   = "TSXU"
-	uniSnapVersion = 1
+	uniSnapMagic = "TSXU"
+	// v1 stores the arena as raw (f64, f64) pairs; v2 stores each series
+	// through the relation codec's compact layouts (sparse zero-run +
+	// varint packing) and frames lengths as varints. Writers emit v2;
+	// readers accept both.
+	uniSnapVersion1 = 1
+	uniSnapVersion2 = 2
 )
 
 // WriteSnapshot encodes the universe's snapshot section: the query shape
@@ -45,15 +50,54 @@ func (u *Universe) WriteSnapshot(w io.Writer) error {
 // snapshot writer (the catalog writes the relation and universe sections
 // into one checksummed file).
 func (u *Universe) EncodeSnapshot(sw *relation.SnapWriter) error {
+	if err := u.snapshotable(); err != nil {
+		return err
+	}
+	T := len(u.total)
+	sw.Str(uniSnapMagic)
+	sw.U8(uniSnapVersion2)
+	sw.VStr(u.rel.Measure(u.measure).Name())
+	sw.U8(uint8(u.agg))
+	sw.Uvarint(uint64(len(u.explainBy)))
+	for _, d := range u.explainBy {
+		sw.VStr(u.rel.Dim(d).Name())
+	}
+	sw.U8(uint8(u.maxOrder))
+	sw.Uvarint(uint64(T))
+	sw.SumCountsV2(u.rawTotal[:T])
+	sw.Uvarint(uint64(len(u.cands)))
+	for _, c := range u.cands {
+		sw.U8(uint8(len(c.Conj)))
+		for _, p := range c.Conj {
+			sw.Uvarint(uint64(p.Dim))
+			sw.Uvarint(uint64(p.Value))
+		}
+	}
+	for id := range u.cands {
+		sw.SumCountsV2(u.raw[id*u.arenaCap : id*u.arenaCap+T])
+	}
+	return nil
+}
+
+func (u *Universe) snapshotable() error {
 	if u.smooth != nil {
 		return fmt.Errorf("explain: cannot snapshot a smoothed universe (snapshot the raw build)")
 	}
 	if u.raw == nil {
 		return fmt.Errorf("explain: cannot snapshot a derived universe (no series arena)")
 	}
+	return nil
+}
+
+// EncodeSnapshotV1 writes the legacy fixed-width v1 universe section for
+// cross-version tests and old readers.
+func (u *Universe) EncodeSnapshotV1(sw *relation.SnapWriter) error {
+	if err := u.snapshotable(); err != nil {
+		return err
+	}
 	T := len(u.total)
 	sw.Str(uniSnapMagic)
-	sw.U8(uniSnapVersion)
+	sw.U8(uniSnapVersion1)
 	sw.Str(u.rel.Measure(u.measure).Name())
 	sw.U8(uint8(u.agg))
 	sw.U32(uint32(len(u.explainBy)))
@@ -100,10 +144,22 @@ func DecodeUniverseSnapshot(sr *relation.SnapReader, rel *relation.Relation) (*U
 	if magic := sr.Str(); magic != uniSnapMagic {
 		return fail("bad magic %q", magic)
 	}
-	if v := sr.U8(); v != uniSnapVersion {
-		return fail("unsupported version %d (want %d)", v, uniSnapVersion)
+	version := sr.U8()
+	if version != uniSnapVersion1 && version != uniSnapVersion2 {
+		return fail("unsupported version %d (want %d or %d)", version, uniSnapVersion1, uniSnapVersion2)
 	}
-	measureName := sr.Str()
+	// v1 frames with fixed u32 lengths and raw series; v2 with varints
+	// and compact series. The shared decoding flow switches through these
+	// shims, so the validation logic exists once.
+	rdLen := sr.Len
+	rdStr := sr.Str
+	rdSeries := sr.SumCountsInto
+	if version == uniSnapVersion2 {
+		rdLen = sr.VLen
+		rdStr = sr.VStr
+		rdSeries = sr.SumCountsV2Into
+	}
+	measureName := rdStr()
 	m := rel.MeasureIndex(measureName)
 	if m < 0 {
 		return fail("measure %q not in relation", measureName)
@@ -112,13 +168,13 @@ func DecodeUniverseSnapshot(sr *relation.SnapReader, rel *relation.Relation) (*U
 	if agg != relation.Sum && agg != relation.Count && agg != relation.Avg {
 		return fail("unknown aggregate %d", agg)
 	}
-	nBy := sr.Len("explain-by count")
+	nBy := rdLen("explain-by count")
 	if sr.Err() != nil {
 		return nil, sr.Err()
 	}
 	explainBy := make([]int, 0, nBy)
 	for i := 0; i < nBy; i++ {
-		name := sr.Str()
+		name := rdStr()
 		d := rel.DimIndex(name)
 		if d < 0 {
 			return fail("explain-by attribute %q not in relation", name)
@@ -132,7 +188,7 @@ func DecodeUniverseSnapshot(sr *relation.SnapReader, rel *relation.Relation) (*U
 	if maxOrder < 1 || maxOrder > len(explainBy) {
 		return fail("order threshold %d out of range for %d attributes", maxOrder, len(explainBy))
 	}
-	T := sr.Len("series length")
+	T := rdLen("series length")
 	if sr.Err() != nil {
 		return nil, sr.Err()
 	}
@@ -151,10 +207,10 @@ func DecodeUniverseSnapshot(sr *relation.SnapReader, rel *relation.Relation) (*U
 		index:     newCandIndex(rel, maxOrder),
 		children:  make(map[string]map[int][]int),
 	}
-	sr.SumCountsInto(u.rawTotal)
+	rdSeries(u.rawTotal)
 	u.total = u.rawTotal
 
-	nCands := sr.Len("candidate count")
+	nCands := rdLen("candidate count")
 	if sr.Err() != nil {
 		return nil, sr.Err()
 	}
@@ -175,8 +231,17 @@ func DecodeUniverseSnapshot(sr *relation.SnapReader, rel *relation.Relation) (*U
 		}
 		conj := make(relation.Conjunction, order)
 		for i := range conj {
-			dim := int(sr.U32())
-			val := sr.U32()
+			var dim int
+			var val uint32
+			if version == uniSnapVersion2 {
+				d, v := sr.Uvarint(), sr.Uvarint()
+				if d > uint64(rel.NumDims()) || v > uint64(snapArenaCapEntries) {
+					return fail("candidate %d predicate out of range", id)
+				}
+				dim, val = int(d), uint32(v)
+			} else {
+				dim, val = int(sr.U32()), sr.U32()
+			}
 			if sr.Err() != nil {
 				return nil, sr.Err()
 			}
@@ -201,7 +266,7 @@ func DecodeUniverseSnapshot(sr *relation.SnapReader, rel *relation.Relation) (*U
 	u.raw = make([]relation.SumCount, nCands*T)
 	for id, c := range u.cands {
 		s := u.raw[id*T : id*T+T : (id+1)*T]
-		sr.SumCountsInto(s)
+		rdSeries(s)
 		c.Series = s
 	}
 	if err := sr.Err(); err != nil {

@@ -126,15 +126,20 @@ func (r *Relation) GroupBySeries(dims []int, m int) map[string][]SumCount {
 	vals := r.measures[m].vals
 	T := r.NumTimestamps()
 	ids := make([]uint32, len(dims))
+	buf := make([]byte, 0, len(dims)*8)
 	for row := 0; row < r.numRows; row++ {
 		for i, d := range dims {
 			ids[i] = r.DimID(d, row)
 		}
-		k := groupKey(dims, ids)
-		sc, ok := out[k]
+		// out[string(buf)] compiles to a map lookup without materializing
+		// the string, so the steady state (key already present) does not
+		// allocate; only the first row of each distinct group pays for the
+		// key string and the series.
+		buf = appendGroupKey(buf[:0], dims, ids)
+		sc, ok := out[string(buf)]
 		if !ok {
 			sc = make([]SumCount, T)
-			out[k] = sc
+			out[string(buf)] = sc
 		}
 		t := r.timeIdx[row]
 		sc[t].Sum += vals[row]
@@ -145,14 +150,20 @@ func (r *Relation) GroupBySeries(dims []int, m int) map[string][]SumCount {
 
 // groupKey encodes a (dims, ids) tuple as a compact byte-string key.
 func groupKey(dims []int, ids []uint32) string {
-	buf := make([]byte, 0, len(dims)*8)
+	return string(appendGroupKey(make([]byte, 0, len(dims)*8), dims, ids))
+}
+
+// appendGroupKey appends the groupKey encoding of (dims, ids) to buf and
+// returns the extended slice. Callers that reuse buf avoid allocating on
+// every encode.
+func appendGroupKey(buf []byte, dims []int, ids []uint32) []byte {
 	for i := range dims {
 		d, v := dims[i], ids[i]
 		buf = append(buf,
 			byte(d), byte(d>>8),
 			byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
-	return string(buf)
+	return buf
 }
 
 // DecodeGroupKey decodes a key produced by groupKey back into parallel

@@ -78,7 +78,18 @@ type GroupByPlan struct {
 	ids      []uint32 // slot-major id tuples, first-occurrence order
 	perm     []int32  // slot -> sorted group index (rank)
 	rankSlot []int32  // rank -> slot (inverse of perm)
+
+	// rowSlot records each scanned row's slot during pass 1, so the first
+	// arena fill is a pure array walk with no key packing or hashing. It
+	// is released after that fill (O(rows) transient state); later fills —
+	// and the streaming append path — go through the slot maps as before.
+	rowSlot []int32
 }
+
+// directTableMaxBits bounds the packed keyspace a direct-address slot
+// table may cover: 2^22 × 4 bytes = 16 MiB transient, the point past
+// which clearing the table costs more than hashing saves.
+const directTableMaxBits = 22
 
 // PlanGroupBy runs pass 1 of the columnar group-by kernel over the given
 // dimensions for measure m: it discovers every distinct id combination and
@@ -105,15 +116,45 @@ func (r *Relation) planGroupBy(dims []int, m int, forceFallback bool) *GroupByPl
 	}
 	p.packed = totalBits <= 64 && !forceFallback
 
+	p.rowSlot = make([]int32, r.numRows)
 	if p.packed {
 		p.slots = make(map[uint64]int32, 64)
-		for row := 0; row < r.numRows; row++ {
-			k := p.rowKey(row)
-			if _, ok := p.slots[k]; !ok {
-				p.slots[k] = int32(len(p.slots))
-				for _, d := range dims {
-					p.ids = append(p.ids, r.dims[d].ids[row])
+		// When the packed keyspace is small enough, slot discovery runs
+		// against a direct-address table instead of the map: one bounds-
+		// checked load per row. The map is still populated per distinct
+		// group (cheap — groups ≪ rows) because the streaming append path
+		// keys through it after the table is released.
+		if tableSize := 1 << totalBits; totalBits <= directTableMaxBits &&
+			(totalBits <= 16 || tableSize <= 8*r.numRows) {
+			table := make([]int32, tableSize)
+			for i := range table {
+				table[i] = -1
+			}
+			for row := 0; row < r.numRows; row++ {
+				k := p.rowKey(row)
+				s := table[k]
+				if s < 0 {
+					s = int32(len(p.slots))
+					table[k] = s
+					p.slots[k] = s
+					for _, d := range dims {
+						p.ids = append(p.ids, r.dims[d].ids[row])
+					}
 				}
+				p.rowSlot[row] = s
+			}
+		} else {
+			for row := 0; row < r.numRows; row++ {
+				k := p.rowKey(row)
+				s, ok := p.slots[k]
+				if !ok {
+					s = int32(len(p.slots))
+					p.slots[k] = s
+					for _, d := range dims {
+						p.ids = append(p.ids, r.dims[d].ids[row])
+					}
+				}
+				p.rowSlot[row] = s
 			}
 		}
 	} else {
@@ -121,12 +162,15 @@ func (r *Relation) planGroupBy(dims []int, m int, forceFallback bool) *GroupByPl
 		buf := make([]byte, 0, len(dims)*4)
 		for row := 0; row < r.numRows; row++ {
 			buf = p.rowFallbackKey(buf, row)
-			if _, ok := p.sslots[string(buf)]; !ok {
-				p.sslots[string(buf)] = int32(len(p.sslots))
+			s, ok := p.sslots[string(buf)]
+			if !ok {
+				s = int32(len(p.sslots))
+				p.sslots[string(buf)] = s
 				for _, d := range dims {
 					p.ids = append(p.ids, r.dims[d].ids[row])
 				}
 			}
+			p.rowSlot[row] = s
 		}
 	}
 
@@ -370,6 +414,22 @@ func (p *GroupByPlan) FillArena(arena []SumCount, stride int) {
 		panic("relation: GroupByPlan.FillArena arena too small for stride")
 	}
 	vals := r.measures[p.m].vals
+	// The common one-shot flow (plan, then fill once) takes the recorded-
+	// slot path: no key packing, no hashing — three indexed loads and one
+	// accumulate per row. The record is released afterwards so holding a
+	// plan stays O(groups); any later fill re-derives slots from the maps,
+	// producing identical output (same rows, same accumulation order).
+	if rowSlot := p.rowSlot; rowSlot != nil && len(rowSlot) == r.numRows {
+		perm, timeIdx := p.perm, r.timeIdx
+		for row := 0; row < r.numRows; row++ {
+			g := perm[rowSlot[row]]
+			sc := &arena[int(g)*stride+int(timeIdx[row])]
+			sc.Sum += vals[row]
+			sc.Count++
+		}
+		p.rowSlot = nil
+		return
+	}
 	if p.packed {
 		for row := 0; row < r.numRows; row++ {
 			g := p.perm[p.slots[p.rowKey(row)]]

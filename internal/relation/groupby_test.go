@@ -149,6 +149,42 @@ func TestGroupByEmptyDims(t *testing.T) {
 	}
 }
 
+// TestGroupBySeriesSteadyStateAllocs proves the legacy fallback kernel no
+// longer allocates per row: doubling the row count (same groups) must not
+// change the allocation count, which stays proportional to the number of
+// distinct groups only.
+func TestGroupBySeriesSteadyStateAllocs(t *testing.T) {
+	build := func(reps int) *Relation {
+		b := NewBuilder("g", "d", []string{"s", "c"}, []string{"m"})
+		for rep := 0; rep < reps; rep++ {
+			for _, row := range []struct {
+				d, s, c string
+				m       float64
+			}{
+				{"1", "a", "x", 1}, {"1", "b", "y", 2},
+				{"2", "a", "x", 3}, {"2", "b", "y", 4},
+			} {
+				if err := b.Append(row.d, []string{row.s, row.c}, []float64{row.m}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		r, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	small, large := build(50), build(100)
+	dims := []int{0, 1}
+	allocsSmall := testing.AllocsPerRun(20, func() { small.GroupBySeries(dims, 0) })
+	allocsLarge := testing.AllocsPerRun(20, func() { large.GroupBySeries(dims, 0) })
+	if allocsLarge != allocsSmall {
+		t.Fatalf("GroupBySeries allocs scale with rows: %v allocs at 200 rows vs %v at 400",
+			allocsSmall, allocsLarge)
+	}
+}
+
 func TestBitsFor(t *testing.T) {
 	cases := map[int]uint{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 256: 8, 257: 9, 65536: 16}
 	for card, want := range cases {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 )
 
 // This file implements the relation half of the warm-restart snapshot
@@ -22,8 +23,14 @@ import (
 // guessing, so a format change never silently mis-decodes old files —
 // callers fall back to rebuilding from the source data.
 const (
-	relSnapMagic   = "TSXR"
-	relSnapVersion = 1
+	relSnapMagic = "TSXR"
+	// relSnapVersion1 is the original fixed-width layout; relSnapVersion2
+	// is the compact layout (varint lengths and id columns, delta-coded
+	// time indexes, integral measure columns as zigzag varints). Writers
+	// emit v2; readers accept both so existing snapshot files keep
+	// restoring.
+	relSnapVersion1 = 1
+	relSnapVersion2 = 2
 )
 
 // snapMaxLen caps every decoded length field (strings, row counts, column
@@ -92,6 +99,262 @@ func (sw *SnapWriter) SumCounts(s []SumCount) {
 	}
 }
 
+// Uvarint emits v in LEB128 variable-width encoding (1 byte for values
+// < 128), the workhorse of the v2 codec's length and id fields.
+func (sw *SnapWriter) Uvarint(v uint64) {
+	if sw.err != nil {
+		return
+	}
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	sw.bytes(b[:n])
+}
+
+// Varint emits v zigzag-encoded so small magnitudes of either sign stay
+// short; the v2 codec uses it for deltas and integral measure values.
+func (sw *SnapWriter) Varint(v int64) {
+	if sw.err != nil {
+		return
+	}
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(b[:], v)
+	sw.bytes(b[:n])
+}
+
+// VStr emits a string with a uvarint length prefix (v2 framing).
+func (sw *SnapWriter) VStr(s string) {
+	sw.Uvarint(uint64(len(s)))
+	sw.bytes([]byte(s))
+}
+
+// integralF64 reports whether v survives a round trip through int64
+// exactly: an integer of magnitude ≤ 2^53 that is not negative zero (the
+// int64 round trip would silently flip -0.0 to +0.0, breaking the codec's
+// bit-identity contract).
+func integralF64(v float64) bool {
+	return v == math.Trunc(v) && v >= -(1<<53) && v <= 1<<53 &&
+		!(v == 0 && math.Signbit(v))
+}
+
+// uvarintLen returns the encoded size of v in bytes.
+func uvarintLen(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+// zigzag mirrors the transform binary.PutVarint applies.
+func zigzag(v int64) uint64 { return uint64(v)<<1 ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// pow10tab backs the decimal float codec; decimalEscape in the exponent
+// nibble marks a value that did not verify and is stored as raw bits.
+var pow10tab = [15]float64{1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14}
+
+const decimalEscape = 15
+
+// decimalF64 finds the smallest e with v == float64(m) / 10^e reproduced
+// BIT-exactly (verified by re-dividing, so double rounding can never slip
+// through). Data ingested from decimal text — CSV measures and their
+// sums — almost always verifies with a short mantissa, turning an 8-byte
+// float into a 2–4 byte varint.
+func decimalF64(v float64) (m int64, e int, ok bool) {
+	for e = 0; e < len(pow10tab); e++ {
+		s := v * pow10tab[e]
+		if s != math.Trunc(s) || s < -(1<<53) || s > 1<<53 {
+			continue
+		}
+		m = int64(s)
+		if math.Float64bits(float64(m)/pow10tab[e]) == math.Float64bits(v) {
+			return m, e, true
+		}
+	}
+	return 0, 0, false
+}
+
+// decimalF64Len returns DecimalF64's encoded size for v in bytes.
+func decimalF64Len(v float64) int {
+	if m, _, ok := decimalF64(v); ok {
+		return uvarintLen(zigzag(m)<<4 | 1)
+	}
+	return 9
+}
+
+// DecimalF64 emits one float in the decimal-mantissa encoding: a single
+// uvarint packing zigzag(mantissa)<<4 | exponent, or an escape nibble
+// followed by the raw IEEE bits when no exact decimal form exists.
+func (sw *SnapWriter) DecimalF64(v float64) {
+	if m, e, ok := decimalF64(v); ok {
+		sw.Uvarint(zigzag(m)<<4 | uint64(e))
+		return
+	}
+	sw.Uvarint(decimalEscape)
+	sw.F64(v)
+}
+
+// DecimalF64 decodes the counterpart of SnapWriter.DecimalF64.
+func (sr *SnapReader) DecimalF64() float64 {
+	u := sr.Uvarint()
+	e := u & 15
+	if e == decimalEscape {
+		return sr.F64()
+	}
+	return float64(unzigzag(u>>4)) / pow10tab[e]
+}
+
+// F64Column encodes a float64 column under the cheapest of three layouts,
+// all bit-exact: flag 1 zigzag varints when every value is integral, flag
+// 2 decimal-mantissa varints (short CSV-style decimals, raw escapes for
+// the rest), or flag 0 raw IEEE bits.
+func (sw *SnapWriter) F64Column(vals []float64) {
+	integral := true
+	costInt, costDec := 0, 0
+	for _, v := range vals {
+		if integral && integralF64(v) {
+			costInt += uvarintLen(zigzag(int64(v)))
+		} else {
+			integral = false
+		}
+		costDec += decimalF64Len(v)
+	}
+	costRaw := 8 * len(vals)
+	switch {
+	case integral && costInt <= costDec && costInt < costRaw:
+		sw.U8(1)
+		for _, v := range vals {
+			sw.Varint(int64(v))
+		}
+	case costDec < costRaw:
+		sw.U8(2)
+		for _, v := range vals {
+			sw.DecimalF64(v)
+		}
+	default:
+		sw.U8(0)
+		for _, v := range vals {
+			sw.F64(v)
+		}
+	}
+}
+
+// Series layout tags for SumCountsV2: a dense raw fallback plus varint
+// and sparse layouts. "Integral" layouts require every stored value to
+// pass integralF64; "sparse" layouts store only entries whose Sum and
+// Count are both exactly +0x0 bits (so -0.0 never masquerades as absent).
+const (
+	scDenseRaw        = 0 // T × (f64 sum, f64 count)
+	scDenseIntegral   = 1 // T × (varint sum, uvarint count)
+	scSparseIntegral  = 2 // nnz × (uvarint gap, varint sum, uvarint count)
+	scSparseRawSum    = 3 // nnz × (uvarint gap, f64 sum, uvarint count)
+	scSparseRaw       = 4 // nnz × (uvarint gap, f64 sum, f64 count)
+	scSparseDecimal   = 5 // nnz × (uvarint gap, decimal sum, uvarint count)
+	scMaxLayout       = scSparseDecimal
+	scSparseOverheadB = 5 // uvarint nnz budgeted generously in cost math
+)
+
+// scZero reports a truly absent entry: both fields bit-equal to +0.0.
+func scZero(s SumCount) bool {
+	return math.Float64bits(s.Sum) == 0 && math.Float64bits(s.Count) == 0
+}
+
+// SumCountsV2 encodes a decomposed-aggregate series in the v2 layout that
+// costs the fewest bytes while staying bit-exact: candidate slices are
+// mostly zero (sparse layouts skip the zeros) and counts — often sums too
+// — are small integers (varints shrink them). A one-byte layout tag keeps
+// the decoder branch-free per series.
+func (sw *SnapWriter) SumCountsV2(s []SumCount) {
+	nnz := 0
+	nzIntegral, cntIntegral := true, true
+	denseIntegral := true
+	var costDenseInt, costSparseInt, costSparseRawSum, costSparseDec int
+	for i := range s {
+		if scZero(s[i]) {
+			costDenseInt += 2 // varint 0 + uvarint 0
+			continue
+		}
+		nnz++
+		sumInt := integralF64(s[i].Sum)
+		countInt := integralF64(s[i].Count) && s[i].Count >= 0
+		if !sumInt {
+			nzIntegral, denseIntegral = false, false
+		}
+		if !countInt {
+			cntIntegral, denseIntegral = false, false
+			nzIntegral = false
+		}
+		if sumInt {
+			sl := uvarintLen(zigzag(int64(s[i].Sum)))
+			costDenseInt += sl
+			costSparseInt += sl
+		}
+		costSparseDec += decimalF64Len(s[i].Sum)
+		if countInt {
+			cl := uvarintLen(uint64(s[i].Count))
+			costDenseInt += cl
+			costSparseInt += cl
+			costSparseRawSum += cl
+			costSparseDec += cl
+		}
+	}
+	// Gap bytes: almost always 1 each; budget 2 to stay conservative.
+	costSparseInt += scSparseOverheadB + 2*nnz
+	costSparseRawSum += scSparseOverheadB + 2*nnz + 8*nnz
+	costSparseDec += scSparseOverheadB + 2*nnz
+	costSparseRaw := scSparseOverheadB + 2*nnz + 16*nnz
+	costDenseRaw := 16 * len(s)
+
+	layout := scDenseRaw
+	best := costDenseRaw
+	if denseIntegral && costDenseInt < best {
+		layout, best = scDenseIntegral, costDenseInt
+	}
+	if nzIntegral && costSparseInt < best {
+		layout, best = scSparseIntegral, costSparseInt
+	}
+	if cntIntegral && costSparseRawSum < best {
+		layout, best = scSparseRawSum, costSparseRawSum
+	}
+	if cntIntegral && costSparseDec < best {
+		layout, best = scSparseDecimal, costSparseDec
+	}
+	if costSparseRaw < best {
+		layout = scSparseRaw
+	}
+
+	sw.U8(uint8(layout))
+	switch layout {
+	case scDenseRaw:
+		sw.SumCounts(s)
+	case scDenseIntegral:
+		for i := range s {
+			sw.Varint(int64(s[i].Sum))
+			sw.Uvarint(uint64(s[i].Count))
+		}
+	default:
+		sw.Uvarint(uint64(nnz))
+		prev := -1
+		for i := range s {
+			if scZero(s[i]) {
+				continue
+			}
+			sw.Uvarint(uint64(i - prev - 1))
+			prev = i
+			switch layout {
+			case scSparseIntegral:
+				sw.Varint(int64(s[i].Sum))
+				sw.Uvarint(uint64(s[i].Count))
+			case scSparseRawSum:
+				sw.F64(s[i].Sum)
+				sw.Uvarint(uint64(s[i].Count))
+			case scSparseDecimal:
+				sw.DecimalF64(s[i].Sum)
+				sw.Uvarint(uint64(s[i].Count))
+			default:
+				sw.F64(s[i].Sum)
+				sw.F64(s[i].Count)
+			}
+		}
+	}
+}
+
 // Flush drains the buffer and reports the first error encountered.
 func (sw *SnapWriter) Flush() error {
 	if sw.err != nil {
@@ -102,9 +365,14 @@ func (sw *SnapWriter) Flush() error {
 
 // SnapReader is the decoding counterpart of SnapWriter: little-endian
 // primitives over a buffered reader, with sticky errors and length
-// sanity caps.
+// sanity caps. When the whole payload is already in memory (the catalog
+// restore path), NewSnapReaderBytes decodes straight off the slice —
+// no bufio indirection, no per-varint ReadByte calls — which is what
+// keeps warm restores fast now that v2 payloads are varint-dense.
 type SnapReader struct {
 	r       *bufio.Reader
+	buf     []byte // non-nil → direct slice decoding via pos
+	pos     int
 	err     error
 	scratch [8]byte // fixed-width reads decode through here, allocation-free
 }
@@ -113,9 +381,26 @@ type SnapReader struct {
 // NewSnapWriter.
 func NewSnapReader(r io.Reader) *SnapReader { return &SnapReader{r: bufio.NewReader(r)} }
 
+// NewSnapReaderBytes returns a snapshot reader decoding directly from an
+// in-memory payload.
+func NewSnapReaderBytes(b []byte) *SnapReader { return &SnapReader{buf: b} }
+
+func (sr *SnapReader) truncated() {
+	sr.err = fmt.Errorf("relation: snapshot truncated: %w", io.ErrUnexpectedEOF)
+}
+
 func (sr *SnapReader) bytes(n int) []byte {
 	if sr.err != nil {
 		return nil
+	}
+	if sr.buf != nil {
+		if n < 0 || len(sr.buf)-sr.pos < n {
+			sr.truncated()
+			return nil
+		}
+		b := sr.buf[sr.pos : sr.pos+n]
+		sr.pos += n
+		return b
 	}
 	b := sr.scratch[:]
 	if n > len(sr.scratch) {
@@ -164,6 +449,19 @@ func (sr *SnapReader) SumCountsInto(dst []SumCount) {
 	if sr.err != nil {
 		return
 	}
+	if sr.buf != nil {
+		if (len(sr.buf)-sr.pos)/16 < len(dst) {
+			sr.truncated()
+			return
+		}
+		b := sr.buf[sr.pos:]
+		for i := range dst {
+			dst[i].Sum = math.Float64frombits(binary.LittleEndian.Uint64(b[i*16:]))
+			dst[i].Count = math.Float64frombits(binary.LittleEndian.Uint64(b[i*16+8:]))
+		}
+		sr.pos += len(dst) * 16
+		return
+	}
 	var b [16]byte
 	for i := range dst {
 		if _, err := io.ReadFull(sr.r, b[:]); err != nil {
@@ -194,6 +492,158 @@ func (sr *SnapReader) Str() string {
 	return string(b)
 }
 
+// Uvarint decodes a LEB128 unsigned value (v2 counterpart of Uvarint).
+func (sr *SnapReader) Uvarint() uint64 {
+	if sr.err != nil {
+		return 0
+	}
+	if sr.buf != nil {
+		v, n := binary.Uvarint(sr.buf[sr.pos:])
+		if n <= 0 {
+			sr.err = fmt.Errorf("relation: snapshot: bad varint")
+			return 0
+		}
+		sr.pos += n
+		return v
+	}
+	v, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		sr.err = fmt.Errorf("relation: snapshot truncated varint: %w", err)
+		return 0
+	}
+	return v
+}
+
+// Varint decodes a zigzag varint (v2 counterpart of Varint).
+func (sr *SnapReader) Varint() int64 {
+	if sr.err != nil {
+		return 0
+	}
+	if sr.buf != nil {
+		v, n := binary.Varint(sr.buf[sr.pos:])
+		if n <= 0 {
+			sr.err = fmt.Errorf("relation: snapshot: bad varint")
+			return 0
+		}
+		sr.pos += n
+		return v
+	}
+	v, err := binary.ReadVarint(sr.r)
+	if err != nil {
+		sr.err = fmt.Errorf("relation: snapshot truncated varint: %w", err)
+		return 0
+	}
+	return v
+}
+
+// VLen decodes a uvarint length field under the same sanity cap as Len.
+func (sr *SnapReader) VLen(what string) int {
+	n := sr.Uvarint()
+	if sr.err == nil && n > snapMaxLen {
+		sr.err = fmt.Errorf("relation: snapshot %s length %d exceeds sanity cap", what, n)
+	}
+	return int(n)
+}
+
+// VStr decodes a uvarint-length-prefixed string (v2 framing).
+func (sr *SnapReader) VStr() string {
+	n := sr.VLen("string")
+	b := sr.bytes(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// F64ColumnInto decodes a column written by F64Column into dst.
+func (sr *SnapReader) F64ColumnInto(dst []float64) {
+	switch flag := sr.U8(); flag {
+	case 1:
+		for i := range dst {
+			dst[i] = float64(sr.Varint())
+		}
+	case 2:
+		for i := range dst {
+			dst[i] = sr.DecimalF64()
+		}
+	case 0:
+		for i := range dst {
+			dst[i] = sr.F64()
+		}
+	default:
+		if sr.err == nil {
+			sr.err = fmt.Errorf("relation: snapshot: unknown float column flag %d", flag)
+		}
+	}
+}
+
+// SumCountsV2Into decodes a series written by SumCountsV2 into dst, which
+// must already be sized to the series length (sparse layouts rely on it
+// to bound indexes). dst is zeroed first so absent sparse entries decode
+// to exact +0.0 pairs.
+func (sr *SnapReader) SumCountsV2Into(dst []SumCount) {
+	layout := sr.U8()
+	if sr.err != nil {
+		return
+	}
+	switch layout {
+	case scDenseRaw:
+		sr.SumCountsInto(dst)
+		return
+	case scDenseIntegral:
+		for i := range dst {
+			dst[i].Sum = float64(sr.Varint())
+			dst[i].Count = float64(sr.Uvarint())
+		}
+		return
+	case scSparseIntegral, scSparseRawSum, scSparseRaw, scSparseDecimal:
+	default:
+		sr.err = fmt.Errorf("relation: snapshot: unknown series layout %d", layout)
+		return
+	}
+	for i := range dst {
+		dst[i] = SumCount{}
+	}
+	nnz := sr.VLen("series entries")
+	if sr.err != nil {
+		return
+	}
+	if nnz > len(dst) {
+		sr.err = fmt.Errorf("relation: snapshot: %d sparse entries exceed series length %d", nnz, len(dst))
+		return
+	}
+	idx := -1
+	for k := 0; k < nnz; k++ {
+		gap := sr.Uvarint()
+		if sr.err != nil {
+			return
+		}
+		if gap > uint64(len(dst)) {
+			sr.err = fmt.Errorf("relation: snapshot: sparse gap %d exceeds series length %d", gap, len(dst))
+			return
+		}
+		idx += int(gap) + 1
+		if idx < 0 || idx >= len(dst) {
+			sr.err = fmt.Errorf("relation: snapshot: sparse entry index %d out of series of %d", idx, len(dst))
+			return
+		}
+		switch layout {
+		case scSparseIntegral:
+			dst[idx].Sum = float64(sr.Varint())
+			dst[idx].Count = float64(sr.Uvarint())
+		case scSparseRawSum:
+			dst[idx].Sum = sr.F64()
+			dst[idx].Count = float64(sr.Uvarint())
+		case scSparseDecimal:
+			dst[idx].Sum = sr.DecimalF64()
+			dst[idx].Count = float64(sr.Uvarint())
+		default:
+			dst[idx].Sum = sr.F64()
+			dst[idx].Count = sr.F64()
+		}
+	}
+}
+
 // Err returns the first decoding error, if any.
 func (sr *SnapReader) Err() error { return sr.err }
 
@@ -217,7 +667,47 @@ func (r *Relation) EncodeSnapshot(sw *SnapWriter) { r.encodeSnapshot(sw) }
 
 func (r *Relation) encodeSnapshot(sw *SnapWriter) {
 	sw.bytes([]byte(relSnapMagic))
-	sw.U8(relSnapVersion)
+	sw.U8(relSnapVersion2)
+	sw.VStr(r.name)
+	sw.VStr(r.timeName)
+	sw.Uvarint(uint64(r.numRows))
+	sw.Uvarint(uint64(len(r.timeLabels)))
+	for _, l := range r.timeLabels {
+		sw.VStr(l)
+	}
+	// Rows arrive in (nearly) time order, so deltas between consecutive
+	// time indexes are tiny — zigzag varints make the column ~1 byte/row.
+	prev := int64(0)
+	for _, t := range r.timeIdx {
+		sw.Varint(int64(t) - prev)
+		prev = int64(t)
+	}
+	sw.Uvarint(uint64(len(r.dims)))
+	for _, d := range r.dims {
+		sw.VStr(d.name)
+		sw.Uvarint(uint64(len(d.dict)))
+		for _, v := range d.dict {
+			sw.VStr(v)
+		}
+		// Dictionary ids are bounded by the cardinality, so uvarints cut
+		// the dominant id columns to 1–2 bytes per row.
+		for _, id := range d.ids {
+			sw.Uvarint(uint64(id))
+		}
+	}
+	sw.Uvarint(uint64(len(r.measures)))
+	for _, m := range r.measures {
+		sw.VStr(m.name)
+		sw.F64Column(m.vals)
+	}
+}
+
+// EncodeSnapshotV1 writes the legacy fixed-width v1 relation section. It
+// exists so cross-version tests (and any tool that must produce files for
+// old readers) can still emit the format v1-era deployments understand.
+func (r *Relation) EncodeSnapshotV1(sw *SnapWriter) {
+	sw.bytes([]byte(relSnapMagic))
+	sw.U8(relSnapVersion1)
 	sw.Str(r.name)
 	sw.Str(r.timeName)
 	sw.U32(uint32(r.numRows))
@@ -278,22 +768,32 @@ func decodeSnapshot(sr *SnapReader) *Relation {
 	if magic := sr.bytes(len(relSnapMagic)); string(magic) != relSnapMagic {
 		return fail("bad magic %q", magic)
 	}
-	if v := sr.U8(); v != relSnapVersion {
-		return fail("unsupported version %d (want %d)", v, relSnapVersion)
+	version := sr.U8()
+	if version != relSnapVersion1 && version != relSnapVersion2 {
+		return fail("unsupported version %d (want %d or %d)", version, relSnapVersion1, relSnapVersion2)
+	}
+	// v1 frames lengths/strings as fixed u32; v2 as varints. Everything
+	// else — field order, validation — is identical, so one decoding flow
+	// handles both through these two shims.
+	rdLen := sr.Len
+	rdStr := sr.Str
+	if version == relSnapVersion2 {
+		rdLen = sr.VLen
+		rdStr = sr.VStr
 	}
 	r := &Relation{
-		name:     sr.Str(),
-		timeName: sr.Str(),
+		name:     rdStr(),
+		timeName: rdStr(),
 	}
-	r.numRows = sr.Len("row count")
-	nLabels := sr.Len("time labels")
+	r.numRows = rdLen("row count")
+	nLabels := rdLen("time labels")
 	if sr.err != nil {
 		return nil
 	}
 	r.timeLabels = make([]string, nLabels)
 	r.timePos = make(map[string]int32, nLabels)
 	for i := range r.timeLabels {
-		l := sr.Str()
+		l := rdStr()
 		if _, dup := r.timePos[l]; dup && sr.err == nil {
 			return fail("duplicate time label %q", l)
 		}
@@ -301,31 +801,38 @@ func decodeSnapshot(sr *SnapReader) *Relation {
 		r.timePos[l] = int32(i)
 	}
 	r.timeIdx = make([]int32, r.numRows)
+	prev := int64(0)
 	for i := range r.timeIdx {
-		t := sr.U32()
-		if int(t) >= nLabels && sr.err == nil {
+		var t int64
+		if version == relSnapVersion2 {
+			t = prev + sr.Varint()
+			prev = t
+		} else {
+			t = int64(sr.U32())
+		}
+		if (t < 0 || t >= int64(nLabels)) && sr.err == nil {
 			return fail("row %d time index %d out of range (%d labels)", i, t, nLabels)
 		}
 		r.timeIdx[i] = int32(t)
 	}
-	nDims := sr.Len("dimension count")
+	nDims := rdLen("dimension count")
 	if sr.err != nil {
 		return nil
 	}
 	r.dimByName = make(map[string]int, nDims)
 	for di := 0; di < nDims; di++ {
-		col := &DimColumn{name: sr.Str()}
+		col := &DimColumn{name: rdStr()}
 		if _, dup := r.dimByName[col.name]; dup && sr.err == nil {
 			return fail("duplicate dimension %q", col.name)
 		}
-		nDict := sr.Len("dictionary")
+		nDict := rdLen("dictionary")
 		if sr.err != nil {
 			return nil
 		}
 		col.dict = make([]string, nDict)
 		col.index = make(map[string]uint32, nDict)
 		for i := range col.dict {
-			v := sr.Str()
+			v := rdStr()
 			if _, dup := col.index[v]; dup && sr.err == nil {
 				return fail("dimension %q: duplicate dictionary value %q", col.name, v)
 			}
@@ -334,28 +841,37 @@ func decodeSnapshot(sr *SnapReader) *Relation {
 		}
 		col.ids = make([]uint32, r.numRows)
 		for i := range col.ids {
-			id := sr.U32()
-			if int(id) >= nDict && sr.err == nil {
+			var id uint64
+			if version == relSnapVersion2 {
+				id = sr.Uvarint()
+			} else {
+				id = uint64(sr.U32())
+			}
+			if id >= uint64(nDict) && sr.err == nil {
 				return fail("dimension %q: row %d id %d out of range (%d values)", col.name, i, id, nDict)
 			}
-			col.ids[i] = id
+			col.ids[i] = uint32(id)
 		}
 		r.dimByName[col.name] = di
 		r.dims = append(r.dims, col)
 	}
-	nMeas := sr.Len("measure count")
+	nMeas := rdLen("measure count")
 	if sr.err != nil {
 		return nil
 	}
 	r.measureByName = make(map[string]int, nMeas)
 	for mi := 0; mi < nMeas; mi++ {
-		col := &MeasureColumn{name: sr.Str()}
+		col := &MeasureColumn{name: rdStr()}
 		if _, dup := r.measureByName[col.name]; dup && sr.err == nil {
 			return fail("duplicate measure %q", col.name)
 		}
 		col.vals = make([]float64, r.numRows)
-		for i := range col.vals {
-			col.vals[i] = sr.F64()
+		if version == relSnapVersion2 {
+			sr.F64ColumnInto(col.vals)
+		} else {
+			for i := range col.vals {
+				col.vals[i] = sr.F64()
+			}
 		}
 		r.measureByName[col.name] = mi
 		r.measures = append(r.measures, col)

@@ -1,0 +1,329 @@
+package relation
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// bitsEqual compares SumCount slices bit for bit: NaN payloads, signed
+// zeros, and subnormals must all survive the codec unchanged.
+func bitsEqual(a, b []SumCount) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i].Sum) != math.Float64bits(b[i].Sum) ||
+			math.Float64bits(a[i].Count) != math.Float64bits(b[i].Count) {
+			return false
+		}
+	}
+	return true
+}
+
+// trickyFloats is the adversarial value set every float codec path must
+// round-trip bit-exactly.
+var trickyFloats = []float64{
+	0, math.Copysign(0, -1), 1, -1, 0.5, -0.5, 6.5, 1e-3, 123.456,
+	1e15, -1e15, float64(1<<53 - 1), float64(1 << 53), float64(1<<53) + 2,
+	math.MaxFloat64, math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	math.Inf(1), math.Inf(-1), math.NaN(), math.Float64frombits(0x7ff8dead_beef0001),
+	1.0 / 3.0, math.Pi, 0.1, 0.07, 99.99, -42.25,
+}
+
+func TestDecimalF64RoundTrip(t *testing.T) {
+	for _, v := range trickyFloats {
+		var buf bytes.Buffer
+		sw := NewSnapWriter(&buf)
+		sw.DecimalF64(v)
+		if err := sw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if n := decimalF64Len(v); n != buf.Len() {
+			t.Errorf("decimalF64Len(%v) = %d, encoded %d bytes", v, n, buf.Len())
+		}
+		for _, sr := range []*SnapReader{
+			NewSnapReader(bytes.NewReader(buf.Bytes())),
+			NewSnapReaderBytes(buf.Bytes()),
+		} {
+			got := sr.DecimalF64()
+			if err := sr.Err(); err != nil {
+				t.Fatalf("DecimalF64(%v): %v", v, err)
+			}
+			if math.Float64bits(got) != math.Float64bits(v) {
+				t.Errorf("DecimalF64 round-trip %v -> %v (bits %x -> %x)",
+					v, got, math.Float64bits(v), math.Float64bits(got))
+			}
+		}
+	}
+}
+
+func TestF64ColumnRoundTrip(t *testing.T) {
+	cols := [][]float64{
+		{},
+		{1, 2, 3, 4, 5},                     // integral
+		{0.5, 1.5, 2.25, 100.75},            // decimal
+		trickyFloats,                        // raw escape territory
+		{1e18, -1e18, 42},                   // large integral
+		{7.5, 7, -0.125, math.NaN(), 1e300}, // mixed decimal/escape
+	}
+	for ci, col := range cols {
+		var buf bytes.Buffer
+		sw := NewSnapWriter(&buf)
+		sw.F64Column(col)
+		if err := sw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for _, sr := range []*SnapReader{
+			NewSnapReader(bytes.NewReader(buf.Bytes())),
+			NewSnapReaderBytes(buf.Bytes()),
+		} {
+			got := make([]float64, len(col))
+			sr.F64ColumnInto(got)
+			if err := sr.Err(); err != nil {
+				t.Fatalf("col %d: %v", ci, err)
+			}
+			for i := range col {
+				if math.Float64bits(got[i]) != math.Float64bits(col[i]) {
+					t.Fatalf("col %d entry %d: %v -> %v", ci, i, col[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+// sumCountCases enumerates series engineered to trigger every v2 series
+// layout plus the edge values that must force raw fallbacks.
+func sumCountCases() map[string][]SumCount {
+	dense := make([]SumCount, 64)
+	for i := range dense {
+		dense[i] = SumCount{Sum: float64(i * 3), Count: float64(i % 7)}
+	}
+	sparseInt := make([]SumCount, 128)
+	sparseInt[3] = SumCount{Sum: 42, Count: 2}
+	sparseInt[90] = SumCount{Sum: -17, Count: 1}
+	sparseDec := make([]SumCount, 128)
+	sparseDec[10] = SumCount{Sum: 6.5, Count: 1}
+	sparseDec[11] = SumCount{Sum: 123.25, Count: 3}
+	sparseRawSum := make([]SumCount, 128)
+	sparseRawSum[0] = SumCount{Sum: math.Pi, Count: 4}
+	sparseRawSum[127] = SumCount{Sum: 1.0 / 3.0, Count: 9}
+	sparseRaw := make([]SumCount, 64)
+	sparseRaw[5] = SumCount{Sum: math.Pi, Count: 0.5}
+	sparseRaw[6] = SumCount{Sum: math.NaN(), Count: -3}
+	tricky := make([]SumCount, len(trickyFloats))
+	for i, v := range trickyFloats {
+		tricky[i] = SumCount{Sum: v, Count: trickyFloats[len(trickyFloats)-1-i]}
+	}
+	return map[string][]SumCount{
+		"empty":        {},
+		"allZero":      make([]SumCount, 32),
+		"denseInt":     dense,
+		"sparseInt":    sparseInt,
+		"sparseDec":    sparseDec,
+		"sparseRawSum": sparseRawSum,
+		"sparseRaw":    sparseRaw,
+		"tricky":       tricky,
+		"negZeroSum":   {{Sum: math.Copysign(0, -1), Count: 0}, {}, {Sum: 1, Count: 1}},
+		"negZeroCount": {{Sum: 0, Count: math.Copysign(0, -1)}, {}, {Sum: 2, Count: 2}},
+		"negCount":     {{Sum: 3, Count: -2}, {}},
+		"hugeInt":      {{Sum: float64(1<<53 - 1), Count: float64(1<<53 - 1)}, {}},
+	}
+}
+
+func TestSumCountsV2RoundTrip(t *testing.T) {
+	for name, s := range sumCountCases() {
+		var buf bytes.Buffer
+		sw := NewSnapWriter(&buf)
+		sw.SumCountsV2(s)
+		if err := sw.Flush(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, sr := range []*SnapReader{
+			NewSnapReader(bytes.NewReader(buf.Bytes())),
+			NewSnapReaderBytes(buf.Bytes()),
+		} {
+			got := make([]SumCount, len(s))
+			// Pre-poison dst: sparse decoding must overwrite every cell.
+			for i := range got {
+				got[i] = SumCount{Sum: math.NaN(), Count: math.NaN()}
+			}
+			sr.SumCountsV2Into(got)
+			if err := sr.Err(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !bitsEqual(s, got) {
+				t.Fatalf("%s: series not bit-identical after round-trip", name)
+			}
+		}
+	}
+}
+
+// TestSumCountsV2PicksCompactLayouts pins the cost model: sparse integral
+// series must not fall back to raw, and decimal-heavy sparse series must
+// beat the 16-byte raw pairs.
+func TestSumCountsV2PicksCompactLayouts(t *testing.T) {
+	cases := sumCountCases()
+	for _, name := range []string{"sparseInt", "sparseDec", "denseInt"} {
+		s := cases[name]
+		var buf bytes.Buffer
+		sw := NewSnapWriter(&buf)
+		sw.SumCountsV2(s)
+		if err := sw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if raw := 16 * len(s); buf.Len() >= raw/2 {
+			t.Errorf("%s: %d bytes for %d raw (layout %d) — compact layout not chosen",
+				name, buf.Len(), raw, buf.Bytes()[0])
+		}
+	}
+}
+
+func TestSumCountsV2RejectsCorrupt(t *testing.T) {
+	s := sumCountCases()["sparseInt"]
+	var buf bytes.Buffer
+	sw := NewSnapWriter(&buf)
+	sw.SumCountsV2(s)
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Unknown layout tag.
+	bad := append([]byte(nil), full...)
+	bad[0] = 0xEE
+	sr := NewSnapReaderBytes(bad)
+	sr.SumCountsV2Into(make([]SumCount, len(s)))
+	if sr.Err() == nil {
+		t.Fatal("unknown layout tag decoded without error")
+	}
+
+	// Entry count exceeding the series length.
+	bad = append([]byte(nil), full[:1]...)
+	bad = append(bad, 0xFF, 0xFF, 0x7F) // nnz ≫ len(dst)
+	sr = NewSnapReaderBytes(bad)
+	sr.SumCountsV2Into(make([]SumCount, len(s)))
+	if sr.Err() == nil {
+		t.Fatal("oversized sparse entry count decoded without error")
+	}
+
+	// Gap walking past the end of the series.
+	bad = append([]byte(nil), full[0], 2, 0xFF, 0x7F)
+	sr = NewSnapReaderBytes(bad)
+	sr.SumCountsV2Into(make([]SumCount, len(s)))
+	if sr.Err() == nil {
+		t.Fatal("out-of-range sparse gap decoded without error")
+	}
+
+	// Every strict prefix errors, never panics.
+	for cut := 0; cut < len(full); cut++ {
+		sr := NewSnapReaderBytes(full[:cut])
+		sr.SumCountsV2Into(make([]SumCount, len(s)))
+		if sr.Err() == nil {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(full))
+		}
+	}
+}
+
+// TestSnapshotV1CrossRestore guards the compatibility promise: a relation
+// section written by the legacy fixed-width v1 encoder must decode with
+// the current reader, ids and values intact.
+func TestSnapshotV1CrossRestore(t *testing.T) {
+	r := snapTestRelation(t)
+	var buf bytes.Buffer
+	sw := NewSnapWriter(&buf)
+	r.EncodeSnapshotV1(sw)
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	relationsEqual(t, r, got)
+
+	// And the v1 payload must also decode through the byte-slice reader.
+	sr := NewSnapReaderBytes(buf.Bytes())
+	got2 := DecodeSnapshot(sr)
+	if err := sr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	relationsEqual(t, r, got2)
+}
+
+// TestSnapshotV2SmallerThanV1 pins the reason v2 exists: on the
+// dictionary-encoded test relation the varint+delta encoding must beat
+// the fixed-width layout.
+func TestSnapshotV2SmallerThanV1(t *testing.T) {
+	r := snapTestRelation(t)
+	var v1, v2 bytes.Buffer
+	sw := NewSnapWriter(&v1)
+	r.EncodeSnapshotV1(sw)
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteSnapshot(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() >= v1.Len() {
+		t.Fatalf("v2 snapshot (%d bytes) not smaller than v1 (%d bytes)", v2.Len(), v1.Len())
+	}
+}
+
+// TestSnapReaderBytesMatchesStream decodes one snapshot through both
+// reader backends and requires identical results — the byte-slice fast
+// path must be a pure optimization.
+func TestSnapReaderBytesMatchesStream(t *testing.T) {
+	r := snapTestRelation(t)
+	var buf bytes.Buffer
+	if err := r.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := NewSnapReaderBytes(buf.Bytes())
+	b := DecodeSnapshot(sr)
+	if err := sr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	relationsEqual(t, a, b)
+}
+
+// FuzzSnapshotColumn throws arbitrary bytes at the varint/delta column
+// decoders — the attack surface a corrupt snapshot reaches after the
+// container checksum is forged. Decoders must error or succeed, never
+// panic, hang, or over-allocate.
+func FuzzSnapshotColumn(f *testing.F) {
+	for _, s := range sumCountCases() {
+		var buf bytes.Buffer
+		sw := NewSnapWriter(&buf)
+		sw.SumCountsV2(s)
+		sw.Flush()
+		f.Add(buf.Bytes())
+	}
+	for _, col := range [][]float64{{1, 2, 3}, {0.5, 6.25}, trickyFloats} {
+		var buf bytes.Buffer
+		sw := NewSnapWriter(&buf)
+		sw.F64Column(col)
+		sw.Flush()
+		f.Add(buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mk := range []func() *SnapReader{
+			func() *SnapReader { return NewSnapReaderBytes(data) },
+			func() *SnapReader { return NewSnapReader(bytes.NewReader(data)) },
+		} {
+			sr := mk()
+			sr.SumCountsV2Into(make([]SumCount, 96))
+			sr = mk()
+			sr.F64ColumnInto(make([]float64, 96))
+			sr = mk()
+			sr.DecimalF64()
+			sr = mk()
+			sr.Uvarint()
+			sr.Varint()
+		}
+	})
+}

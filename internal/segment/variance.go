@@ -31,10 +31,13 @@ type VarCalc struct {
 	// between consecutive positions (sketch intervals).
 	objPos []int
 
-	// pairPrefix[i][j] = Σ_{x ≤ i, y ≤ j} D[x][y] with D the strict
-	// upper-triangle pair-distance matrix over unit objects; built on
-	// first AllPair use.
-	pairPrefix [][]float64
+	// pairPrefix[i*ppStride+j] = Σ_{x ≤ i, y ≤ j} D[x][y] with D the
+	// strict upper-triangle pair-distance matrix over unit objects; built
+	// on first AllPair use. The table is one flat row-major allocation so
+	// rectSum's four probes hit contiguous memory with O(1) indexing and
+	// no per-row pointer chase.
+	pairPrefix []float64
+	ppStride   int
 
 	// Dense per-object caches of top explanations and ideal DCGs, built
 	// lazily; objRes[i] covers the i-th object.
@@ -248,40 +251,42 @@ func (vc *VarCalc) weightedAllPair(a, b int) float64 {
 }
 
 // buildPairPrefix materializes the unit-pair distance matrix and its 2-D
-// prefix sums, O(n²) once.
+// prefix sums, O(n²) once, into one flat row-major table.
 func (vc *VarCalc) buildPairPrefix() {
 	if vc.pairPrefix != nil {
 		return
 	}
 	n := vc.e.u.NumTimestamps()
 	objs := n - 1
-	pp := make([][]float64, objs)
+	pp := make([]float64, objs*objs)
 	for x := 0; x < objs; x++ {
-		row := make([]float64, objs)
+		row := pp[x*objs : (x+1)*objs]
 		xRes, xIdeal := vc.objPrepared(x, x, x+1)
 		for y := x + 1; y < objs; y++ {
 			yRes, yIdeal := vc.objPrepared(y, y, y+1)
 			row[y] = vc.e.distPrepared(vc.kind, x, x+1, xRes, xIdeal, y, y+1, yRes, yIdeal, vc.rectify)
 		}
-		pp[x] = row
 	}
-	// In-place 2-D prefix sums.
+	// In-place 2-D prefix sums. The accumulation order (up, then left,
+	// minus diagonal) is kept exactly as the nested-slice implementation
+	// had it so every prefix value — and every variance derived from one —
+	// stays bit-identical to the committed golden corpus.
 	for x := 0; x < objs; x++ {
-		for y := 0; y < objs; y++ {
-			v := pp[x][y]
-			if x > 0 {
-				v += pp[x-1][y]
+		row := pp[x*objs : (x+1)*objs]
+		if x == 0 {
+			for y := 1; y < objs; y++ {
+				row[y] += row[y-1]
 			}
-			if y > 0 {
-				v += pp[x][y-1]
-			}
-			if x > 0 && y > 0 {
-				v -= pp[x-1][y-1]
-			}
-			pp[x][y] = v
+			continue
+		}
+		prev := pp[(x-1)*objs : x*objs]
+		row[0] += prev[0]
+		for y := 1; y < objs; y++ {
+			row[y] = row[y] + prev[y] + row[y-1] - prev[y-1]
 		}
 	}
 	vc.pairPrefix = pp
+	vc.ppStride = objs
 }
 
 // rectSum returns Σ D[x][y] over x in [x0, x1], y in [y0, y1].
@@ -289,16 +294,16 @@ func (vc *VarCalc) rectSum(x0, x1, y0, y1 int) float64 {
 	if x1 < x0 || y1 < y0 {
 		return 0
 	}
-	pp := vc.pairPrefix
-	v := pp[x1][y1]
+	pp, s := vc.pairPrefix, vc.ppStride
+	v := pp[x1*s+y1]
 	if x0 > 0 {
-		v -= pp[x0-1][y1]
+		v -= pp[(x0-1)*s+y1]
 	}
 	if y0 > 0 {
-		v -= pp[x1][y0-1]
+		v -= pp[x1*s+y0-1]
 	}
 	if x0 > 0 && y0 > 0 {
-		v += pp[x0-1][y0-1]
+		v += pp[(x0-1)*s+y0-1]
 	}
 	return v
 }

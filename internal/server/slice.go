@@ -136,7 +136,7 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 		}
 		dd := drillDownJSON{Attribute: rel.Dim(dim).Name()}
 		for _, kid := range kids {
-			v, _ := u.Candidate(kid).Conj.ValueFor(dim)
+			v, _ := u.Candidate(int(kid)).Conj.ValueFor(dim)
 			dd.Children = append(dd.Children, rel.Dim(dim).Value(v))
 		}
 		resp.DrillDown = append(resp.DrillDown, dd)

@@ -36,3 +36,10 @@ go run ./cmd/benchjson "$@"
 go run ./cmd/benchjson -mode streaming
 go run ./cmd/benchjson -mode catalog
 go run ./cmd/benchjson -mode approx
+
+# Self-check the absolute contracts on the freshly written baselines
+# (ratio gates trivially pass against themselves; the absolute gates —
+# snapshot footprint and universe-build ceiling — must hold even on a
+# re-baseline, so a regression cannot be committed as the new normal).
+go run ./cmd/benchcmp -mode engine -baseline BENCH_engine.json -current BENCH_engine.json -max-universe-build-ns 152173414
+go run ./cmd/benchcmp -mode catalog -baseline BENCH_catalog.json -current BENCH_catalog.json -max-snapshot-csv-ratio 0.5
