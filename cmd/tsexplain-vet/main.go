@@ -1,0 +1,22 @@
+// tsexplain-vet is the project's custom vet tool: a unitchecker binary
+// carrying the internal/analysis suite, meant to be driven by the go
+// command's vet machinery:
+//
+//	go build -o /tmp/tsexplain-vet ./cmd/tsexplain-vet
+//	go vet -vettool=/tmp/tsexplain-vet ./...
+//
+// scripts/lint.sh runs it locally, the tsexplain-vet CI job gates it,
+// and internal/analysis's self-check test asserts the repo stays clean
+// under it. See ARCHITECTURE.md "Invariants & static analysis" for what
+// each analyzer protects.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	unitchecker.Main(analysis.Suite()...)
+}

@@ -1,3 +1,8 @@
 module repro
 
 go 1.23
+
+// Pinned to the go1.24.0 toolchain's vendored copy (the same sources cmd/vet
+// builds against); vendor/ carries the subset tsexplain-vet needs so the
+// analysis suite builds offline.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

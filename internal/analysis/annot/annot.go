@@ -1,0 +1,214 @@
+// Package annot parses the //tsexplain: directive comments that turn the
+// engine's prose invariants into machine-checked annotations. The
+// tsexplain-vet analyzers (internal/analysis/...) consume them:
+//
+//	//tsexplain:guardedby mu        struct field: only touch while holding
+//	                                the sibling mutex field "mu"
+//	//tsexplain:guardedby shard.mu  struct field: guarded by the mutex field
+//	                                "mu" of some (other) struct "shard"
+//	//tsexplain:locked mu           function: the caller already holds the
+//	                                receiver's "mu" (or "T.mu" for an
+//	                                external guard) on entry
+//	//tsexplain:hotpath             function: zero-alloc kernel; known
+//	                                allocating constructs are diagnostics
+//	//tsexplain:cancellable         function: long-running solver loop; must
+//	                                poll its cancellation hook
+//	//tsexplain:ctxroot <reason>    function: allowed to mint a root context
+//	//tsexplain:unordered <reason>  statement: this map iteration is
+//	                                order-insensitive on purpose
+//	//tsexplain:nondet <reason>     statement: this clock/rand read never
+//	                                feeds deterministic output
+//	//tsexplain:nopoll <reason>     statement: this nested loop is bounded
+//	                                and may skip cancellation polling
+//	//tsexplain:allowalloc <reason> statement: this allocation on a hot path
+//	                                is intentional (cold branch, one-time)
+//
+// Directives follow Go's directive-comment shape (no space after the
+// slashes) so they never leak into godoc. Statement-level directives
+// attach to the statement on the same line or the line directly above.
+package annot
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix is the directive comment prefix.
+const Prefix = "//tsexplain:"
+
+// Verbs every analyzer agrees on; annotcheck flags anything else.
+const (
+	GuardedBy   = "guardedby"
+	Locked      = "locked"
+	Hotpath     = "hotpath"
+	Cancellable = "cancellable"
+	CtxRoot     = "ctxroot"
+	Unordered   = "unordered"
+	Nondet      = "nondet"
+	NoPoll      = "nopoll"
+	AllowAlloc  = "allowalloc"
+)
+
+// Known reports whether verb is a directive the suite defines.
+func Known(verb string) bool {
+	switch verb {
+	case GuardedBy, Locked, Hotpath, Cancellable, CtxRoot, Unordered, Nondet, NoPoll, AllowAlloc:
+		return true
+	}
+	return false
+}
+
+// Directive is one parsed //tsexplain: comment.
+type Directive struct {
+	Verb string
+	Args string // rest of the line, space-trimmed; the reason for suppressions
+	Pos  token.Pos
+}
+
+// Parse extracts the directive from a single comment, if it is one.
+func Parse(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, Prefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(c.Text, Prefix)
+	// A trailing "// ..." comment is not part of the directive (the
+	// analyzer fixtures hang "// want" expectations there).
+	if i := strings.Index(rest, " //"); i >= 0 {
+		rest = rest[:i]
+	}
+	verb, args, _ := strings.Cut(rest, " ")
+	return Directive{Verb: verb, Args: strings.TrimSpace(args), Pos: c.Pos()}, true
+}
+
+// group collects the directives in a comment group.
+func group(g *ast.CommentGroup) []Directive {
+	if g == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range g.List {
+		if d, ok := Parse(c); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FuncDirectives returns the directives in a function's doc comment.
+func FuncDirectives(fn *ast.FuncDecl) []Directive { return group(fn.Doc) }
+
+// FuncDirective returns the first directive with the given verb on fn.
+func FuncDirective(fn *ast.FuncDecl, verb string) (Directive, bool) {
+	for _, d := range FuncDirectives(fn) {
+		if d.Verb == verb {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// FieldDirectives returns the directives attached to a struct field,
+// from its doc comment or its trailing line comment.
+func FieldDirectives(f *ast.Field) []Directive {
+	return append(group(f.Doc), group(f.Comment)...)
+}
+
+// Lines indexes a file's statement-level directives by line, so
+// analyzers can ask "is this statement suppressed?".
+type Lines struct {
+	fset   *token.FileSet
+	byLine map[int][]Directive
+}
+
+// FileLines indexes every directive comment in the file by its line.
+func FileLines(fset *token.FileSet, f *ast.File) Lines {
+	l := Lines{fset: fset, byLine: make(map[int][]Directive)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := Parse(c); ok {
+				line := fset.Position(c.Pos()).Line
+				l.byLine[line] = append(l.byLine[line], d)
+			}
+		}
+	}
+	return l
+}
+
+// At returns the directive with the given verb attached to pos: on the
+// same line (trailing comment) or the line directly above it.
+func (l Lines) At(pos token.Pos, verb string) (Directive, bool) {
+	line := l.fset.Position(pos).Line
+	for _, d := range l.byLine[line] {
+		if d.Verb == verb {
+			return d, true
+		}
+	}
+	for _, d := range l.byLine[line-1] {
+		if d.Verb == verb {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// GuardRef is a parsed guard argument: either a sibling mutex field
+// ("mu") or an external guard ("shard.mu") naming a struct type in the
+// same package and its mutex field.
+type GuardRef struct {
+	Type  string // empty for sibling guards
+	Field string
+}
+
+// ParseGuardRef parses a guardedby/locked argument. ok is false for an
+// empty or malformed (more than one dot) argument.
+func ParseGuardRef(arg string) (GuardRef, bool) {
+	arg = strings.TrimSpace(arg)
+	if arg == "" {
+		return GuardRef{}, false
+	}
+	parts := strings.Split(arg, ".")
+	switch len(parts) {
+	case 1:
+		if parts[0] == "" {
+			return GuardRef{}, false
+		}
+		return GuardRef{Field: parts[0]}, true
+	case 2:
+		if parts[0] == "" || parts[1] == "" {
+			return GuardRef{}, false
+		}
+		return GuardRef{Type: parts[0], Field: parts[1]}, true
+	}
+	return GuardRef{}, false
+}
+
+// IsTestFile reports whether the file at pos is a _test.go file; the
+// suite's invariants are about production code, so analyzers skip test
+// files wholesale.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgScope is the comma-separated package-path scoping flag shared by
+// the analyzers that only apply to specific layers (determinism,
+// ctxflow). An empty scope matches every package; otherwise a package
+// matches when its import path equals an entry or is under it.
+type PkgScope string
+
+// Match reports whether the package path is in scope.
+func (s PkgScope) Match(path string) bool {
+	if s == "" {
+		return true
+	}
+	for _, p := range strings.Split(string(s), ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

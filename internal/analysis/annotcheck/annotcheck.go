@@ -1,0 +1,199 @@
+// Package annotcheck defines the tsexplain-vet analyzer that vets the
+// //tsexplain: annotations themselves. The other analyzers are
+// annotation-driven, so a typo'd verb ("guardedy"), a guard naming a
+// nonexistent mutex, or a suppression without a reason silently disables
+// the very check it was meant to configure. This analyzer makes the
+// annotation layer fail closed:
+//
+//   - every //tsexplain: comment must use a known verb;
+//   - guardedby must sit on a struct field and name a sync.Mutex/RWMutex
+//     — a sibling field, or Type.field for a struct in the same package;
+//   - locked must sit on a function and name a resolvable guard;
+//   - hotpath/cancellable/ctxroot must sit on a function declaration;
+//   - unordered/nondet/nopoll/allowalloc must carry a reason — they
+//     suppress a diagnostic, and a suppression nobody can re-audit is a
+//     suppression that outlives its justification.
+package annotcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/annot"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "tsexannotcheck",
+	Doc:  "validate //tsexplain: annotations: known verbs, resolvable guards, reasons on suppressions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Struct types by name, for resolving external Type.field guards.
+	structs := collectStructs(pass)
+	for _, f := range pass.Files {
+		attached := make(map[posKey]bool)
+		// Verbs with placement requirements, validated at their anchors.
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			for _, dir := range annot.FuncDirectives(fn) {
+				attached[posKey(dir.Pos)] = true
+				switch dir.Verb {
+				case annot.Hotpath, annot.Cancellable:
+					if dir.Args != "" {
+						pass.Reportf(dir.Pos, "//tsexplain:%s takes no argument", dir.Verb)
+					}
+				case annot.CtxRoot:
+					if dir.Args == "" {
+						pass.Reportf(dir.Pos, "//tsexplain:ctxroot needs a reason: why may this function mint a root context?")
+					}
+				case annot.Locked:
+					checkGuardRef(pass, structs, dir, nil)
+				case annot.GuardedBy:
+					pass.Reportf(dir.Pos, "//tsexplain:guardedby belongs on a struct field, not a function")
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, dir := range annot.FieldDirectives(field) {
+					attached[posKey(dir.Pos)] = true
+					switch dir.Verb {
+					case annot.GuardedBy:
+						checkGuardRef(pass, structs, dir, st)
+					case annot.Hotpath, annot.Cancellable, annot.Locked, annot.CtxRoot:
+						pass.Reportf(dir.Pos, "//tsexplain:%s belongs on a function declaration, not a struct field", dir.Verb)
+					}
+				}
+			}
+			return true
+		})
+		// Every directive comment anywhere: known verb, and reasons on
+		// the suppression verbs.
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				dir, ok := annot.Parse(c)
+				if !ok {
+					continue
+				}
+				if !annot.Known(dir.Verb) {
+					pass.Reportf(dir.Pos, "unknown //tsexplain: directive %q (known: guardedby, locked, hotpath, cancellable, ctxroot, unordered, nondet, nopoll, allowalloc)", dir.Verb)
+					continue
+				}
+				switch dir.Verb {
+				case annot.Unordered, annot.Nondet, annot.NoPoll, annot.AllowAlloc:
+					if dir.Args == "" {
+						pass.Reportf(dir.Pos, "//tsexplain:%s suppresses a diagnostic and must carry a reason", dir.Verb)
+					}
+				case annot.GuardedBy, annot.Locked, annot.Hotpath, annot.Cancellable, annot.CtxRoot:
+					if !attached[posKey(dir.Pos)] {
+						pass.Reportf(dir.Pos, "//tsexplain:%s is not attached to a %s; move it into the declaration's doc comment", dir.Verb, anchorFor(dir.Verb))
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// posKey keys attachment positions (a plain int to keep the map tidy).
+type posKey int
+
+func anchorFor(verb string) string {
+	if verb == annot.GuardedBy {
+		return "struct field"
+	}
+	return "function declaration"
+}
+
+// collectStructs maps each named struct type in the package to its
+// struct type, for resolving Type.field guards.
+func collectStructs(pass *analysis.Pass) map[string]*types.Struct {
+	out := make(map[string]*types.Struct)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if s, ok := tn.Type().Underlying().(*types.Struct); ok {
+			out[name] = s
+		}
+	}
+	return out
+}
+
+// checkGuardRef validates a guardedby/locked argument. owner is the
+// annotated field's struct for sibling guards; nil for locked (sibling
+// locked guards resolve against the receiver at check time, so only the
+// external form is resolvable here).
+func checkGuardRef(pass *analysis.Pass, structs map[string]*types.Struct, dir annot.Directive, owner *ast.StructType) {
+	ref, ok := annot.ParseGuardRef(dir.Args)
+	if !ok {
+		pass.Reportf(dir.Pos, "//tsexplain:%s needs a guard: a sibling mutex field name, or Type.field", dir.Verb)
+		return
+	}
+	if ref.Type != "" {
+		s, ok := structs[ref.Type]
+		if !ok {
+			pass.Reportf(dir.Pos, "//tsexplain:%s %s: no struct type %q in this package", dir.Verb, dir.Args, ref.Type)
+			return
+		}
+		if !structHasMutex(s, ref.Field) {
+			pass.Reportf(dir.Pos, "//tsexplain:%s %s: %s has no sync.Mutex/RWMutex field %q", dir.Verb, dir.Args, ref.Type, ref.Field)
+		}
+		return
+	}
+	if owner == nil {
+		return // sibling locked guard: resolved against the receiver by lockguard
+	}
+	for _, f := range owner.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == ref.Field {
+				if !isMutexExpr(pass, f.Type) {
+					pass.Reportf(dir.Pos, "//tsexplain:%s %s: sibling field %q is not a sync.Mutex/RWMutex", dir.Verb, dir.Args, ref.Field)
+				}
+				return
+			}
+		}
+	}
+	pass.Reportf(dir.Pos, "//tsexplain:%s %s: no sibling field %q in this struct", dir.Verb, dir.Args, ref.Field)
+}
+
+func structHasMutex(s *types.Struct, field string) bool {
+	for i := 0; i < s.NumFields(); i++ {
+		if s.Field(i).Name() == field {
+			return isMutexType(s.Field(i).Type())
+		}
+	}
+	return false
+}
+
+func isMutexExpr(pass *analysis.Pass, e ast.Expr) bool {
+	return isMutexType(pass.TypesInfo.TypeOf(e))
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}

@@ -1,0 +1,210 @@
+// Package atest is a self-contained analysistest substitute: it loads a
+// fixture package from testdata/src/<dir>, type-checks it against the
+// standard library with the stdlib source importer (no go/packages, no
+// network, no GOPATH setup), runs an analyzer — resolving its Requires
+// graph — and matches the diagnostics against analysistest-style
+// expectation comments:
+//
+//	m := map[string]int{}
+//	for k := range m { order = append(order, k) } // want `map iteration order`
+//
+// Each `// want` comment carries one or more back-quoted or double-quoted
+// regexps; every pattern must match exactly one diagnostic on its line
+// and every diagnostic must be claimed by a pattern. The upstream
+// analysistest needs go/packages (absent from the offline toolchain
+// vendor); this driver covers what the suite's fixtures actually need.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads testdata/src/<dir> (relative to the test's working
+// directory), runs a on it, and reports mismatches between diagnostics
+// and `// want` expectations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkgDir := filepath.Join("testdata", "src", dir)
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, pkgDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, info, err := typecheck(fset, dir, files)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", pkgDir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+		ResultOf:   make(map[*analysis.Analyzer]interface{}),
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := runRequires(pass, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	match(t, fset, files, diags)
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	return files, nil
+}
+
+func typecheck(fset *token.FileSet, path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		// The source importer compiles stdlib imports from GOROOT source:
+		// fixture packages may import context, fmt, sync, time, math/rand
+		// without any export data or network.
+		Importer: importer.ForCompiler(fset, "source", nil),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	return pkg, info, err
+}
+
+// runRequires executes the analyzer's Requires graph depth-first,
+// filling pass.ResultOf the way a real driver would.
+func runRequires(pass *analysis.Pass, a *analysis.Analyzer) error {
+	for _, req := range a.Requires {
+		if _, done := pass.ResultOf[req]; done {
+			continue
+		}
+		if err := runRequires(pass, req); err != nil {
+			return err
+		}
+		sub := *pass
+		sub.Analyzer = req
+		res, err := req.Run(&sub)
+		if err != nil {
+			return fmt.Errorf("required analyzer %s: %v", req.Name, err)
+		}
+		pass.ResultOf[req] = res
+	}
+	return nil
+}
+
+// want is one expectation: a pattern attached to a file line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// collectWants parses `// want ...` comments.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The marker may open the comment or trail another one
+				// (e.g. after a //tsexplain: directive under test).
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				text := c.Text[i+len("// want "):]
+				pos := fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s: malformed want comment (no quoted pattern): %s", pos, c.Text)
+					continue
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// match reconciles diagnostics against expectations 1:1.
+func match(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, files)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		claimed := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package ctxflow defines the tsexplain-vet analyzer that keeps
+// cancellation threaded through the request path. The engine's deadline
+// story depends on an unbroken chain — ctx → explain.Config.Cancel →
+// segment.Options.Cancel — through every long-running loop; one
+// context.Background() or one unpolled O(n²) sweep quietly turns a
+// 30-second request timeout into advisory fiction.
+//
+// Two checks:
+//
+//   - context.Background()/context.TODO() may not be minted inside the
+//     request-path packages (-tsexctxflow.pkgs); a function that
+//     legitimately roots a new context (a detached background job, main)
+//     declares so with //tsexplain:ctxroot <reason>;
+//   - a function annotated //tsexplain:cancellable must poll its
+//     cancellation hook: at least once somewhere in the body, and inside
+//     every nested (quadratic-or-worse) loop. A bounded nested loop that
+//     need not poll carries //tsexplain:nopoll <reason>.
+//
+// A poll is any call whose final name contains "cancel" (cancel(),
+// opts.Cancel(), ccancel()) or a ctx.Done()/ctx.Err() read.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/annot"
+)
+
+// DefaultScope covers the layers between an HTTP request and the solver:
+// everything there either handles a live request or builds an engine on
+// behalf of one.
+const DefaultScope = "repro/internal/server,repro/internal/core"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "tsexctxflow",
+	Doc: "check context/cancellation flow: no minted root contexts on the request path, " +
+		"and //tsexplain:cancellable solvers really poll their cancel hook",
+	Run: run,
+}
+
+var scope = DefaultScope
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "pkgs", DefaultScope,
+		"comma-separated package paths where minting context.Background/TODO is flagged (empty = every package)")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	inScope := annot.PkgScope(scope).Match(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		if annot.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		lines := annot.FileLines(pass.Fset, f)
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if inScope {
+				if _, root := annot.FuncDirective(fn, annot.CtxRoot); !root {
+					checkNoRootCtx(pass, fn)
+				}
+			}
+			if _, ok := annot.FuncDirective(fn, annot.Cancellable); ok {
+				checkCancellable(pass, lines, fn)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkNoRootCtx flags context.Background()/TODO() calls in fn.
+func checkNoRootCtx(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+			return true
+		}
+		if name := obj.Name(); name == "Background" || name == "TODO" {
+			pass.Reportf(call.Pos(),
+				"context.%s() mints a root context on the request path, detaching it from the caller's deadline; "+
+					"thread the request ctx through, or annotate the function //tsexplain:ctxroot with a reason", name)
+		}
+		return true
+	})
+}
+
+// checkCancellable enforces the polling obligations of one annotated
+// function.
+func checkCancellable(pass *analysis.Pass, lines annot.Lines, fn *ast.FuncDecl) {
+	if !pollsCancel(fn.Body) {
+		pass.Reportf(fn.Pos(),
+			"%s is //tsexplain:cancellable but never polls a cancellation hook", fn.Name.Name)
+		return
+	}
+	// Every nested loop (a loop containing another loop — the quadratic
+	// sweeps a deadline exists to interrupt) must poll somewhere in its
+	// own subtree.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Worker-goroutine bodies are their own loops; checked via
+			// their own subtree when reached below.
+			return true
+		}
+		body := loopBody(n)
+		if body == nil {
+			return true
+		}
+		if !containsLoop(body) {
+			return true
+		}
+		if pollsCancel(body) {
+			return true
+		}
+		if _, ok := lines.At(n.Pos(), annot.NoPoll); ok {
+			return true
+		}
+		pass.Reportf(n.Pos(),
+			"nested loop in //tsexplain:cancellable %s never polls the cancellation hook; "+
+				"poll it in the loop or annotate //tsexplain:nopoll with the bound that makes it cheap", fn.Name.Name)
+		return true
+	})
+}
+
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+func containsLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if loopBody(n) != nil {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// pollsCancel reports whether the subtree contains a cancellation poll.
+func pollsCancel(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if strings.Contains(strings.ToLower(name), "cancel") || name == "Done" || name == "Err" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,248 @@
+// Package determinism defines the tsexplain-vet analyzer that keeps the
+// engine's output bit-identical run to run. The golden corpus
+// (testdata/golden) pins WHAT the engine answers; this analyzer pins the
+// two code patterns that historically break such pins silently:
+//
+//   - ranging over a map where the loop body is order-sensitive (appends,
+//     last-writer-wins assignments, argmax with ties, arbitrary calls) —
+//     Go randomizes map iteration order, so any such loop feeding ordered
+//     output is a latent golden-corpus flake;
+//   - reading the wall clock (time.Now/Since/Until) or the global
+//     math/rand generators inside kernel code.
+//
+// Order-insensitive map loops (pure accumulation, delete sweeps,
+// set-by-distinct-key) are recognized and allowed automatically; anything
+// beyond that needs an explicit `//tsexplain:unordered <reason>`
+// annotation, and clock/rand reads that provably never feed output (stats
+// counters) need `//tsexplain:nondet <reason>`.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/annot"
+)
+
+// DefaultScope is the set of deterministic-output packages: the four
+// kernel layers whose results the golden corpus pins bit-identically.
+const DefaultScope = "repro/internal/explain,repro/internal/segment,repro/internal/cascading,repro/internal/relation"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "tsexdeterminism",
+	Doc: "flag map-iteration-order and clock/rand nondeterminism in the deterministic kernel packages\n\n" +
+		"Scoped by -tsexdeterminism.pkgs (comma-separated package paths; empty = all).",
+	Run: run,
+}
+
+var scope = DefaultScope
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "pkgs", DefaultScope,
+		"comma-separated package paths to check (empty = every package)")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !annot.PkgScope(scope).Match(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if annot.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		lines := annot.FileLines(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkRange(pass, lines, n)
+			case *ast.CallExpr:
+				checkCall(pass, lines, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkRange flags order-sensitive iteration over a map.
+func checkRange(pass *analysis.Pass, lines annot.Lines, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	// `for range m` uses nothing iteration-order-dependent.
+	if isBlank(rng.Key) && isBlank(rng.Value) {
+		return
+	}
+	if _, ok := lines.At(rng.Pos(), annot.Unordered); ok {
+		return
+	}
+	keyName := identName(rng.Key)
+	if commutativeBlock(pass, rng.Body, keyName) {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order reaches this loop's effects; sort the keys first or annotate //tsexplain:unordered with a reason")
+}
+
+func isBlank(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func identName(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// commutativeBlock reports whether every statement in the loop body has
+// the same net effect regardless of iteration order: pure accumulations
+// (x += v, x++), deletes, writes keyed by the (distinct) iteration key,
+// and branches over those. Anything else — appends, plain assignments
+// (last writer wins), argmax updates (ties), calls with unknown effects
+// — is order-sensitive.
+func commutativeBlock(pass *analysis.Pass, b *ast.BlockStmt, keyName string) bool {
+	for _, s := range b.List {
+		if !commutativeStmt(pass, s, keyName) {
+			return false
+		}
+	}
+	return true
+}
+
+func commutativeStmt(pass *analysis.Pass, s ast.Stmt, keyName string) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+			// Commutative accumulation, as long as no operand hides a call.
+			return !anyCalls(s.Lhs) && !anyCalls(s.Rhs)
+		case token.ASSIGN:
+			// m2[k] = expr keyed by the iteration key writes distinct
+			// cells; order cannot matter. Any other plain assignment is
+			// last-writer-wins.
+			if len(s.Lhs) != 1 || keyName == "" {
+				return false
+			}
+			ix, ok := s.Lhs[0].(*ast.IndexExpr)
+			if !ok || identName(ix.Index) != keyName {
+				return false
+			}
+			return !anyCalls(s.Rhs)
+		}
+		return false
+	case *ast.IncDecStmt:
+		return !hasCall(s.X)
+	case *ast.ExprStmt:
+		// delete(m, k) is the one allowed call: removal is unordered.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+				return !anyCalls(call.Args)
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil || hasCall(s.Cond) {
+			return false
+		}
+		if !commutativeBlock(pass, s.Body, keyName) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return commutativeBlock(pass, e, keyName)
+		case *ast.IfStmt:
+			return commutativeStmt(pass, e, keyName)
+		}
+		return false
+	case *ast.BlockStmt:
+		return commutativeBlock(pass, s, keyName)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	}
+	return false
+}
+
+func anyCalls(es []ast.Expr) bool {
+	for _, e := range es {
+		if hasCall(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkCall flags wall-clock reads and global math/rand draws.
+func checkCall(pass *analysis.Pass, lines annot.Lines, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	var what string
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			what = "wall-clock read time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level draws share a global, impossible-to-seed-per-query
+		// source; a locally seeded *rand.Rand (method call) is fine.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+			what = "global " + fn.Pkg().Path() + "." + fn.Name()
+		}
+	}
+	if what == "" {
+		return
+	}
+	if _, ok := lines.At(call.Pos(), annot.Nondet); ok {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s in deterministic kernel code; thread the value in from the caller or annotate //tsexplain:nondet with the reason it never feeds output", what)
+}
+
+// calleeFunc resolves the called *types.Func, if the callee is a
+// plain function or method reference.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

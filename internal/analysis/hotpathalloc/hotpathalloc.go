@@ -1,0 +1,279 @@
+// Package hotpathalloc defines the tsexplain-vet analyzer that keeps the
+// zero-alloc kernels zero-alloc. The PR 1/PR 7 hot loops (group-by fill,
+// the VarCalc prefix queries, the cascading solve and guess-verify, the
+// snapshot fast paths) earned their allocs/op = 0 benchmarks the hard
+// way; this analyzer stops the cheap ways of losing them. A function
+// annotated //tsexplain:hotpath may not contain:
+//
+//   - any fmt call (Sprintf and friends allocate; even their arguments
+//     box into ...any);
+//   - string concatenation or string<->[]byte/[]rune conversions inside
+//     a loop;
+//   - function literals (a capturing closure allocates per construction
+//     — hoist it to a method or a package function);
+//   - implicit interface boxing at call sites (a concrete value passed
+//     to an interface parameter escapes);
+//   - map literals or make(map...).
+//
+// An allocation that is intentional — a cold fallback branch, one-time
+// growth — carries //tsexplain:allowalloc <reason> on its line. The
+// analyzer is the reviewer that never gets tired; the allocs/op
+// benchmarks in BENCH_engine.json remain the ground truth.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/annot"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "tsexhotpathalloc",
+	Doc:  "flag known-allocating constructs inside //tsexplain:hotpath kernels",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if annot.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		lines := annot.FileLines(pass.Fset, f)
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, ok := annot.FuncDirective(fn, annot.Hotpath); !ok {
+				continue
+			}
+			check(pass, lines, fn)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	lines annot.Lines
+	fn    *ast.FuncDecl
+	depth int // enclosing loop depth
+	// skip holds conversion calls excused by their context: the compiler
+	// recognizes m[string(b)] lookups and elides the copy.
+	skip map[*ast.CallExpr]bool
+}
+
+func check(pass *analysis.Pass, lines annot.Lines, fn *ast.FuncDecl) {
+	c := &checker{pass: pass, lines: lines, fn: fn, skip: make(map[*ast.CallExpr]bool)}
+	c.walk(fn.Body)
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...interface{}) {
+	if _, ok := c.lines.At(pos, annot.AllowAlloc); ok {
+		return
+	}
+	args = append(args, c.fn.Name.Name)
+	c.pass.Reportf(pos, format+" in //tsexplain:hotpath %s", args...)
+}
+
+func (c *checker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.report(n.Pos(), "function literal (a capturing closure allocates; hoist it)")
+			return false // the closure body is cold by definition once flagged
+		case *ast.ForStmt:
+			c.walkLoop(n.Body, n.Init, n.Cond, n.Post)
+			return false
+		case *ast.RangeStmt:
+			c.checkExprShallow(n.X)
+			c.walkLoop(n.Body, nil, nil, nil)
+			return false
+		case *ast.IndexExpr:
+			// m[string(b)] is a compiler-recognized lookup: the
+			// conversion's copy is elided, no allocation happens.
+			if t := c.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					if call, ok := ast.Unparen(n.Index).(*ast.CallExpr); ok {
+						c.skip[call] = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if t := c.pass.TypesInfo.TypeOf(n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					c.report(n.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.BinaryExpr:
+			c.checkBinary(n)
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && c.depth > 0 && len(n.Lhs) == 1 {
+				if t := c.pass.TypesInfo.TypeOf(n.Lhs[0]); t != nil && isString(t) {
+					c.report(n.TokPos, "string concatenation inside a loop allocates per iteration")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// walkLoop walks a loop's clauses and body with the loop depth raised,
+// activating the in-loop string checks.
+func (c *checker) walkLoop(body *ast.BlockStmt, parts ...ast.Node) {
+	c.depth++
+	for _, p := range parts {
+		if p != nil {
+			c.walk(p)
+		}
+	}
+	c.walk(body)
+	c.depth--
+}
+
+// checkExprShallow re-checks an expression without changing loop depth
+// (range X evaluates once, before the loop).
+func (c *checker) checkExprShallow(e ast.Expr) {
+	d := c.depth
+	c.depth = 0
+	c.walk(e)
+	c.depth = d
+}
+
+func (c *checker) checkBinary(b *ast.BinaryExpr) {
+	if b.Op != token.ADD || c.depth == 0 {
+		return
+	}
+	if t := c.pass.TypesInfo.TypeOf(b.X); t != nil && isString(t) {
+		c.report(b.OpPos, "string concatenation inside a loop allocates per iteration")
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Conversion? (T)(x) with T a type.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+	if fn := calleeFunc(c.pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		c.report(call.Pos(), "fmt.%s allocates (and boxes its arguments)", fn.Name())
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "make" && len(call.Args) > 0 {
+				if t := c.pass.TypesInfo.TypeOf(call.Args[0]); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						c.report(call.Pos(), "make(map) allocates")
+					}
+				}
+			}
+			return
+		}
+	}
+	c.checkBoxing(call)
+}
+
+// checkConversion flags string<->bytes/runes conversions in loops (they
+// copy) — conversions between string-kinded types or numeric types are
+// free.
+func (c *checker) checkConversion(call *ast.CallExpr, to types.Type) {
+	if c.depth == 0 || len(call.Args) != 1 || c.skip[call] {
+		return
+	}
+	from := c.pass.TypesInfo.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	toStr, fromStr := isString(to), isString(from)
+	if toStr == fromStr {
+		return // string->string or non-string conversion: no copy
+	}
+	if isByteOrRuneSlice(to) || isByteOrRuneSlice(from) {
+		c.report(call.Pos(), "string conversion inside a loop copies and allocates")
+	}
+	// string(int)/string(rune) single-rune conversions also allocate.
+	if toStr {
+		if b, ok := from.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			c.report(call.Pos(), "string(rune) conversion inside a loop allocates")
+		}
+	}
+}
+
+// checkBoxing flags concrete values passed to interface parameters.
+func (c *checker) checkBoxing(call *ast.CallExpr) {
+	sig, ok := c.pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis != token.NoPos {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := c.pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(c.pass, arg) {
+			continue
+		}
+		if isPointerShaped(at) {
+			continue // a single-word referent fits the iface data word: no alloc
+		}
+		c.report(arg.Pos(), "passing concrete %s to interface parameter boxes (escapes)", at.String())
+	}
+}
+
+// isPointerShaped reports whether boxing t into an interface stores the
+// value directly in the data word instead of allocating.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,584 @@
+// Package lockguard defines the tsexplain-vet analyzer that turns the
+// server's prose lock-discipline comments ("dead and charged are guarded
+// by the shard mutex") into checked annotations:
+//
+//	//tsexplain:guardedby mu        on a struct field: access only while
+//	                                holding the sibling mutex field mu
+//	//tsexplain:guardedby shard.mu  on a struct field: access only while
+//	                                holding the mu of some shard value
+//	//tsexplain:locked mu           on a function: the caller holds the
+//	                                receiver's mu on entry (…Locked helpers)
+//	//tsexplain:locked shard.mu     on a function: the caller holds some
+//	                                shard's mu on entry
+//
+// The checker is a source-order scan with branch awareness, not a full
+// dominance analysis: Lock()/RLock() acquires, Unlock()/RUnlock()
+// releases, deferred unlocks hold to function exit, and an early-return
+// branch that unlocks does not leak its release into the fallthrough
+// path. Function literals are separate scopes — a goroutine or deferred
+// closure never inherits its creator's locks and must lock for itself.
+// Calls to //tsexplain:locked functions are checked at every call site,
+// so the annotation propagates the obligation instead of erasing it.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/annot"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "tsexlockguard",
+	Doc:  "check //tsexplain:guardedby field annotations against the locks actually held",
+	Run:  run,
+}
+
+// held is one lock the scanner believes is held: the lock call's
+// receiver rendered as source ("sh" for sh.mu.Lock()), its named type,
+// and the mutex field name. Entries seeded from //tsexplain:locked T.mu
+// have an empty baseStr and match on type alone.
+type held struct {
+	baseStr string
+	typName string
+	field   string
+}
+
+type state map[held]bool
+
+func (st state) clone() state {
+	c := make(state, len(st))
+	for h := range st {
+		c[h] = true
+	}
+	return c
+}
+
+// intersect drops entries not present in both (used after a branch that
+// may or may not have run).
+func (st state) intersect(other state) {
+	for h := range st {
+		if !other[h] {
+			delete(st, h)
+		}
+	}
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	guards  map[*types.Var]annot.GuardRef // annotated field -> its guard
+	lockedD map[*types.Func][]annot.GuardRef
+	queue   []*ast.FuncLit // nested scopes to scan with a fresh state
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{
+		pass:    pass,
+		guards:  make(map[*types.Var]annot.GuardRef),
+		lockedD: make(map[*types.Func][]annot.GuardRef),
+	}
+	// Pass 1: collect annotated fields and locked functions.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if s, ok := n.(*ast.StructType); ok {
+				c.collectFields(s)
+			}
+			return true
+		})
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			for _, dir := range annot.FuncDirectives(fn) {
+				if dir.Verb != annot.Locked {
+					continue
+				}
+				if ref, ok := annot.ParseGuardRef(dir.Args); ok {
+					c.lockedD[obj] = append(c.lockedD[obj], ref)
+				}
+			}
+		}
+	}
+	if len(c.guards) == 0 && len(c.lockedD) == 0 {
+		return nil, nil
+	}
+	// Pass 2: scan every function body.
+	for _, f := range pass.Files {
+		if annot.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			st := c.entryState(fn)
+			c.scanStmts(fn.Body.List, st)
+			c.drainQueue()
+		}
+	}
+	return nil, nil
+}
+
+// collectFields records every //tsexplain:guardedby field.
+func (c *checker) collectFields(s *ast.StructType) {
+	for _, f := range s.Fields.List {
+		var ref annot.GuardRef
+		found := false
+		for _, d := range annot.FieldDirectives(f) {
+			if d.Verb == annot.GuardedBy {
+				ref, found = annot.ParseGuardRef(d.Args)
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		for _, name := range f.Names {
+			if v, ok := c.pass.TypesInfo.Defs[name].(*types.Var); ok {
+				c.guards[v] = ref
+			}
+		}
+	}
+}
+
+// entryState seeds the held set from the function's locked annotations.
+func (c *checker) entryState(fn *ast.FuncDecl) state {
+	st := make(state)
+	obj, _ := c.pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if obj == nil {
+		return st
+	}
+	recvName, recvType := "", ""
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		if names := fn.Recv.List[0].Names; len(names) == 1 {
+			recvName = names[0].Name
+		}
+		if v, ok := c.pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]].(*types.Var); ok {
+			recvType = namedName(v.Type())
+		}
+	}
+	for _, ref := range c.lockedD[obj] {
+		if ref.Type != "" {
+			st[held{typName: ref.Type, field: ref.Field}] = true
+		} else if recvName != "" {
+			st[held{baseStr: recvName, typName: recvType, field: ref.Field}] = true
+		}
+	}
+	return st
+}
+
+func (c *checker) drainQueue() {
+	for len(c.queue) > 0 {
+		lit := c.queue[0]
+		c.queue = c.queue[1:]
+		// Closures never inherit the creator's locks: a goroutine or a
+		// deferred cleanup runs when those locks may be long released.
+		c.scanStmts(lit.Body.List, make(state))
+	}
+}
+
+// scanStmts walks a statement list in source order, checking guarded
+// accesses against st and applying lock/unlock effects. It reports
+// whether control cannot flow past the list.
+func (c *checker) scanStmts(stmts []ast.Stmt, st state) bool {
+	for _, s := range stmts {
+		if c.scanStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) scanStmt(s ast.Stmt, st state) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.ExprStmt:
+		c.checkExpr(s.X, st)
+		if isPanic(s.X) {
+			return true
+		}
+		c.applyLockEffect(s.X, st)
+		return false
+	case *ast.DeferStmt:
+		// A deferred unlock holds the lock to function exit (no release
+		// seen); a deferred closure is a fresh scope; argument
+		// expressions evaluate now and are checked now.
+		if _, _, op := lockEffect(c.pass, s.Call); op != 0 {
+			return false
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.queue = append(c.queue, lit)
+		}
+		for _, a := range s.Call.Args {
+			c.checkExpr(a, st)
+		}
+		return false
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.queue = append(c.queue, lit)
+		}
+		for _, a := range s.Call.Args {
+			c.checkExpr(a, st)
+		}
+		return false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.checkExpr(e, st)
+		}
+		for _, e := range s.Lhs {
+			c.checkExpr(e, st)
+		}
+		return false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkExpr(e, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.IncDecStmt:
+		c.checkExpr(s.X, st)
+		return false
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, st)
+		c.checkExpr(s.Value, st)
+		return false
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.checkExpr(e, st)
+				return false
+			}
+			return true
+		})
+		return false
+	case *ast.LabeledStmt:
+		return c.scanStmt(s.Stmt, st)
+	case *ast.BlockStmt:
+		return c.scanStmts(s.List, st)
+	case *ast.IfStmt:
+		c.scanStmt(s.Init, st)
+		c.checkExpr(s.Cond, st)
+		bodySt := st.clone()
+		bodyTerm := c.scanStmts(s.Body.List, bodySt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = c.scanStmt(s.Else, elseSt)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return true
+		case bodyTerm:
+			// Only the else path continues: adopt its state.
+			replace(st, elseSt)
+		case elseTerm:
+			replace(st, bodySt)
+		default:
+			// Either path may have run: only locks held on both survive.
+			bodySt.intersect(elseSt)
+			replace(st, bodySt)
+		}
+		return false
+	case *ast.ForStmt:
+		c.scanStmt(s.Init, st)
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, st)
+		}
+		bodySt := st.clone()
+		c.scanStmts(s.Body.List, bodySt)
+		c.scanStmt(s.Post, bodySt)
+		// The loop may run zero times; keep only locks held either way.
+		st.intersect(bodySt)
+		return false
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, st)
+		bodySt := st.clone()
+		c.scanStmts(s.Body.List, bodySt)
+		st.intersect(bodySt)
+		return false
+	case *ast.SwitchStmt:
+		c.scanStmt(s.Init, st)
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, st)
+		}
+		allTerm, hasDefault := c.scanCases(s.Body, st)
+		// Only an exhaustive switch with every case terminating stops
+		// control flow; without a default the zero-match path falls out.
+		return allTerm && hasDefault
+	case *ast.TypeSwitchStmt:
+		c.scanStmt(s.Init, st)
+		allTerm, hasDefault := c.scanCases(s.Body, st)
+		return allTerm && hasDefault
+	case *ast.SelectStmt:
+		// A blocking select always takes some case: if every case
+		// terminates, control never flows past it.
+		allTerm, _ := c.scanCases(s.Body, st)
+		return allTerm && len(s.Body.List) > 0
+	}
+	return false
+}
+
+// scanCases runs each case body on a private clone; the conservative
+// post-state keeps only what every non-terminating branch preserves. It
+// reports whether every case terminated and whether a default exists.
+func (c *checker) scanCases(body *ast.BlockStmt, st state) (allTerm, hasDefault bool) {
+	merged := (state)(nil)
+	allTerm = true
+	for _, cc := range body.List {
+		caseSt := st.clone()
+		var list []ast.Stmt
+		switch cc := cc.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				c.checkExpr(e, caseSt)
+			}
+			list = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			c.scanStmt(cc.Comm, caseSt)
+			list = cc.Body
+		}
+		if term := c.scanStmts(list, caseSt); term {
+			continue
+		}
+		allTerm = false
+		if merged == nil {
+			merged = caseSt
+		} else {
+			merged.intersect(caseSt)
+		}
+	}
+	if merged != nil {
+		replace(st, merged)
+	}
+	return allTerm, hasDefault
+}
+
+func replace(dst, src state) {
+	for h := range dst {
+		delete(dst, h)
+	}
+	for h := range src {
+		dst[h] = true
+	}
+}
+
+// checkExpr verifies every guarded-field access and locked-function call
+// in the expression. Function literals are not entered here; they are
+// queued as independent scopes.
+func (c *checker) checkExpr(e ast.Expr, st state) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.queue = append(c.queue, n)
+			return false
+		case *ast.SelectorExpr:
+			c.checkAccess(n, st)
+		case *ast.CallExpr:
+			c.checkLockedCall(n, st)
+		}
+		return true
+	})
+}
+
+// checkAccess flags a guarded field touched without its mutex.
+func (c *checker) checkAccess(se *ast.SelectorExpr, st state) {
+	sel := c.pass.TypesInfo.Selections[se]
+	if sel == nil || sel.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := sel.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	ref, ok := c.guards[v]
+	if !ok {
+		return
+	}
+	if c.satisfied(ref, se.X, st) {
+		return
+	}
+	c.pass.Reportf(se.Sel.Pos(),
+		"%s is //tsexplain:guardedby %s, which is not held here; lock it or annotate the function //tsexplain:locked %s",
+		v.Name(), guardString(ref), guardString(ref))
+}
+
+// checkLockedCall flags a call to a //tsexplain:locked function made
+// without the lock its callees assume.
+func (c *checker) checkLockedCall(call *ast.CallExpr, st state) {
+	var id *ast.Ident
+	var recv ast.Expr
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id, recv = fun.Sel, fun.X
+	default:
+		return
+	}
+	fn, _ := c.pass.TypesInfo.Uses[id].(*types.Func)
+	if fn == nil {
+		return
+	}
+	// Methods on generic types resolve to per-instantiation objects;
+	// lockedD is keyed by the declared (origin) method.
+	fn = fn.Origin()
+	for _, ref := range c.lockedD[fn] {
+		target := recv
+		if ref.Type != "" {
+			target = nil
+		}
+		if target == nil && ref.Type == "" {
+			continue // sibling annotation on a non-method: nothing to check
+		}
+		if !c.satisfied(ref, target, st) {
+			c.pass.Reportf(call.Pos(),
+				"call to %s requires //tsexplain:locked %s to be held", fn.Name(), guardString(ref))
+		}
+	}
+}
+
+// satisfied reports whether the guard is held for an access whose base
+// expression is base (nil for type-only external guards).
+func (c *checker) satisfied(ref annot.GuardRef, base ast.Expr, st state) bool {
+	if ref.Type != "" {
+		for h := range st {
+			if h.field == ref.Field && h.typName == ref.Type {
+				return true
+			}
+		}
+		return false
+	}
+	baseStr := types.ExprString(base)
+	baseType := namedName(c.pass.TypesInfo.TypeOf(base))
+	for h := range st {
+		if h.field != ref.Field {
+			continue
+		}
+		if h.baseStr == baseStr {
+			return true
+		}
+		// A //tsexplain:locked T.mu entry covers sibling guards on any T.
+		if h.baseStr == "" && h.typName != "" && h.typName == baseType {
+			return true
+		}
+	}
+	return false
+}
+
+// applyLockEffect updates the held set for x.mu.Lock()-shaped calls.
+func (c *checker) applyLockEffect(e ast.Expr, st state) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	base, field, op := lockEffect(c.pass, call)
+	if op == 0 {
+		return
+	}
+	h := held{
+		baseStr: types.ExprString(base),
+		typName: namedName(c.pass.TypesInfo.TypeOf(base)),
+		field:   field,
+	}
+	if op > 0 {
+		st[h] = true
+	} else {
+		delete(st, h)
+	}
+}
+
+// lockEffect recognizes x.mu.Lock/RLock (+1) and Unlock/RUnlock (-1)
+// where mu is a sync.Mutex or sync.RWMutex field; op 0 means "not a
+// lock operation".
+func lockEffect(pass *analysis.Pass, call *ast.CallExpr) (base ast.Expr, field string, op int) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", 0
+	}
+	switch fun.Sel.Name {
+	case "Lock", "RLock":
+		op = 1
+	case "Unlock", "RUnlock":
+		op = -1
+	default:
+		return nil, "", 0
+	}
+	if !isMutex(pass.TypesInfo.TypeOf(fun.X)) {
+		return nil, "", 0
+	}
+	mu, ok := ast.Unparen(fun.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", 0 // bare mutex variable; nothing to bind a guard to
+	}
+	return mu.X, mu.Sel.Name, op
+}
+
+func isMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// namedName returns the named type's name behind pointers, or "".
+func namedName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func guardString(ref annot.GuardRef) string {
+	if ref.Type != "" {
+		return ref.Type + "." + ref.Field
+	}
+	return ref.Field
+}

@@ -1,0 +1,54 @@
+package analysis_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestRepoClean builds cmd/tsexplain-vet and runs it over the whole
+// module the same way CI does, asserting the repo carries zero
+// invariant violations. A new map-ordered loop in a kernel package, an
+// unguarded touch of a //tsexplain:guardedby field, or a minted root
+// context on the request path fails this test before it reaches CI.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a vet tool and re-type-checks the module; skipped in -short")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "tsexplain-vet")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	build := exec.Command("go", "build", "-o", bin, "./cmd/tsexplain-vet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building tsexplain-vet: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("tsexplain-vet is not clean over ./...: %v\n%s", err, out)
+	}
+}
+
+// moduleRoot walks up from the test's directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

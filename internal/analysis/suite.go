@@ -1,0 +1,38 @@
+// Package analysis assembles tsexplain-vet: the project-specific
+// go/analysis suite that machine-checks the engine's invariants. The
+// golden corpus and the race detector catch violations after the fact;
+// these analyzers catch them at vet time, before the ROADMAP's
+// concurrency-heavy items (multi-node fan-out, progressive explains,
+// mmap arenas) multiply the ways to violate them. See
+// ARCHITECTURE.md "Invariants & static analysis" for the analyzer ↔
+// invariant map.
+package analysis
+
+import (
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/lostcancel"
+
+	"repro/internal/analysis/annotcheck"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/lockguard"
+)
+
+// Suite is every analyzer cmd/tsexplain-vet runs: the five
+// project-specific ones plus the upstream passes worth promoting into
+// the standard vet run. lostcancel is bundled because the server mints
+// WithTimeout/WithCancel contexts on every request path; nilness is NOT
+// bundled — it needs go/ssa, which the offline toolchain vendor does not
+// carry (see vendor/modules.txt; revisit when the module proxy is
+// reachable).
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		annotcheck.Analyzer,
+		determinism.Analyzer,
+		lockguard.Analyzer,
+		ctxflow.Analyzer,
+		hotpathalloc.Analyzer,
+		lostcancel.Analyzer,
+	}
+}

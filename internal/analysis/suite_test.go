@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/annotcheck"
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/lockguard"
+)
+
+// The scoped analyzers default to repro/internal/... package paths; the
+// fixtures live under synthetic paths, so widen the scope for the test
+// and restore it after.
+func unscoped(t *testing.T, set func(string) error, def string) {
+	t.Helper()
+	if err := set(""); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := set(def); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestDeterminism(t *testing.T) {
+	unscoped(t, func(v string) error {
+		return determinism.Analyzer.Flags.Set("pkgs", v)
+	}, determinism.DefaultScope)
+	atest.Run(t, determinism.Analyzer, "determ")
+}
+
+func TestLockguard(t *testing.T) {
+	atest.Run(t, lockguard.Analyzer, "lock")
+}
+
+func TestCtxflow(t *testing.T) {
+	unscoped(t, func(v string) error {
+		return ctxflow.Analyzer.Flags.Set("pkgs", v)
+	}, ctxflow.DefaultScope)
+	atest.Run(t, ctxflow.Analyzer, "ctxf")
+}
+
+func TestHotpathAlloc(t *testing.T) {
+	atest.Run(t, hotpathalloc.Analyzer, "hot")
+}
+
+func TestAnnotCheck(t *testing.T) {
+	atest.Run(t, annotcheck.Analyzer, "annotfix")
+}

@@ -1,0 +1,63 @@
+// Package annotfix is the tsexannotcheck fixture: typo'd verbs,
+// unresolvable guards, reason-less suppressions, and misplaced
+// directives must be flagged; well-formed annotations must stay clean.
+package annotfix
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	n  int //tsexplain:guardedby mu
+	d  int //tsexplain:guardedby shard.mu
+}
+
+type orphan struct {
+	a int //tsexplain:guardedby missing // want `no sibling field "missing"`
+	b int //tsexplain:guardedby a // want `is not a sync.Mutex`
+	c int //tsexplain:guardedby nosuch.mu // want `no struct type "nosuch"`
+	d int //tsexplain:guardedby shard.zzz // want `has no sync.Mutex/RWMutex field "zzz"`
+	//tsexplain:hotpath // want `belongs on a function declaration`
+	e int
+}
+
+//tsexplain:locked mu
+func (s *shard) incLocked() { s.n++ }
+
+//tsexplain:locked shard.mu
+func touch(s *shard) { s.d++ }
+
+//tsexplain:locked shard.zzz // want `has no sync.Mutex/RWMutex field "zzz"`
+func badLocked() {}
+
+//tsexplain:hotpath extra words // want `takes no argument`
+func badHotpath() {}
+
+//tsexplain:ctxroot // want `needs a reason`
+func badCtxRoot() {}
+
+//tsexplain:guardedby mu // want `belongs on a struct field`
+func badGuardPlacement() {}
+
+//tsexplain:gaurdedby mu // want `unknown //tsexplain: directive`
+func typoVerb() {}
+
+func sweepNoReason(m map[string]int) {
+	//tsexplain:unordered // want `must carry a reason`
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func sweepReasoned(m map[string]int) int {
+	n := 0
+	//tsexplain:unordered counting only, order-free
+	for range m {
+		n++
+	}
+	return n
+}
+
+func floatingDirective() {
+	//tsexplain:cancellable // want `not attached to a function declaration`
+	_ = 0
+}

@@ -1,0 +1,85 @@
+// Package ctxf is the tsexctxflow fixture: minted root contexts must be
+// flagged unless the function is a declared ctxroot, and cancellable
+// functions must poll their hook — in the body, and in every nested
+// loop not excused by //tsexplain:nopoll.
+package ctxf
+
+import "context"
+
+func handler(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background() // want `mints a root context`
+}
+
+//tsexplain:ctxroot detached background job with its own timeout
+func detached() context.Context {
+	return context.Background()
+}
+
+//tsexplain:cancellable
+func solve(n int, cancel func() error) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if cancel() != nil {
+			return total
+		}
+		for j := 0; j < n; j++ {
+			total += j
+		}
+	}
+	return total
+}
+
+//tsexplain:cancellable
+func neverPolls(n int) int { // want `never polls a cancellation hook`
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+//tsexplain:cancellable
+func unpolledNested(n int, cancel func() error) int {
+	if cancel() != nil {
+		return 0
+	}
+	total := 0
+	for i := 0; i < n; i++ { // want `nested loop .* never polls`
+		for j := 0; j < n; j++ {
+			total += j
+		}
+	}
+	return total
+}
+
+//tsexplain:cancellable
+func boundedNested(n int, cancel func() error) int {
+	if cancel() != nil {
+		return 0
+	}
+	total := 0
+	//tsexplain:nopoll inner bound is a constant 8
+	for i := 0; i < n; i++ {
+		for j := 0; j < 8; j++ {
+			total += j
+		}
+	}
+	return total
+}
+
+//tsexplain:cancellable
+func pollsViaDone(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return total
+		default:
+		}
+		for j := 0; j < n; j++ {
+			total += j
+		}
+	}
+	return total
+}

@@ -1,0 +1,96 @@
+// Package determ is the tsexdeterminism fixture: order-sensitive map
+// loops and clock/rand reads must be flagged; commutative loops, keyed
+// writes, annotated suppressions, and seeded sources must stay clean.
+package determ
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func appendOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order`
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sumValues is pure accumulation: order-insensitive, clean.
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// countAndDelete mixes a delete sweep with counting: still commutative.
+func countAndDelete(m map[string]int) int {
+	n := 0
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// copyByKey writes cells keyed by the (distinct) iteration key: clean.
+func copyByKey(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// argmax is the classic tie-breaking flake: last writer wins on ties.
+func argmax(m map[string]float64) string {
+	bestK := ""
+	best := 0.0
+	for k, v := range m { // want `map iteration order`
+		if v > best {
+			best = v
+			bestK = k
+		}
+	}
+	return bestK
+}
+
+// annotated would be flagged (plain assignment) but carries a reasoned
+// suppression.
+func annotated(m map[string]int) int {
+	max := 0
+	//tsexplain:unordered max of ints is order-independent
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+func clock() time.Duration {
+	start := time.Now()      // want `wall-clock read time.Now`
+	return time.Since(start) // want `wall-clock read time.Since`
+}
+
+// statsClock reads the clock for a stat that never feeds output.
+func statsClock() int64 {
+	t := time.Now().UnixNano() //tsexplain:nondet stats only, never feeds output
+	return t
+}
+
+func draw() int {
+	return rand.Intn(10) // want `global math/rand`
+}
+
+// seeded draws from a locally seeded source: reproducible, clean.
+func seeded(r *rand.Rand) int {
+	return r.Intn(10)
+}

@@ -1,0 +1,96 @@
+// Package hot is the tsexhotpathalloc fixture: fmt calls, in-loop
+// string concatenation/conversions, closures, interface boxing, and map
+// allocations inside //tsexplain:hotpath functions must be flagged;
+// plain arithmetic kernels, un-annotated functions, and reasoned
+// //tsexplain:allowalloc lines must stay clean.
+package hot
+
+import "fmt"
+
+type cell struct {
+	sum float64
+	cnt int64
+}
+
+// fill is the shape of the real group-by kernel: index arithmetic into
+// preallocated arenas, nothing else. Clean.
+//
+//tsexplain:hotpath
+func fill(dst []cell, idx []int32, vals []float64) {
+	for i, v := range vals {
+		c := &dst[idx[i]]
+		c.sum += v
+		c.cnt++
+	}
+}
+
+//tsexplain:hotpath
+func label(ids []int) string {
+	out := ""
+	for _, id := range ids {
+		out += fmt.Sprintf("%d", id) // want `string concatenation` `fmt.Sprintf allocates`
+	}
+	return out
+}
+
+//tsexplain:hotpath
+func keyString(b []byte) string {
+	s := ""
+	for len(b) > 4 {
+		s = string(b[:4]) // want `string conversion inside a loop`
+		b = b[4:]
+	}
+	return s
+}
+
+//tsexplain:hotpath
+func closureCapture(vals []float64) float64 {
+	total := 0.0
+	add := func(v float64) { total += v } // want `function literal`
+	for _, v := range vals {
+		add(v)
+	}
+	return total
+}
+
+//tsexplain:hotpath
+func boxes(v int) {
+	sink(v) // want `interface parameter boxes`
+}
+
+func sink(x interface{}) { _ = x }
+
+//tsexplain:hotpath
+func table() map[string]int {
+	return map[string]int{"a": 1} // want `map literal`
+}
+
+//tsexplain:hotpath
+func coldInit() map[string]int {
+	m := make(map[string]int) //tsexplain:allowalloc cold fallback, runs once per dataset
+	return m
+}
+
+//tsexplain:hotpath
+func mapLookup(m map[string]int, b []byte) int {
+	total := 0
+	for len(b) > 4 {
+		total += m[string(b[:4])] // clean: compiler elides the lookup conversion
+		b = b[4:]
+	}
+	return total
+}
+
+//tsexplain:hotpath
+func pointerIface(p *cell) {
+	sink(p) // clean: a pointer fits the interface data word, no boxing alloc
+}
+
+// notHot allocates freely: no annotation, no diagnostics.
+func notHot(ids []int) string {
+	out := ""
+	for _, id := range ids {
+		out += fmt.Sprint(id)
+	}
+	return out
+}

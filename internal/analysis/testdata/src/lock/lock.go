@@ -1,0 +1,107 @@
+// Package lock is the tsexlockguard fixture: guarded-field accesses
+// without the mutex, locked-function calls without the lock, and
+// goroutine closures inheriting nothing must be flagged; proper
+// Lock/Unlock pairing, deferred unlocks, early-return branches, and
+// //tsexplain:locked entry states must stay clean.
+package lock
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //tsexplain:guardedby mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) bad() {
+	c.n++ // want `guardedby mu`
+}
+
+func (c *counter) deferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+//tsexplain:locked mu
+func (c *counter) incLocked() {
+	c.n++
+}
+
+func (c *counter) callsLocked() {
+	c.incLocked() // want `requires //tsexplain:locked mu`
+}
+
+func (c *counter) callsLockedHeld() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incLocked()
+}
+
+func (c *counter) earlyReturn(cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return
+	}
+	c.n++ // clean: the branch that unlocked also returned
+	c.mu.Unlock()
+}
+
+func (c *counter) branchLeak(cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+	}
+	c.n++ // want `guardedby mu`
+}
+
+func (c *counter) goroutineLeak() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `guardedby mu`
+	}()
+}
+
+func (c *counter) selectExhaustive(ch chan int, cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		select {
+		case <-ch:
+			return
+		default:
+			return
+		}
+	}
+	c.n++ // clean: every select case returns, so the branch never falls through
+	c.mu.Unlock()
+}
+
+// External guards: entry fields guarded by some pool's mutex.
+
+type pool struct {
+	mu sync.Mutex
+}
+
+type entry struct {
+	dead bool //tsexplain:guardedby pool.mu
+}
+
+func mark(p *pool, e *entry) {
+	p.mu.Lock()
+	e.dead = true
+	p.mu.Unlock()
+	e.dead = false // want `guardedby pool.mu`
+}
+
+//tsexplain:locked pool.mu
+func markLocked(e *entry) {
+	e.dead = true
+}

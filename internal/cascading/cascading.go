@@ -114,6 +114,8 @@ type segmentScores struct {
 // non-nil only the selectable candidates are scored — the DP never reads
 // γ of a candidate it cannot select, so skipping the rest keeps the
 // per-segment cost at O(filtered ε).
+//
+//tsexplain:hotpath
 func (s *Solver) scoreSegment(c, t int, base []bool) segmentScores {
 	n := s.u.NumCandidates()
 	if cap(s.gammaBuf) < n {
@@ -138,6 +140,8 @@ func (s *Solver) scoreSegment(c, t int, base []bool) segmentScores {
 // solves; that is safe because the DP and extraction only ever read the
 // score of a selectable candidate, and the caller restricts selection to
 // exactly ids.
+//
+//tsexplain:hotpath
 func (s *Solver) scoreSegmentIDs(c, t int, ids []int) segmentScores {
 	n := s.u.NumCandidates()
 	if cap(s.gammaBuf) < n {
@@ -239,6 +243,7 @@ func (st *solveState) carveVec() []float64 {
 	return out
 }
 
+//tsexplain:hotpath
 func (s *Solver) solveScored(scores segmentScores, allowed []bool) Result {
 	return s.solveScoredIDs(scores, allowed, nil)
 }
@@ -248,6 +253,8 @@ func (s *Solver) solveScored(scores segmentScores, allowed []bool) Result {
 // of scanning all ε candidates, which is what keeps a solve restricted to
 // M candidates at O(M)-ish cost overall. ids must enumerate exactly the
 // true entries of allowed (nil falls back to the scan).
+//
+//tsexplain:hotpath
 func (s *Solver) solveScoredIDs(scores segmentScores, allowed []bool, ids []int) Result {
 	n := s.u.NumCandidates() + 1
 	if cap(s.memoBuf) < n {
@@ -277,6 +284,7 @@ func (s *Solver) solveScoredIDs(scores segmentScores, allowed []bool, ids []int)
 			reach[int(id)+1] = false
 		}
 		s.marked = s.marked[:0]
+		//tsexplain:allowalloc one prologue closure per solve; non-escaping, stack-allocated
 		mark := func(id int) {
 			for _, anc := range s.u.AncestorsOf(id) {
 				if !reach[anc+1] {
@@ -314,6 +322,7 @@ func (s *Solver) solveScoredIDs(scores segmentScores, allowed []bool, ids []int)
 			Effect: scores.effect[id],
 		})
 	}
+	//tsexplain:allowalloc result assembly; Result escapes the solve by design
 	sort.SliceStable(res.Explanations, func(i, j int) bool {
 		return res.Explanations[i].Gamma > res.Explanations[j].Gamma
 	})
@@ -331,6 +340,8 @@ func (st *solveState) selectable(id int) bool {
 // within the node's slice. nodeID is the candidate ID, or -1 for the root;
 // depth is the drill-down recursion depth, which indexes the reusable
 // knapsack scratch.
+//
+//tsexplain:hotpath
 func (st *solveState) best(nodeID, depth int) []float64 {
 	if st.reach != nil && nodeID >= 0 && !st.reach[nodeID+1] {
 		return st.s.zeroVec
@@ -404,6 +415,8 @@ func (st *solveState) best(nodeID, depth int) []float64 {
 // best[q] at the given node, appending candidate IDs to picked. depth
 // indexes the reusable parent-pointer tables, which stay live across the
 // recursive calls below (the recursion only ever uses deeper buffers).
+//
+//tsexplain:hotpath
 func (st *solveState) extract(nodeID, q, depth int, picked *[]int) {
 	if q <= 0 {
 		return

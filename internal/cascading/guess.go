@@ -100,6 +100,8 @@ func (s *Solver) guessVerifyScored(scores segmentScores, chi []int, base []bool,
 // selectTop partially partitions ids so the k entries with the highest
 // gamma occupy ids[:k] (in arbitrary order), via iterative quickselect
 // with median-of-three pivoting. O(len(ids)) expected.
+//
+//tsexplain:hotpath
 func selectTop(ids []int, gamma []float64, k int) {
 	lo, hi := 0, len(ids)
 	for hi-lo > 1 && k > lo && k < hi {
@@ -149,6 +151,8 @@ func selectTop(ids []int, gamma []float64, k int) {
 // i.e. even if the remaining m−m' picks all came from beyond the guessed
 // prefix at the highest conceivable scores, they could not beat the
 // current solution.
+//
+//tsexplain:hotpath
 func (s *Solver) verified(res Result, scores segmentScores, chi []int, mbar int) bool {
 	for mp := 0; mp < s.m; mp++ {
 		bound := res.Best[mp]

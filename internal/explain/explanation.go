@@ -147,6 +147,7 @@ func (ix *candIndex) insert(c relation.Conjunction, id int) {
 		}
 		// Unreachable when newCandIndex vetted the relation; guard anyway.
 		ix.str = make(map[string]uint32)
+		//tsexplain:unordered map-to-map migration keyed by distinct conjunction keys
 		for k, v := range ix.packed {
 			ix.str[k.Unpack().Key()] = v
 		}

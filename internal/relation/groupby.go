@@ -218,6 +218,8 @@ func (p *GroupByPlan) GroupIDsAt(rank int) []uint32 {
 }
 
 // packTuple packs an id tuple with the plan's current shift layout.
+//
+//tsexplain:hotpath
 func (p *GroupByPlan) packTuple(ids []uint32) uint64 {
 	var k uint64
 	for i, v := range ids {
@@ -364,6 +366,8 @@ func (p *GroupByPlan) AppendRows(fromRow int) int {
 // maps a group's rank to the slice (indexed by time position) that should
 // receive its contributions. It is the append path's pass 2: the universe
 // hands out views into its shared arena, and only the delta is scanned.
+//
+//tsexplain:hotpath
 func (p *GroupByPlan) FillRows(fromRow int, series func(rank int) []SumCount) {
 	r := p.r
 	vals := r.measures[p.m].vals
@@ -387,6 +391,8 @@ func (p *GroupByPlan) FillRows(fromRow int, series func(rank int) []SumCount) {
 }
 
 // rowKey packs the row's id tuple over the planned dimensions.
+//
+//tsexplain:hotpath
 func (p *GroupByPlan) rowKey(row int) uint64 {
 	var k uint64
 	for i, d := range p.dims {
@@ -404,6 +410,8 @@ func (p *GroupByPlan) NumGroups() int { return p.n }
 // series in place. Distinct plans write to distinct arenas (or disjoint
 // ranges of a shared one), so calls on different plans may run
 // concurrently.
+//
+//tsexplain:hotpath
 func (p *GroupByPlan) FillArena(arena []SumCount, stride int) {
 	r := p.r
 	T := r.NumTimestamps()

@@ -69,6 +69,7 @@ func Dice(r *Relation, constraints map[string][]string) (*Relation, error) {
 		ids map[uint32]bool
 	}
 	var sets []dimSet
+	//tsexplain:unordered conjunctive filter; set order never changes which rows pass
 	for attr, vals := range constraints {
 		d := r.DimIndex(attr)
 		if d < 0 {

@@ -24,6 +24,7 @@ type Conjunction []Pred
 // occurs, or the same attribute appears twice.
 func NewConjunction(r *Relation, pairs map[string]string) (Conjunction, error) {
 	c := make(Conjunction, 0, len(pairs))
+	//tsexplain:unordered canonicalized by normalize() below
 	for attr, val := range pairs {
 		di := r.DimIndex(attr)
 		if di < 0 {

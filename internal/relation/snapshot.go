@@ -445,6 +445,8 @@ func (sr *SnapReader) F64() float64 { return math.Float64frombits(sr.U64()) }
 
 // SumCountsInto bulk-decodes len(dst) (sum, count) pairs into dst, the
 // counterpart of SnapWriter.SumCounts.
+//
+//tsexplain:hotpath
 func (sr *SnapReader) SumCountsInto(dst []SumCount) {
 	if sr.err != nil {
 		return
@@ -465,7 +467,7 @@ func (sr *SnapReader) SumCountsInto(dst []SumCount) {
 	var b [16]byte
 	for i := range dst {
 		if _, err := io.ReadFull(sr.r, b[:]); err != nil {
-			sr.err = fmt.Errorf("relation: snapshot truncated: %w", err)
+			sr.err = fmt.Errorf("relation: snapshot truncated: %w", err) //tsexplain:allowalloc cold error path; the decode aborts here
 			return
 		}
 		dst[i].Sum = math.Float64frombits(binary.LittleEndian.Uint64(b[:8]))
@@ -556,6 +558,8 @@ func (sr *SnapReader) VStr() string {
 }
 
 // F64ColumnInto decodes a column written by F64Column into dst.
+//
+//tsexplain:hotpath
 func (sr *SnapReader) F64ColumnInto(dst []float64) {
 	switch flag := sr.U8(); flag {
 	case 1:
@@ -572,7 +576,7 @@ func (sr *SnapReader) F64ColumnInto(dst []float64) {
 		}
 	default:
 		if sr.err == nil {
-			sr.err = fmt.Errorf("relation: snapshot: unknown float column flag %d", flag)
+			sr.err = fmt.Errorf("relation: snapshot: unknown float column flag %d", flag) //tsexplain:allowalloc cold error path; the decode aborts here
 		}
 	}
 }
@@ -581,6 +585,8 @@ func (sr *SnapReader) F64ColumnInto(dst []float64) {
 // must already be sized to the series length (sparse layouts rely on it
 // to bound indexes). dst is zeroed first so absent sparse entries decode
 // to exact +0.0 pairs.
+//
+//tsexplain:hotpath
 func (sr *SnapReader) SumCountsV2Into(dst []SumCount) {
 	layout := sr.U8()
 	if sr.err != nil {
@@ -598,7 +604,7 @@ func (sr *SnapReader) SumCountsV2Into(dst []SumCount) {
 		return
 	case scSparseIntegral, scSparseRawSum, scSparseRaw, scSparseDecimal:
 	default:
-		sr.err = fmt.Errorf("relation: snapshot: unknown series layout %d", layout)
+		sr.err = fmt.Errorf("relation: snapshot: unknown series layout %d", layout) //tsexplain:allowalloc cold error path; the decode aborts here
 		return
 	}
 	for i := range dst {
@@ -609,7 +615,7 @@ func (sr *SnapReader) SumCountsV2Into(dst []SumCount) {
 		return
 	}
 	if nnz > len(dst) {
-		sr.err = fmt.Errorf("relation: snapshot: %d sparse entries exceed series length %d", nnz, len(dst))
+		sr.err = fmt.Errorf("relation: snapshot: %d sparse entries exceed series length %d", nnz, len(dst)) //tsexplain:allowalloc cold error path; the decode aborts here
 		return
 	}
 	idx := -1
@@ -619,12 +625,12 @@ func (sr *SnapReader) SumCountsV2Into(dst []SumCount) {
 			return
 		}
 		if gap > uint64(len(dst)) {
-			sr.err = fmt.Errorf("relation: snapshot: sparse gap %d exceeds series length %d", gap, len(dst))
+			sr.err = fmt.Errorf("relation: snapshot: sparse gap %d exceeds series length %d", gap, len(dst)) //tsexplain:allowalloc cold error path; the decode aborts here
 			return
 		}
 		idx += int(gap) + 1
 		if idx < 0 || idx >= len(dst) {
-			sr.err = fmt.Errorf("relation: snapshot: sparse entry index %d out of series of %d", idx, len(dst))
+			sr.err = fmt.Errorf("relation: snapshot: sparse entry index %d out of series of %d", idx, len(dst)) //tsexplain:allowalloc cold error path; the decode aborts here
 			return
 		}
 		switch layout {

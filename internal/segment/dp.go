@@ -62,6 +62,8 @@ type Options struct {
 // Optimize solves the K-Segmentation problem (Problem 1) with the dynamic
 // program of Eq. 11 over the given variance calculator. It returns the
 // optimal scheme for every K in 1..KMax.
+//
+//tsexplain:cancellable
 func Optimize(vc *VarCalc, opts Options) (DPResult, error) {
 	n := vc.e.u.NumTimestamps()
 	if n < 2 {
@@ -120,6 +122,7 @@ func Optimize(vc *VarCalc, opts Options) (DPResult, error) {
 	inf := math.Inf(1)
 	D := make([][]float64, kmax+1)
 	par := make([][]int, kmax+1)
+	//tsexplain:nopoll O(kmax*q) zero-fill with no variance computations
 	for k := 0; k <= kmax; k++ {
 		D[k] = make([]float64, q)
 		par[k] = make([]int, q)
@@ -141,6 +144,11 @@ func Optimize(vc *VarCalc, opts Options) (DPResult, error) {
 		}
 		Dprev := D[k-1]
 		for i := k; i < q; i++ {
+			// The j-sweep below makes each k-round O(q²); poll per row so
+			// a cancellation lands within O(q) work instead of O(q²).
+			if err := cancel(); err != nil {
+				return DPResult{}, err
+			}
 			best := inf
 			arg := -1
 			row := wt[i]
@@ -166,6 +174,7 @@ func Optimize(vc *VarCalc, opts Options) (DPResult, error) {
 
 	res := DPResult{ByK: make([]Scheme, kmax+1)}
 	last := q - 1
+	//tsexplain:nopoll reconstruction is O(kmax^2) parent-pointer chasing, kmax is a small constant
 	for k := 1; k <= kmax; k++ {
 		res.ByK[k].TotalVariance = D[k][last]
 		if math.IsInf(D[k][last], 1) {

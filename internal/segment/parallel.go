@@ -31,6 +31,8 @@ func (e *Explainer) PrewarmParallel(segs [][2]int, workers int) int {
 // stays consistent, the work simply stops early — and the count of
 // completed solves is returned. The caller is expected to surface the
 // cancellation error itself.
+//
+//tsexplain:cancellable
 func (e *Explainer) PrewarmParallelCancel(segs [][2]int, workers int, cancel func() error) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -66,7 +68,7 @@ func (e *Explainer) PrewarmParallelCancel(segs [][2]int, workers int, cancel fun
 		go func(w int) {
 			defer wg.Done()
 			solver := cascading.NewSolver(e.u, e.solver.Metric(), e.m)
-			start := time.Now()
+			start := time.Now() //tsexplain:nondet per-worker latency stat; never feeds explanation output
 			for i := w; i < len(todo); i += workers {
 				if stopped.Load() {
 					break
@@ -80,7 +82,7 @@ func (e *Explainer) PrewarmParallelCancel(segs [][2]int, workers int, cancel fun
 				rounds[w] += r
 				results[i] = done{seg: seg, res: res, ok: true}
 			}
-			caTimes[w] = time.Since(start)
+			caTimes[w] = time.Since(start) //tsexplain:nondet per-worker latency stat; never feeds explanation output
 		}(w)
 	}
 	wg.Wait()

@@ -89,6 +89,7 @@ func (sc *segCache) rewrite(fn func(c, t int, r *cascading.Result) bool) {
 			}
 		}
 	}
+	//tsexplain:unordered per-entry rewrite/drop of a segment-keyed cache; entries are independent
 	for key, r := range sc.m {
 		if !fn(int(key>>segKeyShift), int(key&(1<<segKeyShift-1)), r) {
 			delete(sc.m, key)
@@ -161,6 +162,7 @@ func (sc *segCache) invalidateFrom(p int) {
 			}
 		}
 	}
+	//tsexplain:unordered per-entry predicate delete; entries are independent
 	for key := range sc.m {
 		c, t := key>>segKeyShift, key&(1<<segKeyShift-1)
 		if t >= int64(p) || c >= int64(p) {
@@ -228,6 +230,7 @@ func (sc *segCache) forEach(fn func(c, t int, r *cascading.Result)) {
 			}
 		}
 	}
+	//tsexplain:unordered forEach contract: fn must be order-insensitive (stats, rescans)
 	for key, r := range sc.m {
 		fn(int(key>>segKeyShift), int(key&(1<<segKeyShift-1)), r)
 	}

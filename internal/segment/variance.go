@@ -176,6 +176,8 @@ func (vc *VarCalc) objects(a, b int) []int {
 // Weighted returns |P|·var(P), the quantity the segmentation objective
 // (Problem 1) sums, where |P| = b − a counts unit objects (so objectives
 // stay comparable across object granularities).
+//
+//tsexplain:hotpath
 func (vc *VarCalc) Weighted(a, b int) float64 {
 	if b-a <= 1 {
 		return 0 // a single object is its own centroid
@@ -216,6 +218,8 @@ func (vc *VarCalc) Weighted(a, b int) float64 {
 // weightedAllPair computes the AllPair designs. With unit objects it
 // answers from the prefix-sum table in O(1); with coarsened objects the
 // pair count is small enough to iterate directly.
+//
+//tsexplain:hotpath
 func (vc *VarCalc) weightedAllPair(a, b int) float64 {
 	if vc.objPos != nil {
 		bounds := vc.objects(a, b)
@@ -290,6 +294,8 @@ func (vc *VarCalc) buildPairPrefix() {
 }
 
 // rectSum returns Σ D[x][y] over x in [x0, x1], y in [y0, y1].
+//
+//tsexplain:hotpath
 func (vc *VarCalc) rectSum(x0, x1, y0, y1 int) float64 {
 	if x1 < x0 || y1 < y0 {
 		return 0

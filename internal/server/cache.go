@@ -25,6 +25,8 @@ func newLRU[V any](capacity int) *lruCache[V] {
 }
 
 // get returns the cached value and marks it most recently used.
+//
+//tsexplain:locked shard.mu
 func (c *lruCache[V]) get(key string) (V, bool) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -36,6 +38,8 @@ func (c *lruCache[V]) get(key string) (V, bool) {
 
 // add inserts (or refreshes) a value and evicts the least recently used
 // entries beyond capacity.
+//
+//tsexplain:locked shard.mu
 func (c *lruCache[V]) add(key string, val V) {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*lruEntry[V]).val = val
@@ -51,11 +55,15 @@ func (c *lruCache[V]) add(key string, val V) {
 }
 
 // len returns the number of cached entries.
+//
+//tsexplain:locked shard.mu
 func (c *lruCache[V]) len() int { return c.ll.Len() }
 
 // removeMatching removes every entry whose key satisfies match and
 // returns the removed values. The registry uses it to drop a deleted (or
 // appended-to) dataset's pooled engines and cached results in one sweep.
+//
+//tsexplain:locked shard.mu
 func (c *lruCache[V]) removeMatching(match func(key string) bool) []V {
 	var out []V
 	var next *list.Element
@@ -76,6 +84,8 @@ func (c *lruCache[V]) removeMatching(match func(key string) bool) []V {
 // for memory-budget eviction: pinned engines (in-flight requests) report
 // not-evictable and are skipped, so shedding memory never yanks an engine
 // out from under a request.
+//
+//tsexplain:locked shard.mu
 func (c *lruCache[V]) evictOldest(evictable func(V) bool) (V, bool) {
 	for el := c.ll.Back(); el != nil; el = el.Prev() {
 		ent := el.Value.(*lruEntry[V])

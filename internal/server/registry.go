@@ -61,20 +61,20 @@ type registry struct {
 	// pre-append result into the cache invalidateDataset just swept, and
 	// serve stale data until the next eviction.
 	dmu   sync.Mutex
-	dsets map[string]*datasetEntry
-	gens  map[string]uint64
+	dsets map[string]*datasetEntry //tsexplain:guardedby dmu
+	gens  map[string]uint64        //tsexplain:guardedby dmu
 
 	// live holds the per-dataset streaming ingestion state behind the
 	// append endpoint (livemu guards the map; each liveStream has its own
 	// lock).
 	livemu sync.Mutex
-	live   map[string]*liveStream
+	live   map[string]*liveStream //tsexplain:guardedby livemu
 
 	// refreshing coalesces background snapshot refreshes: at most one
 	// refresh per dataset runs at a time, and a burst of appends queues a
 	// single re-run instead of a goroutine per append.
 	refreshMu  sync.Mutex
-	refreshing map[string]*refreshJob
+	refreshing map[string]*refreshJob //tsexplain:guardedby refreshMu
 }
 
 // refreshJob is one dataset's in-flight snapshot refresh. queued marks a
@@ -82,8 +82,8 @@ type registry struct {
 // covers data persisted after the current run started); waiters are
 // closed when the job fully drains.
 type refreshJob struct {
-	queued  bool
-	waiters []chan struct{}
+	queued  bool            //tsexplain:guardedby registry.refreshMu
+	waiters []chan struct{} //tsexplain:guardedby registry.refreshMu
 }
 
 // datasetEntry is one lazily materialized dataset. Published relations
@@ -92,9 +92,9 @@ type refreshJob struct {
 // entry are always safe.
 type datasetEntry struct {
 	mu     sync.Mutex
-	loaded bool
-	d      *datasets.Dataset
-	err    error
+	loaded bool              //tsexplain:guardedby mu
+	d      *datasets.Dataset //tsexplain:guardedby mu
+	err    error             //tsexplain:guardedby mu
 }
 
 // liveStream is one catalog dataset's streaming ingestion state: a
@@ -104,7 +104,7 @@ type datasetEntry struct {
 // never share it, they read immutable published clones.
 type liveStream struct {
 	mu  sync.Mutex
-	inc *core.Incremental
+	inc *core.Incremental //tsexplain:guardedby mu
 }
 
 // shard owns a disjoint slice of the key space.
@@ -112,10 +112,10 @@ type shard struct {
 	met *metrics
 
 	mu        sync.Mutex
-	engines   *lruCache[*engineEntry]
-	results   *lruCache[*core.Result]
-	inflight  map[string]*inflightCall
-	memUsed   int64
+	engines   *lruCache[*engineEntry]  //tsexplain:guardedby mu
+	results   *lruCache[*core.Result]  //tsexplain:guardedby mu
+	inflight  map[string]*inflightCall //tsexplain:guardedby mu
+	memUsed   int64                    //tsexplain:guardedby mu
 	memBudget int64
 
 	// Admission: sem holds one token per running request; waiting counts
@@ -144,8 +144,8 @@ type engineEntry struct {
 	// its build cost is never charged to the shard (the entry can no
 	// longer be evicted to reclaim it). charged tracks whether the
 	// entry's cost is currently counted in the shard's memUsed.
-	dead    bool
-	charged bool
+	dead    bool //tsexplain:guardedby shard.mu
+	charged bool //tsexplain:guardedby shard.mu
 }
 
 // inflightCall tracks one in-progress explain; late arrivals for the same
@@ -643,6 +643,8 @@ func (g *registry) publishDataset(name string, d *datasets.Dataset) {
 // engine) are never evicted, so a shard whose budget is exceeded entirely
 // by pinned engines temporarily stays over budget and converges once the
 // requests drain.
+//
+//tsexplain:locked mu
 func (sh *shard) evictOverBudgetLocked() {
 	for sh.memUsed > sh.memBudget {
 		ent, ok := sh.engines.evictOldest(func(e *engineEntry) bool {

@@ -183,7 +183,7 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 		elapsed := time.Since(start)
 		s.met.observe(pattern, sw.status(), elapsed.Seconds())
 		if s.logger != nil {
-			s.logger.LogAttrs(context.Background(), slog.LevelInfo, "request",
+			s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
 				slog.String("method", r.Method),
 				slog.String("endpoint", pattern),
 				slog.String("query", r.URL.RawQuery),

@@ -17,6 +17,10 @@
 # CI regenerates the first four in short mode on every PR and gates them
 # against the committed baselines with cmd/benchcmp; after an accepted
 # perf change, rerun this script and commit the new JSONs to re-baseline.
+# scripts/lint.sh is the static-analysis counterpart: it runs the
+# tsexplain-vet invariant suite that keeps these numbers honest (the
+# //tsexplain:hotpath annotations pin the zero-alloc kernels measured
+# here).
 #
 # Usage: scripts/bench.sh [extra benchjson flags for the micro run...]
 #        scripts/bench.sh server [extra loadgen flags...]

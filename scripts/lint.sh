@@ -1,0 +1,52 @@
+#!/bin/sh
+# One-shot static analysis: everything CI's lint-side jobs run, in one
+# local command, so "is this PR clean?" is answerable before pushing:
+#
+#   gofmt          formatting (fails listing the unformatted files)
+#   go vet         the stock toolchain analyzers
+#   tsexplain-vet  the project's invariant suite (internal/analysis):
+#                  tsexdeterminism, tsexlockguard, tsexctxflow,
+#                  tsexhotpathalloc, tsexannotcheck, lostcancel — see
+#                  ARCHITECTURE.md "Invariants & static analysis"
+#   staticcheck    when installed (CI installs it; local runs skip)
+#   govulncheck    when installed (CI installs it; local runs skip)
+#
+# scripts/bench.sh is the perf-side counterpart (benchmark regeneration
+# and gating).
+#
+# Usage: scripts/lint.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== tsexplain-vet"
+vetdir="$(mktemp -d)"
+trap 'rm -rf "$vetdir"' EXIT
+go build -o "$vetdir/tsexplain-vet" ./cmd/tsexplain-vet
+go vet -vettool="$vetdir/tsexplain-vet" ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "== staticcheck"
+	staticcheck ./...
+else
+	echo "== staticcheck (not installed; skipped)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+	echo "== govulncheck"
+	govulncheck ./...
+else
+	echo "== govulncheck (not installed; skipped)"
+fi
+
+echo "lint: all clean"
