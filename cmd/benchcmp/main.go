@@ -8,6 +8,7 @@
 //	go run ./cmd/benchcmp -mode streaming -baseline BENCH_streaming.json -current /tmp/streaming.json
 //	go run ./cmd/benchcmp -mode catalog   -baseline BENCH_catalog.json   -current /tmp/catalog.json
 //	go run ./cmd/benchcmp -mode approx    -baseline BENCH_approx.json    -current /tmp/approx.json
+//	go run ./cmd/benchcmp -mode server    -baseline BENCH_server.json    -current /tmp/server.json -max-p99-ms 500
 //
 // Engine mode compares ns/op and allocs/op per benchmark (taking the
 // minimum across -count repetitions, so noisy runs only help); streaming
@@ -21,7 +22,14 @@
 // high-cardinality approximate path —
 // the approx-vs-exact speedup must hold its floor (at least 5x, and not
 // collapse relative to the baseline) and the reported error bound must
-// stay within the requested epsilon and above the measured error.
+// stay within the requested epsilon and above the measured error; server
+// mode gates the serving-layer workload report (cmd/loadgen output) —
+// total p99 within the latency ratio of its baseline, and the
+// degrade-never-shed invariant on the approx-eligible classes (explain,
+// approx, progressive): zero 429s and zero 503s, because overload is
+// required to degrade those answers, not shed them, plus an optional
+// absolute -max-p99-ms ceiling on each of those classes' p99 (for
+// progressive the report's latency is time-to-first-round).
 //
 // Benchmark-set mismatches fail in BOTH directions: a benchmark named by
 // the baseline but missing from the fresh run means coverage was silently
@@ -66,13 +74,14 @@ type StreamReport struct {
 }
 
 func main() {
-	mode := flag.String("mode", "engine", "engine (micro benchmarks), streaming (append-path replay), catalog (snapshot warm-restart), or approx (high-cardinality approximate path)")
+	mode := flag.String("mode", "engine", "engine (micro benchmarks), streaming (append-path replay), catalog (snapshot warm-restart), approx (high-cardinality approximate path), or server (serving-layer load report)")
 	baseline := flag.String("baseline", "", "committed baseline JSON (default depends on mode)")
 	current := flag.String("current", "", "freshly generated JSON to check")
 	maxLatency := flag.Float64("max-latency-ratio", 1.25, "fail when current/baseline latency exceeds this")
 	maxAllocs := flag.Float64("max-allocs-ratio", 2.0, "fail when current/baseline allocs/op exceeds this")
 	maxSnapshotCSVRatio := flag.Float64("max-snapshot-csv-ratio", 0, "catalog mode: fail when a dataset's snapshot_bytes/csv_bytes exceeds this (0 disables; the footprint contract is 0.5)")
 	maxUniverseBuildNs := flag.Float64("max-universe-build-ns", 0, "engine mode: absolute ns/op ceiling for PrecomputeLiquor (0 disables; machine-dependent, so CI sets it with headroom)")
+	maxP99Ms := flag.Float64("max-p99-ms", 0, "server mode: absolute p99 ceiling in ms for the approx-eligible classes (0 disables; the committed-baseline contract is 500)")
 	flag.Parse()
 
 	if *baseline == "" {
@@ -83,6 +92,8 @@ func main() {
 			*baseline = "BENCH_catalog.json"
 		case "approx":
 			*baseline = "BENCH_approx.json"
+		case "server":
+			*baseline = "BENCH_server.json"
 		default:
 			*baseline = "BENCH_engine.json"
 		}
@@ -102,6 +113,8 @@ func main() {
 		violations, err = compareCatalog(*baseline, *current, *maxLatency, *maxSnapshotCSVRatio)
 	case "approx":
 		violations, err = compareApprox(*baseline, *current, *maxLatency)
+	case "server":
+		violations, err = compareServer(*baseline, *current, *maxLatency, *maxP99Ms)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -325,6 +338,77 @@ func compareCatalog(baselinePath, currentPath string, maxLatency, maxSnapshotCSV
 					"%s: snapshot %d bytes is %.3f× the %d-byte CSV (ceiling %.2f×)",
 					c.Name, c.SnapshotBytes, ratio, c.CSVBytes, maxSnapshotCSVRatio))
 			}
+		}
+	}
+	return violations, nil
+}
+
+// ServerClassStats and ServerReport mirror the fields of
+// BENCH_server.json (cmd/loadgen output) the gate reads.
+type ServerClassStats struct {
+	Requests int            `json:"requests"`
+	Codes    map[string]int `json:"codes"`
+	Degraded int            `json:"degraded"`
+	P99Ms    float64        `json:"p99_ms"`
+}
+
+type ServerReport struct {
+	Totals  ServerClassStats             `json:"totals"`
+	ByClass map[string]*ServerClassStats `json:"by_class"`
+}
+
+// degradableClasses are the workload classes the degrade-never-shed
+// contract covers: approx-eligible explains in all three shapes. The
+// other classes (vanilla-free but non-explain, plus admin writes) may
+// legitimately shed under overload.
+var degradableClasses = []string{"explain", "approx", "progressive"}
+
+// compareServer gates the serving-layer workload: the total p99 must
+// stay within the latency ratio of its baseline, every baseline class
+// must still be exercised, and — the invariants this mode exists for —
+// the approx-eligible classes must show zero 429/503 (under overload
+// those requests degrade to bounded coarse answers, they do not shed)
+// and, when the absolute ceiling is set, each approx-eligible class's
+// p99 must stay under it. The ceiling deliberately covers only the
+// degradable classes: they are the traffic the degrade path promises a
+// prompt bounded answer, while the non-degradable classes (diff, slice,
+// stream, admin writes) are allowed to queue out their deadline under
+// saturation. Progressive latency in the report is time-to-first-round.
+func compareServer(baselinePath, currentPath string, maxLatency, maxP99Ms float64) ([]string, error) {
+	var base, cur ServerReport
+	if err := load(baselinePath, &base); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := load(currentPath, &cur); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	var violations []string
+	if base.Totals.P99Ms > 0 {
+		if ratio := cur.Totals.P99Ms / base.Totals.P99Ms; ratio > maxLatency {
+			violations = append(violations, fmt.Sprintf(
+				"totals: p99 %.1f → %.1f ms (×%.2f)", base.Totals.P99Ms, cur.Totals.P99Ms, ratio))
+		}
+	}
+	for name := range base.ByClass {
+		if c, ok := cur.ByClass[name]; !ok || c.Requests == 0 {
+			violations = append(violations, fmt.Sprintf(
+				"%s: class missing from current run (coverage silently dropped)", name))
+		}
+	}
+	for _, name := range degradableClasses {
+		c, ok := cur.ByClass[name]
+		if !ok {
+			continue
+		}
+		for _, code := range []string{"429", "503"} {
+			if n := c.Codes[code]; n > 0 {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %d×%s — approx-eligible traffic must degrade under overload, never shed", name, n, code))
+			}
+		}
+		if maxP99Ms > 0 && c.P99Ms > maxP99Ms {
+			violations = append(violations, fmt.Sprintf(
+				"%s: p99 %.1f ms exceeds the %.0f ms ceiling for approx-eligible traffic", name, c.P99Ms, maxP99Ms))
 		}
 	}
 	return violations, nil

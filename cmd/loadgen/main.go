@@ -1,11 +1,13 @@
 // Command loadgen replays a mixed TSExplain workload — cold and warm
 // explains across datasets and K values (exact and mode=approx with
-// varied epsilon), SVG renders, OLAP slices, two-point diffs, streaming
-// replays, and catalog NDJSON appends —
+// varied epsilon), progressive NDJSON explain streams, SVG renders, OLAP
+// slices, two-point diffs, streaming replays, and catalog NDJSON appends —
 // against the serving layer at a fixed client concurrency, and writes
 // BENCH_server.json with per-endpoint latency quantiles (p50/p95/p99),
-// throughput, status-code counts, and the server's own shed/eviction
-// counters scraped from /metrics.
+// throughput, status-code counts, per-class degraded-answer counts (the
+// shed-vs-degrade report: how much overload was absorbed as bounded
+// coarse answers instead of 429/503s), and the server's own
+// shed/degraded/eviction counters scraped from /metrics.
 //
 // With -addr it targets a running server; without it, it starts an
 // in-process server (configurable shards/workers/queue/budget) so one
@@ -49,9 +51,10 @@ import (
 func main() {
 	addr := flag.String("addr", "", "target server base URL; empty starts an in-process server")
 	clients := flag.Int("clients", 256, "concurrent client goroutines")
-	duration := flag.Duration("duration", 15*time.Second, "how long to drive load")
+	duration := flag.Duration("duration", 15*time.Second, "how long to measure (after warmup)")
+	warmup := flag.Duration("warmup", 3*time.Second, "unmeasured lead-in at full load: engines build, caches fill, and only steady-state requests are recorded")
 	dsets := flag.String("datasets", "liquor,covid,stream", "comma-separated dataset mix")
-	mix := flag.String("mix", "explain=8,svg=1,slice=3,diff=2,stream=1,append=1,approx=2", "weighted request mix")
+	mix := flag.String("mix", "explain=8,svg=1,slice=3,diff=2,stream=1,append=1,approx=2,progressive=1", "weighted request mix")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	out := flag.String("o", "BENCH_server.json", "output file ('-' for stdout)")
 	// In-process server knobs (ignored with -addr).
@@ -65,6 +68,7 @@ func main() {
 	cfg := runConfig{
 		clients:  *clients,
 		duration: *duration,
+		warmup:   *warmup,
 		datasets: strings.Split(*dsets, ","),
 		seed:     *seed,
 	}
@@ -128,6 +132,12 @@ func main() {
 type runConfig struct {
 	clients  int
 	duration time.Duration
+	// warmup is the unmeasured lead-in: the same mix at the same
+	// concurrency, but samples started inside it are dropped, so the
+	// report describes the steady state rather than the cold-start
+	// convoy (engine builds and cache fills serializing behind the
+	// admission lanes).
+	warmup   time.Duration
 	datasets []string
 	// approxDatasets is what the approx class draws from: the regular
 	// datasets plus, when the target server has a catalog, the uploaded
@@ -155,7 +165,7 @@ func parseMix(s string) ([]weightedClass, error) {
 			return nil, fmt.Errorf("bad mix weight %q", part)
 		}
 		switch kv[0] {
-		case "explain", "svg", "slice", "diff", "stream", "append", "approx":
+		case "explain", "svg", "slice", "diff", "stream", "append", "approx", "progressive":
 		default:
 			return nil, fmt.Errorf("unknown mix class %q", kv[0])
 		}
@@ -263,11 +273,14 @@ func uploadHighcard(client *http.Client, base string) bool {
 	return uploadDataset(client, base, manifest, csv.String())
 }
 
-// sample is one finished request.
+// sample is one finished request. degraded records whether the server
+// answered from the degraded overload lane (a 200 that would have been a
+// 429/503 before the degrade-never-shed rework), sniffed from the body.
 type sample struct {
-	class string
-	code  int
-	ms    float64
+	class    string
+	code     int
+	ms       float64
+	degraded bool
 }
 
 func run(base string, cfg runConfig) (*Report, error) {
@@ -340,7 +353,7 @@ func run(base string, cfg runConfig) (*Report, error) {
 		return nil, fmt.Errorf("empty workload mix")
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.warmup+cfg.duration)
 	defer cancel()
 	perClient := make([][]sample, cfg.clients)
 	start := time.Now()
@@ -353,24 +366,50 @@ func run(base string, cfg runConfig) (*Report, error) {
 			for ctx.Err() == nil {
 				cls := pickClass(rng, cfg.mix, totalWeight)
 				var code int
+				var degraded bool
+				var firstMs float64
 				t0 := time.Now()
-				if cls == "append" {
+				switch {
+				case cls == "append":
 					code = doAppend(ctx, client, base, &appendDay, rng)
-				} else {
+				case cls == "progressive":
+					code, degraded, firstMs = doProgressive(ctx, client,
+						buildURL(base, cls, rng, cfg.approxDatasets, labels))
+				default:
 					dsets := cfg.datasets
 					if cls == "approx" {
 						dsets = cfg.approxDatasets
 					}
-					code = doRequest(ctx, client, buildURL(base, cls, rng, dsets, labels))
+					// Explain-family responses are sniffed for the degraded
+					// flag so the report can split shed-vs-degrade.
+					sniff := cls == "explain" || cls == "approx"
+					code, degraded = doRequest(ctx, client, buildURL(base, cls, rng, dsets, labels), sniff)
+				}
+				lat := float64(time.Since(t0).Microseconds()) / 1000
+				if firstMs > 0 {
+					// A progressive stream's latency is its time-to-first-
+					// round: that is the interactivity the endpoint promises,
+					// while the later rounds refine at leisure (the stream is
+					// still drained to completion above).
+					lat = firstMs
+				}
+				// Warmup samples drive load but are not recorded.
+				if t0.Sub(start) < cfg.warmup {
+					continue
 				}
 				perClient[i] = append(perClient[i], sample{
-					class: cls, code: code, ms: float64(time.Since(t0).Microseconds()) / 1000,
+					class: cls, code: code, degraded: degraded, ms: lat,
 				})
 			}
 		}(i)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	// The measured window excludes the warmup: its samples were dropped,
+	// so rates are computed over the recording span only.
+	elapsed := time.Since(start) - cfg.warmup
+	if elapsed <= 0 {
+		elapsed = time.Since(start)
+	}
 
 	var all []sample
 	for _, s := range perClient {
@@ -412,6 +451,10 @@ func buildURL(base, class string, rng *rand.Rand, dsets []string, labels map[str
 	case "approx":
 		return fmt.Sprintf("%s/api/explain?dataset=%s&k=%d&mode=approx&epsilon=%s",
 			base, d, ks[rng.Intn(len(ks))], epsilons[rng.Intn(len(epsilons))])
+	case "progressive":
+		// The full refinement stream, coarse round through exact final.
+		return fmt.Sprintf("%s/api/explain?dataset=%s&k=%d&progressive=1",
+			base, d, ks[rng.Intn(len(ks))])
 	case "svg":
 		if rng.Intn(2) == 0 {
 			return fmt.Sprintf("%s/svg/trendlines?dataset=%s", base, d)
@@ -459,20 +502,65 @@ func doAppend(ctx context.Context, client *http.Client, base string, day *atomic
 	return resp.StatusCode
 }
 
-// doRequest returns the response status (0 on transport errors). Bodies
-// are drained so connections are reused.
-func doRequest(ctx context.Context, client *http.Client, url string) int {
+// degradedMarker is what a degraded-lane explain (or progressive round)
+// carries in its JSON body.
+var degradedMarker = []byte(`"degraded":true`)
+
+// doRequest returns the response status (0 on transport errors) and,
+// when sniff is set, whether the body carries the degraded-answer flag.
+// Bodies are drained either way so connections are reused.
+func doRequest(ctx context.Context, client *http.Client, url string, sniff bool) (int, bool) {
 	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
 	if err != nil {
-		return 0
+		return 0, false
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0
+		return 0, false
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	return resp.StatusCode
+	defer resp.Body.Close()
+	if !sniff {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, false
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, false
+	}
+	return resp.StatusCode, bytes.Contains(body, degradedMarker)
+}
+
+// doProgressive drives one progressive explain stream: it reports the
+// response status, whether round 1 came from the degraded lane, and the
+// time-to-first-round in milliseconds (0 when no round arrived). The
+// rest of the stream is drained so the server-side refinement runs to
+// completion and the connection is reusable.
+func doProgressive(ctx context.Context, client *http.Client, url string) (int, bool, float64) {
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return 0, false, 0
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, false, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, false, 0
+	}
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadBytes('\n')
+	firstMs := float64(time.Since(t0).Microseconds()) / 1000
+	degraded := bytes.Contains(line, degradedMarker)
+	if len(line) == 0 {
+		firstMs = 0
+	}
+	if err == nil {
+		_, _ = io.Copy(io.Discard, br)
+	}
+	return resp.StatusCode, degraded, firstMs
 }
 
 // Report is the BENCH_server.json document.
@@ -485,6 +573,7 @@ type Report struct {
 	Server      string                 `json:"server"`
 	Clients     int                    `json:"clients"`
 	DurationS   float64                `json:"duration_s"`
+	WarmupS     float64                `json:"warmup_s"`
 	Datasets    []string               `json:"datasets"`
 	Mix         string                 `json:"mix"`
 	UnixTime    int64                  `json:"unix_time"`
@@ -493,11 +582,14 @@ type Report struct {
 	Metrics     map[string]float64     `json:"server_metrics,omitempty"`
 }
 
-// ClassStats aggregates one request class (or all of them).
+// ClassStats aggregates one request class (or all of them). Degraded
+// counts 200s served from the degraded overload lane — the
+// shed-vs-degrade report reads Degraded against Codes["429"]/["503"].
 type ClassStats struct {
 	Requests int            `json:"requests"`
 	RPS      float64        `json:"rps"`
 	Codes    map[string]int `json:"codes"`
+	Degraded int            `json:"degraded,omitempty"`
 	MeanMs   float64        `json:"mean_ms"`
 	P50Ms    float64        `json:"p50_ms"`
 	P95Ms    float64        `json:"p95_ms"`
@@ -515,6 +607,7 @@ func buildReport(all []sample, elapsed time.Duration, cfg runConfig) *Report {
 		Server:      cfg.server,
 		Clients:     cfg.clients,
 		DurationS:   elapsed.Seconds(),
+		WarmupS:     cfg.warmup.Seconds(),
 		Datasets:    cfg.datasets,
 		UnixTime:    time.Now().Unix(),
 		ByClass:     make(map[string]*ClassStats),
@@ -546,6 +639,9 @@ func classStats(samples []sample, elapsed time.Duration) ClassStats {
 	var sum float64
 	for _, s := range samples {
 		st.Codes[strconv.Itoa(s.code)]++
+		if s.degraded {
+			st.Degraded++
+		}
 		ms = append(ms, s.ms)
 		sum += s.ms
 	}
@@ -581,10 +677,13 @@ func scrapeMetrics(client *http.Client, base string) map[string]float64 {
 		case "tsexplain_result_cache_hits_total", "tsexplain_result_cache_misses_total",
 			"tsexplain_singleflight_dedup_total", "tsexplain_engine_evictions_total",
 			"tsexplain_dataset_loads_total", "tsexplain_approx_requests_total",
-			"tsexplain_approx_error_bound_sum", "tsexplain_approx_error_bound_count":
+			"tsexplain_approx_error_bound_sum", "tsexplain_approx_error_bound_count",
+			"tsexplain_progressive_rounds_total":
 			return true
 		}
 		return strings.HasPrefix(name, "tsexplain_shed_total") ||
+			strings.HasPrefix(name, "tsexplain_degraded_total") ||
+			strings.HasPrefix(name, "tsexplain_jobs_total") ||
 			strings.HasPrefix(name, "tsexplain_engine_pool_bytes") ||
 			strings.HasPrefix(name, "tsexplain_engine_pool_engines") ||
 			strings.HasPrefix(name, "tsexplain_catalog_") ||
@@ -612,12 +711,12 @@ func scrapeMetrics(client *http.Client, base string) map[string]float64 {
 		if err != nil {
 			continue
 		}
-		// Keep shed reasons separate; sum per-shard gauges into one
-		// number per metric family.
+		// Keep shed/degraded reasons and job events separate; sum
+		// per-shard gauges into one number per metric family.
 		key := bare
-		if bare == "tsexplain_shed_total" {
-			if i := strings.Index(name, `reason="`); i >= 0 {
-				rest := name[i+len(`reason="`):]
+		for _, label := range []string{`reason="`, `event="`} {
+			if i := strings.Index(name, label); i >= 0 {
+				rest := name[i+len(label):]
 				if j := strings.IndexByte(rest, '"'); j >= 0 {
 					key = bare + "_" + rest[:j]
 				}

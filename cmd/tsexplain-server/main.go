@@ -40,6 +40,10 @@ func main() {
 	accessLog := flag.Bool("access-log", false, "write structured JSON request logs to stderr")
 	dataDir := flag.String("data-dir", "", "dataset catalog directory; empty serves built-in datasets only")
 	snapshot := flag.Bool("snapshot", true, "write/restore warm-restart snapshots for catalog datasets")
+	jobsDir := flag.String("jobs-dir", "", "async-job directory (default <data-dir>/jobs; empty with no -data-dir disables the job API)")
+	jobTTL := flag.Duration("job-ttl", 0, "retention of finished async jobs before GC (0: default 1h)")
+	jobWorkers := flag.Int("job-workers", 0, "concurrently running async jobs (0: default 2)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job compute deadline (0: default 5m)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profile live traffic with go tool pprof)")
 	flag.Parse()
 
@@ -57,6 +61,10 @@ func main() {
 		AccessLog:         logW,
 		DataDir:           *dataDir,
 		DisableSnapshots:  !*snapshot,
+		JobsDir:           *jobsDir,
+		JobTTL:            *jobTTL,
+		JobWorkers:        *jobWorkers,
+		JobTimeout:        *jobTimeout,
 	})
 	if err != nil {
 		log.Fatalf("tsexplain-server: %v", err)
@@ -85,6 +93,9 @@ func main() {
 	}
 	if *dataDir != "" {
 		log.Printf("TSExplain catalog at %s (snapshots %v)", *dataDir, *snapshot)
+	}
+	if *jobsDir != "" || *dataDir != "" {
+		log.Printf("TSExplain async jobs enabled (POST /api/jobs)")
 	}
 	log.Printf("TSExplain serving on http://%s (metrics at /metrics)", *addr)
 	log.Fatal(srv.ListenAndServe())

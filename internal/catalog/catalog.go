@@ -64,9 +64,9 @@ func Open(dir string) (*Catalog, error) {
 		return nil, fmt.Errorf("catalog: scanning data dir: %w", err)
 	}
 	for _, e := range entries {
-		if !e.IsDir() || !ValidName(e.Name()) {
-			// Temp staging dirs (".tmp-*"), trash, and stray files are
-			// skipped by the name filter.
+		if !e.IsDir() || !ValidName(e.Name()) || e.Name() == JobsDirName {
+			// Temp staging dirs (".tmp-*"), trash, stray files, and the
+			// reserved async-job directory are not datasets.
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(dir, e.Name(), manifestFile))
@@ -90,6 +90,14 @@ func Open(dir string) (*Catalog, error) {
 // registerLocked adds a manifest to the name/alias maps, rejecting
 // collisions. Callers hold mu (or have exclusive access during Open).
 func (c *Catalog) registerLocked(m Manifest) error {
+	if m.Name == JobsDirName {
+		return fmt.Errorf("catalog: %q is reserved for the async-job store", m.Name)
+	}
+	for _, a := range m.Aliases {
+		if a == JobsDirName {
+			return fmt.Errorf("catalog: alias %q is reserved for the async-job store", a)
+		}
+	}
 	if _, ok := c.byName[m.Name]; ok {
 		return fmt.Errorf("%w: %q", ErrExists, m.Name)
 	}

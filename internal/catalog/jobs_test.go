@@ -1,0 +1,167 @@
+package catalog
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestJobStoreRoundTrip(t *testing.T) {
+	st, err := OpenJobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &JobRecord{
+		ID:            "00112233aabbccdd",
+		Query:         "dataset=liquor&k=3",
+		Status:        JobQueued,
+		SubmittedAtMs: 1000,
+	}
+	if err := st.Put(j); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Query != j.Query || got.Status != JobQueued || got.SubmittedAtMs != 1000 {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+	// Update in place: results persist verbatim.
+	j.Status = JobDone
+	j.FinishedAtMs = 2000
+	j.Result = json.RawMessage(`{"k":3}`)
+	if err := st.Put(j); err != nil {
+		t.Fatal(err)
+	}
+	got, err = st.Get(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != JobDone || string(got.Result) != `{"k":3}` {
+		t.Errorf("updated record = %+v", got)
+	}
+	if err := st.Delete(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(j.ID); !errors.Is(err, ErrJobNotFound) {
+		t.Errorf("get after delete: err = %v, want ErrJobNotFound", err)
+	}
+	if err := st.Delete(j.ID); !errors.Is(err, ErrJobNotFound) {
+		t.Errorf("double delete: err = %v, want ErrJobNotFound", err)
+	}
+}
+
+func TestJobStoreRejectsBadIDs(t *testing.T) {
+	st, err := OpenJobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "short", "../../etc/passwd", "00112233AABBCCDD", "00112233aabbccdd0"} {
+		if err := st.Put(&JobRecord{ID: id}); err == nil {
+			t.Errorf("Put accepted invalid id %q", id)
+		}
+		if _, err := st.Get(id); !errors.Is(err, ErrJobNotFound) {
+			t.Errorf("Get(%q): err = %v, want ErrJobNotFound", id, err)
+		}
+	}
+}
+
+func TestJobStoreListSkipsTornRecords(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenJobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &JobRecord{ID: "aaaaaaaaaaaaaaaa", Status: JobQueued, SubmittedAtMs: 5}
+	if err := st.Put(good); err != nil {
+		t.Fatal(err)
+	}
+	// A torn write (invalid JSON) and a stray file must not break List.
+	if err := os.WriteFile(filepath.Join(dir, "bbbbbbbbbbbbbbbb.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not a job"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != good.ID {
+		t.Fatalf("List = %+v, want just the good record", jobs)
+	}
+}
+
+func TestJobStoreSweep(t *testing.T) {
+	st, err := OpenJobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.UnixMilli(100_000)
+	ttl := 10 * time.Second
+	put := func(id, status string, finished int64) {
+		t.Helper()
+		if err := st.Put(&JobRecord{ID: id, Status: status, FinishedAtMs: finished}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("000000000000000a", JobDone, 10_000)    // old and done: swept
+	put("000000000000000b", JobFailed, 10_000)  // old and failed: swept
+	put("000000000000000c", JobDone, 95_000)    // done but fresh: kept
+	put("000000000000000d", JobQueued, 0)       // never swept while pending
+	put("000000000000000e", JobRunning, 10_000) // never swept while running
+
+	n, err := st.Sweep(now, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("Sweep removed %d, want 2", n)
+	}
+	jobs, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left []string
+	for _, j := range jobs {
+		left = append(left, j.ID)
+	}
+	want := []string{"000000000000000e", "000000000000000d", "000000000000000c"}
+	// List sorts by SubmittedAtMs (all zero here) then ID; just check membership.
+	if len(left) != 3 {
+		t.Fatalf("after sweep: %v, want the 3 unswept ids %v", left, want)
+	}
+	for _, id := range want {
+		if _, err := st.Get(id); err != nil {
+			t.Errorf("job %s swept, want kept: %v", id, err)
+		}
+	}
+}
+
+// TestCatalogReservesJobsDir pins the reservation: a jobs/ directory
+// inside the data dir is not a dataset, and no dataset or alias may
+// claim the name.
+func TestCatalogReservesJobsDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, JobsDirName), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Open must skip the manifest-less jobs dir instead of failing.
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open with jobs/ present: %v", err)
+	}
+	if names := c.Names(); len(names) != 0 {
+		t.Errorf("Names = %v, want empty (jobs/ is not a dataset)", names)
+	}
+	if err := c.registerLocked(Manifest{Name: JobsDirName}); err == nil {
+		t.Error("registering a dataset named jobs succeeded, want reserved-name error")
+	}
+	if err := c.registerLocked(Manifest{Name: "ok", Aliases: []string{JobsDirName}}); err == nil {
+		t.Error("registering an alias named jobs succeeded, want reserved-name error")
+	}
+}

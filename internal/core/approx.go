@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -77,6 +76,7 @@ type approxState struct {
 	order    []int
 	eligible int // candidates passing the support filter
 	m        int // current kept-candidate budget
+	m0       int // initial (coarse) budget, the anytime ramp's restart point
 	// Installed selection (ids ascending, bitmap mirrors ids) and its
 	// pruning threshold.
 	ids     []int
@@ -148,8 +148,19 @@ func (e *Engine) approxEnsure() *approxState {
 		m0 = a.eligible
 	}
 	a.m = m0
+	a.m0 = m0
 	e.approx = a
 	return a
+}
+
+// approxSupported reports whether the approximate path can run under the
+// configured metric: the contribution bound is only sound for the
+// absolute-change metric (the paper's default).
+func (e *Engine) approxSupported() error {
+	if e.opts.Metric != explain.AbsoluteChange {
+		return fmt.Errorf("core: approximate mode supports the absolute-change metric only, got %v", e.opts.Metric)
+	}
+	return nil
 }
 
 // installApprox makes the explainer solve against the current top-m
@@ -186,46 +197,7 @@ func (e *Engine) installApprox(a *approxState) {
 // the serving layer degrades to a coarser answer rather than shedding
 // the request.
 func (e *Engine) explainApproxK(ctx context.Context, positions []int, fixedK int) (*Result, error) {
-	if e.opts.Metric != explain.AbsoluteChange {
-		return nil, fmt.Errorf("core: approximate mode supports the absolute-change metric only, got %v", e.opts.Metric)
-	}
-	a := e.approxEnsure()
-	var budgetEnd time.Time
-	if tb := e.opts.Approx.TimeBudget; tb > 0 {
-		budgetEnd = time.Now().Add(tb)
-	}
-
-	var best *Result
-	for rounds := 1; ; rounds++ {
-		e.installApprox(a)
-		res, err := e.explainExactK(ctx, positions, fixedK)
-		if err != nil {
-			if best != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-				best.Approx.Truncated = true
-				return best, nil
-			}
-			return nil, err
-		}
-		e.annotateApprox(res, a, rounds)
-		best = res
-		switch {
-		case res.Approx.MaxErrBound <= e.opts.Approx.Epsilon,
-			a.m >= e.opts.Approx.MaxCandidates,
-			a.m >= a.eligible:
-			return best, nil
-		case ctx != nil && ctx.Err() != nil,
-			!budgetEnd.IsZero() && time.Now().After(budgetEnd):
-			best.Approx.Truncated = true
-			return best, nil
-		}
-		a.m *= 2
-		if a.m > e.opts.Approx.MaxCandidates {
-			a.m = e.opts.Approx.MaxCandidates
-		}
-		if a.m > a.eligible {
-			a.m = a.eligible
-		}
-	}
+	return e.runApproxRounds(ctx, positions, fixedK, false, nil)
 }
 
 // annotateApprox attaches the per-segment error bounds and residual

@@ -260,10 +260,8 @@ func (s *Server) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
 		return s.reg.appendDelta(r.Context(), canon, timeVals, dims, measures)
 	}()
 	if err != nil {
-		// Deadline sheds are already counted inside appendDelta's build
-		// path (countIfDeadline there); counting again here would double
-		// the shed metric. A concurrent delete can race the append;
-		// surface it as 404 rather than a generic 500.
+		// A concurrent delete can race the append; surface it as 404
+		// rather than a generic 500.
 		if errors.Is(err, catalog.ErrNotFound) {
 			err = uploadErr(err)
 		}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestOverloadDegradesNeverSheds is the PR's headline invariant, driven
+// end to end: with the only worker slot pinned by a long-running stream
+// and no queue, a burst of concurrent approx-eligible explains must ALL
+// come back 200 — degraded answers with an honest error bound — and not
+// one 429 or 503.
+func TestOverloadDegradesNeverSheds(t *testing.T) {
+	s := NewWithConfig(Config{Shards: 1, WorkersPerShard: 1, QueueDepth: -1})
+	sh := s.reg.shards[0]
+
+	// Pin the worker slot for the whole burst.
+	streamCtx, cancelStream := context.WithCancel(bg())
+	var streamWG sync.WaitGroup
+	streamWG.Add(1)
+	go func() {
+		defer streamWG.Done()
+		req := httptest.NewRequest("GET", "/api/stream?dataset=stream&start=2&step=1", nil).WithContext(streamCtx)
+		s.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for sh.busy.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream request never occupied the worker slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	defer func() {
+		cancelStream()
+		streamWG.Wait()
+	}()
+
+	// Vary the datasets so the burst isn't collapsed by the result cache
+	// or singleflight: distinct keys genuinely contend for admission.
+	paths := []string{
+		"/api/explain?dataset=vax-deaths",
+		"/api/explain?dataset=vax-deaths&k=3",
+		"/api/explain?dataset=covid",
+		"/api/explain?dataset=covid&k=2",
+		"/api/explain?dataset=sp500",
+		"/api/explain?dataset=sp500&mode=approx",
+		"/api/explain?dataset=covid-daily",
+		"/api/explain?dataset=vax-deaths&smooth=7",
+	}
+	const perPath = 2
+	type outcome struct {
+		code      int
+		degraded  bool
+		truncated bool
+		hasBound  bool
+		body      string
+	}
+	results := make(chan outcome, len(paths)*perPath)
+	var wg sync.WaitGroup
+	for _, path := range paths {
+		for i := 0; i < perPath; i++ {
+			wg.Add(1)
+			go func(path string) {
+				defer wg.Done()
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+				var body struct {
+					Degraded  bool `json:"degraded"`
+					Truncated bool `json:"truncated"`
+					Approx    *struct {
+						MaxErrBound float64 `json:"maxErrBound"`
+					} `json:"approx"`
+				}
+				_ = json.Unmarshal(rec.Body.Bytes(), &body)
+				results <- outcome{
+					code:      rec.Code,
+					degraded:  body.Degraded,
+					truncated: body.Truncated,
+					hasBound:  body.Approx != nil,
+					body:      rec.Body.String(),
+				}
+			}(path)
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	var shed, degraded int
+	for o := range results {
+		switch o.code {
+		case 200:
+			if o.degraded {
+				degraded++
+				if !o.truncated || !o.hasBound {
+					t.Errorf("degraded 200 without truncated flag + bound: %s", o.body)
+				}
+			}
+		default:
+			shed++
+			t.Errorf("approx-eligible request shed with %d under overload: %s", o.code, o.body)
+		}
+	}
+	if shed != 0 {
+		t.Fatalf("%d approx-eligible requests shed, want 0 (degrade, never shed)", shed)
+	}
+	if degraded == 0 {
+		t.Error("no request was served degraded while the worker slot was pinned; the test exercised nothing")
+	}
+	if s.met.shedQueueFull.Load() != 0 || s.met.shedDeadline.Load() != 0 {
+		t.Errorf("shed counters = %d/%d, want 0/0 — degraded 200s must not count as sheds",
+			s.met.shedQueueFull.Load(), s.met.shedDeadline.Load())
+	}
+	if got := s.met.degradedQueueFull.Load() + s.met.degradedDeadline.Load(); got == 0 {
+		t.Error("degraded counters never moved")
+	}
+}
+
+// TestDegradedDeadlineRescue pins the 503 path of the same contract: a
+// request whose server-side deadline expires while the slot is pinned is
+// rescued by the degraded lane (the client is still connected), instead
+// of surfacing 503.
+func TestDegradedDeadlineRescue(t *testing.T) {
+	cfg := Config{Shards: 1, WorkersPerShard: 1, QueueDepth: 8, RequestTimeout: 60 * time.Millisecond}
+	s := NewWithConfig(cfg)
+	sh := s.reg.shards[0]
+
+	// Pin the only worker slot directly (a stream request would be killed
+	// by the short request timeout this test needs).
+	release, err := sh.admit(bg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// With a queue, the explain waits until the 60ms request deadline
+	// expires — a 503 before this PR — and must now degrade to 200.
+	rec := get(t, s, "/api/explain?dataset=vax-deaths")
+	if rec.Code != 200 {
+		t.Fatalf("deadline-expired degradable explain = %d, want 200 (%s)", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Degraded  bool `json:"degraded"`
+		Truncated bool `json:"truncated"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Degraded || !body.Truncated {
+		t.Errorf("rescue flags = %+v, want degraded and truncated", body)
+	}
+	if got := s.met.degradedDeadline.Load(); got != 1 {
+		t.Errorf("deadline-degraded counter = %d, want 1", got)
+	}
+	if got := s.met.shedDeadline.Load(); got != 0 {
+		t.Errorf("deadline shed counter = %d, want 0 after a successful rescue", got)
+	}
+}

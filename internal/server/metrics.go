@@ -28,6 +28,22 @@ type metrics struct {
 	shedQueueFull atomic.Int64 // requests rejected with 429 (queue full)
 	shedDeadline  atomic.Int64 // requests failed with 503 (deadline/cancel)
 
+	// Degradation counters: approx-eligible requests that hit overload and
+	// were served a coarser bounded answer instead of being shed.
+	degradedQueueFull atomic.Int64 // degraded after a full admission queue
+	degradedDeadline  atomic.Int64 // degraded after a deadline/cancellation
+
+	// Progressive-stream counters: refinement rounds delivered, plus a
+	// per-round latency histogram (under mu).
+	progressiveRounds  atomic.Int64
+	progressiveRoundsH latencyHist
+
+	// Async job counters, by lifecycle event.
+	jobsSubmitted atomic.Int64
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsExpired   atomic.Int64 // jobs removed by the TTL sweeper
+
 	// Catalog admin-path counters.
 	catalogUploads    atomic.Int64 // datasets created through POST /api/datasets
 	catalogDeletes    atomic.Int64 // datasets removed through DELETE /api/datasets/{name}
@@ -66,6 +82,25 @@ func (m *metrics) observeApproxErr(bound float64) {
 	}
 	m.approxErrHist.count++
 	m.approxErrHist.sum += bound
+}
+
+// observeProgressiveRound records one delivered refinement round and its
+// latency (seconds since the previous round, or since stream start for
+// the first).
+func (m *metrics) observeProgressiveRound(seconds float64) {
+	m.progressiveRounds.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.progressiveRoundsH.buckets == nil {
+		m.progressiveRoundsH.buckets = make([]int64, len(latencyBuckets))
+	}
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			m.progressiveRoundsH.buckets[i]++
+		}
+	}
+	m.progressiveRoundsH.count++
+	m.progressiveRoundsH.sum += seconds
 }
 
 // latencyBuckets are the histogram upper bounds in seconds, spanning the
@@ -161,6 +196,21 @@ func (m *metrics) write(w io.Writer, shards []shardGauges) {
 		fmt.Fprintf(w, "tsexplain_http_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.count)
 	}
 
+	fmt.Fprintln(w, "# HELP tsexplain_progressive_round_seconds Latency of delivered progressive refinement rounds.")
+	fmt.Fprintln(w, "# TYPE tsexplain_progressive_round_seconds histogram")
+	ph := m.progressiveRoundsH
+	for i, ub := range latencyBuckets {
+		var v int64
+		if ph.buckets != nil {
+			v = ph.buckets[i]
+		}
+		fmt.Fprintf(w, "tsexplain_progressive_round_seconds_bucket{le=%q} %d\n",
+			strconv.FormatFloat(ub, 'g', -1, 64), v)
+	}
+	fmt.Fprintf(w, "tsexplain_progressive_round_seconds_bucket{le=\"+Inf\"} %d\n", ph.count)
+	fmt.Fprintf(w, "tsexplain_progressive_round_seconds_sum %g\n", ph.sum)
+	fmt.Fprintf(w, "tsexplain_progressive_round_seconds_count %d\n", ph.count)
+
 	fmt.Fprintln(w, "# HELP tsexplain_approx_error_bound Reported per-request attribution-error bound of computed approximate explains.")
 	fmt.Fprintln(w, "# TYPE tsexplain_approx_error_bound histogram")
 	eh := m.approxErrHist
@@ -200,6 +250,17 @@ func (m *metrics) write(w io.Writer, shards []shardGauges) {
 	fmt.Fprintln(w, "# TYPE tsexplain_shed_total counter")
 	fmt.Fprintf(w, "tsexplain_shed_total{reason=\"queue_full\"} %d\n", m.shedQueueFull.Load())
 	fmt.Fprintf(w, "tsexplain_shed_total{reason=\"deadline\"} %d\n", m.shedDeadline.Load())
+	fmt.Fprintln(w, "# HELP tsexplain_degraded_total Overloaded requests served a degraded bounded answer instead of being shed, by trigger.")
+	fmt.Fprintln(w, "# TYPE tsexplain_degraded_total counter")
+	fmt.Fprintf(w, "tsexplain_degraded_total{reason=\"queue_full\"} %d\n", m.degradedQueueFull.Load())
+	fmt.Fprintf(w, "tsexplain_degraded_total{reason=\"deadline\"} %d\n", m.degradedDeadline.Load())
+	counter("tsexplain_progressive_rounds_total", "Refinement rounds delivered over progressive explain streams.", m.progressiveRounds.Load())
+	fmt.Fprintln(w, "# HELP tsexplain_jobs_total Async explain jobs, by lifecycle event.")
+	fmt.Fprintln(w, "# TYPE tsexplain_jobs_total counter")
+	fmt.Fprintf(w, "tsexplain_jobs_total{event=\"submitted\"} %d\n", m.jobsSubmitted.Load())
+	fmt.Fprintf(w, "tsexplain_jobs_total{event=\"completed\"} %d\n", m.jobsCompleted.Load())
+	fmt.Fprintf(w, "tsexplain_jobs_total{event=\"failed\"} %d\n", m.jobsFailed.Load())
+	fmt.Fprintf(w, "tsexplain_jobs_total{event=\"expired\"} %d\n", m.jobsExpired.Load())
 
 	gauge := func(name, help string, per func(shardGauges) int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)

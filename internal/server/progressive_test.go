@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// streamedRound is the client-side decoding of one progressive round.
+type streamedRound struct {
+	Round     int     `json:"round"`
+	Final     bool    `json:"final"`
+	ElapsedMs float64 `json:"elapsedMs"`
+	Dataset   string  `json:"dataset"`
+	Mode      string  `json:"mode"`
+	K         int     `json:"k"`
+	Truncated bool    `json:"truncated"`
+	Variance  float64 `json:"totalVariance"`
+	Approx    *struct {
+		MaxErrBound float64 `json:"maxErrBound"`
+		Candidates  int     `json:"candidates"`
+		Considered  int     `json:"considered"`
+	} `json:"approx"`
+	Segments json.RawMessage `json:"segments"`
+}
+
+func decodeNDJSONRounds(t *testing.T, body []byte) []streamedRound {
+	t.Helper()
+	var rounds []streamedRound
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r streamedRound
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		rounds = append(rounds, r)
+	}
+	return rounds
+}
+
+// checkRoundInvariants asserts the streaming contract shared by both
+// framings: rounds numbered from 1, exactly the last one final, error
+// bounds never loosening, and the final round exact (no approx block,
+// not truncated).
+func checkRoundInvariants(t *testing.T, rounds []streamedRound) {
+	t.Helper()
+	if len(rounds) < 2 {
+		t.Fatalf("got %d rounds, want at least 2 (a coarse round and the exact final)", len(rounds))
+	}
+	prevBound := -1.0
+	for i, r := range rounds {
+		if r.Round != i+1 {
+			t.Errorf("round %d numbered %d", i+1, r.Round)
+		}
+		if got, want := r.Final, i == len(rounds)-1; got != want {
+			t.Errorf("round %d final = %v, want %v", r.Round, got, want)
+		}
+		if r.Truncated {
+			t.Errorf("round %d flagged truncated on an unhurried stream", r.Round)
+		}
+		if i < len(rounds)-1 {
+			if r.Approx == nil {
+				t.Fatalf("interim round %d missing approx info", r.Round)
+			}
+			if prevBound >= 0 && r.Approx.MaxErrBound > prevBound {
+				t.Errorf("round %d bound %g looser than previous %g", r.Round, r.Approx.MaxErrBound, prevBound)
+			}
+			prevBound = r.Approx.MaxErrBound
+		}
+	}
+	if final := rounds[len(rounds)-1]; final.Approx != nil {
+		t.Errorf("final round still carries approx info %+v, want exact", final.Approx)
+	}
+}
+
+// TestProgressiveStreamNDJSON drives GET /api/explain?progressive=1 end
+// to end: the stream refines round by round and the final round's
+// explanation is bit-identical to the synchronous exact explain.
+func TestProgressiveStreamNDJSON(t *testing.T) {
+	s := NewWithConfig(testConfig())
+	rec := get(t, s, "/api/explain?dataset=liquor&k=3&progressive=1")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	rounds := decodeNDJSONRounds(t, rec.Body.Bytes())
+	checkRoundInvariants(t, rounds)
+
+	// The final round must match a plain synchronous exact explain
+	// bit-for-bit on everything the explanation consists of. (Latency
+	// timings naturally differ run to run and are excluded.)
+	exact := get(t, s, "/api/explain?dataset=liquor&k=3&mode=exact")
+	if exact.Code != 200 {
+		t.Fatalf("sync exact explain: status = %d", exact.Code)
+	}
+	var syncResp struct {
+		K        int             `json:"k"`
+		Variance float64         `json:"totalVariance"`
+		Segments json.RawMessage `json:"segments"`
+	}
+	if err := json.Unmarshal(exact.Body.Bytes(), &syncResp); err != nil {
+		t.Fatal(err)
+	}
+	final := rounds[len(rounds)-1]
+	if final.K != syncResp.K || final.Variance != syncResp.Variance {
+		t.Errorf("final round k/variance = %d/%v, sync exact = %d/%v",
+			final.K, final.Variance, syncResp.K, syncResp.Variance)
+	}
+	var finalSegs, syncSegs any
+	if err := json.Unmarshal(final.Segments, &finalSegs); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(syncResp.Segments, &syncSegs); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(finalSegs, syncSegs) {
+		t.Errorf("final progressive round differs from synchronous exact explain:\nprogressive: %s\nexact:       %s",
+			final.Segments, syncResp.Segments)
+	}
+}
+
+// TestProgressiveStreamSSE asks for the same stream with
+// Accept: text/event-stream and checks the SSE framing carries the same
+// rounds.
+func TestProgressiveStreamSSE(t *testing.T) {
+	s := NewWithConfig(testConfig())
+	req := httptest.NewRequest("GET", "/api/explain?dataset=liquor&k=3&progressive=1", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+	var rounds []streamedRound
+	for _, event := range strings.Split(rec.Body.String(), "\n\n") {
+		event = strings.TrimSpace(event)
+		if event == "" {
+			continue
+		}
+		lines := strings.SplitN(event, "\n", 2)
+		if lines[0] != "event: round" {
+			t.Fatalf("unexpected SSE event %q", lines[0])
+		}
+		data := strings.TrimPrefix(lines[1], "data: ")
+		var r streamedRound
+		if err := json.Unmarshal([]byte(data), &r); err != nil {
+			t.Fatalf("bad SSE data %q: %v", data, err)
+		}
+		rounds = append(rounds, r)
+	}
+	checkRoundInvariants(t, rounds)
+}
+
+// TestProgressiveExactModeSingleRound pins the explicit-mode contract: a
+// mode=exact progressive stream is legal and yields exactly one final
+// round (no auto-upgrade overrides an explicit mode choice).
+func TestProgressiveExactModeSingleRound(t *testing.T) {
+	s := NewWithConfig(testConfig())
+	rec := get(t, s, "/api/explain?dataset=vax-deaths&k=2&progressive=1&mode=exact")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	rounds := decodeNDJSONRounds(t, rec.Body.Bytes())
+	if len(rounds) != 1 || !rounds[0].Final || rounds[0].Approx != nil {
+		t.Fatalf("exact progressive stream = %+v, want a single final exact round", rounds)
+	}
+}
+
+// TestProgressiveRoundMetrics checks the per-round counter moves with
+// the stream.
+func TestProgressiveRoundMetrics(t *testing.T) {
+	s := NewWithConfig(testConfig())
+	before := s.met.progressiveRounds.Load()
+	rec := get(t, s, "/api/explain?dataset=liquor&k=3&progressive=1")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	n := int64(len(decodeNDJSONRounds(t, rec.Body.Bytes())))
+	if got := s.met.progressiveRounds.Load() - before; got != n {
+		t.Errorf("tsexplain_progressive_rounds_total moved by %d, want %d (one per streamed round)", got, n)
+	}
+}

@@ -19,8 +19,26 @@ import (
 
 // Back-pressure sentinels. errQueueFull maps to 429 (the client should
 // retry with backoff); context errors map to 503 (the request's deadline
-// expired while queued or mid-compute).
+// expired while queued or mid-compute). Approx-eligible explain traffic
+// never surfaces either: the handlers catch both and retry on the
+// degraded lane (see Server.explainDegradable).
 var errQueueFull = errors.New("server overloaded: admission queue full")
+
+// degradedComputeTimeout bounds a degraded-lane compute: the whole point
+// of degrading is a fast bounded answer, so the detached compute gets a
+// short deadline instead of the full request timeout.
+const degradedComputeTimeout = 2 * time.Second
+
+// degradeAfterWait is the "deadline near" trigger: how long a degradable
+// request is willing to WAIT — for the engine lock, a worker slot, or a
+// deduped leader's in-flight compute — before its handler gives up on
+// the normal lane and degrades it. Only waits are capped: once a slot is
+// held and the compute is running, it keeps its full deadline, so an
+// idle server's cold exact explain never spuriously degrades. The value
+// trades exactness under load for tail latency: every queued degradable
+// request resolves (to the degraded lane, usually a cached coarse
+// answer) within this bound instead of waiting out the request timeout.
+const degradeAfterWait = 200 * time.Millisecond
 
 // registry is the sharded serving substrate behind every compute
 // endpoint: datasets load lazily on first request, engines pool per
@@ -119,8 +137,12 @@ type shard struct {
 	memBudget int64
 
 	// Admission: sem holds one token per running request; waiting counts
-	// requests queued for a token, capped at queueLimit.
+	// requests queued for a token, capped at queueLimit. degSem is the
+	// degraded lane's separate (smaller) worker pool: overload retries of
+	// approx-eligible requests run here, so a saturated normal lane can
+	// never starve the lane that exists to absorb its overflow.
 	sem        chan struct{}
+	degSem     chan struct{}
 	queueLimit int64
 	waiting    atomic.Int64
 	busy       atomic.Int64
@@ -182,6 +204,7 @@ func newRegistry(cfg Config, met *metrics, cat *catalog.Catalog) *registry {
 			inflight:   make(map[string]*inflightCall),
 			memBudget:  perShardBudget,
 			sem:        make(chan struct{}, cfg.WorkersPerShard),
+			degSem:     make(chan struct{}, degradedWorkers(cfg.WorkersPerShard)),
 			queueLimit: int64(cfg.QueueDepth),
 		})
 	}
@@ -284,10 +307,23 @@ func (g *registry) loadDataset(name string) (*datasets.Dataset, error) {
 	return d, nil
 }
 
+// degradedWorkers sizes the degraded lane's pool from the normal one:
+// half the workers, at least one — enough to absorb overflow without
+// letting degraded traffic outcompete normal traffic for CPU.
+func degradedWorkers(workersPerShard int) int {
+	if n := workersPerShard / 2; n > 1 {
+		return n
+	}
+	return 1
+}
+
 // admit reserves one worker slot on the shard, queueing when all slots
 // are busy. It fails fast with errQueueFull once queueLimit requests are
 // already waiting, and with ctx's error if the request's deadline expires
 // while queued. The returned release must be called exactly once.
+// (Shed accounting happens once per request in Server.handle, from the
+// final response status — not here — so an overload that ends in a
+// degraded 200 never counts as a shed.)
 func (sh *shard) admit(ctx context.Context) (release func(), err error) {
 	select {
 	case sh.sem <- struct{}{}:
@@ -297,7 +333,6 @@ func (sh *shard) admit(ctx context.Context) (release func(), err error) {
 	}
 	if sh.waiting.Add(1) > sh.queueLimit {
 		sh.waiting.Add(-1)
-		sh.met.shedQueueFull.Add(1)
 		return nil, errQueueFull
 	}
 	defer sh.waiting.Add(-1)
@@ -306,7 +341,37 @@ func (sh *shard) admit(ctx context.Context) (release func(), err error) {
 		sh.busy.Add(1)
 		return sh.release, nil
 	case <-ctx.Done():
-		sh.met.shedDeadline.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// admitDegraded reserves a slot on the shard's degraded lane. The lane
+// has no queue limit — its requests already survived one shed decision,
+// and a bounded coarse answer is the whole contract — so the only way
+// out without a slot is the context expiring.
+func (sh *shard) admitDegraded(ctx context.Context) (release func(), err error) {
+	select {
+	case sh.degSem <- struct{}{}:
+		return func() { <-sh.degSem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// admitPatient reserves a normal worker slot but never sheds on queue
+// depth: async-job workers use it, because a job's whole contract is
+// "computed eventually" — the worker waits out contention instead of
+// failing a persisted job with a transient queue-full. The job-worker
+// pool itself is bounded, so at most JobWorkers requests can be waiting
+// here at once.
+func (sh *shard) admitPatient(ctx context.Context) (release func(), err error) {
+	sh.waiting.Add(1)
+	defer sh.waiting.Add(-1)
+	select {
+	case sh.sem <- struct{}{}:
+		sh.busy.Add(1)
+		return sh.release, nil
+	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 }
@@ -314,6 +379,15 @@ func (sh *shard) admit(ctx context.Context) (release func(), err error) {
 func (sh *shard) release() {
 	sh.busy.Add(-1)
 	<-sh.sem
+}
+
+// graceCtx derives the wait-bounding context for a request's admission
+// grace; a zero grace means unbounded (the parent context alone).
+func graceCtx(ctx context.Context, grace time.Duration) (context.Context, context.CancelFunc) {
+	if grace <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, grace)
 }
 
 // explain serves one explanation: result cache, then singleflight, then
@@ -338,12 +412,17 @@ func (g *registry) explain(ctx context.Context, p params) (*core.Result, error) 
 	if c, ok := sh.inflight[key]; ok {
 		sh.mu.Unlock()
 		g.met.dedups.Add(1)
+		// Waiting on another request's compute is a wait like any other:
+		// a degradable request's grace caps it, and the handler degrades
+		// instead of riding out a slow leader (whose result still lands in
+		// the cache for the next request).
+		wctx, wcancel := graceCtx(ctx, p.admitGrace)
+		defer wcancel()
 		select {
 		case <-c.done:
 			return c.res, c.err
-		case <-ctx.Done():
-			g.met.shedDeadline.Add(1)
-			return nil, ctx.Err()
+		case <-wctx.Done():
+			return nil, wctx.Err()
 		}
 	}
 	c := &inflightCall{done: make(chan struct{})}
@@ -376,7 +455,10 @@ func (g *registry) explain(ctx context.Context, p params) (*core.Result, error) 
 	// with the leader's client: it runs detached from the leader's
 	// cancellation, bounded by its own RequestTimeout-length deadline. A
 	// leader that hangs up leaves the compute finishing (and caching) for
-	// the waiters; a genuine deadline still aborts it mid-engine.
+	// the waiters; a genuine deadline still aborts it mid-engine. (The
+	// degraded lane's much shorter compute leash is applied inside
+	// compute, after admission — an overload burst queues for the small
+	// degraded pool, and that wait must not eat the compute budget.)
 	cctx, ccancel := context.WithTimeout(context.WithoutCancel(ctx), g.requestTimeout)
 	defer ccancel()
 	c.res, c.err = g.compute(cctx, sh, p)
@@ -391,15 +473,6 @@ func (g *registry) explain(ctx context.Context, p params) (*core.Result, error) 
 	return c.res, nil
 }
 
-// countIfDeadline attributes a compute-phase abort (engine build or
-// explain cancelled by the request's context) to the deadline-shed
-// counter; the queued-wait paths count themselves at their select sites.
-func (g *registry) countIfDeadline(err error) {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		g.met.shedDeadline.Add(1)
-	}
-}
-
 // compute resolves the pooled engine for the request (building it on
 // first use, under the compute context) and runs one explain. Lock
 // ordering matters for admission fairness: the engine's serialization
@@ -407,25 +480,47 @@ func (g *registry) countIfDeadline(err error) {
 // busy engine waits without occupying a slot — one slow cold engine
 // cannot absorb a shard's whole worker pool while the CPU sits idle.
 // Every slot-taking path orders entry-lock → slot, so there is no cycle.
+// Degraded requests draw from the degraded lane's own pool (their engine
+// keys are disjoint from the normal lane's, so the ordering still holds).
 func (g *registry) compute(ctx context.Context, sh *shard, p params) (*core.Result, error) {
-	ent, unlock, err := g.lockEntry(ctx, sh, p.engineKey())
+	// The deadline-near grace spans both admission waits (entry lock, then
+	// worker slot) but NOT the build or the explain: a degradable request
+	// that cannot even start within its grace degrades, while one that got
+	// its slot computes under the full deadline.
+	actx, acancel := graceCtx(ctx, p.admitGrace)
+	defer acancel()
+	ent, unlock, err := g.lockEntry(actx, sh, p.engineKey())
 	if err != nil {
 		return nil, err
 	}
 	defer unlock()
-	releaseSlot, err := sh.admit(ctx)
+	admit := sh.admit
+	switch {
+	case p.deg:
+		admit = sh.admitDegraded
+	case p.patient:
+		admit = sh.admitPatient
+	}
+	releaseSlot, err := admit(actx)
 	if err != nil {
 		return nil, err
 	}
 	defer releaseSlot()
+	if p.deg {
+		// The short leash starts once a degraded slot is held: a degraded
+		// answer is build + one coarse refinement round, never more than
+		// degradedComputeTimeout of actual work — but however long a wait
+		// behind the rest of the overload burst.
+		dctx, dcancel := context.WithTimeout(ctx, degradedComputeTimeout)
+		defer dcancel()
+		ctx = dctx
+	}
 	if err := g.buildLocked(ctx, sh, ent, g.engineBuilder(p.dataset, p.options)); err != nil {
 		return nil, err
 	}
 	g.computes.Add(1)
 	res, err := ent.eng.ExplainWithKCtx(ctx, p.k)
-	if err != nil {
-		g.countIfDeadline(err)
-	} else if res.Approx != nil {
+	if err == nil && res.Approx != nil {
 		g.met.observeApproxErr(res.Approx.MaxErrBound)
 	}
 	return res, err
@@ -469,8 +564,18 @@ func (g *registry) engineBuilder(name string, opts func(*datasets.Dataset) core.
 // deferred cleanups make a panicking build release the lock, pin, and
 // slot instead of leaking them past net/http's recover.
 func (g *registry) engineExclusive(ctx context.Context, ekey string, build func(context.Context) (*core.Engine, error)) (*core.Engine, func(), error) {
+	return g.engineExclusiveGrace(ctx, 0, ekey, build)
+}
+
+// engineExclusiveGrace is engineExclusive with a deadline-near admission
+// grace: the lock and slot waits are bounded by grace (progressive
+// streams use it so an overloaded stream degrades instead of queueing),
+// while a cold build still runs under the full request context.
+func (g *registry) engineExclusiveGrace(ctx context.Context, grace time.Duration, ekey string, build func(context.Context) (*core.Engine, error)) (*core.Engine, func(), error) {
 	sh := g.shardFor(ekey)
-	ent, unlock, err := g.lockEntry(ctx, sh, ekey)
+	actx, acancel := graceCtx(ctx, grace)
+	defer acancel()
+	ent, unlock, err := g.lockEntry(actx, sh, ekey)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -480,7 +585,7 @@ func (g *registry) engineExclusive(ctx context.Context, ekey string, build func(
 			unlock()
 		}
 	}()
-	releaseSlot, err := sh.admit(ctx)
+	releaseSlot, err := sh.admit(actx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -552,7 +657,6 @@ func (g *registry) lockEntry(ctx context.Context, sh *shard, ekey string) (*engi
 	case ent.lock <- struct{}{}:
 	case <-ctx.Done():
 		ent.pins.Add(-1)
-		g.met.shedDeadline.Add(1)
 		return nil, nil, ctx.Err()
 	}
 	unlock := func() {
@@ -571,7 +675,6 @@ func (g *registry) buildLocked(ctx context.Context, sh *shard, ent *engineEntry,
 	}
 	eng, err := build(ctx)
 	if err != nil {
-		g.countIfDeadline(err)
 		return err
 	}
 	ent.eng = eng
@@ -717,7 +820,6 @@ func (g *registry) appendDelta(ctx context.Context, name string, timeVals []stri
 			Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy,
 		}, catalogOptions(d))
 		if err != nil {
-			g.countIfDeadline(err)
 			return nil, err
 		}
 		ls.inc = inc

@@ -49,12 +49,11 @@ func TestAdmitQueueFull(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	// Third request exceeds the queue limit and is shed immediately.
+	// Third request exceeds the queue limit and is shed immediately. (The
+	// shed counter is maintained centrally in Server.handle from the final
+	// response status, not here — admit only returns the sentinel.)
 	if _, err := sh.admit(bg()); err != errQueueFull {
 		t.Fatalf("over-limit admit: err = %v, want errQueueFull", err)
-	}
-	if got := s.met.shedQueueFull.Load(); got != 1 {
-		t.Errorf("shed counter = %d, want 1", got)
 	}
 	rel1()
 	wg.Wait()
@@ -77,9 +76,6 @@ func TestAdmitDeadlineWhileQueued(t *testing.T) {
 	defer cancel()
 	if _, err := sh.admit(ctx); err != context.DeadlineExceeded {
 		t.Fatalf("queued admit past deadline: err = %v, want DeadlineExceeded", err)
-	}
-	if got := s.met.shedDeadline.Load(); got != 1 {
-		t.Errorf("deadline shed counter = %d, want 1", got)
 	}
 }
 
@@ -146,10 +142,13 @@ func TestEvictionRespectsBudgetAndPins(t *testing.T) {
 	}
 }
 
-// TestStreamHoldsWorkerSlotSheds429 exercises end-to-end back-pressure:
-// with one worker and no queue, a streaming replay occupies the only
-// slot, so a concurrent cold explain is shed with 429 and a JSON error.
-func TestStreamHoldsWorkerSlotSheds429(t *testing.T) {
+// TestStreamHoldsWorkerSlotBackpressure exercises end-to-end
+// back-pressure under the degrade-never-shed contract: with one worker
+// and no queue, a streaming replay occupies the only slot. A concurrent
+// vanilla explain (not approx-eligible) is shed with 429 and a JSON
+// error; a concurrent optimized explain is rescued by the degraded lane
+// and answers 200, flagged degraded and truncated with its bound.
+func TestStreamHoldsWorkerSlotBackpressure(t *testing.T) {
 	s := NewWithConfig(Config{Shards: 1, WorkersPerShard: 1, QueueDepth: -1})
 	sh := s.reg.shards[0]
 
@@ -170,9 +169,10 @@ func TestStreamHoldsWorkerSlotSheds429(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	rec := get(t, s, "/api/explain?dataset=vax-deaths")
+	// Vanilla engines have no approximate path to degrade onto: shed.
+	rec := get(t, s, "/api/explain?dataset=vax-deaths&vanilla=1")
 	if rec.Code != 429 {
-		t.Fatalf("explain while saturated: status = %d, want 429 (%s)", rec.Code, rec.Body.String())
+		t.Fatalf("vanilla explain while saturated: status = %d, want 429 (%s)", rec.Code, rec.Body.String())
 	}
 	if rec.Header().Get("Retry-After") == "" {
 		t.Error("429 response missing Retry-After")
@@ -183,13 +183,42 @@ func TestStreamHoldsWorkerSlotSheds429(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out.Error == "" {
 		t.Errorf("429 body %q is not the JSON error shape", rec.Body.String())
 	}
+	if got := s.met.shedQueueFull.Load(); got != 1 {
+		t.Errorf("queue-full shed counter = %d, want 1 (the vanilla request)", got)
+	}
+
+	// An approx-eligible explain degrades instead: 200 with the flags.
+	rec = get(t, s, "/api/explain?dataset=vax-deaths")
+	if rec.Code != 200 {
+		t.Fatalf("degradable explain while saturated: status = %d, want 200 (%s)", rec.Code, rec.Body.String())
+	}
+	var deg struct {
+		Degraded  bool `json:"degraded"`
+		Truncated bool `json:"truncated"`
+		Approx    *struct {
+			MaxErrBound float64 `json:"maxErrBound"`
+			Epsilon     float64 `json:"epsilon"`
+		} `json:"approx"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &deg); err != nil {
+		t.Fatalf("decoding degraded response: %v", err)
+	}
+	if !deg.Degraded || !deg.Truncated || deg.Approx == nil {
+		t.Fatalf("degraded response flags = %+v, want degraded+truncated with an approx bound", deg)
+	}
+	if got := s.met.degradedQueueFull.Load(); got != 1 {
+		t.Errorf("degraded counter = %d, want 1", got)
+	}
+	if got := s.met.shedQueueFull.Load(); got != 1 {
+		t.Errorf("queue-full shed counter moved to %d after a degraded 200; a rescue must not count as a shed", got)
+	}
 
 	cancelStream()
 	wg.Wait()
-	// With the slot free again, the same request succeeds.
+	// With the slot free again, the same request succeeds normally.
 	deadline = time.Now().Add(5 * time.Second)
 	for {
-		if rec := get(t, s, "/api/explain?dataset=vax-deaths"); rec.Code == 200 {
+		if rec := get(t, s, "/api/explain?dataset=vax-deaths&vanilla=1"); rec.Code == 200 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -202,11 +231,14 @@ func TestStreamHoldsWorkerSlotSheds429(t *testing.T) {
 // TestRequestDeadlineSheds503 gives the server a deadline far shorter
 // than a cold liquor build: the engine observes the cancellation
 // mid-precompute and the request fails with 503, not a hung worker.
+// (vanilla=1 keeps the request off the degraded lane; an optimized
+// explain would be rescued with a degraded answer instead — see
+// degrade_test.go.)
 func TestRequestDeadlineSheds503(t *testing.T) {
 	cfg := testConfig()
 	cfg.RequestTimeout = 30 * time.Millisecond
 	s := NewWithConfig(cfg)
-	rec := get(t, s, "/api/explain?dataset=liquor")
+	rec := get(t, s, "/api/explain?dataset=liquor&vanilla=1")
 	if rec.Code != 503 {
 		t.Fatalf("status = %d, want 503 (%s)", rec.Code, rec.Body.String())
 	}

@@ -21,6 +21,8 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"time"
@@ -70,6 +72,23 @@ type Config struct {
 	// load parses the CSV and rebuilds the candidate universe. The
 	// default (false) restores from snapshots when they are valid.
 	DisableSnapshots bool
+	// JobsDir, when non-empty, enables the async job API (POST /api/jobs
+	// and friends) persisting jobs there. Empty defaults to
+	// <DataDir>/jobs when DataDir is set; with neither, the job API is
+	// disabled.
+	JobsDir string
+	// JobTTL is how long finished jobs (and their results) stay on disk
+	// before the sweeper garbage-collects them. Default 1h.
+	JobTTL time.Duration
+	// JobWorkers bounds concurrently running async jobs. Each running job
+	// still draws a regular shard worker slot (patiently — jobs queue
+	// rather than shed), so this caps how much background work can
+	// compete with interactive traffic. Default 2.
+	JobWorkers int
+	// JobTimeout is the per-job compute deadline, deliberately far above
+	// RequestTimeout: jobs exist for explains too slow for a synchronous
+	// request. Default 5m.
+	JobTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +116,18 @@ func (c Config) withDefaults() Config {
 	if c.ResultCacheSize <= 0 {
 		c.ResultCacheSize = 256
 	}
+	if c.JobsDir == "" && c.DataDir != "" {
+		c.JobsDir = filepath.Join(c.DataDir, catalog.JobsDirName)
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = time.Hour
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
 	return c
 }
 
@@ -113,6 +144,7 @@ type Server struct {
 	cfg    Config
 	met    *metrics
 	reg    *registry
+	jobs   *jobManager // nil when the job API is disabled
 	logger *slog.Logger
 }
 
@@ -157,6 +189,10 @@ func Open(cfg Config) (*Server, error) {
 	s.handle("DELETE /api/datasets/{name}", s.handleDatasetDelete)
 	s.handle("POST /api/datasets/{name}/append", s.handleDatasetAppend)
 	s.handle("/api/explain", s.handleExplain)
+	s.handle("POST /api/jobs", s.handleJobSubmit)
+	s.handle("GET /api/jobs", s.handleJobList)
+	s.handle("GET /api/jobs/{id}", s.handleJobGet)
+	s.handle("DELETE /api/jobs/{id}", s.handleJobDelete)
 	s.handle("/api/recommend", s.handleRecommend)
 	s.handle("/api/slice", s.handleSlice)
 	s.handle("/api/diff", s.handleDiff)
@@ -164,11 +200,28 @@ func Open(cfg Config) (*Server, error) {
 	s.handle("/svg/trendlines", s.handleTrendlines)
 	s.handle("/svg/kvariance", s.handleKVariance)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.JobsDir != "" {
+		store, err := catalog.OpenJobStore(cfg.JobsDir)
+		if err != nil {
+			return nil, err
+		}
+		s.jobs = newJobManager(s, store)
+	}
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the async-job workers and TTL sweeper, waiting for any
+// in-flight job to finish persisting its state. The HTTP handlers stay
+// usable (job submissions after Close fail with 503); call it when the
+// process is shutting down.
+func (s *Server) Close() {
+	if s.jobs != nil {
+		s.jobs.close()
+	}
+}
 
 // handle registers an instrumented endpoint: per-request deadline,
 // status/latency metrics, and an access-log line. /metrics itself stays
@@ -181,6 +234,15 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r.WithContext(ctx))
 		elapsed := time.Since(start)
+		// Shed accounting is centralized here, on the final status: an
+		// overloaded request that was rescued by the degraded lane ends
+		// 200 and counts as degraded (in explainDegradable), not shed.
+		switch sw.status() {
+		case http.StatusTooManyRequests:
+			s.met.shedQueueFull.Add(1)
+		case http.StatusServiceUnavailable:
+			s.met.shedDeadline.Add(1)
+		}
 		s.met.observe(pattern, sw.status(), elapsed.Seconds())
 		if s.logger != nil {
 			s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
@@ -374,10 +436,59 @@ type params struct {
 	// (0: the dataset's manifest default, falling back to 0.05).
 	approx  bool
 	epsilon float64
+	// deg marks the degraded overload lane: never parsed from a query,
+	// only set by degraded() when a handler retries an overloaded
+	// approx-eligible request with a coarser epsilon on the separate
+	// degraded worker pool.
+	deg bool
+	// patient marks async-job computes: never parsed from a query, only
+	// set by the job worker. Patient requests wait for a worker slot
+	// instead of shedding on queue depth; it does not affect cache keys
+	// (the computed result is identical to the synchronous one).
+	patient bool
+	// admitGrace, when positive, bounds how long this request waits for
+	// admission (engine lock, worker slot, or a deduped in-flight
+	// compute) before the registry reports the wait as overload. Never
+	// parsed from a query and not part of any cache key; set by the
+	// degradable handlers so "deadline near" turns into a degraded answer
+	// instead of a long queue wait.
+	admitGrace time.Duration
+}
+
+// degradedEpsilon is the error target the server picks when it degrades
+// an overloaded request instead of shedding it: coarse enough that the
+// first anytime round usually satisfies it, honest enough to be useful.
+const degradedEpsilon = 0.25
+
+// degradable reports whether overload may serve this request a degraded
+// bounded answer instead of a 429/503: the optimized path is required
+// (vanilla engines have no candidate ranking to prune), and a request
+// already on the degraded lane has nothing further to fall back to.
+func (p params) degradable() bool { return !p.vanilla && !p.deg }
+
+// degraded returns the request's degraded-lane twin: approximate mode at
+// the server-picked coarse epsilon, keyed (and admitted) separately from
+// normal traffic.
+func (p params) degraded() params {
+	p.deg = true
+	p.approx = true
+	p.epsilon = degradedEpsilon
+	// The degraded lane is the last resort: it waits patiently for its
+	// (small) pool rather than racing a grace timer it has no fallback
+	// for.
+	p.admitGrace = 0
+	return p
 }
 
 func (s *Server) parseParams(r *http.Request) (params, error) {
-	q := r.URL.Query()
+	return s.paramsFromQuery(r.URL.Query())
+}
+
+// paramsFromQuery decodes the shared explain parameters from raw query
+// values. It exists apart from parseParams because async-job workers
+// re-parse a job's persisted query string long after its submitting
+// request is gone.
+func (s *Server) paramsFromQuery(q url.Values) (params, error) {
 	var p params
 	var err error
 	if p.dataset, err = s.resolveDataset(q.Get("dataset")); err != nil {
@@ -428,8 +539,13 @@ func (p params) mode() string {
 // cached results and pooled engines (an approx engine's per-segment
 // cache is solved under its pruned candidate set and must never serve
 // exact traffic, and vice versa; epsilon 0 — "use the dataset default" —
-// keys separately from any explicit value).
+// keys separately from any explicit value). The degraded lane keys
+// separately again, so its engines and cached coarse results never mix
+// with — or wait behind — normal traffic's.
 func (p params) modeKey() string {
+	if p.deg {
+		return "deg"
+	}
 	if !p.approx {
 		return "exact"
 	}
@@ -468,6 +584,12 @@ func (p params) options(d *datasets.Dataset) core.Options {
 			MaxCandidates: d.ApproxMaxCandidates,
 			Epsilon:       eps,
 		}
+		if p.deg {
+			// The degraded lane trades accuracy for certainty of an
+			// answer: coarse target, and a refinement time budget well
+			// inside the lane's short compute deadline.
+			opts.Approx.TimeBudget = degradedComputeTimeout / 4
+		}
 	}
 	return opts
 }
@@ -489,14 +611,21 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 
 // explainResponse is the JSON shape of /api/explain.
 type explainResponse struct {
-	Dataset  string           `json:"dataset"`
-	Mode     string           `json:"mode"`
-	K        int              `json:"k"`
-	AutoK    bool             `json:"autoK"`
-	Variance float64          `json:"totalVariance"`
-	Latency  latencyBreakdown `json:"latencyMs"`
-	Approx   *core.ApproxInfo `json:"approx,omitempty"`
-	Segments []segmentJSON    `json:"segments"`
+	Dataset string `json:"dataset"`
+	Mode    string `json:"mode"`
+	K       int    `json:"k"`
+	AutoK   bool   `json:"autoK"`
+	// Degraded marks an answer served from the degraded overload lane
+	// (coarser epsilon, bound reported in approx.maxErrBound) instead of
+	// a 429/503 shed; Truncated is the response-level flag for any answer
+	// that stopped short of its requested accuracy — degraded-lane
+	// answers and refinement runs cut off by a deadline or time budget.
+	Degraded  bool             `json:"degraded,omitempty"`
+	Truncated bool             `json:"truncated,omitempty"`
+	Variance  float64          `json:"totalVariance"`
+	Latency   latencyBreakdown `json:"latencyMs"`
+	Approx    *core.ApproxInfo `json:"approx,omitempty"`
+	Segments  []segmentJSON    `json:"segments"`
 }
 
 type latencyBreakdown struct {
@@ -521,22 +650,76 @@ type explJSON struct {
 	Gamma      float64 `json:"gamma"`
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	p, err := s.parseParams(r)
-	if err != nil {
-		writeError(w, err)
-		return
+// overloadError reports whether an explain failure is an overload signal
+// the degraded lane can absorb: a full admission queue, or a deadline /
+// cancellation that expired the attempt.
+func overloadError(err error) bool {
+	return errors.Is(err, errQueueFull) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// explainDegradable serves one explain with the degrade-never-shed
+// contract: the normal attempt first; if it fails on overload and the
+// request is approx-eligible (and the client is still connected), retry
+// once on the degraded lane — separate worker pool, coarse epsilon,
+// short deadline — and flag the answer degraded. Only non-degradable
+// requests (vanilla engines) still surface 429/503.
+func (s *Server) explainDegradable(r *http.Request, p params) (res *core.Result, degraded bool, err error) {
+	ctx := r.Context()
+	if p.degradable() {
+		// Deadline-near trigger: cap how long the normal attempt may sit
+		// in admission waits. A request that cannot start promptly
+		// degrades now, with most of its deadline still ahead of it,
+		// instead of shedding 503 after waiting the deadline out.
+		p.admitGrace = degradeAfterWait
 	}
-	res, err := s.reg.explain(r.Context(), p)
-	if err != nil {
-		writeError(w, err)
-		return
+	res, err = s.reg.explain(ctx, p)
+	if err == nil || !p.degradable() || !overloadError(err) {
+		return res, false, err
 	}
+	// The server-side request timeout counts as overload to degrade
+	// through; an actual client hang-up does not — nobody is left to
+	// read the degraded answer.
+	if errors.Is(context.Cause(ctx), context.Canceled) {
+		return nil, false, err
+	}
+	if errors.Is(err, errQueueFull) {
+		s.met.degradedQueueFull.Add(1)
+	} else {
+		s.met.degradedDeadline.Add(1)
+	}
+	// Detach from the (possibly already expired) request deadline: the
+	// client is still waiting on the connection, and each degraded
+	// compute is separately capped at degradedComputeTimeout by the
+	// registry. The window here bounds compute PLUS the wait for a
+	// degraded-lane slot — a whole overload burst funnels through that
+	// small pool, so the tail needs the full patience the client already
+	// signed up for (never less than one compute's worth).
+	window := s.cfg.RequestTimeout
+	if min := degradedComputeTimeout + time.Second; window < min {
+		window = min
+	}
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), window)
+	defer cancel()
+	dres, derr := s.reg.explain(dctx, p.degraded())
+	if derr != nil {
+		return nil, false, err // surface the original overload error
+	}
+	return dres, true, nil
+}
+
+// buildExplainResponse renders one explain result to the API shape.
+// degraded answers are flagged, and any truncation — the degraded lane
+// itself, or a refinement loop cut off mid-ramp — sets the response-level
+// truncated flag. The shared (possibly cached) result is never mutated.
+func buildExplainResponse(p params, res *core.Result, degraded bool) explainResponse {
 	resp := explainResponse{
 		Dataset:  p.dataset,
 		Mode:     p.mode(),
 		K:        res.K,
 		AutoK:    res.AutoK,
+		Degraded: degraded,
 		Variance: res.TotalVariance,
 		Latency: latencyBreakdown{
 			Precompute:   ms(res.Timings.Precompute),
@@ -544,6 +727,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			Segmentation: ms(res.Timings.Segmentation),
 		},
 		Approx: res.Approx,
+	}
+	if res.Approx != nil {
+		resp.Truncated = degraded || res.Approx.Truncated
 	}
 	for _, seg := range res.Segments {
 		sj := segmentJSON{Start: seg.StartLabel, End: seg.EndLabel, ErrBound: seg.ErrBound}
@@ -563,8 +749,29 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Segments = append(resp.Segments, sj)
 	}
+	return resp
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	p, err := s.parseParams(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if r.URL.Query().Get("progressive") == "1" {
+		s.serveProgressive(w, r, p)
+		return
+	}
+	res, degraded, err := s.explainDegradable(r, p)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if degraded {
+		p = p.degraded() // report the mode actually served
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+	_ = json.NewEncoder(w).Encode(buildExplainResponse(p, res, degraded))
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
@@ -589,7 +796,6 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	scores, err := core.RecommendExplainByCtx(r.Context(), d.Rel, core.Query{Measure: d.Measure, Agg: d.Agg})
 	if err != nil {
-		s.reg.countIfDeadline(err)
 		writeError(w, err)
 		return
 	}
@@ -616,7 +822,7 @@ func (s *Server) serveSVG(w http.ResponseWriter, r *http.Request,
 		writeError(w, err)
 		return
 	}
-	res, err := s.reg.explain(r.Context(), p)
+	res, _, err := s.explainDegradable(r, p)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -75,7 +75,6 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		Measure: d.Measure, Agg: d.Agg, ExplainBy: d.ExplainBy,
 	}, opts)
 	if err != nil {
-		s.reg.countIfDeadline(err)
 		writeError(w, err)
 		return
 	}

@@ -153,6 +153,54 @@ curl -s "$base/metrics" | grep -q 'tsexplain_snapshot_restores_total{kind="engin
 	echo "smoke: /metrics missing the engine snapshot restore" >&2
 	exit 1
 }
+
+# ---- Progressive streaming: NDJSON default, SSE via Accept. -----------------
+
+echo "smoke: progressive explain (NDJSON + SSE)"
+curl -sf "$base/api/explain?dataset=smoke-sales&progressive=1" >"$tmp/progressive.ndjson"
+grep -q '"final":true' "$tmp/progressive.ndjson" || {
+	echo "smoke: progressive stream never reached the final round:" >&2
+	cat "$tmp/progressive.ndjson" >&2
+	exit 1
+}
+curl -sf -H 'Accept: text/event-stream' \
+	"$base/api/explain?dataset=smoke-sales&progressive=1" >"$tmp/progressive.sse"
+grep -q '^event: round' "$tmp/progressive.sse" || {
+	echo "smoke: SSE progressive stream missing 'event: round' framing:" >&2
+	cat "$tmp/progressive.sse" >&2
+	exit 1
+}
+
+# ---- Async job round trip: submit, poll to done, result matches. ------------
+
+echo "smoke: async job round trip"
+curl -sf -X POST "$base/api/jobs?dataset=smoke-sales&k=3" >"$tmp/job-submit.json"
+job_id="$(sed -n 's/.*"id":"\([0-9a-f]\{16\}\)".*/\1/p' "$tmp/job-submit.json")"
+if [ -z "$job_id" ]; then
+	echo "smoke: job submit returned no id:" >&2
+	cat "$tmp/job-submit.json" >&2
+	exit 1
+fi
+job_done=""
+for _ in $(seq 1 50); do
+	curl -sf "$base/api/jobs/$job_id" >"$tmp/job-poll.json"
+	if grep -q '"status":"done"' "$tmp/job-poll.json"; then
+		job_done=1
+		break
+	fi
+	sleep 0.2
+done
+if [ -z "$job_done" ]; then
+	echo "smoke: job $job_id did not finish; last poll:" >&2
+	cat "$tmp/job-poll.json" >&2
+	exit 1
+fi
+grep -q 'state=NY' "$tmp/job-poll.json" || {
+	echo "smoke: job result missing the NY driver:" >&2
+	cat "$tmp/job-poll.json" >&2
+	exit 1
+}
+
 stop_server
 
 echo "smoke: all OK"
