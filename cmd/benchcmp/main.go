@@ -8,6 +8,7 @@
 //	go run ./cmd/benchcmp -mode streaming -baseline BENCH_streaming.json -current /tmp/streaming.json
 //	go run ./cmd/benchcmp -mode catalog   -baseline BENCH_catalog.json   -current /tmp/catalog.json
 //	go run ./cmd/benchcmp -mode approx    -baseline BENCH_approx.json    -current /tmp/approx.json
+//	go run ./cmd/benchcmp -mode hierarchy -baseline BENCH_hierarchy.json -current /tmp/hierarchy.json
 //	go run ./cmd/benchcmp -mode server    -baseline BENCH_server.json    -current /tmp/server.json -max-p99-ms 500
 //
 // Engine mode compares ns/op and allocs/op per benchmark (taking the
@@ -22,7 +23,10 @@
 // high-cardinality approximate path —
 // the approx-vs-exact speedup must hold its floor (at least 5x, and not
 // collapse relative to the baseline) and the reported error bound must
-// stay within the requested epsilon and above the measured error; server
+// stay within the requested epsilon and above the measured error;
+// hierarchy mode gates the taxonomy subtree-pruned path the same way with
+// a 3x floor, plus the walk must visit strictly fewer candidates than the
+// universe holds (the pruning must actually engage); server
 // mode gates the serving-layer workload report (cmd/loadgen output) —
 // total p99 within the latency ratio of its baseline, and the
 // degrade-never-shed invariant on the approx-eligible classes (explain,
@@ -74,7 +78,7 @@ type StreamReport struct {
 }
 
 func main() {
-	mode := flag.String("mode", "engine", "engine (micro benchmarks), streaming (append-path replay), catalog (snapshot warm-restart), approx (high-cardinality approximate path), or server (serving-layer load report)")
+	mode := flag.String("mode", "engine", "engine (micro benchmarks), streaming (append-path replay), catalog (snapshot warm-restart), approx (high-cardinality approximate path), hierarchy (taxonomy subtree-pruned path), or server (serving-layer load report)")
 	baseline := flag.String("baseline", "", "committed baseline JSON (default depends on mode)")
 	current := flag.String("current", "", "freshly generated JSON to check")
 	maxLatency := flag.Float64("max-latency-ratio", 1.25, "fail when current/baseline latency exceeds this")
@@ -92,6 +96,8 @@ func main() {
 			*baseline = "BENCH_catalog.json"
 		case "approx":
 			*baseline = "BENCH_approx.json"
+		case "hierarchy":
+			*baseline = "BENCH_hierarchy.json"
 		case "server":
 			*baseline = "BENCH_server.json"
 		default:
@@ -113,6 +119,8 @@ func main() {
 		violations, err = compareCatalog(*baseline, *current, *maxLatency, *maxSnapshotCSVRatio)
 	case "approx":
 		violations, err = compareApprox(*baseline, *current, *maxLatency)
+	case "hierarchy":
+		violations, err = compareHierarchy(*baseline, *current, *maxLatency)
 	case "server":
 		violations, err = compareServer(*baseline, *current, *maxLatency, *maxP99Ms)
 	default:
@@ -455,6 +463,73 @@ func compareApprox(baselinePath, currentPath string, maxLatency float64) ([]stri
 	if cur.Speedup < floor {
 		violations = append(violations, fmt.Sprintf(
 			"approx-vs-exact speedup %.1fx → %.1fx (floor %.1fx)", base.Speedup, cur.Speedup, floor))
+	}
+	if cur.MaxErrBound > cur.Epsilon {
+		violations = append(violations, fmt.Sprintf(
+			"reported error bound %.4f exceeds requested epsilon %.4f", cur.MaxErrBound, cur.Epsilon))
+	}
+	if cur.MaxActualErr > cur.MaxErrBound+1e-9 {
+		violations = append(violations, fmt.Sprintf(
+			"measured error %.6f exceeds reported bound %.6f (the bound is unsound)", cur.MaxActualErr, cur.MaxErrBound))
+	}
+	return violations, nil
+}
+
+// HierarchyReport mirrors the fields of BENCH_hierarchy.json the gate
+// reads.
+type HierarchyReport struct {
+	ExactExplainNs int64   `json:"exact_explain_ns"`
+	HierExplainNs  int64   `json:"hier_explain_ns"`
+	Speedup        float64 `json:"speedup"`
+	WalkSpeedup    float64 `json:"walk_speedup"`
+	Visited        int     `json:"visited"`
+	Candidates     int     `json:"candidates"`
+	Epsilon        float64 `json:"epsilon"`
+	MaxErrBound    float64 `json:"max_err_bound"`
+	MaxActualErr   float64 `json:"max_actual_err"`
+}
+
+// hierarchySpeedupFloor is the hard acceptance floor for the
+// subtree-pruned approximate path on the taxonomy scenario, independent
+// of the baseline. It is lower than the flat approx floor because exact
+// and pruned both run over the same hierarchy-shaped universe — the gate
+// isolates what the subtree caps buy, not what a smaller candidate space
+// buys.
+const hierarchySpeedupFloor = 3.0
+
+// compareHierarchy gates the subtree bound-pruning path on the taxonomy
+// scenario, with the same structure as compareApprox: latency must not
+// regress, the pruned-vs-exact speedup must hold both the hard 3x floor
+// and its baseline (within the latency tolerance), the error accounting
+// must stay sound, and the best-first walk must keep actually pruning —
+// visiting every candidate would mean the caps stopped cutting subtrees
+// even if the end-to-end latency still happened to pass.
+func compareHierarchy(baselinePath, currentPath string, maxLatency float64) ([]string, error) {
+	var base, cur HierarchyReport
+	if err := load(baselinePath, &base); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := load(currentPath, &cur); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	var violations []string
+	if base.HierExplainNs > 0 {
+		if ratio := float64(cur.HierExplainNs) / float64(base.HierExplainNs); ratio > maxLatency {
+			violations = append(violations, fmt.Sprintf(
+				"hierarchy explain latency %d → %d ns (×%.2f)", base.HierExplainNs, cur.HierExplainNs, ratio))
+		}
+	}
+	floor := hierarchySpeedupFloor
+	if base.Speedup/maxLatency > floor {
+		floor = base.Speedup / maxLatency
+	}
+	if cur.Speedup < floor {
+		violations = append(violations, fmt.Sprintf(
+			"pruned-vs-exact speedup %.1fx → %.1fx (floor %.1fx)", base.Speedup, cur.Speedup, floor))
+	}
+	if cur.Candidates > 0 && cur.Visited >= cur.Candidates {
+		violations = append(violations, fmt.Sprintf(
+			"walk visited all %d candidates — subtree pruning is not engaging", cur.Candidates))
 	}
 	if cur.MaxErrBound > cur.Epsilon {
 		violations = append(violations, fmt.Sprintf(

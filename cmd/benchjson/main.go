@@ -2,7 +2,7 @@
 // readable JSON, so the performance trajectory across PRs can be tracked
 // by tooling instead of by eyeballing `go test -bench` output.
 //
-// Three modes:
+// Five modes:
 //
 //	-mode micro (default) runs the hot-path micro-benchmarks through
 //	`go test -bench` and writes BENCH_engine.json (ns/op, B/op,
@@ -28,6 +28,12 @@
 //	optimum per segment, and writes BENCH_approx.json with the speedup,
 //	the reported error bound, and the measured error.
 //
+//	-mode hierarchy runs the taxonomy synthetic scenario (~50k leaves,
+//	~52k candidates) through the exact and the subtree-pruned approximate
+//	explain paths over the same hierarchy-declared universe, measures the
+//	flat-vs-walk candidate ranking on a fresh universe, verifies the
+//	approximate result per segment, and writes BENCH_hierarchy.json.
+//
 // Every mode accepts -cpuprofile/-memprofile: micro mode forwards them to
 // `go test`, the in-process modes profile the replay directly, so the
 // exact workload a CI gate measures can be handed to `go tool pprof`.
@@ -38,6 +44,7 @@
 //	go run ./cmd/benchjson -mode streaming [-replays 7] [-o BENCH_streaming.json]
 //	go run ./cmd/benchjson -mode catalog [-replays 5] [-o BENCH_catalog.json]
 //	go run ./cmd/benchjson -mode approx [-replays 3] [-o BENCH_approx.json]
+//	go run ./cmd/benchjson -mode hierarchy [-replays 3] [-o BENCH_hierarchy.json]
 //	go run ./cmd/benchjson -mode catalog -cpuprofile cat.pprof -memprofile cat.mprof
 package main
 
@@ -99,7 +106,7 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	mode := flag.String("mode", "micro", "micro (go test -bench), streaming (per-update latency replay), catalog (snapshot save/restore vs rebuild), or approx (high-cardinality exact vs anytime approximate)")
+	mode := flag.String("mode", "micro", "micro (go test -bench), streaming (per-update latency replay), catalog (snapshot save/restore vs rebuild), approx (high-cardinality exact vs anytime approximate), or hierarchy (taxonomy exact vs subtree-pruned approximate)")
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "2s", "value for go test -benchtime")
 	count := flag.Int("count", 1, "value for go test -count")
@@ -134,6 +141,15 @@ func main() {
 			*out = "BENCH_approx.json"
 		}
 		if err := withProfiles(*cpuprofile, *memprofile, func() error { return runApprox(*out, *replays) }); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "hierarchy":
+		if *out == "" {
+			*out = "BENCH_hierarchy.json"
+		}
+		if err := withProfiles(*cpuprofile, *memprofile, func() error { return runHierarchy(*out, *replays) }); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -794,6 +810,237 @@ func runApprox(out string, replays int) error {
 		report.Candidates, report.Eligible, report.CandidatesUsed,
 		float64(report.ExactExplainNs)/1e6, float64(report.ApproxExplainNs)/1e6,
 		report.Speedup, report.MaxErrBound, report.MaxActualErr)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", out)
+	return nil
+}
+
+// HierarchyReport is the BENCH_hierarchy.json document: the taxonomy
+// scenario's exact-vs-subtree-pruned explain latency, the walk-vs-flat
+// candidate-ranking micro-comparison, and the approximate path's error
+// accounting. Both explain paths run over the same hierarchy-declared
+// universe (grouped enumeration, taxonomy DAG edges), so the differential
+// compares within one candidate space; the only variable is the subtree
+// bound-pruning.
+type HierarchyReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	Replays     int    `json:"replays"`
+	UnixTime    int64  `json:"unix_time"`
+	Scenario    string `json:"scenario"`
+	// Taxonomy shape of the scenario.
+	Cats       int `json:"cats"`
+	Subcats    int `json:"subcats"`
+	Leaves     int `json:"leaves"`
+	N          int `json:"n"`
+	Candidates int `json:"candidates"`
+	Eligible   int `json:"eligible"`
+	// BuildNs is the shared precompute both modes pay identically;
+	// ExactExplainNs/HierExplainNs are the end-to-end explain calls on a
+	// freshly built engine (minimum over replays).
+	BuildNs        int64   `json:"build_ns"`
+	ExactExplainNs int64   `json:"exact_explain_ns"`
+	HierExplainNs  int64   `json:"hier_explain_ns"`
+	Speedup        float64 `json:"speedup"`
+	// Ranking micro-comparison on a fresh universe at the same budget:
+	// the flat ContributionBounds + SelectTopBounds pass scores every
+	// candidate, the best-first subtree walk scores only Visited of them.
+	RankFlatNs  int64   `json:"rank_flat_ns"`
+	WalkNs      int64   `json:"walk_ns"`
+	WalkSpeedup float64 `json:"walk_speedup"`
+	Visited     int     `json:"visited"`
+	// Error accounting, as in the approx report: requested epsilon, worst
+	// reported per-segment bound, worst error measured against the exact
+	// optimum on the approximate run's own segments.
+	Epsilon        float64 `json:"epsilon"`
+	CandidatesUsed int     `json:"candidates_used"`
+	MaxErrBound    float64 `json:"max_err_bound"`
+	MaxActualErr   float64 `json:"max_actual_err"`
+	Rounds         int     `json:"rounds"`
+	K              int     `json:"k"`
+}
+
+// hierScenario returns the benchmark's taxonomy dataset: the generator
+// defaults, a three-level ~50k-leaf taxonomy (~52k candidates with the
+// roll-up levels).
+func hierScenario() (*synth.TaxonomyDataset, synth.TaxonomyParams, error) {
+	p := synth.TaxonomyParams{Seed: 42}.WithDefaults()
+	d, err := synth.Taxonomy(p)
+	return d, p, err
+}
+
+func hierQueryOpts() (core.Query, core.Options) {
+	q := core.Query{Measure: "sales", Agg: relation.Sum, ExplainBy: synth.TaxonomyLevels()}
+	opts := core.DefaultOptions()
+	opts.MaxOrder = 2
+	opts.K = 8
+	opts.Hierarchies = [][]string{synth.TaxonomyLevels()}
+	return q, opts
+}
+
+// runHierarchy measures the exact and the subtree-pruned approximate
+// explain paths on the taxonomy scenario and cross-checks the approximate
+// result against the exact optimum per segment.
+func runHierarchy(out string, replays int) error {
+	if replays < 1 {
+		replays = 1
+	}
+	d, p, err := hierScenario()
+	if err != nil {
+		return err
+	}
+	q, opts := hierQueryOpts()
+	aopts := opts
+	aopts.Approx = core.ApproxOptions{Enabled: true, Epsilon: 0.05, MaxCandidates: 4096}
+
+	report := HierarchyReport{
+		GeneratedBy: "cmd/benchjson -mode hierarchy",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Replays:     replays,
+		UnixTime:    time.Now().Unix(),
+		Scenario:    fmt.Sprintf("synth.Taxonomy seed=%d: %d drivers in a %d×%d×%d cat/subcat/leaf taxonomy", p.Seed, p.Drivers, p.Cats, p.SubcatsPerCat, p.LeavesPerSubcat),
+		Cats:        p.Cats,
+		Subcats:     p.SubcatsPerCat,
+		Leaves:      p.LeavesPerSubcat,
+		N:           p.N,
+		Epsilon:     aopts.Approx.Epsilon,
+		K:           opts.K,
+	}
+
+	// Subtree-pruned approximate path first: fresh engine per replay so
+	// every explain is cold. Its settled candidate budget (where the
+	// anytime refinement stopped) is what the ranking micro-comparison
+	// below replays.
+	var hierRes *core.Result
+	for r := 0; r < replays; r++ {
+		eng, err := core.NewEngine(d.Rel, q, aopts)
+		if err != nil {
+			return err
+		}
+		t1 := time.Now()
+		res, err := eng.Explain()
+		if err != nil {
+			return err
+		}
+		ns := time.Since(t1).Nanoseconds()
+		if r == 0 || ns < report.HierExplainNs {
+			report.HierExplainNs = ns
+		}
+		hierRes = res
+	}
+	if hierRes.Approx == nil {
+		return fmt.Errorf("hierarchy run returned no ApproxInfo")
+	}
+	report.CandidatesUsed = hierRes.Approx.CandidatesUsed
+	report.MaxErrBound = hierRes.Approx.MaxErrBound
+	report.Rounds = hierRes.Approx.Rounds
+
+	// Exact path, same cold-engine discipline. The walk-vs-flat ranking
+	// micro-comparison piggybacks on the same fresh universe, at the budget
+	// the approximate run settled on — both selector caches start cold, and
+	// neither feeds the exact explain that follows.
+	budget := report.CandidatesUsed
+	if budget <= 0 {
+		budget = aopts.Approx.MaxCandidates
+	}
+	var exactEng *core.Engine
+	for r := 0; r < replays; r++ {
+		t0 := time.Now()
+		eng, err := core.NewEngine(d.Rel, q, opts)
+		if err != nil {
+			return err
+		}
+		build := time.Since(t0).Nanoseconds()
+
+		u := eng.Universe()
+		t1 := time.Now()
+		flatIDs, _ := explain.SelectTopBounds(u.ContributionBounds(), nil, budget)
+		rankFlat := time.Since(t1).Nanoseconds()
+		t2 := time.Now()
+		sb := explain.NewSubtreeBounds(u)
+		if sb == nil {
+			return fmt.Errorf("taxonomy universe not prunable: NewSubtreeBounds returned nil")
+		}
+		walkIDs, _ := sb.SelectTop(nil, budget)
+		walk := time.Since(t2).Nanoseconds()
+		if len(walkIDs) != len(flatIDs) {
+			return fmt.Errorf("walk kept %d candidates, flat kept %d", len(walkIDs), len(flatIDs))
+		}
+		if r == 0 || rankFlat < report.RankFlatNs {
+			report.RankFlatNs = rankFlat
+		}
+		if r == 0 || walk < report.WalkNs {
+			report.WalkNs = walk
+			report.Visited = sb.Visited
+		}
+
+		t3 := time.Now()
+		if _, err := eng.Explain(); err != nil {
+			return err
+		}
+		ns := time.Since(t3).Nanoseconds()
+		if r == 0 || build < report.BuildNs {
+			report.BuildNs = build
+		}
+		if r == 0 || ns < report.ExactExplainNs {
+			report.ExactExplainNs = ns
+		}
+		exactEng = eng
+	}
+	report.Candidates = exactEng.Universe().NumCandidates()
+	report.Eligible = exactEng.FilteredCount()
+	if report.WalkNs > 0 {
+		report.WalkSpeedup = float64(report.RankFlatNs) / float64(report.WalkNs)
+	}
+	if report.HierExplainNs > 0 {
+		report.Speedup = float64(report.ExactExplainNs) / float64(report.HierExplainNs)
+	}
+
+	// Measure the true attribution error against the exact optimum on the
+	// approximate run's own segments; it must stay within the reported
+	// per-segment bound.
+	mIdx := len(exactEng.Explainer().TopM(0, 1).Best) - 1
+	for _, seg := range hierRes.Segments {
+		ge := exactEng.Explainer().TopM(seg.Start, seg.End).Best[mIdx]
+		var ga float64
+		for _, e := range seg.Top {
+			ga += e.Gamma
+		}
+		if ge <= 0 {
+			continue
+		}
+		actual := (ge - ga) / ge
+		if actual < 0 {
+			actual = 0
+		}
+		if actual > report.MaxActualErr {
+			report.MaxActualErr = actual
+		}
+		if actual > seg.ErrBound+1e-9 {
+			return fmt.Errorf("segment [%d,%d]: measured error %.6f exceeds reported bound %.6f",
+				seg.Start, seg.End, actual, seg.ErrBound)
+		}
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		os.Stdout.Write(enc)
+		return nil
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: hierarchy %d cands (%d eligible, %d used, %d walked): exact %.0fms vs pruned %.0fms (%.1fx), walk %.1fx, bound %.4f, measured %.4f\n",
+		report.Candidates, report.Eligible, report.CandidatesUsed, report.Visited,
+		float64(report.ExactExplainNs)/1e6, float64(report.HierExplainNs)/1e6,
+		report.Speedup, report.WalkSpeedup, report.MaxErrBound, report.MaxActualErr)
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", out)
 	return nil
 }

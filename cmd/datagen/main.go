@@ -13,8 +13,15 @@
 //
 //	go run ./cmd/datagen -scenario highcard -manifest highcard.json > highcard.csv
 //
+// The taxonomy scenario behind the hierarchy benchmark — a three-level
+// ~50k-leaf taxonomy plus two numeric columns for range binning — is
+// generated with:
+//
+//	go run ./cmd/datagen -scenario taxonomy -manifest taxonomy.json > taxonomy.csv
+//
 // The optional -manifest file is a ready-to-upload catalog manifest
-// (POST /api/datasets) with approximate-mode defaults declared.
+// (POST /api/datasets) with approximate-mode defaults — and, for the
+// taxonomy scenario, the hierarchy and range-bin declarations — included.
 package main
 
 import (
@@ -31,21 +38,28 @@ import (
 
 func main() {
 	name := flag.String("dataset", "covid", "covid, covid-daily, sp500, liquor, vax-deaths")
-	scenario := flag.String("scenario", "", "synthetic scenario instead of -dataset: highcard")
+	scenario := flag.String("scenario", "", "synthetic scenario instead of -dataset: highcard, taxonomy")
 	users := flag.Int("users", 0, "highcard: user cardinality (0: generator default)")
 	regions := flag.Int("regions", 0, "highcard: region cardinality (0: generator default)")
-	n := flag.Int("n", 0, "highcard: series length (0: generator default)")
-	seed := flag.Int64("seed", 42, "highcard: generator seed")
-	manifest := flag.String("manifest", "", "highcard: also write a catalog manifest JSON to this path")
+	cats := flag.Int("cats", 0, "taxonomy: category cardinality (0: generator default)")
+	subcats := flag.Int("subcats", 0, "taxonomy: subcategories per category (0: generator default)")
+	leaves := flag.Int("leaves", 0, "taxonomy: leaves per subcategory (0: generator default)")
+	n := flag.Int("n", 0, "scenario series length (0: generator default)")
+	seed := flag.Int64("seed", 42, "scenario generator seed")
+	manifest := flag.String("manifest", "", "scenario: also write a catalog manifest JSON to this path")
 	flag.Parse()
 
-	if *scenario != "" {
-		if *scenario != "highcard" {
-			fmt.Fprintf(os.Stderr, "datagen: unknown scenario %q\n", *scenario)
-			os.Exit(2)
-		}
+	switch *scenario {
+	case "":
+	case "highcard":
 		writeHighCard(*users, *regions, *n, *seed, *manifest)
 		return
+	case "taxonomy":
+		writeTaxonomy(*cats, *subcats, *leaves, *n, *seed, *manifest)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown scenario %q\n", *scenario)
+		os.Exit(2)
 	}
 
 	var d *datasets.Dataset
@@ -107,4 +121,48 @@ func writeHighCard(users, regions, n int, seed int64, manifestPath string) {
 	}
 	fmt.Fprintf(os.Stderr, "scenario=highcard rows=%d n=%d pairs=%d ground-truth-cuts=%v\n",
 		d.Rel.NumRows(), d.Rel.NumTimestamps(), d.Pairs, d.Cuts)
+}
+
+func writeTaxonomy(cats, subcats, leaves, n int, seed int64, manifestPath string) {
+	d, err := synth.Taxonomy(synth.TaxonomyParams{
+		Cats: cats, SubcatsPerCat: subcats, LeavesPerSubcat: leaves, N: n, Seed: seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if err := relation.WriteCSV(os.Stdout, d.Rel); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if manifestPath != "" {
+		levels := synth.TaxonomyLevels()
+		m := catalog.Manifest{
+			Name:       "taxonomy",
+			TimeCol:    "T",
+			DimCols:    levels,
+			MeasureCol: "sales",
+			Agg:        "SUM",
+			ExplainBy:  append(append([]string(nil), levels...), "price_bin"),
+			MaxOrder:   2,
+			Approx:     &catalog.ApproxDefaults{MaxCandidates: 4096, Epsilon: 0.05},
+			Hierarchies: []catalog.HierarchySpec{
+				{Name: "taxonomy", Levels: levels},
+			},
+			RangeBins: []catalog.RangeBinSpec{
+				{Column: "price", Bins: 8, As: "price_bin"},
+			},
+		}
+		enc, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(manifestPath, append(enc, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "scenario=taxonomy rows=%d n=%d leaves=%d ground-truth-cuts=%v\n",
+		d.Rel.NumRows(), d.Rel.NumTimestamps(), d.Leaves, d.Cuts)
 }

@@ -11,6 +11,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/relation"
+	"repro/internal/synth"
 )
 
 // The golden corpus pins the engine's canonical explanation output —
@@ -41,6 +43,7 @@ func goldenCases() []goldenCase {
 		{"liquor", datasets.Liquor},
 		{"covid", datasets.CovidTotal},
 		{"stream", func() *datasets.Dataset { return datasets.Stream(datasets.StreamDays) }},
+		{"taxonomy", datasets.Taxonomy},
 	}
 }
 
@@ -66,6 +69,9 @@ type goldenTop struct {
 	Predicates string `json:"predicates"`
 	Effect     string `json:"effect"`
 	Gamma      string `json:"gamma"`
+	// Path pins the hierarchy drill-down path; omitted for flat datasets,
+	// so the pre-hierarchy golden files stay byte-identical.
+	Path []string `json:"path,omitempty"`
 }
 
 func g64(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -85,6 +91,7 @@ func toGolden(name, mode string, res *core.Result) goldenDoc {
 				Predicates: e.Predicates,
 				Effect:     e.Effect.String(),
 				Gamma:      g64(e.Gamma),
+				Path:       e.Path,
 			})
 		}
 		doc.Segments = append(doc.Segments, gs)
@@ -103,6 +110,7 @@ func goldenOptions(d *datasets.Dataset, vanilla bool) core.Options {
 	}
 	opts.MaxOrder = d.MaxOrder
 	opts.SmoothWindow = d.SmoothWindow
+	opts.Hierarchies = d.Hierarchies
 	return opts
 }
 
@@ -159,6 +167,64 @@ func TestGoldenCorpus(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestGoldenHierarchyLeafDifferential pins the grouped enumeration's
+// degenerate case: a hierarchy whose explain-by set keeps only the leaf
+// level must not register (one kept level behaves exactly flat), so the
+// engine's output over a hierarchy-declaring relation is bit-identical —
+// through the same JSON serialization the golden corpus uses, path field
+// included — to a flat engine over the same data with no hierarchy
+// declared.
+func TestGoldenHierarchyLeafDifferential(t *testing.T) {
+	params := synth.TaxonomyParams{
+		Cats: 6, SubcatsPerCat: 4, LeavesPerSubcat: 4,
+		N: 64, Drivers: 6, Seed: 7,
+	}
+	flat, err := synth.Taxonomy(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := synth.Taxonomy(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hier.Rel.DeclareHierarchy("cat>subcat>leaf", synth.TaxonomyLevels()); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(rel *relation.Relation, hiers [][]string) []byte {
+		t.Helper()
+		opts := core.DefaultOptions()
+		opts.MaxOrder = 2
+		opts.Hierarchies = hiers
+		eng, err := core.NewEngine(rel, core.Query{
+			Measure: "sales", Agg: relation.Sum, ExplainBy: []string{"leaf"},
+		}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []byte
+		for _, k := range goldenKs {
+			res, err := eng.ExplainWithK(k)
+			if err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+			doc, err := json.MarshalIndent(toGolden("leafdiff", "opt", res), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, doc...)
+			out = append(out, '\n')
+		}
+		return out
+	}
+
+	flatOut := run(flat.Rel, nil)
+	hierOut := run(hier.Rel, [][]string{synth.TaxonomyLevels()})
+	if string(flatOut) != string(hierOut) {
+		t.Errorf("leaf-level hierarchy output diverged from the flat path.\n--- flat\n%s\n--- hierarchy\n%s", flatOut, hierOut)
 	}
 }
 

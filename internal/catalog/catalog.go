@@ -193,6 +193,13 @@ func (c *Catalog) Create(m Manifest, csvSrc io.Reader) (*relation.Relation, erro
 	if rel.NumTimestamps() < 2 {
 		return nil, fmt.Errorf("catalog: dataset %q has %d distinct time values, need at least 2", m.Name, rel.NumTimestamps())
 	}
+	// Derived columns (hierarchies, range bins) validate against the real
+	// data here — a path column that is not a single-parent taxonomy or a
+	// constant range-bin source fails the upload before anything touches
+	// disk. Only base columns persist; loads re-derive.
+	if err := m.ApplyDerived(rel); err != nil {
+		return nil, err
+	}
 
 	lock := c.lockFor(m.Name)
 	lock.Lock()
@@ -302,7 +309,17 @@ func (c *Catalog) LoadRelation(name string) (*relation.Relation, error) {
 		return nil, fmt.Errorf("catalog: %w", err)
 	}
 	defer f.Close()
-	return relation.ReadCSV(f, m.Spec())
+	rel, err := relation.ReadCSV(f, m.Spec())
+	if err != nil {
+		return nil, err
+	}
+	// The CSV persists base columns only; hierarchies and range bins are
+	// re-derived on every load (the derivation is deterministic, so a
+	// reload reproduces the exact column set Create validated).
+	if err := m.ApplyDerived(rel); err != nil {
+		return nil, err
+	}
+	return rel, nil
 }
 
 // AppendRows durably appends delta rows to the dataset's CSV, in the same
@@ -328,16 +345,22 @@ func (c *Catalog) AppendRows(name string, timeVals []string, dims [][]string, me
 		return fmt.Errorf("catalog: %w", err)
 	}
 	w := csv.NewWriter(f)
-	rec := make([]string, 1+len(m.DimCols)+1)
+	// Spec().MeasCols lists the primary measure plus every range-bin
+	// source column — appended rows persist all of them, in the same
+	// column order Create's normalized CSV established.
+	measCols := m.Spec().MeasCols
+	rec := make([]string, 1+len(m.DimCols)+len(measCols))
 	for i := range timeVals {
-		if len(dims[i]) != len(m.DimCols) || len(measures[i]) != 1 {
+		if len(dims[i]) != len(m.DimCols) || len(measures[i]) != len(measCols) {
 			f.Close()
-			return fmt.Errorf("catalog: row %d has %d dims and %d measures, want %d and 1",
-				i, len(dims[i]), len(measures[i]), len(m.DimCols))
+			return fmt.Errorf("catalog: row %d has %d dims and %d measures, want %d and %d",
+				i, len(dims[i]), len(measures[i]), len(m.DimCols), len(measCols))
 		}
 		rec[0] = timeVals[i]
 		copy(rec[1:], dims[i])
-		rec[len(rec)-1] = strconv.FormatFloat(measures[i][0], 'g', -1, 64)
+		for j, v := range measures[i] {
+			rec[1+len(m.DimCols)+j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
 		if err := w.Write(rec); err != nil {
 			f.Close()
 			return fmt.Errorf("catalog: appending row %d: %w", i, err)

@@ -378,3 +378,143 @@ func TestConcurrentCreates(t *testing.T) {
 		t.Fatalf("%d concurrent creates of one name succeeded, want exactly 1", ok)
 	}
 }
+
+const derivedCSV = `date,loc,sales,price
+2020-01-01,TX/hou,5,10
+2020-01-01,TX/aus,3,40
+2020-01-01,CA/la,2,90
+2020-01-02,TX/hou,7,12
+2020-01-02,TX/aus,4,45
+2020-01-02,CA/la,6,80
+2020-01-03,TX/hou,9,11
+2020-01-03,CA/la,8,85
+`
+
+func derivedManifest() Manifest {
+	return Manifest{
+		Name:       "geo",
+		TimeCol:    "date",
+		DimCols:    []string{"loc"},
+		MeasureCol: "sales",
+		Agg:        "SUM",
+		ExplainBy:  []string{"state", "county", "price_bin"},
+		MaxOrder:   2,
+		Hierarchies: []HierarchySpec{
+			{Name: "geo", Levels: []string{"state", "county"}, PathCol: "loc"},
+		},
+		RangeBins: []RangeBinSpec{
+			{Column: "price", Bins: 2, As: "price_bin"},
+		},
+	}
+}
+
+// TestCreateWithDerivedColumns: Create derives hierarchy levels and range
+// bins, persists base columns only, and LoadRelation re-derives the exact
+// same column set — edges included — so snapshot restores and cold loads
+// agree bit for bit.
+func TestCreateWithDerivedColumns(t *testing.T) {
+	c := openTestCatalog(t)
+	m := derivedManifest()
+	rel, err := c.Create(m, strings.NewReader(derivedCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumBaseDims() != 1 || rel.NumDims() != 4 {
+		t.Fatalf("derived relation has %d base / %d total dims, want 1 / 4", rel.NumBaseDims(), rel.NumDims())
+	}
+	if len(rel.Hierarchies()) != 1 {
+		t.Fatalf("hierarchies = %d, want 1", len(rel.Hierarchies()))
+	}
+	edges, ok := rel.RangeBinEdges("price_bin")
+	if !ok || len(edges) == 0 {
+		t.Fatalf("price_bin edges = %v, %v", edges, ok)
+	}
+
+	// The persisted CSV holds base columns only (loc, not the derived
+	// state/county/price_bin), plus every measure Spec() loads.
+	raw, err := os.ReadFile(filepath.Join(c.Dir(), "geo", dataFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(string(raw), "\n", 2)[0]
+	if strings.Contains(header, "state") || strings.Contains(header, "price_bin") {
+		t.Fatalf("derived columns leaked into the persisted CSV header %q", header)
+	}
+	if !strings.Contains(header, "price") {
+		t.Fatalf("range-bin source column missing from persisted CSV header %q", header)
+	}
+
+	loaded, err := c.LoadRelation("geo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumDims() != rel.NumDims() || loaded.NumRows() != rel.NumRows() {
+		t.Fatalf("reload shape differs: %d dims %d rows vs %d dims %d rows",
+			loaded.NumDims(), loaded.NumRows(), rel.NumDims(), rel.NumRows())
+	}
+	loadedEdges, ok := loaded.RangeBinEdges("price_bin")
+	if !ok || len(loadedEdges) != len(edges) {
+		t.Fatalf("reloaded edges %v, want %v", loadedEdges, edges)
+	}
+	for i := range edges {
+		if loadedEdges[i] != edges[i] {
+			t.Fatalf("edge %d: reloaded %v, created %v", i, loadedEdges[i], edges[i])
+		}
+	}
+	for row := 0; row < rel.NumRows(); row++ {
+		for d := 0; d < rel.NumDims(); d++ {
+			if loaded.DimValue(d, row) != rel.DimValue(d, row) {
+				t.Fatalf("row %d dim %d: reloaded %q, created %q", row, d, loaded.DimValue(d, row), rel.DimValue(d, row))
+			}
+		}
+	}
+
+	// The derived columns are valid explain-by attributes.
+	u := buildUniverse(t, m, rel)
+	if u.NumCandidates() == 0 {
+		t.Fatal("no candidates over derived explain-by attributes")
+	}
+
+	// Appends persist every Spec() measure and re-derive on reload.
+	if err := c.AppendRows("geo",
+		[]string{"2020-01-04"}, [][]string{{"TX/hou"}}, [][]float64{{11, 13}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AppendRows("geo",
+		[]string{"2020-01-05"}, [][]string{{"TX/hou"}}, [][]float64{{11}}); err == nil {
+		t.Fatal("append with missing range-bin source measure accepted")
+	}
+	again, err := c.LoadRelation("geo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.NumRows() != rel.NumRows()+1 || again.NumDims() != 4 {
+		t.Fatalf("after append: %d rows %d dims", again.NumRows(), again.NumDims())
+	}
+}
+
+// TestCreateRejectsBadDerivedData: derivation failures (a path value with
+// the wrong segment count, a multi-parent taxonomy) surface at Create and
+// leave nothing on disk.
+func TestCreateRejectsBadDerivedData(t *testing.T) {
+	c := openTestCatalog(t)
+	bad := `date,loc,sales,price
+2020-01-01,TX/hou,5,10
+2020-01-02,notapath,7,12
+`
+	if _, err := c.Create(derivedManifest(), strings.NewReader(bad)); err == nil {
+		t.Fatal("bad path data accepted")
+	}
+	entries, err := os.ReadDir(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if ValidName(e.Name()) {
+			t.Fatalf("failed create left %q on disk", e.Name())
+		}
+	}
+	if _, ok := c.Resolve("geo"); ok {
+		t.Fatal("failed create left the name registered")
+	}
+}

@@ -19,6 +19,18 @@ func FuzzParseManifest(f *testing.F) {
 	f.Add(`{"name":"x","timeCol":"t","dimCols":["a"],"measureCol":"m","unknownField":1}`)
 	f.Add(`not json`)
 	f.Add(`{"name":"x","timeCol":"t","dimCols":["a"],"measureCol":"m","approx":{"epsilon":0.9}}`)
+	// Hierarchy and range-bin declarations: the valid shapes…
+	f.Add(`{"name":"tax","timeCol":"T","dimCols":["cat","subcat","leaf"],"measureCol":"sales","explainBy":["cat","subcat","leaf"],"hierarchies":[{"name":"taxonomy","levels":["cat","subcat","leaf"]}]}`)
+	f.Add(`{"name":"geo","timeCol":"t","dimCols":["path"],"measureCol":"m","explainBy":["state","county"],"hierarchies":[{"name":"geo","levels":["state","county"],"pathCol":"path","delim":"/"}]}`)
+	f.Add(`{"name":"rb","timeCol":"t","dimCols":["a"],"measureCol":"m","explainBy":["a","price_bin"],"rangeBins":[{"column":"price","bins":8,"as":"price_bin"}]}`)
+	// …and the rejected ones: unknown level, cyclic path (pathCol among
+	// its own levels), delim without pathCol, level collisions, bad bins.
+	f.Add(`{"name":"bad","timeCol":"t","dimCols":["a"],"measureCol":"m","hierarchies":[{"name":"h","levels":["a","nope"]}]}`)
+	f.Add(`{"name":"cyc","timeCol":"t","dimCols":["p"],"measureCol":"m","hierarchies":[{"name":"h","levels":["x","p"],"pathCol":"p"}]}`)
+	f.Add(`{"name":"dl","timeCol":"t","dimCols":["a","b"],"measureCol":"m","hierarchies":[{"name":"h","levels":["a","b"],"delim":":"}]}`)
+	f.Add(`{"name":"ov","timeCol":"t","dimCols":["a","b","c"],"measureCol":"m","hierarchies":[{"name":"h1","levels":["a","b"]},{"name":"h2","levels":["b","c"]}]}`)
+	f.Add(`{"name":"nb","timeCol":"t","dimCols":["a"],"measureCol":"m","rangeBins":[{"column":"price","bins":1}]}`)
+	f.Add(`{"name":"cl","timeCol":"t","dimCols":["a"],"measureCol":"m","rangeBins":[{"column":"price","as":"a"}]}`)
 
 	f.Fuzz(func(t *testing.T, data string) {
 		m, err := ParseManifest([]byte(data))
@@ -36,8 +48,55 @@ func FuzzParseManifest(f *testing.F) {
 		if _, err := m.AggFunc(); err != nil {
 			t.Fatalf("accepted unresolvable aggregate %q: %v", m.Agg, err)
 		}
-		if o := m.EffectiveMaxOrder(); o < 1 || o > len(m.DimCols) {
-			t.Fatalf("effective max order %d out of range for %d dims", o, len(m.DimCols))
+		nBy := len(m.ExplainBy)
+		if nBy == 0 {
+			nBy = len(m.DimCols)
+		}
+		if o := m.EffectiveMaxOrder(); o < 1 || o > nBy {
+			t.Fatalf("effective max order %d out of range for %d explain-by attributes", o, nBy)
+		}
+		// Accepted derived-column declarations must satisfy their own
+		// invariants: known, non-cyclic hierarchy inputs and in-range,
+		// collision-free range bins.
+		dimSet := map[string]bool{}
+		for _, d := range m.DimCols {
+			dimSet[d] = true
+		}
+		for _, h := range m.Hierarchies {
+			if len(h.Levels) < 2 {
+				t.Fatalf("accepted hierarchy %q with %d levels", h.Name, len(h.Levels))
+			}
+			if h.PathCol != "" {
+				if !dimSet[h.PathCol] {
+					t.Fatalf("accepted hierarchy %q with unknown pathCol %q", h.Name, h.PathCol)
+				}
+				for _, l := range h.Levels {
+					if l == h.PathCol {
+						t.Fatalf("accepted cyclic hierarchy %q: pathCol %q is one of its levels", h.Name, h.PathCol)
+					}
+				}
+			} else {
+				if h.Delim != "" {
+					t.Fatalf("accepted hierarchy %q with delim but no pathCol", h.Name)
+				}
+				for _, l := range h.Levels {
+					if !dimSet[l] {
+						t.Fatalf("accepted hierarchy %q with unknown level %q", h.Name, l)
+					}
+				}
+			}
+		}
+		for _, rb := range m.RangeBins {
+			if b := rb.EffectiveBins(); b < 2 || b > 4096 {
+				t.Fatalf("accepted range bin over %q with %d bins", rb.Column, b)
+			}
+			as := rb.EffectiveAs()
+			if as == rb.Column || dimSet[as] || as == m.TimeCol || as == m.MeasureCol {
+				t.Fatalf("accepted colliding range-bin column %q", as)
+			}
+			if rb.Column == m.TimeCol || dimSet[rb.Column] {
+				t.Fatalf("accepted range bin over non-numeric column %q", rb.Column)
+			}
 		}
 		// Round trip: store and reload must accept the same document.
 		enc, err := json.Marshal(m)

@@ -45,6 +45,73 @@ type Manifest struct {
 	// Approx holds the dataset's defaults for approximate-mode requests
 	// (?mode=approx); nil applies the engine defaults.
 	Approx *ApproxDefaults `json:"approx,omitempty"`
+	// Hierarchies declares taxonomies over the dataset's dimensions, each
+	// either tying existing dimCols together coarse→fine or deriving new
+	// level columns from a path-delimited dimension. Declared hierarchies
+	// persist in the dataset's snapshots and make the level columns valid
+	// explainBy attributes.
+	Hierarchies []HierarchySpec `json:"hierarchies,omitempty"`
+	// RangeBins derives categorical bin columns from numeric CSV columns
+	// by equi-depth binning; the resulting columns are valid explainBy
+	// attributes and their bin edges are frozen with the dataset.
+	RangeBins []RangeBinSpec `json:"rangeBins,omitempty"`
+}
+
+// HierarchySpec declares one taxonomy. Either Levels names ≥ 2 existing
+// dimCols (coarse → fine), or PathCol names a path-delimited dimCols
+// entry ("electronics/audio/iem") whose segments become new columns named
+// by Levels.
+type HierarchySpec struct {
+	// Name identifies the hierarchy within the dataset.
+	Name string `json:"name"`
+	// Levels lists the level column names, coarsest first. Without
+	// PathCol they must be existing dimCols; with PathCol they are new
+	// columns derived by splitting it.
+	Levels []string `json:"levels"`
+	// PathCol, when set, derives the levels by splitting this dimCols
+	// entry on Delim. Every value must split into exactly len(Levels)
+	// non-empty segments.
+	PathCol string `json:"pathCol,omitempty"`
+	// Delim is the path separator (default "/"); only valid with PathCol.
+	Delim string `json:"delim,omitempty"`
+}
+
+// EffectiveDelim returns the path separator after defaults.
+func (h *HierarchySpec) EffectiveDelim() string {
+	if h.Delim == "" {
+		return "/"
+	}
+	return h.Delim
+}
+
+// RangeBinSpec derives one categorical column by equi-depth binning a
+// numeric CSV column.
+type RangeBinSpec struct {
+	// Column is the numeric CSV column to bin. It may be the measureCol
+	// or any other numeric column; it cannot be the time column or a
+	// dimension.
+	Column string `json:"column"`
+	// Bins is the maximum bin count (default 8, range 2..4096). Heavy
+	// duplicates may collapse bins.
+	Bins int `json:"bins,omitempty"`
+	// As names the derived column (default Column + "_bin").
+	As string `json:"as,omitempty"`
+}
+
+// EffectiveBins returns the bin count after defaults.
+func (rb *RangeBinSpec) EffectiveBins() int {
+	if rb.Bins == 0 {
+		return 8
+	}
+	return rb.Bins
+}
+
+// EffectiveAs returns the derived column name after defaults.
+func (rb *RangeBinSpec) EffectiveAs() string {
+	if rb.As == "" {
+		return rb.Column + "_bin"
+	}
+	return rb.As
 }
 
 // ApproxDefaults is a manifest's default configuration for the anytime
@@ -130,10 +197,14 @@ func (m *Manifest) Validate() error {
 	for _, d := range m.DimCols {
 		dimSet[d] = true
 	}
+	derived, err := m.validateDerived(cols, dimSet)
+	if err != nil {
+		return err
+	}
 	ebSeen := make(map[string]bool, len(m.ExplainBy))
 	for _, e := range m.ExplainBy {
-		if !dimSet[e] {
-			return fmt.Errorf("catalog: explainBy attribute %q is not a dimCols entry", e)
+		if !dimSet[e] && !derived[e] {
+			return fmt.Errorf("catalog: explainBy attribute %q is not a dimCols entry or derived column", e)
 		}
 		if ebSeen[e] {
 			return fmt.Errorf("catalog: explainBy attribute %q repeated", e)
@@ -157,14 +228,137 @@ func (m *Manifest) Validate() error {
 	return nil
 }
 
-// Spec returns the CSV column mapping the manifest describes.
+// validateDerived checks the hierarchies and rangeBins sections and
+// returns the set of derived column names they introduce. cols holds the
+// time and dimension columns, dimSet the dimensions alone.
+func (m *Manifest) validateDerived(cols, dimSet map[string]bool) (map[string]bool, error) {
+	derived := make(map[string]bool)
+	taken := func(name string) bool {
+		return cols[name] || name == m.MeasureCol || derived[name]
+	}
+	hierNames := make(map[string]bool, len(m.Hierarchies))
+	dimInHier := make(map[string]string)
+	for i := range m.Hierarchies {
+		h := &m.Hierarchies[i]
+		if h.Name == "" {
+			return nil, fmt.Errorf("catalog: hierarchies entry %d needs a name", i)
+		}
+		if hierNames[h.Name] {
+			return nil, fmt.Errorf("catalog: hierarchy %q declared twice", h.Name)
+		}
+		hierNames[h.Name] = true
+		if len(h.Levels) < 2 {
+			return nil, fmt.Errorf("catalog: hierarchy %q needs at least 2 levels, got %d", h.Name, len(h.Levels))
+		}
+		lvlSeen := make(map[string]bool, len(h.Levels))
+		for _, lv := range h.Levels {
+			if lv == "" {
+				return nil, fmt.Errorf("catalog: hierarchy %q has an empty level name", h.Name)
+			}
+			if lvlSeen[lv] {
+				return nil, fmt.Errorf("catalog: hierarchy %q repeats level %q", h.Name, lv)
+			}
+			lvlSeen[lv] = true
+		}
+		if h.PathCol != "" {
+			if !dimSet[h.PathCol] {
+				return nil, fmt.Errorf("catalog: hierarchy %q pathCol %q is not a dimCols entry", h.Name, h.PathCol)
+			}
+			if lvlSeen[h.PathCol] {
+				return nil, fmt.Errorf("catalog: hierarchy %q pathCol %q is also one of its levels — the hierarchy would derive from itself", h.Name, h.PathCol)
+			}
+			for _, lv := range h.Levels {
+				if taken(lv) {
+					return nil, fmt.Errorf("catalog: hierarchy %q level %q collides with an existing column", h.Name, lv)
+				}
+				derived[lv] = true
+			}
+		} else {
+			if h.Delim != "" {
+				return nil, fmt.Errorf("catalog: hierarchy %q sets delim without pathCol", h.Name)
+			}
+			for _, lv := range h.Levels {
+				if !dimSet[lv] {
+					return nil, fmt.Errorf("catalog: hierarchy %q level %q is not a dimCols entry", h.Name, lv)
+				}
+				if prev, ok := dimInHier[lv]; ok {
+					return nil, fmt.Errorf("catalog: dimension %q is in hierarchies %q and %q", lv, prev, h.Name)
+				}
+				dimInHier[lv] = h.Name
+			}
+		}
+	}
+	for i := range m.RangeBins {
+		rb := &m.RangeBins[i]
+		if rb.Column == "" {
+			return nil, fmt.Errorf("catalog: rangeBins entry %d needs a column", i)
+		}
+		if rb.Column == m.TimeCol || dimSet[rb.Column] {
+			return nil, fmt.Errorf("catalog: rangeBins column %q must be a numeric column, not the time or a dimension column", rb.Column)
+		}
+		if b := rb.EffectiveBins(); b < 2 || b > 4096 {
+			return nil, fmt.Errorf("catalog: rangeBins column %q bins %d out of range (2..4096)", rb.Column, b)
+		}
+		as := rb.EffectiveAs()
+		if taken(as) || as == rb.Column {
+			return nil, fmt.Errorf("catalog: rangeBins derived column %q collides with an existing column", as)
+		}
+		derived[as] = true
+	}
+	return derived, nil
+}
+
+// Spec returns the CSV column mapping the manifest describes. Range-bin
+// source columns load as additional measures so the bins can be derived
+// (and appended rows re-binned) engine-side.
 func (m *Manifest) Spec() relation.CSVSpec {
+	meas := []string{m.MeasureCol}
+	for i := range m.RangeBins {
+		src := m.RangeBins[i].Column
+		dup := false
+		for _, prev := range meas {
+			if prev == src {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			meas = append(meas, src)
+		}
+	}
 	return relation.CSVSpec{
 		Name:     m.Name,
 		TimeCol:  m.TimeCol,
 		DimCols:  m.DimCols,
-		MeasCols: []string{m.MeasureCol},
+		MeasCols: meas,
 	}
+}
+
+// ApplyDerived materializes the manifest's derived structure on a freshly
+// loaded relation: hierarchies are declared (path variants derive their
+// level columns first) and range-bin columns are computed with freshly
+// fitted edges. Derived state rides the relation from here on — snapshots
+// persist it, and appended base-schema rows re-derive against it.
+func (m *Manifest) ApplyDerived(r *relation.Relation) error {
+	for i := range m.Hierarchies {
+		h := &m.Hierarchies[i]
+		var err error
+		if h.PathCol != "" {
+			err = r.DeriveHierarchyFromPath(h.Name, h.PathCol, h.EffectiveDelim(), h.Levels)
+		} else {
+			err = r.DeclareHierarchy(h.Name, h.Levels)
+		}
+		if err != nil {
+			return fmt.Errorf("catalog: dataset %q: %w", m.Name, err)
+		}
+	}
+	for i := range m.RangeBins {
+		rb := &m.RangeBins[i]
+		if err := r.AddRangeBin(rb.EffectiveAs(), rb.Column, rb.EffectiveBins()); err != nil {
+			return fmt.Errorf("catalog: dataset %q: %w", m.Name, err)
+		}
+	}
+	return nil
 }
 
 // AggFunc resolves the manifest's aggregate name; empty defaults to SUM.

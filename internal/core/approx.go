@@ -69,6 +69,13 @@ type ApproxInfo struct {
 // Explain calls and K values. Appends invalidate it — new data shifts the
 // bounds.
 type approxState struct {
+	// sel, when non-nil, is the taxonomy-aware selector: each round's
+	// selection comes from a subtree-pruned best-first walk instead of the
+	// flat full ranking below (see explain.SubtreeBounds). Engaged when
+	// the universe has a multi-level taxonomy and the workload's
+	// contribution caps are sound.
+	sel *explain.SubtreeBounds
+
 	bounds []float64 // per-candidate γ upper bound over any segment
 	// order lists the eligible candidate ids sorted by descending bound
 	// (ties by ascending id), computed once; each refinement round's
@@ -98,6 +105,37 @@ type approxState struct {
 func (e *Engine) approxEnsure() *approxState {
 	if e.approx != nil {
 		return e.approx
+	}
+	if e.u.HasTaxonomy() {
+		if sel := explain.NewSubtreeBounds(e.u); sel != nil {
+			// Taxonomy path: no full ranking exists to take the
+			// Epsilon-scaled cut from, so the initial budget is just the
+			// coarse floor, clamped like the flat path's.
+			a := &approxState{sel: sel, installedM: -1}
+			a.eligible = e.u.NumCandidates()
+			if e.allowed != nil {
+				a.eligible = 0
+				for _, ok := range e.allowed {
+					if ok {
+						a.eligible++
+					}
+				}
+			}
+			m0 := 4 * e.opts.M
+			if m0 < 32 {
+				m0 = 32
+			}
+			if m0 > e.opts.Approx.MaxCandidates {
+				m0 = e.opts.Approx.MaxCandidates
+			}
+			if m0 > a.eligible {
+				m0 = a.eligible
+			}
+			a.m = m0
+			a.m0 = m0
+			e.approx = a
+			return a
+		}
 	}
 	a := &approxState{bounds: e.u.ContributionBounds(), installedM: -1}
 	a.order = make([]int, 0, len(a.bounds))
@@ -171,14 +209,21 @@ func (e *Engine) installApprox(a *approxState) {
 	if a.installedM == a.m {
 		return
 	}
-	// The selection is always a prefix of the precomputed order, so a
-	// grown budget costs O(M log M) for the ascending re-sort, not a
-	// fresh O(ε log ε) ranking.
-	a.ids = append([]int(nil), a.order[:a.m]...)
-	sort.Ints(a.ids)
-	a.theta = 0
-	if a.m < len(a.order) {
-		a.theta = a.bounds[a.order[a.m]]
+	if a.sel != nil {
+		// Subtree-pruned walk: exact bounds are memoized inside the
+		// selector, so a grown budget re-scans only newly reached
+		// candidates.
+		a.ids, a.theta = a.sel.SelectTop(e.allowed, a.m)
+	} else {
+		// The selection is always a prefix of the precomputed order, so a
+		// grown budget costs O(M log M) for the ascending re-sort, not a
+		// fresh O(ε log ε) ranking.
+		a.ids = append([]int(nil), a.order[:a.m]...)
+		sort.Ints(a.ids)
+		a.theta = 0
+		if a.m < len(a.order) {
+			a.theta = a.bounds[a.order[a.m]]
+		}
 	}
 	a.allowed = make([]bool, e.u.NumCandidates())
 	for _, id := range a.ids {

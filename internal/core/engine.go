@@ -76,6 +76,16 @@ type Options struct {
 	// top-M candidate set with a reported per-segment attribution-error
 	// bound instead of scoring all ε candidates per segment.
 	Approx ApproxOptions
+	// Hierarchies declares taxonomies over the relation's dimension
+	// columns, each an ordered coarse→fine list of dimension names
+	// (["state", "county"]). Hierarchies already declared on the relation
+	// (by the catalog's manifest or a restored snapshot) are picked up
+	// automatically. When at least two levels of a hierarchy are in the
+	// explain-by set, candidate enumeration switches to grouped roll-up
+	// form, drill-down follows the taxonomy level by level, reported
+	// explanations carry their level Path, and the approximate path prunes
+	// whole subtrees by contribution caps where sound.
+	Hierarchies [][]string
 }
 
 // DefaultOptions returns the paper's fully optimized configuration:
@@ -154,6 +164,10 @@ type Explanation struct {
 	Predicates string
 	// Attrs holds the attribute=value pairs of the conjunction.
 	Attrs map[string]string
+	// Path is the root-to-self taxonomy value chain of the explanation's
+	// deepest hierarchy predicate (["TX", "Houston"]); nil when the
+	// explanation has no predicate over a declared hierarchy.
+	Path []string
 	// Gamma is the difference score γ(E) over the segment.
 	Gamma float64
 	// Effect is the change effect τ(E): + or -.
@@ -289,6 +303,7 @@ func newEngine(ctx context.Context, rel *relation.Relation, q Query, opts Option
 		Agg:         q.Agg,
 		ExplainBy:   q.ExplainBy,
 		MaxOrder:    opts.MaxOrder,
+		Hierarchies: opts.Hierarchies,
 		Parallelism: opts.Parallelism,
 		Streaming:   cfg.streaming,
 		Cancel:      ctxCancelFunc(ctx),
@@ -691,6 +706,7 @@ func (e *Engine) buildSegment(a, b int) Segment {
 		seg.Top = append(seg.Top, Explanation{
 			Predicates: cand.Conj.String(e.rel),
 			Attrs:      attrs,
+			Path:       e.u.LevelPath(p.ID),
 			Gamma:      p.Gamma,
 			Effect:     p.Effect,
 			Values:     append([]float64(nil), vals...),

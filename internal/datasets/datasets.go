@@ -36,6 +36,11 @@ type Dataset struct {
 	Agg relation.AggFunc
 	// ExplainBy lists the explain-by attributes.
 	ExplainBy []string
+	// Hierarchies lists coarse-to-fine level chains among the explain-by
+	// attributes (core.Options.Hierarchies); nil for flat datasets. The
+	// generators also pre-declare them on Rel, so passing them through is
+	// idempotent.
+	Hierarchies [][]string
 	// MaxOrder is the explanation order threshold β̄ for this dataset.
 	MaxOrder int
 	// SmoothWindow is the moving-average window applied before

@@ -142,6 +142,12 @@ func (u *Universe) Append() (AppendInfo, error) {
 				}
 				u.addChildFlat(parentID, p.Dim, uint32(id))
 			}
+			// Taxonomy roll-up edges: the roll-up occurs in the same rows,
+			// so it is either pre-existing or registered in this batch, and
+			// ascending-ID appends keep its child lists sorted too.
+			if len(u.hier) > 0 {
+				u.addTaxEdges(c)
+			}
 			// New candidates register at the tail, so extending the CSR
 			// ancestor closure in id order keeps the layout valid.
 			u.appendAncestors(c.Conj)

@@ -66,6 +66,14 @@ type Universe struct {
 	ancOff []uint32
 	ancIDs []uint32
 
+	// hier holds the relation hierarchies with ≥ 2 levels kept in
+	// explainBy; hierOf/hierLevel map each explain-by position to its
+	// hierarchy index and kept level (−1 when flat). Non-empty hier puts
+	// enumeration in grouped roll-up form (see hierarchy.go).
+	hier      []hierKept
+	hierOf    []int32
+	hierLevel []int32
+
 	// raw is the candidate-major series arena: candidate id's decomposed
 	// raw (pre-smoothing) series occupies raw[id*arenaCap : id*arenaCap+T].
 	// The stride leaves tail headroom under Config.Streaming so appends
@@ -102,6 +110,15 @@ type Config struct {
 	ExplainBy []string
 	// MaxOrder is the order threshold β̄ (default 3).
 	MaxOrder int
+	// Hierarchies lists taxonomies to declare on the relation before
+	// enumeration, each an ordered coarse→fine list of dimension names.
+	// Hierarchies already declared on the relation (by the catalog, a
+	// restored snapshot, or a previous engine) are picked up automatically
+	// and entries matching one of them are accepted as-is. When at least
+	// two levels of a hierarchy appear in ExplainBy, enumeration switches
+	// to grouped roll-up form: mixed-level conjunctions are excluded, and
+	// candidates gain taxonomy drill-down edges to their roll-ups.
+	Hierarchies [][]string
 	// Parallelism fans the per-subset group-bys of candidate enumeration
 	// across this many goroutines. 0 or 1 builds the universe serially;
 	// the resulting candidate IDs, series, and adjacency are identical
@@ -226,7 +243,15 @@ func NewUniverse(r *relation.Relation, cfg Config) (*Universe, error) {
 	if cancel == nil {
 		cancel = func() error { return nil }
 	}
+	if err := u.declareConfigHierarchies(cfg.Hierarchies); err != nil {
+		return nil, err
+	}
+	u.initDimPos()
+	u.resolveHierarchies()
 	subsetList := subsets(dims, maxOrder)
+	if len(u.hier) > 0 {
+		subsetList = u.filterHierSubsets(subsetList)
+	}
 	plans := make([]*relation.GroupByPlan, len(subsetList))
 	runIndexed(len(subsetList), workers, func(i int) {
 		if cancel() != nil {
@@ -310,6 +335,12 @@ func NewUniverse(r *relation.Relation, cfg Config) (*Universe, error) {
 // of persisting it.
 func (u *Universe) buildDerivedIndexes() {
 	u.initDimPos()
+	if u.hierOf == nil {
+		// Snapshot-decoded universes resolve their (relation-declared,
+		// hence persisted) hierarchies here; NewUniverse resolved before
+		// enumeration.
+		u.resolveHierarchies()
+	}
 	// Build the drill-down adjacency: each candidate of order β is a child
 	// of each of its β order-(β−1) prefixes, under the removed dimension.
 	u.childrenFlat = make([][][]uint32, len(u.cands)+1)
@@ -335,6 +366,11 @@ func (u *Universe) buildDerivedIndexes() {
 				parentID = id + 1
 			}
 			u.addChildFlat(parentID, p.Dim, uint32(c.ID))
+		}
+	}
+	if len(u.hier) > 0 {
+		for _, c := range u.cands {
+			u.addTaxEdges(c)
 		}
 	}
 	// Sort child lists once so the DP and its extraction never re-sort.
@@ -378,9 +414,16 @@ func (u *Universe) addChildFlat(parentID, dim int, id uint32) {
 	byPos[pos] = append(byPos[pos], id)
 }
 
-// appendAncestors resolves conj's non-empty sub-conjunctions and appends
-// the closure as the next CSR row of (ancOff, ancIDs).
+// appendAncestors resolves conj's non-empty generalizations and appends
+// the closure as the next CSR row of (ancOff, ancIDs): without
+// hierarchies these are exactly the sub-conjunctions; in grouped roll-up
+// form each hierarchy predicate may additionally coarsen to any kept
+// level above it (see appendGeneralizations).
 func (u *Universe) appendAncestors(conj relation.Conjunction) {
+	if len(u.hier) > 0 {
+		u.appendGeneralizations(conj)
+		return
+	}
 	for _, sub := range conjSubsets(conj) {
 		if aid, ok := u.index.lookup(sub); ok {
 			u.ancIDs = append(u.ancIDs, uint32(aid))

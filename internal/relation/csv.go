@@ -82,10 +82,13 @@ func ReadCSV(src io.Reader, spec CSVSpec) (*Relation, error) {
 }
 
 // WriteCSV writes the relation as CSV with a header row: time column
-// first, then dimensions, then measures.
+// first, then dimensions, then measures. Derived dimension columns (path
+// hierarchy levels, range bins) are skipped — they are recomputed from the
+// base columns on load, so the on-disk CSV always keeps the base schema.
 func WriteCSV(dst io.Writer, r *Relation) error {
 	cw := csv.NewWriter(dst)
-	header := append([]string{r.TimeName()}, r.DimNames()...)
+	nd := r.NumBaseDims()
+	header := append([]string{r.TimeName()}, r.DimNames()[:nd]...)
 	header = append(header, r.MeasureNames()...)
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("relation: writing CSV header: %w", err)
@@ -93,11 +96,11 @@ func WriteCSV(dst io.Writer, r *Relation) error {
 	rec := make([]string, len(header))
 	for row := 0; row < r.NumRows(); row++ {
 		rec[0] = r.TimeLabel(r.TimeIndex(row))
-		for d := 0; d < r.NumDims(); d++ {
+		for d := 0; d < nd; d++ {
 			rec[1+d] = r.DimValue(d, row)
 		}
 		for m := 0; m < r.NumMeasures(); m++ {
-			rec[1+r.NumDims()+m] = strconv.FormatFloat(r.MeasureValue(m, row), 'g', -1, 64)
+			rec[1+nd+m] = strconv.FormatFloat(r.MeasureValue(m, row), 'g', -1, 64)
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("relation: writing CSV row %d: %w", row, err)

@@ -80,6 +80,13 @@ type Relation struct {
 
 	measures      []*MeasureColumn
 	measureByName map[string]int
+
+	// hiers are the declared taxonomies over dimension columns; derived
+	// records how trailing derived dimension columns (path levels, range
+	// bins) are recomputed for appended base-width rows. Both are set at
+	// load time, before the relation is shared.
+	hiers   []*Hierarchy
+	derived []derivedCol
 }
 
 // Name returns the relation's name (informational only).
@@ -332,17 +339,39 @@ func (r *Relation) timePosition(label string) (int32, bool) {
 // relation unchanged. Earlier timestamps are immutable; a row that
 // resolves before the last existing label is rejected, which is what lets
 // the incremental engine trust that appended data never rewrites history.
+// Rows may carry either the full dimension width or, when the relation has
+// derived columns (hierarchy levels split from a path, range bins), just
+// the base width — the derived values are then recomputed engine-side, so
+// external writers never have to know about derived columns. Appended rows
+// must also respect every declared hierarchy: a known child value cannot
+// move to a different parent.
 func (r *Relation) AppendRows(timeVals []string, dims [][]string, measures [][]float64) error {
 	if len(dims) != len(timeVals) || len(measures) != len(timeVals) {
 		return fmt.Errorf("relation: AppendRows got %d time values, %d dim rows, %d measure rows",
 			len(timeVals), len(dims), len(measures))
 	}
+	wantDims := len(r.dims)
+	if base := r.NumBaseDims(); base < wantDims && len(dims) > 0 && len(dims[0]) == base {
+		wantDims = base
+	}
 	for i := range timeVals {
-		if len(dims[i]) != len(r.dims) {
-			return fmt.Errorf("relation: row %d has %d dimension values, want %d", i, len(dims[i]), len(r.dims))
+		if len(dims[i]) != wantDims {
+			return fmt.Errorf("relation: row %d has %d dimension values, want %d", i, len(dims[i]), wantDims)
 		}
 		if len(measures[i]) != len(r.measures) {
 			return fmt.Errorf("relation: row %d has %d measure values, want %d", i, len(measures[i]), len(r.measures))
+		}
+	}
+	if wantDims < len(r.dims) {
+		full, err := r.deriveRows(dims, measures)
+		if err != nil {
+			return err
+		}
+		dims = full
+	}
+	if len(r.hiers) > 0 {
+		if err := r.validateHierarchyRows(dims); err != nil {
+			return err
 		}
 	}
 	// Resolve time labels without mutating: existing labels must be the
@@ -370,6 +399,7 @@ func (r *Relation) AppendRows(timeVals []string, dims [][]string, measures [][]f
 	}
 
 	// Mutate: labels, per-row time indexes, dictionaries, measures.
+	fromRow := r.numRows
 	for _, l := range newLabels {
 		r.timePos[l] = int32(len(r.timeLabels))
 		r.timeLabels = append(r.timeLabels, l)
@@ -392,6 +422,9 @@ func (r *Relation) AppendRows(timeVals []string, dims [][]string, measures [][]f
 		}
 	}
 	r.numRows += len(timeVals)
+	if len(r.hiers) > 0 {
+		r.growHierarchyParents(fromRow)
+	}
 	return nil
 }
 

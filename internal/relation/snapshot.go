@@ -26,11 +26,15 @@ const (
 	relSnapMagic = "TSXR"
 	// relSnapVersion1 is the original fixed-width layout; relSnapVersion2
 	// is the compact layout (varint lengths and id columns, delta-coded
-	// time indexes, integral measure columns as zigzag varints). Writers
-	// emit v2; readers accept both so existing snapshot files keep
-	// restoring.
+	// time indexes, integral measure columns as zigzag varints);
+	// relSnapVersion3 is v2 plus a trailing metadata section carrying
+	// declared hierarchies and derived-column records (path levels, frozen
+	// range-bin edges). Writers emit v3 only when that metadata exists —
+	// a metadata-free relation still encodes byte-identically to v2 — and
+	// readers accept all three so existing snapshot files keep restoring.
 	relSnapVersion1 = 1
 	relSnapVersion2 = 2
+	relSnapVersion3 = 3
 )
 
 // snapMaxLen caps every decoded length field (strings, row counts, column
@@ -673,7 +677,11 @@ func (r *Relation) EncodeSnapshot(sw *SnapWriter) { r.encodeSnapshot(sw) }
 
 func (r *Relation) encodeSnapshot(sw *SnapWriter) {
 	sw.bytes([]byte(relSnapMagic))
-	sw.U8(relSnapVersion2)
+	version := uint8(relSnapVersion2)
+	if len(r.hiers) > 0 || len(r.derived) > 0 {
+		version = relSnapVersion3
+	}
+	sw.U8(version)
 	sw.VStr(r.name)
 	sw.VStr(r.timeName)
 	sw.Uvarint(uint64(r.numRows))
@@ -705,6 +713,39 @@ func (r *Relation) encodeSnapshot(sw *SnapWriter) {
 	for _, m := range r.measures {
 		sw.VStr(m.name)
 		sw.F64Column(m.vals)
+	}
+	if version == relSnapVersion3 {
+		r.encodeMetaV3(sw)
+	}
+}
+
+// encodeMetaV3 writes the v3 trailing metadata section: declared
+// hierarchies (name plus level dimension indexes — the parent maps are
+// rebuilt and revalidated from the rows on decode) and derived-column
+// records, including frozen range-bin edges so restored relations bin
+// appended rows bit-identically.
+func (r *Relation) encodeMetaV3(sw *SnapWriter) {
+	sw.Uvarint(uint64(len(r.hiers)))
+	for _, h := range r.hiers {
+		sw.VStr(h.name)
+		sw.Uvarint(uint64(len(h.dims)))
+		for _, d := range h.dims {
+			sw.Uvarint(uint64(d))
+		}
+	}
+	sw.Uvarint(uint64(len(r.derived)))
+	for i := range r.derived {
+		dc := &r.derived[i]
+		sw.Uvarint(uint64(dc.dim))
+		sw.U8(dc.kind)
+		sw.Uvarint(uint64(dc.source))
+		sw.Uvarint(uint64(dc.level))
+		sw.Uvarint(uint64(dc.nparts))
+		sw.VStr(dc.delim)
+		sw.Uvarint(uint64(len(dc.edges)))
+		for _, e := range dc.edges {
+			sw.F64(e)
+		}
 	}
 }
 
@@ -775,15 +816,15 @@ func decodeSnapshot(sr *SnapReader) *Relation {
 		return fail("bad magic %q", magic)
 	}
 	version := sr.U8()
-	if version != relSnapVersion1 && version != relSnapVersion2 {
-		return fail("unsupported version %d (want %d or %d)", version, relSnapVersion1, relSnapVersion2)
+	if version != relSnapVersion1 && version != relSnapVersion2 && version != relSnapVersion3 {
+		return fail("unsupported version %d (want %d..%d)", version, relSnapVersion1, relSnapVersion3)
 	}
-	// v1 frames lengths/strings as fixed u32; v2 as varints. Everything
+	// v1 frames lengths/strings as fixed u32; v2/v3 as varints. Everything
 	// else — field order, validation — is identical, so one decoding flow
 	// handles both through these two shims.
 	rdLen := sr.Len
 	rdStr := sr.Str
-	if version == relSnapVersion2 {
+	if version >= relSnapVersion2 {
 		rdLen = sr.VLen
 		rdStr = sr.VStr
 	}
@@ -810,7 +851,7 @@ func decodeSnapshot(sr *SnapReader) *Relation {
 	prev := int64(0)
 	for i := range r.timeIdx {
 		var t int64
-		if version == relSnapVersion2 {
+		if version >= relSnapVersion2 {
 			t = prev + sr.Varint()
 			prev = t
 		} else {
@@ -848,7 +889,7 @@ func decodeSnapshot(sr *SnapReader) *Relation {
 		col.ids = make([]uint32, r.numRows)
 		for i := range col.ids {
 			var id uint64
-			if version == relSnapVersion2 {
+			if version >= relSnapVersion2 {
 				id = sr.Uvarint()
 			} else {
 				id = uint64(sr.U32())
@@ -872,7 +913,7 @@ func decodeSnapshot(sr *SnapReader) *Relation {
 			return fail("duplicate measure %q", col.name)
 		}
 		col.vals = make([]float64, r.numRows)
-		if version == relSnapVersion2 {
+		if version >= relSnapVersion2 {
 			sr.F64ColumnInto(col.vals)
 		} else {
 			for i := range col.vals {
@@ -885,7 +926,111 @@ func decodeSnapshot(sr *SnapReader) *Relation {
 	if sr.err != nil {
 		return nil
 	}
+	if version == relSnapVersion3 {
+		if msg := r.decodeMetaV3(sr); msg != "" {
+			return fail("%s", msg)
+		}
+		if sr.err != nil {
+			return nil
+		}
+	}
 	return r
+}
+
+// decodeMetaV3 reads the v3 trailing metadata section and re-derives the
+// hierarchy parent maps from the decoded rows (re-running the
+// single-parent validation, so a corrupted file cannot smuggle in an
+// inconsistent taxonomy). It returns a non-empty message on structural
+// failure.
+func (r *Relation) decodeMetaV3(sr *SnapReader) string {
+	nHier := sr.VLen("hierarchy count")
+	if sr.err != nil {
+		return ""
+	}
+	names := make(map[string]bool, nHier)
+	for hi := 0; hi < nHier; hi++ {
+		name := sr.VStr()
+		nLevels := sr.VLen("hierarchy levels")
+		if sr.err != nil {
+			return ""
+		}
+		if nLevels < 2 {
+			return fmt.Sprintf("hierarchy %q has %d level(s)", name, nLevels)
+		}
+		levels := make([]string, nLevels)
+		for l := range levels {
+			d := sr.Uvarint()
+			if sr.err != nil {
+				return ""
+			}
+			if d >= uint64(len(r.dims)) {
+				return fmt.Sprintf("hierarchy %q level %d references dimension %d of %d", name, l, d, len(r.dims))
+			}
+			levels[l] = r.dims[d].name
+		}
+		if names[name] {
+			return fmt.Sprintf("duplicate hierarchy %q", name)
+		}
+		names[name] = true
+		if err := r.DeclareHierarchy(name, levels); err != nil {
+			return err.Error()
+		}
+	}
+	nDerived := sr.VLen("derived column count")
+	if sr.err != nil {
+		return ""
+	}
+	base := len(r.dims) - nDerived
+	if base < 0 {
+		return fmt.Sprintf("%d derived columns exceed %d dimensions", nDerived, len(r.dims))
+	}
+	for i := 0; i < nDerived; i++ {
+		dc := derivedCol{
+			dim:    int(sr.Uvarint()),
+			kind:   sr.U8(),
+			source: int(sr.Uvarint()),
+			level:  int(sr.Uvarint()),
+			nparts: int(sr.Uvarint()),
+			delim:  sr.VStr(),
+		}
+		nEdges := sr.VLen("range bin edges")
+		if sr.err != nil {
+			return ""
+		}
+		if nEdges > 0 {
+			dc.edges = make([]float64, nEdges)
+			for e := range dc.edges {
+				dc.edges[e] = sr.F64()
+			}
+		}
+		if sr.err != nil {
+			return ""
+		}
+		// Derived columns occupy the dimension tail in order; anything else
+		// breaks the base-width append contract.
+		if dc.dim != base+i {
+			return fmt.Sprintf("derived column %d at dimension %d, want %d", i, dc.dim, base+i)
+		}
+		switch dc.kind {
+		case derivedPathLevel:
+			if dc.source < 0 || dc.source >= base || dc.level < 0 || dc.level >= dc.nparts || dc.delim == "" {
+				return fmt.Sprintf("derived path column %d is inconsistent", i)
+			}
+		case derivedRangeBin:
+			if dc.source < 0 || dc.source >= len(r.measures) {
+				return fmt.Sprintf("derived range bin column %d references measure %d of %d", i, dc.source, len(r.measures))
+			}
+			for e := 1; e < len(dc.edges); e++ {
+				if !(dc.edges[e] > dc.edges[e-1]) {
+					return fmt.Sprintf("derived range bin column %d has non-increasing edges", i)
+				}
+			}
+		default:
+			return fmt.Sprintf("derived column %d has unknown kind %d", i, dc.kind)
+		}
+		r.derived = append(r.derived, dc)
+	}
+	return ""
 }
 
 // Clone returns a deep copy of the relation: mutations of the receiver
@@ -922,6 +1067,21 @@ func (r *Relation) Clone() *Relation {
 	for i, m := range r.measures {
 		out.measureByName[m.name] = i
 		out.measures = append(out.measures, &MeasureColumn{name: m.name, vals: append([]float64(nil), m.vals...)})
+	}
+	for _, h := range r.hiers {
+		ch := &Hierarchy{
+			name:    h.name,
+			dims:    append([]int(nil), h.dims...),
+			parents: make([][]uint32, len(h.parents)),
+		}
+		for l := 1; l < len(h.parents); l++ {
+			ch.parents[l] = append([]uint32(nil), h.parents[l]...)
+		}
+		out.hiers = append(out.hiers, ch)
+	}
+	for _, dc := range r.derived {
+		dc.edges = append([]float64(nil), dc.edges...)
+		out.derived = append(out.derived, dc)
 	}
 	return out
 }

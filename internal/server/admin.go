@@ -347,22 +347,31 @@ func parseAppendNDJSON(body io.Reader, m *catalog.Manifest) (timeVals []string, 
 		if len(row.Dims) != len(m.DimCols) {
 			return nil, nil, nil, httpErrf(http.StatusBadRequest, "append line %d: %d dimension values, want %d", line, len(row.Dims), len(m.DimCols))
 		}
-		var mv float64
+		// Datasets with range bins carry extra measure columns (the bin
+		// sources); those rows must use the keyed form so every column is
+		// named explicitly.
+		measCols := m.Spec().MeasCols
+		mvs := make([]float64, len(measCols))
 		switch {
+		case row.Measure != nil && len(measCols) == 1:
+			mvs[0] = *row.Measure
 		case row.Measure != nil:
-			mv = *row.Measure
+			return nil, nil, nil, httpErrf(http.StatusBadRequest,
+				"append line %d: dataset has %d measure columns; use the keyed \"measures\" form", line, len(measCols))
 		case row.Measures != nil:
-			v, ok := row.Measures[m.MeasureCol]
-			if !ok {
-				return nil, nil, nil, httpErrf(http.StatusBadRequest, "append line %d: missing measure %q", line, m.MeasureCol)
+			for i, col := range measCols {
+				v, ok := row.Measures[col]
+				if !ok {
+					return nil, nil, nil, httpErrf(http.StatusBadRequest, "append line %d: missing measure %q", line, col)
+				}
+				mvs[i] = v
 			}
-			mv = v
 		default:
 			return nil, nil, nil, httpErrf(http.StatusBadRequest, "append line %d: missing measure", line)
 		}
 		timeVals = append(timeVals, row.Time)
 		dims = append(dims, dv)
-		measures = append(measures, []float64{mv})
+		measures = append(measures, mvs)
 	}
 	if err := sc.Err(); err != nil {
 		if tooBig := overLimitErr(err); tooBig != nil {

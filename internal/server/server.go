@@ -648,6 +648,10 @@ type explJSON struct {
 	Predicates string  `json:"predicates"`
 	Effect     string  `json:"effect"`
 	Gamma      float64 `json:"gamma"`
+	// Path is the hierarchy drill-down path of the explanation's deepest
+	// taxonomy predicate, coarse to fine (e.g. ["TX", "Houston"]); only
+	// present for datasets that declare hierarchies.
+	Path []string `json:"path,omitempty"`
 }
 
 // overloadError reports whether an explain failure is an overload signal
@@ -738,6 +742,7 @@ func buildExplainResponse(p params, res *core.Result, degraded bool) explainResp
 				Predicates: e.Predicates,
 				Effect:     e.Effect.String(),
 				Gamma:      e.Gamma,
+				Path:       e.Path,
 			})
 		}
 		if seg.Other != nil {

@@ -189,7 +189,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	}
 	var tops []explJSON
 	for _, e := range top {
-		tops = append(tops, explJSON{Predicates: e.Predicates, Effect: e.Effect.String(), Gamma: e.Gamma})
+		tops = append(tops, explJSON{Predicates: e.Predicates, Effect: e.Effect.String(), Gamma: e.Gamma, Path: e.Path})
 	}
 	out["top"] = tops
 	w.Header().Set("Content-Type", "application/json")

@@ -10,11 +10,14 @@
 #   BENCH_approx.json     anytime approximate path: exact vs approx explain
 #                         on the ~52k-conjunction high-cardinality scenario,
 #                         with the reported and measured attribution error
+#   BENCH_hierarchy.json  subtree bound-pruning: exact vs pruned explain on
+#                         the ~50k-leaf taxonomy scenario, plus the
+#                         flat-vs-walk candidate-ranking micro-comparison
 #   BENCH_server.json     serving-layer load test: per-endpoint latency
 #                         quantiles, throughput, and shed/eviction counts
 #                         (only with "server" as the first argument)
 #
-# CI regenerates the first four in short mode on every PR and gates them
+# CI regenerates the first five in short mode on every PR and gates them
 # against the committed baselines with cmd/benchcmp; after an accepted
 # perf change, rerun this script and commit the new JSONs to re-baseline.
 # scripts/lint.sh is the static-analysis counterpart: it runs the
@@ -40,6 +43,7 @@ go run ./cmd/benchjson "$@"
 go run ./cmd/benchjson -mode streaming
 go run ./cmd/benchjson -mode catalog
 go run ./cmd/benchjson -mode approx
+go run ./cmd/benchjson -mode hierarchy
 
 # Self-check the absolute contracts on the freshly written baselines
 # (ratio gates trivially pass against themselves; the absolute gates —
