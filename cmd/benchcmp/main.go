@@ -10,6 +10,7 @@
 //	go run ./cmd/benchcmp -mode approx    -baseline BENCH_approx.json    -current /tmp/approx.json
 //	go run ./cmd/benchcmp -mode hierarchy -baseline BENCH_hierarchy.json -current /tmp/hierarchy.json
 //	go run ./cmd/benchcmp -mode server    -baseline BENCH_server.json    -current /tmp/server.json -max-p99-ms 500
+//	go run ./cmd/benchcmp -mode bigdata   -current BENCH_bigdata.json -max-p95-ms 3000 -min-budget-ratio 4
 //
 // Engine mode compares ns/op and allocs/op per benchmark (taking the
 // minimum across -count repetitions, so noisy runs only help); streaming
@@ -33,7 +34,13 @@
 // approx, progressive): zero 429s and zero 503s, because overload is
 // required to degrade those answers, not shed them, plus an optional
 // absolute -max-p99-ms ceiling on each of those classes' p99 (for
-// progressive the report's latency is time-to-first-round).
+// progressive the report's latency is time-to-first-round); bigdata mode
+// gates the beyond-RAM serving report (cmd/benchjson -mode bigdata
+// output) with purely absolute checks — the candidate arena stayed
+// memory-mapped, mapped bytes exceed resident bytes, resident bytes
+// respect the budget, zero requests shed or failed, the serving-time
+// peak heap stayed under the mapped bytes, plus optional -max-p95-ms and
+// -min-budget-ratio floors.
 //
 // Benchmark-set mismatches fail in BOTH directions: a benchmark named by
 // the baseline but missing from the fresh run means coverage was silently
@@ -78,7 +85,7 @@ type StreamReport struct {
 }
 
 func main() {
-	mode := flag.String("mode", "engine", "engine (micro benchmarks), streaming (append-path replay), catalog (snapshot warm-restart), approx (high-cardinality approximate path), hierarchy (taxonomy subtree-pruned path), or server (serving-layer load report)")
+	mode := flag.String("mode", "engine", "engine (micro benchmarks), streaming (append-path replay), catalog (snapshot warm-restart), approx (high-cardinality approximate path), hierarchy (taxonomy subtree-pruned path), server (serving-layer load report), or bigdata (beyond-RAM mapped-arena serving report)")
 	baseline := flag.String("baseline", "", "committed baseline JSON (default depends on mode)")
 	current := flag.String("current", "", "freshly generated JSON to check")
 	maxLatency := flag.Float64("max-latency-ratio", 1.25, "fail when current/baseline latency exceeds this")
@@ -86,6 +93,8 @@ func main() {
 	maxSnapshotCSVRatio := flag.Float64("max-snapshot-csv-ratio", 0, "catalog mode: fail when a dataset's snapshot_bytes/csv_bytes exceeds this (0 disables; the footprint contract is 0.5)")
 	maxUniverseBuildNs := flag.Float64("max-universe-build-ns", 0, "engine mode: absolute ns/op ceiling for PrecomputeLiquor (0 disables; machine-dependent, so CI sets it with headroom)")
 	maxP99Ms := flag.Float64("max-p99-ms", 0, "server mode: absolute p99 ceiling in ms for the approx-eligible classes (0 disables; the committed-baseline contract is 500)")
+	maxP95Ms := flag.Float64("max-p95-ms", 0, "bigdata mode: absolute p95 ceiling in ms for cold beyond-RAM explains (0 disables)")
+	minBudgetRatio := flag.Float64("min-budget-ratio", 0, "bigdata mode: fail when dataset_over_budget_ratio is below this (0 disables; the committed-baseline contract is 4)")
 	flag.Parse()
 
 	if *baseline == "" {
@@ -100,6 +109,8 @@ func main() {
 			*baseline = "BENCH_hierarchy.json"
 		case "server":
 			*baseline = "BENCH_server.json"
+		case "bigdata":
+			*baseline = "BENCH_bigdata.json" // unused: the bigdata gate is absolute
 		default:
 			*baseline = "BENCH_engine.json"
 		}
@@ -123,6 +134,8 @@ func main() {
 		violations, err = compareHierarchy(*baseline, *current, *maxLatency)
 	case "server":
 		violations, err = compareServer(*baseline, *current, *maxLatency, *maxP99Ms)
+	case "bigdata":
+		violations, err = compareBigdata(*current, *maxP95Ms, *minBudgetRatio)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -471,6 +484,84 @@ func compareApprox(baselinePath, currentPath string, maxLatency float64) ([]stri
 	if cur.MaxActualErr > cur.MaxErrBound+1e-9 {
 		violations = append(violations, fmt.Sprintf(
 			"measured error %.6f exceeds reported bound %.6f (the bound is unsound)", cur.MaxActualErr, cur.MaxErrBound))
+	}
+	return violations, nil
+}
+
+// BigdataReport mirrors the fields of BENCH_bigdata.json the gate reads.
+type BigdataReport struct {
+	DatasetBytes         int64   `json:"dataset_bytes"`
+	MemBudgetBytes       int64   `json:"mem_budget_bytes"`
+	BudgetRatio          float64 `json:"dataset_over_budget_ratio"`
+	ArenaMapped          bool    `json:"arena_mapped"`
+	MappedBytes          int64   `json:"mapped_bytes"`
+	ResidentBytes        int64   `json:"resident_bytes"`
+	MmapRestores         int64   `json:"mmap_restores"`
+	Requests             int     `json:"requests"`
+	OK                   int     `json:"ok"`
+	Shed429              int     `json:"shed_429"`
+	Shed503              int     `json:"shed_503"`
+	OtherErrors          int     `json:"other_errors"`
+	P95Ms                float64 `json:"p95_ms"`
+	ServingPeakHeapBytes int64   `json:"serving_peak_heap_bytes"`
+}
+
+// compareBigdata gates the beyond-RAM serving contract. Unlike the other
+// modes it takes no baseline — every check is absolute, because the
+// invariants (arena stays mapped, resident stays under budget, nothing
+// sheds) are structural, not drift-relative:
+//
+//   - the candidate arena must actually be mapped (arena_mapped, with
+//     mmap_restores > 0 proving engine builds took that path),
+//   - mapped bytes must exceed resident bytes — the split this gate
+//     exists for; equality means the arena quietly moved onto the heap,
+//   - resident bytes must respect the memory budget,
+//   - every request must succeed: cold approximate explains are
+//     degradable traffic, so overload must degrade them, never shed,
+//   - the serving-time peak heap must stay under the mapped bytes (the
+//     zero-OOM evidence: a heap-resident arena would dwarf it),
+//   - with -max-p95-ms, the cold restore+explain p95 holds the ceiling,
+//   - with -min-budget-ratio, the dataset must genuinely outgrow the
+//     budget — a shrunken dataset would pass everything else trivially.
+func compareBigdata(currentPath string, maxP95Ms, minBudgetRatio float64) ([]string, error) {
+	var cur BigdataReport
+	if err := load(currentPath, &cur); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	var violations []string
+	if !cur.ArenaMapped {
+		violations = append(violations, "candidate arena was not memory-mapped (arena_mapped=false)")
+	}
+	if cur.MmapRestores == 0 {
+		violations = append(violations, "no engine restore served its arena off a mapped snapshot (mmap_restores=0)")
+	}
+	if cur.MappedBytes <= cur.ResidentBytes {
+		violations = append(violations, fmt.Sprintf(
+			"mapped bytes %d not above resident bytes %d — the arena is heap-resident", cur.MappedBytes, cur.ResidentBytes))
+	}
+	if cur.MemBudgetBytes > 0 && cur.ResidentBytes > cur.MemBudgetBytes {
+		violations = append(violations, fmt.Sprintf(
+			"resident bytes %d exceed the %d-byte memory budget", cur.ResidentBytes, cur.MemBudgetBytes))
+	}
+	if shed := cur.Shed429 + cur.Shed503; shed > 0 {
+		violations = append(violations, fmt.Sprintf(
+			"%d requests shed (%d×429, %d×503) — approx-eligible traffic must degrade, never shed", shed, cur.Shed429, cur.Shed503))
+	}
+	if cur.OtherErrors > 0 || cur.OK != cur.Requests-cur.Shed429-cur.Shed503 {
+		violations = append(violations, fmt.Sprintf(
+			"%d/%d requests failed outright", cur.Requests-cur.OK-cur.Shed429-cur.Shed503, cur.Requests))
+	}
+	if cur.MappedBytes > 0 && cur.ServingPeakHeapBytes >= cur.MappedBytes {
+		violations = append(violations, fmt.Sprintf(
+			"serving peak heap %d bytes reached the %d mapped bytes — the arena migrated onto the heap", cur.ServingPeakHeapBytes, cur.MappedBytes))
+	}
+	if maxP95Ms > 0 && cur.P95Ms > maxP95Ms {
+		violations = append(violations, fmt.Sprintf(
+			"cold explain p95 %.1f ms exceeds the %.0f ms ceiling", cur.P95Ms, maxP95Ms))
+	}
+	if minBudgetRatio > 0 && cur.BudgetRatio < minBudgetRatio {
+		violations = append(violations, fmt.Sprintf(
+			"dataset is only %.2fx the memory budget (floor %.1fx) — the run does not prove beyond-RAM serving", cur.BudgetRatio, minBudgetRatio))
 	}
 	return violations, nil
 }

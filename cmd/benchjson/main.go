@@ -34,6 +34,15 @@
 //	flat-vs-walk candidate ranking on a fresh universe, verifies the
 //	approximate result per segment, and writes BENCH_hierarchy.json.
 //
+//	-mode bigdata stages a high-cardinality dataset scaled (-scale) past
+//	the engine-pool memory budget (-budget-mb), snapshots it in the raw
+//	arena layout, and serves a cold approximate-explain workload
+//	(-requests) against the full HTTP stack: every request restores an
+//	engine whose candidate arena is read off the memory-mapped snapshot.
+//	BENCH_bigdata.json records the dataset/budget ratio, the
+//	resident-vs-mapped split from the registry gauges, the latency
+//	percentiles, and the serving-time peak heap.
+//
 // Every mode accepts -cpuprofile/-memprofile: micro mode forwards them to
 // `go test`, the in-process modes profile the replay directly, so the
 // exact workload a CI gate measures can be handed to `go tool pprof`.
@@ -45,6 +54,7 @@
 //	go run ./cmd/benchjson -mode catalog [-replays 5] [-o BENCH_catalog.json]
 //	go run ./cmd/benchjson -mode approx [-replays 3] [-o BENCH_approx.json]
 //	go run ./cmd/benchjson -mode hierarchy [-replays 3] [-o BENCH_hierarchy.json]
+//	go run ./cmd/benchjson -mode bigdata [-scale 2] [-budget-mb 48] [-requests 96] [-o BENCH_bigdata.json]
 //	go run ./cmd/benchjson -mode catalog -cpuprofile cat.pprof -memprofile cat.mprof
 package main
 
@@ -106,12 +116,15 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	mode := flag.String("mode", "micro", "micro (go test -bench), streaming (per-update latency replay), catalog (snapshot save/restore vs rebuild), approx (high-cardinality exact vs anytime approximate), or hierarchy (taxonomy exact vs subtree-pruned approximate)")
+	mode := flag.String("mode", "micro", "micro (go test -bench), streaming (per-update latency replay), catalog (snapshot save/restore vs rebuild), approx (high-cardinality exact vs anytime approximate), hierarchy (taxonomy exact vs subtree-pruned approximate), or bigdata (beyond-RAM serving off a mapped snapshot)")
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "2s", "value for go test -benchtime")
 	count := flag.Int("count", 1, "value for go test -count")
 	pkg := flag.String("pkg", ".", "package holding the benchmarks")
 	replays := flag.Int("replays", 7, "streaming/catalog modes: replay count (minimum is reported)")
+	scale := flag.Int("scale", 2, "bigdata mode: highcard user-cardinality multiplier (the dataset must outgrow the budget)")
+	budgetMB := flag.Int("budget-mb", 48, "bigdata mode: engine-pool memory budget in MiB")
+	requests := flag.Int("requests", 96, "bigdata mode: cold explain requests to serve")
 	out := flag.String("o", "", "output file ('-' for stdout; default depends on mode)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here (micro mode: forwarded to go test; other modes: profiles the replay in-process)")
 	memprofile := flag.String("memprofile", "", "write a heap profile here (micro mode: forwarded to go test; other modes: snapshots the heap after the replay)")
@@ -150,6 +163,15 @@ func main() {
 			*out = "BENCH_hierarchy.json"
 		}
 		if err := withProfiles(*cpuprofile, *memprofile, func() error { return runHierarchy(*out, *replays) }); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "bigdata":
+		if *out == "" {
+			*out = "BENCH_bigdata.json"
+		}
+		if err := withProfiles(*cpuprofile, *memprofile, func() error { return runBigdata(*out, *scale, *budgetMB, *requests) }); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}

@@ -41,6 +41,7 @@ func main() {
 	scenario := flag.String("scenario", "", "synthetic scenario instead of -dataset: highcard, taxonomy")
 	users := flag.Int("users", 0, "highcard: user cardinality (0: generator default)")
 	regions := flag.Int("regions", 0, "highcard: region cardinality (0: generator default)")
+	scale := flag.Int("scale", 1, "highcard: multiply the user cardinality; rows and candidate conjunctions grow linearly (-scale 20 is ~1M rows and ~1M candidates at the defaults)")
 	cats := flag.Int("cats", 0, "taxonomy: category cardinality (0: generator default)")
 	subcats := flag.Int("subcats", 0, "taxonomy: subcategories per category (0: generator default)")
 	leaves := flag.Int("leaves", 0, "taxonomy: leaves per subcategory (0: generator default)")
@@ -52,7 +53,7 @@ func main() {
 	switch *scenario {
 	case "":
 	case "highcard":
-		writeHighCard(*users, *regions, *n, *seed, *manifest)
+		writeHighCard(*users, *regions, *scale, *n, *seed, *manifest)
 		return
 	case "taxonomy":
 		writeTaxonomy(*cats, *subcats, *leaves, *n, *seed, *manifest)
@@ -86,10 +87,11 @@ func main() {
 		d.Name, d.Rel.NumRows(), d.Rel.NumTimestamps(), d.Measure, d.ExplainBy)
 }
 
-func writeHighCard(users, regions, n int, seed int64, manifestPath string) {
-	d, err := synth.HighCardinality(synth.HighCardParams{
+func writeHighCard(users, regions, scale, n int, seed int64, manifestPath string) {
+	p := synth.ScaleHighCard(synth.HighCardParams{
 		Users: users, Regions: regions, N: n, Seed: seed,
-	})
+	}, scale)
+	d, err := synth.HighCardinality(p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)

@@ -685,6 +685,7 @@ func scrapeMetrics(client *http.Client, base string) map[string]float64 {
 			strings.HasPrefix(name, "tsexplain_degraded_total") ||
 			strings.HasPrefix(name, "tsexplain_jobs_total") ||
 			strings.HasPrefix(name, "tsexplain_engine_pool_bytes") ||
+			strings.HasPrefix(name, "tsexplain_engine_pool_mapped_bytes") ||
 			strings.HasPrefix(name, "tsexplain_engine_pool_engines") ||
 			strings.HasPrefix(name, "tsexplain_catalog_") ||
 			strings.HasPrefix(name, "tsexplain_snapshot_")

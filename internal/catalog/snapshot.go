@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/explain"
+	"repro/internal/mmapfile"
 	"repro/internal/relation"
 )
 
@@ -49,6 +50,9 @@ const (
 	snapContainerVersion2 = 2
 	snapCompressMaxBytes  = 1 << 20
 	snapMaxPayloadBytes   = 1 << 31
+	// snapHeaderLen is the v1 container header size: magic + version +
+	// csvSize + csvMTime + storedLen + CRC. v2 appends a u64 rawLen.
+	snapHeaderLen = len(snapContainerMagic) + 1 + 8 + 8 + 8 + 8
 )
 
 // ErrSnapshotStale reports a snapshot whose CSV fingerprint no longer
@@ -95,6 +99,10 @@ func (c *Catalog) SaveSnapshot(name string, rel *relation.Relation, u *explain.U
 	}
 	var payload bytes.Buffer
 	sw := relation.NewSnapWriter(&payload)
+	// The encoder aligns the candidate arena against the absolute file
+	// offset so a memory-mapped v1 container can alias []SumCount in
+	// place; v1's header is headerLen bytes ahead of the payload.
+	sw.SetAbsBase(int64(snapHeaderLen))
 	rel.EncodeSnapshot(sw)
 	if err := u.EncodeSnapshot(sw); err != nil {
 		return err
@@ -116,7 +124,13 @@ func (c *Catalog) SaveSnapshot(name string, rel *relation.Relation, u *explain.U
 
 	version := byte(snapContainerVersion1)
 	stored := payload.Bytes()
-	if payload.Len() <= snapCompressMaxBytes {
+	// Arena-form snapshots (raw contiguous candidate series) must stay in
+	// the v1 container: LoadSnapshot memory-maps them and aliases the
+	// arena off the mapping, which a compressed payload cannot support.
+	// They are normally far above snapCompressMaxBytes anyway; the
+	// explicit gate keeps threshold-overridden tests and small arena
+	// datasets on the mappable path.
+	if payload.Len() <= snapCompressMaxBytes && !u.ArenaSnapshotRaw() {
 		var comp bytes.Buffer
 		fw, err := flate.NewWriter(&comp, flate.BestCompression)
 		if err == nil {
@@ -166,25 +180,22 @@ func (c *Catalog) SaveSnapshot(name string, rel *relation.Relation, u *explain.U
 	return nil
 }
 
-// loadSnapshotPayload reads the snapshot container, validates the
-// header, checksum, and CSV fingerprint, and returns the codec payload.
-// Callers hold the dataset's lock.
-func (c *Catalog) loadSnapshotPayload(name string) ([]byte, error) {
-	raw, err := os.ReadFile(filepath.Join(c.path(name), snapshotFile))
-	if err != nil {
-		return nil, fmt.Errorf("catalog: reading snapshot: %w", err)
-	}
-	headerLen := len(snapContainerMagic) + 1 + 8 + 8 + 8 + 8
-	if len(raw) < headerLen {
-		return nil, fmt.Errorf("catalog: snapshot truncated (%d bytes)", len(raw))
+// validateSnapshot checks the container bytes — header, checksum, and
+// CSV fingerprint — and returns the codec payload. For a v1 container
+// the payload sub-slices raw (aliasable reports true): callers decoding
+// from a memory mapping may alias sections in place. v2 payloads are
+// inflated onto the heap. Callers hold the dataset's lock.
+func (c *Catalog) validateSnapshot(name string, raw []byte) (payload []byte, aliasable bool, err error) {
+	if len(raw) < snapHeaderLen {
+		return nil, false, fmt.Errorf("catalog: snapshot truncated (%d bytes)", len(raw))
 	}
 	if string(raw[:len(snapContainerMagic)]) != snapContainerMagic {
-		return nil, fmt.Errorf("catalog: snapshot has bad magic")
+		return nil, false, fmt.Errorf("catalog: snapshot has bad magic")
 	}
 	off := len(snapContainerMagic)
 	version := raw[off]
 	if version != snapContainerVersion1 && version != snapContainerVersion2 {
-		return nil, fmt.Errorf("catalog: snapshot version %d unsupported (want %d or %d)",
+		return nil, false, fmt.Errorf("catalog: snapshot version %d unsupported (want %d or %d)",
 			version, snapContainerVersion1, snapContainerVersion2)
 	}
 	off++
@@ -199,42 +210,54 @@ func (c *Catalog) loadSnapshotPayload(name string) ([]byte, error) {
 	var rawLen uint64
 	if version == snapContainerVersion2 {
 		if len(raw) < off+8 {
-			return nil, fmt.Errorf("catalog: snapshot truncated (%d bytes)", len(raw))
+			return nil, false, fmt.Errorf("catalog: snapshot truncated (%d bytes)", len(raw))
 		}
 		rawLen = binary.LittleEndian.Uint64(raw[off:])
 		off += 8
 		if rawLen > snapMaxPayloadBytes {
-			return nil, fmt.Errorf("catalog: snapshot payload length %d exceeds sanity cap", rawLen)
+			return nil, false, fmt.Errorf("catalog: snapshot payload length %d exceeds sanity cap", rawLen)
 		}
 	}
 	if uint64(len(raw)-off) != storedLen {
-		return nil, fmt.Errorf("catalog: snapshot payload is %d bytes, header says %d", len(raw)-off, storedLen)
+		return nil, false, fmt.Errorf("catalog: snapshot payload is %d bytes, header says %d", len(raw)-off, storedLen)
 	}
-	payload := raw[off:]
+	payload = raw[off:]
 	if got := crc64.Checksum(payload, crcTable); got != sum {
-		return nil, fmt.Errorf("catalog: snapshot checksum mismatch (%x != %x)", got, sum)
+		return nil, false, fmt.Errorf("catalog: snapshot checksum mismatch (%x != %x)", got, sum)
 	}
 	st, err := os.Stat(filepath.Join(c.path(name), dataFile))
 	if err != nil {
-		return nil, fmt.Errorf("catalog: fingerprinting data.csv: %w", err)
+		return nil, false, fmt.Errorf("catalog: fingerprinting data.csv: %w", err)
 	}
 	if uint64(st.Size()) != csvSize || uint64(st.ModTime().UnixNano()) != csvMTime {
-		return nil, ErrSnapshotStale
+		return nil, false, ErrSnapshotStale
 	}
 	if version == snapContainerVersion2 {
 		fr := flate.NewReader(bytes.NewReader(payload))
 		defer fr.Close()
 		inflated := make([]byte, rawLen)
 		if _, err := io.ReadFull(fr, inflated); err != nil {
-			return nil, fmt.Errorf("catalog: inflating snapshot payload: %w", err)
+			return nil, false, fmt.Errorf("catalog: inflating snapshot payload: %w", err)
 		}
 		var extra [1]byte
 		if n, _ := fr.Read(extra[:]); n != 0 {
-			return nil, fmt.Errorf("catalog: snapshot payload longer than header says")
+			return nil, false, fmt.Errorf("catalog: snapshot payload longer than header says")
 		}
-		payload = inflated
+		return inflated, false, nil
 	}
-	return payload, nil
+	return payload, true, nil
+}
+
+// loadSnapshotPayload reads the snapshot container, validates the
+// header, checksum, and CSV fingerprint, and returns the codec payload.
+// Callers hold the dataset's lock.
+func (c *Catalog) loadSnapshotPayload(name string) ([]byte, error) {
+	raw, err := os.ReadFile(filepath.Join(c.path(name), snapshotFile))
+	if err != nil {
+		return nil, fmt.Errorf("catalog: reading snapshot: %w", err)
+	}
+	payload, _, err := c.validateSnapshot(name, raw)
+	return payload, err
 }
 
 // LoadSnapshot reads and fully validates the dataset's snapshot,
@@ -243,6 +266,19 @@ func (c *Catalog) loadSnapshotPayload(name string) ([]byte, error) {
 // structural invalidity, or a CSV fingerprint that no longer matches
 // data.csv — is an error; the caller falls back to LoadRelation and a
 // fresh universe build.
+//
+// The container is opened through a read-only memory mapping (where the
+// platform supports one). When the payload is an uncompressed v1
+// container holding an arena-form universe section, the universe's
+// candidate series alias the mapping in place — the kernel pages them on
+// demand and may evict them under pressure, so a dataset far larger than
+// the Go heap budget still restores and serves. The mapping's owner is
+// pinned to the universe (Universe.SetBacking) and unmapped by finalizer
+// once the universe is collected; because snapshots publish via rename,
+// a background refresh re-bases new loads onto the new inode while live
+// universes keep reading the old one — re-basing never invalidates
+// pinned slices. Callers observe which path was taken via
+// Universe.ArenaMapped.
 func (c *Catalog) LoadSnapshot(name string) (*relation.Relation, *explain.Universe, error) {
 	if _, ok := c.Manifest(name); !ok {
 		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -250,18 +286,31 @@ func (c *Catalog) LoadSnapshot(name string) (*relation.Relation, *explain.Univer
 	lock := c.lockFor(name)
 	lock.Lock()
 	defer lock.Unlock()
-	payload, err := c.loadSnapshotPayload(name)
+	f, err := mmapfile.Open(filepath.Join(c.path(name), snapshotFile))
 	if err != nil {
+		return nil, nil, fmt.Errorf("catalog: reading snapshot: %w", err)
+	}
+	payload, aliasable, err := c.validateSnapshot(name, f.Data())
+	if err != nil {
+		f.Close()
 		return nil, nil, err
 	}
+	alias := aliasable && f.Mapped()
 	sr := relation.NewSnapReaderBytes(payload)
 	rel := relation.DecodeSnapshot(sr)
 	if err := sr.Err(); err != nil {
+		f.Close()
 		return nil, nil, err
 	}
-	u, err := explain.DecodeUniverseSnapshot(sr, rel)
+	u, err := explain.DecodeUniverseSnapshotAlias(sr, rel, alias)
 	if err != nil {
+		f.Close()
 		return nil, nil, err
+	}
+	if u.ArenaMapped() {
+		u.SetBacking(f)
+	} else {
+		f.Close()
 	}
 	return rel, u, nil
 }

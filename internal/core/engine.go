@@ -520,6 +520,21 @@ func (e *Engine) MemoryFootprint() int64 {
 	return b
 }
 
+// ResidentBytes is the engine's heap-resident cost — MemoryFootprint
+// under its charging name. When the candidate arena aliases a snapshot
+// mapping, the arena is excluded here and reported by MappedBytes
+// instead: resident bytes are charged against the serving memory budget,
+// mapped bytes are kernel-evictable and only tracked.
+func (e *Engine) ResidentBytes() int64 { return e.MemoryFootprint() }
+
+// MappedBytes reports the size of the candidate arena when it aliases a
+// read-only snapshot mapping, and 0 for heap-backed engines.
+func (e *Engine) MappedBytes() int64 { return e.u.MappedBytes() }
+
+// ArenaMapped reports whether this engine reads candidate series off a
+// memory-mapped snapshot arena.
+func (e *Engine) ArenaMapped() bool { return e.u.ArenaMapped() }
+
 // Explain runs the full pipeline and reports the evolving explanations.
 func (e *Engine) Explain() (*Result, error) {
 	return e.explainWithPositions(nil)

@@ -80,6 +80,17 @@ type Universe struct {
 	// extend series in place instead of reallocating per update.
 	raw      []relation.SumCount
 	arenaCap int
+	// arenaMapped is set when raw aliases a read-only snapshot mapping
+	// instead of a heap allocation (DecodeUniverseSnapshotAlias): the
+	// arena bytes are then kernel-evictable, excluded from ApproxBytes
+	// and reported through MappedBytes instead, and must never be
+	// written — mapped universes are one-shot (stream == nil), so the
+	// append path can't reach them, and Smooth writes its own arena.
+	arenaMapped bool
+	// backing pins whatever owns the mapped arena's bytes (an
+	// mmapfile.File) for as long as the universe — and any Candidate
+	// Series aliasing the arena — is reachable.
+	backing interface{ Close() error }
 	// rawTotal is the raw overall aggregate series; total aliases it until
 	// Smooth replaces the active view with the smoothed one.
 	rawTotal []relation.SumCount
@@ -533,22 +544,81 @@ func (u *Universe) Children(parentKey string, dim int) []int {
 func (u *Universe) NumTimestamps() int { return len(u.total) }
 
 // ApproxBytes estimates the heap footprint of the universe's bulk state:
-// the raw candidate-series arena, the smoothed views and prefix sums, and
-// the candidate records. It deliberately ignores small fixed overheads —
-// the serving layer's memory budget only needs a consistent relative cost
-// per pooled engine, not an exact accounting.
+// the raw candidate-series arena (unless it aliases a snapshot mapping —
+// mapped bytes are kernel-evictable and reported by MappedBytes), the
+// smoothed views and prefix sums, the candidate records and index, the
+// drill-down adjacency and ancestor closure, the taxonomy tables, and
+// the relation's hierarchy/derived-column state. It deliberately ignores
+// small fixed overheads — the serving layer's memory budget only needs a
+// consistent relative cost per pooled engine, not an exact accounting —
+// but every structure that scales with candidates or rows is counted, so
+// hierarchical and range-binned datasets no longer undercharge eviction.
 func (u *Universe) ApproxBytes() int64 {
 	const scSize = 16 // relation.SumCount: two float64s
-	b := int64(cap(u.raw)+cap(u.rawTotal)) * scSize
+	var b int64
+	if !u.arenaMapped {
+		b += int64(cap(u.raw)) * scSize
+	}
+	b += int64(cap(u.rawTotal)) * scSize
 	if u.smooth != nil {
 		b += int64(cap(u.smooth.arena)+cap(u.smooth.total)+
 			cap(u.smooth.prefix)+cap(u.smooth.totPrefix)) * scSize
 	}
-	// Candidate records, conjunctions, index entries, and adjacency: ~96
+	// Candidate records, conjunctions, and candidate-index entries: ~96
 	// bytes each on 64-bit platforms, measured coarsely.
 	b += int64(len(u.cands)) * 96
+	// Drill-down adjacency: the flat per-node dimension vectors plus the
+	// child ids themselves, and the legacy string-keyed mirror (map
+	// buckets + key strings, counted coarsely per parent node).
+	for _, byPos := range u.childrenFlat {
+		if byPos == nil {
+			continue
+		}
+		b += 24 * int64(len(byPos)) // slice headers
+		for _, kids := range byPos {
+			b += 4 * int64(cap(kids))
+		}
+	}
+	b += 64 * int64(len(u.children))
+	// Ancestor closure (CSR) and the explain-by position map.
+	b += 4 * int64(cap(u.ancOff)+cap(u.ancIDs)+cap(u.dimPos))
+	// Taxonomy tables: per-candidate hierarchy/level columns plus each
+	// kept hierarchy's level metadata.
+	b += 4 * int64(cap(u.hierOf)+cap(u.hierLevel))
+	for i := range u.hier {
+		b += 20 * int64(len(u.hier[i].kept)) // kept/dims/pos per level
+	}
+	// Relation-side state this universe forced into existence and keeps
+	// reachable: hierarchy parent maps and derived (path-level and
+	// range-bin) columns. The relation is shared between engines of one
+	// dataset, so this coarsely double-charges shared state — erring
+	// toward overcharging keeps eviction safe, where the old accounting
+	// undercharged it to zero.
+	b += u.rel.DerivedBytes()
 	return b
 }
+
+// MappedBytes reports the size of the candidate arena when it aliases a
+// read-only snapshot mapping, and 0 for heap-backed universes. Mapped
+// bytes are kernel-evictable: they cost address space and page-cache
+// residency under load, not Go heap, so the serving layer budgets them
+// separately from ApproxBytes.
+func (u *Universe) MappedBytes() int64 {
+	if !u.arenaMapped {
+		return 0
+	}
+	return int64(len(u.raw)) * 16
+}
+
+// ArenaMapped reports whether the candidate arena aliases a read-only
+// snapshot mapping (see DecodeUniverseSnapshotAlias).
+func (u *Universe) ArenaMapped() bool { return u.arenaMapped }
+
+// SetBacking pins the owner of a mapped arena's bytes (the catalog's
+// mmapfile handle) to the universe, keeping the mapping alive while the
+// universe — or any slice into its arena — is reachable. The owner's
+// finalizer unmaps once the universe is collected.
+func (u *Universe) SetBacking(b interface{ Close() error }) { u.backing = b }
 
 // TotalSeries returns the decomposed overall aggregate per timestamp.
 func (u *Universe) TotalSeries() []relation.SumCount { return u.total }

@@ -111,8 +111,16 @@ func (u *Universe) Smooth(window int) {
 	u.smooth = sm
 	if u.stream == nil {
 		// One-shot universes never append; drop the raw arena so memory
-		// matches the pre-streaming layout (one arena's worth).
+		// matches the pre-streaming layout (one arena's worth). When the
+		// arena aliased a snapshot mapping, release the mapping too — a
+		// smoothed universe is fully resident and no slice points into
+		// the mapped bytes anymore.
 		u.raw = nil
+		if u.backing != nil {
+			u.backing.Close()
+			u.backing = nil
+		}
+		u.arenaMapped = false
 	}
 }
 

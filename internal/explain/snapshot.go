@@ -26,11 +26,29 @@ const (
 	uniSnapMagic = "TSXU"
 	// v1 stores the arena as raw (f64, f64) pairs; v2 stores each series
 	// through the relation codec's compact layouts (sparse zero-run +
-	// varint packing) and frames lengths as varints. Writers emit v2;
-	// readers accept both.
+	// varint packing) and frames lengths as varints. v3 keeps the v2
+	// framing for every small section but stores the candidate-series
+	// arena as ONE contiguous raw little-endian block, padded so its
+	// absolute file offset is 16-aligned: a memory-mapped snapshot can
+	// then alias the arena in place as []SumCount — the runtime
+	// representation IS the on-disk representation, restore is
+	// near-zero-copy, and the kernel pages cold candidates out instead
+	// of the arena living on the heap. Writers emit v3 only above
+	// ArenaSnapshotThreshold (small arenas compress better under v2 and
+	// are cheap to materialize anyway); readers accept all three.
 	uniSnapVersion1 = 1
 	uniSnapVersion2 = 2
+	uniSnapVersion3 = 3
 )
+
+// ArenaSnapshotThreshold is the raw arena size (candidates × timestamps
+// × 16 bytes) at or above which EncodeSnapshot switches to the v3
+// mappable layout. Below it the compact v2 layouts win on disk — the
+// catalog's snapshot ≤ 0.5× CSV footprint contract depends on that for
+// the bundled datasets — and materializing a few megabytes on restore
+// costs nothing. It is a variable so tests can force the v3 path on
+// tiny datasets.
+var ArenaSnapshotThreshold int64 = 32 << 20
 
 // WriteSnapshot encodes the universe's snapshot section: the query shape
 // (measure, aggregate, explain-by, order threshold), the raw overall
@@ -48,14 +66,20 @@ func (u *Universe) WriteSnapshot(w io.Writer) error {
 
 // EncodeSnapshot appends the universe's snapshot section to an existing
 // snapshot writer (the catalog writes the relation and universe sections
-// into one checksummed file).
+// into one checksummed file). Arenas at or above ArenaSnapshotThreshold
+// are written in the v3 mappable layout (see ArenaSnapshotRaw); smaller
+// ones keep the compact v2 layout.
 func (u *Universe) EncodeSnapshot(sw *relation.SnapWriter) error {
 	if err := u.snapshotable(); err != nil {
 		return err
 	}
 	T := len(u.total)
+	version := uint8(uniSnapVersion2)
+	if u.ArenaSnapshotRaw() {
+		version = uniSnapVersion3
+	}
 	sw.Str(uniSnapMagic)
-	sw.U8(uniSnapVersion2)
+	sw.U8(version)
 	sw.VStr(u.rel.Measure(u.measure).Name())
 	sw.U8(uint8(u.agg))
 	sw.Uvarint(uint64(len(u.explainBy)))
@@ -73,10 +97,32 @@ func (u *Universe) EncodeSnapshot(sw *relation.SnapWriter) error {
 			sw.Uvarint(uint64(p.Value))
 		}
 	}
+	if version == uniSnapVersion3 {
+		// One contiguous raw arena, stride T (the headroom stride of a
+		// streaming build is not persisted), 16-aligned in the file so a
+		// mapping can alias it. Each series is T×16 bytes, so alignment
+		// established once holds for every candidate.
+		sw.Align16()
+		for id := range u.cands {
+			sw.SumCounts(u.raw[id*u.arenaCap : id*u.arenaCap+T])
+		}
+		return nil
+	}
 	for id := range u.cands {
 		sw.SumCountsV2(u.raw[id*u.arenaCap : id*u.arenaCap+T])
 	}
 	return nil
+}
+
+// ArenaSnapshotRaw reports whether EncodeSnapshot will store this
+// universe's candidate arena in the v3 raw mappable layout. The catalog
+// uses it to skip container compression (a compressed payload cannot be
+// mapped) and to set the writer's absolute base for alignment.
+func (u *Universe) ArenaSnapshotRaw() bool {
+	if u.raw == nil || u.smooth != nil {
+		return false
+	}
+	return int64(len(u.cands))*int64(len(u.total))*16 >= ArenaSnapshotThreshold
 }
 
 func (u *Universe) snapshotable() error {
@@ -133,8 +179,21 @@ func ReadUniverseSnapshot(r io.Reader, rel *relation.Relation) (*Universe, error
 }
 
 // DecodeUniverseSnapshot decodes one universe section from an existing
-// snapshot reader, the counterpart of EncodeSnapshot.
+// snapshot reader, the counterpart of EncodeSnapshot. The candidate
+// arena is always materialized on the heap; the catalog's mmap restore
+// path uses DecodeUniverseSnapshotAlias instead.
 func DecodeUniverseSnapshot(sr *relation.SnapReader, rel *relation.Relation) (*Universe, error) {
+	return DecodeUniverseSnapshotAlias(sr, rel, false)
+}
+
+// DecodeUniverseSnapshotAlias decodes one universe section. With
+// aliasArena set, a v3 raw arena section is aliased zero-copy out of
+// the reader's backing buffer when the host and offset allow it (see
+// relation.SnapReader.AliasSumCounts) — the caller then owns keeping
+// that buffer (typically a read-only memory mapping) alive for the
+// universe's lifetime, and Universe.ArenaMapped reports true. In every
+// other case the arena is copied onto the heap exactly as before.
+func DecodeUniverseSnapshotAlias(sr *relation.SnapReader, rel *relation.Relation, aliasArena bool) (*Universe, error) {
 	fail := func(format string, args ...any) (*Universe, error) {
 		if err := sr.Err(); err != nil {
 			return nil, err
@@ -145,16 +204,17 @@ func DecodeUniverseSnapshot(sr *relation.SnapReader, rel *relation.Relation) (*U
 		return fail("bad magic %q", magic)
 	}
 	version := sr.U8()
-	if version != uniSnapVersion1 && version != uniSnapVersion2 {
-		return fail("unsupported version %d (want %d or %d)", version, uniSnapVersion1, uniSnapVersion2)
+	if version < uniSnapVersion1 || version > uniSnapVersion3 {
+		return fail("unsupported version %d (want %d..%d)", version, uniSnapVersion1, uniSnapVersion3)
 	}
-	// v1 frames with fixed u32 lengths and raw series; v2 with varints
-	// and compact series. The shared decoding flow switches through these
-	// shims, so the validation logic exists once.
+	// v1 frames with fixed u32 lengths and raw series; v2/v3 with varints
+	// and compact series (v3 differs only in the arena block below). The
+	// shared decoding flow switches through these shims, so the
+	// validation logic exists once.
 	rdLen := sr.Len
 	rdStr := sr.Str
 	rdSeries := sr.SumCountsInto
-	if version == uniSnapVersion2 {
+	if version >= uniSnapVersion2 {
 		rdLen = sr.VLen
 		rdStr = sr.VStr
 		rdSeries = sr.SumCountsV2Into
@@ -233,7 +293,7 @@ func DecodeUniverseSnapshot(sr *relation.SnapReader, rel *relation.Relation) (*U
 		for i := range conj {
 			var dim int
 			var val uint32
-			if version == uniSnapVersion2 {
+			if version >= uniSnapVersion2 {
 				d, v := sr.Uvarint(), sr.Uvarint()
 				if d > uint64(rel.NumDims()) || v > uint64(snapArenaCapEntries) {
 					return fail("candidate %d predicate out of range", id)
@@ -263,11 +323,32 @@ func DecodeUniverseSnapshot(sr *relation.SnapReader, rel *relation.Relation) (*U
 		u.cands = append(u.cands, &Candidate{ID: id, Conj: conj})
 		u.index.insert(conj, id)
 	}
-	u.raw = make([]relation.SumCount, nCands*T)
-	for id, c := range u.cands {
-		s := u.raw[id*T : id*T+T : (id+1)*T]
-		rdSeries(s)
-		c.Series = s
+	if version == uniSnapVersion3 {
+		// The v3 arena is one contiguous raw block, stride T, 16-aligned
+		// in the file. Alias it in place when the caller allows and the
+		// buffer cooperates; otherwise bulk-copy it (still one dense
+		// little-endian read, no per-series layout dispatch).
+		sr.SkipPad()
+		if aliasArena {
+			if arena, ok := sr.AliasSumCounts(nCands * T); ok {
+				u.raw = arena
+				u.arenaMapped = true
+			}
+		}
+		if u.raw == nil {
+			u.raw = make([]relation.SumCount, nCands*T)
+			sr.SumCountsInto(u.raw)
+		}
+		for id, c := range u.cands {
+			c.Series = u.raw[id*T : id*T+T : (id+1)*T]
+		}
+	} else {
+		u.raw = make([]relation.SumCount, nCands*T)
+		for id, c := range u.cands {
+			s := u.raw[id*T : id*T+T : (id+1)*T]
+			rdSeries(s)
+			c.Series = s
+		}
 	}
 	if err := sr.Err(); err != nil {
 		return nil, err

@@ -1,0 +1,13 @@
+//go:build !linux && !darwin
+
+package mmapfile
+
+// Open reads path into a heap slice on platforms without mmap support.
+// Mapped reports false, so callers charge the bytes as resident.
+func Open(path string) (*File, error) { return readFallback(path) }
+
+// Close drops the heap copy.
+func (f *File) Close() error {
+	f.data = nil
+	return nil
+}

@@ -1,0 +1,58 @@
+//go:build linux || darwin
+
+package mmapfile
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// Open maps path read-only. Empty files and mmap failures fall back to
+// a heap copy so the caller always gets usable bytes; Mapped reports
+// which path won. The mapping is MAP_SHARED off the page cache, so N
+// processes (or N engines in one process) mapping the same snapshot
+// share one set of physical pages.
+func Open(path string) (*File, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	st, err := fd.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &File{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmapfile: %s is %d bytes, too large to map on this platform", path, size)
+	}
+	data, err := syscall.Mmap(int(fd.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readFallback(path)
+	}
+	f := &File{data: data, mapped: true}
+	// The finalizer makes dropping the last reference equivalent to
+	// Close: engines hold their Universe, the Universe holds this File,
+	// and eviction simply unpins the chain — the region is unmapped when
+	// the GC collects it, never while a pinned slice can still reach it.
+	runtime.SetFinalizer(f, (*File).Close)
+	return f, nil
+}
+
+// Close unmaps a mapped file (or drops the heap copy). It is safe to
+// call more than once; the finalizer calls it on collected files.
+func (f *File) Close() error {
+	data := f.data
+	f.data = nil
+	if !f.mapped || data == nil {
+		return nil
+	}
+	f.mapped = false
+	runtime.SetFinalizer(f, nil)
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,13 @@
+package mmapfile
+
+import "os"
+
+// readFallback materializes the file on the heap, the portable path
+// shared by non-mmap platforms and by mmap failures.
+func readFallback(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{data: data}, nil
+}

@@ -463,3 +463,29 @@ func (r *Relation) RowBatch(byTime [][]int, from, to int) (timeVals []string, di
 	}
 	return timeVals, dims, measures
 }
+
+// DerivedBytes coarsely estimates the heap held by state that exists only
+// because taxonomies or derived columns were declared on this relation:
+// hierarchy parent maps, the derived columns' per-row ids and
+// dictionaries, and the frozen range-bin edges. Base columns are excluded
+// — they are the cost of loading the CSV at all — so callers can charge
+// the marginal footprint of hierarchical/range-binned datasets against a
+// memory budget without double-counting the base data per engine.
+func (r *Relation) DerivedBytes() int64 {
+	var b int64
+	for _, h := range r.hiers {
+		for _, p := range h.parents {
+			b += 4 * int64(cap(p))
+		}
+	}
+	for _, dc := range r.derived {
+		col := r.dims[dc.dim]
+		b += 4 * int64(cap(col.ids))
+		for _, v := range col.dict {
+			b += 16 + int64(len(v)) // string header + bytes
+		}
+		b += 48 * int64(len(col.index)) // map buckets + key strings, coarse
+		b += 8 * int64(cap(dc.edges))
+	}
+	return b
+}

@@ -39,16 +39,23 @@ const (
 
 // snapMaxLen caps every decoded length field (strings, row counts, column
 // counts). A corrupted or adversarial length then fails decoding with an
-// error instead of attempting a multi-gigabyte allocation.
-const snapMaxLen = 1 << 31
+// error instead of attempting a multi-gigabyte allocation. The cap is an
+// untyped constant deliberately one below 1<<31: decoded lengths are
+// compared against it in 64-bit space and then narrowed to int, and a
+// value of exactly 1<<31 would survive a `>` guard against 1<<31 yet
+// overflow to a negative int on 32-bit platforms (GOARCH=386/arm), where
+// make() would panic instead of failing cleanly.
+const snapMaxLen = 1<<31 - 1
 
 // SnapWriter wraps a buffered writer with the little-endian primitives
 // both snapshot codecs (relation here, universe in internal/explain)
 // share. The first write error sticks; later writes are no-ops, so
 // encoders can write unconditionally and check once at the end.
 type SnapWriter struct {
-	w   *bufio.Writer
-	err error
+	w    *bufio.Writer
+	err  error
+	off  int64 // bytes successfully written so far
+	base int64 // absolute offset of byte 0 in the final file (SetAbsBase)
 }
 
 // NewSnapWriter returns a snapshot writer over w. It is exported for the
@@ -60,7 +67,34 @@ func (sw *SnapWriter) bytes(b []byte) {
 	if sw.err != nil {
 		return
 	}
-	_, sw.err = sw.w.Write(b)
+	if _, sw.err = sw.w.Write(b); sw.err == nil {
+		sw.off += int64(len(b))
+	}
+}
+
+// Offset returns the number of bytes written so far.
+func (sw *SnapWriter) Offset() int64 { return sw.off }
+
+// SetAbsBase records the absolute file offset at which this writer's
+// byte 0 will land (the container header length). Align16 uses it so
+// alignment padding is computed against the final on-disk position —
+// what a page-aligned mmap of the whole file actually sees — rather
+// than the payload-relative one.
+func (sw *SnapWriter) SetAbsBase(n int64) { sw.base = n }
+
+// zeroPad backs alignment padding writes.
+var zeroPad [16]byte
+
+// Align16 emits a one-byte pad length followed by that many zero bytes,
+// chosen so the NEXT byte written lands on a 16-byte boundary of the
+// final file (relative to SetAbsBase). The decoder skips it with
+// SkipPad. 16-byte alignment makes a raw []SumCount arena in the file
+// alias-able in place: SumCount is two float64s, and Go's checkptr mode
+// requires the aliased pointer to be at least 8-aligned.
+func (sw *SnapWriter) Align16() {
+	pad := uint8((16 - (sw.base+sw.off+1)%16) % 16)
+	sw.U8(pad)
+	sw.bytes(zeroPad[:pad])
 }
 
 // U8, U32, U64, F64, Str, and Flush are the primitive little-endian
@@ -100,6 +134,7 @@ func (sw *SnapWriter) SumCounts(s []SumCount) {
 		if _, sw.err = sw.w.Write(b[:]); sw.err != nil {
 			return
 		}
+		sw.off += 16
 	}
 }
 
@@ -480,10 +515,11 @@ func (sr *SnapReader) SumCountsInto(dst []SumCount) {
 }
 
 // Len decodes a u32 length field, failing the stream when it exceeds the
-// sanity cap.
+// sanity cap. The comparison is explicitly 64-bit so the guard holds on
+// 32-bit platforms, where int(n) of an unguarded value would go negative.
 func (sr *SnapReader) Len(what string) int {
 	n := sr.U32()
-	if sr.err == nil && n > snapMaxLen {
+	if sr.err == nil && uint64(n) > snapMaxLen {
 		sr.err = fmt.Errorf("relation: snapshot %s length %d exceeds sanity cap", what, n)
 	}
 	return int(n)

@@ -51,10 +51,11 @@ type metrics struct {
 	catalogEvictions  atomic.Int64 // engines dropped by dataset invalidation (delete/append)
 
 	// Warm-restart snapshot counters.
-	snapshotRelRestores atomic.Int64 // dataset relations restored from snapshot
-	snapshotEngRestores atomic.Int64 // engines built from a snapshot universe
-	snapshotFallbacks   atomic.Int64 // snapshot loads that failed (stale/corrupt) and fell back to rebuild
-	snapshotSaves       atomic.Int64 // snapshots written by the background refresher
+	snapshotRelRestores  atomic.Int64 // dataset relations restored from snapshot
+	snapshotEngRestores  atomic.Int64 // engines built from a snapshot universe
+	snapshotMmapRestores atomic.Int64 // engine restores serving the candidate arena off a memory-mapped snapshot
+	snapshotFallbacks    atomic.Int64 // snapshot loads that failed (stale/corrupt) and fell back to rebuild
+	snapshotSaves        atomic.Int64 // snapshots written by the background refresher
 
 	// Approximate-mode counters: requests served in mode=approx, and a
 	// histogram of the reported per-request MaxErrBound (observed once per
@@ -148,11 +149,12 @@ func (m *metrics) observe(endpoint string, code int, seconds float64) {
 
 // shardGauges is one shard's point-in-time state, read at scrape.
 type shardGauges struct {
-	engines    int   // pooled engines resident
-	memBytes   int64 // estimated bytes used by resident engines
-	queueDepth int64 // requests waiting for a worker slot
-	busy       int64 // worker slots in use
-	results    int   // result-cache entries
+	engines     int   // pooled engines resident
+	memBytes    int64 // estimated heap bytes used by resident engines
+	mappedBytes int64 // kernel-evictable snapshot-mapping bytes read by engines
+	queueDepth  int64 // requests waiting for a worker slot
+	busy        int64 // worker slots in use
+	results     int   // result-cache entries
 }
 
 // write renders everything in Prometheus text exposition format.
@@ -244,6 +246,7 @@ func (m *metrics) write(w io.Writer, shards []shardGauges) {
 	fmt.Fprintln(w, "# TYPE tsexplain_snapshot_restores_total counter")
 	fmt.Fprintf(w, "tsexplain_snapshot_restores_total{kind=\"relation\"} %d\n", m.snapshotRelRestores.Load())
 	fmt.Fprintf(w, "tsexplain_snapshot_restores_total{kind=\"engine\"} %d\n", m.snapshotEngRestores.Load())
+	fmt.Fprintf(w, "tsexplain_snapshot_restores_total{kind=\"engine_mmap\"} %d\n", m.snapshotMmapRestores.Load())
 	counter("tsexplain_snapshot_fallbacks_total", "Snapshot loads that failed validation and fell back to a rebuild.", m.snapshotFallbacks.Load())
 	counter("tsexplain_snapshot_saves_total", "Warm-restart snapshots written by the background refresher.", m.snapshotSaves.Load())
 	fmt.Fprintln(w, "# HELP tsexplain_shed_total Requests shed by admission control, by reason.")
@@ -270,8 +273,10 @@ func (m *metrics) write(w io.Writer, shards []shardGauges) {
 	}
 	gauge("tsexplain_engine_pool_engines", "Pooled engines resident per shard.",
 		func(g shardGauges) int64 { return int64(g.engines) })
-	gauge("tsexplain_engine_pool_bytes", "Estimated bytes held by pooled engines per shard.",
+	gauge("tsexplain_engine_pool_bytes", "Estimated heap-resident bytes held by pooled engines per shard (charged against the memory budget).",
 		func(g shardGauges) int64 { return g.memBytes })
+	gauge("tsexplain_engine_pool_mapped_bytes", "Kernel-evictable snapshot-mapping bytes read by pooled engines per shard (not charged against the memory budget).",
+		func(g shardGauges) int64 { return g.mappedBytes })
 	gauge("tsexplain_queue_depth", "Requests waiting for a worker slot per shard.",
 		func(g shardGauges) int64 { return g.queueDepth })
 	gauge("tsexplain_workers_busy", "Worker slots in use per shard.",

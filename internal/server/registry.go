@@ -136,6 +136,19 @@ type shard struct {
 	memUsed   int64                    //tsexplain:guardedby mu
 	memBudget int64
 
+	// memMapped tracks bytes the shard's engines read through snapshot
+	// memory mappings. Mapped bytes are kernel-evictable (they page in on
+	// demand and drop under memory pressure), so they are NOT charged
+	// against memBudget — memUsed stays heap-resident-only — but they are
+	// accounted and exported so operators can see how much of a dataset
+	// is being served off disk.
+	memMapped int64 //tsexplain:guardedby mu
+
+	// avgServiceNS is an EWMA (α=1/8) of how long admitted requests hold
+	// a worker slot, in nanoseconds. Shed responses derive Retry-After
+	// from it: queue-ahead × service time ÷ workers, clamped to [1, 30]s.
+	avgServiceNS atomic.Int64
+
 	// Admission: sem holds one token per running request; waiting counts
 	// requests queued for a token, capped at queueLimit. degSem is the
 	// degraded lane's separate (smaller) worker pool: overload retries of
@@ -157,8 +170,12 @@ type engineEntry struct {
 	key  string
 	lock chan struct{}
 	eng  *core.Engine
-	cost int64
-	pins atomic.Int32
+	cost int64 // heap-resident bytes, charged against the shard budget
+	// mapped is the engine's kernel-evictable mapped-arena size; tracked
+	// in the shard's memMapped alongside cost but never charged against
+	// the budget (the kernel reclaims those pages itself).
+	mapped int64
+	pins   atomic.Int32
 
 	// dead and charged are guarded by the shard mutex. dead marks an
 	// entry removed from the pool by dataset invalidation while a request
@@ -328,18 +345,18 @@ func (sh *shard) admit(ctx context.Context) (release func(), err error) {
 	select {
 	case sh.sem <- struct{}{}:
 		sh.busy.Add(1)
-		return sh.release, nil
+		return sh.releaseTimed(time.Now()), nil
 	default:
 	}
 	if sh.waiting.Add(1) > sh.queueLimit {
 		sh.waiting.Add(-1)
-		return nil, errQueueFull
+		return nil, &overloadedError{retryAfter: sh.retryAfterSeconds()}
 	}
 	defer sh.waiting.Add(-1)
 	select {
 	case sh.sem <- struct{}{}:
 		sh.busy.Add(1)
-		return sh.release, nil
+		return sh.releaseTimed(time.Now()), nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -370,7 +387,7 @@ func (sh *shard) admitPatient(ctx context.Context) (release func(), err error) {
 	select {
 	case sh.sem <- struct{}{}:
 		sh.busy.Add(1)
-		return sh.release, nil
+		return sh.releaseTimed(time.Now()), nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -380,6 +397,70 @@ func (sh *shard) release() {
 	sh.busy.Add(-1)
 	<-sh.sem
 }
+
+// releaseTimed wraps release so the slot's hold time also lands in the
+// shard's service-time EWMA — the signal Retry-After is derived from.
+func (sh *shard) releaseTimed(start time.Time) func() {
+	return func() {
+		sh.observeService(time.Since(start))
+		sh.release()
+	}
+}
+
+// observeService folds one observed service time into the EWMA (α=1/8;
+// the first observation seeds it).
+func (sh *shard) observeService(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	for {
+		old := sh.avgServiceNS.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)/8
+		}
+		if next <= 0 {
+			next = 1
+		}
+		if sh.avgServiceNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates when a shed client can expect a worker
+// slot: the queue ahead of it (plus itself) times the observed average
+// service time, spread across the worker pool, rounded up and clamped
+// to [1, 30] seconds. With no observations yet it reports the old
+// static 1s floor.
+func (sh *shard) retryAfterSeconds() int {
+	avg := sh.avgServiceNS.Load()
+	if avg <= 0 {
+		return 1
+	}
+	workers := int64(cap(sh.sem))
+	if workers < 1 {
+		workers = 1
+	}
+	estNS := (sh.waiting.Load() + 1) * avg / workers
+	secs := (estNS + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return int(secs)
+}
+
+// overloadedError is errQueueFull carrying the derived Retry-After so
+// the HTTP layer can tell the client when a retry is actually worth
+// making. errors.Is(err, errQueueFull) keeps matching through Unwrap,
+// so status mapping and the degraded-lane retry logic are unchanged.
+type overloadedError struct{ retryAfter int }
+
+func (e *overloadedError) Error() string { return errQueueFull.Error() }
+func (e *overloadedError) Unwrap() error { return errQueueFull }
 
 // graceCtx derives the wait-bounding context for a request's admission
 // grace; a zero grace means unbounded (the parent context alone).
@@ -545,6 +626,11 @@ func (g *registry) engineBuilder(name string, opts func(*datasets.Dataset) core.
 			if _, u, err := g.cat.LoadSnapshot(name); err == nil {
 				if eng, err := core.NewEngineFromUniverse(u, q, o); err == nil {
 					g.met.snapshotEngRestores.Add(1)
+					if eng.ArenaMapped() {
+						g.met.snapshotMmapRestores.Add(1)
+						log.Printf("catalog: engine for %q serves candidate arena from mapped snapshot (mapped=%d resident=%d bytes)",
+							name, eng.MappedBytes(), eng.ResidentBytes())
+					}
 					return eng, nil
 				}
 			}
@@ -679,13 +765,15 @@ func (g *registry) buildLocked(ctx context.Context, sh *shard, ent *engineEntry,
 	}
 	ent.eng = eng
 	sh.mu.Lock()
-	ent.cost = eng.MemoryFootprint()
+	ent.cost = eng.ResidentBytes()
+	ent.mapped = eng.MappedBytes()
 	// A dead entry (its dataset was deleted or appended to while this
 	// request held it) is no longer in the pool and can never be evicted;
 	// charging its cost would inflate memUsed forever.
 	if !ent.dead {
 		ent.charged = true
 		sh.memUsed += ent.cost
+		sh.memMapped += ent.mapped
 		sh.evictOverBudgetLocked()
 	}
 	sh.mu.Unlock()
@@ -721,6 +809,7 @@ func (g *registry) invalidateDataset(name string) {
 			if ent.charged {
 				ent.charged = false
 				sh.memUsed -= ent.cost
+				sh.memMapped -= ent.mapped
 			}
 			g.met.catalogEvictions.Add(1)
 		}
@@ -758,6 +847,7 @@ func (sh *shard) evictOverBudgetLocked() {
 		}
 		ent.charged = false
 		sh.memUsed -= ent.cost
+		sh.memMapped -= ent.mapped
 		sh.met.evictions.Add(1)
 	}
 }
@@ -974,11 +1064,12 @@ func (g *registry) gauges() []shardGauges {
 	for i, sh := range g.shards {
 		sh.mu.Lock()
 		out[i] = shardGauges{
-			engines:    sh.engines.len(),
-			memBytes:   sh.memUsed,
-			results:    sh.results.len(),
-			queueDepth: sh.waiting.Load(),
-			busy:       sh.busy.Load(),
+			engines:     sh.engines.len(),
+			memBytes:    sh.memUsed,
+			mappedBytes: sh.memMapped,
+			results:     sh.results.len(),
+			queueDepth:  sh.waiting.Load(),
+			busy:        sh.busy.Load(),
 		}
 		sh.mu.Unlock()
 	}

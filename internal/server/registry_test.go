@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -52,8 +53,16 @@ func TestAdmitQueueFull(t *testing.T) {
 	// Third request exceeds the queue limit and is shed immediately. (The
 	// shed counter is maintained centrally in Server.handle from the final
 	// response status, not here — admit only returns the sentinel.)
-	if _, err := sh.admit(bg()); err != errQueueFull {
+	if _, err := sh.admit(bg()); !errors.Is(err, errQueueFull) {
 		t.Fatalf("over-limit admit: err = %v, want errQueueFull", err)
+	} else {
+		var oe *overloadedError
+		if !errors.As(err, &oe) {
+			t.Fatalf("over-limit admit: err = %T, want *overloadedError carrying Retry-After", err)
+		}
+		if oe.retryAfter < 1 || oe.retryAfter > 30 {
+			t.Fatalf("over-limit admit: retryAfter = %d, want within [1, 30]", oe.retryAfter)
+		}
 	}
 	rel1()
 	wg.Wait()
@@ -174,8 +183,10 @@ func TestStreamHoldsWorkerSlotBackpressure(t *testing.T) {
 	if rec.Code != 429 {
 		t.Fatalf("vanilla explain while saturated: status = %d, want 429 (%s)", rec.Code, rec.Body.String())
 	}
-	if rec.Header().Get("Retry-After") == "" {
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
 		t.Error("429 response missing Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 30 {
+		t.Errorf("429 Retry-After = %q, want an integer in [1, 30] derived from observed service time", ra)
 	}
 	var out struct {
 		Error string `json:"error"`

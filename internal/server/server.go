@@ -337,7 +337,16 @@ func writeError(w http.ResponseWriter, err error) {
 	code := errorCode(err)
 	w.Header().Set("Content-Type", "application/json")
 	if code == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		// Derive Retry-After from the shard's observed service time when
+		// the shed carried one (see shard.retryAfterSeconds); a blind
+		// constant teaches well-behaved clients to hammer an overloaded
+		// server once a second regardless of how deep the queue is.
+		retry := 1
+		var oe *overloadedError
+		if errors.As(err, &oe) && oe.retryAfter > 0 {
+			retry = oe.retryAfter
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 	}
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})

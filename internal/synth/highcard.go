@@ -66,6 +66,19 @@ func (p HighCardParams) WithDefaults() HighCardParams {
 	return p
 }
 
+// ScaleHighCard resolves p's defaults and multiplies the user
+// cardinality by factor. Rows and order-2 candidate conjunctions both
+// grow linearly in Users (one long-tail spike per (user, region) pair),
+// so this is the single knob the beyond-RAM benchmark and datagen
+// -scale use to grow a dataset past any memory budget.
+func ScaleHighCard(p HighCardParams, factor int) HighCardParams {
+	p.setDefaults()
+	if factor > 1 {
+		p.Users *= factor
+	}
+	return p
+}
+
 // HighCardDataset is one generated high-cardinality dataset.
 type HighCardDataset struct {
 	// Rel is the relation R(T, user, region, events); the aggregated
